@@ -1,0 +1,39 @@
+//! # fet-adversary — adversarial initial configurations and impossibility
+//!
+//! Self-stabilization is a universally quantified promise: convergence from
+//! *every* initial configuration, including those crafted by an adversary
+//! who controls both the public opinions and all internal protocol
+//! variables of the non-source agents (§1.2 of the paper). This crate is
+//! that adversary:
+//!
+//! * [`init`] — canonical hostile configurations for FET (wrong consensus
+//!   with tie-maximizing or bounce-suppressing stale counts, anti-phase
+//!   oscillation primers, targeted `(x_0, x_1)` placement) plus re-exports
+//!   of the benign conditions from `fet-sim`.
+//! * [`search`] — empirical worst-case search over a parameterized family
+//!   of initial configurations: grid sweep + local refinement on measured
+//!   convergence time.
+//! * [`conflict`] — honest conflicting stubborn emitters (`k₀` constant
+//!   zeros vs `k₁` constant ones): the ergodic regime beyond the
+//!   impossibility, measured by long-run occupancy.
+//! * [`impossibility`] — the §1.2 two-scenario construction showing that
+//!   *majority* bit-dissemination (conflicting sources) cannot be solved
+//!   under passive communication: after copying internal states from a
+//!   converged honest-majority run, every observation is unanimous and the
+//!   population is provably frozen on the wrong opinion.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod conflict;
+pub mod impossibility;
+pub mod init;
+pub mod search;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::conflict::{ConflictEngine, ConflictOutcome};
+    pub use crate::impossibility::{ImpossibilityOutcome, ImpossibilityScenario};
+    pub use crate::init::{FetConfigurator, InitialCondition};
+    pub use crate::search::{AdversaryPoint, SearchOutcome, WorstCaseSearch};
+}

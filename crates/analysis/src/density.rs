@@ -1,0 +1,589 @@
+//! Exact absorption-time distributions and the quasi-stationary profile.
+//!
+//! [`crate::markov::ExactChain`] gives the exact one-step law of the FET
+//! chain `(ones_t, ones_{t+1})` for small `n`. This module iterates that
+//! law on *distributions* rather than samples:
+//!
+//! * [`AbsorptionTime`] — the full CDF of the convergence time `T` from
+//!   any start state, with quantiles and a tail-corrected mean. Where the
+//!   paper proves `T = O(log^{5/2} n)` w.h.p., this computes `P(T ≤ t)`
+//!   exactly (no Monte-Carlo error), which E14 cross-checks against both
+//!   simulation engines.
+//! * [`QuasiStationary`] — the Yaglom limit of the chain conditioned on
+//!   non-absorption, computed by power iteration on the substochastic
+//!   kernel. Its per-round absorption rate `1 − λ` (with `λ` the Perron
+//!   eigenvalue) governs the geometric tail of `T`, and projecting its
+//!   mass onto the Fig. 1a domains quantifies the proof's informal claim
+//!   that the *slow center* (Yellow) is where the transient chain lives.
+
+use crate::domains::{DomainKind, DomainParams};
+use crate::error::AnalysisError;
+use crate::markov::ExactChain;
+
+/// Exact distribution of the convergence (absorption) time from a fixed
+/// start state.
+///
+/// # Example
+///
+/// ```
+/// use fet_analysis::density::AbsorptionTime;
+/// use fet_analysis::markov::ExactChain;
+///
+/// let chain = ExactChain::new(10, 4)?;
+/// // All-wrong start: only the source holds 1 in two consecutive rounds.
+/// let at = AbsorptionTime::from_chain(&chain, 1, 1, 2_000)?;
+/// assert!(at.cdf(2_000) > 0.999);
+/// let median = at.quantile(0.5).expect("median reached");
+/// assert!(median >= 1);
+/// # Ok::<(), fet_analysis::AnalysisError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AbsorptionTime {
+    /// `cdf[t] = P(T ≤ t)`.
+    cdf: Vec<f64>,
+}
+
+impl AbsorptionTime {
+    /// Iterates the exact kernel from `(i0, j0)` for `horizon` rounds and
+    /// records the absorbing mass after each round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] when the start state is
+    /// outside the grid or has `j0 = 0` (unreachable with a 1-holding
+    /// source), or when `horizon == 0`.
+    pub fn from_chain(
+        chain: &ExactChain,
+        i0: usize,
+        j0: usize,
+        horizon: u64,
+    ) -> Result<Self, AnalysisError> {
+        let n = chain.n() as usize;
+        if i0 > n || j0 == 0 || j0 > n {
+            return Err(AnalysisError::InvalidParameter {
+                name: "start",
+                detail: format!("state ({i0}, {j0}) invalid for n = {n} (need j ≥ 1)"),
+            });
+        }
+        if horizon == 0 {
+            return Err(AnalysisError::InvalidParameter {
+                name: "horizon",
+                detail: "need at least one round".into(),
+            });
+        }
+        Ok(AbsorptionTime { cdf: chain.absorption_profile(i0, j0, horizon) })
+    }
+
+    /// `P(T ≤ t)`; saturates at the last computed value beyond the horizon.
+    pub fn cdf(&self, t: u64) -> f64 {
+        let idx = (t as usize).min(self.cdf.len() - 1);
+        self.cdf[idx]
+    }
+
+    /// `P(T > t)`.
+    pub fn survival(&self, t: u64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// The horizon the CDF was computed to.
+    pub fn horizon(&self) -> u64 {
+        (self.cdf.len() - 1) as u64
+    }
+
+    /// Total absorbed mass at the horizon (how complete the CDF is).
+    pub fn mass_at_horizon(&self) -> f64 {
+        *self.cdf.last().expect("cdf is never empty")
+    }
+
+    /// Smallest `t` with `P(T ≤ t) ≥ q`, or `None` if the horizon was too
+    /// short to accumulate mass `q`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        self.cdf.iter().position(|&p| p >= q).map(|t| t as u64)
+    }
+
+    /// The exact truncated mean `Σ_{t < horizon} P(T > t)` plus a
+    /// geometric tail correction estimated from the last two survival
+    /// values. Accurate once [`AbsorptionTime::mass_at_horizon`] is close
+    /// to 1 (the tail of an absorbing finite chain is exactly geometric in
+    /// the limit, with ratio the Perron eigenvalue — see
+    /// [`QuasiStationary`]).
+    pub fn mean(&self) -> f64 {
+        let truncated: f64 = self.cdf.iter().map(|&p| 1.0 - p).sum();
+        let h = self.cdf.len();
+        if h < 2 {
+            return truncated;
+        }
+        let s_last = 1.0 - self.cdf[h - 1];
+        let s_prev = 1.0 - self.cdf[h - 2];
+        if s_last <= 0.0 || s_prev <= 0.0 || s_last >= s_prev {
+            return truncated;
+        }
+        let r = s_last / s_prev;
+        truncated + s_last * r / (1.0 - r)
+    }
+}
+
+/// The quasi-stationary distribution (Yaglom limit) of the FET chain
+/// conditioned on non-absorption, with its per-round absorption rate.
+///
+/// Computed by power iteration: push the current distribution through the
+/// exact kernel, remove the mass that reached consensus `(n, n)`, and
+/// renormalize. The surviving-mass ratio converges to the Perron
+/// eigenvalue `λ` of the substochastic transient kernel; the normalized
+/// distribution converges to the QSD.
+///
+/// # Example
+///
+/// ```
+/// use fet_analysis::density::QuasiStationary;
+/// use fet_analysis::markov::ExactChain;
+///
+/// let chain = ExactChain::new(10, 4)?;
+/// let qsd = QuasiStationary::of_chain(&chain, 1e-12, 100_000)?;
+/// assert!(qsd.absorption_rate() > 0.0 && qsd.absorption_rate() < 1.0);
+/// // Conditioned on not being done, the expected residual time is 1/rate.
+/// assert!(qsd.expected_residual_time() > 1.0);
+/// # Ok::<(), fet_analysis::AnalysisError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuasiStationary {
+    dist: Vec<Vec<f64>>,
+    eigenvalue: f64,
+    iterations: u64,
+}
+
+impl QuasiStationary {
+    /// Runs the power iteration to total-variation tolerance `tolerance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoConvergence`] when `max_iters` sweeps do
+    /// not reach the tolerance.
+    pub fn of_chain(
+        chain: &ExactChain,
+        tolerance: f64,
+        max_iters: u64,
+    ) -> Result<Self, AnalysisError> {
+        let n = chain.n() as usize;
+        // Uniform over transient states: j ≥ 1, excluding consensus (n, n).
+        let transient = (n + 1) * n - 1;
+        let mut dist = vec![vec![0.0f64; n + 1]; n + 1];
+        let u = 1.0 / transient as f64;
+        for row in dist.iter_mut() {
+            for cell in row.iter_mut().skip(1) {
+                *cell = u;
+            }
+        }
+        dist[n][n] = 0.0;
+        let mut eigenvalue = 0.0;
+        for iter in 1..=max_iters {
+            let mut next = chain.push_distribution(&dist);
+            next[n][n] = 0.0;
+            let surviving: f64 = next.iter().map(|r| r.iter().sum::<f64>()).sum();
+            if surviving <= 0.0 {
+                return Err(AnalysisError::InvalidParameter {
+                    name: "chain",
+                    detail: "no transient mass survives one step".into(),
+                });
+            }
+            let mut tv = 0.0f64;
+            for (row_next, row_prev) in next.iter_mut().zip(dist.iter()) {
+                for (cell, &prev) in row_next.iter_mut().zip(row_prev.iter()) {
+                    *cell /= surviving;
+                    tv += (*cell - prev).abs();
+                }
+            }
+            tv *= 0.5;
+            dist = next;
+            let converged = tv < tolerance && (surviving - eigenvalue).abs() < tolerance;
+            eigenvalue = surviving;
+            if converged {
+                return Ok(QuasiStationary { dist, eigenvalue, iterations: iter });
+            }
+        }
+        Err(AnalysisError::NoConvergence {
+            what: "quasi-stationary power iteration",
+            iterations: max_iters,
+        })
+    }
+
+    /// The QSD as `dist[i][j]` over transient states.
+    pub fn distribution(&self) -> &[Vec<f64>] {
+        &self.dist
+    }
+
+    /// The Perron eigenvalue `λ` of the transient kernel (per-round
+    /// survival probability from the QSD).
+    pub fn eigenvalue(&self) -> f64 {
+        self.eigenvalue
+    }
+
+    /// Per-round absorption probability from the QSD (`1 − λ`).
+    pub fn absorption_rate(&self) -> f64 {
+        1.0 - self.eigenvalue
+    }
+
+    /// Expected residual convergence time from the QSD (`1 / (1 − λ)`).
+    pub fn expected_residual_time(&self) -> f64 {
+        1.0 / self.absorption_rate()
+    }
+
+    /// Power-iteration sweeps used.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// The most likely transient state `(i, j)` and its mass.
+    pub fn mode(&self) -> (usize, usize, f64) {
+        let mut best = (0, 0, -1.0f64);
+        for (i, row) in self.dist.iter().enumerate() {
+            for (j, &p) in row.iter().enumerate() {
+                if p > best.2 {
+                    best = (i, j, p);
+                }
+            }
+        }
+        best
+    }
+
+    /// Projects the QSD mass onto the Fig. 1a domain families — the exact
+    /// version of "where does the chain spend its time before
+    /// converging?". Sorted by descending mass.
+    pub fn mass_by_kind(&self, params: &DomainParams) -> Vec<(DomainKind, f64)> {
+        let n = (self.dist.len() - 1) as f64;
+        let mut acc: Vec<(DomainKind, f64)> = [
+            DomainKind::Green,
+            DomainKind::Purple,
+            DomainKind::Red,
+            DomainKind::Cyan,
+            DomainKind::Yellow,
+        ]
+        .into_iter()
+        .map(|k| (k, 0.0))
+        .collect();
+        for (i, row) in self.dist.iter().enumerate() {
+            for (j, &p) in row.iter().enumerate() {
+                if p <= 0.0 {
+                    continue;
+                }
+                let kind = params.classify(i as f64 / n, j as f64 / n).kind();
+                let entry = acc.iter_mut().find(|(k, _)| *k == kind).expect("all kinds");
+                entry.1 += p;
+            }
+        }
+        acc.sort_by(|a, b| b.1.total_cmp(&a.1));
+        acc
+    }
+}
+
+/// Expected occupation measure of the transient chain: for each state
+/// `(i, j)`, the expected number of rounds spent there before absorption.
+///
+/// This is the exact version of "where does the running time go": summing
+/// the measure over a Fig. 1a domain gives the expected number of rounds
+/// the proof's Markov chain spends in that domain — the quantity Lemmas
+/// 1–5 bound individually and Theorem 1 adds up. (Contrast with
+/// [`QuasiStationary`], which answers the different question "*given* the
+/// chain is still running after a long time, where is it now?".)
+///
+/// # Example
+///
+/// ```
+/// use fet_analysis::density::OccupationMeasure;
+/// use fet_analysis::markov::ExactChain;
+///
+/// let chain = ExactChain::new(10, 4)?;
+/// let occ = OccupationMeasure::from_chain(&chain, 1, 1, 3_000)?;
+/// // Total expected transient rounds ≈ E[T] from value iteration.
+/// let expect = chain.expected_time_all_wrong()?;
+/// assert!((occ.total_expected_rounds() - expect).abs() < 0.05 * expect);
+/// # Ok::<(), fet_analysis::AnalysisError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OccupationMeasure {
+    matrix: Vec<Vec<f64>>,
+    absorbed: f64,
+}
+
+impl OccupationMeasure {
+    /// Accumulates `Σ_t P(X_t = (i, j), T > t)` for `t < horizon` starting
+    /// from `(i0, j0)`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AbsorptionTime::from_chain`].
+    pub fn from_chain(
+        chain: &ExactChain,
+        i0: usize,
+        j0: usize,
+        horizon: u64,
+    ) -> Result<Self, AnalysisError> {
+        let n = chain.n() as usize;
+        if i0 > n || j0 == 0 || j0 > n {
+            return Err(AnalysisError::InvalidParameter {
+                name: "start",
+                detail: format!("state ({i0}, {j0}) invalid for n = {n} (need j ≥ 1)"),
+            });
+        }
+        if horizon == 0 {
+            return Err(AnalysisError::InvalidParameter {
+                name: "horizon",
+                detail: "need at least one round".into(),
+            });
+        }
+        let mut dist = vec![vec![0.0f64; n + 1]; n + 1];
+        dist[i0][j0] = 1.0;
+        let mut matrix = vec![vec![0.0f64; n + 1]; n + 1];
+        for _ in 0..horizon {
+            // Count this round's transient mass, then advance.
+            for (occ_row, dist_row) in matrix.iter_mut().zip(dist.iter()) {
+                for (occ, &p) in occ_row.iter_mut().zip(dist_row.iter()) {
+                    *occ += p;
+                }
+            }
+            matrix[n][n] -= dist[n][n]; // the absorbing state is not transient
+            dist = chain.push_distribution(&dist);
+        }
+        Ok(OccupationMeasure { matrix, absorbed: dist[n][n] })
+    }
+
+    /// The occupation matrix (`[i][j]` = expected rounds in that state).
+    pub fn matrix(&self) -> &[Vec<f64>] {
+        &self.matrix
+    }
+
+    /// Total expected transient rounds within the horizon — converges to
+    /// `E[T]` as the horizon grows.
+    pub fn total_expected_rounds(&self) -> f64 {
+        self.matrix.iter().map(|r| r.iter().sum::<f64>()).sum()
+    }
+
+    /// Mass absorbed by the end of the horizon (completeness indicator).
+    pub fn absorbed_mass(&self) -> f64 {
+        self.absorbed
+    }
+
+    /// Expected rounds spent per Fig. 1a domain family, sorted descending —
+    /// the exact counterpart of the per-domain dwell bounds of Lemmas 1–5.
+    pub fn expected_rounds_by_kind(&self, params: &DomainParams) -> Vec<(DomainKind, f64)> {
+        let n = (self.matrix.len() - 1) as f64;
+        let mut acc: Vec<(DomainKind, f64)> = [
+            DomainKind::Green,
+            DomainKind::Purple,
+            DomainKind::Red,
+            DomainKind::Cyan,
+            DomainKind::Yellow,
+        ]
+        .into_iter()
+        .map(|k| (k, 0.0))
+        .collect();
+        for (i, row) in self.matrix.iter().enumerate() {
+            for (j, &rounds) in row.iter().enumerate() {
+                if rounds <= 0.0 {
+                    continue;
+                }
+                let kind = params.classify(i as f64 / n, j as f64 / n).kind();
+                let entry = acc.iter_mut().find(|(k, _)| *k == kind).expect("all kinds");
+                entry.1 += rounds;
+            }
+        }
+        acc.sort_by(|a, b| b.1.total_cmp(&a.1));
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> ExactChain {
+        ExactChain::new(12, 5).unwrap()
+    }
+
+    #[test]
+    fn from_chain_validates_start() {
+        let c = chain();
+        assert!(AbsorptionTime::from_chain(&c, 13, 1, 10).is_err());
+        assert!(AbsorptionTime::from_chain(&c, 1, 0, 10).is_err());
+        assert!(AbsorptionTime::from_chain(&c, 1, 13, 10).is_err());
+        assert!(AbsorptionTime::from_chain(&c, 1, 1, 0).is_err());
+        assert!(AbsorptionTime::from_chain(&c, 1, 1, 10).is_ok());
+    }
+
+    #[test]
+    fn cdf_saturates_beyond_horizon() {
+        let at = AbsorptionTime::from_chain(&chain(), 1, 1, 50).unwrap();
+        assert_eq!(at.cdf(50), at.cdf(5_000));
+        assert_eq!(at.horizon(), 50);
+        assert!((at.survival(50) - (1.0 - at.mass_at_horizon())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let at = AbsorptionTime::from_chain(&chain(), 1, 1, 3_000).unwrap();
+        assert!(at.mass_at_horizon() > 0.999, "horizon too short for this test");
+        let q25 = at.quantile(0.25).unwrap();
+        let q50 = at.quantile(0.50).unwrap();
+        let q95 = at.quantile(0.95).unwrap();
+        assert!(q25 <= q50 && q50 <= q95);
+        assert!(at.quantile(1.5).is_none());
+        assert_eq!(at.quantile(0.0), Some(0));
+    }
+
+    #[test]
+    fn tail_corrected_mean_matches_value_iteration() {
+        let c = ExactChain::new(8, 4).unwrap();
+        let expect = c.expected_time_all_wrong().unwrap();
+        // Deliberately short horizon: ~4% of the mass is still unabsorbed,
+        // so the geometric tail correction must do real work.
+        let at = AbsorptionTime::from_chain(&c, 1, 1, 30).unwrap();
+        assert!(at.mass_at_horizon() < 0.99);
+        let mean = at.mean();
+        assert!(
+            (mean - expect).abs() < 0.02 * expect,
+            "tail-corrected mean {mean} vs value iteration {expect}"
+        );
+    }
+
+    #[test]
+    fn momentum_start_beats_all_wrong_in_distribution() {
+        let c = chain();
+        let slow = AbsorptionTime::from_chain(&c, 1, 1, 2_000).unwrap();
+        let fast = AbsorptionTime::from_chain(&c, 1, 11, 2_000).unwrap();
+        // First-order stochastic dominance at a few probe points.
+        for t in [1u64, 3, 10, 30, 100] {
+            assert!(
+                fast.cdf(t) >= slow.cdf(t) - 1e-12,
+                "momentum start should dominate at t = {t}"
+            );
+        }
+        assert!(fast.quantile(0.5).unwrap() <= slow.quantile(0.5).unwrap());
+    }
+
+    #[test]
+    fn qsd_is_a_distribution_with_zero_absorbing_mass() {
+        let qsd = QuasiStationary::of_chain(&chain(), 1e-12, 200_000).unwrap();
+        let total: f64 = qsd.distribution().iter().map(|r| r.iter().sum::<f64>()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "QSD mass = {total}");
+        let n = 12;
+        assert_eq!(qsd.distribution()[n][n], 0.0);
+        for row in qsd.distribution() {
+            assert_eq!(row[0], 0.0, "j = 0 is unreachable");
+            for &p in row {
+                assert!(p >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qsd_is_an_eigenvector_of_the_transient_kernel() {
+        let c = chain();
+        let qsd = QuasiStationary::of_chain(&c, 1e-13, 200_000).unwrap();
+        // One more push must reproduce the distribution scaled by λ.
+        let mut pushed = c.push_distribution(qsd.distribution());
+        pushed[12][12] = 0.0;
+        let surviving: f64 = pushed.iter().map(|r| r.iter().sum::<f64>()).sum();
+        assert!((surviving - qsd.eigenvalue()).abs() < 1e-9);
+        for (i, row) in pushed.iter().enumerate() {
+            for (j, &p) in row.iter().enumerate() {
+                let expected = qsd.distribution()[i][j] * surviving;
+                assert!(
+                    (p - expected).abs() < 1e-9,
+                    "eigenvector violated at ({i}, {j}): {p} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absorption_rate_governs_the_cdf_tail() {
+        // Far in the tail, successive survival ratios approach λ.
+        let c = chain();
+        let qsd = QuasiStationary::of_chain(&c, 1e-13, 200_000).unwrap();
+        let at = AbsorptionTime::from_chain(&c, 1, 1, 2_000).unwrap();
+        let s1 = at.survival(1_500);
+        let s2 = at.survival(1_501);
+        if s1 > 1e-300 {
+            let ratio = s2 / s1;
+            assert!(
+                (ratio - qsd.eigenvalue()).abs() < 1e-3,
+                "tail ratio {ratio} vs eigenvalue {}",
+                qsd.eigenvalue()
+            );
+        }
+    }
+
+    #[test]
+    fn qsd_domain_projection_sums_to_one() {
+        let qsd = QuasiStationary::of_chain(&chain(), 1e-12, 200_000).unwrap();
+        let params = DomainParams::new(12, 0.05).unwrap();
+        let masses = qsd.mass_by_kind(&params);
+        let total: f64 = masses.iter().map(|&(_, m)| m).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(masses.len(), 5);
+        // Sorted descending.
+        for w in masses.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn occupation_total_matches_value_iteration() {
+        let c = chain();
+        let expect = c.expected_time_all_wrong().unwrap();
+        let occ = OccupationMeasure::from_chain(&c, 1, 1, 5_000).unwrap();
+        assert!(occ.absorbed_mass() > 0.999);
+        let total = occ.total_expected_rounds();
+        assert!(
+            (total - expect).abs() < 0.02 * expect,
+            "occupation total {total} vs value iteration {expect}"
+        );
+    }
+
+    #[test]
+    fn occupation_validates_start_and_horizon() {
+        let c = chain();
+        assert!(OccupationMeasure::from_chain(&c, 1, 0, 10).is_err());
+        assert!(OccupationMeasure::from_chain(&c, 99, 1, 10).is_err());
+        assert!(OccupationMeasure::from_chain(&c, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn occupation_is_nonnegative_with_no_absorbing_rounds() {
+        let c = chain();
+        let occ = OccupationMeasure::from_chain(&c, 1, 1, 2_000).unwrap();
+        for row in occ.matrix() {
+            for &r in row {
+                assert!(r >= 0.0);
+            }
+        }
+        assert_eq!(occ.matrix()[12][12], 0.0, "absorbing state is not transient");
+        // The start state is counted at least once (round 0).
+        assert!(occ.matrix()[1][1] >= 1.0);
+    }
+
+    #[test]
+    fn occupation_by_kind_partitions_the_total() {
+        let c = chain();
+        let occ = OccupationMeasure::from_chain(&c, 1, 1, 2_000).unwrap();
+        let params = DomainParams::new(12, 0.05).unwrap();
+        let kinds = occ.expected_rounds_by_kind(&params);
+        let sum: f64 = kinds.iter().map(|&(_, m)| m).sum();
+        assert!((sum - occ.total_expected_rounds()).abs() < 1e-9);
+        for w in kinds.windows(2) {
+            assert!(w[0].1 >= w[1].1, "not sorted descending");
+        }
+    }
+
+    #[test]
+    fn mode_is_a_transient_state() {
+        let qsd = QuasiStationary::of_chain(&chain(), 1e-12, 200_000).unwrap();
+        let (i, j, p) = qsd.mode();
+        assert!(p > 0.0);
+        assert!(j >= 1);
+        assert!(!(i == 12 && j == 12));
+    }
+}

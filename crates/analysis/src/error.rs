@@ -1,0 +1,57 @@
+//! Error type for the analysis crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `fet-analysis`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// A parameter was out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// An iterative solver failed to converge within its budget.
+    NoConvergence {
+        /// What was being solved.
+        what: &'static str,
+        /// Iterations spent.
+        iterations: u64,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+            AnalysisError::NoConvergence { what, iterations } => {
+                write!(f, "{what} did not converge within {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AnalysisError::InvalidParameter { name: "delta", detail: "must be < 1/2".into() };
+        assert!(e.to_string().contains("delta"));
+        let e = AnalysisError::NoConvergence { what: "hitting-time solve", iterations: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! # fet-analysis — the paper's proof machinery, executable
+//!
+//! Everything in the analysis of Theorem 1 that can be computed is computed
+//! here:
+//!
+//! * [`domains`] — the state-space partition of Figure 1a
+//!   (Green/Purple/Red/Cyan/Yellow over the grid `G = {0, 1/n, …, 1}²`) and
+//!   the Yellow′ sub-partition of Figure 2 (areas A/B/C), as total
+//!   classification functions.
+//! * [`drift`] — the drift function `g(x, y)` of Eq. (7) and the expected
+//!   next fraction of Observation 1 / Eq. (2).
+//! * [`fixed_point`] — the function `f(x)` of Claims 2–3: the unique fixed
+//!   point of `y ↦ g(x, y)` on `[x, x + 1/√ℓ]`, and the Claim 3 growth
+//!   margin used by Lemma 9.
+//! * [`markov`] — the exact Markov chain on `(ones_t, ones_{t+1})` for
+//!   small `n`: transition law from Observation 1, hitting times to the
+//!   absorbing consensus, cross-validation for Monte-Carlo results.
+//! * [`coins`] — numerical validation of the coin-competition lemmas
+//!   (12, 13, 14, 15) and Claim 10 over parameter grids.
+//! * [`claims`] — numerical checks of Claim 1 (monotonicity of
+//!   `y ↦ g(x,y) − y`) and Claim 2 (fixed-point uniqueness).
+//! * [`trace`] — classification of simulated trajectories into domain-visit
+//!   sequences: dwell times and transition statistics, i.e. the empirical
+//!   regeneration of Figure 1b.
+//!
+//! # Example
+//!
+//! Classify a state and query the drift there:
+//!
+//! ```
+//! use fet_analysis::domains::{DomainParams, Domain};
+//! use fet_analysis::drift::DriftField;
+//!
+//! let params = DomainParams::new(10_000, 0.05)?;
+//! // Strongly rising configuration → Green1.
+//! assert_eq!(params.classify(0.3, 0.6), Domain::Green1);
+//!
+//! let field = DriftField::new(10_000, 37)?;
+//! // In Green1 the expected next fraction is essentially 1.
+//! assert!(field.g(0.3, 0.6) > 0.99);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod claims;
+pub mod coins;
+pub mod density;
+pub mod domains;
+pub mod drift;
+pub mod error;
+pub mod fixed_point;
+pub mod markov;
+pub mod mean_field;
+pub mod trace;
+
+pub use error::AnalysisError;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::domains::{Domain, DomainKind, DomainParams, YellowArea};
+    pub use crate::density::{AbsorptionTime, OccupationMeasure, QuasiStationary};
+    pub use crate::drift::DriftField;
+    pub use crate::error::AnalysisError;
+    pub use crate::fixed_point::FixedPointSolver;
+    pub use crate::markov::ExactChain;
+    pub use crate::mean_field::MeanFieldMap;
+    pub use crate::trace::{DomainTrace, DwellStats};
+}

@@ -1,0 +1,309 @@
+//! The exact Markov chain on `(ones_t, ones_{t+1})` for small `n`.
+//!
+//! Observation 1 gives the exact conditional law of `ones_{t+2}`: with a
+//! single source holding 1, `j − 1` non-source agents holding 1 each keep
+//! it w.p. `p_≥ = P(B_ℓ(j/n) ≥ B_ℓ(i/n))` and `n − j` holders of 0 switch
+//! w.p. `p_> = P(B_ℓ(j/n) > B_ℓ(i/n))`, all independently. The next count
+//! is therefore `1 + Bin(j−1, p_≥) + Bin(n−j, p_>)`, whose PMF is an exact
+//! convolution — no sampling involved.
+//!
+//! [`ExactChain`] materializes this transition law for populations small
+//! enough to tabulate (`n ≤ 128` is comfortable: `(n+1)²` states with
+//! `n+1`-wide rows) and solves the expected hitting time of the absorbing
+//! consensus `(n, n)` by value iteration on
+//!
+//! ```text
+//! h(i, j) = 1 + Σ_k P(i, j → j, k) · h(j, k),     h(n, n) = 0.
+//! ```
+//!
+//! Experiment E14 pits these exact times against Monte-Carlo estimates from
+//! the simulation engine — the strongest cross-validation in the workspace:
+//! two independent codepaths (per-agent simulation vs. analytic transition
+//! law) must agree.
+
+use crate::error::AnalysisError;
+use fet_stats::binomial::Binomial;
+use fet_stats::compare::CoinCompetition;
+
+/// Exact FET chain for a single-source population of `n ≤ 128` agents
+/// (source holds opinion 1).
+#[derive(Debug, Clone)]
+pub struct ExactChain {
+    n: usize,
+    ell: u64,
+    /// `rows[i][j]` = PMF over `k` of `ones_{t+2}` given `(ones_t, ones_{t+1}) = (i, j)`,
+    /// for `j ≥ 1` (the source guarantees `ones ≥ 1`).
+    rows: Vec<Vec<Vec<f64>>>,
+}
+
+/// Hard cap on `n` for tabulation (memory/time grow as `n³`).
+pub const MAX_EXACT_N: u64 = 128;
+
+impl ExactChain {
+    /// Builds the exact transition law.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] when `n < 2`,
+    /// `n > MAX_EXACT_N`, or `ell == 0`.
+    pub fn new(n: u64, ell: u64) -> Result<Self, AnalysisError> {
+        if !(2..=MAX_EXACT_N).contains(&n) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "n",
+                detail: format!("need 2 ≤ n ≤ {MAX_EXACT_N}, got {n}"),
+            });
+        }
+        if ell == 0 {
+            return Err(AnalysisError::InvalidParameter {
+                name: "ell",
+                detail: "need ℓ ≥ 1".into(),
+            });
+        }
+        let nu = n as usize;
+        let mut rows = vec![vec![Vec::new(); nu + 1]; nu + 1];
+        for i in 0..=nu {
+            for j in 1..=nu {
+                rows[i][j] = next_count_pmf(nu, ell, i, j);
+            }
+        }
+        Ok(ExactChain { n: nu, ell, rows })
+    }
+
+    /// Population size.
+    pub fn n(&self) -> u64 {
+        self.n as u64
+    }
+
+    /// Half-sample size `ℓ`.
+    pub fn ell(&self) -> u64 {
+        self.ell
+    }
+
+    /// The PMF of `ones_{t+2}` from state `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i > n`, `j > n`, or `j == 0` (impossible with a
+    /// 1-holding source).
+    pub fn transition_pmf(&self, i: usize, j: usize) -> &[f64] {
+        assert!(i <= self.n && (1..=self.n).contains(&j), "invalid state ({i}, {j})");
+        &self.rows[i][j]
+    }
+
+    /// Expected hitting time of the absorbing state `(n, n)` from every
+    /// state, as `h[i][j]` (entries with `j = 0` are unreachable and set to
+    /// `NaN`). Solved by value iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoConvergence`] if the iteration fails to
+    /// reach the tolerance within `max_iters` sweeps.
+    pub fn hitting_times(
+        &self,
+        tolerance: f64,
+        max_iters: u64,
+    ) -> Result<Vec<Vec<f64>>, AnalysisError> {
+        let n = self.n;
+        let mut h = vec![vec![0.0f64; n + 1]; n + 1];
+        for _iter in 0..max_iters {
+            let mut max_delta = 0.0f64;
+            // Sweep in reverse j-order so states nearer consensus update
+            // first (Gauss–Seidel flavour: uses fresh values in-place).
+            for i in (0..=n).rev() {
+                for j in (1..=n).rev() {
+                    if i == n && j == n {
+                        continue; // absorbing
+                    }
+                    let pmf = &self.rows[i][j];
+                    let mut acc = 1.0;
+                    for (k, &p) in pmf.iter().enumerate() {
+                        if p > 0.0 && !(j == n && k == n) {
+                            acc += p * h[j][k];
+                        }
+                    }
+                    let delta = (acc - h[i][j]).abs();
+                    if delta > max_delta {
+                        max_delta = delta;
+                    }
+                    h[i][j] = acc;
+                }
+            }
+            if max_delta < tolerance {
+                for row in h.iter_mut() {
+                    row[0] = f64::NAN;
+                }
+                // j = 0 is unreachable; flag it rather than report 0.
+                return Ok(h);
+            }
+        }
+        Err(AnalysisError::NoConvergence { what: "hitting-time value iteration", iterations: max_iters })
+    }
+
+    /// Expected convergence time from the all-wrong start `(1, 1)` (only
+    /// the source holds 1 in two consecutive rounds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExactChain::hitting_times`] errors.
+    pub fn expected_time_all_wrong(&self) -> Result<f64, AnalysisError> {
+        let h = self.hitting_times(1e-10, 200_000)?;
+        Ok(h[1][1])
+    }
+
+    /// One exact distribution step: pushes a distribution over states
+    /// forward one round. `dist[i][j]` is the probability of being at
+    /// `(i, j)`. Used to compute convergence-probability profiles without
+    /// sampling.
+    pub fn push_distribution(&self, dist: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = self.n;
+        let mut next = vec![vec![0.0f64; n + 1]; n + 1];
+        for (i, row) in dist.iter().enumerate() {
+            for (j, &mass) in row.iter().enumerate() {
+                if mass <= 0.0 || j == 0 {
+                    continue;
+                }
+                let pmf = &self.rows[i][j];
+                for (k, &p) in pmf.iter().enumerate() {
+                    if p > 0.0 {
+                        next[j][k] += mass * p;
+                    }
+                }
+            }
+        }
+        next
+    }
+
+    /// Probability mass on the absorbing state `(n, n)` after `t` steps
+    /// starting from `(i0, j0)` — the exact CDF of the convergence time.
+    pub fn absorption_profile(&self, i0: usize, j0: usize, t_max: u64) -> Vec<f64> {
+        let n = self.n;
+        let mut dist = vec![vec![0.0f64; n + 1]; n + 1];
+        dist[i0][j0] = 1.0;
+        let mut out = Vec::with_capacity(t_max as usize + 1);
+        out.push(dist[n][n]);
+        for _ in 0..t_max {
+            dist = self.push_distribution(&dist);
+            out.push(dist[n][n]);
+        }
+        out
+    }
+}
+
+/// PMF of `1 + Bin(j−1, p_≥) + Bin(n−j, p_>)` over `k ∈ [0, n]`.
+fn next_count_pmf(n: usize, ell: u64, i: usize, j: usize) -> Vec<f64> {
+    let x_t = i as f64 / n as f64;
+    let x_t1 = j as f64 / n as f64;
+    let cc = CoinCompetition::new(ell, x_t, x_t1);
+    // The competition kernel accumulates O(ℓ) products; clamp the rounding
+    // residue (observed: 1.0 + 4·ε at ℓ = 14) before Binomial validation.
+    let p_gt = cc.p_second_wins().clamp(0.0, 1.0);
+    let p_geq = (p_gt + cc.p_tie()).min(1.0);
+    let a = Binomial::new((j - 1) as u64, p_geq).expect("valid prob").pmf_vector();
+    let b = Binomial::new((n - j) as u64, p_gt).expect("valid prob").pmf_vector();
+    // Convolve, then shift by 1 for the source.
+    let mut out = vec![0.0f64; n + 1];
+    for (u, &pa) in a.iter().enumerate() {
+        if pa == 0.0 {
+            continue;
+        }
+        for (v, &pb) in b.iter().enumerate() {
+            let k = 1 + u + v;
+            out[k] += pa * pb;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(ExactChain::new(1, 4).is_err());
+        assert!(ExactChain::new(500, 4).is_err());
+        assert!(ExactChain::new(16, 0).is_err());
+        assert!(ExactChain::new(16, 4).is_ok());
+    }
+
+    #[test]
+    fn rows_are_probability_vectors() {
+        let c = ExactChain::new(12, 5).unwrap();
+        for i in 0..=12 {
+            for j in 1..=12 {
+                let s: f64 = c.transition_pmf(i, j).iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "row ({i},{j}) sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn source_floor_is_respected() {
+        // ones_{t+2} ≥ 1 always: the source never leaves 1.
+        let c = ExactChain::new(10, 4).unwrap();
+        for i in 0..=10 {
+            for j in 1..=10 {
+                assert_eq!(c.transition_pmf(i, j)[0], 0.0, "state ({i},{j}) can reach 0");
+            }
+        }
+    }
+
+    #[test]
+    fn consensus_is_absorbing() {
+        let c = ExactChain::new(10, 4).unwrap();
+        let pmf = c.transition_pmf(10, 10);
+        assert!((pmf[10] - 1.0).abs() < 1e-12, "consensus must be absorbing: {pmf:?}");
+    }
+
+    #[test]
+    fn hitting_times_are_finite_and_zero_at_consensus() {
+        let c = ExactChain::new(12, 5).unwrap();
+        let h = c.hitting_times(1e-10, 200_000).unwrap();
+        assert_eq!(h[12][12], 0.0);
+        for i in 0..=12 {
+            for j in 1..=12 {
+                assert!(h[i][j].is_finite(), "h({i},{j}) not finite");
+                assert!(h[i][j] >= 0.0);
+            }
+        }
+        // A state with strong upward momentum (x_t low, x_{t+1} high →
+        // Green1 dynamics) converges much faster than the all-wrong start.
+        assert!(h[1][11] < h[1][1]);
+        // Perhaps surprisingly, near-consensus *without momentum* (11, 11)
+        // is NOT fast: on the diagonal the drift pulls back toward ½ (the
+        // Yellow mechanics), so consensus is reached via a Green sprint,
+        // not by inching along the diagonal. Just require finiteness and
+        // that momentum beats its absence.
+        assert!(h[1][11] < h[11][11]);
+    }
+
+    #[test]
+    fn absorption_profile_is_monotone_cdf() {
+        let c = ExactChain::new(10, 4).unwrap();
+        let prof = c.absorption_profile(1, 1, 400);
+        let mut prev = 0.0;
+        for (t, &p) in prof.iter().enumerate() {
+            assert!((0.0..=1.0 + 1e-12).contains(&p), "p({t}) = {p}");
+            assert!(p >= prev - 1e-12, "absorption mass decreased at {t}");
+            prev = p;
+        }
+        assert!(
+            *prof.last().unwrap() > 0.99,
+            "chain should be nearly absorbed: {}",
+            prof.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn expected_time_consistent_with_absorption_profile() {
+        // E[T] = Σ_{t≥0} (1 − P(T ≤ t)); truncate where mass ≈ 1.
+        let c = ExactChain::new(8, 4).unwrap();
+        let expect = c.expected_time_all_wrong().unwrap();
+        let prof = c.absorption_profile(1, 1, 3_000);
+        let series: f64 = prof.iter().map(|&p| 1.0 - p).sum();
+        assert!(
+            (expect - series).abs() < 0.05 * expect.max(1.0),
+            "value iteration {expect} vs profile sum {series}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Micro-benchmark: exact binomial sampling across size regimes
+//! (alias table vs beta-splitting), plus the hypergeometric split used by
+//! FET's sample partition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fet_stats::binomial::{sample_binomial, BinomialSampler};
+use fet_stats::hypergeometric::split_sample;
+use fet_stats::rng::SeedTree;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_sampler");
+    for &n in &[32u64, 1_000] {
+        let sampler = BinomialSampler::new(n, 0.37).unwrap();
+        group.bench_with_input(BenchmarkId::new("alias", n), &n, |b, _| {
+            let mut rng = SeedTree::new(1).child("alias").rng();
+            b.iter(|| sampler.sample(&mut rng))
+        });
+    }
+    for &n in &[100_000u64, 1_000_000_000] {
+        group.bench_with_input(BenchmarkId::new("beta_split", n), &n, |b, &n| {
+            let mut rng = SeedTree::new(2).child("beta").rng();
+            b.iter(|| sample_binomial(n, 0.37, &mut rng))
+        });
+    }
+    for &ell in &[16u64, 64] {
+        group.bench_with_input(BenchmarkId::new("hypergeometric_split", ell), &ell, |b, &ell| {
+            let mut rng = SeedTree::new(3).child("hyper").rng();
+            b.iter(|| split_sample(ell, ell, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

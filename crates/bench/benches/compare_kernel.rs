@@ -1,0 +1,22 @@
+//! Micro-benchmark: the coin-competition kernels that drive both the
+//! aggregate fidelity and the analysis crate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fet_stats::compare::{trend_probabilities, CoinCompetition};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compare_kernel");
+    for &k in &[16u64, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("trend_probabilities", k), &k, |b, &k| {
+            b.iter(|| trend_probabilities(k, 0.42, 0.47))
+        });
+        group.bench_with_input(BenchmarkId::new("difference_pmf", k), &k, |b, &k| {
+            let cc = CoinCompetition::new(k, 0.42, 0.47);
+            b.iter(|| cc.difference_pmf())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks for the topology substrate: graph generation cost and
+//! the per-round cost of neighbor-restricted sampling vs flat sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fet_core::config::ProblemSpec;
+use fet_core::fet::FetProtocol;
+use fet_core::opinion::Opinion;
+use fet_sim::engine::{Engine, Fidelity};
+use fet_sim::init::InitialCondition;
+use fet_stats::rng::SeedTree;
+use fet_topology::builders;
+use fet_topology::engine::TopologyEngine;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_generation");
+    for &n in &[1_000u32, 10_000] {
+        group.bench_with_input(BenchmarkId::new("erdos_renyi_m=16n", n), &n, |b, &n| {
+            let p = 32.0 / f64::from(n);
+            let mut rng = SeedTree::new(1).rng();
+            b.iter(|| builders::erdos_renyi(n, p, &mut rng).expect("valid"));
+        });
+        group.bench_with_input(BenchmarkId::new("random_regular_d=32", n), &n, |b, &n| {
+            let mut rng = SeedTree::new(2).rng();
+            b.iter(|| builders::random_regular(n, 32, &mut rng).expect("valid"));
+        });
+        group.bench_with_input(BenchmarkId::new("watts_strogatz_k=8", n), &n, |b, &n| {
+            let mut rng = SeedTree::new(3).rng();
+            b.iter(|| builders::watts_strogatz(n, 8, 0.1, &mut rng).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_round");
+    let n = 2_000u32;
+    group.bench_function("flat_engine_agent_fidelity", |b| {
+        let protocol = FetProtocol::for_population(u64::from(n), 4.0).expect("valid");
+        let spec = ProblemSpec::single_source(u64::from(n), Opinion::One).expect("valid");
+        let mut engine =
+            Engine::new(protocol, spec, Fidelity::Agent, InitialCondition::Random, 5)
+                .expect("valid");
+        b.iter(|| engine.step());
+    });
+    group.bench_function("topology_engine_complete", |b| {
+        let protocol = FetProtocol::for_population(u64::from(n), 4.0).expect("valid");
+        let graph = builders::complete(n).expect("valid");
+        let mut engine = TopologyEngine::new(
+            protocol,
+            graph,
+            1,
+            Opinion::One,
+            InitialCondition::Random,
+            7,
+        )
+        .expect("valid");
+        b.iter(|| engine.step());
+    });
+    group.bench_function("topology_engine_regular_d32", |b| {
+        let protocol = FetProtocol::for_population(u64::from(n), 4.0).expect("valid");
+        let mut rng = SeedTree::new(9).rng();
+        let graph = builders::random_regular(n, 32, &mut rng).expect("valid");
+        let mut engine = TopologyEngine::new(
+            protocol,
+            graph,
+            1,
+            Opinion::One,
+            InitialCondition::Random,
+            11,
+        )
+        .expect("valid");
+        b.iter(|| engine.step());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E13 — **the "bounce"** (§2.2, Lemma 4 narrative).
+//!
+//! A single trajectory from the all-wrong consensus, rendered round by
+//! round. Shape to match: `x_t` grows by a *multiplicative* (≈ `K·log n`)
+//! factor per round while in Cyan1 — a straight line on a log-scale chart —
+//! then jumps through Purple/Green to consensus in O(1) further rounds.
+
+use fet_analysis::domains::DomainParams;
+use fet_analysis::trace::DomainTrace;
+use fet_bench::{Harness, ROOT_SEED};
+use fet_core::config::ProblemSpec;
+use fet_core::opinion::Opinion;
+use fet_plot::chart::{Axis, LineChart, Series};
+use fet_plot::csv::CsvWriter;
+use fet_plot::table::Table;
+use fet_sim::aggregate::AggregateFetChain;
+use fet_sim::convergence::ConvergenceCriterion;
+
+fn main() {
+    let h = Harness::from_args();
+    h.banner(
+        "E13 exp_bounce",
+        "§2.2 'bouncing' narrative / Lemma 4",
+        "x_t multiplies by ~K·log n per round through Cyan1, then exits via Purple/Green to 1",
+    );
+
+    let n: u64 = 1 << 20;
+    let ell = (4.0 * (n as f64).ln()).ceil() as u32;
+    let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
+    let params = DomainParams::new(n, 0.05).expect("valid");
+
+    let mut chain = AggregateFetChain::all_wrong(spec, ell, ROOT_SEED ^ 0xB0).expect("valid");
+    let budget = (500.0 * (n as f64).ln().powf(2.5)).ceil() as u64;
+    let (report, traj) = chain.run_recording(budget, ConvergenceCriterion::new(2));
+    let trace = DomainTrace::from_trajectory(&params, &traj);
+
+    println!(
+        "\nn = {n}, ℓ = {ell}; converged at round {:?} (trajectory length {})\n",
+        report.converged_at,
+        traj.len()
+    );
+
+    let mut table = Table::new(
+        ["t", "x_t", "growth x_{t+1}/x_t", "domain of (x_t, x_{t+1})"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let mut csv =
+        CsvWriter::create(h.csv_path("e13_bounce.csv"), &["t", "x", "growth", "domain"])
+            .expect("csv");
+    let show = traj.len().min(40);
+    for t in 0..show - 1 {
+        let growth = if traj[t] > 0.0 { traj[t + 1] / traj[t] } else { f64::NAN };
+        let domain = trace.per_round()[t].to_string();
+        table.add_row(vec![
+            t.to_string(),
+            format!("{:.3e}", traj[t]),
+            format!("{growth:.2}"),
+            domain.clone(),
+        ]);
+        csv.write_record(&[
+            t.to_string(),
+            traj[t].to_string(),
+            growth.to_string(),
+            domain,
+        ])
+        .expect("row");
+    }
+    csv.flush().expect("flush");
+    print!("{table}");
+
+    println!(
+        "\nexpected per-round Cyan growth ≈ K·log n with K = c·e^{{-2c}}/2 (Claim 4);\nhere log n = {:.1}",
+        (n as f64).ln()
+    );
+
+    let points: Vec<(f64, f64)> = traj
+        .iter()
+        .enumerate()
+        .take(show)
+        .filter(|(_, &x)| x > 0.0)
+        .map(|(t, &x)| (t as f64, x))
+        .collect();
+    let mut chart = LineChart::new(60, 18);
+    chart.title("E13: the bounce — x_t from all-wrong start (log-y)");
+    chart.axes(Axis::Linear, Axis::Log10);
+    chart.add_series(Series::new("x_t", '*', points));
+    println!("\n{chart}");
+
+    println!("visit sequence:");
+    for v in trace.visits() {
+        println!("  {:>8} rounds in {}", v.dwell, v.domain);
+    }
+    println!("\nCSV: {}", h.csv_path("e13_bounce.csv").display());
+}

@@ -1,0 +1,157 @@
+//! E19 — **honest conflicting sources**: the average case of the §1.2
+//! impossibility.
+//!
+//! The paper proves majority bit-dissemination is impossible for passive
+//! protocols in the *worst case* (an adversary pins all public opinions
+//! and copies internal states; observations become unanimous and carry no
+//! information — E6 reproduces that construction). This experiment asks
+//! the complementary average-case question with **honest** conflicting
+//! stubborn emitters: `k₀` agents always display 0, `k₁` always display 1,
+//! everyone else runs the protocol from a benign random start. No
+//! adversarial pinning, full trend information. Can FET at least follow
+//! the stubborn majority?
+//!
+//! **Measured shape — no.** The occupancy response in the majority ratio
+//! `k₁/(k₀+k₁)` is a *shallow tilt*, not a sigmoid: even 7:1 majorities
+//! leave the time-averaged `x̄` near ½, with excursions spanning nearly
+//! the whole feasible range. FET amplifies trends, and its own bounce
+//! mechanism (the engine of self-stabilization, Lemma 4) repeatedly
+//! flings the population off either near-consensus. In sharp contrast,
+//! *level-following* majority dynamics under the identical setup snaps to
+//! the stubborn majority and stays (response ≈ step function) — but
+//! majority dynamics is not self-stabilizing for the paper's single-source
+//! problem (E7). The two protocols fail the two problems in opposite
+//! directions: trend-following buys self-stabilization at the price of
+//! level information; level-following buys majority-tracking at the price
+//! of source sensitivity.
+
+use fet_adversary::conflict::ConflictEngine;
+use fet_bench::{Harness, ROOT_SEED};
+use fet_core::fet::FetProtocol;
+use fet_core::protocol::Protocol;
+use fet_plot::chart::{Axis, LineChart, Series};
+use fet_plot::csv::CsvWriter;
+use fet_plot::table::Table;
+use fet_protocols::majority::MajorityProtocol;
+use fet_sim::batch::parallel_map;
+use fet_stats::rng::SeedTree;
+
+/// Seed-averaged occupancy for one configuration of one protocol.
+fn occupancy<P, F>(
+    make: F,
+    n: u64,
+    k0: u64,
+    k1: u64,
+    reps: u64,
+    label: &str,
+) -> (f64, f64, f64)
+where
+    P: Protocol + Clone + Send + Sync,
+    P::State: Send,
+    F: Fn() -> P + Sync,
+{
+    let indices: Vec<u64> = (0..reps).collect();
+    let outs: Vec<(f64, f64, f64)> = parallel_map(&indices, 8, |&rep| {
+        let seed = SeedTree::new(ROOT_SEED)
+            .child("e19")
+            .child(label)
+            .child_indexed("k1", k1)
+            .child_indexed("rep", rep)
+            .seed();
+        let mut engine =
+            ConflictEngine::new(make(), n, k0, k1, 0.5, seed).expect("valid configuration");
+        let out = engine.run_measure(500, 2_000);
+        (out.mean_x, out.min_x, out.max_x)
+    });
+    let r = reps as f64;
+    (
+        outs.iter().map(|o| o.0).sum::<f64>() / r,
+        outs.iter().map(|o| o.1).sum::<f64>() / r,
+        outs.iter().map(|o| o.2).sum::<f64>() / r,
+    )
+}
+
+fn main() {
+    let h = Harness::from_args();
+    h.banner(
+        "E19 exp_conflict",
+        "average-case majority bit-dissemination under honest conflicting sources",
+        "FET: shallow tilt + full-range oscillation; majority dynamics: step-function capture",
+    );
+
+    let n: u64 = h.size(2_000, 500);
+    let reps: u64 = h.size(24, 6);
+    let stubborn_total: u64 = n / 10; // 10% of the population is stubborn
+    let ell: u32 = (4.0 * (n as f64).ln()).ceil() as u32;
+
+    println!(
+        "\nn = {n}, stubborn = {stubborn_total} (10%), ℓ = {ell}, reps = {reps}, \
+         burn-in 500 + window 2000 rounds\n"
+    );
+
+    let ratios: &[f64] = &[0.5, 0.55, 0.6, 0.7, 0.8, 0.875, 0.95, 1.0];
+
+    let mut table = Table::new(
+        ["k1/(k0+k1)", "FET x̄", "FET [min,max]", "majority x̄", "majority [min,max]"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let mut csv = CsvWriter::create(
+        h.csv_path("e19_conflict.csv"),
+        &["ratio", "fet_mean", "fet_min", "fet_max", "maj_mean", "maj_min", "maj_max"],
+    )
+    .expect("csv");
+
+    let mut fet_pts = Vec::new();
+    let mut maj_pts = Vec::new();
+    for &ratio in ratios {
+        let k1 = ((stubborn_total as f64) * ratio).round() as u64;
+        let k0 = stubborn_total - k1;
+        let (fx, fmin, fmax) =
+            occupancy(|| FetProtocol::new(ell).expect("ℓ ≥ 1"), n, k0, k1, reps, "fet");
+        let (mx, mmin, mmax) = occupancy(
+            || MajorityProtocol::new(ell).expect("ℓ ≥ 1"),
+            n,
+            k0,
+            k1,
+            reps,
+            "majority",
+        );
+        table.add_row(vec![
+            format!("{ratio:.3}"),
+            format!("{fx:.3}"),
+            format!("[{fmin:.2},{fmax:.2}]"),
+            format!("{mx:.3}"),
+            format!("[{mmin:.2},{mmax:.2}]"),
+        ]);
+        csv.write_record(&[
+            ratio.to_string(),
+            fx.to_string(),
+            fmin.to_string(),
+            fmax.to_string(),
+            mx.to_string(),
+            mmin.to_string(),
+            mmax.to_string(),
+        ])
+        .expect("row");
+        fet_pts.push((ratio, fx));
+        maj_pts.push((ratio, mx));
+    }
+    print!("{table}");
+
+    let mut chart = LineChart::new(60, 14);
+    chart.title("E19: long-run occupancy x̄ vs stubborn majority ratio".to_string());
+    chart.axes(Axis::Linear, Axis::Linear);
+    chart.add_series(Series::new("FET (trend-following)", 'f', fet_pts));
+    chart.add_series(Series::new("majority (level-following)", 'm', maj_pts));
+    println!("\n{chart}");
+    println!(
+        "reading: the FET curve staying near ½ with [min,max] spanning the feasible\n\
+         range is the average-case impossibility: trend-following cannot hold a\n\
+         level. Majority dynamics snaps to the stubborn majority (step at ratio ½)\n\
+         but fails the paper's single-source problem (E7) — opposite trade-offs."
+    );
+    csv.flush().expect("flush");
+    println!("CSV: {}", h.csv_path("e19_conflict.csv").display());
+}

@@ -1,0 +1,170 @@
+//! E10 — **Observation 1 / Eq. (2)**: the drift law and the fidelity tower.
+//!
+//! Validates that three independent codepaths agree on `E[x_{t+2}]` at
+//! selected states: (a) the closed form `g(x, y)` of Eq. (7); (b) the
+//! exact aggregate chain's Monte-Carlo mean; (c) the literal agent-level
+//! engine's Monte-Carlo mean. Shape to match: agreement within Monte-Carlo
+//! error everywhere — this is the workspace's central cross-validation.
+//!
+//! A fourth column runs the engine with **without-replacement** sampling
+//! ([`Fidelity::WithoutReplacement`]), a deliberate model variation. The
+//! hypergeometric count has the same mean and `(n−m)/(n−1)`-shrunk
+//! variance, so its drift should track Eq. (7) closely but not exactly —
+//! quantifying how little the paper's with-replacement assumption costs.
+
+use fet_bench::{Harness, ROOT_SEED};
+use fet_core::config::ProblemSpec;
+use fet_core::fet::{FetProtocol, FetState};
+use fet_core::opinion::Opinion;
+use fet_analysis::drift::DriftField;
+use fet_plot::csv::CsvWriter;
+use fet_plot::table::Table;
+use fet_sim::aggregate::AggregateFetChain;
+use fet_sim::engine::{Engine, Fidelity};
+use fet_stats::binomial::sample_binomial;
+use fet_stats::rng::SeedTree;
+
+fn main() {
+    let h = Harness::from_args();
+    h.banner(
+        "E10 exp_drift",
+        "Observation 1 / Eq. (2) / Eq. (7)",
+        "closed form, aggregate chain, and agent-level engine agree on E[x_{t+2}] within MC error",
+    );
+
+    let n: u64 = 2_000;
+    let ell: u32 = 30;
+    let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
+    let field = DriftField::new(n, u64::from(ell)).expect("valid");
+    let reps_agg = h.size(4_000u64, 500);
+    let reps_agent = h.size(300u64, 50);
+
+    let states = [
+        (0.10, 0.12),
+        (0.30, 0.32),
+        (0.50, 0.50),
+        (0.50, 0.55),
+        (0.70, 0.65),
+        (0.95, 0.97),
+    ];
+
+    let mut table = Table::new(
+        ["(x_t, x_{t+1})", "Eq.(7) g", "aggregate MC", "agent MC", "w/o-repl MC", "max |Δ|"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let mut csv = CsvWriter::create(
+        h.csv_path("e10_drift.csv"),
+        &["x0", "x1", "closed_form", "aggregate_mc", "agent_mc", "wo_repl_mc"],
+    )
+    .expect("csv");
+
+    for &(x0, x1) in &states {
+        let g = field.g(x0, x1);
+        let ones0 = ((x0 * n as f64).round() as u64).max(1);
+        let ones1 = ((x1 * n as f64).round() as u64).max(1);
+        // (b) aggregate chain MC.
+        let mut acc = 0.0;
+        for rep in 0..reps_agg {
+            let seed = SeedTree::new(ROOT_SEED)
+                .child("e10-agg")
+                .child_indexed("rep", rep)
+                .seed()
+                ^ x0.to_bits();
+            let mut chain = AggregateFetChain::new(spec, ell, ones0, ones1, seed).expect("valid");
+            chain.step();
+            acc += chain.fractions().1;
+        }
+        let agg_mc = acc / reps_agg as f64;
+        // (c) agent-level engine MC. Build a population whose current
+        // opinions realize x1 and whose stale counts are the *conditional*
+        // distribution given x0: count″ ~ Binomial(ℓ, x0) independently.
+        let mut acc2 = 0.0;
+        for rep in 0..reps_agent {
+            let tree = SeedTree::new(ROOT_SEED)
+                .child("e10-agent")
+                .child_indexed("rep", rep);
+            let mut rng = tree.child("init").rng();
+            let protocol = FetProtocol::new(ell).expect("ℓ ≥ 1");
+            let non_sources = (n - 1) as usize;
+            let ones_needed = (ones1 - 1) as usize; // source supplies one 1
+            let states_vec: Vec<FetState> = (0..non_sources)
+                .map(|i| FetState {
+                    opinion: if i < ones_needed { Opinion::One } else { Opinion::Zero },
+                    prev_count_second_half: sample_binomial(u64::from(ell), x0, &mut rng) as u32,
+                })
+                .collect();
+            let mut engine = Engine::from_states(
+                protocol,
+                spec,
+                Fidelity::Agent,
+                states_vec,
+                tree.child("engine").seed(),
+            )
+            .expect("valid");
+            engine.step();
+            acc2 += engine.fraction_ones();
+        }
+        let agent_mc = acc2 / reps_agent as f64;
+        // (d) without-replacement model variation: same conditional start,
+        // hypergeometric observation counts.
+        let mut acc3 = 0.0;
+        for rep in 0..reps_agent {
+            let tree = SeedTree::new(ROOT_SEED)
+                .child("e10-noreplace")
+                .child_indexed("rep", rep);
+            let mut rng = tree.child("init").rng();
+            let protocol = FetProtocol::new(ell).expect("ℓ ≥ 1");
+            let non_sources = (n - 1) as usize;
+            let ones_needed = (ones1 - 1) as usize;
+            let states_vec: Vec<FetState> = (0..non_sources)
+                .map(|i| FetState {
+                    opinion: if i < ones_needed { Opinion::One } else { Opinion::Zero },
+                    prev_count_second_half: sample_binomial(u64::from(ell), x0, &mut rng) as u32,
+                })
+                .collect();
+            let mut engine = Engine::from_states(
+                protocol,
+                spec,
+                Fidelity::WithoutReplacement,
+                states_vec,
+                tree.child("engine").seed(),
+            )
+            .expect("valid");
+            engine.step();
+            acc3 += engine.fraction_ones();
+        }
+        let noreplace_mc = acc3 / reps_agent as f64;
+        let max_delta = (g - agg_mc).abs().max((g - agent_mc).abs());
+        table.add_row(vec![
+            format!("({x0:.2}, {x1:.2})"),
+            format!("{g:.5}"),
+            format!("{agg_mc:.5}"),
+            format!("{agent_mc:.5}"),
+            format!("{noreplace_mc:.5}"),
+            format!("{max_delta:.5}"),
+        ]);
+        csv.write_record(&[
+            x0.to_string(),
+            x1.to_string(),
+            g.to_string(),
+            agg_mc.to_string(),
+            agent_mc.to_string(),
+            noreplace_mc.to_string(),
+        ])
+        .expect("row");
+    }
+    csv.flush().expect("flush");
+
+    println!("\nn = {n}, ℓ = {ell}; aggregate reps {reps_agg}, agent reps {reps_agent}\n");
+    print!("{table}");
+    println!(
+        "\nreading: the standard error of the MC columns is ≈ σ/√reps ≲ 0.01/√reps per
+state; max |Δ| at that scale confirms Observation 1 end-to-end (type-level
+passive observation → literal sampling → binomial shortcut → closed form).
+The w/o-repl column is a *different model* (hypergeometric counts): its
+closeness to g is a robustness statement, not a consistency check."
+    );
+    println!("\nCSV: {}", h.csv_path("e10_drift.csv").display());
+}

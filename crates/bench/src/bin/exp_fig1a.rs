@@ -1,0 +1,87 @@
+//! E2 — **Figure 1a**: the state-space domain partition.
+//!
+//! Regenerates the published partition of the grid `G` into
+//! Green/Purple/Red/Cyan/Yellow as a categorical terminal map plus CSV, and
+//! overlays the drift field `g(x, y) − y` as a heatmap so the geometry can
+//! be read against the dynamics it encodes. Shape to match: the published
+//! figure's layout — Green filling the off-diagonal wedges, Yellow the
+//! central diagonal band, Purple flanking the diagonal away from the
+//! center, Red thin slivers below the diagonal, Cyan the corners.
+
+use fet_analysis::domains::{Domain, DomainParams};
+use fet_analysis::drift::DriftField;
+use fet_bench::Harness;
+use fet_plot::csv::CsvWriter;
+use fet_plot::heatmap::{CategoricalMap, Heatmap};
+use fet_plot::table::Table;
+
+fn main() {
+    let h = Harness::from_args();
+    h.banner(
+        "E2 exp_fig1a",
+        "Figure 1a (domain partition of G)",
+        "published geometry: Green wedges, Yellow diagonal band, Purple flanks, Red slivers, Cyan corners",
+    );
+
+    let n: u64 = 10_000;
+    let delta = 0.05;
+    let steps = h.size(120usize, 48);
+    let params = DomainParams::new(n, delta).expect("valid params");
+
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(steps);
+    let mut counts = std::collections::BTreeMap::new();
+    let mut csv = CsvWriter::create(h.csv_path("e2_fig1a_domains.csv"), &["x", "y", "domain"])
+        .expect("csv");
+    for j in 0..steps {
+        let y = j as f64 / (steps - 1) as f64;
+        let mut row = Vec::with_capacity(steps);
+        for i in 0..steps {
+            let x = i as f64 / (steps - 1) as f64;
+            let d = params.classify(x, y);
+            *counts.entry(d).or_insert(0u64) += 1;
+            row.push(d.to_string());
+            csv.write_record(&[format!("{x:.4}"), format!("{y:.4}"), d.to_string()])
+                .expect("csv row");
+        }
+        cells.push(row);
+    }
+    csv.flush().expect("flush");
+
+    let mut map = CategoricalMap::new(cells);
+    map.title(format!(
+        "Figure 1a: domains over (x_t, x_{{t+1}}), n = {n}, δ = {delta} (y grows upward)"
+    ));
+    println!("{}", map.render_flipped());
+
+    let mut table = Table::new(vec!["domain".into(), "grid cells".into(), "area share".into()]);
+    let total: u64 = counts.values().sum();
+    for d in Domain::all() {
+        let c = counts.get(&d).copied().unwrap_or(0);
+        table.add_row(vec![
+            d.to_string(),
+            c.to_string(),
+            format!("{:.4}", c as f64 / total as f64),
+        ]);
+    }
+    println!("{table}");
+
+    // Drift overlay: |g(x,y) − y| shows where the chain moves fast.
+    let ell = (4.0 * (n as f64).ln()).ceil() as u64;
+    let field = DriftField::new(n, ell).expect("valid field");
+    let drift_steps = h.size(60usize, 30);
+    let grid: Vec<Vec<f64>> = (0..drift_steps)
+        .map(|j| {
+            let y = j as f64 / (drift_steps - 1) as f64;
+            (0..drift_steps)
+                .map(|i| {
+                    let x = i as f64 / (drift_steps - 1) as f64;
+                    field.drift(x, y).abs()
+                })
+                .collect()
+        })
+        .collect();
+    let mut hm = Heatmap::new(grid);
+    hm.title(format!("|g(x,y) − y| drift magnitude, ℓ = {ell} (dark = fast)"));
+    println!("{}", hm.render_flipped());
+    println!("CSV: {}", h.csv_path("e2_fig1a_domains.csv").display());
+}

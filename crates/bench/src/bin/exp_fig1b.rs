@@ -1,0 +1,184 @@
+//! E3 — **Figure 1b**: the empirical domain-transition diagram.
+//!
+//! Figure 1b sketches the proof as an automaton: which domain hands off to
+//! which, with per-domain dwell bounds. We regenerate it empirically by
+//! running many FET trajectories (exact aggregate law) started across the
+//! whole grid, classifying every round into its Figure 1a domain, and
+//! tabulating dwell times and exit destinations. Shapes to match (source
+//! holds 1):
+//!
+//! * Purple1 exits to Green1 essentially always, after ≈ 1 round (Lemma 2);
+//! * Green0 leads to Cyan1 (via the all-zero crash; Theorem 1's proof);
+//! * Cyan1 exits to Green1 ∪ Purple1 (Lemma 4) within `log n / log log n`;
+//! * Red dwells ≤ `log^{1/2+2δ} n` (Lemma 3) and never exits into Yellow;
+//! * Yellow has by far the largest dwell times, bounded by `O(log^{5/2} n)`
+//!   (Lemma 5).
+
+use fet_analysis::domains::{Domain, DomainParams};
+use fet_analysis::trace::{DomainTrace, DwellStats};
+use fet_bench::{Harness, ROOT_SEED};
+use fet_core::config::ProblemSpec;
+use fet_core::opinion::Opinion;
+use fet_plot::csv::CsvWriter;
+use fet_plot::table::{fmt_float, Table};
+use fet_sim::aggregate::AggregateFetChain;
+use fet_sim::convergence::ConvergenceCriterion;
+use fet_stats::rng::SeedTree;
+
+fn main() {
+    let h = Harness::from_args();
+    h.banner(
+        "E3 exp_fig1b",
+        "Figure 1b (proof-sketch transition diagram)",
+        "Purple→Green in ~1 round; Cyan→{Green,Purple}; Red short and never →Yellow; Yellow dominates dwell",
+    );
+
+    let n: u64 = 100_000;
+    let delta = 0.05;
+    let ell = (4.0 * (n as f64).ln()).ceil() as u32;
+    let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
+    let params = DomainParams::new(n, delta).expect("valid");
+    let grid_starts = h.size(12u64, 6);
+    let reps_per_start = h.size(10u64, 3);
+    let max_rounds = (500.0 * (n as f64).ln().powf(2.5)).ceil() as u64;
+
+    let mut stats = DwellStats::new();
+    let mut runs = 0u64;
+    for i in 0..grid_starts {
+        for j in 0..grid_starts {
+            // Spread initial pairs across the grid interior.
+            let x0 = (i as f64 + 0.5) / grid_starts as f64;
+            let x1 = (j as f64 + 0.5) / grid_starts as f64;
+            let ones0 = ((x0 * n as f64) as u64).clamp(1, n);
+            let ones1 = ((x1 * n as f64) as u64).clamp(1, n);
+            for rep in 0..reps_per_start {
+                let seed = SeedTree::new(ROOT_SEED)
+                    .child("e3")
+                    .child_indexed("i", i)
+                    .child_indexed("j", j)
+                    .child_indexed("rep", rep)
+                    .seed();
+                let mut chain =
+                    AggregateFetChain::new(spec, ell, ones0, ones1, seed).expect("valid");
+                let (_, traj) = chain.run_recording(max_rounds, ConvergenceCriterion::new(2));
+                stats.absorb(&DomainTrace::from_trajectory(&params, &traj));
+                runs += 1;
+            }
+        }
+    }
+    println!("\naggregated over {runs} runs at n = {n}, ℓ = {ell}, δ = {delta}\n");
+
+    // Dwell table with the paper's per-domain bounds.
+    let log_n = (n as f64).ln();
+    let bound_of = |d: Domain| -> String {
+        match d.kind() {
+            fet_analysis::domains::DomainKind::Green => "1 (Lemma 1)".into(),
+            fet_analysis::domains::DomainKind::Purple => "1 (Lemma 2)".into(),
+            fet_analysis::domains::DomainKind::Red => {
+                format!("{:.1} (Lemma 3: log^{{1/2+2δ}} n)", log_n.powf(0.5 + 2.0 * delta))
+            }
+            fet_analysis::domains::DomainKind::Cyan => {
+                format!("{:.1} (Lemma 4: log n / log log n)", log_n / log_n.ln())
+            }
+            fet_analysis::domains::DomainKind::Yellow => {
+                format!("{:.0} (Lemma 5: O(log^{{5/2}} n))", log_n.powf(2.5))
+            }
+        }
+    };
+    let mut table = Table::new(
+        ["domain", "visits", "mean dwell", "max dwell", "paper bound (rounds)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let mut csv = CsvWriter::create(
+        h.csv_path("e3_fig1b_dwell.csv"),
+        &["domain", "visits", "mean_dwell", "max_dwell"],
+    )
+    .expect("csv");
+    for d in Domain::all() {
+        let visits = stats.visits(d);
+        if visits == 0 {
+            continue;
+        }
+        let mean = stats.mean_dwell(d).unwrap_or(0.0);
+        let max = stats.max_dwell(d).unwrap_or(0);
+        table.add_row(vec![
+            d.to_string(),
+            visits.to_string(),
+            fmt_float(mean),
+            max.to_string(),
+            bound_of(d),
+        ]);
+        csv.write_record(&[
+            d.to_string(),
+            visits.to_string(),
+            mean.to_string(),
+            max.to_string(),
+        ])
+        .expect("row");
+    }
+    csv.flush().expect("flush");
+    println!("{table}");
+
+    // Transition table: the arrows of Figure 1b.
+    let mut trans = Table::new(
+        ["from", "to", "share of exits"].iter().map(|s| s.to_string()).collect(),
+    );
+    let mut csv2 = CsvWriter::create(
+        h.csv_path("e3_fig1b_transitions.csv"),
+        &["from", "to", "share"],
+    )
+    .expect("csv");
+    for d in Domain::all() {
+        let mut exits = stats.exit_distribution(d);
+        exits.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (to, share) in exits {
+            if share < 0.005 {
+                continue;
+            }
+            trans.add_row(vec![d.to_string(), to.to_string(), format!("{share:.3}")]);
+            csv2.write_record(&[d.to_string(), to.to_string(), share.to_string()])
+                .expect("row");
+        }
+    }
+    csv2.flush().expect("flush");
+    println!("{trans}");
+
+    // Headline shape checks.
+    let purple_to_green = stats.transition(Domain::Purple1, Domain::Green1) as f64;
+    let purple_exits: f64 = stats
+        .exit_distribution(Domain::Purple1)
+        .iter()
+        .map(|(_, s)| s)
+        .sum::<f64>()
+        .max(1e-9);
+    let _ = purple_exits;
+    let purple_total: u64 = Domain::all()
+        .iter()
+        .map(|&to| stats.transition(Domain::Purple1, to))
+        .sum();
+    if purple_total > 0 {
+        println!(
+            "Purple1 → Green1 share: {:.3} (Lemma 2 predicts ≈ 1)",
+            purple_to_green / purple_total as f64
+        );
+    }
+    let cyan_exits = stats.exit_distribution(Domain::Cyan1);
+    let cyan_good: f64 = cyan_exits
+        .iter()
+        .filter(|(to, _)| matches!(to, Domain::Green1 | Domain::Purple1))
+        .map(|(_, s)| s)
+        .sum();
+    if !cyan_exits.is_empty() {
+        println!("Cyan1 → Green1 ∪ Purple1 share: {cyan_good:.3} (Lemma 4 predicts ≈ 1)");
+    }
+    let red_to_yellow: u64 = stats.transition(Domain::Red1, Domain::Yellow)
+        + stats.transition(Domain::Red0, Domain::Yellow);
+    println!("Red → Yellow transitions: {red_to_yellow} (Lemma 3 predicts 0)");
+    println!(
+        "\nCSV: {} and {}",
+        h.csv_path("e3_fig1b_dwell.csv").display(),
+        h.csv_path("e3_fig1b_transitions.csv").display()
+    );
+}

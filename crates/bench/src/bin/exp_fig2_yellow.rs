@@ -1,0 +1,215 @@
+//! E4 — **Figure 2 + Lemmas 7–11**: inside the Yellow′ square.
+//!
+//! Regenerates the A/B/C partition of `Yellow′ = [1/2−4δ, 1/2+4δ]²` and
+//! validates the per-area mechanics with the exact aggregate law:
+//!
+//! * **Area A (Lemma 7)**: with probability bounded below, the speed
+//!   `|x_{t+2} − x_{t+1}|` *doubles* while staying in `A ∪ (outside
+//!   Yellow′)` — measured per starting speed.
+//! * **Area B (Lemma 9)**: either the distance to ½ grows by the factor
+//!   `(1 + c₄/√ℓ)` or the chain leaves B with constant probability.
+//! * **Area C (Lemma 11)**: within 2 rounds the chain reaches
+//!   `A ∪ (outside Yellow′)` with constant probability.
+
+use fet_analysis::domains::{DomainParams, YellowArea};
+use fet_bench::{Harness, ROOT_SEED};
+use fet_core::config::ProblemSpec;
+use fet_core::opinion::Opinion;
+use fet_plot::csv::CsvWriter;
+use fet_plot::heatmap::CategoricalMap;
+use fet_plot::table::Table;
+use fet_sim::aggregate::AggregateFetChain;
+use fet_stats::rng::SeedTree;
+
+fn main() {
+    let h = Harness::from_args();
+    h.banner(
+        "E4 exp_fig2_yellow",
+        "Figure 2 (Yellow' partition) and Lemmas 7–11",
+        "A doubles speed w.p. Ω(1); B grows |x−1/2| by (1+c4/√ℓ) or exits; C reaches A within 2 rounds w.p. Ω(1)",
+    );
+
+    let n: u64 = 1_000_000;
+    let delta = 0.05;
+    let ell = (4.0 * (n as f64).ln()).ceil() as u32;
+    let params = DomainParams::new(n, delta).expect("valid");
+    let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
+    let reps = h.size(4_000u64, 500);
+
+    // --- Figure 2 map.
+    let steps = h.size(60usize, 30);
+    let lo = 0.5 - 4.0 * delta;
+    let hi = 0.5 + 4.0 * delta;
+    let cells: Vec<Vec<String>> = (0..steps)
+        .map(|j| {
+            let y = lo + (hi - lo) * j as f64 / (steps - 1) as f64;
+            (0..steps)
+                .map(|i| {
+                    let x = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+                    params
+                        .classify_yellow_area(x, y)
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|| "out".to_string())
+                })
+                .collect()
+        })
+        .collect();
+    let mut map = CategoricalMap::new(cells);
+    map.title(format!("Figure 2: Yellow' areas, δ = {delta} (y grows upward)"));
+    println!("{}", map.render_flipped());
+
+    let to_counts = |x: f64| ((x * n as f64).round() as u64).clamp(1, n);
+
+    // --- Lemma 7 (area A): speed doubling probability by starting speed.
+    println!("Lemma 7 — area A speed doubling (exact aggregate law):\n");
+    let mut table_a = Table::new(
+        ["start (x_t, x_{t+1})", "speed", "P[speed doubles ∧ stays A/escapes]", "reps"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let mut csv = CsvWriter::create(
+        h.csv_path("e4_lemma7_areaA.csv"),
+        &["x0", "x1", "speed", "p_double", "reps"],
+    )
+    .expect("csv");
+    for (x0, x1) in [(0.5, 0.505), (0.5, 0.51), (0.51, 0.53), (0.5, 0.52)] {
+        debug_assert_eq!(params.classify_yellow_area(x0, x1), Some(YellowArea::A1));
+        let mut hits = 0u64;
+        for rep in 0..reps {
+            let seed = SeedTree::new(ROOT_SEED)
+                .child("e4a")
+                .child_indexed("rep", rep)
+                .seed()
+                ^ ((x0.to_bits()) ^ x1.to_bits().rotate_left(17));
+            let mut chain =
+                AggregateFetChain::new(spec, ell, to_counts(x0), to_counts(x1), seed)
+                    .expect("valid");
+            chain.step();
+            let (a, b) = chain.fractions();
+            let speed_next = (b - a).abs();
+            let ok_region = !params.in_yellow_prime(a, b)
+                || matches!(
+                    params.classify_yellow_area(a, b),
+                    Some(YellowArea::A1) | Some(YellowArea::A0)
+                );
+            if speed_next > 2.0 * (x1 - x0).abs() && ok_region {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / reps as f64;
+        table_a.add_row(vec![
+            format!("({x0:.3}, {x1:.3})"),
+            format!("{:.3}", (x1 - x0).abs()),
+            format!("{p:.3}"),
+            reps.to_string(),
+        ]);
+        csv.write_record(&[
+            x0.to_string(),
+            x1.to_string(),
+            (x1 - x0).abs().to_string(),
+            p.to_string(),
+            reps.to_string(),
+        ])
+        .expect("row");
+    }
+    csv.flush().expect("flush");
+    print!("{table_a}");
+    println!("(Lemma 7(b) asserts a constant lower bound; watch the column stay away from 0)\n");
+
+    // --- Lemma 9/10 (area B): distance growth or exit.
+    println!("Lemmas 9–10 — area B growth-or-exit:\n");
+    let mut table_b = Table::new(
+        ["start", "P[dist to ½ grows ×(1+c4/√ℓ)]", "P[leaves B]", "P[either]"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let c4 = 1.0 / (4.0 * 9.0); // c4 = 1/(4α) with α = 9 (Lemma 12 construction)
+    let growth = 1.0 + c4 / (ell as f64).sqrt();
+    for (x0, x1) in [(0.56, 0.565), (0.6, 0.602), (0.58, 0.585)] {
+        debug_assert_eq!(params.classify_yellow_area(x0, x1), Some(YellowArea::B1));
+        let mut grew = 0u64;
+        let mut left = 0u64;
+        let mut either = 0u64;
+        for rep in 0..reps {
+            let seed = SeedTree::new(ROOT_SEED)
+                .child("e4b")
+                .child_indexed("rep", rep)
+                .seed()
+                ^ x0.to_bits();
+            let mut chain =
+                AggregateFetChain::new(spec, ell, to_counts(x0), to_counts(x1), seed)
+                    .expect("valid");
+            chain.step();
+            let (a, b) = chain.fractions();
+            let g = (b - 0.5).abs() >= growth * (x1 - 0.5).abs();
+            let l = params.classify_yellow_area(a, b) != Some(YellowArea::B1);
+            if g {
+                grew += 1;
+            }
+            if l {
+                left += 1;
+            }
+            if g || l {
+                either += 1;
+            }
+        }
+        table_b.add_row(vec![
+            format!("({x0:.3}, {x1:.3})"),
+            format!("{:.3}", grew as f64 / reps as f64),
+            format!("{:.3}", left as f64 / reps as f64),
+            format!("{:.3}", either as f64 / reps as f64),
+        ]);
+    }
+    print!("{table_b}");
+    println!("(Lemma 9: one of the two events has probability bounded below)\n");
+
+    // --- Lemma 11 (area C): reach A (or escape Yellow') within 2 rounds.
+    println!("Lemma 11 — area C pushed toward A:\n");
+    let mut table_c = Table::new(
+        ["start", "P[in A ∪ escaped within 2 rounds]", "reps"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for (x0, x1) in [(0.44, 0.47), (0.46, 0.48), (0.42, 0.46)] {
+        debug_assert_eq!(params.classify_yellow_area(x0, x1), Some(YellowArea::C1));
+        let mut hits = 0u64;
+        for rep in 0..reps {
+            let seed = SeedTree::new(ROOT_SEED)
+                .child("e4c")
+                .child_indexed("rep", rep)
+                .seed()
+                ^ x1.to_bits();
+            let mut chain =
+                AggregateFetChain::new(spec, ell, to_counts(x0), to_counts(x1), seed)
+                    .expect("valid");
+            let mut ok = false;
+            for _ in 0..2 {
+                chain.step();
+                let (a, b) = chain.fractions();
+                if !params.in_yellow_prime(a, b)
+                    || matches!(
+                        params.classify_yellow_area(a, b),
+                        Some(YellowArea::A1) | Some(YellowArea::A0)
+                    )
+                {
+                    ok = true;
+                    break;
+                }
+            }
+            if ok {
+                hits += 1;
+            }
+        }
+        table_c.add_row(vec![
+            format!("({x0:.3}, {x1:.3})"),
+            format!("{:.3}", hits as f64 / reps as f64),
+            reps.to_string(),
+        ]);
+    }
+    print!("{table_c}");
+    println!("(Lemma 11 asserts a constant lower bound c6 > 0)");
+    println!("\nCSV: {}", h.csv_path("e4_lemma7_areaA.csv").display());
+}

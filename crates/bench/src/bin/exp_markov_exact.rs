@@ -1,0 +1,144 @@
+//! E14 — **exact chain vs. simulation**: the strongest cross-validation.
+//!
+//! For small `n`, the expected convergence time from the all-wrong state
+//! `(1, 1)` is computed three ways: (a) analytically, by value iteration on
+//! the exact transition law (Observation 1); (b) by Monte-Carlo over the
+//! aggregate chain (same law, sampled); (c) by Monte-Carlo over the
+//! *agent-level* engine (literal protocol execution). Shape to match:
+//! all three agree within confidence intervals.
+
+use fet_bench::{Harness, ROOT_SEED};
+use fet_analysis::markov::ExactChain;
+use fet_core::config::ProblemSpec;
+use fet_core::fet::{FetProtocol, FetState};
+use fet_core::opinion::Opinion;
+use fet_plot::csv::CsvWriter;
+use fet_plot::table::{fmt_float, Table};
+use fet_sim::aggregate::AggregateFetChain;
+use fet_sim::batch::parallel_map;
+use fet_sim::convergence::ConvergenceCriterion;
+use fet_sim::engine::{Engine, Fidelity};
+use fet_sim::observer::NullObserver;
+use fet_stats::binomial::sample_binomial;
+use fet_stats::rng::SeedTree;
+use fet_stats::summary::WelfordAccumulator;
+
+fn main() {
+    let h = Harness::from_args();
+    h.banner(
+        "E14 exp_markov_exact",
+        "Observation 1's Markov chain, solved exactly",
+        "analytic hitting time ≈ aggregate MC ≈ agent-level MC (within CI)",
+    );
+
+    let cases: Vec<(u64, u64)> =
+        if h.quick { vec![(8, 4), (16, 6)] } else { vec![(8, 4), (16, 6), (24, 8), (32, 10)] };
+    let reps: u64 = h.size(3_000, 400);
+
+    let mut table = Table::new(
+        ["n", "ell", "exact E[T]", "aggregate MC ± 2se", "agent MC ± 2se"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let mut csv = CsvWriter::create(
+        h.csv_path("e14_markov_exact.csv"),
+        &["n", "ell", "exact", "aggregate_mc", "aggregate_se", "agent_mc", "agent_se"],
+    )
+    .expect("csv");
+
+    for &(n, ell) in &cases {
+        let exact = ExactChain::new(n, ell)
+            .expect("small n")
+            .expected_time_all_wrong()
+            .expect("solver converges");
+        let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
+        let budget = 1_000_000u64;
+
+        // (b) aggregate MC from (1, 1).
+        let indices: Vec<u64> = (0..reps).collect();
+        let agg_times = parallel_map(&indices, 8, |&rep| {
+            let seed = SeedTree::new(ROOT_SEED)
+                .child("e14-agg")
+                .child_indexed("n", n)
+                .child_indexed("rep", rep)
+                .seed();
+            let mut chain =
+                AggregateFetChain::new(spec, ell as u32, 1, 1, seed).expect("valid");
+            chain
+                .run(budget, ConvergenceCriterion::new(1))
+                .converged_at
+                .expect("small chain converges") as f64
+        });
+        let mut agg = WelfordAccumulator::new();
+        agg.extend(agg_times.iter().copied());
+
+        // (c) agent-level MC. Start matching (1,1): all non-sources hold 0,
+        // stale counts ~ Binomial(ℓ, 1/n) — the exact conditional law of
+        // count″ given x_t = 1/n.
+        let agent_times = parallel_map(&indices, 8, |&rep| {
+            let tree = SeedTree::new(ROOT_SEED)
+                .child("e14-agent")
+                .child_indexed("n", n)
+                .child_indexed("rep", rep);
+            let mut rng = tree.child("init").rng();
+            let protocol = FetProtocol::new(ell as u32).expect("ℓ ≥ 1");
+            let states: Vec<FetState> = (0..(n - 1) as usize)
+                .map(|_| FetState {
+                    opinion: Opinion::Zero,
+                    prev_count_second_half: sample_binomial(ell, 1.0 / n as f64, &mut rng)
+                        as u32,
+                })
+                .collect();
+            let mut engine = Engine::from_states(
+                protocol,
+                spec,
+                Fidelity::Agent,
+                states,
+                tree.child("engine").seed(),
+            )
+            .expect("valid");
+            engine
+                .run(budget, ConvergenceCriterion::new(1), &mut NullObserver)
+                .converged_at
+                .expect("small population converges") as f64
+        });
+        let mut agent = WelfordAccumulator::new();
+        agent.extend(agent_times.iter().copied());
+
+        // Indexing: the engines report `converged_at` = the round index of
+        // first consensus, which corresponds to the pair chain reaching
+        // (·, n); the analytic hitting time targets the pair (n, n), one
+        // step later. Align by adding 1 to the Monte-Carlo means.
+        let agg_mean = agg.mean() + 1.0;
+        let agent_mean = agent.mean() + 1.0;
+        table.add_row(vec![
+            n.to_string(),
+            ell.to_string(),
+            fmt_float(exact),
+            format!("{:.2} ± {:.2}", agg_mean, 2.0 * agg.standard_error()),
+            format!("{:.2} ± {:.2}", agent_mean, 2.0 * agent.standard_error()),
+        ]);
+        csv.write_record(&[
+            n.to_string(),
+            ell.to_string(),
+            exact.to_string(),
+            agg_mean.to_string(),
+            agg.standard_error().to_string(),
+            agent_mean.to_string(),
+            agent.standard_error().to_string(),
+        ])
+        .expect("row");
+    }
+    csv.flush().expect("flush");
+    println!("\n{reps} replicates per Monte-Carlo column\n");
+    print!("{table}");
+    println!(
+        "\nreading: (a) is sampling-free — pure linear algebra on Observation 1's
+transition law. Agreement of (b) and (c) with (a) validates both the law and
+the engine in one shot. The agent column's start state matches the chain
+state (1,1) in distribution (stale counts ~ Binomial(ℓ, 1/n)); both MC
+columns carry the +1 pair-chain alignment (see source)."
+    );
+    println!("\nCSV: {}", h.csv_path("e14_markov_exact.csv").display());
+}

@@ -1,0 +1,80 @@
+//! E8 — **Theorem 1's memory claim**: FET uses `O(log ℓ)` bits per agent.
+//!
+//! Tabulates the exact per-agent memory footprint of every protocol, and
+//! shows the `O(log ℓ)` scaling concretely: doubling `ℓ` adds exactly one
+//! bit to FET's persisted state.
+
+use fet_bench::Harness;
+use fet_core::fet::FetProtocol;
+use fet_core::protocol::Protocol;
+use fet_core::simple_trend::SimpleTrendProtocol;
+use fet_plot::csv::CsvWriter;
+use fet_plot::table::Table;
+use fet_protocols::prelude::*;
+
+fn main() {
+    let h = Harness::from_args();
+    h.banner(
+        "E8 exp_memory",
+        "Theorem 1 memory bound (O(log ℓ) bits)",
+        "FET persisted bits = 1 + ⌈log₂(ℓ+1)⌉; +1 bit per doubling of ℓ",
+    );
+
+    let mut table = Table::new(
+        ["protocol", "ℓ", "output", "persistent", "working", "between-rounds", "peak"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let mut csv = CsvWriter::create(
+        h.csv_path("e8_memory.csv"),
+        &["protocol", "ell", "output", "persistent", "working", "between_rounds", "peak"],
+    )
+    .expect("csv");
+
+    let mut add = |name: &str, ell: u32, m: fet_core::memory::MemoryFootprint| {
+        table.add_row(vec![
+            name.to_string(),
+            ell.to_string(),
+            m.output_bits().to_string(),
+            m.persistent_bits().to_string(),
+            m.working_bits().to_string(),
+            m.between_rounds_bits().to_string(),
+            m.peak_bits().to_string(),
+        ]);
+        csv.write_record(&[
+            name.to_string(),
+            ell.to_string(),
+            m.output_bits().to_string(),
+            m.persistent_bits().to_string(),
+            m.working_bits().to_string(),
+            m.between_rounds_bits().to_string(),
+            m.peak_bits().to_string(),
+        ])
+        .expect("row");
+    };
+
+    for ell in [8u32, 16, 32, 64, 128, 256] {
+        add("fet", ell, FetProtocol::new(ell).expect("ℓ ≥ 1").memory_footprint());
+    }
+    let ell = 32;
+    add("simple-trend", ell, SimpleTrendProtocol::new(ell).expect("ℓ ≥ 1").memory_footprint());
+    add("voter", 1, VoterProtocol::new().memory_footprint());
+    add("majority", ell, MajorityProtocol::new(ell).expect("ℓ ≥ 1").memory_footprint());
+    add("3-majority", 3, ThreeMajorityProtocol::new().memory_footprint());
+    add("undecided-state", 1, UndecidedProtocol::new().memory_footprint());
+    add("oracle-clock*", 1, OracleClockProtocol::for_population(1024).expect("n ≥ 2").memory_footprint());
+    add("rumor", 1, RumorProtocol::clean().memory_footprint());
+
+    println!();
+    print!("{table}");
+    println!(
+        "\n* the oracle-clock row excludes the shared clock itself — a Θ(log log n)-bit
+counter that prior self-stabilizing work (Boczkowski et al. 2019; Bastide et
+al. 2021) must build and synchronize; its omission is what makes the row an
+oracle baseline.\n
+FET rows: persisted bits grow by exactly 1 per doubling of ℓ — the O(log ℓ)
+claim of Theorem 1, measured."
+    );
+    println!("\nCSV: {}", h.csv_path("e8_memory.csv").display());
+}

@@ -1,0 +1,102 @@
+//! E11 — **§5 future work**: how few samples does FET need?
+//!
+//! The paper proves Theorem 1 with `ℓ = Θ(log n)` and asks whether a
+//! *constant* number of samples per round suffices. This experiment sweeps
+//! `ℓ` from 1 to `4·ln n` at several sizes. Shapes of interest:
+//!
+//! * convergence degrades gracefully as `ℓ` shrinks;
+//! * small-constant `ℓ` still converges empirically (supporting the open
+//!   conjecture) but with visibly heavier tails;
+//! * the marginal benefit of `ℓ` beyond `Θ(log n)` is small.
+
+use fet_bench::{Harness, ROOT_SEED};
+use fet_core::config::ProblemSpec;
+use fet_core::opinion::Opinion;
+use fet_plot::chart::{Axis, LineChart, Series};
+use fet_plot::csv::CsvWriter;
+use fet_plot::table::{fmt_float, Table};
+use fet_sim::aggregate::AggregateFetChain;
+use fet_sim::batch::{parallel_map, BatchSummary};
+use fet_sim::convergence::{ConvergenceCriterion, ConvergenceReport};
+use fet_stats::rng::SeedTree;
+
+fn main() {
+    let h = Harness::from_args();
+    h.banner(
+        "E11 exp_sample_sweep",
+        "§5 open question (constant sample size)",
+        "graceful degradation as ℓ shrinks; constant ℓ still converges, slower and heavier-tailed",
+    );
+
+    let sizes: Vec<u64> = if h.quick { vec![1 << 10] } else { vec![1 << 10, 1 << 14, 1 << 18] };
+    let reps: u64 = h.size(200, 40);
+
+    let mut csv = CsvWriter::create(
+        h.csv_path("e11_sample_sweep.csv"),
+        &["n", "ell", "success", "mean", "p95", "max"],
+    )
+    .expect("csv");
+
+    for &n in &sizes {
+        let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
+        let log_ell = (4.0 * (n as f64).ln()).ceil() as u32;
+        let mut ells: Vec<u32> = vec![1, 2, 4, 8, 16, 32];
+        if !ells.contains(&log_ell) {
+            ells.push(log_ell);
+        }
+        let budget = (3_000.0 * (n as f64).ln().powf(2.5)).ceil() as u64;
+        println!("\n— n = {n} (ℓ = 4·ln n is {log_ell}; budget {budget} rounds) —\n");
+        let mut table = Table::new(
+            ["ell", "success", "mean t_con", "p95", "max"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for &ell in &ells {
+            let indices: Vec<u64> = (0..reps).collect();
+            let reports: Vec<ConvergenceReport> = parallel_map(&indices, 8, |&rep| {
+                let seed = SeedTree::new(ROOT_SEED)
+                    .child("e11")
+                    .child_indexed("n", n)
+                    .child_indexed("ell", u64::from(ell))
+                    .child_indexed("rep", rep)
+                    .seed();
+                let mut chain = AggregateFetChain::all_wrong(spec, ell, seed).expect("valid");
+                chain.run(budget, ConvergenceCriterion::new(3))
+            });
+            let summary = BatchSummary::from_reports(&reports);
+            let (mean, p95, max) = summary
+                .time
+                .map(|t| (t.mean, t.p95, t.max))
+                .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+            table.add_row(vec![
+                ell.to_string(),
+                format!("{:.3}", summary.success_rate()),
+                fmt_float(mean),
+                fmt_float(p95),
+                fmt_float(max),
+            ]);
+            csv.write_record(&[
+                n.to_string(),
+                ell.to_string(),
+                summary.success_rate().to_string(),
+                mean.to_string(),
+                p95.to_string(),
+                max.to_string(),
+            ])
+            .expect("row");
+            if mean.is_finite() {
+                points.push((f64::from(ell), mean));
+            }
+        }
+        print!("{table}");
+        let mut chart = LineChart::new(56, 12);
+        chart.title(format!("E11: mean t_con vs ℓ at n = {n} (log-log)"));
+        chart.axes(Axis::Log10, Axis::Log10);
+        chart.add_series(Series::new("mean t_con", '*', points));
+        println!("\n{chart}");
+    }
+    csv.flush().expect("flush");
+    println!("CSV: {}", h.csv_path("e11_sample_sweep.csv").display());
+}

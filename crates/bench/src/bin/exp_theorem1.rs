@@ -1,0 +1,176 @@
+//! E1 — **Theorem 1**: FET converges in `O(log^{5/2} n)` rounds w.h.p.
+//!
+//! Sweep `n` over powers of two, run many replicates from *two* adversarial
+//! starts, and fit `T(n) = a·(ln n)^b`:
+//!
+//! * **all-wrong** — the canonical hostile start `(x_0, x_1) = (1/n, 1/n)`.
+//!   The Cyan "bounce" multiplies `x_t` by Θ(log n) per round, so this
+//!   start resolves in ≈ `log n / log log n + O(1)` rounds (Lemma 4) —
+//!   fast, and a direct check of the bounce mechanics.
+//! * **yellow-center** — `(x_0, x_1) = (1/2, 1/2)`: zero speed at the
+//!   center, the regime that dominates the paper's `log^{5/2}` bound
+//!   (Lemma 5). This is where the real growth in `n` shows.
+//!
+//! Shapes to match: success rate ≈ 1 everywhere; fitted exponents `b`
+//! within the paper's 5/2 bound; a straight power-law fit over growing
+//! windows yields a *shrinking* exponent (the poly-log signature).
+
+use fet_bench::{Harness, ROOT_SEED};
+use fet_core::config::ProblemSpec;
+use fet_core::opinion::Opinion;
+use fet_plot::chart::{Axis, LineChart, Series};
+use fet_plot::csv::CsvWriter;
+use fet_plot::table::{fmt_float, Table};
+use fet_sim::aggregate::AggregateFetChain;
+use fet_sim::batch::{parallel_map, BatchSummary};
+use fet_sim::convergence::{ConvergenceCriterion, ConvergenceReport};
+use fet_stats::regression::{fit_power_law, fit_power_of_log};
+use fet_stats::rng::SeedTree;
+
+#[derive(Clone, Copy)]
+enum Start {
+    AllWrong,
+    YellowCenter,
+}
+
+impl Start {
+    fn label(self) -> &'static str {
+        match self {
+            Start::AllWrong => "all-wrong",
+            Start::YellowCenter => "yellow-center",
+        }
+    }
+
+    fn pair(self, n: u64) -> (u64, u64) {
+        match self {
+            Start::AllWrong => (1, 1),
+            Start::YellowCenter => (n / 2, n / 2),
+        }
+    }
+}
+
+fn main() {
+    let h = Harness::from_args();
+    h.banner(
+        "E1 exp_theorem1",
+        "Theorem 1 (headline result)",
+        "t_con poly-logarithmic: fitted a·(ln n)^b with b ≲ 2.5, success → 1",
+    );
+
+    let exponents: Vec<u32> =
+        if h.quick { vec![8, 10, 12, 14] } else { vec![8, 10, 12, 14, 16, 18, 20, 22] };
+    let reps: u64 = h.size(300, 40);
+    let c = 4.0;
+
+    let mut csv = CsvWriter::create(
+        h.csv_path("e1_theorem1.csv"),
+        &["start", "n", "ell", "reps", "successes", "mean", "median", "p95", "max"],
+    )
+    .expect("csv");
+
+    let mut chart = LineChart::new(64, 16);
+    chart.title("E1: mean convergence time vs n (log-x), by start");
+    chart.axes(Axis::Log10, Axis::Linear);
+
+    for start in [Start::AllWrong, Start::YellowCenter] {
+        println!("\n— start: {} —\n", start.label());
+        let mut table = Table::new(
+            ["n", "ell", "success", "mean", "median", "p95", "max", "log^2.5 n"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        let mut ns: Vec<f64> = Vec::new();
+        let mut means: Vec<f64> = Vec::new();
+        for &k in &exponents {
+            let n: u64 = 1 << k;
+            let ell = (c * (n as f64).ln()).ceil() as u32;
+            let spec = ProblemSpec::single_source(n, Opinion::One).expect("n ≥ 2");
+            let (o0, o1) = start.pair(n);
+            let max_rounds = (500.0 * (n as f64).ln().powf(2.5)).ceil() as u64;
+            let indices: Vec<u64> = (0..reps).collect();
+            let reports: Vec<ConvergenceReport> = parallel_map(&indices, 8, |&rep| {
+                let seed = SeedTree::new(ROOT_SEED)
+                    .child("e1")
+                    .child(start.label())
+                    .child_indexed("rep", rep)
+                    .seed();
+                let mut chain =
+                    AggregateFetChain::new(spec, ell, o0, o1, seed ^ n).expect("valid chain");
+                chain.run(max_rounds, ConvergenceCriterion::new(3))
+            });
+            let summary = BatchSummary::from_reports(&reports);
+            let t = summary.time.expect("FET converges at every tested size");
+            table.add_row(vec![
+                n.to_string(),
+                ell.to_string(),
+                format!("{:.3}", summary.success_rate()),
+                fmt_float(t.mean),
+                fmt_float(t.median),
+                fmt_float(t.p95),
+                fmt_float(t.max),
+                fmt_float((n as f64).ln().powf(2.5)),
+            ]);
+            csv.write_record(&[
+                start.label().to_string(),
+                n.to_string(),
+                ell.to_string(),
+                reps.to_string(),
+                summary.successes.to_string(),
+                t.mean.to_string(),
+                t.median.to_string(),
+                t.p95.to_string(),
+                t.max.to_string(),
+            ])
+            .expect("csv row");
+            ns.push(n as f64);
+            means.push(t.mean);
+        }
+        print!("{table}");
+
+        // Shape check 1: power-of-log fit.
+        match fit_power_of_log(&ns, &means) {
+            Ok(fit) => {
+                println!(
+                    "\nfit  T(n) = a·(ln n)^b  →  a = {:.3}, b = {:.3} ± {:.3}  (R² = {:.4})",
+                    fit.a, fit.b, fit.b_stderr, fit.r_squared
+                );
+                println!(
+                    "paper bound: b ≤ 2.5 — {}",
+                    verdict(fit.b <= 2.5 + 2.0 * fit.b_stderr)
+                );
+            }
+            Err(e) => println!("fit unavailable: {e}"),
+        }
+        // Shape check 2: shrinking power-law exponent over windows.
+        if ns.len() >= 6 {
+            let half = ns.len() / 2;
+            let early = fit_power_law(&ns[..=half], &means[..=half]).expect("fit").b;
+            let late = fit_power_law(&ns[half..], &means[half..]).expect("fit").b;
+            println!(
+                "power-law exponent early window: {early:.3}, late window: {late:.3} — {}",
+                verdict(late < early + 0.02)
+            );
+        }
+        let marker = match start {
+            Start::AllWrong => '*',
+            Start::YellowCenter => 'o',
+        };
+        chart.add_series(Series::new(
+            format!("mean t_con ({})", start.label()),
+            marker,
+            ns.into_iter().zip(means).collect(),
+        ));
+    }
+    csv.flush().expect("flush");
+    println!("\n{chart}");
+    println!("CSV: {}", h.csv_path("e1_theorem1.csv").display());
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "OK (matches the paper's shape)"
+    } else {
+        "MISMATCH (investigate!)"
+    }
+}

@@ -1,0 +1,107 @@
+//! # fet-bench — the experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md §5 and EXPERIMENTS.md for
+//! the index). This library holds the shared plumbing: output locations,
+//! the `--quick` switch, and small formatting helpers.
+//!
+//! Run any experiment with
+//!
+//! ```text
+//! cargo run --release -p fet-bench --bin exp_theorem1 [-- --quick]
+//! ```
+//!
+//! Every binary prints its tables/charts to stdout and writes CSVs under
+//! `target/experiments/` (override with `FET_EXPERIMENTS_DIR`).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use std::path::PathBuf;
+
+/// Root seed shared by all experiments (individual experiments derive
+/// children from it; override nothing — determinism is the point).
+pub const ROOT_SEED: u64 = 0x0FE7_2022;
+
+/// Experiment-wide run configuration parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Reduced sizes for smoke runs (`--quick`).
+    pub quick: bool,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Harness {
+    /// Parses `std::env::args`: recognizes `--quick`; everything else is
+    /// ignored (binaries are zero-configuration by design — edit the
+    /// constants in the source to change a sweep).
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Harness { quick, out_dir: default_out_dir() }
+    }
+
+    /// Picks `full` or `quick` depending on the switch.
+    pub fn size<T: Copy>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Absolute path for a CSV artifact of this experiment.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(name)
+    }
+
+    /// Prints the standard experiment banner.
+    pub fn banner(&self, id: &str, paper_artifact: &str, shape: &str) {
+        println!("==============================================================");
+        println!("{id} — reproduces: {paper_artifact}");
+        println!("expected shape: {shape}");
+        if self.quick {
+            println!("mode: QUICK (reduced sizes; shapes may be noisy)");
+        }
+        println!("==============================================================");
+    }
+}
+
+/// Default output directory: `FET_EXPERIMENTS_DIR` or `target/experiments`.
+pub fn default_out_dir() -> PathBuf {
+    std::env::var_os("FET_EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
+/// Formats an `Option<u64>` convergence time for tables.
+pub fn fmt_opt_time(t: Option<u64>) -> String {
+    match t {
+        Some(v) => v.to_string(),
+        None => "—".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_switch() {
+        let h = Harness { quick: true, out_dir: PathBuf::from("x") };
+        assert_eq!(h.size(100, 10), 10);
+        let h = Harness { quick: false, out_dir: PathBuf::from("x") };
+        assert_eq!(h.size(100, 10), 100);
+    }
+
+    #[test]
+    fn csv_path_joins() {
+        let h = Harness { quick: false, out_dir: PathBuf::from("/tmp/exp") };
+        assert_eq!(h.csv_path("a.csv"), PathBuf::from("/tmp/exp/a.csv"));
+    }
+
+    #[test]
+    fn fmt_opt_time_variants() {
+        assert_eq!(fmt_opt_time(Some(7)), "7");
+        assert_eq!(fmt_opt_time(None), "—");
+    }
+}

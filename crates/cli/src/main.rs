@@ -1,0 +1,464 @@
+//! `fet` — command-line front end to the FET reproduction workspace.
+//!
+//! ```text
+//! fet run        --n 10000 [--ell 40] [--c 4.0] [--seed 7] [--init all-wrong] [--agent-level]
+//! fet trace      --n 100000 [--seed 7]             # trajectory + domain visits
+//! fet domains    --n 10000 [--delta 0.05] [--steps 60]
+//! fet markov     --n 16 --ell 6                    # exact expected t_con
+//! fet coins      --k 256 --p 0.45 --q 0.55
+//! fet impossibility --n 1024
+//! fet baselines  --n 1000 [--reps 10]
+//! fet topology   --n 1000 --graph regular [--degree 32] [--seed 7]
+//! fet conflict   --n 2000 --k0 40 --k1 160 [--seed 7]
+//! ```
+//!
+//! Argument parsing is a deliberate ~60-line hand-rolled loop (the
+//! workspace's dependency budget excludes a CLI framework).
+
+use fet_adversary::impossibility::ImpossibilityScenario;
+use fet_analysis::domains::DomainParams;
+use fet_analysis::markov::ExactChain;
+use fet_analysis::trace::DomainTrace;
+use fet_core::config::ProblemSpec;
+use fet_core::fet::FetProtocol;
+use fet_core::opinion::Opinion;
+use fet_core::protocol::Protocol;
+use fet_plot::heatmap::CategoricalMap;
+use fet_plot::table::Table;
+use fet_protocols::prelude::*;
+use fet_sim::aggregate::AggregateFetChain;
+use fet_sim::convergence::ConvergenceCriterion;
+use fet_sim::engine::Fidelity;
+use fet_sim::experiment::{run_fet_once, run_protocol_once, ExperimentSpec};
+use fet_sim::init::InitialCondition;
+use fet_stats::compare::CoinCompetition;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&flags),
+        "trace" => cmd_trace(&flags),
+        "domains" => cmd_domains(&flags),
+        "markov" => cmd_markov(&flags),
+        "coins" => cmd_coins(&flags),
+        "impossibility" => cmd_impossibility(&flags),
+        "baselines" => cmd_baselines(&flags),
+        "topology" => cmd_topology(&flags),
+        "conflict" => cmd_conflict(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "fet — self-stabilizing bit dissemination (Korman & Vacus, PODC 2022)
+
+commands:
+  run            one FET convergence run (agent or aggregate level)
+  trace          aggregate-chain trajectory with domain-visit breakdown
+  domains        render the Figure 1a domain partition
+  markov         exact expected convergence time for small n
+  coins          exact coin-competition probabilities
+  impossibility  the §1.2 conflicting-sources construction
+  baselines      quick protocol comparison table
+  topology       FET on a non-complete graph (complete|er|regular|ring|star|barbell|smallworld)
+  conflict       long-run occupancy under honest conflicting stubborn sources
+
+common flags: --n N  --ell L  --c C  --seed S  --delta D  --steps K
+              --reps R  --init all-wrong|all-correct|random  --agent-level
+              --k K  --p P  --q Q  --correct 0|1
+topology:     --graph NAME  --degree D  --beta B
+conflict:     --k0 K0  --k1 K1  --burn-in B  --window W";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{a}`"));
+        };
+        // Boolean switches.
+        if name == "agent-level" || name == "quick" {
+            flags.insert(name.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: `{v}`")),
+    }
+}
+
+fn get_init(flags: &Flags) -> Result<InitialCondition, String> {
+    match flags.get("init").map(String::as_str) {
+        None | Some("all-wrong") => Ok(InitialCondition::AllWrong),
+        Some("all-correct") => Ok(InitialCondition::AllCorrect),
+        Some("random") => Ok(InitialCondition::Random),
+        Some(other) => Err(format!("unknown --init `{other}`")),
+    }
+}
+
+fn get_correct(flags: &Flags) -> Result<Opinion, String> {
+    match get::<u8>(flags, "correct", 1)? {
+        0 => Ok(Opinion::Zero),
+        1 => Ok(Opinion::One),
+        other => Err(format!("--correct must be 0 or 1, got {other}")),
+    }
+}
+
+fn spec_from(flags: &Flags) -> Result<ExperimentSpec, String> {
+    let n: u64 = get(flags, "n", 10_000)?;
+    let mut b = ExperimentSpec::builder(n);
+    b.seed(get(flags, "seed", 0)?)
+        .sample_constant(get(flags, "c", 4.0)?)
+        .correct(get_correct(flags)?)
+        .fidelity(if flags.contains_key("agent-level") {
+            Fidelity::Agent
+        } else {
+            Fidelity::Binomial
+        });
+    if let Some(e) = flags.get("ell") {
+        b.ell(e.parse().map_err(|_| format!("invalid --ell `{e}`"))?);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+fn cmd_run(flags: &Flags) -> Result<(), String> {
+    let spec = spec_from(flags)?;
+    let init = get_init(flags)?;
+    let outcome = run_fet_once(&spec, init);
+    println!(
+        "n = {}, ℓ = {}, init = {}, seed = {}",
+        spec.n,
+        spec.ell(),
+        init.label(),
+        spec.seed
+    );
+    match outcome.report.converged_at {
+        Some(t) => {
+            println!("converged at round {t} (log^2.5 n = {:.1})", (spec.n as f64).ln().powf(2.5))
+        }
+        None => println!("did NOT converge within {} rounds", spec.max_rounds),
+    }
+    println!("final fraction correct: {:.4}", outcome.report.final_fraction_correct);
+    Ok(())
+}
+
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    let n: u64 = get(flags, "n", 100_000)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    let delta: f64 = get(flags, "delta", 0.05)?;
+    let correct = get_correct(flags)?;
+    let spec = ProblemSpec::single_source(n, correct).map_err(|e| e.to_string())?;
+    let ell = (get::<f64>(flags, "c", 4.0)? * (n as f64).ln()).ceil() as u32;
+    let mut chain = AggregateFetChain::all_wrong(spec, ell, seed).map_err(|e| e.to_string())?;
+    let budget = (500.0 * (n as f64).ln().powf(2.5)).ceil() as u64;
+    let (report, traj) = chain.run_recording(budget, ConvergenceCriterion::new(2));
+    let params = DomainParams::new(n, delta).map_err(|e| e.to_string())?;
+    let trace = DomainTrace::from_trajectory(&params, &traj);
+    println!("n = {n}, ℓ = {ell}, converged at {:?}", report.converged_at);
+    println!("domain visits:");
+    for v in trace.visits() {
+        println!("  round {:>6}: {:>8} rounds in {}", v.start, v.dwell, v.domain);
+    }
+    Ok(())
+}
+
+fn cmd_domains(flags: &Flags) -> Result<(), String> {
+    let n: u64 = get(flags, "n", 10_000)?;
+    let delta: f64 = get(flags, "delta", 0.05)?;
+    let steps: usize = get(flags, "steps", 60)?;
+    if steps < 2 {
+        return Err("--steps must be at least 2".into());
+    }
+    let params = DomainParams::new(n, delta).map_err(|e| e.to_string())?;
+    let cells: Vec<Vec<String>> = (0..steps)
+        .map(|j| {
+            let y = j as f64 / (steps - 1) as f64;
+            (0..steps)
+                .map(|i| {
+                    let x = i as f64 / (steps - 1) as f64;
+                    params.classify(x, y).to_string()
+                })
+                .collect()
+        })
+        .collect();
+    let mut map = CategoricalMap::new(cells);
+    map.title(format!("Figure 1a partition, n = {n}, δ = {delta} (y grows upward)"));
+    print!("{}", map.render_flipped());
+    Ok(())
+}
+
+fn cmd_markov(flags: &Flags) -> Result<(), String> {
+    let n: u64 = get(flags, "n", 16)?;
+    let ell: u64 = get(flags, "ell", 6)?;
+    let chain = ExactChain::new(n, ell).map_err(|e| e.to_string())?;
+    let expected = chain.expected_time_all_wrong().map_err(|e| e.to_string())?;
+    println!("exact E[t_con] from the all-wrong state (n = {n}, ℓ = {ell}): {expected:.3} rounds");
+    let profile = chain.absorption_profile(1, 1, 50);
+    println!("P[converged by t]:");
+    for (t, p) in profile.iter().enumerate().step_by(5) {
+        println!("  t = {t:>3}: {p:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_coins(flags: &Flags) -> Result<(), String> {
+    let k: u64 = get(flags, "k", 256)?;
+    let p: f64 = get(flags, "p", 0.45)?;
+    let q: f64 = get(flags, "q", 0.55)?;
+    let cc = CoinCompetition::try_new(k, p, q).map_err(|e| e.to_string())?;
+    println!("B_{k}({p}) vs B_{k}({q}):");
+    println!("  P(first wins)  = {:.6}", cc.p_first_wins());
+    println!("  P(tie)         = {:.6}", cc.p_tie());
+    println!("  P(second wins) = {:.6}", cc.p_second_wins());
+    println!("  E|difference|  = {:.6}", cc.expected_abs_difference());
+    Ok(())
+}
+
+fn cmd_impossibility(flags: &Flags) -> Result<(), String> {
+    let n: u64 = get(flags, "n", 1024)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    let out = ImpossibilityScenario::standard(n, seed).run();
+    println!("n = {n}:");
+    println!("  scenario 1 (honest majority) converged at: {:?}", out.scenario1_convergence);
+    println!(
+        "  scenario 2 (conflicting sources, states copied): frozen for {} rounds{}",
+        out.frozen_rounds,
+        if out.escaped { " then ESCAPED (unexpected!)" } else { " (never escaped)" }
+    );
+    println!("  contrast (single honest source): converged at {:?}", out.contrast_convergence);
+    Ok(())
+}
+
+fn cmd_baselines(flags: &Flags) -> Result<(), String> {
+    let n: u64 = get(flags, "n", 1_000)?;
+    let reps: u64 = get(flags, "reps", 10)?;
+    let base = {
+        let mut b = ExperimentSpec::builder(n);
+        b.seed(get(flags, "seed", 0)?).max_rounds(get(flags, "max-rounds", 30_000)?);
+        b.build().map_err(|e| e.to_string())?
+    };
+    let init = get_init(flags)?;
+    let mut table =
+        Table::new(["protocol", "success", "mean t_con"].iter().map(|s| s.to_string()).collect());
+    macro_rules! case {
+        ($proto:expr) => {{
+            let proto = $proto;
+            let mut times = Vec::new();
+            let mut ok = 0u64;
+            for rep in 0..reps {
+                let mut s = base;
+                s.seed = base.seed.wrapping_add(rep * 7919 + 1);
+                let out = run_protocol_once(proto.clone(), &s, init);
+                if let Some(t) = out.report.converged_at {
+                    ok += 1;
+                    times.push(t as f64);
+                }
+            }
+            let mean = if times.is_empty() {
+                "—".to_string()
+            } else {
+                format!("{:.1}", times.iter().sum::<f64>() / times.len() as f64)
+            };
+            table.add_row(vec![
+                proto.name().to_string(),
+                format!("{:.2}", ok as f64 / reps as f64),
+                mean,
+            ]);
+        }};
+    }
+    case!(FetProtocol::new(base.ell()).map_err(|e| e.to_string())?);
+    case!(OracleClockProtocol::for_population(n).map_err(|e| e.to_string())?);
+    case!(VoterProtocol::new());
+    case!(MajorityProtocol::new(base.ell()).map_err(|e| e.to_string())?);
+    case!(ThreeMajorityProtocol::new());
+    case!(UndecidedProtocol::new());
+    case!(RumorProtocol::clean());
+    case!(RumorProtocol::corrupted());
+    println!("n = {n}, init = {}, {reps} replicates:", init.label());
+    print!("{table}");
+    Ok(())
+}
+
+fn cmd_topology(flags: &Flags) -> Result<(), String> {
+    use fet_topology::builders;
+    use fet_topology::engine::TopologyEngine;
+    use fet_topology::graph::GraphStats;
+
+    let n: u32 = get(flags, "n", 1_000)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    let degree: u32 = get(flags, "degree", 32)?;
+    let beta: f64 = get(flags, "beta", 0.1)?;
+    let name = flags.get("graph").map_or("regular", String::as_str);
+    let mut rng = fet_stats::rng::SeedTree::new(seed).child("graph").rng();
+    let graph = match name {
+        "complete" => builders::complete(n),
+        "er" => builders::erdos_renyi(n, f64::from(degree) / f64::from(n.max(1)), &mut rng),
+        "regular" => builders::random_regular(n, degree + (n * degree) % 2, &mut rng),
+        "ring" => builders::ring_lattice(n, degree.max(1)),
+        "star" => builders::star(n),
+        "barbell" => builders::barbell(n / 2, degree.clamp(1, n / 2)),
+        "smallworld" => builders::watts_strogatz(n, degree.max(1), beta, &mut rng),
+        other => return Err(format!("unknown --graph `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+    let stats = GraphStats::of(&graph);
+    println!("graph {name}: {stats}");
+    let protocol =
+        FetProtocol::for_population(u64::from(n), get(flags, "c", 4.0)?).map_err(|e| e.to_string())?;
+    let mut engine = TopologyEngine::new(
+        protocol,
+        graph,
+        1,
+        get_correct(flags)?,
+        get_init(flags)?,
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+    let budget: u64 = get(flags, "max-rounds", 20_000)?;
+    let report = engine.run(
+        budget,
+        ConvergenceCriterion::new(5),
+        &mut fet_sim::observer::NullObserver,
+    );
+    match report.converged_at {
+        Some(t) => println!("converged at round {t}"),
+        None => println!(
+            "did NOT converge within {budget} rounds; stalled at {:.1}% correct",
+            100.0 * engine.fraction_correct()
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_conflict(flags: &Flags) -> Result<(), String> {
+    use fet_adversary::conflict::ConflictEngine;
+
+    let n: u64 = get(flags, "n", 2_000)?;
+    let k0: u64 = get(flags, "k0", n / 50)?;
+    let k1: u64 = get(flags, "k1", n / 50 * 4)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    let burn_in: u64 = get(flags, "burn-in", 500)?;
+    let window: u64 = get(flags, "window", 2_000)?;
+    let ell = (get::<f64>(flags, "c", 4.0)? * (n as f64).ln()).ceil() as u32;
+    let protocol = FetProtocol::new(ell).map_err(|e| e.to_string())?;
+    let mut engine =
+        ConflictEngine::new(protocol, n, k0, k1, 0.5, seed).map_err(|e| e.to_string())?;
+    let out = engine.run_measure(burn_in, window);
+    println!(
+        "n = {n}, stubborn k0 = {k0} (zeros) vs k1 = {k1} (ones), ℓ = {ell}, \
+         burn-in {burn_in}, window {window}"
+    );
+    println!("  time-averaged x̄      : {:.4}", out.mean_x);
+    println!("  fraction of t with x>½: {:.4}", out.frac_above_half);
+    println!("  excursion range       : [{:.3}, {:.3}]", out.min_x, out.max_x);
+    println!("  final x               : {:.4}", out.final_x);
+    println!(
+        "\nreminder: with both stubborn groups non-empty there is no absorbing\n\
+         state — FET oscillates; the majority only tilts the occupancy (E19)."
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(args: &[&str]) -> Result<Flags, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_flags(&owned)
+    }
+
+    #[test]
+    fn parse_flags_accepts_value_pairs_and_switches() {
+        let f = flags_of(&["--n", "100", "--agent-level", "--seed", "7"]).unwrap();
+        assert_eq!(f.get("n").map(String::as_str), Some("100"));
+        assert_eq!(f.get("agent-level").map(String::as_str), Some("true"));
+        assert_eq!(f.get("seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_words_and_missing_values() {
+        assert!(flags_of(&["oops"]).is_err());
+        assert!(flags_of(&["--n"]).is_err());
+    }
+
+    #[test]
+    fn get_parses_with_default() {
+        let f = flags_of(&["--n", "42"]).unwrap();
+        assert_eq!(get::<u64>(&f, "n", 7).unwrap(), 42);
+        assert_eq!(get::<u64>(&f, "missing", 7).unwrap(), 7);
+        assert!(get::<u64>(&f, "n", 7).is_ok());
+        let bad = flags_of(&["--n", "forty-two"]).unwrap();
+        assert!(get::<u64>(&bad, "n", 7).is_err());
+    }
+
+    #[test]
+    fn get_init_covers_all_spellings() {
+        assert_eq!(get_init(&flags_of(&[]).unwrap()).unwrap(), InitialCondition::AllWrong);
+        assert_eq!(
+            get_init(&flags_of(&["--init", "all-correct"]).unwrap()).unwrap(),
+            InitialCondition::AllCorrect
+        );
+        assert_eq!(
+            get_init(&flags_of(&["--init", "random"]).unwrap()).unwrap(),
+            InitialCondition::Random
+        );
+        assert!(get_init(&flags_of(&["--init", "sideways"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn get_correct_accepts_only_bits() {
+        assert_eq!(get_correct(&flags_of(&[]).unwrap()).unwrap(), Opinion::One);
+        assert_eq!(
+            get_correct(&flags_of(&["--correct", "0"]).unwrap()).unwrap(),
+            Opinion::Zero
+        );
+        assert!(get_correct(&flags_of(&["--correct", "2"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn spec_from_respects_fidelity_switch() {
+        let f = flags_of(&["--n", "500", "--agent-level"]).unwrap();
+        let spec = spec_from(&f).unwrap();
+        assert_eq!(spec.fidelity, Fidelity::Agent);
+        let f = flags_of(&["--n", "500"]).unwrap();
+        assert_eq!(spec_from(&f).unwrap().fidelity, Fidelity::Binomial);
+    }
+}

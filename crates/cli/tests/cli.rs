@@ -1,0 +1,100 @@
+//! Integration tests for the `fet` binary.
+
+use std::process::Command;
+
+fn fet() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fet"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = fet().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "`fet {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn help_lists_commands() {
+    let text = run_ok(&["help"]);
+    for cmd in ["run", "trace", "domains", "markov", "coins", "impossibility", "baselines"] {
+        assert!(text.contains(cmd), "help missing `{cmd}`");
+    }
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = fet().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = fet().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn coins_prints_exact_probabilities() {
+    let text = run_ok(&["coins", "--k", "16", "--p", "0.4", "--q", "0.6"]);
+    assert!(text.contains("P(first wins)"));
+    assert!(text.contains("P(second wins)"));
+}
+
+#[test]
+fn coins_rejects_bad_probability() {
+    let out = fet().args(["coins", "--p", "1.5"]).output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn run_converges_small_instance() {
+    let text = run_ok(&["run", "--n", "300", "--seed", "7"]);
+    assert!(text.contains("converged at round"), "unexpected output: {text}");
+}
+
+#[test]
+fn run_with_explicit_ell_and_zero_correct() {
+    let text = run_ok(&["run", "--n", "300", "--ell", "25", "--correct", "0", "--seed", "3"]);
+    assert!(text.contains("ℓ = 25"));
+    assert!(text.contains("converged at round"));
+}
+
+#[test]
+fn domains_renders_legend() {
+    let text = run_ok(&["domains", "--n", "10000", "--steps", "24"]);
+    assert!(text.contains("legend:"));
+    assert!(text.contains("Yellow"));
+}
+
+#[test]
+fn markov_small_instance() {
+    let text = run_ok(&["markov", "--n", "10", "--ell", "4"]);
+    assert!(text.contains("exact E[t_con]"));
+}
+
+#[test]
+fn impossibility_reports_frozen() {
+    let text = run_ok(&["impossibility", "--n", "64"]);
+    assert!(text.contains("frozen for 64 rounds"));
+    assert!(text.contains("never escaped"));
+}
+
+#[test]
+fn trace_lists_domain_visits() {
+    let text = run_ok(&["trace", "--n", "5000", "--seed", "2"]);
+    assert!(text.contains("domain visits:"));
+    assert!(text.contains("Cyan1"), "all-wrong start must pass through Cyan1: {text}");
+}
+
+#[test]
+fn flag_without_value_fails() {
+    let out = fet().args(["run", "--n"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+}

@@ -1,0 +1,174 @@
+//! The protocol abstraction: a pure per-agent state machine.
+//!
+//! A [`Protocol`] receives one [`Observation`] per round — the count of
+//! 1-opinions among the agents it sampled — and updates its state. It never
+//! sees agent identities, the round number's true meaning (unless the
+//! protocol is explicitly clock-assisted), or the population size. This is
+//! the paper's passive `PULL` model distilled to a trait.
+//!
+//! Protocols are *configuration* objects (e.g. "FET with ℓ = 32"): cheap to
+//! clone, shared across all agents, with all per-agent data in the
+//! associated [`Protocol::State`].
+
+use crate::memory::MemoryFootprint;
+use crate::observation::Observation;
+use crate::opinion::Opinion;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-round oracle context passed to protocols.
+///
+/// The self-stabilizing setting gives agents *no* common clock; the FET
+/// protocol and every passive baseline ignore this struct entirely. It
+/// exists so that the clock-assisted broadcast sketch from §1.4 of the paper
+/// (which *assumes* a shared notion of global time) can be expressed in the
+/// same framework and compared against FET — the comparison that motivates
+/// the paper's contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RoundContext {
+    round: u64,
+}
+
+impl RoundContext {
+    /// Creates a context for the given global round number.
+    pub fn new(round: u64) -> Self {
+        RoundContext { round }
+    }
+
+    /// The global round number (an oracle; see the type-level docs).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+/// A per-agent protocol: a pure state machine driven by passive
+/// observations.
+///
+/// # Contract
+///
+/// * [`Protocol::samples_per_round`] agents are sampled uniformly at random
+///   (with replacement) each round; the engine delivers their opinion count
+///   as one [`Observation`].
+/// * [`Protocol::step`] consumes the observation and updates the state;
+///   the opinion it settles on becomes the agent's *public output* for the
+///   next round (read back via [`Protocol::output`]).
+/// * [`Protocol::init_state`] produces a state holding a *given* opinion
+///   with all other internal variables drawn arbitrarily — the
+///   self-stabilizing setting makes no promise about initial internals, and
+///   adversaries (in `fet-adversary`) construct worse states directly.
+///
+/// # Panics
+///
+/// Implementations panic when handed an observation whose sample size does
+/// not match [`Protocol::samples_per_round`]; the engine upholds this
+/// invariant, and violating it indicates a harness bug.
+pub trait Protocol {
+    /// Per-agent state.
+    type State: Clone + fmt::Debug + Send;
+
+    /// Short human-readable protocol name (e.g. `"fet"`).
+    fn name(&self) -> &str;
+
+    /// Number of agents each agent samples per round (`2ℓ` for FET).
+    fn samples_per_round(&self) -> u32;
+
+    /// Creates a state with the given public opinion and arbitrary
+    /// (randomized) internal variables.
+    fn init_state(&self, opinion: Opinion, rng: &mut dyn RngCore) -> Self::State;
+
+    /// Executes one round: consumes this round's observation, updates the
+    /// state, and returns the new public opinion.
+    fn step(
+        &self,
+        state: &mut Self::State,
+        obs: &Observation,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+    ) -> Opinion;
+
+    /// The public opinion currently output by this state — the bit other
+    /// agents see when they sample this agent.
+    fn output(&self, state: &Self::State) -> Opinion;
+
+    /// The agent's *answer* to the dissemination problem.
+    ///
+    /// For passive-communication protocols this **is** the public output
+    /// (the default). Decoupled baselines (which the paper proves cannot be
+    /// passive) override it to expose an internal opinion distinct from the
+    /// communicated bit.
+    fn decision(&self, state: &Self::State) -> Opinion {
+        self.output(state)
+    }
+
+    /// `true` when the communicated bit equals the decision bit for every
+    /// reachable state — the defining property of passive communication.
+    ///
+    /// Defaults to `true`; decoupled baselines override.
+    fn is_passive(&self) -> bool {
+        true
+    }
+
+    /// Memory accounting for Theorem 1's `O(log ℓ)` bits claim.
+    fn memory_footprint(&self) -> MemoryFootprint;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_context_reports_round() {
+        let ctx = RoundContext::new(17);
+        assert_eq!(ctx.round(), 17);
+    }
+
+    // A minimal protocol used to exercise trait defaults.
+    #[derive(Debug, Clone)]
+    struct AlwaysOne;
+
+    impl Protocol for AlwaysOne {
+        type State = Opinion;
+
+        fn name(&self) -> &str {
+            "always-one"
+        }
+
+        fn samples_per_round(&self) -> u32 {
+            1
+        }
+
+        fn init_state(&self, opinion: Opinion, _rng: &mut dyn RngCore) -> Opinion {
+            opinion
+        }
+
+        fn step(
+            &self,
+            state: &mut Opinion,
+            _obs: &Observation,
+            _ctx: &RoundContext,
+            _rng: &mut dyn RngCore,
+        ) -> Opinion {
+            *state = Opinion::One;
+            *state
+        }
+
+        fn output(&self, state: &Opinion) -> Opinion {
+            *state
+        }
+
+        fn memory_footprint(&self) -> MemoryFootprint {
+            MemoryFootprint::new(1, 0, 0)
+        }
+    }
+
+    #[test]
+    fn default_decision_equals_output() {
+        use rand::SeedableRng;
+        let p = AlwaysOne;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let s = p.init_state(Opinion::Zero, &mut rng);
+        assert_eq!(p.decision(&s), p.output(&s));
+        assert!(p.is_passive());
+    }
+}

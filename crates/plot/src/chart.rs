@@ -1,0 +1,242 @@
+//! ASCII line/scatter charts.
+
+use std::fmt;
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Axis {
+    /// Linear axis.
+    #[default]
+    Linear,
+    /// Base-10 logarithmic axis (requires positive coordinates).
+    Log10,
+}
+
+impl Axis {
+    fn transform(&self, v: f64) -> f64 {
+        match self {
+            Axis::Linear => v,
+            Axis::Log10 => v.log10(),
+        }
+    }
+}
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Marker character.
+    pub marker: char,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, marker: char, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), marker, points }
+    }
+}
+
+/// An ASCII chart canvas.
+///
+/// # Example
+///
+/// ```
+/// use fet_plot::chart::{Axis, LineChart, Series};
+///
+/// let mut chart = LineChart::new(40, 10);
+/// chart.add_series(Series::new("t(n)", '*', vec![(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]));
+/// let s = chart.render();
+/// assert!(s.contains('*'));
+/// assert!(s.contains("t(n)"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    width: usize,
+    height: usize,
+    x_axis: Axis,
+    y_axis: Axis,
+    series: Vec<Series>,
+    title: Option<String>,
+}
+
+impl LineChart {
+    /// Creates an empty canvas of `width × height` plot cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width < 8` or `height < 4`.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 4, "canvas too small: {width}×{height}");
+        LineChart { width, height, x_axis: Axis::Linear, y_axis: Axis::Linear, series: Vec::new(), title: None }
+    }
+
+    /// Sets the chart title.
+    pub fn title(&mut self, t: impl Into<String>) -> &mut Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Sets axis scalings.
+    pub fn axes(&mut self, x: Axis, y: Axis) -> &mut Self {
+        self.x_axis = x;
+        self.y_axis = y;
+        self
+    }
+
+    /// Adds a series.
+    pub fn add_series(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart with axis ranges and legend.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| {
+                let tx = self.x_axis.transform(*x);
+                let ty = self.y_axis.transform(*y);
+                tx.is_finite() && ty.is_finite()
+            })
+            .collect();
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        if pts.is_empty() {
+            out.push_str("(no finite data)\n");
+            return out;
+        }
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            let tx = self.x_axis.transform(x);
+            let ty = self.y_axis.transform(y);
+            x_lo = x_lo.min(tx);
+            x_hi = x_hi.max(tx);
+            y_lo = y_lo.min(ty);
+            y_hi = y_hi.max(ty);
+        }
+        if (x_hi - x_lo).abs() < 1e-300 {
+            x_hi = x_lo + 1.0;
+        }
+        if (y_hi - y_lo).abs() < 1e-300 {
+            y_hi = y_lo + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let tx = self.x_axis.transform(x);
+                let ty = self.y_axis.transform(y);
+                if !tx.is_finite() || !ty.is_finite() {
+                    continue;
+                }
+                let col = ((tx - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round() as usize;
+                let row = ((ty - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round() as usize;
+                let r = self.height - 1 - row.min(self.height - 1);
+                grid[r][col.min(self.width - 1)] = s.marker;
+            }
+        }
+        let y_label = |v: f64| -> String {
+            match self.y_axis {
+                Axis::Linear => format!("{v:9.3}"),
+                Axis::Log10 => format!("{:9.3}", 10f64.powf(v)),
+            }
+        };
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                y_label(y_hi)
+            } else if r == self.height - 1 {
+                y_label(y_lo)
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&label);
+            out.push_str(" |");
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(9));
+        out.push_str(" +");
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        let x_left = match self.x_axis {
+            Axis::Linear => format!("{x_lo:.3}"),
+            Axis::Log10 => format!("{:.3}", 10f64.powf(x_lo)),
+        };
+        let x_right = match self.x_axis {
+            Axis::Linear => format!("{x_hi:.3}"),
+            Axis::Log10 => format!("{:.3}", 10f64.powf(x_hi)),
+        };
+        let pad = self.width.saturating_sub(x_left.len() + x_right.len());
+        out.push_str(&" ".repeat(11));
+        out.push_str(&x_left);
+        out.push_str(&" ".repeat(pad));
+        out.push_str(&x_right);
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&format!("  {} {}\n", s.marker, s.label));
+        }
+        out
+    }
+}
+
+impl fmt::Display for LineChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let mut c = LineChart::new(20, 6);
+        c.title("demo");
+        c.add_series(Series::new("up", '*', vec![(0.0, 0.0), (1.0, 1.0)]));
+        c.add_series(Series::new("down", 'o', vec![(0.0, 1.0), (1.0, 0.0)]));
+        let s = c.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("up") && s.contains("down"));
+    }
+
+    #[test]
+    fn log_axes_render_raw_values() {
+        let mut c = LineChart::new(20, 6);
+        c.axes(Axis::Log10, Axis::Log10);
+        c.add_series(Series::new("p", '*', vec![(10.0, 100.0), (1000.0, 10000.0)]));
+        let s = c.render();
+        // The x labels show untransformed endpoints.
+        assert!(s.contains("10.000"));
+        assert!(s.contains("1000.000"));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let c = LineChart::new(20, 6);
+        assert!(c.render().contains("no finite data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut c = LineChart::new(20, 6);
+        c.add_series(Series::new("flat", '*', vec![(1.0, 5.0), (2.0, 5.0)]));
+        let s = c.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_rejected() {
+        let _ = LineChart::new(4, 2);
+    }
+}

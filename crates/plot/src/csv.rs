@@ -1,0 +1,167 @@
+//! CSV export with correct quoting.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A CSV writer over any `io::Write` sink.
+///
+/// # Example
+///
+/// ```
+/// use fet_plot::csv::CsvWriter;
+///
+/// let mut buf = Vec::new();
+/// {
+///     let mut w = CsvWriter::new(&mut buf, &["n", "time"]).unwrap();
+///     w.write_record(&["1024", "97.5"]).unwrap();
+/// }
+/// let text = String::from_utf8(buf).unwrap();
+/// assert_eq!(text, "n,time\n1024,97.5\n");
+/// ```
+#[derive(Debug)]
+pub struct CsvWriter<W: Write> {
+    sink: W,
+    columns: usize,
+}
+
+impl CsvWriter<BufWriter<File>> {
+    /// Creates a CSV file at `path` (parent directories included) and
+    /// writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create<P: AsRef<Path>>(path: P, header: &[&str]) -> io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = BufWriter::new(File::create(path)?);
+        CsvWriter::new(file, header)
+    }
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wraps a sink and writes the header row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn new(mut sink: W, header: &[&str]) -> io::Result<Self> {
+        write_row(&mut sink, header.iter().copied())?;
+        Ok(CsvWriter { sink, columns: header.len() })
+    }
+
+    /// Writes one record of string fields.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the record's arity differs from the header's.
+    pub fn write_record<S: AsRef<str>>(&mut self, record: &[S]) -> io::Result<()> {
+        assert_eq!(
+            record.len(),
+            self.columns,
+            "record has {} fields, header has {}",
+            record.len(),
+            self.columns
+        );
+        write_row(&mut self.sink, record.iter().map(|s| s.as_ref()))
+    }
+
+    /// Writes one record of displayable values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn write_display_record<T: fmt::Display>(&mut self, record: &[T]) -> io::Result<()> {
+        let fields: Vec<String> = record.iter().map(|v| v.to_string()).collect();
+        self.write_record(&fields)
+    }
+
+    /// Flushes the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+fn write_row<'a, W: Write>(sink: &mut W, fields: impl Iterator<Item = &'a str>) -> io::Result<()> {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            sink.write_all(b",")?;
+        }
+        first = false;
+        if f.contains(',') || f.contains('"') || f.contains('\n') {
+            let escaped = f.replace('"', "\"\"");
+            write!(sink, "\"{escaped}\"")?;
+        } else {
+            sink.write_all(f.as_bytes())?;
+        }
+    }
+    sink.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_string(build: impl FnOnce(&mut CsvWriter<&mut Vec<u8>>)) -> String {
+        let mut buf = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut buf, &["a", "b"]).unwrap();
+            build(&mut w);
+        }
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn plain_fields() {
+        let s = to_string(|w| w.write_record(&["1", "2"]).unwrap());
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quoting_commas_and_quotes() {
+        let s = to_string(|w| w.write_record(&["x,y", "say \"hi\""]).unwrap());
+        assert_eq!(s, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn display_records() {
+        let s = to_string(|w| w.write_display_record(&[1.5, 2.5]).unwrap());
+        assert!(s.ends_with("1.5,2.5\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "record has 1 fields")]
+    fn arity_checked() {
+        let mut buf = Vec::new();
+        let mut w = CsvWriter::new(&mut buf, &["a", "b"]).unwrap();
+        let _ = w.write_record(&["only"]);
+    }
+
+    #[test]
+    fn create_writes_file() {
+        let dir = std::env::temp_dir().join("fet-plot-test");
+        let path = dir.join("out.csv");
+        {
+            let mut w = CsvWriter::create(&path, &["k"]).unwrap();
+            w.write_record(&["v"]).unwrap();
+            w.flush().unwrap();
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "k\nv\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,217 @@
+//! Scalar heatmaps and categorical maps (the domain-map figures).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Shade ramp from light to dark.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// A scalar heatmap over a row-major matrix.
+///
+/// Rows are rendered top-to-bottom in the order given; callers plotting
+/// `y`-up data (like the state-space square) should pass rows already
+/// flipped, or use [`Heatmap::render_flipped`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    values: Vec<Vec<f64>>,
+    title: Option<String>,
+}
+
+impl Heatmap {
+    /// Creates a heatmap from row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rows are empty or ragged.
+    pub fn new(values: Vec<Vec<f64>>) -> Self {
+        assert!(!values.is_empty() && !values[0].is_empty(), "heatmap needs data");
+        let w = values[0].len();
+        assert!(values.iter().all(|r| r.len() == w), "heatmap rows must be equal length");
+        Heatmap { values, title: None }
+    }
+
+    /// Sets the title.
+    pub fn title(&mut self, t: impl Into<String>) -> &mut Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    fn render_rows<'a>(&self, rows: impl Iterator<Item = &'a Vec<f64>>) -> String {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for row in &self.values {
+            for &v in row {
+                if v.is_finite() {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        if !lo.is_finite() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        if (hi - lo).abs() < 1e-300 {
+            hi = lo + 1.0;
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        for row in rows {
+            for &v in row {
+                let c = if v.is_finite() {
+                    let f = (v - lo) / (hi - lo);
+                    RAMP[((f * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)]
+                } else {
+                    '?'
+                };
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("scale: '{}' = {lo:.3} … '{}' = {hi:.3}\n", RAMP[0], RAMP[RAMP.len() - 1]));
+        out
+    }
+
+    /// Renders rows top-to-bottom as stored.
+    pub fn render(&self) -> String {
+        self.render_rows(self.values.iter())
+    }
+
+    /// Renders with the row order flipped (for `y`-up data).
+    pub fn render_flipped(&self) -> String {
+        self.render_rows(self.values.iter().rev())
+    }
+}
+
+impl fmt::Display for Heatmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// A categorical map: each cell holds a label; labels are assigned stable
+/// single-character glyphs and listed in a legend. This is what draws the
+/// Figure 1a / Figure 2 domain partitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CategoricalMap {
+    cells: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+/// Glyph pool for categories, in assignment order.
+const GLYPHS: &[char] = &[
+    'G', 'g', 'P', 'p', 'R', 'r', 'C', 'c', 'Y', 'A', 'a', 'B', 'b', 'D', 'd', '1', '2', '3',
+    '4', '5',
+];
+
+impl CategoricalMap {
+    /// Creates a map from row-major labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rows are empty or ragged.
+    pub fn new(cells: Vec<Vec<String>>) -> Self {
+        assert!(!cells.is_empty() && !cells[0].is_empty(), "categorical map needs data");
+        let w = cells[0].len();
+        assert!(cells.iter().all(|r| r.len() == w), "rows must be equal length");
+        CategoricalMap { cells, title: None }
+    }
+
+    /// Sets the title.
+    pub fn title(&mut self, t: impl Into<String>) -> &mut Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Renders with the row order flipped (for `y`-up data) plus a legend.
+    pub fn render_flipped(&self) -> String {
+        // Stable glyph assignment: lexicographic label order.
+        let mut labels: Vec<&String> = self.cells.iter().flatten().collect();
+        labels.sort();
+        labels.dedup();
+        let mut glyph_of: BTreeMap<&String, char> = BTreeMap::new();
+        for (i, l) in labels.iter().enumerate() {
+            glyph_of.insert(l, *GLYPHS.get(i).unwrap_or(&'?'));
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        for row in self.cells.iter().rev() {
+            for cell in row {
+                out.push(glyph_of[cell]);
+            }
+            out.push('\n');
+        }
+        out.push_str("legend: ");
+        let mut first = true;
+        for (label, glyph) in &glyph_of {
+            if !first {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{glyph}={label}"));
+            first = false;
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_renders_extremes() {
+        let mut h = Heatmap::new(vec![vec![0.0, 0.5], vec![0.5, 1.0]]);
+        h.title("t");
+        let s = h.render();
+        assert!(s.contains('t'));
+        assert!(s.contains('@'), "max value should use the darkest glyph");
+        assert!(s.contains("scale:"));
+    }
+
+    #[test]
+    fn heatmap_flip_reverses_rows() {
+        let h = Heatmap::new(vec![vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let normal: Vec<String> = h.render().lines().map(String::from).collect();
+        let flipped: Vec<String> = h.render_flipped().lines().map(String::from).collect();
+        assert_eq!(normal[0], flipped[1]);
+        assert_eq!(normal[1], flipped[0]);
+    }
+
+    #[test]
+    fn heatmap_handles_nan() {
+        let h = Heatmap::new(vec![vec![f64::NAN, 1.0]]);
+        assert!(h.render().contains('?'));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_heatmap_rejected() {
+        let _ = Heatmap::new(vec![]);
+    }
+
+    #[test]
+    fn categorical_legend_is_stable() {
+        let m = CategoricalMap::new(vec![
+            vec!["Yellow".to_string(), "Green1".to_string()],
+            vec!["Green1".to_string(), "Green1".to_string()],
+        ]);
+        let s = m.render_flipped();
+        assert!(s.contains("legend:"));
+        assert!(s.contains("Green1"));
+        assert!(s.contains("Yellow"));
+        // Rendering twice gives the same glyph assignment.
+        assert_eq!(s, m.render_flipped());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_rejected() {
+        let _ = CategoricalMap::new(vec![vec!["a".into()], vec!["a".into(), "b".into()]]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # fet-plot — terminal plotting and tabulation
+//!
+//! Minimal, dependency-free rendering for the experiment harness: every
+//! figure the reproduction regenerates is drawn in the terminal and
+//! exported as CSV.
+//!
+//! * [`table`] — aligned text tables with per-column formatting.
+//! * [`chart`] — ASCII line/scatter charts with linear or logarithmic axes.
+//! * [`heatmap`] — scalar heatmaps (shade ramp) and categorical maps with
+//!   legends (the Figure 1a / Figure 2 domain maps).
+//! * [`csv`] — CSV writing with proper quoting.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod chart;
+pub mod csv;
+pub mod heatmap;
+pub mod table;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::chart::{Axis, LineChart, Series};
+    pub use crate::csv::CsvWriter;
+    pub use crate::heatmap::{CategoricalMap, Heatmap};
+    pub use crate::table::Table;
+}

@@ -1,0 +1,171 @@
+//! Aligned text tables.
+
+use std::fmt;
+
+/// A simple aligned table: headers plus string rows, rendered with
+/// box-drawing-free ASCII so output pastes cleanly anywhere.
+///
+/// # Example
+///
+/// ```
+/// use fet_plot::table::Table;
+///
+/// let mut t = Table::new(vec!["n".into(), "t_con".into()]);
+/// t.add_row(vec!["1024".into(), "97.5".into()]);
+/// let s = t.render();
+/// assert!(s.contains("n"));
+/// assert!(s.contains("97.5"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row's arity differs from the header's.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn add_display_row<T: fmt::Display>(&mut self, row: &[T]) -> &mut Self {
+        self.add_row(row.iter().map(|v| v.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float compactly for table cells: trims to a sensible number
+/// of significant digits by magnitude.
+pub fn fmt_float(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a == 0.0 {
+        "0".to_string()
+    } else if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "bee".into()]);
+        t.add_row(vec!["long-cell".into(), "x".into()]);
+        t.add_row(vec!["s".into(), "y".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The separator spans the width of the widest content.
+        assert!(lines[1].len() >= "long-cell  bee".len() - 2);
+        // Cells are aligned: both data rows start their second column at
+        // the same offset.
+        let col = lines[2].find('x').unwrap();
+        assert_eq!(lines[3].find('y').unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn display_row_helper() {
+        let mut t = Table::new(vec!["v".into(), "w".into()]);
+        t.add_display_row(&[1.5, 2.25]);
+        assert!(t.render().contains("2.25"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn float_formatting_regimes() {
+        assert_eq!(fmt_float(0.0), "0");
+        assert_eq!(fmt_float(12345.6), "12346");
+        assert_eq!(fmt_float(42.25), "42.2");
+        assert_eq!(fmt_float(0.5), "0.500");
+        assert!(fmt_float(0.0001).contains('e'));
+        assert_eq!(fmt_float(f64::NAN), "NaN");
+    }
+}

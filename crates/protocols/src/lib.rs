@@ -1,0 +1,139 @@
+//! # fet-protocols — baseline protocols and opinion dynamics
+//!
+//! The comparison set for the FET experiments, spanning three families the
+//! paper positions itself against (§1.4, Related Works):
+//!
+//! 1. **Classic opinion dynamics** (passive by nature, but *not* designed to
+//!    follow a source): [`voter::VoterProtocol`],
+//!    [`majority::MajorityProtocol`], [`three_majority::ThreeMajorityProtocol`],
+//!    [`undecided::UndecidedProtocol`]. These reach consensus but on an
+//!    arbitrary/majority value — experiment E7 shows they do not reliably
+//!    converge on the *source's* opinion from adversarial starts.
+//! 2. **Clock-assisted broadcast** ([`oracle_clock::OracleClockProtocol`]):
+//!    the §1.4 sketch. Given a shared global clock it solves the problem in
+//!    `O(log n)` rounds with passive communication — the paper's point is
+//!    that *self-stabilizing* clocks are exactly the hard part that prior
+//!    work (Boczkowski et al. 2019; Bastide et al. 2021) spent its message
+//!    bits on. Our implementation takes the clock from the engine's round
+//!    counter, i.e. it is an *oracle* baseline, deliberately not
+//!    self-contained.
+//! 3. **Rumor spreading** ([`rumor::RumorProtocol`]): Karp et al.'s
+//!    copy-on-first-sight PULL algorithm. Converges in `≈ 2·log n` rounds
+//!    from a *clean* start but is famously not self-stabilizing: an agent
+//!    initialized to believe it was already informed keeps a wrong opinion
+//!    forever. Experiment E7 reproduces this failure.
+//!
+//! The decoupled-message protocols of Boczkowski et al. and Bastide et al.
+//! (messages ≠ opinions) are **deliberately absent**: the workspace's
+//! observation type carries opinion counts only, so a decoupled protocol is
+//! inexpressible here by construction — which is precisely the paper's
+//! passive-communication restriction. Their *capability* (O(log n) with
+//! clocks) is represented by the oracle-clock baseline.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod majority;
+pub mod oracle_clock;
+pub mod rumor;
+pub mod three_majority;
+pub mod undecided;
+pub mod voter;
+
+/// Convenient re-exports of all baseline protocols.
+pub mod prelude {
+    pub use crate::majority::MajorityProtocol;
+    pub use crate::oracle_clock::OracleClockProtocol;
+    pub use crate::rumor::{RumorProtocol, RumorState};
+    pub use crate::three_majority::ThreeMajorityProtocol;
+    pub use crate::undecided::{UndecidedProtocol, UndecidedState};
+    pub use crate::voter::VoterProtocol;
+}
+
+#[cfg(test)]
+mod contract_tests {
+    //! Uniform contract checks run against every baseline: properties the
+    //! engine relies on regardless of which protocol it drives.
+
+    use crate::prelude::*;
+    use fet_core::opinion::Opinion;
+    use fet_core::protocol::{Protocol, RoundContext};
+    use fet_stats::rng::SeedTree;
+    use rand::Rng;
+
+    /// Exercises the `Protocol` contract on randomized observations:
+    /// * `init_state(op)` publicly outputs `op` (the engine sets initial
+    ///   opinions through it);
+    /// * `samples_per_round() ≥ 1`;
+    /// * `step` returns exactly what `output` then reports;
+    /// * passive protocols decide what they display;
+    /// * the memory footprint is non-trivial and consistent.
+    fn check_contract<P: Protocol>(protocol: P) {
+        let mut rng = SeedTree::new(0xC0).child(protocol.name()).rng();
+        let m = protocol.samples_per_round();
+        assert!(m >= 1, "{}: zero samples per round", protocol.name());
+        assert!(
+            protocol.memory_footprint().peak_bits() >= 1,
+            "{}: empty memory footprint",
+            protocol.name()
+        );
+        for round in 0..200u64 {
+            let opinion = if rng.gen::<bool>() { Opinion::One } else { Opinion::Zero };
+            let mut state = protocol.init_state(opinion, &mut rng);
+            assert_eq!(
+                protocol.output(&state),
+                opinion,
+                "{}: init_state must display the given opinion",
+                protocol.name()
+            );
+            let ones = rng.gen_range(0..=m);
+            let obs = fet_core::observation::Observation::new(ones, m).unwrap();
+            let ctx = RoundContext::new(round);
+            let returned = protocol.step(&mut state, &obs, &ctx, &mut rng);
+            assert_eq!(
+                returned,
+                protocol.output(&state),
+                "{}: step return disagrees with output",
+                protocol.name()
+            );
+            if protocol.is_passive() {
+                assert_eq!(
+                    protocol.decision(&state),
+                    protocol.output(&state),
+                    "{}: passive protocol decides what it displays",
+                    protocol.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn voter_contract() {
+        check_contract(VoterProtocol::new());
+    }
+
+    #[test]
+    fn majority_contract() {
+        check_contract(MajorityProtocol::new(9).unwrap());
+    }
+
+    #[test]
+    fn three_majority_contract() {
+        check_contract(ThreeMajorityProtocol::new());
+    }
+
+    #[test]
+    fn undecided_contract() {
+        check_contract(UndecidedProtocol::new());
+    }
+
+    #[test]
+    fn oracle_clock_contract() {
+        check_contract(OracleClockProtocol::for_population(1000).unwrap());
+    }
+
+    #[test]
+    fn rumor_contract() {
+        check_contract(RumorProtocol::clean());
+    }
+}

@@ -1,0 +1,338 @@
+//! The aggregate FET chain: Observation 1 executed literally.
+//!
+//! Observation 1 of the paper states that, conditioned on
+//! `(x_t, x_{t+1})`, the next fraction `x_{t+2}` is a (normalized) sum of
+//! *independent* per-agent indicators:
+//!
+//! * a non-source agent holding 1 keeps it with probability
+//!   `P(B_ℓ(x_{t+1}) ≥ B_ℓ(x_t))`;
+//! * a non-source agent holding 0 switches to 1 with probability
+//!   `P(B_ℓ(x_{t+1}) > B_ℓ(x_t))`;
+//! * the source is constant.
+//!
+//! Summing independent indicators with two distinct success probabilities
+//! is two binomial draws — so the whole population's round costs `O(ℓ)`
+//! (the comparison kernels) plus two `O(log n)` exact binomial samples,
+//! **independent of `n`**. This is what lets the reproduction run
+//! populations of `10^9` agents and is distributionally *exact* for FET
+//! (not a mean-field approximation).
+
+use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
+use crate::error::SimError;
+use fet_core::config::ProblemSpec;
+use fet_core::opinion::Opinion;
+use fet_stats::binomial::sample_binomial;
+use fet_stats::compare::{trend_probabilities, TrendProbabilities};
+use fet_stats::rng::SeedTree;
+use rand::rngs::SmallRng;
+
+/// The exact population-level FET chain over `(ones_t, ones_{t+1})`.
+///
+/// # Example
+///
+/// ```
+/// use fet_core::config::ProblemSpec;
+/// use fet_core::opinion::Opinion;
+/// use fet_sim::aggregate::AggregateFetChain;
+/// use fet_sim::convergence::ConvergenceCriterion;
+///
+/// let spec = ProblemSpec::single_source(1_000_000, Opinion::One)?;
+/// // Start from the all-wrong configuration: only the source holds 1.
+/// let mut chain = AggregateFetChain::new(spec, 40, 1, 1, 7)?;
+/// let report = chain.run(50_000, ConvergenceCriterion::new(3));
+/// assert!(report.converged());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AggregateFetChain {
+    spec: ProblemSpec,
+    ell: u32,
+    ones_prev: u64,
+    ones_curr: u64,
+    rng: SmallRng,
+    round: u64,
+}
+
+impl AggregateFetChain {
+    /// Creates the chain at state `(ones_t, ones_{t+1}) = (ones_prev,
+    /// ones_curr)` — counts of 1-opinions over the *whole* population.
+    ///
+    /// The pair may be set arbitrarily (subject to the source's
+    /// contribution), reflecting the adversary's power to choose both
+    /// initial opinions and stale counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when a count exceeds `n` or
+    /// contradicts the sources' fixed opinions, or when `ell == 0`.
+    pub fn new(
+        spec: ProblemSpec,
+        ell: u32,
+        ones_prev: u64,
+        ones_curr: u64,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        if ell == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "ell",
+                detail: "sample size must be at least 1".into(),
+            });
+        }
+        let k = spec.num_sources();
+        for (label, ones) in [("ones_prev", ones_prev), ("ones_curr", ones_curr)] {
+            if ones > spec.n() {
+                return Err(SimError::InvalidParameter {
+                    name: "ones",
+                    detail: format!("{label} = {ones} exceeds n = {}", spec.n()),
+                });
+            }
+            let feasible = match spec.correct() {
+                Opinion::One => ones >= k,
+                Opinion::Zero => ones <= spec.n() - k,
+            };
+            if !feasible {
+                return Err(SimError::InvalidParameter {
+                    name: "ones",
+                    detail: format!(
+                        "{label} = {ones} contradicts {k} source(s) holding {}",
+                        spec.correct()
+                    ),
+                });
+            }
+        }
+        Ok(AggregateFetChain {
+            spec,
+            ell,
+            ones_prev,
+            ones_curr,
+            rng: SeedTree::new(seed).child("aggregate").rng(),
+            round: 0,
+        })
+    }
+
+    /// Convenience: the chain started from the all-wrong configuration
+    /// (both coordinates at the sources-only count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AggregateFetChain::new`] errors.
+    pub fn all_wrong(spec: ProblemSpec, ell: u32, seed: u64) -> Result<Self, SimError> {
+        let ones = match spec.correct() {
+            Opinion::One => spec.num_sources(),
+            Opinion::Zero => spec.n() - spec.num_sources(),
+        };
+        AggregateFetChain::new(spec, ell, ones, ones, seed)
+    }
+
+    /// The problem specification.
+    pub fn spec(&self) -> &ProblemSpec {
+        &self.spec
+    }
+
+    /// The half-sample size `ℓ`.
+    pub fn ell(&self) -> u32 {
+        self.ell
+    }
+
+    /// Current round index.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The chain state as fractions `(x_t, x_{t+1})`.
+    pub fn fractions(&self) -> (f64, f64) {
+        let n = self.spec.n() as f64;
+        (self.ones_prev as f64 / n, self.ones_curr as f64 / n)
+    }
+
+    /// The per-agent transition probabilities at the current state
+    /// (Observation 1's kernel).
+    pub fn current_probabilities(&self) -> TrendProbabilities {
+        let (x_t, x_t1) = self.fractions();
+        trend_probabilities(u64::from(self.ell), x_t, x_t1)
+    }
+
+    /// `E[x_{t+2} | x_t, x_{t+1}]` per Eq. (2) of the paper.
+    pub fn expected_next_fraction(&self) -> f64 {
+        let n = self.spec.n() as f64;
+        let tp = self.current_probabilities();
+        let (_, x_t1) = self.fractions();
+        let sources_one = match self.spec.correct() {
+            Opinion::One => self.spec.num_sources() as f64,
+            Opinion::Zero => 0.0,
+        };
+        let holders_one = self.ones_curr as f64 - sources_one;
+        let holders_zero = n - self.spec.num_sources() as f64 - holders_one;
+        let _ = x_t1;
+        (sources_one + holders_one * (tp.adopt_one + tp.keep) + holders_zero * tp.adopt_one) / n
+    }
+
+    /// Advances one round, drawing `ones_{t+2}` from the exact law.
+    pub fn step(&mut self) {
+        let tp = self.current_probabilities();
+        let k = self.spec.num_sources();
+        let sources_one = match self.spec.correct() {
+            Opinion::One => k,
+            Opinion::Zero => 0,
+        };
+        let holders_one = self.ones_curr - sources_one;
+        let holders_zero = self.spec.n() - k - holders_one;
+        // Float rounding can push the sum an ulp past 1.0.
+        let p_stay = (tp.adopt_one + tp.keep).min(1.0);
+        let stay_one = sample_binomial(holders_one, p_stay, &mut self.rng);
+        let join_one = sample_binomial(holders_zero, tp.adopt_one, &mut self.rng);
+        let next = sources_one + stay_one + join_one;
+        self.ones_prev = self.ones_curr;
+        self.ones_curr = next;
+        self.round += 1;
+    }
+
+    /// `true` when every non-source agent currently holds the correct
+    /// opinion.
+    pub fn all_correct(&self) -> bool {
+        match self.spec.correct() {
+            Opinion::One => self.ones_curr == self.spec.n(),
+            Opinion::Zero => self.ones_curr == 0,
+        }
+    }
+
+    /// Runs until convergence is confirmed or the round budget is spent.
+    pub fn run(&mut self, max_rounds: u64, criterion: ConvergenceCriterion) -> ConvergenceReport {
+        let mut detector = ConvergenceDetector::new(criterion);
+        let mut done = detector.observe(self.round, self.all_correct());
+        while !done && self.round < max_rounds {
+            self.step();
+            done = detector.observe(self.round, self.all_correct());
+        }
+        let nn = self.spec.num_non_sources() as f64;
+        let correct_now = match self.spec.correct() {
+            Opinion::One => (self.ones_curr - self.spec.num_sources()) as f64,
+            Opinion::Zero => (self.spec.n() - self.ones_curr - self.spec.num_sources()) as f64,
+        };
+        ConvergenceReport {
+            converged_at: detector.converged_at(),
+            rounds_run: self.round,
+            final_fraction_correct: correct_now / nn,
+        }
+    }
+
+    /// Runs and records the `x_t` trajectory (including both initial
+    /// coordinates).
+    pub fn run_recording(
+        &mut self,
+        max_rounds: u64,
+        criterion: ConvergenceCriterion,
+    ) -> (ConvergenceReport, Vec<f64>) {
+        let mut traj = Vec::with_capacity(64);
+        let (x0, x1) = self.fractions();
+        traj.push(x0);
+        traj.push(x1);
+        let mut detector = ConvergenceDetector::new(criterion);
+        let mut done = detector.observe(self.round, self.all_correct());
+        while !done && self.round < max_rounds {
+            self.step();
+            traj.push(self.fractions().1);
+            done = detector.observe(self.round, self.all_correct());
+        }
+        let nn = self.spec.num_non_sources() as f64;
+        let correct_now = match self.spec.correct() {
+            Opinion::One => (self.ones_curr - self.spec.num_sources()) as f64,
+            Opinion::Zero => (self.spec.n() - self.ones_curr - self.spec.num_sources()) as f64,
+        };
+        let report = ConvergenceReport {
+            converged_at: detector.converged_at(),
+            rounds_run: self.round,
+            final_fraction_correct: correct_now / nn,
+        };
+        (report, traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: u64) -> ProblemSpec {
+        ProblemSpec::single_source(n, Opinion::One).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_counts() {
+        assert!(AggregateFetChain::new(spec(10), 4, 11, 1, 0).is_err());
+        // Source holds 1, so zero ones is infeasible.
+        assert!(AggregateFetChain::new(spec(10), 4, 0, 1, 0).is_err());
+        assert!(AggregateFetChain::new(spec(10), 0, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn all_wrong_start_converges_large_population() {
+        let mut chain = AggregateFetChain::all_wrong(spec(100_000), 46, 3).unwrap();
+        let report = chain.run(100_000, ConvergenceCriterion::new(3));
+        assert!(report.converged(), "{report:?}");
+        assert!(chain.all_correct());
+    }
+
+    #[test]
+    fn converged_state_is_absorbing() {
+        let mut chain = AggregateFetChain::new(spec(1_000), 30, 1_000, 1_000, 5).unwrap();
+        for _ in 0..50 {
+            chain.step();
+            assert!(chain.all_correct(), "absorbing state left at round {}", chain.round());
+        }
+    }
+
+    #[test]
+    fn correct_zero_converges_to_zero() {
+        let spec0 = ProblemSpec::single_source(10_000, Opinion::Zero).unwrap();
+        let mut chain = AggregateFetChain::all_wrong(spec0, 37, 7).unwrap();
+        let report = chain.run(50_000, ConvergenceCriterion::new(3));
+        assert!(report.converged(), "{report:?}");
+        assert_eq!(chain.fractions().1, 0.0);
+    }
+
+    #[test]
+    fn expected_next_fraction_matches_eq2_shape() {
+        // Rising configuration: expectation must exceed a falling one's.
+        let rising = AggregateFetChain::new(spec(10_000), 40, 2_000, 5_000, 1).unwrap();
+        let falling = AggregateFetChain::new(spec(10_000), 40, 5_000, 2_000, 1).unwrap();
+        assert!(rising.expected_next_fraction() > 0.9);
+        assert!(falling.expected_next_fraction() < 0.1);
+    }
+
+    #[test]
+    fn step_mean_matches_expectation() {
+        let base = AggregateFetChain::new(spec(50_000), 32, 20_000, 26_000, 0).unwrap();
+        let expect = base.expected_next_fraction();
+        let reps = 3_000;
+        let mut acc = 0.0;
+        for seed in 0..reps {
+            let mut c =
+                AggregateFetChain::new(spec(50_000), 32, 20_000, 26_000, seed).unwrap();
+            c.step();
+            acc += c.fractions().1;
+        }
+        let mean = acc / reps as f64;
+        assert!((mean - expect).abs() < 0.002, "mean {mean} vs expectation {expect}");
+    }
+
+    #[test]
+    fn trajectory_recording_includes_initial_pair() {
+        let mut chain = AggregateFetChain::all_wrong(spec(1_000), 28, 9).unwrap();
+        let (report, traj) = chain.run_recording(20_000, ConvergenceCriterion::new(2));
+        assert!(report.converged());
+        assert_eq!(traj.len() as u64, report.rounds_run + 2);
+        assert_eq!(*traj.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn billion_agent_round_is_fast_and_sane() {
+        // A single step at n = 10^9 must be effectively instantaneous and
+        // produce a fraction in [0, 1].
+        let spec_big = ProblemSpec::single_source(1_000_000_000, Opinion::One).unwrap();
+        let mut chain =
+            AggregateFetChain::new(spec_big, 80, 400_000_000, 500_000_000, 2).unwrap();
+        chain.step();
+        let (_, x) = chain.fractions();
+        assert!((0.0..=1.0).contains(&x));
+    }
+}

@@ -1,0 +1,167 @@
+//! Convergence detection.
+//!
+//! The paper defines the running time `t_con` as "the first round that the
+//! configuration of opinions reached a consensus on the correct opinion,
+//! and remained unchanged forever after". A finite run cannot certify
+//! "forever"; the detector instead requires the all-correct configuration
+//! to persist for a configurable *stability window*. For FET with a source
+//! the all-correct configuration is genuinely absorbing — once everyone
+//! agrees, every sample is unanimous, every comparison ties, and ties keep —
+//! so any window ≥ 1 identifies the true `t_con`; baselines without an
+//! absorbing state need larger windows.
+
+use serde::{Deserialize, Serialize};
+
+/// When to declare convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvergenceCriterion {
+    /// Number of consecutive all-correct rounds required.
+    pub stability_window: u64,
+}
+
+impl ConvergenceCriterion {
+    /// Criterion with the given stability window (clamped to ≥ 1).
+    pub fn new(stability_window: u64) -> Self {
+        ConvergenceCriterion { stability_window: stability_window.max(1) }
+    }
+
+    /// The paper-appropriate default for a population of `n`:
+    /// `⌈log₂ n⌉` rounds.
+    pub fn for_population(n: u64) -> Self {
+        ConvergenceCriterion::new((64 - n.leading_zeros() as u64).max(1))
+    }
+}
+
+impl Default for ConvergenceCriterion {
+    fn default() -> Self {
+        ConvergenceCriterion::new(1)
+    }
+}
+
+/// Streaming detector fed once per round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceDetector {
+    criterion: ConvergenceCriterion,
+    streak_start: Option<u64>,
+    confirmed_at: Option<u64>,
+}
+
+impl ConvergenceDetector {
+    /// Creates a detector.
+    pub fn new(criterion: ConvergenceCriterion) -> Self {
+        ConvergenceDetector { criterion, streak_start: None, confirmed_at: None }
+    }
+
+    /// Feeds the state of one round: whether *all* non-source agents
+    /// currently decide the correct opinion. Returns `true` once
+    /// convergence is confirmed (and from then on).
+    pub fn observe(&mut self, round: u64, all_correct: bool) -> bool {
+        if self.confirmed_at.is_some() {
+            return true;
+        }
+        if all_correct {
+            let start = *self.streak_start.get_or_insert(round);
+            if round + 1 - start >= self.criterion.stability_window {
+                self.confirmed_at = Some(start);
+                return true;
+            }
+        } else {
+            self.streak_start = None;
+        }
+        false
+    }
+
+    /// The confirmed convergence round `t_con` (start of the surviving
+    /// streak), if any.
+    pub fn converged_at(&self) -> Option<u64> {
+        self.confirmed_at
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// `t_con`: first round of the stability-confirmed all-correct streak.
+    pub converged_at: Option<u64>,
+    /// Total rounds executed.
+    pub rounds_run: u64,
+    /// Fraction of non-source agents deciding correctly at the end.
+    pub final_fraction_correct: f64,
+}
+
+impl ConvergenceReport {
+    /// `true` when the run converged within its round budget.
+    pub fn converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+
+    /// Convergence time as a float, or `NaN` when the run failed —
+    /// convenient for summaries that filter with `is_finite`.
+    pub fn time_or_nan(&self) -> f64 {
+        self.converged_at.map_or(f64::NAN, |t| t as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_of_one_confirms_immediately() {
+        let mut d = ConvergenceDetector::new(ConvergenceCriterion::new(1));
+        assert!(!d.observe(0, false));
+        assert!(d.observe(1, true));
+        assert_eq!(d.converged_at(), Some(1));
+    }
+
+    #[test]
+    fn broken_streak_resets() {
+        let mut d = ConvergenceDetector::new(ConvergenceCriterion::new(3));
+        assert!(!d.observe(0, true));
+        assert!(!d.observe(1, true));
+        assert!(!d.observe(2, false)); // streak dies at length 2
+        assert!(!d.observe(3, true));
+        assert!(!d.observe(4, true));
+        assert!(d.observe(5, true));
+        assert_eq!(d.converged_at(), Some(3), "t_con is the streak start");
+    }
+
+    #[test]
+    fn confirmation_is_sticky() {
+        let mut d = ConvergenceDetector::new(ConvergenceCriterion::new(1));
+        assert!(d.observe(0, true));
+        // Later rounds cannot un-confirm (the engine stops feeding anyway).
+        assert!(d.observe(1, false));
+        assert_eq!(d.converged_at(), Some(0));
+    }
+
+    #[test]
+    fn zero_window_clamps_to_one() {
+        let c = ConvergenceCriterion::new(0);
+        assert_eq!(c.stability_window, 1);
+    }
+
+    #[test]
+    fn for_population_scales_logarithmically() {
+        assert_eq!(ConvergenceCriterion::for_population(1024).stability_window, 11);
+        assert_eq!(ConvergenceCriterion::for_population(2).stability_window, 2);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let ok = ConvergenceReport {
+            converged_at: Some(7),
+            rounds_run: 20,
+            final_fraction_correct: 1.0,
+        };
+        assert!(ok.converged());
+        assert_eq!(ok.time_or_nan(), 7.0);
+        let bad = ConvergenceReport {
+            converged_at: None,
+            rounds_run: 20,
+            final_fraction_correct: 0.4,
+        };
+        assert!(!bad.converged());
+        assert!(bad.time_or_nan().is_nan());
+    }
+}

@@ -1,0 +1,598 @@
+//! The synchronous round engine.
+//!
+//! Implements the paper's execution model: in every round each non-source
+//! agent observes the opinion bits of `m = samples_per_round()` agents
+//! chosen uniformly at random **with replacement** from the whole
+//! population, then updates its state through the protocol. All updates
+//! within a round are synchronous (they read the round-`t` outputs).
+//!
+//! Two exact fidelities are provided (see the crate docs): literal index
+//! sampling ([`Fidelity::Agent`]) and the distributionally identical
+//! per-agent binomial shortcut ([`Fidelity::Binomial`]), which exploits the
+//! fact that a with-replacement sample of size `m` from a population with
+//! 1-fraction `x` contains `Binomial(m, x)` ones. The `O(ℓ)`-per-round
+//! aggregate chain lives in [`crate::aggregate`].
+
+use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+use crate::init::InitialCondition;
+use crate::observer::{RoundObserver, RoundSnapshot};
+use fet_core::config::ProblemSpec;
+use fet_core::observation::Observation;
+use fet_core::opinion::Opinion;
+use fet_core::protocol::{Protocol, RoundContext};
+use fet_core::source::Source;
+use fet_stats::binomial::BinomialSampler;
+use fet_stats::hypergeometric::Hypergeometric;
+use fet_stats::rng::SeedTree;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How per-agent observations are generated.
+///
+/// [`Fidelity::Agent`] and [`Fidelity::Binomial`] sample *exactly* the
+/// paper's with-replacement model and differ only in cost.
+/// [`Fidelity::WithoutReplacement`] is a deliberate model variation for
+/// robustness experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Literal sampling: draw `m` uniform agent indices, read their output
+    /// bits. `O(n·m)` per round.
+    Agent,
+    /// Distributional shortcut: draw each agent's observed count from
+    /// `Binomial(m, x_t)` directly. `O(n)` per round (plus protocol work).
+    Binomial,
+    /// Model variation — sampling **without** replacement: each agent's
+    /// count is `Hypergeometric(n, ones_t, m)`, i.e. it scans `m`
+    /// *distinct* agents. The paper assumes with-replacement sampling
+    /// (which makes Observation 1's binomial identity exact); this
+    /// fidelity measures how much of the behaviour that assumption
+    /// carries. For `m ≪ n` the two are statistically close (variance
+    /// shrinks by the factor `(n−m)/(n−1)`), so convergence shapes should
+    /// match — which experiment E10's drift harness confirms.
+    WithoutReplacement,
+}
+
+/// A population of agents running one protocol, plus the round loop.
+///
+/// Agent indices `[0, num_sources)` are sources; the rest run the protocol.
+///
+/// # Example
+///
+/// ```
+/// use fet_core::fet::FetProtocol;
+/// use fet_core::config::ProblemSpec;
+/// use fet_core::opinion::Opinion;
+/// use fet_sim::engine::{Engine, Fidelity};
+/// use fet_sim::init::InitialCondition;
+/// use fet_sim::convergence::ConvergenceCriterion;
+/// use fet_sim::observer::NullObserver;
+///
+/// let spec = ProblemSpec::single_source(300, Opinion::One)?;
+/// let proto = FetProtocol::for_population(300, 4.0)?;
+/// let mut engine = Engine::new(proto, spec, Fidelity::Binomial, InitialCondition::AllWrong, 7)?;
+/// let report = engine.run(5_000, ConvergenceCriterion::default(), &mut NullObserver);
+/// assert!(report.converged());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine<P: Protocol> {
+    protocol: P,
+    spec: ProblemSpec,
+    source: Source,
+    fidelity: Fidelity,
+    fault: FaultPlan,
+    outputs: Vec<Opinion>,
+    snapshot: Vec<Opinion>,
+    states: Vec<P::State>,
+    ones_count: u64,
+    correct_decisions: u64,
+    rng: SmallRng,
+    round: u64,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Creates an engine with non-source opinions drawn from `init` and
+    /// internal variables randomized by the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedPopulation`] when `n` does not fit in
+    /// addressable memory for per-agent simulation, and
+    /// [`SimError::InvalidParameter`] when [`Fidelity::WithoutReplacement`]
+    /// is requested with a sample size exceeding the population.
+    pub fn new(
+        protocol: P,
+        spec: ProblemSpec,
+        fidelity: Fidelity,
+        init: InitialCondition,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let mut rng = SeedTree::new(seed).child("engine").rng();
+        let n = Self::checked_n(&spec)?;
+        Self::check_fidelity(&protocol, fidelity, n)?;
+        let num_sources = spec.num_sources() as usize;
+        let source = Source::new(spec.correct());
+        let mut outputs = Vec::with_capacity(n);
+        let mut states = Vec::with_capacity(n - num_sources);
+        for _ in 0..num_sources {
+            outputs.push(source.output());
+        }
+        for _ in num_sources..n {
+            let opinion = init.draw(spec.correct(), &mut rng);
+            let state = protocol.init_state(opinion, &mut rng);
+            outputs.push(protocol.output(&state));
+            states.push(state);
+        }
+        Ok(Self::assemble(protocol, spec, source, fidelity, outputs, states, rng))
+    }
+
+    /// Creates an engine from explicitly provided non-source states — the
+    /// entry point for adversarial configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedPopulation`] for oversized `n` and
+    /// [`SimError::InvalidParameter`] when `states.len()` does not equal the
+    /// number of non-source agents.
+    pub fn from_states(
+        protocol: P,
+        spec: ProblemSpec,
+        fidelity: Fidelity,
+        states: Vec<P::State>,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let rng = SeedTree::new(seed).child("engine").rng();
+        let n = Self::checked_n(&spec)?;
+        Self::check_fidelity(&protocol, fidelity, n)?;
+        let num_sources = spec.num_sources() as usize;
+        if states.len() != n - num_sources {
+            return Err(SimError::InvalidParameter {
+                name: "states",
+                detail: format!(
+                    "expected {} non-source states, got {}",
+                    n - num_sources,
+                    states.len()
+                ),
+            });
+        }
+        let source = Source::new(spec.correct());
+        let mut outputs = Vec::with_capacity(n);
+        for _ in 0..num_sources {
+            outputs.push(source.output());
+        }
+        for s in &states {
+            outputs.push(protocol.output(s));
+        }
+        Ok(Self::assemble(protocol, spec, source, fidelity, outputs, states, rng))
+    }
+
+    fn checked_n(spec: &ProblemSpec) -> Result<usize, SimError> {
+        let n = spec.n();
+        if n > (u32::MAX as u64) {
+            return Err(SimError::UnsupportedPopulation {
+                detail: format!(
+                    "n = {n} exceeds per-agent simulation limits; use the aggregate chain"
+                ),
+            });
+        }
+        Ok(n as usize)
+    }
+
+    fn check_fidelity(protocol: &P, fidelity: Fidelity, n: usize) -> Result<(), SimError> {
+        if fidelity == Fidelity::WithoutReplacement
+            && usize::try_from(protocol.samples_per_round()).expect("u32 fits usize") > n
+        {
+            return Err(SimError::InvalidParameter {
+                name: "fidelity",
+                detail: format!(
+                    "without-replacement sampling needs m ≤ n, got m = {} and n = {n}",
+                    protocol.samples_per_round()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn assemble(
+        protocol: P,
+        spec: ProblemSpec,
+        source: Source,
+        fidelity: Fidelity,
+        outputs: Vec<Opinion>,
+        states: Vec<P::State>,
+        rng: SmallRng,
+    ) -> Self {
+        let ones_count = outputs.iter().filter(|o| o.is_one()).count() as u64;
+        let correct_decisions = states
+            .iter()
+            .filter(|s| protocol.decision(s) == source.correct())
+            .count() as u64;
+        let snapshot = outputs.clone();
+        Engine {
+            protocol,
+            spec,
+            source,
+            fidelity,
+            fault: FaultPlan::none(),
+            outputs,
+            snapshot,
+            states,
+            ones_count,
+            correct_decisions,
+            rng,
+            round: 0,
+        }
+    }
+
+    /// Installs a fault plan (replacing any previous plan).
+    pub fn set_fault_plan(&mut self, fault: FaultPlan) {
+        self.fault = fault;
+    }
+
+    /// The protocol configuration.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The problem specification this engine was built with.
+    ///
+    /// Note: a fault plan may retarget the source mid-run; the *current*
+    /// correct opinion is [`Engine::correct`], not `spec().correct()`.
+    pub fn spec(&self) -> &ProblemSpec {
+        &self.spec
+    }
+
+    /// The current correct opinion (tracks mid-run retargeting).
+    pub fn correct(&self) -> Opinion {
+        self.source.correct()
+    }
+
+    /// Current round index (0 before any [`Engine::step`]).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The paper's `x_t`: fraction of all agents (sources included)
+    /// currently outputting opinion 1.
+    pub fn fraction_ones(&self) -> f64 {
+        self.ones_count as f64 / self.spec.n() as f64
+    }
+
+    /// Fraction of non-source agents whose *decision* equals the correct
+    /// opinion.
+    pub fn fraction_correct(&self) -> f64 {
+        self.correct_decisions as f64 / self.spec.num_non_sources() as f64
+    }
+
+    /// `true` when every non-source agent decides correctly.
+    pub fn all_correct(&self) -> bool {
+        self.correct_decisions == self.spec.num_non_sources()
+    }
+
+    /// Public outputs of all agents (index `< num_sources` are sources).
+    pub fn outputs(&self) -> &[Opinion] {
+        &self.outputs
+    }
+
+    /// Non-source agent states (read-only).
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Replaces the state of non-source agent `idx` (0-based among
+    /// non-sources) and refreshes cached counters. Adversary entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn set_state(&mut self, idx: usize, state: P::State) {
+        self.states[idx] = state;
+        self.refresh_caches();
+    }
+
+    /// Re-derives outputs and counters from the states — call after bulk
+    /// state surgery through [`Engine::states_mut`].
+    pub fn refresh_caches(&mut self) {
+        let num_sources = self.spec.num_sources() as usize;
+        for i in 0..num_sources {
+            self.outputs[i] = self.source.output();
+        }
+        for (j, s) in self.states.iter().enumerate() {
+            self.outputs[num_sources + j] = self.protocol.output(s);
+        }
+        self.ones_count = self.outputs.iter().filter(|o| o.is_one()).count() as u64;
+        self.correct_decisions = self
+            .states
+            .iter()
+            .filter(|s| self.protocol.decision(s) == self.source.correct())
+            .count() as u64;
+    }
+
+    /// Mutable access to non-source states for adversarial surgery.
+    /// Callers **must** invoke [`Engine::refresh_caches`] afterwards.
+    pub fn states_mut(&mut self) -> &mut [P::State] {
+        &mut self.states
+    }
+
+    /// Executes one synchronous round.
+    pub fn step(&mut self) {
+        // Scheduled environment change: the correct bit itself flips.
+        if let Some(new_correct) = self.fault.retarget_at(self.round) {
+            self.source.retarget(new_correct);
+            self.refresh_caches();
+        }
+        let n = self.outputs.len();
+        let num_sources = self.spec.num_sources() as usize;
+        let m = self.protocol.samples_per_round();
+        let ctx = RoundContext::new(self.round);
+        // Synchrony: all observations read the round-t outputs.
+        self.snapshot.clone_from(&self.outputs);
+        let x_t = self.ones_count as f64 / n as f64;
+        let mut binomial = None;
+        let mut hypergeometric = None;
+        match self.fidelity {
+            Fidelity::Agent => {}
+            Fidelity::Binomial => {
+                binomial = Some(
+                    BinomialSampler::new(u64::from(m), x_t)
+                        .expect("x_t is a fraction of counts, always in [0, 1]"),
+                );
+            }
+            Fidelity::WithoutReplacement => {
+                hypergeometric = Some(
+                    Hypergeometric::new(n as u64, self.ones_count, u64::from(m))
+                        .expect("m ≤ n is validated at engine construction"),
+                );
+            }
+        }
+        let mut ones_count = num_sources as u64
+            * u64::from(self.source.output().is_one());
+        let mut correct_decisions = 0u64;
+        for (j, state) in self.states.iter_mut().enumerate() {
+            let agent_index = num_sources + j;
+            let sleeping = self.fault.draws_sleep(&mut self.rng);
+            if !sleeping {
+                let raw_ones: u32 = if let Some(sampler) = &binomial {
+                    sampler.sample(&mut self.rng) as u32
+                } else if let Some(h) = &hypergeometric {
+                    h.sample(&mut self.rng) as u32
+                } else {
+                    let mut c = 0u32;
+                    for _ in 0..m {
+                        let k = self.rng.gen_range(0..n);
+                        if self.snapshot[k].is_one() {
+                            c += 1;
+                        }
+                    }
+                    c
+                };
+                let seen = self.fault.corrupt_count(raw_ones, m, &mut self.rng);
+                let obs = Observation::new(seen, m)
+                    .expect("corrupt_count preserves the sample-size bound");
+                let new_output = self.protocol.step(state, &obs, &ctx, &mut self.rng);
+                self.outputs[agent_index] = new_output;
+            }
+            ones_count += u64::from(self.outputs[agent_index].is_one());
+            correct_decisions +=
+                u64::from(self.protocol.decision(state) == self.source.correct());
+        }
+        self.ones_count = ones_count;
+        self.correct_decisions = correct_decisions;
+        self.round += 1;
+    }
+
+    /// Runs until convergence is confirmed or `max_rounds` have executed.
+    ///
+    /// The observer receives round 0 (the initial configuration) and every
+    /// round thereafter.
+    pub fn run<O: RoundObserver + ?Sized>(
+        &mut self,
+        max_rounds: u64,
+        criterion: ConvergenceCriterion,
+        observer: &mut O,
+    ) -> ConvergenceReport {
+        let mut detector = ConvergenceDetector::new(criterion);
+        observer.on_round(self.snapshot_now());
+        let mut done = detector.observe(self.round, self.all_correct());
+        while !done && self.round < max_rounds {
+            self.step();
+            observer.on_round(self.snapshot_now());
+            done = detector.observe(self.round, self.all_correct());
+        }
+        ConvergenceReport {
+            converged_at: detector.converged_at(),
+            rounds_run: self.round,
+            final_fraction_correct: self.fraction_correct(),
+        }
+    }
+
+    fn snapshot_now(&self) -> RoundSnapshot {
+        RoundSnapshot {
+            round: self.round,
+            fraction_ones: self.fraction_ones(),
+            fraction_correct: self.fraction_correct(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{NullObserver, TrajectoryRecorder};
+    use fet_core::fet::{FetProtocol, FetState};
+
+    fn spec(n: u64) -> ProblemSpec {
+        ProblemSpec::single_source(n, Opinion::One).unwrap()
+    }
+
+    #[test]
+    fn engine_rejects_mismatched_states() {
+        let p = FetProtocol::new(4).unwrap();
+        let err = Engine::from_states(p, spec(10), Fidelity::Agent, vec![], 1);
+        assert!(matches!(err, Err(SimError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn initial_condition_all_wrong_sets_x0() {
+        let p = FetProtocol::new(4).unwrap();
+        let e = Engine::new(p, spec(100), Fidelity::Agent, InitialCondition::AllWrong, 3).unwrap();
+        // Only the source holds 1.
+        assert!((e.fraction_ones() - 0.01).abs() < 1e-12);
+        assert_eq!(e.fraction_correct(), 0.0);
+        assert!(!e.all_correct());
+    }
+
+    #[test]
+    fn initial_condition_all_correct_is_absorbing_for_fet() {
+        let p = FetProtocol::new(8).unwrap();
+        let mut e =
+            Engine::new(p, spec(200), Fidelity::Agent, InitialCondition::AllCorrect, 5).unwrap();
+        // The all-correct configuration must persist: every sample is
+        // unanimous, every comparison ties once the stale counts settle.
+        // The very first round may flip agents whose adversarial stale
+        // count differs from ℓ; run a couple of rounds then require
+        // stability.
+        for _ in 0..3 {
+            e.step();
+        }
+        let x_after_settle = e.fraction_ones();
+        for _ in 0..10 {
+            e.step();
+        }
+        assert_eq!(e.fraction_ones(), x_after_settle);
+        assert!(x_after_settle > 0.9, "population should stay near consensus");
+    }
+
+    #[test]
+    fn fet_converges_small_population_all_fidelities() {
+        for fidelity in
+            [Fidelity::Agent, Fidelity::Binomial, Fidelity::WithoutReplacement]
+        {
+            let p = FetProtocol::for_population(300, 4.0).unwrap();
+            let mut e =
+                Engine::new(p, spec(300), fidelity, InitialCondition::AllWrong, 11).unwrap();
+            let report = e.run(20_000, ConvergenceCriterion::new(5), &mut NullObserver);
+            assert!(report.converged(), "{fidelity:?} failed: {report:?}");
+            assert_eq!(report.final_fraction_correct, 1.0);
+        }
+    }
+
+    #[test]
+    fn without_replacement_rejects_oversized_samples() {
+        // 2ℓ = 64 samples from a population of 20 cannot be distinct.
+        let p = FetProtocol::new(32).unwrap();
+        let err = Engine::new(
+            p,
+            spec(20),
+            Fidelity::WithoutReplacement,
+            InitialCondition::AllWrong,
+            1,
+        );
+        assert!(matches!(err, Err(SimError::InvalidParameter { name: "fidelity", .. })));
+    }
+
+    #[test]
+    fn without_replacement_consensus_is_absorbing() {
+        // Every sample from a unanimous population is unanimous whether or
+        // not indices repeat, so the absorbing argument carries over.
+        let p = FetProtocol::for_population(200, 4.0).unwrap();
+        let mut e = Engine::new(
+            p,
+            spec(200),
+            Fidelity::WithoutReplacement,
+            InitialCondition::AllWrong,
+            41,
+        )
+        .unwrap();
+        let report = e.run(20_000, ConvergenceCriterion::new(3), &mut NullObserver);
+        assert!(report.converged(), "{report:?}");
+        for _ in 0..200 {
+            e.step();
+            assert!(e.all_correct(), "absorbing state violated at round {}", e.round());
+        }
+    }
+
+    #[test]
+    fn converged_state_is_absorbing() {
+        let p = FetProtocol::for_population(200, 4.0).unwrap();
+        let mut e =
+            Engine::new(p, spec(200), Fidelity::Binomial, InitialCondition::AllWrong, 13).unwrap();
+        let report = e.run(20_000, ConvergenceCriterion::new(3), &mut NullObserver);
+        assert!(report.converged());
+        // Keep stepping: consensus on the correct opinion must never break.
+        for _ in 0..200 {
+            e.step();
+            assert!(e.all_correct(), "absorbing state violated at round {}", e.round());
+        }
+    }
+
+    #[test]
+    fn observer_sees_initial_round_and_monotone_round_numbers() {
+        let p = FetProtocol::new(6).unwrap();
+        let mut e =
+            Engine::new(p, spec(50), Fidelity::Agent, InitialCondition::Random, 17).unwrap();
+        let mut rec = TrajectoryRecorder::new();
+        let report = e.run(50, ConvergenceCriterion::new(2), &mut rec);
+        assert_eq!(rec.fractions().len() as u64, report.rounds_run + 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let p = FetProtocol::new(8).unwrap();
+            let mut e =
+                Engine::new(p, spec(120), Fidelity::Agent, InitialCondition::Random, seed).unwrap();
+            let mut rec = TrajectoryRecorder::new();
+            e.run(300, ConvergenceCriterion::new(2), &mut rec);
+            rec.into_fractions()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100), "different seeds should differ");
+    }
+
+    #[test]
+    fn correct_zero_instance_converges_to_zero() {
+        let spec0 = ProblemSpec::single_source(300, Opinion::Zero).unwrap();
+        let p = FetProtocol::for_population(300, 4.0).unwrap();
+        let mut e =
+            Engine::new(p, spec0, Fidelity::Binomial, InitialCondition::AllWrong, 23).unwrap();
+        let report = e.run(20_000, ConvergenceCriterion::new(5), &mut NullObserver);
+        assert!(report.converged(), "{report:?}");
+        assert!((e.fraction_ones() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_state_refreshes_counters() {
+        let p = FetProtocol::new(4).unwrap();
+        let mut e =
+            Engine::new(p, spec(10), Fidelity::Agent, InitialCondition::AllCorrect, 29).unwrap();
+        assert!(e.all_correct());
+        e.set_state(0, FetState { opinion: Opinion::Zero, prev_count_second_half: 0 });
+        assert!(!e.all_correct());
+        assert!((e.fraction_ones() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_retarget_mid_run_restabilizes() {
+        let p = FetProtocol::for_population(300, 4.0).unwrap();
+        let mut e =
+            Engine::new(p, spec(300), Fidelity::Binomial, InitialCondition::AllCorrect, 31)
+                .unwrap();
+        e.set_fault_plan(FaultPlan::with_source_retarget(10, Opinion::Zero));
+        // After round 10 the correct bit is Zero; the population must
+        // re-converge to all-zero despite starting all-one.
+        let mut converged_to_zero = false;
+        for _ in 0..20_000 {
+            e.step();
+            if e.correct() == Opinion::Zero && e.all_correct() {
+                converged_to_zero = true;
+                break;
+            }
+        }
+        assert!(converged_to_zero, "population failed to re-stabilize after retarget");
+        assert_eq!(e.fraction_ones(), 0.0);
+    }
+}

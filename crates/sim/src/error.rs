@@ -1,0 +1,73 @@
+//! Error type for the simulation engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `fet-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The problem specification is unusable by this engine (e.g. the
+    /// population exceeds addressable memory for an agent-level run).
+    UnsupportedPopulation {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A parameter was out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A configuration error bubbled up from `fet-core`.
+    Core(fet_core::CoreError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnsupportedPopulation { detail } => {
+                write!(f, "unsupported population: {detail}")
+            }
+            SimError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+            SimError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fet_core::CoreError> for SimError {
+    fn from(e: fet_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = SimError::from(fet_core::CoreError::ZeroSampleSize);
+        assert!(e.to_string().contains("at least 1"));
+        assert!(Error::source(&e).is_some());
+        let e = SimError::InvalidParameter { name: "threads", detail: "zero".into() };
+        assert!(e.to_string().contains("threads"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

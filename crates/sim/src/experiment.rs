@@ -1,0 +1,284 @@
+//! One-call experiment entry points.
+//!
+//! [`ExperimentSpec`] bundles everything a single convergence run needs —
+//! population, protocol parameterization, fidelity, budgets, seed — behind
+//! a builder, and [`run_fet_once`]/[`run_protocol_once`] execute it. The
+//! examples, CLI, and bench harness are all thin layers over this module.
+
+use crate::convergence::{ConvergenceCriterion, ConvergenceReport};
+use crate::engine::{Engine, Fidelity};
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+use crate::init::InitialCondition;
+use crate::observer::TrajectoryRecorder;
+use fet_core::config::ProblemSpec;
+use fet_core::fet::FetProtocol;
+use fet_core::opinion::Opinion;
+use fet_core::protocol::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// Default sample-size constant: `ℓ = ⌈c·ln n⌉` with `c = 4`.
+pub const DEFAULT_SAMPLE_CONSTANT: f64 = 4.0;
+
+/// Everything one convergence run needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Population size.
+    pub n: u64,
+    /// Number of source agents.
+    pub num_sources: u64,
+    /// The correct opinion.
+    pub correct: Opinion,
+    /// Sample-size constant `c` in `ℓ = ⌈c·ln n⌉`.
+    pub sample_constant: f64,
+    /// Explicit `ℓ` override (wins over `sample_constant` when set).
+    pub ell_override: Option<u32>,
+    /// Observation-generation fidelity.
+    pub fidelity: Fidelity,
+    /// Round budget.
+    pub max_rounds: u64,
+    /// Consecutive all-correct rounds required to confirm convergence.
+    pub stability_window: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Fault plan (defaults to none).
+    pub fault: FaultPlan,
+}
+
+impl ExperimentSpec {
+    /// Starts a builder for a population of `n` agents.
+    pub fn builder(n: u64) -> ExperimentSpecBuilder {
+        ExperimentSpecBuilder::new(n)
+    }
+
+    /// The `ℓ` this spec resolves to.
+    pub fn ell(&self) -> u32 {
+        match self.ell_override {
+            Some(e) => e,
+            None => ((self.sample_constant * (self.n as f64).ln()).ceil() as u32).max(1),
+        }
+    }
+
+    /// The problem instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `ProblemSpec` validation failures as [`SimError::Core`].
+    pub fn problem(&self) -> Result<ProblemSpec, SimError> {
+        Ok(ProblemSpec::new(self.n, self.num_sources, self.correct)?)
+    }
+
+    /// The FET protocol instance this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol validation failures as [`SimError::Core`].
+    pub fn fet(&self) -> Result<FetProtocol, SimError> {
+        Ok(FetProtocol::new(self.ell())?)
+    }
+
+    /// The convergence criterion.
+    pub fn criterion(&self) -> ConvergenceCriterion {
+        ConvergenceCriterion::new(self.stability_window)
+    }
+}
+
+/// Builder for [`ExperimentSpec`] (non-consuming, per C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct ExperimentSpecBuilder {
+    spec: ExperimentSpec,
+}
+
+impl ExperimentSpecBuilder {
+    fn new(n: u64) -> Self {
+        ExperimentSpecBuilder {
+            spec: ExperimentSpec {
+                n,
+                num_sources: 1,
+                correct: Opinion::One,
+                sample_constant: DEFAULT_SAMPLE_CONSTANT,
+                ell_override: None,
+                fidelity: Fidelity::Binomial,
+                max_rounds: default_max_rounds(n),
+                stability_window: 3,
+                seed: 0,
+                fault: FaultPlan::none(),
+            },
+        }
+    }
+
+    /// Sets the number of sources.
+    pub fn num_sources(&mut self, k: u64) -> &mut Self {
+        self.spec.num_sources = k;
+        self
+    }
+
+    /// Sets the correct opinion.
+    pub fn correct(&mut self, o: Opinion) -> &mut Self {
+        self.spec.correct = o;
+        self
+    }
+
+    /// Sets the sample constant `c` (ℓ = ⌈c·ln n⌉).
+    pub fn sample_constant(&mut self, c: f64) -> &mut Self {
+        self.spec.sample_constant = c;
+        self
+    }
+
+    /// Overrides `ℓ` directly (e.g. for the constant-sample-size sweep).
+    pub fn ell(&mut self, ell: u32) -> &mut Self {
+        self.spec.ell_override = Some(ell);
+        self
+    }
+
+    /// Sets the fidelity.
+    pub fn fidelity(&mut self, f: Fidelity) -> &mut Self {
+        self.spec.fidelity = f;
+        self
+    }
+
+    /// Sets the round budget.
+    pub fn max_rounds(&mut self, r: u64) -> &mut Self {
+        self.spec.max_rounds = r;
+        self
+    }
+
+    /// Sets the stability window.
+    pub fn stability_window(&mut self, w: u64) -> &mut Self {
+        self.spec.stability_window = w;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn seed(&mut self, s: u64) -> &mut Self {
+        self.spec.seed = s;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn fault(&mut self, f: FaultPlan) -> &mut Self {
+        self.spec.fault = f;
+        self
+    }
+
+    /// Validates and returns the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the population or protocol parameters are
+    /// invalid.
+    pub fn build(&self) -> Result<ExperimentSpec, SimError> {
+        self.spec.problem()?;
+        self.spec.fet()?;
+        Ok(self.spec)
+    }
+}
+
+/// Generous default budget: `200 · log²(n)` rounds, far above the paper's
+/// `O(log^{5/2} n)` expectation at practical sizes while still bounded.
+fn default_max_rounds(n: u64) -> u64 {
+    let ln = (n.max(2) as f64).ln();
+    (200.0 * ln * ln).ceil() as u64
+}
+
+/// Outcome of one run: the convergence report plus the recorded `x_t`
+/// trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Convergence result.
+    pub report: ConvergenceReport,
+    /// `x_t` per round, starting at round 0.
+    pub trajectory: Vec<f64>,
+}
+
+impl RunOutcome {
+    /// `true` when the run converged within budget.
+    pub fn converged(&self) -> bool {
+        self.report.converged()
+    }
+}
+
+/// Runs FET once per `spec` from the given initial condition.
+///
+/// # Panics
+///
+/// Panics if the spec fails validation — build specs through
+/// [`ExperimentSpec::builder`], which validates eagerly.
+pub fn run_fet_once(spec: &ExperimentSpec, init: InitialCondition) -> RunOutcome {
+    let protocol = spec.fet().expect("spec validated at build time");
+    run_protocol_once(protocol, spec, init)
+}
+
+/// Runs an arbitrary protocol once per `spec` from the given initial
+/// condition.
+///
+/// # Panics
+///
+/// Panics if the spec fails validation.
+pub fn run_protocol_once<P: Protocol>(
+    protocol: P,
+    spec: &ExperimentSpec,
+    init: InitialCondition,
+) -> RunOutcome {
+    let problem = spec.problem().expect("spec validated at build time");
+    let mut engine = Engine::new(protocol, problem, spec.fidelity, init, spec.seed)
+        .expect("spec validated at build time");
+    engine.set_fault_plan(spec.fault);
+    let mut recorder = TrajectoryRecorder::new();
+    let report = engine.run(spec.max_rounds, spec.criterion(), &mut recorder);
+    RunOutcome { report, trajectory: recorder.into_fractions() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let spec = ExperimentSpec::builder(1000).build().unwrap();
+        assert_eq!(spec.num_sources, 1);
+        assert_eq!(spec.correct, Opinion::One);
+        assert!(spec.ell() >= 27, "ℓ = 4·ln(1000) ≈ 27.6 → 28");
+        assert!(spec.max_rounds > 1000);
+    }
+
+    #[test]
+    fn ell_override_wins() {
+        let spec = ExperimentSpec::builder(1000).ell(5).build().unwrap();
+        assert_eq!(spec.ell(), 5);
+    }
+
+    #[test]
+    fn builder_rejects_bad_population() {
+        assert!(ExperimentSpec::builder(1).build().is_err());
+        assert!(ExperimentSpec::builder(10).num_sources(10).build().is_err());
+    }
+
+    #[test]
+    fn run_fet_once_converges_and_records() {
+        let spec = ExperimentSpec::builder(400).seed(21).build().unwrap();
+        let outcome = run_fet_once(&spec, InitialCondition::AllWrong);
+        assert!(outcome.converged(), "{:?}", outcome.report);
+        assert_eq!(outcome.trajectory.len() as u64, outcome.report.rounds_run + 1);
+        assert_eq!(*outcome.trajectory.last().unwrap(), 1.0);
+        // Starts all-wrong: only the source holds 1.
+        assert!((outcome.trajectory[0] - 1.0 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_seeds_identical_outcomes() {
+        let spec = ExperimentSpec::builder(300).seed(77).build().unwrap();
+        let a = run_fet_once(&spec, InitialCondition::Random);
+        let b = run_fet_once(&spec, InitialCondition::Random);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn correct_zero_round_trip() {
+        let spec =
+            ExperimentSpec::builder(300).correct(Opinion::Zero).seed(5).build().unwrap();
+        let outcome = run_fet_once(&spec, InitialCondition::AllWrong);
+        assert!(outcome.converged());
+        assert_eq!(*outcome.trajectory.last().unwrap(), 0.0);
+    }
+}

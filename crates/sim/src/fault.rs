@@ -1,0 +1,164 @@
+//! Fault injection (extension features, experiment E15).
+//!
+//! The paper's related work studies rumor spreading under message
+//! corruption (Feinerman et al. 2017, Boczkowski et al. 2018a); its §1.2
+//! adversary may re-target the source at time 0. This module generalizes
+//! both into a per-run [`FaultPlan`]:
+//!
+//! * **observation noise** — each sampled opinion bit flips independently
+//!   with probability `flip_prob` before being counted;
+//! * **sleepy agents** — each non-source agent independently skips its
+//!   update with probability `sleep_prob` each round (it keeps its output);
+//! * **source retargeting** — at a chosen round the correct bit flips,
+//!   modelling an environment change after (possible) convergence.
+
+use fet_core::opinion::Opinion;
+use fet_stats::binomial::sample_binomial;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Fault schedule for one run. The default plan is fault-free.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that each observed opinion bit is flipped (i.i.d.).
+    pub flip_prob: f64,
+    /// Probability that a non-source agent skips its update in a round.
+    pub sleep_prob: f64,
+    /// If set, at the start of round `.0` the correct opinion becomes `.1`.
+    pub source_retarget: Option<(u64, Opinion)>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plan with observation noise only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flip_prob ∉ [0, 1]`.
+    pub fn with_noise(flip_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&flip_prob), "flip_prob out of range: {flip_prob}");
+        FaultPlan { flip_prob, ..FaultPlan::default() }
+    }
+
+    /// Plan with sleepy agents only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sleep_prob ∉ [0, 1]`.
+    pub fn with_sleep(sleep_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&sleep_prob), "sleep_prob out of range: {sleep_prob}");
+        FaultPlan { sleep_prob, ..FaultPlan::default() }
+    }
+
+    /// Plan that flips the correct bit to `correct` at `round`.
+    pub fn with_source_retarget(round: u64, correct: Opinion) -> Self {
+        FaultPlan { source_retarget: Some((round, correct)), ..FaultPlan::default() }
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.flip_prob == 0.0 && self.sleep_prob == 0.0 && self.source_retarget.is_none()
+    }
+
+    /// Applies observation bit-flip noise to a true count of `ones` among
+    /// `sample_size` observed bits: flipped ones become zeros and vice
+    /// versa. Exact (two binomial draws), not an approximation.
+    pub fn corrupt_count(&self, ones: u32, sample_size: u32, rng: &mut dyn RngCore) -> u32 {
+        if self.flip_prob <= 0.0 {
+            return ones;
+        }
+        let lost = sample_binomial(u64::from(ones), self.flip_prob, rng) as u32;
+        let gained =
+            sample_binomial(u64::from(sample_size - ones), self.flip_prob, rng) as u32;
+        ones - lost + gained
+    }
+
+    /// Draws whether an agent sleeps this round.
+    pub fn draws_sleep(&self, rng: &mut dyn RngCore) -> bool {
+        self.sleep_prob > 0.0 && (&mut *rng).gen::<f64>() < self.sleep_prob
+    }
+
+    /// The retargeted correct opinion if this round triggers it.
+    pub fn retarget_at(&self, round: u64) -> Option<Opinion> {
+        match self.source_retarget {
+            Some((r, o)) if r == round => Some(o),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fet_stats::rng::SeedTree;
+
+    #[test]
+    fn none_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        let mut rng = SeedTree::new(5).child("none").rng();
+        assert_eq!(plan.corrupt_count(7, 16, &mut rng), 7);
+        assert!(!plan.draws_sleep(&mut rng));
+        assert_eq!(plan.retarget_at(3), None);
+    }
+
+    #[test]
+    fn corrupt_count_statistics() {
+        // With flip probability p, E[observed] = k(1−p) + (m−k)p.
+        let plan = FaultPlan::with_noise(0.2);
+        let mut rng = SeedTree::new(6).child("noise").rng();
+        let (k, m) = (30u32, 40u32);
+        let reps = 40_000;
+        let mean: f64 = (0..reps)
+            .map(|_| f64::from(plan.corrupt_count(k, m, &mut rng)))
+            .sum::<f64>()
+            / f64::from(reps);
+        let expect = f64::from(k) * 0.8 + f64::from(m - k) * 0.2;
+        assert!((mean - expect).abs() < 0.1, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn corrupt_count_stays_in_range() {
+        let plan = FaultPlan::with_noise(0.5);
+        let mut rng = SeedTree::new(7).child("range").rng();
+        for _ in 0..1000 {
+            let c = plan.corrupt_count(5, 10, &mut rng);
+            assert!(c <= 10);
+        }
+    }
+
+    #[test]
+    fn full_noise_inverts_count() {
+        let plan = FaultPlan::with_noise(1.0);
+        let mut rng = SeedTree::new(8).child("invert").rng();
+        assert_eq!(plan.corrupt_count(3, 10, &mut rng), 7);
+    }
+
+    #[test]
+    fn sleep_probability_respected() {
+        let plan = FaultPlan::with_sleep(0.3);
+        let mut rng = SeedTree::new(9).child("sleep").rng();
+        let n = 50_000;
+        let slept = (0..n).filter(|_| plan.draws_sleep(&mut rng)).count();
+        let frac = slept as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "sleep fraction {frac}");
+    }
+
+    #[test]
+    fn retarget_fires_only_at_round() {
+        let plan = FaultPlan::with_source_retarget(5, Opinion::Zero);
+        assert_eq!(plan.retarget_at(4), None);
+        assert_eq!(plan.retarget_at(5), Some(Opinion::Zero));
+        assert_eq!(plan.retarget_at(6), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip_prob out of range")]
+    fn noise_validation() {
+        let _ = FaultPlan::with_noise(1.5);
+    }
+}

@@ -1,0 +1,792 @@
+//! Exact binomial distribution: PMF, CDF, and exact samplers.
+//!
+//! The PULL model with replacement makes every per-round observation count an
+//! exact `Binomial(ℓ, x_t)` draw (this identity is used by Observation 1 of
+//! the paper and by the `binomial` and `aggregate` simulation fidelities).
+//! This module therefore provides:
+//!
+//! * [`Binomial`] — the distribution object: `pmf`, `ln_pmf`, `cdf`,
+//!   `survival`, moments, mode, and a dense PMF vector for the comparison
+//!   kernels in [`crate::compare`].
+//! * [`BinomialSampler`] — a regime-dispatching *exact* sampler:
+//!   alias tables (Walker/Vose) when `n` is small enough to tabulate, and
+//!   Knuth's beta-splitting recursion (exact, `O(log n)` Beta draws) for
+//!   population-sized `n` up to `u64` range.
+//! * [`AliasTable`] — a reusable `O(1)`-per-draw discrete sampler.
+//!
+//! The CDF is computed through the regularized incomplete beta function
+//! (continued-fraction evaluation), so it is accurate for any `n` without
+//! summing the PMF.
+
+use crate::error::{check_probability, StatsError};
+use crate::{ln_choose, ln_gamma};
+use rand::Rng;
+
+/// Threshold below which [`BinomialSampler`] tabulates the distribution.
+const ALIAS_THRESHOLD: u64 = 2048;
+/// Threshold below which beta-splitting falls back to direct Bernoulli counting.
+const DIRECT_THRESHOLD: u64 = 64;
+
+/// A binomial distribution `B(n, p)`.
+///
+/// # Example
+///
+/// ```
+/// use fet_stats::binomial::Binomial;
+///
+/// let b = Binomial::new(10, 0.3).unwrap();
+/// assert!((b.mean() - 3.0).abs() < 1e-12);
+/// assert!((b.pmf(0) - 0.7_f64.powi(10)).abs() < 1e-12);
+/// assert!((b.cdf(10) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution with `n` trials and success
+    /// probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] when `p ∉ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, StatsError> {
+        check_probability("p", p)?;
+        Ok(Binomial { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// The (smallest) mode, `⌊(n+1)p⌋` clamped to `[0, n]`.
+    pub fn mode(&self) -> u64 {
+        let m = ((self.n + 1) as f64 * self.p).floor() as i64;
+        m.clamp(0, self.n as i64) as u64
+    }
+
+    /// Natural log of the PMF at `k`; `−∞` when `k > n`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln_1p_safe()
+    }
+
+    /// PMF at `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// CDF `P(X ≤ k)` via the regularized incomplete beta function.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0; // k < n here.
+        }
+        // P(X ≤ k) = I_{1-p}(n-k, k+1).
+        reg_inc_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+    }
+
+    /// Survival function `P(X > k)`.
+    pub fn survival(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 0.0;
+        }
+        // Complement computed directly for accuracy in the upper tail:
+        // P(X > k) = I_p(k+1, n-k).
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0;
+        }
+        reg_inc_beta(k as f64 + 1.0, (self.n - k) as f64, self.p)
+    }
+
+    /// Dense PMF vector `[pmf(0), …, pmf(n)]`.
+    ///
+    /// Computed outward from the mode with the ratio recurrence, then
+    /// normalized — numerically stable even when individual log terms
+    /// underflow. Intended for moderate `n` (the per-round sample size `ℓ`);
+    /// the comparison kernels and alias tables consume this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `2^24` (the vector would be absurdly large; use
+    /// [`Binomial::cdf`] instead).
+    pub fn pmf_vector(&self) -> Vec<f64> {
+        assert!(
+            self.n <= (1 << 24),
+            "pmf_vector: n = {} too large to tabulate",
+            self.n
+        );
+        let n = self.n as usize;
+        let mut v = vec![0.0f64; n + 1];
+        if self.p == 0.0 {
+            v[0] = 1.0;
+            return v;
+        }
+        if self.p == 1.0 {
+            v[n] = 1.0;
+            return v;
+        }
+        let mode = self.mode() as usize;
+        v[mode] = 1.0; // relative scale; normalize at the end
+        let p = self.p;
+        let q = 1.0 - p;
+        // Upward recurrence: pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/q.
+        for k in mode..n {
+            let ratio = (self.n - k as u64) as f64 / (k as f64 + 1.0) * (p / q);
+            v[k + 1] = v[k] * ratio;
+        }
+        // Downward recurrence: pmf(k−1) = pmf(k) · k/(n−k+1) · q/p.
+        for k in (1..=mode).rev() {
+            let ratio = k as f64 / (self.n - k as u64 + 1) as f64 * (q / p);
+            v[k - 1] = v[k] * ratio;
+        }
+        let total: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= total;
+        }
+        v
+    }
+}
+
+/// Internal helper: `ln(x)` that treats `ln(1·p)` consistently.
+trait LnSafe {
+    fn ln_1p_safe(self) -> f64;
+}
+
+impl LnSafe for f64 {
+    #[inline]
+    fn ln_1p_safe(self) -> f64 {
+        // `self` is already (1 - p); plain ln is fine because p < 1 here.
+        self.ln()
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via Lentz's
+/// continued-fraction algorithm (Numerical Recipes §6.4 style).
+///
+/// Accurate to ~1e-12 over the parameter ranges used by binomial CDFs.
+///
+/// # Panics
+///
+/// Panics in debug builds when `x ∉ [0, 1]` or `a, b ≤ 0`.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&x), "x out of range: {x}");
+    debug_assert!(a > 0.0 && b > 0.0, "a, b must be positive: {a}, {b}");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() * beta_cf(a, b, x)) / a
+    } else {
+        1.0 - (ln_front.exp() * beta_cf(b, a, 1.0 - x)) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Alias table
+// ---------------------------------------------------------------------------
+
+/// Walker/Vose alias table: `O(1)` sampling from a fixed discrete
+/// distribution after `O(n)` construction.
+///
+/// Rebuilt once per simulation round for the shared `Binomial(ℓ, x_t)` law,
+/// then shared across all `n` agents — the core trick behind the `binomial`
+/// simulation fidelity's `O(n)` rounds.
+///
+/// # Example
+///
+/// ```
+/// use fet_stats::binomial::AliasTable;
+/// use rand::SeedableRng;
+///
+/// let table = AliasTable::new(&[0.2, 0.3, 0.5]).unwrap();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let x = table.sample(&mut rng);
+/// assert!(x < 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from (not necessarily normalized) nonnegative
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty slice and
+    /// [`StatsError::InvalidDomain`] when any weight is negative/non-finite
+    /// or all weights are zero.
+    pub fn new(weights: &[f64]) -> Result<Self, StatsError> {
+        if weights.is_empty() {
+            return Err(StatsError::EmptyInput { what: "alias-table weights" });
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(StatsError::InvalidDomain {
+                detail: "alias-table weights must be finite and nonnegative".into(),
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(StatsError::InvalidDomain {
+                detail: "alias-table weights must not all be zero".into(),
+            });
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut small = Vec::with_capacity(n);
+        let mut large = Vec::with_capacity(n);
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked nonempty");
+            let l = *large.last().expect("checked nonempty");
+            prob[s] = scaled[s];
+            alias[s] = l as u32;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+            alias[i] = i as u32;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if the table has no categories (never constructible; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exact large-n sampling: normal, gamma, beta, beta-splitting binomial
+// ---------------------------------------------------------------------------
+
+/// Draws a standard normal variate (Marsaglia polar method).
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws `Gamma(shape, 1)` via Marsaglia–Tsang (2000); exact for all
+/// `shape > 0`.
+///
+/// # Panics
+///
+/// Panics in debug builds when `shape <= 0`.
+pub fn sample_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    debug_assert!(shape > 0.0, "gamma shape must be positive, got {shape}");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+        let g = sample_gamma(shape + 1.0, rng);
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return g * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u: f64 = rng.gen();
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Draws `Beta(a, b)` as `X/(X+Y)` with independent gammas.
+///
+/// # Panics
+///
+/// Panics in debug builds when `a <= 0` or `b <= 0`.
+pub fn sample_beta<R: Rng + ?Sized>(a: f64, b: f64, rng: &mut R) -> f64 {
+    let x = sample_gamma(a, rng);
+    let y = sample_gamma(b, rng);
+    // Guard against the (measure-zero, floating-point-possible) 0/0.
+    let s = x + y;
+    if s <= 0.0 {
+        0.5
+    } else {
+        x / s
+    }
+}
+
+/// Draws one exact `Binomial(n, p)` variate using Knuth's beta-splitting
+/// recursion: `O(log n)` Beta draws regardless of `n`, falling back to direct
+/// Bernoulli counting for small residual `n`.
+///
+/// This is what lets the `aggregate` fidelity simulate populations of
+/// billions of agents exactly.
+pub fn sample_binomial<R: Rng + ?Sized>(mut n: u64, mut p: f64, rng: &mut R) -> u64 {
+    // Tolerate ulp-level drift from upstream probability arithmetic.
+    if (-1e-9..0.0).contains(&p) || (1.0..1.0 + 1e-9).contains(&p) {
+        p = p.clamp(0.0, 1.0);
+    }
+    debug_assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+    let mut acc: u64 = 0;
+    loop {
+        if p <= 0.0 {
+            return acc;
+        }
+        if p >= 1.0 {
+            return acc + n;
+        }
+        if n <= DIRECT_THRESHOLD {
+            for _ in 0..n {
+                if rng.gen::<f64>() < p {
+                    acc += 1;
+                }
+            }
+            return acc;
+        }
+        // The a-th order statistic of n uniforms is Beta(a, n+1−a).
+        let a = n / 2 + 1;
+        let v = sample_beta(a as f64, (n + 1 - a) as f64, rng);
+        if p < v {
+            // All successes lie strictly below the a-th order statistic:
+            // they are among the a−1 smallest uniforms, iid U(0, v).
+            n = a - 1;
+            p /= v;
+            if p > 1.0 {
+                p = 1.0;
+            }
+        } else {
+            // The a smallest uniforms are all ≤ v ≤ p: a guaranteed
+            // successes, and the remaining n−a uniforms are iid U(v, 1).
+            acc += a;
+            n -= a;
+            p = (p - v) / (1.0 - v);
+            if !(0.0..=1.0).contains(&p) {
+                p = p.clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+/// A reusable exact sampler for a fixed `Binomial(n, p)`.
+///
+/// Dispatches by regime:
+///
+/// * degenerate `p ∈ {0, 1}` — constant;
+/// * `n ≤ 2048` — precomputed [`AliasTable`] (`O(1)` per draw);
+/// * otherwise — [`sample_binomial`] beta-splitting (`O(log n)` per draw).
+///
+/// # Example
+///
+/// ```
+/// use fet_stats::binomial::BinomialSampler;
+/// use rand::SeedableRng;
+///
+/// let s = BinomialSampler::new(40, 0.25).unwrap();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+/// let draw = s.sample(&mut rng);
+/// assert!(draw <= 40);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinomialSampler {
+    n: u64,
+    p: f64,
+    kind: SamplerKind,
+}
+
+#[derive(Debug, Clone)]
+enum SamplerKind {
+    Degenerate(u64),
+    Alias(AliasTable),
+    BetaSplit,
+}
+
+impl BinomialSampler {
+    /// Creates a sampler for `Binomial(n, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] when `p ∉ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, StatsError> {
+        check_probability("p", p)?;
+        let kind = if p == 0.0 {
+            SamplerKind::Degenerate(0)
+        } else if p == 1.0 {
+            SamplerKind::Degenerate(n)
+        } else if n <= ALIAS_THRESHOLD {
+            let pmf = Binomial { n, p }.pmf_vector();
+            SamplerKind::Alias(AliasTable::new(&pmf).expect("pmf vector is a valid weight vector"))
+        } else {
+            SamplerKind::BetaSplit
+        };
+        Ok(BinomialSampler { n, p, kind })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one variate.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.kind {
+            SamplerKind::Degenerate(v) => *v,
+            SamplerKind::Alias(t) => t.sample(rng) as u64,
+            SamplerKind::BetaSplit => sample_binomial(self.n, self.p, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedTree;
+
+    fn rng(label: &str) -> rand::rngs::SmallRng {
+        SeedTree::new(0xB10B).child(label).rng()
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (n, p) in [(1u64, 0.5), (10, 0.3), (63, 0.9), (200, 0.01)] {
+            let b = Binomial::new(n, p).unwrap();
+            let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "pmf sum for ({n},{p}) = {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_vector_matches_pointwise_pmf() {
+        let b = Binomial::new(48, 0.37).unwrap();
+        let v = b.pmf_vector();
+        for (k, &pk) in v.iter().enumerate() {
+            let direct = b.pmf(k as u64);
+            assert!(
+                (pk - direct).abs() < 1e-12,
+                "pmf_vector[{k}] = {pk}, pmf = {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_matches_pmf_partial_sums() {
+        let b = Binomial::new(30, 0.42).unwrap();
+        let v = b.pmf_vector();
+        let mut run = 0.0;
+        for k in 0..=30u64 {
+            run += v[k as usize];
+            assert!(
+                (b.cdf(k) - run).abs() < 1e-10,
+                "cdf({k}) = {}, partial sum = {run}",
+                b.cdf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn survival_complements_cdf() {
+        let b = Binomial::new(25, 0.6).unwrap();
+        for k in 0..=25u64 {
+            let s = b.survival(k) + b.cdf(k);
+            assert!((s - 1.0).abs() < 1e-10, "cdf+sf at {k} = {s}");
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let b0 = Binomial::new(12, 0.0).unwrap();
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b0.cdf(0), 1.0);
+        let b1 = Binomial::new(12, 1.0).unwrap();
+        assert_eq!(b1.pmf(12), 1.0);
+        assert_eq!(b1.cdf(11), 0.0);
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(Binomial::new(4, -0.5).is_err());
+        assert!(Binomial::new(4, 1.5).is_err());
+        assert!(Binomial::new(4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn large_n_cdf_is_sane() {
+        // Binomial(1e6, 0.5): median at the mean.
+        let b = Binomial::new(1_000_000, 0.5).unwrap();
+        let c = b.cdf(500_000);
+        assert!((c - 0.5).abs() < 1e-3, "cdf at mean = {c}");
+        assert!(b.cdf(490_000) < 0.01);
+        assert!(b.cdf(510_000) > 0.99);
+    }
+
+    #[test]
+    fn alias_table_frequencies_match() {
+        let weights = [0.1, 0.2, 0.3, 0.4];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = rng("alias");
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - weights[i]).abs() < 0.01,
+                "category {i}: freq {freq} vs weight {}",
+                weights[i]
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[1.0, -0.1]).is_err());
+        assert!(AliasTable::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn gamma_sampler_moments() {
+        let mut rng = rng("gamma");
+        for shape in [0.5, 1.0, 2.5, 10.0] {
+            let n = 60_000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.12 * shape.max(1.0),
+                "gamma({shape}) sample mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_sampler_moments() {
+        let mut rng = rng("beta");
+        let (a, b) = (3.0, 7.0);
+        let n = 60_000;
+        let mean: f64 = (0..n).map(|_| sample_beta(a, b, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - a / (a + b)).abs() < 0.01, "beta mean {mean}");
+    }
+
+    #[test]
+    fn beta_split_binomial_moments_large_n() {
+        let mut rng = rng("betasplit");
+        let (n, p) = (10_000_000u64, 0.3);
+        let reps = 3_000;
+        let mean: f64 =
+            (0..reps).map(|_| sample_binomial(n, p, &mut rng) as f64).sum::<f64>() / reps as f64;
+        let expect = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        // Sample mean of `reps` draws has sd = sd/sqrt(reps); allow 5 sigma.
+        assert!(
+            (mean - expect).abs() < 5.0 * sd / (reps as f64).sqrt(),
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn beta_split_matches_direct_distribution() {
+        // Kolmogorov–Smirnov-style comparison between beta-splitting and
+        // direct Bernoulli counting at a moderate n where both are exact.
+        let n = 200u64;
+        let p = 0.47;
+        let reps = 40_000;
+        let mut rng = rng("ks");
+        let mut counts_split = vec![0u32; (n + 1) as usize];
+        let mut counts_direct = vec![0u32; (n + 1) as usize];
+        for _ in 0..reps {
+            counts_split[sample_binomial(n, p, &mut rng) as usize] += 1;
+            let mut c = 0usize;
+            for _ in 0..n {
+                if rng.gen::<f64>() < p {
+                    c += 1;
+                }
+            }
+            counts_direct[c] += 1;
+        }
+        let mut cdf_a = 0.0;
+        let mut cdf_b = 0.0;
+        let mut ks: f64 = 0.0;
+        for k in 0..=n as usize {
+            cdf_a += counts_split[k] as f64 / reps as f64;
+            cdf_b += counts_direct[k] as f64 / reps as f64;
+            ks = ks.max((cdf_a - cdf_b).abs());
+        }
+        // Two-sample KS critical value at alpha=1e-3 ~ 1.95*sqrt(2/reps).
+        let crit = 1.95 * (2.0 / reps as f64).sqrt();
+        assert!(ks < crit, "KS statistic {ks} exceeds {crit}");
+    }
+
+    #[test]
+    fn sampler_regimes_agree_with_distribution_mean() {
+        let mut rng = rng("sampler");
+        for (n, p) in [(10u64, 0.5), (2000, 0.2), (5000, 0.7)] {
+            let s = BinomialSampler::new(n, p).unwrap();
+            let reps = 20_000;
+            let mean: f64 = (0..reps).map(|_| s.sample(&mut rng) as f64).sum::<f64>() / reps as f64;
+            let expect = n as f64 * p;
+            let tol = 5.0 * (n as f64 * p * (1.0 - p)).sqrt() / (reps as f64).sqrt();
+            assert!((mean - expect).abs() < tol, "({n},{p}) mean {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn sampler_degenerate() {
+        let mut rng = rng("degen");
+        let s0 = BinomialSampler::new(9, 0.0).unwrap();
+        let s1 = BinomialSampler::new(9, 1.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(s0.sample(&mut rng), 0);
+            assert_eq!(s1.sample(&mut rng), 9);
+        }
+    }
+
+    #[test]
+    fn reg_inc_beta_boundaries() {
+        assert_eq!(reg_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x (uniform CDF).
+        for x in [0.1, 0.5, 0.9] {
+            assert!((reg_inc_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Closed forms of the concentration and coin-competition bounds the paper
+//! uses (appendix A): multiplicative Chernoff (Theorem 2), Hoeffding
+//! (Theorem 3), and the coin-competition bounds of Lemmas 12, 13 and 15.
+//!
+//! These functions compute the *bound side* of each inequality; the
+//! `fet-analysis` crate pits them against exact probabilities from
+//! [`crate::compare`] to validate the lemmas numerically (experiment E9).
+
+use crate::normal::{normal_cdf, BERRY_ESSEEN_C};
+
+/// Multiplicative Chernoff upper-tail bound (paper Theorem 2):
+/// `P(X ≥ (1+δ)μ) ≤ exp(−min(δ, δ²)·μ/3)` for `δ > 0`.
+///
+/// # Panics
+///
+/// Panics in debug builds when `delta ≤ 0` or `mu < 0`.
+pub fn chernoff_upper(mu: f64, delta: f64) -> f64 {
+    debug_assert!(delta > 0.0, "chernoff_upper requires δ > 0, got {delta}");
+    debug_assert!(mu >= 0.0, "chernoff_upper requires μ ≥ 0, got {mu}");
+    (-(delta.min(delta * delta)) * mu / 3.0).exp()
+}
+
+/// Multiplicative Chernoff lower-tail bound (paper Theorem 2):
+/// `P(X ≤ (1−ε)μ) ≤ exp(−ε²·μ/2)` for `0 < ε < 1`.
+///
+/// # Panics
+///
+/// Panics in debug builds when `eps ∉ (0, 1)` or `mu < 0`.
+pub fn chernoff_lower(mu: f64, eps: f64) -> f64 {
+    debug_assert!(eps > 0.0 && eps < 1.0, "chernoff_lower requires ε ∈ (0,1), got {eps}");
+    debug_assert!(mu >= 0.0, "chernoff_lower requires μ ≥ 0, got {mu}");
+    (-eps * eps * mu / 2.0).exp()
+}
+
+/// Hoeffding bound (paper Theorem 3) for a sum of `n` independent variables
+/// each confined to an interval of width `range`: `P(X − μ ≥ δ) ≤
+/// exp(−2δ² / (n·range²))`.
+///
+/// # Panics
+///
+/// Panics in debug builds when `n == 0`, `range ≤ 0`, or `delta < 0`.
+pub fn hoeffding(n: u64, range: f64, delta: f64) -> f64 {
+    debug_assert!(n > 0, "hoeffding requires n > 0");
+    debug_assert!(range > 0.0, "hoeffding requires positive range, got {range}");
+    debug_assert!(delta >= 0.0, "hoeffding requires δ ≥ 0, got {delta}");
+    (-2.0 * delta * delta / (n as f64 * range * range)).exp()
+}
+
+/// Lemma 13's lower bound on the probability that the favored coin wins:
+/// for `p < q`, `P(B_k(p) < B_k(q)) ≥ 1 − exp(−k(q−p)²/2)`.
+pub fn lemma13_favorite_wins_lower(k: u64, p: f64, q: f64) -> f64 {
+    debug_assert!(p < q, "lemma13 requires p < q");
+    1.0 - (-(k as f64) * (q - p) * (q - p) / 2.0).exp()
+}
+
+/// Lemma 15's lower bound on the probability that the *underdog* coin wins:
+/// for `p < q`,
+/// `P(B_k(p) > B_k(q)) ≥ 1 − Φ(√k(q−p)/σ) − C/(σ√k)` with
+/// `σ = √(p(1−p) + q(1−q))` and the Berry–Esseen constant `C = 0.4748`.
+///
+/// The bound can be vacuous (negative) for large `k(q−p)²`; callers should
+/// clamp at zero when comparing against exact probabilities.
+pub fn lemma15_underdog_wins_lower(k: u64, p: f64, q: f64) -> f64 {
+    debug_assert!(p < q, "lemma15 requires p < q");
+    let sigma = (p * (1.0 - p) + q * (1.0 - q)).sqrt();
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    let kf = k as f64;
+    1.0 - normal_cdf(kf.sqrt() * (q - p) / sigma) - BERRY_ESSEEN_C / (sigma * kf.sqrt())
+}
+
+/// Lemma 12's upper bound on the probability that the favored coin wins when
+/// the gap is small (`q − p ≤ 1/√k`, `p, q ∈ [1/3, 2/3]`):
+/// `P(B_k(p) < B_k(q)) < 1/2 + α(q−p)√k − P(B_k(p) = B_k(q))/2`.
+///
+/// `alpha` is the constant from the lemma; the proof's explicit construction
+/// yields `α = 9` (Claim 9: any upper bound on `1/(q(1−p))` works, and
+/// `q(1−p) ≥ 1/9` on `[1/3, 2/3]²`), doubled to `2α·(q−p)√k` then halved
+/// back in the final rearrangement — we expose `alpha` as a parameter so the
+/// validation experiment can probe how tight the constant really is.
+pub fn lemma12_favorite_wins_upper(k: u64, p: f64, q: f64, p_tie: f64, alpha: f64) -> f64 {
+    debug_assert!(p < q, "lemma12 requires p < q");
+    0.5 + alpha * (q - p) * (k as f64).sqrt() - p_tie / 2.0
+}
+
+/// Claim 10's bound: `E|B_k(q) − B_k(p)| ≤ √(2k·q(1−q)) + k(q−p)`.
+pub fn claim10_abs_difference_upper(k: u64, p: f64, q: f64) -> f64 {
+    debug_assert!(p <= q, "claim10 requires p ≤ q");
+    (2.0 * k as f64 * q * (1.0 - q)).sqrt() + k as f64 * (q - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::CoinCompetition;
+
+    #[test]
+    fn chernoff_bounds_decay() {
+        assert!(chernoff_upper(100.0, 0.5) < chernoff_upper(10.0, 0.5));
+        assert!(chernoff_lower(100.0, 0.5) < chernoff_lower(10.0, 0.5));
+        assert!(chernoff_upper(50.0, 0.1) <= 1.0);
+    }
+
+    #[test]
+    fn chernoff_upper_large_delta_uses_linear_exponent() {
+        // For δ ≥ 1 the exponent is δμ/3, not δ²μ/3.
+        let b = chernoff_upper(9.0, 2.0);
+        assert!((b - (-2.0 * 9.0 / 3.0_f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hoeffding_matches_hand_computation() {
+        // n=100 variables in [0,1], deviation 10: exp(−2·100/100) = e^{−2}.
+        let b = hoeffding(100, 1.0, 10.0);
+        assert!((b - (-2.0_f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma13_bound_is_valid_against_exact() {
+        for k in [16u64, 64, 256] {
+            for (p, q) in [(0.2, 0.5), (0.4, 0.6), (0.45, 0.55)] {
+                let exact = CoinCompetition::new(k, p, q).p_second_wins();
+                let bound = lemma13_favorite_wins_lower(k, p, q);
+                assert!(
+                    exact >= bound - 1e-10,
+                    "k={k} p={p} q={q}: exact {exact} < bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma15_bound_is_valid_against_exact() {
+        for k in [16u64, 64, 256, 1024] {
+            for (p, q) in [(0.45, 0.5), (0.48, 0.52), (0.4, 0.45)] {
+                let exact = CoinCompetition::new(k, p, q).p_first_wins();
+                let bound = lemma15_underdog_wins_lower(k, p, q).max(0.0);
+                assert!(
+                    exact >= bound - 1e-10,
+                    "k={k} p={p} q={q}: exact {exact} < bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma12_bound_is_valid_against_exact_with_alpha9() {
+        for k in [16u64, 64, 256] {
+            let inv_sqrt_k = 1.0 / (k as f64).sqrt();
+            for gap_frac in [0.25, 0.5, 1.0] {
+                let p = 0.45;
+                let q = p + gap_frac * inv_sqrt_k;
+                let cc = CoinCompetition::new(k, p, q);
+                let exact = cc.p_second_wins();
+                let bound = lemma12_favorite_wins_upper(k, p, q, cc.p_tie(), 9.0);
+                assert!(
+                    exact <= bound + 1e-10,
+                    "k={k} gap={gap_frac}/√k: exact {exact} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn claim10_bound_is_valid_against_exact() {
+        for k in [8u64, 32, 128] {
+            let (p, q) = (0.4, 0.4 + 1.0 / (k as f64).sqrt());
+            let cc = CoinCompetition::new(k, p, q);
+            assert!(cc.expected_abs_difference() <= claim10_abs_difference_upper(k, p, q) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Coin-competition kernels: exact comparison probabilities between two
+//! binomials with the same number of tosses.
+//!
+//! The entire drift analysis of the FET protocol reduces to three numbers
+//! (Observation 1 of the paper): for sample size `ℓ` and opinion fractions
+//! `x_t`, `x_{t+1}`,
+//!
+//! * `P(B_ℓ(x_{t+1}) > B_ℓ(x_t))` — probability a non-source agent adopts 1,
+//! * `P(B_ℓ(x_{t+1}) = B_ℓ(x_t))` — probability it keeps its opinion,
+//! * `P(B_ℓ(x_{t+1}) < B_ℓ(x_t))` — probability it adopts 0.
+//!
+//! [`CoinCompetition`] computes these exactly in `O(k)` after two `O(k)` PMF
+//! tabulations, plus the full distribution of the difference
+//! `B_k(q) − B_k(p)` in `O(k²)` (needed to validate Lemmas 12 and 14, whose
+//! proofs manipulate `P(|B_k(q) − B_k(p)| = d)` term by term).
+
+use crate::binomial::Binomial;
+use crate::error::{check_probability, StatsError};
+
+/// Outcome probabilities of the per-agent FET comparison.
+///
+/// `adopt_one + keep + adopt_zero = 1` exactly (up to float rounding).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendProbabilities {
+    /// `P(B_ℓ(x_{t+1}) > B_ℓ(x_t))`: the agent switches to opinion 1.
+    pub adopt_one: f64,
+    /// `P(B_ℓ(x_{t+1}) = B_ℓ(x_t))`: the agent keeps its current opinion.
+    pub keep: f64,
+    /// `P(B_ℓ(x_{t+1}) < B_ℓ(x_t))`: the agent switches to opinion 0.
+    pub adopt_zero: f64,
+}
+
+impl TrendProbabilities {
+    /// Probability that an agent currently holding opinion 1 outputs 1 next
+    /// round: `adopt_one + keep`.
+    pub fn one_if_holding_one(&self) -> f64 {
+        self.adopt_one + self.keep
+    }
+}
+
+/// Exact comparison of two binomial "coins" `B_k(p)` (first) and `B_k(q)`
+/// (second), both tossed `k` times.
+///
+/// # Example
+///
+/// ```
+/// use fet_stats::compare::CoinCompetition;
+///
+/// // Identical coins tie with symmetric win probabilities.
+/// let cc = CoinCompetition::new(20, 0.4, 0.4);
+/// assert!((cc.p_first_wins() - cc.p_second_wins()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoinCompetition {
+    k: u64,
+    p: f64,
+    q: f64,
+    pmf_p: Vec<f64>,
+    pmf_q: Vec<f64>,
+}
+
+impl CoinCompetition {
+    /// Creates the competition between `B_k(p)` and `B_k(q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is not a probability. Use [`CoinCompetition::try_new`]
+    /// for a fallible constructor.
+    pub fn new(k: u64, p: f64, q: f64) -> Self {
+        Self::try_new(k, p, q).expect("p and q must be probabilities in [0, 1]")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] when `p` or `q` lies
+    /// outside `[0, 1]`.
+    pub fn try_new(k: u64, p: f64, q: f64) -> Result<Self, StatsError> {
+        check_probability("p", p)?;
+        check_probability("q", q)?;
+        let pmf_p = Binomial::new(k, p)?.pmf_vector();
+        let pmf_q = Binomial::new(k, q)?.pmf_vector();
+        Ok(CoinCompetition { k, p, q, pmf_p, pmf_q })
+    }
+
+    /// Number of tosses per coin.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// First coin's bias.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Second coin's bias.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// `P(B_k(p) > B_k(q))`.
+    pub fn p_first_wins(&self) -> f64 {
+        // Σ_i pmf_p(i) · P(B(q) < i) via a running CDF of q. The O(k)
+        // accumulation can overshoot 1.0 by a few ε (observed at k ≥ 56);
+        // clamp so callers can feed the result to probability validators.
+        let mut cdf_q = 0.0;
+        let mut acc = 0.0;
+        for i in 0..=self.k as usize {
+            if i > 0 {
+                cdf_q += self.pmf_q[i - 1];
+            }
+            acc += self.pmf_p[i] * cdf_q;
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// `P(B_k(p) = B_k(q))`.
+    pub fn p_tie(&self) -> f64 {
+        self.pmf_p
+            .iter()
+            .zip(&self.pmf_q)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// `P(B_k(q) > B_k(p))`. Clamped to `[0, 1]` (see [`CoinCompetition::p_first_wins`]).
+    pub fn p_second_wins(&self) -> f64 {
+        let mut cdf_p = 0.0;
+        let mut acc = 0.0;
+        for i in 0..=self.k as usize {
+            if i > 0 {
+                cdf_p += self.pmf_p[i - 1];
+            }
+            acc += self.pmf_q[i] * cdf_p;
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// `P(B_k(q) ≥ B_k(p))`. Clamped to `[0, 1]` (see [`CoinCompetition::p_first_wins`]).
+    pub fn p_second_wins_or_ties(&self) -> f64 {
+        (self.p_second_wins() + self.p_tie()).clamp(0.0, 1.0)
+    }
+
+    /// Full PMF of the difference `D = B_k(q) − B_k(p)` as a vector indexed
+    /// by `d + k` for `d ∈ [−k, k]`. `O(k²)`.
+    pub fn difference_pmf(&self) -> Vec<f64> {
+        let k = self.k as usize;
+        let mut out = vec![0.0f64; 2 * k + 1];
+        for (j, &pq) in self.pmf_q.iter().enumerate() {
+            if pq == 0.0 {
+                continue;
+            }
+            for (i, &pp) in self.pmf_p.iter().enumerate() {
+                out[j + k - i] += pq * pp;
+            }
+        }
+        out
+    }
+
+    /// `P(|B_k(q) − B_k(p)| = d)` for `d ≥ 0`, read off the difference PMF.
+    pub fn abs_difference_pmf(&self) -> Vec<f64> {
+        let diff = self.difference_pmf();
+        let k = self.k as usize;
+        let mut out = vec![0.0f64; k + 1];
+        out[0] = diff[k];
+        for d in 1..=k {
+            out[d] = diff[k + d] + diff[k - d];
+        }
+        out
+    }
+
+    /// `E|B_k(q) − B_k(p)|`, the quantity bounded by Claim 10 of the paper
+    /// (`≤ √(2k q(1−q)) + k(q−p)`).
+    pub fn expected_abs_difference(&self) -> f64 {
+        self.abs_difference_pmf()
+            .iter()
+            .enumerate()
+            .map(|(d, &pr)| d as f64 * pr)
+            .sum()
+    }
+}
+
+/// The per-agent FET transition probabilities for sample size `ell`, given
+/// the 1-fractions `x_t` (previous round) and `x_t1` (current round).
+///
+/// This is Observation 1's kernel: the agent compares a fresh
+/// `B_ell(x_t1)` count against a stale `B_ell(x_t)` count.
+///
+/// # Example
+///
+/// ```
+/// use fet_stats::compare::trend_probabilities;
+///
+/// // Rising trend: adopting 1 is more likely than adopting 0.
+/// let t = trend_probabilities(32, 0.3, 0.5);
+/// assert!(t.adopt_one > t.adopt_zero);
+/// let total = t.adopt_one + t.keep + t.adopt_zero;
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+pub fn trend_probabilities(ell: u64, x_t: f64, x_t1: f64) -> TrendProbabilities {
+    let cc = CoinCompetition::new(ell, x_t, x_t1);
+    TrendProbabilities {
+        adopt_one: cc.p_second_wins(),
+        keep: cc.p_tie(),
+        adopt_zero: cc.p_first_wins(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_partition_unity() {
+        for (k, p, q) in [(1u64, 0.2, 0.9), (16, 0.5, 0.5), (64, 0.33, 0.66), (256, 0.01, 0.99)] {
+            let cc = CoinCompetition::new(k, p, q);
+            let s = cc.p_first_wins() + cc.p_tie() + cc.p_second_wins();
+            assert!((s - 1.0).abs() < 1e-10, "({k},{p},{q}) sums to {s}");
+        }
+    }
+
+    #[test]
+    fn symmetry_under_swap() {
+        let a = CoinCompetition::new(40, 0.3, 0.7);
+        let b = CoinCompetition::new(40, 0.7, 0.3);
+        assert!((a.p_first_wins() - b.p_second_wins()).abs() < 1e-12);
+        assert!((a.p_tie() - b.p_tie()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_coin_is_favored() {
+        for k in [4u64, 16, 64, 256] {
+            let cc = CoinCompetition::new(k, 0.4, 0.6);
+            assert!(
+                cc.p_second_wins() > cc.p_first_wins(),
+                "k={k}: better coin not favored"
+            );
+        }
+    }
+
+    #[test]
+    fn hand_computed_single_toss() {
+        // k=1: P(B(p)=1, B(q)=0) = p(1−q), ties = pq + (1−p)(1−q).
+        let (p, q) = (0.3, 0.8);
+        let cc = CoinCompetition::new(1, p, q);
+        assert!((cc.p_first_wins() - p * (1.0 - q)).abs() < 1e-12);
+        assert!((cc.p_second_wins() - q * (1.0 - p)).abs() < 1e-12);
+        assert!((cc.p_tie() - (p * q + (1.0 - p) * (1.0 - q))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difference_pmf_consistency() {
+        let cc = CoinCompetition::new(24, 0.45, 0.55);
+        let diff = cc.difference_pmf();
+        let k = 24usize;
+        let total: f64 = diff.iter().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        // P(D > 0) must equal p_second_wins().
+        let p_pos: f64 = diff[k + 1..].iter().sum();
+        assert!((p_pos - cc.p_second_wins()).abs() < 1e-10);
+        let p_zero = diff[k];
+        assert!((p_zero - cc.p_tie()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn abs_difference_pmf_sums_to_one() {
+        let cc = CoinCompetition::new(17, 0.2, 0.6);
+        let s: f64 = cc.abs_difference_pmf().iter().sum();
+        assert!((s - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expected_abs_difference_matches_claim10_bound() {
+        // Claim 10: E|B_k(q) − B_k(p)| ≤ √(2k q(1−q)) + k(q−p) for p<q in [1/3,2/3].
+        for k in [8u64, 32, 128] {
+            for (p, q) in [(0.34, 0.4), (0.4, 0.6), (0.5, 0.55)] {
+                let cc = CoinCompetition::new(k, p, q);
+                let lhs = cc.expected_abs_difference();
+                let rhs = (2.0 * k as f64 * q * (1.0 - q)).sqrt() + k as f64 * (q - p);
+                assert!(lhs <= rhs + 1e-9, "k={k}, p={p}, q={q}: {lhs} > {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn trend_probabilities_rising_vs_falling() {
+        let rising = trend_probabilities(32, 0.3, 0.6);
+        let falling = trend_probabilities(32, 0.6, 0.3);
+        assert!(rising.adopt_one > 0.9, "strong rise should be near-certain");
+        assert!(falling.adopt_zero > 0.9);
+        // Mirror symmetry.
+        assert!((rising.adopt_one - falling.adopt_zero).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trend_probabilities_stationary_point() {
+        // At x_t = x_t1 the two comparisons are symmetric.
+        let t = trend_probabilities(16, 0.5, 0.5);
+        assert!((t.adopt_one - t.adopt_zero).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_if_holding_one_bounds() {
+        let t = trend_probabilities(16, 0.4, 0.5);
+        assert!(t.one_if_holding_one() >= t.adopt_one);
+        assert!(t.one_if_holding_one() <= 1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_probabilities() {
+        assert!(CoinCompetition::try_new(4, -0.1, 0.5).is_err());
+        assert!(CoinCompetition::try_new(4, 0.5, 2.0).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type for the statistics substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `fet-stats` routines.
+///
+/// All statistical routines in this crate validate their numeric arguments
+/// (probabilities in `[0, 1]`, nonempty samples, positive counts) and report
+/// violations through this type rather than panicking, per the dependability
+/// guidelines (C-VALIDATE).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A probability argument fell outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A count or size argument was zero where a positive value is required.
+    EmptyInput {
+        /// Description of what was empty.
+        what: &'static str,
+    },
+    /// A numeric argument was not finite (NaN or ±∞).
+    NotFinite {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A domain constraint between arguments was violated (e.g. `lo > hi`).
+    InvalidDomain {
+        /// Human-readable description of the violated constraint.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidProbability { name, value } => {
+                write!(f, "probability `{name}` must lie in [0, 1], got {value}")
+            }
+            StatsError::EmptyInput { what } => write!(f, "empty input: {what}"),
+            StatsError::NotFinite { name } => write!(f, "argument `{name}` is not finite"),
+            StatsError::InvalidDomain { detail } => write!(f, "invalid domain: {detail}"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Validates that `value` is a probability in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidProbability`] if `value` is outside `[0, 1]`
+/// and [`StatsError::NotFinite`] if it is NaN or infinite.
+pub fn check_probability(name: &'static str, value: f64) -> Result<(), StatsError> {
+    if !value.is_finite() {
+        return Err(StatsError::NotFinite { name });
+    }
+    if !(0.0..=1.0).contains(&value) {
+        return Err(StatsError::InvalidProbability { name, value });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_probability_accepts_unit_interval() {
+        assert!(check_probability("p", 0.0).is_ok());
+        assert!(check_probability("p", 0.5).is_ok());
+        assert!(check_probability("p", 1.0).is_ok());
+    }
+
+    #[test]
+    fn check_probability_rejects_out_of_range() {
+        assert_eq!(
+            check_probability("p", -0.1),
+            Err(StatsError::InvalidProbability {
+                name: "p",
+                value: -0.1
+            })
+        );
+        assert_eq!(
+            check_probability("p", 1.1),
+            Err(StatsError::InvalidProbability {
+                name: "p",
+                value: 1.1
+            })
+        );
+    }
+
+    #[test]
+    fn check_probability_rejects_nan_and_inf() {
+        assert_eq!(
+            check_probability("p", f64::NAN),
+            Err(StatsError::NotFinite { name: "p" })
+        );
+        assert_eq!(
+            check_probability("p", f64::INFINITY),
+            Err(StatsError::NotFinite { name: "p" })
+        );
+    }
+
+    #[test]
+    fn errors_display_is_lowercase_and_informative() {
+        let e = StatsError::EmptyInput { what: "sample" };
+        let s = e.to_string();
+        assert!(s.contains("sample"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Standard normal distribution: `erf`, CDF `Φ`, quantile `Φ⁻¹`, and the
+//! Berry–Esseen bound (Theorem 5 in the paper's appendix).
+
+/// Error function `erf(x)`, Abramowitz & Stegun 7.1.26 rational
+/// approximation; absolute error below 1.5e-7 on the real line, which is
+/// ample for every tolerance used in this workspace.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let poly = ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t;
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF `Φ(x) = P(Z ≤ x)`.
+///
+/// # Example
+///
+/// ```
+/// use fet_stats::normal::normal_cdf;
+///
+/// assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+/// assert!(normal_cdf(3.0) > 0.998);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal PDF `φ(x)`.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` (Acklam's algorithm, refined with one
+/// Halley step); relative error below 1e-9 for `p ∈ (0, 1)`.
+///
+/// # Panics
+///
+/// Panics when `p ∉ (0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use fet_stats::normal::{normal_cdf, normal_quantile};
+///
+/// let z = normal_quantile(0.975);
+/// assert!((z - 1.959964).abs() < 1e-4);
+/// assert!((normal_cdf(z) - 0.975).abs() < 1e-9);
+/// ```
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// The Berry–Esseen constant used by the paper (Theorem 5): `C = 0.4748`.
+pub const BERRY_ESSEEN_C: f64 = 0.4748;
+
+/// Berry–Esseen bound on the Kolmogorov distance between the standardized
+/// sum of `n` i.i.d. variables with third absolute central moment `rho` and
+/// standard deviation `sigma`, and the standard normal:
+/// `|F(x) − Φ(x)| ≤ C·ρ / (σ³ √n)`.
+///
+/// # Example
+///
+/// ```
+/// use fet_stats::normal::berry_esseen_bound;
+///
+/// // Rademacher: σ = 1, ρ = 1.
+/// let b = berry_esseen_bound(10_000, 1.0, 1.0);
+/// assert!(b < 0.005);
+/// ```
+pub fn berry_esseen_bound(n: u64, sigma: f64, rho: f64) -> f64 {
+    BERRY_ESSEEN_C * rho / (sigma.powi(3) * (n as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_26).abs() < 1e-6);
+        assert!((erf(-1.0) + erf(1.0)).abs() < 1e-12, "odd function");
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let mut prev = 0.0;
+        let mut x = -6.0;
+        while x <= 6.0 {
+            let c = normal_cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12, "CDF not monotone at {x}");
+            prev = c;
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-7, "p={p}: round trip failed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires p in (0,1)")]
+    fn quantile_rejects_zero() {
+        let _ = normal_quantile(0.0);
+    }
+
+    #[test]
+    fn quantile_symmetry() {
+        for p in [0.01, 0.2, 0.4] {
+            let a = normal_quantile(p);
+            let b = normal_quantile(1.0 - p);
+            assert!((a + b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_increments() {
+        // Midpoint rule sanity: ∫φ over [0, 1] ≈ Φ(1) − Φ(0).
+        let steps = 10_000;
+        let h = 1.0 / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| normal_pdf((i as f64 + 0.5) * h) * h)
+            .sum();
+        let expect = normal_cdf(1.0) - normal_cdf(0.0);
+        assert!((integral - expect).abs() < 1e-7);
+    }
+
+    #[test]
+    fn berry_esseen_decreases_with_n() {
+        let b1 = berry_esseen_bound(100, 1.0, 1.0);
+        let b2 = berry_esseen_bound(10_000, 1.0, 1.0);
+        assert!(b2 < b1);
+        assert!((b1 / b2 - 10.0).abs() < 1e-9, "scales as 1/√n");
+    }
+}

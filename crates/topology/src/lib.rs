@@ -1,0 +1,50 @@
+//! # fet-topology — PULL protocols on non-complete graphs
+//!
+//! The paper (§1.2) assumes a *fully-connected* population: every agent
+//! samples uniformly from everyone. This crate relaxes that assumption so
+//! the workspace can measure which topological properties FET's
+//! trend-following actually needs (experiment E18, a §5-style extension):
+//!
+//! * [`graph`] — simple undirected graphs in CSR form, with degree /
+//!   connectivity / diameter metrics ([`graph::GraphStats`]).
+//! * [`builders`] — generators bracketing the complete graph: `K_n`
+//!   itself, sparse expanders (Erdős–Rényi, random-regular), the tunable
+//!   Watts–Strogatz family, and pathological extremes (ring, star,
+//!   barbell).
+//! * [`engine`] — [`engine::TopologyEngine`], a drop-in analogue of
+//!   `fet_sim::engine::Engine` where each agent samples (with
+//!   replacement) from its *neighbors*.
+//!
+//! ## What E18 finds
+//!
+//! FET keeps self-stabilizing on graphs that are *locally well-mixed with
+//! enough degree* — dense Erdős–Rényi, random `d`-regular with
+//! `d = Θ(log n)` — because each agent's observed count still
+//! concentrates around a neighborhood average that tracks the global
+//! `x_t`. Fixed degree does **not** scale: a degree-16 small world
+//! converges at `n = 256` but stalls at `n = 2000` in a quenched
+//! disordered state (each agent's neighborhood average is frozen noise
+//! decoupled from the global trend). The star with the source at the hub
+//! freezes outright — unanimous observations carry no trend, so ties lock
+//! round-1 opinions — and bisection bottlenecks (barbell) slow the spread.
+//! The star result is a crisp illustration of the mechanism: FET consumes
+//! *temporal differences* of observations, so an observation stream with
+//! no variance carries no information.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod builders;
+pub mod engine;
+pub mod error;
+pub mod graph;
+
+pub use error::TopologyError;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::builders;
+    pub use crate::engine::TopologyEngine;
+    pub use crate::error::TopologyError;
+    pub use crate::graph::{Graph, GraphStats};
+}

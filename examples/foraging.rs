@@ -1,0 +1,80 @@
+//! The paper's motivating scenario (§1.1): a group of animals foraging on
+//! two sides of an area.
+//!
+//! ```text
+//! cargo run --release --example foraging
+//! ```
+//!
+//! One side (East) is better — more food, fewer predators. A few
+//! knowledgeable animals simply *stay East*; they do not signal, cannot be
+//! recognized, and never change. Every other animal can only scan a handful
+//! of random group-mates each round and see which side they are on (pure
+//! passive communication). Can the group settle East?
+//!
+//! The twist of self-stabilization: the group starts in an arbitrary
+//! configuration — here, everyone begins West after (say) a predator scare,
+//! and each animal's memory of yesterday's scan is garbage. We also flip the
+//! environment mid-run (a storm floods the East side) to show the group
+//! re-settling: the knowledgeable animals move West and the crowd follows.
+
+use fet::core::config::ProblemSpec;
+use fet::core::fet::FetProtocol;
+use fet::core::opinion::Opinion;
+use fet::core::protocol::Protocol;
+use fet::sim::convergence::ConvergenceCriterion;
+use fet::sim::engine::{Engine, Fidelity};
+use fet::sim::fault::FaultPlan;
+use fet::sim::init::InitialCondition;
+use fet::sim::observer::NullObserver;
+
+const EAST: Opinion = Opinion::One;
+const WEST: Opinion = Opinion::Zero;
+
+fn side(o: Opinion) -> &'static str {
+    if o == EAST {
+        "East"
+    } else {
+        "West"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let herd = 5_000u64;
+    let knowledgeable = 8u64; // a constant number of agreeing "sources"
+    let spec = ProblemSpec::new(herd, knowledgeable, EAST)?;
+    let protocol = FetProtocol::for_population(herd, 4.0)?;
+    println!(
+        "{herd} animals, {knowledgeable} knowledgeable ones staying {}; each animal scans {} others per round",
+        side(EAST),
+        protocol.samples_per_round()
+    );
+
+    let mut engine = Engine::new(protocol, spec, Fidelity::Binomial, InitialCondition::AllWrong, 7)?;
+    println!("\nafter the predator scare, every uninformed animal is {}...", side(WEST));
+    let report = engine.run(100_000, ConvergenceCriterion::new(5), &mut NullObserver);
+    let t1 = report.converged_at.expect("the herd settles");
+    println!("round {t1}: the whole herd forages {} — knowledge spread passively", side(EAST));
+
+    // The storm: East floods, the knowledgeable animals move West.
+    let flip_round = engine.round() + 1;
+    engine.set_fault_plan(FaultPlan::with_source_retarget(flip_round, WEST));
+    let mut resettled = None;
+    for extra in 1..=100_000u64 {
+        engine.step();
+        if engine.correct() == WEST && engine.all_correct() {
+            resettled = Some(extra);
+            break;
+        }
+    }
+    let dt = resettled.expect("the herd re-settles");
+    println!(
+        "storm at round {flip_round}: East floods; knowledgeable animals go {} — herd follows in {dt} rounds",
+        side(WEST)
+    );
+    println!(
+        "\nno signals, no identities, no clocks: the herd tracked its experts through
+nothing but who-stands-where. That is the FET protocol's 'early adapting to
+trends' at work."
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! The noise fragility finding (experiment E15), demonstrated live.
+//!
+//! ```text
+//! cargo run --release --example noise_threshold
+//! ```
+//!
+//! FET's converged state is absorbing because unanimous samples produce
+//! exact ties and ties keep. Flip each observed bit with probability `p > 0`
+//! and ties stop being exact: both consensi become metastable, the
+//! population oscillates between them, and the time-averaged correctness
+//! collapses toward 1/2 — even for `p` far below one flipped bit per
+//! sample. The source's restoring signal enters at strength ~1/n, so no
+//! constant noise rate can be outweighed. (This echoes the
+//! noise-impossibility results of Boczkowski et al. 2018, which the paper
+//! cites.)
+
+use fet::core::config::ProblemSpec;
+use fet::core::fet::FetProtocol;
+use fet::core::opinion::Opinion;
+use fet::sim::engine::{Engine, Fidelity};
+use fet::sim::fault::FaultPlan;
+use fet::sim::init::InitialCondition;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 400u64;
+    let spec = ProblemSpec::single_source(n, Opinion::One)?;
+    let protocol = FetProtocol::for_population(n, 4.0)?;
+    println!("n = {n}; noise = probability each observed opinion bit is flipped\n");
+    println!("noise (in units of 1/n)   time-avg fraction correct   visual");
+
+    for mult in [0.0, 0.05, 0.25, 1.0, 4.0, 20.0] {
+        let p = mult / n as f64;
+        let mut engine =
+            Engine::new(protocol, spec, Fidelity::Binomial, InitialCondition::AllWrong, 7)?;
+        engine.set_fault_plan(FaultPlan::with_noise(p));
+        for _ in 0..2_000 {
+            engine.step(); // warmup past the initial convergence
+        }
+        let rounds = 15_000u64;
+        let mut acc = 0.0;
+        for _ in 0..rounds {
+            engine.step();
+            acc += engine.fraction_correct();
+        }
+        let avg = acc / rounds as f64;
+        let bar = "#".repeat((avg * 40.0).round() as usize);
+        println!("{mult:>8} · (1/n)          {avg:<8.3}                    {bar}");
+    }
+
+    println!(
+        "\nnoiseless FET pins the correct consensus forever; the tiniest persistent\n\
+         noise turns it into an oscillator. Self-stabilization here is stability\n\
+         against *initial* corruption, not against *continuing* corruption — a\n\
+         sharp boundary this reproduction makes measurable."
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Inside the dynamics: the "bounce" and the proof's state-space domains.
+//!
+//! ```text
+//! cargo run --release --example trend_watch
+//! ```
+//!
+//! Runs the exact population-level FET chain (Observation 1 of the paper)
+//! at one million agents, prints the trajectory through the Figure 1a
+//! domains, and shows the multiplicative "bounce" out of the wrong
+//! consensus that Lemma 4 analyzes.
+
+use fet::analysis::domains::DomainParams;
+use fet::analysis::trace::DomainTrace;
+use fet::core::config::ProblemSpec;
+use fet::core::opinion::Opinion;
+use fet::plot::chart::{Axis, LineChart, Series};
+use fet::sim::aggregate::AggregateFetChain;
+use fet::sim::convergence::ConvergenceCriterion;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: u64 = 1_000_000;
+    let ell = (4.0 * (n as f64).ln()).ceil() as u32;
+    let spec = ProblemSpec::single_source(n, Opinion::One)?;
+    println!("exact aggregate FET chain: n = {n}, ℓ = {ell}, starting from wrong consensus\n");
+
+    let mut chain = AggregateFetChain::all_wrong(spec, ell, 99)?;
+    let (report, traj) = chain.run_recording(1_000_000, ConvergenceCriterion::new(2));
+
+    // Per-round log of the early rounds: the bounce is multiplicative.
+    println!("round  x_t          growth");
+    for t in 0..traj.len().min(15) {
+        let growth = if t + 1 < traj.len() && traj[t] > 0.0 {
+            format!("×{:.1}", traj[t + 1] / traj[t])
+        } else {
+            String::new()
+        };
+        println!("{t:>5}  {:<11.3e}  {growth}", traj[t]);
+    }
+
+    let params = DomainParams::new(n, 0.05)?;
+    let trace = DomainTrace::from_trajectory(&params, &traj);
+    println!("\ndomain visits (the Figure 1b path):");
+    for v in trace.visits() {
+        println!("  {:>6} rounds in {}", v.dwell, v.domain);
+    }
+    println!(
+        "\nconverged at round {:?}; log n / log log n = {:.1} (Lemma 4's Cyan bound)",
+        report.converged_at,
+        (n as f64).ln() / (n as f64).ln().ln()
+    );
+
+    let points: Vec<(f64, f64)> = traj
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x > 0.0)
+        .map(|(t, &x)| (t as f64 + 1.0, x))
+        .collect();
+    let mut chart = LineChart::new(60, 16);
+    chart.title("x_t over time (log-y): the bounce, then the sprint");
+    chart.axes(Axis::Linear, Axis::Log10);
+    chart.add_series(Series::new("x_t", '*', points));
+    println!("\n{chart}");
+    Ok(())
+}

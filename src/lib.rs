@@ -1,0 +1,57 @@
+//! # fet — self-stabilizing bit dissemination under passive communication
+//!
+//! Facade crate for the reproduction of *Korman & Vacus, "Early Adapting to
+//! Trends: Self-Stabilizing Information Spread using Passive Communication"*
+//! (PODC 2022, arXiv:2203.11522). Re-exports the whole workspace:
+//!
+//! * [`core`] — the paper's contribution: the **FET** protocol
+//!   (*Follow the Emerging Trend*, Protocol 1) and its unpartitioned variant.
+//! * [`sim`] — the synchronous PULL-model simulation engine (agent-level,
+//!   binomial, and aggregate fidelities).
+//! * [`protocols`] — baseline opinion dynamics and dissemination protocols.
+//! * [`analysis`] — state-space domains (Fig. 1a/2), drift, Markov solver,
+//!   lemma numerics.
+//! * [`adversary`] — adversarial initial configurations and the §1.2
+//!   impossibility construction.
+//! * [`topology`] — graphs + the neighbor-sampling engine (the
+//!   fully-connected assumption, relaxed).
+//! * [`stats`] — probability substrate.
+//! * [`plot`] — terminal plotting and CSV export.
+//!
+//! # Quickstart
+//!
+//! Run FET from the worst adversarial start (unanimous wrong opinion) and
+//! watch it self-stabilize:
+//!
+//! ```
+//! use fet::prelude::*;
+//!
+//! let spec = ExperimentSpec::builder(1_000)
+//!     .seed(42)
+//!     .build()
+//!     .expect("valid spec");
+//! let outcome = run_fet_once(&spec, InitialCondition::AllWrong);
+//! assert!(outcome.converged());
+//! ```
+
+pub use fet_adversary as adversary;
+pub use fet_analysis as analysis;
+pub use fet_core as core;
+pub use fet_plot as plot;
+pub use fet_protocols as protocols;
+pub use fet_sim as sim;
+pub use fet_stats as stats;
+pub use fet_topology as topology;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use fet_adversary::init::InitialCondition;
+    pub use fet_core::fet::FetProtocol;
+    pub use fet_core::opinion::Opinion;
+    pub use fet_core::protocol::Protocol;
+    pub use fet_sim::engine::{Engine, Fidelity};
+    pub use fet_sim::experiment::{run_fet_once, ExperimentSpec, RunOutcome};
+    pub use fet_stats::rng::SeedTree;
+    pub use fet_topology::engine::TopologyEngine;
+    pub use fet_topology::graph::{Graph, GraphStats};
+}

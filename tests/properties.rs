@@ -1,0 +1,298 @@
+//! Property-based tests over the workspace's core invariants.
+
+use fet::analysis::domains::DomainParams;
+use fet::analysis::drift::DriftField;
+use fet::core::fet::{FetProtocol, FetState};
+use fet::core::observation::Observation;
+use fet::core::opinion::Opinion;
+use fet::core::protocol::{Protocol, RoundContext};
+use fet::stats::binomial::Binomial;
+use fet::stats::compare::CoinCompetition;
+use fet::stats::hypergeometric::split_sample;
+use fet::stats::rng::SeedTree;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn binomial_cdf_is_monotone_and_normalized(
+        n in 1u64..200,
+        p in 0.0f64..=1.0,
+    ) {
+        let b = Binomial::new(n, p).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = b.cdf(k);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            prop_assert!(c >= prev - 1e-12, "cdf not monotone at {k}");
+            prev = c;
+        }
+        prop_assert!((b.cdf(n) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coin_competition_outcomes_partition(
+        k in 1u64..256,
+        p in 0.0f64..=1.0,
+        q in 0.0f64..=1.0,
+    ) {
+        let cc = CoinCompetition::new(k, p, q);
+        let total = cc.p_first_wins() + cc.p_tie() + cc.p_second_wins();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn coin_competition_monotone_in_second_bias(
+        k in 1u64..128,
+        p in 0.1f64..0.9,
+        bump in 0.0f64..0.1,
+    ) {
+        // Raising the second coin's bias cannot hurt it.
+        let lo = CoinCompetition::new(k, p, p).p_second_wins();
+        let hi = CoinCompetition::new(k, p, (p + bump).min(1.0)).p_second_wins();
+        prop_assert!(hi >= lo - 1e-9);
+    }
+
+    #[test]
+    fn split_sample_always_partitions(
+        half in 1u64..128,
+        seed in 0u64..1000,
+        ones_frac in 0.0f64..=1.0,
+    ) {
+        let ones = (ones_frac * 2.0 * half as f64).round() as u64;
+        let ones = ones.min(2 * half);
+        let mut rng = SeedTree::new(seed).child("prop").rng();
+        let (a, b) = split_sample(ones, half, &mut rng);
+        prop_assert_eq!(a + b, ones);
+        prop_assert!(a <= half && b <= half);
+    }
+
+    #[test]
+    fn domain_classification_is_total_and_mirror_symmetric(
+        n in 3u64..1_000_000,
+        delta in 0.01f64..0.12,
+        x in 0.0f64..=1.0,
+        y in 0.0f64..=1.0,
+    ) {
+        let params = DomainParams::new(n, delta).unwrap();
+        let d = params.classify(x, y);
+        let m = params.classify(1.0 - x, 1.0 - y);
+        prop_assert_eq!(d.kind(), m.kind(), "kinds differ at ({}, {})", x, y);
+        match (d.side(), m.side()) {
+            (Some(a), Some(b)) => prop_assert_eq!(a, 1 - b),
+            (None, None) => {}
+            other => {
+                // Boundary points may classify Yellow on one side only when
+                // the mirrored float rounds across the strict |y−x| < δ
+                // edge; accept only exactly-at-boundary situations.
+                let speed = (y - x).abs();
+                prop_assert!(
+                    (speed - delta).abs() < 1e-9,
+                    "asymmetric sides {:?} away from the speed boundary", other
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn yellow_prime_area_classification_total(
+        delta in 0.01f64..0.12,
+        fx in 0.0f64..=1.0,
+        fy in 0.0f64..=1.0,
+    ) {
+        let params = DomainParams::new(10_000, delta).unwrap();
+        let lo = 0.5 - 4.0 * delta;
+        let w = 8.0 * delta;
+        let x = lo + fx * w;
+        let y = lo + fy * w;
+        prop_assert!(params.classify_yellow_area(x, y).is_some());
+    }
+
+    #[test]
+    fn drift_is_a_probability_everywhere(
+        ell in 1u64..128,
+        x in 0.0f64..=1.0,
+        y in 0.0f64..=1.0,
+    ) {
+        let field = DriftField::new(1000, ell).unwrap();
+        let g = field.g(x, y);
+        prop_assert!((0.0..=1.0).contains(&g), "g({x},{y}) = {g}");
+    }
+
+    #[test]
+    fn fet_step_keeps_state_well_formed(
+        ell in 1u32..64,
+        ones_frac in 0.0f64..=1.0,
+        stale_frac in 0.0f64..=1.0,
+        opinion in any::<bool>(),
+        seed in 0u64..10_000,
+    ) {
+        let protocol = FetProtocol::new(ell).unwrap();
+        let m = protocol.samples_per_round();
+        let ones = ((ones_frac * f64::from(m)).round() as u32).min(m);
+        let stale = ((stale_frac * f64::from(ell)).round() as u32).min(ell);
+        let mut state = FetState {
+            opinion: Opinion::from(opinion),
+            prev_count_second_half: stale,
+        };
+        let mut rng = SeedTree::new(seed).child("fet-prop").rng();
+        let obs = Observation::new(ones, m).unwrap();
+        let out = protocol.step(&mut state, &obs, &RoundContext::new(0), &mut rng);
+        prop_assert_eq!(out, state.opinion);
+        prop_assert!(state.prev_count_second_half <= ell);
+        // The split bounds the stored count by the observed ones.
+        prop_assert!(state.prev_count_second_half <= ones);
+    }
+
+    #[test]
+    fn fet_unanimous_rise_and_fall_are_deterministic(
+        ell in 1u32..64,
+        opinion in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let protocol = FetProtocol::new(ell).unwrap();
+        let m = protocol.samples_per_round();
+        let mut rng = SeedTree::new(seed).child("det").rng();
+        // All-ones observation against a zero stale count must adopt 1
+        // (count′ = ℓ > 0 unless ℓ = 0, excluded).
+        let mut state = FetState { opinion: Opinion::from(opinion), prev_count_second_half: 0 };
+        let out = protocol.step(
+            &mut state,
+            &Observation::new(m, m).unwrap(),
+            &RoundContext::new(0),
+            &mut rng,
+        );
+        prop_assert_eq!(out, Opinion::One);
+        // All-zeros observation against a maximal stale count must adopt 0.
+        let mut state = FetState { opinion: Opinion::from(opinion), prev_count_second_half: ell };
+        let out = protocol.step(
+            &mut state,
+            &Observation::new(0, m).unwrap(),
+            &RoundContext::new(0),
+            &mut rng,
+        );
+        prop_assert_eq!(out, Opinion::Zero);
+    }
+}
+
+#[test]
+fn fet_symmetry_under_relabeling_in_distribution() {
+    // P(adopt 1 | state s, obs o) == P(adopt 0 | mirror(s), mirror(o)),
+    // checked by frequency over many trials at several parameter points.
+    let protocol = FetProtocol::new(8).expect("valid");
+    let m = protocol.samples_per_round();
+    let ctx = RoundContext::new(0);
+    let mut rng = SeedTree::new(0xABBA).child("sym").rng();
+    for (ones, stale) in [(5u32, 3u32), (10, 7), (12, 1)] {
+        let reps = 30_000;
+        let mut count_a = 0u32;
+        let mut count_b = 0u32;
+        for _ in 0..reps {
+            let mut sa = FetState { opinion: Opinion::Zero, prev_count_second_half: stale };
+            let obs = Observation::new(ones, m).expect("valid");
+            if protocol.step(&mut sa, &obs, &ctx, &mut rng) == Opinion::One {
+                count_a += 1;
+            }
+            let mut sb = FetState { opinion: Opinion::One, prev_count_second_half: 8 - stale };
+            let obs_m = obs.relabeled();
+            if protocol.step(&mut sb, &obs_m, &ctx, &mut rng) == Opinion::Zero {
+                count_b += 1;
+            }
+        }
+        let fa = f64::from(count_a) / f64::from(reps);
+        let fb = f64::from(count_b) / f64::from(reps);
+        assert!((fa - fb).abs() < 0.015, "({ones},{stale}): {fa} vs {fb}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Topology substrate invariants (fet-topology).
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Every generated graph round-trips through its own edge list.
+    #[test]
+    fn graph_edges_roundtrip(
+        n in 3u32..60,
+        seed in 0u64..1_000,
+        p in 0.0f64..=1.0,
+    ) {
+        use fet::topology::graph::Graph;
+        let mut rng = SeedTree::new(seed).child("roundtrip").rng();
+        let g = fet::topology::builders::erdos_renyi(n, p, &mut rng).unwrap();
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let h = Graph::from_edges(n, &edges).unwrap();
+        prop_assert_eq!(g, h);
+    }
+
+    /// Erdős–Rényi edge counts stay inside a 6σ band around `p·C(n,2)`.
+    #[test]
+    fn erdos_renyi_edge_count_concentrates(
+        n in 20u32..120,
+        seed in 0u64..500,
+        p in 0.05f64..0.95,
+    ) {
+        let mut rng = SeedTree::new(seed).child("er").rng();
+        let g = fet::topology::builders::erdos_renyi(n, p, &mut rng).unwrap();
+        let total = f64::from(n) * f64::from(n - 1) / 2.0;
+        let mean = p * total;
+        let sigma = (total * p * (1.0 - p)).sqrt();
+        let m = g.num_edges() as f64;
+        prop_assert!(
+            (m - mean).abs() <= 6.0 * sigma.max(1.0),
+            "m = {}, mean = {}, sigma = {}", m, mean, sigma
+        );
+    }
+
+    /// Steger–Wormald pairing always yields a simple, exactly d-regular graph.
+    #[test]
+    fn random_regular_is_exactly_regular(
+        half_n in 8u32..40,
+        d in 2u32..8,
+        seed in 0u64..500,
+    ) {
+        let n = 2 * half_n; // n·d even by construction
+        let mut rng = SeedTree::new(seed).child("rr").rng();
+        let g = fet::topology::builders::random_regular(n, d, &mut rng).unwrap();
+        for v in 0..n {
+            prop_assert_eq!(g.degree(v), d);
+            // Sorted strictly increasing ⇒ no self-loops / multi-edges.
+            let nb = g.neighbors(v);
+            for w in nb.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert!(!nb.contains(&v));
+        }
+    }
+
+    /// Watts–Strogatz preserves the lattice edge count for every β.
+    #[test]
+    fn watts_strogatz_preserves_edges(
+        n in 12u32..80,
+        k in 1u32..4,
+        beta in 0.0f64..=1.0,
+        seed in 0u64..300,
+    ) {
+        prop_assume!(2 * k + 1 <= n);
+        let mut rng = SeedTree::new(seed).child("ws").rng();
+        let g = fet::topology::builders::watts_strogatz(n, k, beta, &mut rng).unwrap();
+        prop_assert_eq!(g.num_edges(), u64::from(n) * u64::from(k));
+    }
+
+    /// BFS distances satisfy the triangle inequality along any edge.
+    #[test]
+    fn bfs_distances_are_1_lipschitz_along_edges(
+        n in 4u32..50,
+        seed in 0u64..300,
+    ) {
+        let mut rng = SeedTree::new(seed).child("bfs").rng();
+        // Connected-ish: ER above the connectivity threshold, retry if not.
+        let p = (2.0 * f64::from(n).ln() / f64::from(n)).min(1.0);
+        let g = fet::topology::builders::erdos_renyi(n, p, &mut rng).unwrap();
+        prop_assume!(g.is_connected());
+        let dist = g.bfs_distances(0);
+        for (a, b) in g.edges() {
+            let (da, db) = (dist[a as usize], dist[b as usize]);
+            prop_assert!(da.abs_diff(db) <= 1, "edge ({a},{b}): {da} vs {db}");
+        }
+    }
+}

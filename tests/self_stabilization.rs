@@ -1,0 +1,130 @@
+//! Self-stabilization: the ∀-initial-configuration promise under attack,
+//! plus the §1.2 impossibility construction and fault recovery.
+
+use fet::adversary::impossibility::ImpossibilityScenario;
+use fet::adversary::init::FetConfigurator;
+use fet::adversary::search::{AdversaryPoint, WorstCaseSearch};
+use fet::core::config::ProblemSpec;
+use fet::core::fet::FetProtocol;
+use fet::core::opinion::Opinion;
+use fet::sim::convergence::ConvergenceCriterion;
+use fet::sim::engine::{Engine, Fidelity};
+use fet::sim::fault::FaultPlan;
+use fet::sim::init::InitialCondition;
+use fet::sim::observer::NullObserver;
+
+fn setup(n: u64) -> (FetProtocol, ProblemSpec, FetConfigurator) {
+    let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
+    let protocol = FetProtocol::for_population(n, 4.0).expect("valid");
+    (protocol, spec, FetConfigurator::new(protocol, spec))
+}
+
+#[test]
+fn all_named_traps_are_defeated() {
+    let (protocol, spec, conf) = setup(400);
+    for (name, states) in [
+        ("tie_trap", conf.tie_trap()),
+        ("bounce_suppressor", conf.bounce_suppressor()),
+        ("oscillation_primer", conf.oscillation_primer()),
+    ] {
+        let mut engine =
+            Engine::from_states(protocol, spec, Fidelity::Binomial, states, 17).expect("valid");
+        let report = engine.run(100_000, ConvergenceCriterion::new(3), &mut NullObserver);
+        assert!(report.converged(), "trap {name} defeated FET: {report:?}");
+    }
+}
+
+#[test]
+fn mixed_family_members_all_converge() {
+    let (protocol, spec, _) = setup(300);
+    let search = WorstCaseSearch::new(protocol, spec, 23);
+    for &(fo, fs) in &[(0.0, 0.0), (0.0, 1.0), (0.5, 0.5), (1.0, 0.0), (0.3, 0.9)] {
+        let m = search.measure(AdversaryPoint { frac_ones: fo, frac_stale_high: fs });
+        assert_eq!(m.failures, 0, "family point ({fo}, {fs}) produced failures: {m:?}");
+    }
+}
+
+#[test]
+fn impossibility_scenario_freezes_but_contrast_escapes() {
+    let out = ImpossibilityScenario::standard(256, 3).run();
+    assert!(!out.escaped, "passive unanimity must be self-sustaining");
+    assert_eq!(out.frozen_rounds, 256, "frozen for the whole horizon");
+    assert!(out.scenario1_convergence.is_some(), "honest majority converges");
+    assert!(out.contrast_convergence.is_some(), "single honest source escapes the trap");
+}
+
+#[test]
+fn recovery_after_source_retarget() {
+    let (protocol, spec, _) = setup(400);
+    let mut engine =
+        Engine::new(protocol, spec, Fidelity::Binomial, InitialCondition::AllWrong, 29)
+            .expect("valid");
+    let first = engine.run(100_000, ConvergenceCriterion::new(3), &mut NullObserver);
+    assert!(first.converged(), "phase 1: {first:?}");
+    let flip = engine.round() + 1;
+    engine.set_fault_plan(FaultPlan::with_source_retarget(flip, Opinion::Zero));
+    let mut recovered = false;
+    for _ in 0..100_000u64 {
+        engine.step();
+        if engine.correct() == Opinion::Zero && engine.all_correct() {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "population failed to re-stabilize after the correct bit flipped");
+}
+
+#[test]
+fn observation_noise_destroys_the_absorbing_consensus() {
+    // Reproduction finding (E15): FET's absorbing state relies on exact
+    // unanimity ties, so *any* persistent i.i.d. bit-flip noise makes
+    // consensus metastable — the population oscillates between the two
+    // consensi instead of stabilizing. (Consistent with the noise
+    // impossibility results the paper cites: Boczkowski et al. 2018.)
+    let (protocol, spec, _) = setup(400);
+    let mut engine =
+        Engine::new(protocol, spec, Fidelity::Binomial, InitialCondition::AllWrong, 31)
+            .expect("valid");
+    engine.set_fault_plan(FaultPlan::with_noise(0.05));
+    let report = engine.run(100_000, ConvergenceCriterion::new(5), &mut NullObserver);
+    assert!(
+        !report.converged(),
+        "strict consensus should be unreachable under persistent noise: {report:?}"
+    );
+    // The correct side remains weakly favored: over a long window the
+    // time-average fraction-correct stays at or above 1/2 (the source's
+    // escape-rate asymmetry), bounded well away from 0.
+    let mut acc = 0.0;
+    let window = 20_000u64;
+    for _ in 0..window {
+        engine.step();
+        acc += engine.fraction_correct();
+    }
+    let avg = acc / window as f64;
+    assert!(avg > 0.35, "time-average correctness collapsed below noise-only symmetry: {avg}");
+}
+
+#[test]
+fn convergence_with_sleepy_agents() {
+    let (protocol, spec, _) = setup(400);
+    let mut engine =
+        Engine::new(protocol, spec, Fidelity::Binomial, InitialCondition::AllWrong, 37)
+            .expect("valid");
+    engine.set_fault_plan(FaultPlan::with_sleep(0.3));
+    let report = engine.run(200_000, ConvergenceCriterion::new(5), &mut NullObserver);
+    assert!(report.converged(), "30% sleep probability should be survivable: {report:?}");
+}
+
+#[test]
+fn simple_trend_variant_also_converges_in_simulation() {
+    // The paper conjectures (but does not prove) that the unpartitioned
+    // variant works; our simulations support it — document as a test.
+    use fet::core::simple_trend::SimpleTrendProtocol;
+    let spec = ProblemSpec::single_source(400, Opinion::One).expect("valid");
+    let protocol = SimpleTrendProtocol::for_population(400, 4.0).expect("valid");
+    let mut engine =
+        Engine::new(protocol, spec, Fidelity::Binomial, InitialCondition::AllWrong, 41)
+            .expect("valid");
+    let report = engine.run(100_000, ConvergenceCriterion::new(5), &mut NullObserver);
+    assert!(report.converged(), "{report:?}");
+}
