@@ -150,13 +150,25 @@ impl<P: Protocol> ConflictEngine<P> {
         let mut states = Vec::with_capacity(free);
         let mut ones_count = k1;
         for _ in 0..free {
-            let opinion =
-                if rng.gen::<f64>() < initial_ones { Opinion::One } else { Opinion::Zero };
+            let opinion = if rng.gen::<f64>() < initial_ones {
+                Opinion::One
+            } else {
+                Opinion::Zero
+            };
             let state = protocol.init_state(opinion, &mut rng);
             ones_count += u64::from(protocol.output(&state).is_one());
             states.push(state);
         }
-        Ok(ConflictEngine { protocol, n, k0, k1, states, ones_count, rng, round: 0 })
+        Ok(ConflictEngine {
+            protocol,
+            n,
+            k0,
+            k1,
+            states,
+            ones_count,
+            rng,
+            round: 0,
+        })
     }
 
     /// Stubborn zero-emitters.
@@ -281,7 +293,10 @@ mod tests {
         // oscillating and never settles on the majority side.
         let up = mean_occupancy(10, 70, 0.0, 6);
         assert!(up > 0.52, "majority should tilt occupancy upward: {up}");
-        assert!(up < 0.85, "…but capture would contradict the oscillation finding: {up}");
+        assert!(
+            up < 0.85,
+            "…but capture would contradict the oscillation finding: {up}"
+        );
         let down = mean_occupancy(70, 10, 1.0, 6);
         assert!(down < 0.48, "zero majority should tilt downward: {down}");
         assert!(down > 0.15, "{down}");

@@ -68,7 +68,12 @@ impl ImpossibilityScenario {
     /// require).
     pub fn standard(n: u64, seed: u64) -> Self {
         let ell = (4.0 * (n.max(2) as f64).ln()).ceil() as u32;
-        ImpossibilityScenario { n, ell, horizon: n, seed }
+        ImpossibilityScenario {
+            n,
+            ell,
+            horizon: n,
+            seed,
+        }
     }
 
     /// Runs both scenarios plus the contrast run.
@@ -83,8 +88,8 @@ impl ImpossibilityScenario {
         // ---- Scenario 1: k₁ = n/2 stubborn 1-sources, the rest run FET.
         // Our engine's `num_sources` agents emit the correct bit — here 1.
         let k1 = self.n / 2;
-        let spec1 = ProblemSpec::new(self.n, k1, Opinion::One)
-            .expect("n/2 sources leave non-sources");
+        let spec1 =
+            ProblemSpec::new(self.n, k1, Opinion::One).expect("n/2 sources leave non-sources");
         let protocol = FetProtocol::new(self.ell).expect("ell ≥ 1");
         let mut engine1 = Engine::new(
             protocol,
@@ -120,7 +125,10 @@ impl ImpossibilityScenario {
         // emitter — all k₀ preference-0 sources run the algorithm from
         // state s′ like everyone else (they cannot do better: their
         // observations are unanimous too).
-        let trap_state = FetState { opinion: Opinion::One, prev_count_second_half: protocol.ell() };
+        let trap_state = FetState {
+            opinion: Opinion::One,
+            prev_count_second_half: protocol.ell(),
+        };
         let _ = s; // s and trap_state coincide post-convergence; keep the copy explicit.
         let spec2 = ProblemSpec::new(self.n, 1, Opinion::Zero).expect("valid population");
         // The mandatory engine source would emit 0 and break unanimity; to

@@ -54,7 +54,13 @@ impl FetConfigurator {
             "stale count {stale_count} exceeds ℓ = {}",
             self.protocol.ell()
         );
-        vec![FetState { opinion, prev_count_second_half: stale_count }; self.len()]
+        vec![
+            FetState {
+                opinion,
+                prev_count_second_half: stale_count
+            };
+            self.len()
+        ]
     }
 
     /// The tie trap: unanimous wrong opinion, stale counts zero.
@@ -78,9 +84,15 @@ impl FetConfigurator {
         let mut out = Vec::with_capacity(len);
         for i in 0..len {
             if i < half {
-                out.push(FetState { opinion: Opinion::One, prev_count_second_half: ell });
+                out.push(FetState {
+                    opinion: Opinion::One,
+                    prev_count_second_half: ell,
+                });
             } else {
-                out.push(FetState { opinion: Opinion::Zero, prev_count_second_half: 0 });
+                out.push(FetState {
+                    opinion: Opinion::Zero,
+                    prev_count_second_half: 0,
+                });
             }
         }
         out
@@ -99,7 +111,10 @@ impl FetConfigurator {
         frac_stale_high: f64,
         rng: &mut R,
     ) -> Vec<FetState> {
-        assert!((0.0..=1.0).contains(&frac_ones), "frac_ones out of range: {frac_ones}");
+        assert!(
+            (0.0..=1.0).contains(&frac_ones),
+            "frac_ones out of range: {frac_ones}"
+        );
         assert!(
             (0.0..=1.0).contains(&frac_stale_high),
             "frac_stale_high out of range: {frac_stale_high}"
@@ -112,8 +127,15 @@ impl FetConfigurator {
                 } else {
                     Opinion::Zero
                 };
-                let stale = if rng.gen::<f64>() < frac_stale_high { ell } else { 0 };
-                FetState { opinion, prev_count_second_half: stale }
+                let stale = if rng.gen::<f64>() < frac_stale_high {
+                    ell
+                } else {
+                    0
+                };
+                FetState {
+                    opinion,
+                    prev_count_second_half: stale,
+                }
             })
             .collect()
     }
@@ -129,7 +151,10 @@ impl FetConfigurator {
     /// exact placement is available in `fet_sim::aggregate` where the pair
     /// is a direct input.
     pub fn place_pair(&self, frac_ones_t0: f64, target_x1: f64) -> Vec<FetState> {
-        assert!((0.0..=1.0).contains(&frac_ones_t0), "frac_ones_t0 out of range");
+        assert!(
+            (0.0..=1.0).contains(&frac_ones_t0),
+            "frac_ones_t0 out of range"
+        );
         assert!((0.0..=1.0).contains(&target_x1), "target_x1 out of range");
         let ell = self.protocol.ell();
         let len = self.len();
@@ -137,7 +162,11 @@ impl FetConfigurator {
         let up_next = (target_x1 * len as f64).round() as usize;
         (0..len)
             .map(|i| FetState {
-                opinion: if i < ones_now { Opinion::One } else { Opinion::Zero },
+                opinion: if i < ones_now {
+                    Opinion::One
+                } else {
+                    Opinion::Zero
+                },
                 // Cycle the "flip up" arming across the population so it is
                 // uncorrelated with current opinions.
                 prev_count_second_half: if (i * 7919) % len < up_next { 0 } else { ell },
@@ -191,7 +220,11 @@ mod tests {
         let mut rng = SeedTree::new(3).child("mixed").rng();
         let states = c.mixed(0.7, 0.2, &mut rng);
         let ones = states.iter().filter(|s| s.opinion == Opinion::One).count() as f64 / 100.0;
-        let high = states.iter().filter(|s| s.prev_count_second_half == 8).count() as f64 / 100.0;
+        let high = states
+            .iter()
+            .filter(|s| s.prev_count_second_half == 8)
+            .count() as f64
+            / 100.0;
         assert!((ones - 0.7).abs() < 0.15, "ones fraction {ones}");
         assert!((high - 0.2).abs() < 0.15, "stale-high fraction {high}");
     }
@@ -202,7 +235,10 @@ mod tests {
         let states = c.place_pair(0.3, 0.8);
         let ones = states.iter().filter(|s| s.opinion == Opinion::One).count();
         assert_eq!(ones, 30);
-        let armed_up = states.iter().filter(|s| s.prev_count_second_half == 0).count();
+        let armed_up = states
+            .iter()
+            .filter(|s| s.prev_count_second_half == 0)
+            .count();
         assert_eq!(armed_up, 80);
     }
 

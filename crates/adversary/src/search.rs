@@ -98,8 +98,11 @@ impl WorstCaseSearch {
                 tree.child("engine").seed(),
             )
             .expect("states generated to match the spec");
-            let report =
-                engine.run(self.max_rounds, ConvergenceCriterion::new(3), &mut NullObserver);
+            let report = engine.run(
+                self.max_rounds,
+                ConvergenceCriterion::new(3),
+                &mut NullObserver,
+            );
             match report.converged_at {
                 Some(t) => (t as f64, false),
                 None => (self.max_rounds as f64, true),
@@ -108,7 +111,12 @@ impl WorstCaseSearch {
         let failures = times.iter().filter(|(_, failed)| *failed).count() as u64;
         let values: Vec<f64> = times.iter().map(|(t, _)| *t).collect();
         let s = Summary::from_slice(&values).expect("replicates ≥ 1");
-        MeasuredPoint { point, mean_time: s.mean(), max_time: s.max(), failures }
+        MeasuredPoint {
+            point,
+            mean_time: s.mean(),
+            max_time: s.max(),
+            failures,
+        }
     }
 
     /// Coarse `grid × grid` sweep followed by one ring of local refinement
@@ -169,7 +177,10 @@ mod tests {
     #[test]
     fn measure_is_deterministic() {
         let s = small_search();
-        let p = AdversaryPoint { frac_ones: 0.0, frac_stale_high: 1.0 };
+        let p = AdversaryPoint {
+            frac_ones: 0.0,
+            frac_stale_high: 1.0,
+        };
         let a = s.measure(p);
         let b = s.measure(p);
         assert_eq!(a, b);
@@ -181,7 +192,10 @@ mod tests {
         let outcome = s.run(2);
         // 4 grid cells + ≤ 8 refinements.
         assert!(outcome.measured.len() >= 4);
-        assert!(outcome.worst.failures == 0, "FET should converge from every family member");
+        assert!(
+            outcome.worst.failures == 0,
+            "FET should converge from every family member"
+        );
         // The worst must be at least as slow as every measured point.
         for m in &outcome.measured {
             assert!(outcome.worst.mean_time >= m.mean_time - 1e-9);

@@ -36,7 +36,10 @@ pub struct MonotonicityCheck {
 pub fn check_claim1(field: &DriftField, x: f64, points: usize) -> MonotonicityCheck {
     assert!(points >= 2, "need at least 2 evaluation points");
     let hi = x + 1.0 / (field.ell() as f64).sqrt();
-    assert!((0.0..=1.0).contains(&x) && hi <= 1.0, "interval [{x}, {hi}] outside [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&x) && hi <= 1.0,
+        "interval [{x}, {hi}] outside [0,1]"
+    );
     let mut min_step = f64::INFINITY;
     let mut prev = field.g(x, x) - x;
     for i in 1..points {
@@ -48,7 +51,12 @@ pub fn check_claim1(field: &DriftField, x: f64, points: usize) -> MonotonicityCh
         }
         prev = h;
     }
-    MonotonicityCheck { x, points, strictly_increasing: min_step > 0.0, min_step }
+    MonotonicityCheck {
+        x,
+        points,
+        strictly_increasing: min_step > 0.0,
+        min_step,
+    }
 }
 
 /// Counts sign changes of `y ↦ g(x, y) − y` on the Claim 2 interval; at

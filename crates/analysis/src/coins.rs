@@ -86,7 +86,14 @@ pub fn check(lemma: CoinLemma, k: u64, p: f64, q: f64, lambda: f64) -> BoundChec
             (exact, bound, bound - exact)
         }
     };
-    BoundCheck { k, p, q, exact, bound, margin }
+    BoundCheck {
+        k,
+        p,
+        q,
+        exact,
+        bound,
+        margin,
+    }
 }
 
 /// Result of sweeping a lemma over a grid.
@@ -128,9 +135,16 @@ pub fn sweep(lemma: CoinLemma, ks: &[u64], center: f64, gaps: &[f64], lambda: f6
         }
     }
     let violations = checks.iter().filter(|c| c.margin < 0.0).count();
-    let worst_margin =
-        checks.iter().map(|c| c.margin).fold(f64::INFINITY, f64::min);
-    SweepReport { lemma, checks, violations, worst_margin }
+    let worst_margin = checks
+        .iter()
+        .map(|c| c.margin)
+        .fold(f64::INFINITY, f64::min);
+    SweepReport {
+        lemma,
+        checks,
+        violations,
+        worst_margin,
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +155,13 @@ mod tests {
 
     #[test]
     fn lemma12_holds_everywhere_on_its_domain() {
-        let r = sweep(CoinLemma::Lemma12, &KS, 0.5, &[0.1, 0.25, 0.5, 0.75, 1.0], 0.0);
+        let r = sweep(
+            CoinLemma::Lemma12,
+            &KS,
+            0.5,
+            &[0.1, 0.25, 0.5, 0.75, 1.0],
+            0.0,
+        );
         assert!(!r.checks.is_empty());
         assert_eq!(r.violations, 0, "worst margin {}", r.worst_margin);
     }

@@ -71,7 +71,9 @@ impl AbsorptionTime {
                 detail: "need at least one round".into(),
             });
         }
-        Ok(AbsorptionTime { cdf: chain.absorption_profile(i0, j0, horizon) })
+        Ok(AbsorptionTime {
+            cdf: chain.absorption_profile(i0, j0, horizon),
+        })
     }
 
     /// `P(T ≤ t)`; saturates at the last computed value beyond the horizon.
@@ -201,7 +203,11 @@ impl QuasiStationary {
             let converged = tv < tolerance && (surviving - eigenvalue).abs() < tolerance;
             eigenvalue = surviving;
             if converged {
-                return Ok(QuasiStationary { dist, eigenvalue, iterations: iter });
+                return Ok(QuasiStationary {
+                    dist,
+                    eigenvalue,
+                    iterations: iter,
+                });
             }
         }
         Err(AnalysisError::NoConvergence {
@@ -347,7 +353,10 @@ impl OccupationMeasure {
             matrix[n][n] -= dist[n][n]; // the absorbing state is not transient
             dist = chain.push_distribution(&dist);
         }
-        Ok(OccupationMeasure { matrix, absorbed: dist[n][n] })
+        Ok(OccupationMeasure {
+            matrix,
+            absorbed: dist[n][n],
+        })
     }
 
     /// The occupation matrix (`[i][j]` = expected rounds in that state).
@@ -424,7 +433,10 @@ mod tests {
     #[test]
     fn quantiles_are_monotone() {
         let at = AbsorptionTime::from_chain(&chain(), 1, 1, 3_000).unwrap();
-        assert!(at.mass_at_horizon() > 0.999, "horizon too short for this test");
+        assert!(
+            at.mass_at_horizon() > 0.999,
+            "horizon too short for this test"
+        );
         let q25 = at.quantile(0.25).unwrap();
         let q50 = at.quantile(0.50).unwrap();
         let q95 = at.quantile(0.95).unwrap();
@@ -466,7 +478,11 @@ mod tests {
     #[test]
     fn qsd_is_a_distribution_with_zero_absorbing_mass() {
         let qsd = QuasiStationary::of_chain(&chain(), 1e-12, 200_000).unwrap();
-        let total: f64 = qsd.distribution().iter().map(|r| r.iter().sum::<f64>()).sum();
+        let total: f64 = qsd
+            .distribution()
+            .iter()
+            .map(|r| r.iter().sum::<f64>())
+            .sum();
         assert!((total - 1.0).abs() < 1e-9, "QSD mass = {total}");
         let n = 12;
         assert_eq!(qsd.distribution()[n][n], 0.0);
@@ -560,7 +576,11 @@ mod tests {
                 assert!(r >= 0.0);
             }
         }
-        assert_eq!(occ.matrix()[12][12], 0.0, "absorbing state is not transient");
+        assert_eq!(
+            occ.matrix()[12][12],
+            0.0,
+            "absorbing state is not transient"
+        );
         // The start state is counted at least once (round 0).
         assert!(occ.matrix()[1][1] >= 1.0);
     }

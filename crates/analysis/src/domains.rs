@@ -552,7 +552,10 @@ mod tests {
             for j in 0..=steps {
                 let x = lo + (hi - lo) * i as f64 / steps as f64;
                 let y = lo + (hi - lo) * j as f64 / steps as f64;
-                assert!(p.classify_yellow_area(x, y).is_some(), "uncovered ({x},{y})");
+                assert!(
+                    p.classify_yellow_area(x, y).is_some(),
+                    "uncovered ({x},{y})"
+                );
             }
         }
         assert_eq!(p.classify_yellow_area(0.9, 0.9), None);

@@ -114,9 +114,14 @@ mod tests {
     #[test]
     fn g_is_a_probability() {
         let f = field();
-        for &(x, y) in
-            &[(0.0, 0.0), (1.0, 1.0), (0.5, 0.5), (0.1, 0.9), (0.9, 0.1), (0.3, 0.35)]
-        {
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (0.5, 0.5),
+            (0.1, 0.9),
+            (0.9, 0.1),
+            (0.3, 0.35),
+        ] {
             let g = f.g(x, y);
             assert!((0.0..=1.0).contains(&g), "g({x},{y}) = {g}");
         }
@@ -178,8 +183,7 @@ mod tests {
             let p_eq = cc.p_tie();
             // Eq. (2): holders of 1 (ny − 1 non-source) stay w.p. p_geq;
             // holders of 0 join w.p. p_gt; source constant.
-            let expect =
-                (1.0 + (n * y - 1.0) * (p_gt + p_eq) + (n - n * y) * p_gt) / n;
+            let expect = (1.0 + (n * y - 1.0) * (p_gt + p_eq) + (n - n * y) * p_gt) / n;
             assert!(
                 (f.g(x, y) - expect).abs() < 1e-12,
                 "Eq.(7) vs Eq.(2) at ({x},{y})"

@@ -43,9 +43,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = AnalysisError::InvalidParameter { name: "delta", detail: "must be < 1/2".into() };
+        let e = AnalysisError::InvalidParameter {
+            name: "delta",
+            detail: "must be < 1/2".into(),
+        };
         assert!(e.to_string().contains("delta"));
-        let e = AnalysisError::NoConvergence { what: "hitting-time solve", iterations: 10 };
+        let e = AnalysisError::NoConvergence {
+            what: "hitting-time solve",
+            iterations: 10,
+        };
         assert!(e.to_string().contains("10"));
     }
 

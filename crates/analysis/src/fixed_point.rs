@@ -78,7 +78,11 @@ impl FixedPointSolver {
         // the domain it may be ~0, which bisection handles gracefully.
         if h(hi) < 0.0 {
             // No solution on the interval: f(x) = x + 1/√ℓ.
-            return Ok(FixedPoint { x, f_x: hi, is_solution: false });
+            return Ok(FixedPoint {
+                x,
+                f_x: hi,
+                is_solution: false,
+            });
         }
         // Bisection: h is strictly increasing (Claim 1), h(lo) ≤ 0 ≤ h(hi).
         let mut a = lo;
@@ -94,7 +98,11 @@ impl FixedPointSolver {
                 break;
             }
         }
-        Ok(FixedPoint { x, f_x: 0.5 * (a + b), is_solution: true })
+        Ok(FixedPoint {
+            x,
+            f_x: 0.5 * (a + b),
+            is_solution: true,
+        })
     }
 
     /// The Claim 3 lower bound on the gain: `(x − 1/2) / (2α√ℓ)`.
@@ -155,7 +163,11 @@ mod tests {
         for x in [0.5, 0.52, 0.55, 0.6, 0.7] {
             let fp = s.f(x).unwrap();
             assert!(fp.f_x >= x - 1e-12, "f({x}) = {} below x", fp.f_x);
-            assert!(fp.f_x <= x + inv_sqrt_ell + 1e-12, "f({x}) = {} above x + 1/√ℓ", fp.f_x);
+            assert!(
+                fp.f_x <= x + inv_sqrt_ell + 1e-12,
+                "f({x}) = {} above x + 1/√ℓ",
+                fp.f_x
+            );
         }
     }
 

@@ -59,8 +59,8 @@ pub use error::AnalysisError;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::domains::{Domain, DomainKind, DomainParams, YellowArea};
     pub use crate::density::{AbsorptionTime, OccupationMeasure, QuasiStationary};
+    pub use crate::domains::{Domain, DomainKind, DomainParams, YellowArea};
     pub use crate::drift::DriftField;
     pub use crate::error::AnalysisError;
     pub use crate::fixed_point::FixedPointSolver;

@@ -61,9 +61,9 @@ impl ExactChain {
         }
         let nu = n as usize;
         let mut rows = vec![vec![Vec::new(); nu + 1]; nu + 1];
-        for i in 0..=nu {
-            for j in 1..=nu {
-                rows[i][j] = next_count_pmf(nu, ell, i, j);
+        for (i, row) in rows.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate().skip(1) {
+                *cell = next_count_pmf(nu, ell, i, j);
             }
         }
         Ok(ExactChain { n: nu, ell, rows })
@@ -86,7 +86,10 @@ impl ExactChain {
     /// Panics when `i > n`, `j > n`, or `j == 0` (impossible with a
     /// 1-holding source).
     pub fn transition_pmf(&self, i: usize, j: usize) -> &[f64] {
-        assert!(i <= self.n && (1..=self.n).contains(&j), "invalid state ({i}, {j})");
+        assert!(
+            i <= self.n && (1..=self.n).contains(&j),
+            "invalid state ({i}, {j})"
+        );
         &self.rows[i][j]
     }
 
@@ -136,7 +139,10 @@ impl ExactChain {
                 return Ok(h);
             }
         }
-        Err(AnalysisError::NoConvergence { what: "hitting-time value iteration", iterations: max_iters })
+        Err(AnalysisError::NoConvergence {
+            what: "hitting-time value iteration",
+            iterations: max_iters,
+        })
     }
 
     /// Expected convergence time from the all-wrong start `(1, 1)` (only
@@ -198,8 +204,12 @@ fn next_count_pmf(n: usize, ell: u64, i: usize, j: usize) -> Vec<f64> {
     // residue (observed: 1.0 + 4·ε at ℓ = 14) before Binomial validation.
     let p_gt = cc.p_second_wins().clamp(0.0, 1.0);
     let p_geq = (p_gt + cc.p_tie()).min(1.0);
-    let a = Binomial::new((j - 1) as u64, p_geq).expect("valid prob").pmf_vector();
-    let b = Binomial::new((n - j) as u64, p_gt).expect("valid prob").pmf_vector();
+    let a = Binomial::new((j - 1) as u64, p_geq)
+        .expect("valid prob")
+        .pmf_vector();
+    let b = Binomial::new((n - j) as u64, p_gt)
+        .expect("valid prob")
+        .pmf_vector();
     // Convolve, then shift by 1 for the source.
     let mut out = vec![0.0f64; n + 1];
     for (u, &pa) in a.iter().enumerate() {
@@ -243,7 +253,11 @@ mod tests {
         let c = ExactChain::new(10, 4).unwrap();
         for i in 0..=10 {
             for j in 1..=10 {
-                assert_eq!(c.transition_pmf(i, j)[0], 0.0, "state ({i},{j}) can reach 0");
+                assert_eq!(
+                    c.transition_pmf(i, j)[0],
+                    0.0,
+                    "state ({i},{j}) can reach 0"
+                );
             }
         }
     }
@@ -252,7 +266,10 @@ mod tests {
     fn consensus_is_absorbing() {
         let c = ExactChain::new(10, 4).unwrap();
         let pmf = c.transition_pmf(10, 10);
-        assert!((pmf[10] - 1.0).abs() < 1e-12, "consensus must be absorbing: {pmf:?}");
+        assert!(
+            (pmf[10] - 1.0).abs() < 1e-12,
+            "consensus must be absorbing: {pmf:?}"
+        );
     }
 
     #[test]
@@ -260,10 +277,10 @@ mod tests {
         let c = ExactChain::new(12, 5).unwrap();
         let h = c.hitting_times(1e-10, 200_000).unwrap();
         assert_eq!(h[12][12], 0.0);
-        for i in 0..=12 {
-            for j in 1..=12 {
-                assert!(h[i][j].is_finite(), "h({i},{j}) not finite");
-                assert!(h[i][j] >= 0.0);
+        for (i, row) in h.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate().skip(1) {
+                assert!(v.is_finite(), "h({i},{j}) not finite");
+                assert!(v >= 0.0);
             }
         }
         // A state with strong upward momentum (x_t low, x_{t+1} high →

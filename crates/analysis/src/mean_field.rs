@@ -143,7 +143,11 @@ impl MeanFieldMap {
     /// Analyzes a diagonal fixed point.
     pub fn analyze_fixed_point(&self, x: f64) -> MeanFieldFixedPoint {
         let ((hi, lo), complex_pair) = Self::eigen_magnitudes(self.jacobian_at(x));
-        MeanFieldFixedPoint { x, eigenvalue_magnitudes: (hi, lo), complex_pair }
+        MeanFieldFixedPoint {
+            x,
+            eigenvalue_magnitudes: (hi, lo),
+            complex_pair,
+        }
     }
 
     /// The three diagonal fixed points `(0, ½, 1)` with their analyses.
@@ -202,7 +206,10 @@ mod tests {
         // The measured character of the center: complex eigenvalue pair
         // with modulus > 1 — rotation + amplification, i.e. the bounce.
         let fp = map().analyze_fixed_point(0.5);
-        assert!(fp.is_unstable_focus(), "center must be an unstable focus: {fp:?}");
+        assert!(
+            fp.is_unstable_focus(),
+            "center must be an unstable focus: {fp:?}"
+        );
         // The modulus grows with ℓ (sharper comparisons, stronger feedback).
         let weak = MeanFieldMap::new(4).unwrap().analyze_fixed_point(0.5);
         assert!(
@@ -235,7 +242,10 @@ mod tests {
             .windows(2)
             .filter(|p| p[0] != p[1] && p[0] != 0.0)
             .count();
-        assert!(flips >= 1, "expected at least one trend reversal (the bounce)");
+        assert!(
+            flips >= 1,
+            "expected at least one trend reversal (the bounce)"
+        );
     }
 
     #[test]

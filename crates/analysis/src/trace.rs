@@ -36,9 +36,11 @@ impl DomainTrace {
     ///
     /// Panics when the trajectory has fewer than two points.
     pub fn from_trajectory(params: &DomainParams, xs: &[f64]) -> Self {
-        assert!(xs.len() >= 2, "need at least two points to form a state pair");
-        let per_round: Vec<Domain> =
-            xs.windows(2).map(|w| params.classify(w[0], w[1])).collect();
+        assert!(
+            xs.len() >= 2,
+            "need at least two points to form a state pair"
+        );
+        let per_round: Vec<Domain> = xs.windows(2).map(|w| params.classify(w[0], w[1])).collect();
         let mut visits = Vec::new();
         let mut start = 0u64;
         for (t, &d) in per_round.iter().enumerate() {
@@ -75,7 +77,10 @@ impl DomainTrace {
 
     /// Ordered `(from, to)` transitions between distinct domains.
     pub fn transitions(&self) -> Vec<(Domain, Domain)> {
-        self.visits.windows(2).map(|w| (w[0].domain, w[1].domain)).collect()
+        self.visits
+            .windows(2)
+            .map(|w| (w[0].domain, w[1].domain))
+            .collect()
     }
 }
 
@@ -204,7 +209,10 @@ mod tests {
     fn exit_distribution_normalizes() {
         let p = params();
         let mut stats = DwellStats::new();
-        stats.absorb(&DomainTrace::from_trajectory(&p, &[0.5, 0.5, 0.9, 0.9, 0.89]));
+        stats.absorb(&DomainTrace::from_trajectory(
+            &p,
+            &[0.5, 0.5, 0.9, 0.9, 0.89],
+        ));
         let exits = stats.exit_distribution(Domain::Yellow);
         let total: f64 = exits.iter().map(|(_, pr)| pr).sum();
         assert!((total - 1.0).abs() < 1e-12);

@@ -23,10 +23,14 @@ fn bench_samplers(c: &mut Criterion) {
         });
     }
     for &ell in &[16u64, 64] {
-        group.bench_with_input(BenchmarkId::new("hypergeometric_split", ell), &ell, |b, &ell| {
-            let mut rng = SeedTree::new(3).child("hyper").rng();
-            b.iter(|| split_sample(ell, ell, &mut rng))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hypergeometric_split", ell),
+            &ell,
+            |b, &ell| {
+                let mut rng = SeedTree::new(3).child("hyper").rng();
+                b.iter(|| split_sample(ell, ell, &mut rng))
+            },
+        );
     }
     group.finish();
 }

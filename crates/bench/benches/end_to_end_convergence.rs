@@ -1,16 +1,12 @@
 //! Macro-benchmark: full convergence runs from the all-wrong start.
 //!
 //! Wall-clock for one complete self-stabilization episode at several
-//! scales — the number a downstream user of the library actually feels.
+//! scales, driven through the unified `Simulation` facade — the number a
+//! downstream user of the library actually feels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode};
-use fet_core::config::ProblemSpec;
-use fet_core::opinion::Opinion;
-use fet_sim::aggregate::AggregateFetChain;
-use fet_sim::convergence::ConvergenceCriterion;
-use fet_sim::engine::{Engine, Fidelity};
-use fet_sim::init::InitialCondition;
-use fet_sim::observer::NullObserver;
+use fet_sim::engine::Fidelity;
+use fet_sim::simulation::Simulation;
 
 fn bench_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_convergence");
@@ -18,33 +14,33 @@ fn bench_convergence(c: &mut Criterion) {
     group.sample_size(10);
 
     for &n in &[500u64, 2_000] {
-        group.bench_with_input(BenchmarkId::new("engine_binomial", n), &n, |b, &n| {
-            let spec = ProblemSpec::single_source(n, Opinion::One).unwrap();
-            let protocol = fet_core::fet::FetProtocol::for_population(n, 4.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("facade_binomial", n), &n, |b, &n| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut engine = Engine::new(
-                    protocol,
-                    spec,
-                    Fidelity::Binomial,
-                    InitialCondition::AllWrong,
-                    seed,
-                )
-                .unwrap();
-                engine.run(1_000_000, ConvergenceCriterion::new(3), &mut NullObserver)
+                Simulation::builder()
+                    .population(n)
+                    .seed(seed)
+                    .max_rounds(1_000_000)
+                    .build()
+                    .unwrap()
+                    .run()
             });
         });
     }
     for &n in &[100_000u64, 10_000_000] {
-        group.bench_with_input(BenchmarkId::new("aggregate", n), &n, |b, &n| {
-            let spec = ProblemSpec::single_source(n, Opinion::One).unwrap();
-            let ell = (4.0 * (n as f64).ln()).ceil() as u32;
+        group.bench_with_input(BenchmarkId::new("facade_aggregate", n), &n, |b, &n| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut chain = AggregateFetChain::all_wrong(spec, ell, seed).unwrap();
-                chain.run(10_000_000, ConvergenceCriterion::new(3))
+                Simulation::builder()
+                    .population(n)
+                    .fidelity(Fidelity::Aggregate)
+                    .seed(seed)
+                    .max_rounds(10_000_000)
+                    .build()
+                    .unwrap()
+                    .run()
             });
         });
     }

@@ -1,49 +1,51 @@
 //! Micro-benchmark: one full population round per fidelity.
 //!
 //! Quantifies the fidelity tower of DESIGN.md §4.2: literal `O(n·ℓ)`
-//! sampling vs `O(n)` binomial counts vs the `O(ℓ)` aggregate chain.
+//! sampling vs `O(n)` binomial counts vs the `O(ℓ)` aggregate chain — all
+//! configured through the unified `Simulation` facade.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fet_core::config::ProblemSpec;
-use fet_core::fet::FetProtocol;
-use fet_core::opinion::Opinion;
-use fet_sim::aggregate::AggregateFetChain;
-use fet_sim::engine::{Engine, Fidelity};
+use fet_sim::engine::Fidelity;
 use fet_sim::init::InitialCondition;
+use fet_sim::simulation::Simulation;
 
 fn bench_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("fidelity_round");
     for &n in &[1_000u64, 10_000] {
-        let spec = ProblemSpec::single_source(n, Opinion::One).unwrap();
-        let protocol = FetProtocol::for_population(n, 4.0).unwrap();
         for fidelity in [Fidelity::Agent, Fidelity::Binomial] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{fidelity:?}"), n),
-                &n,
-                |b, _| {
-                    let mut engine = Engine::new(
-                        protocol,
-                        spec,
-                        fidelity,
-                        InitialCondition::Random,
-                        42,
-                    )
+            group.bench_with_input(BenchmarkId::new(format!("{fidelity:?}"), n), &n, |b, _| {
+                let mut sim = Simulation::builder()
+                    .population(n)
+                    .fidelity(fidelity)
+                    .init(InitialCondition::Random)
+                    .seed(42)
+                    .build()
                     .unwrap();
-                    b.iter(|| engine.step());
-                },
-            );
+                b.iter(|| sim.step());
+            });
         }
         group.bench_with_input(BenchmarkId::new("Aggregate", n), &n, |b, _| {
-            let mut chain =
-                AggregateFetChain::new(spec, protocol.ell(), n / 3, n / 2, 42).unwrap();
-            b.iter(|| chain.step());
+            let mut sim = Simulation::builder()
+                .population(n)
+                .fidelity(Fidelity::Aggregate)
+                .init(InitialCondition::Random)
+                .seed(42)
+                .build()
+                .unwrap();
+            b.iter(|| sim.step());
         });
     }
     // Aggregate at a billion agents — the point of the O(ℓ) fidelity.
-    let spec = ProblemSpec::single_source(1_000_000_000, Opinion::One).unwrap();
     group.bench_function("Aggregate/1e9", |b| {
-        let mut chain = AggregateFetChain::new(spec, 83, 300_000_000, 400_000_000, 7).unwrap();
-        b.iter(|| chain.step());
+        let mut sim = Simulation::builder()
+            .population(1_000_000_000)
+            .ell(83)
+            .fidelity(Fidelity::Aggregate)
+            .init(InitialCondition::FractionCorrect(0.4))
+            .seed(7)
+            .build()
+            .unwrap();
+        b.iter(|| sim.step());
     });
     group.finish();
 }

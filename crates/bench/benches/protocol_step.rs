@@ -1,10 +1,14 @@
-//! Micro-benchmark: one protocol step, per protocol.
+//! Micro-benchmark: one protocol step, per protocol — and the batched
+//! kernels against the per-agent loop.
 //!
 //! Measures the per-agent per-round cost of the decision rule itself
 //! (observation already in hand) — FET's hypergeometric split dominates
-//! its step; the baselines are branch-only.
+//! its step; the baselines are branch-only. The `protocol_step_batch`
+//! group is the acceptance gauge for `Protocol::step_batch`: the batched
+//! kernel must be no slower than stepping agent by agent.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fet_core::erased::ErasedProtocol;
 use fet_core::fet::{FetProtocol, FetState};
 use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
@@ -24,7 +28,10 @@ fn bench_steps(c: &mut Criterion) {
     group.bench_function("fet_ell32", |b| {
         let mut rng = SeedTree::new(1).child("fet").rng();
         b.iter_batched(
-            || FetState { opinion: Opinion::Zero, prev_count_second_half: 16 },
+            || FetState {
+                opinion: Opinion::Zero,
+                prev_count_second_half: 16,
+            },
             |mut s| fet.step(&mut s, &obs_fet, &ctx, &mut rng),
             BatchSize::SmallInput,
         )
@@ -35,7 +42,10 @@ fn bench_steps(c: &mut Criterion) {
     group.bench_function("simple_trend_ell32", |b| {
         let mut rng = SeedTree::new(2).child("st").rng();
         b.iter_batched(
-            || SimpleTrendState { opinion: Opinion::Zero, prev_count: 16 },
+            || SimpleTrendState {
+                opinion: Opinion::Zero,
+                prev_count: 16,
+            },
             |mut s| st.step(&mut s, &obs_st, &ctx, &mut rng),
             BatchSize::SmallInput,
         )
@@ -66,5 +76,79 @@ fn bench_steps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_steps);
+fn bench_step_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_step_batch");
+    let ell = 32u32;
+    let agents = 1_024usize;
+    let fet = FetProtocol::new(ell).unwrap();
+    let m = fet.samples_per_round();
+    let ctx = RoundContext::new(0);
+    let observations: Vec<Observation> = (0..agents)
+        .map(|i| Observation::new((i as u32 * 13) % (m + 1), m).unwrap())
+        .collect();
+    let mut init_rng = SeedTree::new(7).child("batch-init").rng();
+    let states: Vec<FetState> = (0..agents)
+        .map(|_| fet.init_state(Opinion::Zero, &mut init_rng))
+        .collect();
+
+    group.bench_function("fet_per_agent_loop_1024", |b| {
+        let mut rng = SeedTree::new(8).child("loop").rng();
+        let mut states = states.clone();
+        b.iter(|| {
+            for (s, o) in states.iter_mut().zip(&observations) {
+                fet.step(s, o, &ctx, &mut rng);
+            }
+        });
+    });
+    group.bench_function("fet_step_batch_1024", |b| {
+        let mut rng = SeedTree::new(8).child("batch").rng();
+        let mut states = states.clone();
+        let mut outputs = vec![Opinion::Zero; agents];
+        b.iter(|| {
+            fet.step_batch(&mut states, &observations, &ctx, &mut rng, &mut outputs);
+        });
+    });
+    // The erased layer's price: boxed states, one virtual dispatch per
+    // agent inside `step_batch_erased`.
+    group.bench_function("fet_erased_step_batch_1024", |b| {
+        let erased = ErasedProtocol::new(fet);
+        let mut rng = SeedTree::new(8).child("erased").rng();
+        let mut init_rng = SeedTree::new(7).child("erased-init").rng();
+        let mut states: Vec<_> = (0..agents)
+            .map(|_| erased.init_state(Opinion::Zero, &mut init_rng))
+            .collect();
+        let mut outputs = vec![Opinion::Zero; agents];
+        b.iter(|| {
+            erased.step_batch(&mut states, &observations, &ctx, &mut rng, &mut outputs);
+        });
+    });
+
+    let st = SimpleTrendProtocol::new(ell).unwrap();
+    let obs_st: Vec<Observation> = (0..agents)
+        .map(|i| Observation::new((i as u32 * 13) % (ell + 1), ell).unwrap())
+        .collect();
+    let st_states: Vec<SimpleTrendState> = (0..agents)
+        .map(|_| st.init_state(Opinion::Zero, &mut init_rng))
+        .collect();
+    group.bench_function("simple_trend_per_agent_loop_1024", |b| {
+        let mut rng = SeedTree::new(9).child("st-loop").rng();
+        let mut states = st_states.clone();
+        b.iter(|| {
+            for (s, o) in states.iter_mut().zip(&obs_st) {
+                st.step(s, o, &ctx, &mut rng);
+            }
+        });
+    });
+    group.bench_function("simple_trend_step_batch_1024", |b| {
+        let mut rng = SeedTree::new(9).child("st-batch").rng();
+        let mut states = st_states.clone();
+        let mut outputs = vec![Opinion::Zero; agents];
+        b.iter(|| {
+            st.step_batch(&mut states, &obs_st, &ctx, &mut rng, &mut outputs);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps, bench_step_batch);
 criterion_main!(benches);

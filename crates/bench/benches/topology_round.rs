@@ -1,15 +1,13 @@
 //! Micro-benchmarks for the topology substrate: graph generation cost and
-//! the per-round cost of neighbor-restricted sampling vs flat sampling.
+//! the per-round cost of neighbor-restricted sampling vs flat sampling,
+//! both driven through the unified `Simulation` facade.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fet_core::config::ProblemSpec;
-use fet_core::fet::FetProtocol;
-use fet_core::opinion::Opinion;
-use fet_sim::engine::{Engine, Fidelity};
+use fet_sim::engine::Fidelity;
 use fet_sim::init::InitialCondition;
+use fet_sim::simulation::Simulation;
 use fet_stats::rng::SeedTree;
 use fet_topology::builders;
-use fet_topology::engine::TopologyEngine;
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_generation");
@@ -34,42 +32,36 @@ fn bench_generators(c: &mut Criterion) {
 fn bench_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_round");
     let n = 2_000u32;
-    group.bench_function("flat_engine_agent_fidelity", |b| {
-        let protocol = FetProtocol::for_population(u64::from(n), 4.0).expect("valid");
-        let spec = ProblemSpec::single_source(u64::from(n), Opinion::One).expect("valid");
-        let mut engine =
-            Engine::new(protocol, spec, Fidelity::Agent, InitialCondition::Random, 5)
-                .expect("valid");
-        b.iter(|| engine.step());
+    group.bench_function("facade_flat_agent_fidelity", |b| {
+        let mut sim = Simulation::builder()
+            .population(u64::from(n))
+            .fidelity(Fidelity::Agent)
+            .init(InitialCondition::Random)
+            .seed(5)
+            .build()
+            .expect("valid");
+        b.iter(|| sim.step());
     });
-    group.bench_function("topology_engine_complete", |b| {
-        let protocol = FetProtocol::for_population(u64::from(n), 4.0).expect("valid");
+    group.bench_function("facade_topology_complete", |b| {
         let graph = builders::complete(n).expect("valid");
-        let mut engine = TopologyEngine::new(
-            protocol,
-            graph,
-            1,
-            Opinion::One,
-            InitialCondition::Random,
-            7,
-        )
-        .expect("valid");
-        b.iter(|| engine.step());
+        let mut sim = Simulation::builder()
+            .topology(graph)
+            .init(InitialCondition::Random)
+            .seed(7)
+            .build()
+            .expect("valid");
+        b.iter(|| sim.step());
     });
-    group.bench_function("topology_engine_regular_d32", |b| {
-        let protocol = FetProtocol::for_population(u64::from(n), 4.0).expect("valid");
+    group.bench_function("facade_topology_regular_d32", |b| {
         let mut rng = SeedTree::new(9).rng();
         let graph = builders::random_regular(n, 32, &mut rng).expect("valid");
-        let mut engine = TopologyEngine::new(
-            protocol,
-            graph,
-            1,
-            Opinion::One,
-            InitialCondition::Random,
-            11,
-        )
-        .expect("valid");
-        b.iter(|| engine.step());
+        let mut sim = Simulation::builder()
+            .topology(graph)
+            .init(InitialCondition::Random)
+            .seed(11)
+            .build()
+            .expect("valid");
+        b.iter(|| sim.step());
     });
     group.finish();
 }

@@ -35,13 +35,11 @@ struct Row {
     holds_consensus: bool,
 }
 
-fn measure<P: Protocol + Clone>(
-    label: String,
-    proto: P,
-    base: &ExperimentSpec,
-    correct: Opinion,
-    reps: u64,
-) -> Row {
+fn measure<P>(label: String, proto: P, base: &ExperimentSpec, correct: Opinion, reps: u64) -> Row
+where
+    P: Protocol + Clone + std::fmt::Debug + Send + Sync + 'static,
+    P::State: 'static,
+{
     let mut successes = 0u64;
     let mut times = Vec::new();
     for rep in 0..reps {
@@ -96,25 +94,48 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     for correct in [Opinion::One, Opinion::Zero] {
-        for tie in [TieBreak::Keep, TieBreak::Random, TieBreak::AdoptOne, TieBreak::AdoptZero] {
+        for tie in [
+            TieBreak::Keep,
+            TieBreak::Random,
+            TieBreak::AdoptOne,
+            TieBreak::AdoptZero,
+        ] {
             let v = FetVariant::new(ell, tie, Memory::StaleHalf).expect("valid");
             rows.push(measure(v.variant_label(), v, &base, correct, reps));
         }
         let fresh = FetVariant::new(ell, TieBreak::Keep, Memory::FreshHalf).expect("valid");
         rows.push(measure(fresh.variant_label(), fresh, &base, correct, reps));
         let st = SimpleTrendProtocol::new(ell).expect("valid");
-        rows.push(measure("simple-trend (no split)".into(), st, &base, correct, reps));
+        rows.push(measure(
+            "simple-trend (no split)".into(),
+            st,
+            &base,
+            correct,
+            reps,
+        ));
     }
 
     let mut table = Table::new(
-        ["variant", "correct bit", "success", "mean t_con", "holds consensus?"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "variant",
+            "correct bit",
+            "success",
+            "mean t_con",
+            "holds consensus?",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e16_ablation.csv"),
-        &["variant", "correct", "success", "mean_tcon", "holds_consensus"],
+        &[
+            "variant",
+            "correct",
+            "success",
+            "mean_tcon",
+            "holds_consensus",
+        ],
     )
     .expect("csv");
     for r in &rows {

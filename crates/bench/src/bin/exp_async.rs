@@ -16,16 +16,10 @@
 //! rounds is a real modelling assumption, not a convenience.
 
 use fet_bench::{fmt_opt_time, Harness, ROOT_SEED};
-use fet_core::config::ProblemSpec;
-use fet_core::fet::FetProtocol;
-use fet_core::opinion::Opinion;
 use fet_plot::csv::CsvWriter;
 use fet_plot::table::Table;
-use fet_sim::asynchronous::AsyncEngine;
-use fet_sim::convergence::ConvergenceCriterion;
-use fet_sim::engine::{Engine, Fidelity};
-use fet_sim::init::InitialCondition;
-use fet_sim::observer::NullObserver;
+use fet_sim::engine::Fidelity;
+use fet_sim::simulation::{Scheduler, Simulation};
 use fet_stats::rng::SeedTree;
 
 fn main() {
@@ -36,15 +30,25 @@ fn main() {
         "sync converges in polylog rounds; async wanders forever at x ≈ 1/2 ± excursions",
     );
 
-    let sizes: Vec<u64> = if h.quick { vec![200] } else { vec![200, 500, 1000] };
+    let sizes: Vec<u64> = if h.quick {
+        vec![200]
+    } else {
+        vec![200, 500, 1000]
+    };
     let reps: u64 = h.size(10, 3);
     let budget: u64 = h.size(30_000, 8_000);
 
     let mut table = Table::new(
-        ["n", "scheduler", "success", "mean t_con (parallel rounds)", "mean final frac correct"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "n",
+            "scheduler",
+            "success",
+            "mean t_con (parallel rounds)",
+            "mean final frac correct",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e17_async.csv"),
@@ -53,8 +57,6 @@ fn main() {
     .expect("csv");
 
     for &n in &sizes {
-        let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
-        let protocol = FetProtocol::for_population(n, 4.0).expect("valid");
         for scheduler in ["synchronous", "asynchronous"] {
             let mut successes = 0u64;
             let mut times = Vec::new();
@@ -66,22 +68,20 @@ fn main() {
                     .child_indexed("n", n)
                     .child_indexed("rep", rep)
                     .seed();
-                let report = if scheduler == "synchronous" {
-                    let mut e = Engine::new(
-                        protocol,
-                        spec,
-                        Fidelity::Agent,
-                        InitialCondition::AllWrong,
-                        seed,
-                    )
-                    .expect("valid");
-                    e.run(budget, ConvergenceCriterion::new(3), &mut NullObserver)
-                } else {
-                    let mut e =
-                        AsyncEngine::new(protocol, spec, InitialCondition::AllWrong, seed)
-                            .expect("valid");
-                    e.run_parallel_rounds(budget, ConvergenceCriterion::new(3))
-                };
+                let report = Simulation::builder()
+                    .population(n)
+                    .fidelity(Fidelity::Agent)
+                    .scheduler(if scheduler == "synchronous" {
+                        Scheduler::Synchronous
+                    } else {
+                        Scheduler::Asynchronous
+                    })
+                    .seed(seed)
+                    .max_rounds(budget)
+                    .build()
+                    .expect("valid")
+                    .run()
+                    .report;
                 if let Some(t) = report.converged_at {
                     successes += 1;
                     times.push(t as f64);

@@ -36,13 +36,17 @@ struct Row {
     mean_time: Option<f64>,
 }
 
-fn run_case<P: Protocol + Clone>(
+fn run_case<P>(
     protocol: P,
     spec: &ExperimentSpec,
     init: InitialCondition,
     reps: u64,
     clockless: bool,
-) -> Row {
+) -> Row
+where
+    P: Protocol + Clone + std::fmt::Debug + Send + Sync + 'static,
+    P::State: 'static,
+{
     let mut times = Vec::new();
     let mut successes = 0u64;
     for rep in 0..reps {
@@ -104,22 +108,54 @@ fn main() {
             false, // needs the round oracle
         ));
         rows.push(run_case(VoterProtocol::new(), &base, init, reps, true));
-        rows.push(run_case(MajorityProtocol::new(ell).expect("ℓ ≥ 1"), &base, init, reps, true));
-        rows.push(run_case(ThreeMajorityProtocol::new(), &base, init, reps, true));
+        rows.push(run_case(
+            MajorityProtocol::new(ell).expect("ℓ ≥ 1"),
+            &base,
+            init,
+            reps,
+            true,
+        ));
+        rows.push(run_case(
+            ThreeMajorityProtocol::new(),
+            &base,
+            init,
+            reps,
+            true,
+        ));
         rows.push(run_case(UndecidedProtocol::new(), &base, init, reps, true));
         rows.push(run_case(RumorProtocol::clean(), &base, init, reps, true));
-        rows.push(run_case(RumorProtocol::corrupted(), &base, init, reps, true));
+        rows.push(run_case(
+            RumorProtocol::corrupted(),
+            &base,
+            init,
+            reps,
+            true,
+        ));
     }
 
     let mut table = Table::new(
-        ["protocol", "passive", "clockless", "init", "success", "mean t_con"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "protocol",
+            "passive",
+            "clockless",
+            "init",
+            "success",
+            "mean t_con",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e7_baselines.csv"),
-        &["protocol", "passive", "clockless", "init", "success", "mean_tcon"],
+        &[
+            "protocol",
+            "passive",
+            "clockless",
+            "init",
+            "success",
+            "mean_tcon",
+        ],
     )
     .expect("csv");
     for r in &rows {

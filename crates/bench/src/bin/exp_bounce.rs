@@ -46,12 +46,18 @@ fn main() {
             .map(|s| s.to_string())
             .collect(),
     );
-    let mut csv =
-        CsvWriter::create(h.csv_path("e13_bounce.csv"), &["t", "x", "growth", "domain"])
-            .expect("csv");
+    let mut csv = CsvWriter::create(
+        h.csv_path("e13_bounce.csv"),
+        &["t", "x", "growth", "domain"],
+    )
+    .expect("csv");
     let show = traj.len().min(40);
     for t in 0..show - 1 {
-        let growth = if traj[t] > 0.0 { traj[t + 1] / traj[t] } else { f64::NAN };
+        let growth = if traj[t] > 0.0 {
+            traj[t + 1] / traj[t]
+        } else {
+            f64::NAN
+        };
         let domain = trace.per_round()[t].to_string();
         table.add_row(vec![
             t.to_string(),

@@ -17,8 +17,11 @@ fn main() {
         "exact probabilities sandwiched by every bound on its hypothesis region (0 violations)",
     );
 
-    let ks: Vec<u64> =
-        if h.quick { vec![16, 64, 256] } else { vec![16, 32, 64, 128, 256, 512, 1024, 2048] };
+    let ks: Vec<u64> = if h.quick {
+        vec![16, 64, 256]
+    } else {
+        vec![16, 32, 64, 128, 256, 512, 1024, 2048]
+    };
 
     let mut table = Table::new(
         ["lemma", "checks", "violations", "worst margin"]
@@ -33,11 +36,50 @@ fn main() {
     .expect("csv");
 
     let sweeps = [
-        ("Lemma 12 (favorite upper, α=9)", sweep(CoinLemma::Lemma12, &ks, 0.5, &[0.1, 0.25, 0.5, 0.75, 1.0], 0.0)),
-        ("Lemma 13 (favorite lower)", sweep(CoinLemma::Lemma13, &ks, 0.5, &[0.02, 0.05, 0.1, 0.2, 0.4], 0.0)),
-        ("Lemma 14 (favorite lower, λ=6, k≥256)", sweep(CoinLemma::Lemma14, &[256, 512, 1024, 2048, 4096], 0.5, &[0.05, 0.1, 0.2, 0.4], 6.0)),
-        ("Lemma 15 (underdog lower)", sweep(CoinLemma::Lemma15, &ks, 0.5, &[0.005, 0.01, 0.02, 0.05], 0.0)),
-        ("Claim 10 (E|Δ| upper)", sweep(CoinLemma::Claim10, &ks, 0.5, &[0.02, 0.1, 0.3], 0.0)),
+        (
+            "Lemma 12 (favorite upper, α=9)",
+            sweep(
+                CoinLemma::Lemma12,
+                &ks,
+                0.5,
+                &[0.1, 0.25, 0.5, 0.75, 1.0],
+                0.0,
+            ),
+        ),
+        (
+            "Lemma 13 (favorite lower)",
+            sweep(
+                CoinLemma::Lemma13,
+                &ks,
+                0.5,
+                &[0.02, 0.05, 0.1, 0.2, 0.4],
+                0.0,
+            ),
+        ),
+        (
+            "Lemma 14 (favorite lower, λ=6, k≥256)",
+            sweep(
+                CoinLemma::Lemma14,
+                &[256, 512, 1024, 2048, 4096],
+                0.5,
+                &[0.05, 0.1, 0.2, 0.4],
+                6.0,
+            ),
+        ),
+        (
+            "Lemma 15 (underdog lower)",
+            sweep(
+                CoinLemma::Lemma15,
+                &ks,
+                0.5,
+                &[0.005, 0.01, 0.02, 0.05],
+                0.0,
+            ),
+        ),
+        (
+            "Claim 10 (E|Δ| upper)",
+            sweep(CoinLemma::Claim10, &ks, 0.5, &[0.02, 0.1, 0.3], 0.0),
+        ),
     ];
     for (name, report) in &sweeps {
         table.add_row(vec![

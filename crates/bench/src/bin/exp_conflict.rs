@@ -37,14 +37,7 @@ use fet_sim::batch::parallel_map;
 use fet_stats::rng::SeedTree;
 
 /// Seed-averaged occupancy for one configuration of one protocol.
-fn occupancy<P, F>(
-    make: F,
-    n: u64,
-    k0: u64,
-    k1: u64,
-    reps: u64,
-    label: &str,
-) -> (f64, f64, f64)
+fn occupancy<P, F>(make: F, n: u64, k0: u64, k1: u64, reps: u64, label: &str) -> (f64, f64, f64)
 where
     P: Protocol + Clone + Send + Sync,
     P::State: Send,
@@ -92,14 +85,22 @@ fn main() {
     let ratios: &[f64] = &[0.5, 0.55, 0.6, 0.7, 0.8, 0.875, 0.95, 1.0];
 
     let mut table = Table::new(
-        ["k1/(k0+k1)", "FET x̄", "FET [min,max]", "majority x̄", "majority [min,max]"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "k1/(k0+k1)",
+            "FET x̄",
+            "FET [min,max]",
+            "majority x̄",
+            "majority [min,max]",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e19_conflict.csv"),
-        &["ratio", "fet_mean", "fet_min", "fet_max", "maj_mean", "maj_min", "maj_max"],
+        &[
+            "ratio", "fet_mean", "fet_min", "fet_max", "maj_mean", "maj_min", "maj_max",
+        ],
     )
     .expect("csv");
 
@@ -108,8 +109,14 @@ fn main() {
     for &ratio in ratios {
         let k1 = ((stubborn_total as f64) * ratio).round() as u64;
         let k0 = stubborn_total - k1;
-        let (fx, fmin, fmax) =
-            occupancy(|| FetProtocol::new(ell).expect("ℓ ≥ 1"), n, k0, k1, reps, "fet");
+        let (fx, fmin, fmax) = occupancy(
+            || FetProtocol::new(ell).expect("ℓ ≥ 1"),
+            n,
+            k0,
+            k1,
+            reps,
+            "fet",
+        );
         let (mx, mmin, mmax) = occupancy(
             || MajorityProtocol::new(ell).expect("ℓ ≥ 1"),
             n,

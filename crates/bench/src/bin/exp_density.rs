@@ -44,24 +44,51 @@ fn main() {
         "geometric tail at rate 1−λ; occupation concentrates in the slow domains; QSD on the Green corridor",
     );
 
-    let cases: Vec<(u64, u64)> =
-        if h.quick { vec![(16, 6)] } else { vec![(16, 6), (32, 10), (48, 12), (64, 14)] };
+    let cases: Vec<(u64, u64)> = if h.quick {
+        vec![(16, 6)]
+    } else {
+        vec![(16, 6), (32, 10), (48, 12), (64, 14)]
+    };
 
     let mut table = Table::new(
-        ["n", "ell", "E[T]", "p50", "p95", "p999", "λ", "1/(1−λ)", "QSD mode"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "n",
+            "ell",
+            "E[T]",
+            "p50",
+            "p95",
+            "p999",
+            "λ",
+            "1/(1−λ)",
+            "QSD mode",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut dwell_table = Table::new(
-        ["n", "occupation: expected rounds by domain (desc)", "QSD: mass by domain (desc)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "n",
+            "occupation: expected rounds by domain (desc)",
+            "QSD: mass by domain (desc)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e20_density.csv"),
-        &["n", "ell", "mean", "p50", "p95", "p999", "lambda", "residual", "occ_top_kind"],
+        &[
+            "n",
+            "ell",
+            "mean",
+            "p50",
+            "p95",
+            "p999",
+            "lambda",
+            "residual",
+            "occ_top_kind",
+        ],
     )
     .expect("csv");
 

@@ -12,11 +12,11 @@
 //! variance, so its drift should track Eq. (7) closely but not exactly —
 //! quantifying how little the paper's with-replacement assumption costs.
 
+use fet_analysis::drift::DriftField;
 use fet_bench::{Harness, ROOT_SEED};
 use fet_core::config::ProblemSpec;
 use fet_core::fet::{FetProtocol, FetState};
 use fet_core::opinion::Opinion;
-use fet_analysis::drift::DriftField;
 use fet_plot::csv::CsvWriter;
 use fet_plot::table::Table;
 use fet_sim::aggregate::AggregateFetChain;
@@ -49,14 +49,28 @@ fn main() {
     ];
 
     let mut table = Table::new(
-        ["(x_t, x_{t+1})", "Eq.(7) g", "aggregate MC", "agent MC", "w/o-repl MC", "max |Δ|"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "(x_t, x_{t+1})",
+            "Eq.(7) g",
+            "aggregate MC",
+            "agent MC",
+            "w/o-repl MC",
+            "max |Δ|",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e10_drift.csv"),
-        &["x0", "x1", "closed_form", "aggregate_mc", "agent_mc", "wo_repl_mc"],
+        &[
+            "x0",
+            "x1",
+            "closed_form",
+            "aggregate_mc",
+            "agent_mc",
+            "wo_repl_mc",
+        ],
     )
     .expect("csv");
 
@@ -91,7 +105,11 @@ fn main() {
             let ones_needed = (ones1 - 1) as usize; // source supplies one 1
             let states_vec: Vec<FetState> = (0..non_sources)
                 .map(|i| FetState {
-                    opinion: if i < ones_needed { Opinion::One } else { Opinion::Zero },
+                    opinion: if i < ones_needed {
+                        Opinion::One
+                    } else {
+                        Opinion::Zero
+                    },
                     prev_count_second_half: sample_binomial(u64::from(ell), x0, &mut rng) as u32,
                 })
                 .collect();
@@ -120,7 +138,11 @@ fn main() {
             let ones_needed = (ones1 - 1) as usize;
             let states_vec: Vec<FetState> = (0..non_sources)
                 .map(|i| FetState {
-                    opinion: if i < ones_needed { Opinion::One } else { Opinion::Zero },
+                    opinion: if i < ones_needed {
+                        Opinion::One
+                    } else {
+                        Opinion::Zero
+                    },
                     prev_count_second_half: sample_binomial(u64::from(ell), x0, &mut rng) as u32,
                 })
                 .collect();

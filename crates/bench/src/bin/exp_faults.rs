@@ -23,21 +23,16 @@ use fet_bench::{fmt_opt_time, Harness, ROOT_SEED};
 use fet_core::opinion::Opinion;
 use fet_plot::csv::CsvWriter;
 use fet_plot::table::Table;
-use fet_sim::convergence::ConvergenceCriterion;
-use fet_sim::engine::{Engine, Fidelity};
+use fet_sim::engine::Fidelity;
 use fet_sim::experiment::{run_fet_once, ExperimentSpec};
 use fet_sim::fault::FaultPlan;
 use fet_sim::init::InitialCondition;
-use fet_sim::observer::NullObserver;
+use fet_sim::simulation::Simulation;
 use fet_stats::rng::SeedTree;
 use fet_stats::summary::WelfordAccumulator;
 
 /// Strict-criterion convergence statistics under a fault plan.
-fn measure_strict(
-    base: &ExperimentSpec,
-    fault: FaultPlan,
-    reps: u64,
-) -> (f64, Option<f64>) {
+fn measure_strict(base: &ExperimentSpec, fault: FaultPlan, reps: u64) -> (f64, Option<f64>) {
     let mut acc = WelfordAccumulator::new();
     let mut successes = 0u64;
     for rep in 0..reps {
@@ -50,30 +45,29 @@ fn measure_strict(
             acc.push(t as f64);
         }
     }
-    let mean = if acc.count() > 0 { Some(acc.mean()) } else { None };
+    let mean = if acc.count() > 0 {
+        Some(acc.mean())
+    } else {
+        None
+    };
     (successes as f64 / reps as f64, mean)
 }
 
 /// Long-run time-average fraction-correct under a fault plan.
 fn measure_time_average(base: &ExperimentSpec, fault: FaultPlan, rounds: u64) -> f64 {
-    let problem = base.problem().expect("valid");
-    let protocol = base.fet().expect("valid");
-    let mut engine = Engine::new(
-        protocol,
-        problem,
-        Fidelity::Binomial,
-        InitialCondition::AllWrong,
-        SeedTree::new(base.seed).child("avg").seed(),
-    )
-    .expect("valid");
-    engine.set_fault_plan(fault);
+    let mut sim = Simulation::builder()
+        .population(base.n)
+        .fault(fault)
+        .seed(SeedTree::new(base.seed).child("avg").seed())
+        .build()
+        .expect("valid");
     for _ in 0..rounds / 4 {
-        engine.step(); // warmup
+        sim.step(); // warmup
     }
     let mut acc = 0.0;
     for _ in 0..rounds {
-        engine.step();
-        acc += engine.fraction_correct();
+        sim.step();
+        acc += sim.fraction_correct();
     }
     acc / rounds as f64
 }
@@ -149,25 +143,22 @@ fn main() {
     // Retarget: converge to 1 first, then flip the environment and measure
     // the recovery time to consensus on the new correct bit.
     {
-        let problem = base.problem().expect("valid");
-        let protocol = base.fet().expect("valid");
-        let mut engine = Engine::new(
-            protocol,
-            problem,
-            Fidelity::Binomial,
-            InitialCondition::AllWrong,
-            SeedTree::new(base.seed).child("retarget").seed(),
-        )
-        .expect("valid");
-        let first =
-            engine.run(base.max_rounds, ConvergenceCriterion::new(5), &mut NullObserver);
+        let mut sim = Simulation::builder()
+            .population(base.n)
+            .seed(SeedTree::new(base.seed).child("retarget").seed())
+            .stability_window(5)
+            .max_rounds(base.max_rounds)
+            .build()
+            .expect("valid");
+        let first = sim.run();
         assert!(first.converged(), "phase 1 must converge before the flip");
-        let flip_round = engine.round() + 1;
-        engine.set_fault_plan(FaultPlan::with_source_retarget(flip_round, Opinion::Zero));
+        let flip_round = sim.round() + 1;
+        sim.set_fault_plan(FaultPlan::with_source_retarget(flip_round, Opinion::Zero))
+            .expect("sync runner accepts fault plans");
         let mut recovery: Option<u64> = None;
         for extra in 0..base.max_rounds {
-            engine.step();
-            if engine.correct() == Opinion::Zero && engine.all_correct() {
+            sim.step();
+            if sim.correct() == Opinion::Zero && sim.all_correct() {
                 recovery = Some(extra + 1);
                 break;
             }

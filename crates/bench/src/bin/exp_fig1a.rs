@@ -30,8 +30,8 @@ fn main() {
 
     let mut cells: Vec<Vec<String>> = Vec::with_capacity(steps);
     let mut counts = std::collections::BTreeMap::new();
-    let mut csv = CsvWriter::create(h.csv_path("e2_fig1a_domains.csv"), &["x", "y", "domain"])
-        .expect("csv");
+    let mut csv =
+        CsvWriter::create(h.csv_path("e2_fig1a_domains.csv"), &["x", "y", "domain"]).expect("csv");
     for j in 0..steps {
         let y = j as f64 / (steps - 1) as f64;
         let mut row = Vec::with_capacity(steps);
@@ -53,7 +53,11 @@ fn main() {
     ));
     println!("{}", map.render_flipped());
 
-    let mut table = Table::new(vec!["domain".into(), "grid cells".into(), "area share".into()]);
+    let mut table = Table::new(vec![
+        "domain".into(),
+        "grid cells".into(),
+        "area share".into(),
+    ]);
     let total: u64 = counts.values().sum();
     for d in Domain::all() {
         let c = counts.get(&d).copied().unwrap_or(0);
@@ -81,7 +85,9 @@ fn main() {
         })
         .collect();
     let mut hm = Heatmap::new(grid);
-    hm.title(format!("|g(x,y) − y| drift magnitude, ℓ = {ell} (dark = fast)"));
+    hm.title(format!(
+        "|g(x,y) − y| drift magnitude, ℓ = {ell} (dark = fast)"
+    ));
     println!("{}", hm.render_flipped());
     println!("CSV: {}", h.csv_path("e2_fig1a_domains.csv").display());
 }

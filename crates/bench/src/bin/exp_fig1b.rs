@@ -75,7 +75,10 @@ fn main() {
             fet_analysis::domains::DomainKind::Green => "1 (Lemma 1)".into(),
             fet_analysis::domains::DomainKind::Purple => "1 (Lemma 2)".into(),
             fet_analysis::domains::DomainKind::Red => {
-                format!("{:.1} (Lemma 3: log^{{1/2+2δ}} n)", log_n.powf(0.5 + 2.0 * delta))
+                format!(
+                    "{:.1} (Lemma 3: log^{{1/2+2δ}} n)",
+                    log_n.powf(0.5 + 2.0 * delta)
+                )
             }
             fet_analysis::domains::DomainKind::Cyan => {
                 format!("{:.1} (Lemma 4: log n / log log n)", log_n / log_n.ln())
@@ -86,10 +89,16 @@ fn main() {
         }
     };
     let mut table = Table::new(
-        ["domain", "visits", "mean dwell", "max dwell", "paper bound (rounds)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "domain",
+            "visits",
+            "mean dwell",
+            "max dwell",
+            "paper bound (rounds)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e3_fig1b_dwell.csv"),
@@ -123,7 +132,10 @@ fn main() {
 
     // Transition table: the arrows of Figure 1b.
     let mut trans = Table::new(
-        ["from", "to", "share of exits"].iter().map(|s| s.to_string()).collect(),
+        ["from", "to", "share of exits"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     );
     let mut csv2 = CsvWriter::create(
         h.csv_path("e3_fig1b_transitions.csv"),

@@ -55,7 +55,9 @@ fn main() {
         })
         .collect();
     let mut map = CategoricalMap::new(cells);
-    map.title(format!("Figure 2: Yellow' areas, δ = {delta} (y grows upward)"));
+    map.title(format!(
+        "Figure 2: Yellow' areas, δ = {delta} (y grows upward)"
+    ));
     println!("{}", map.render_flipped());
 
     let to_counts = |x: f64| ((x * n as f64).round() as u64).clamp(1, n);
@@ -63,10 +65,15 @@ fn main() {
     // --- Lemma 7 (area A): speed doubling probability by starting speed.
     println!("Lemma 7 — area A speed doubling (exact aggregate law):\n");
     let mut table_a = Table::new(
-        ["start (x_t, x_{t+1})", "speed", "P[speed doubles ∧ stays A/escapes]", "reps"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "start (x_t, x_{t+1})",
+            "speed",
+            "P[speed doubles ∧ stays A/escapes]",
+            "reps",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e4_lemma7_areaA.csv"),
@@ -82,9 +89,8 @@ fn main() {
                 .child_indexed("rep", rep)
                 .seed()
                 ^ ((x0.to_bits()) ^ x1.to_bits().rotate_left(17));
-            let mut chain =
-                AggregateFetChain::new(spec, ell, to_counts(x0), to_counts(x1), seed)
-                    .expect("valid");
+            let mut chain = AggregateFetChain::new(spec, ell, to_counts(x0), to_counts(x1), seed)
+                .expect("valid");
             chain.step();
             let (a, b) = chain.fractions();
             let speed_next = (b - a).abs();
@@ -120,10 +126,15 @@ fn main() {
     // --- Lemma 9/10 (area B): distance growth or exit.
     println!("Lemmas 9–10 — area B growth-or-exit:\n");
     let mut table_b = Table::new(
-        ["start", "P[dist to ½ grows ×(1+c4/√ℓ)]", "P[leaves B]", "P[either]"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "start",
+            "P[dist to ½ grows ×(1+c4/√ℓ)]",
+            "P[leaves B]",
+            "P[either]",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let c4 = 1.0 / (4.0 * 9.0); // c4 = 1/(4α) with α = 9 (Lemma 12 construction)
     let growth = 1.0 + c4 / (ell as f64).sqrt();
@@ -138,9 +149,8 @@ fn main() {
                 .child_indexed("rep", rep)
                 .seed()
                 ^ x0.to_bits();
-            let mut chain =
-                AggregateFetChain::new(spec, ell, to_counts(x0), to_counts(x1), seed)
-                    .expect("valid");
+            let mut chain = AggregateFetChain::new(spec, ell, to_counts(x0), to_counts(x1), seed)
+                .expect("valid");
             chain.step();
             let (a, b) = chain.fractions();
             let g = (b - 0.5).abs() >= growth * (x1 - 0.5).abs();
@@ -182,9 +192,8 @@ fn main() {
                 .child_indexed("rep", rep)
                 .seed()
                 ^ x1.to_bits();
-            let mut chain =
-                AggregateFetChain::new(spec, ell, to_counts(x0), to_counts(x1), seed)
-                    .expect("valid");
+            let mut chain = AggregateFetChain::new(spec, ell, to_counts(x0), to_counts(x1), seed)
+                .expect("valid");
             let mut ok = false;
             for _ in 0..2 {
                 chain.step();

@@ -25,7 +25,11 @@ fn main() {
         "scenario 2 frozen for the whole horizon; contrast run with honest source escapes",
     );
 
-    let sizes: Vec<u64> = if h.quick { vec![256, 1024] } else { vec![256, 1024, 4096, 16384] };
+    let sizes: Vec<u64> = if h.quick {
+        vec![256, 1024]
+    } else {
+        vec![256, 1024, 4096, 16384]
+    };
     let mut table = Table::new(
         [
             "n",
@@ -41,7 +45,14 @@ fn main() {
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e6_impossibility.csv"),
-        &["n", "scenario1_tcon", "frozen_rounds", "horizon", "escaped", "contrast_tcon"],
+        &[
+            "n",
+            "scenario1_tcon",
+            "frozen_rounds",
+            "horizon",
+            "escaped",
+            "contrast_tcon",
+        ],
     )
     .expect("csv");
 
@@ -53,16 +64,25 @@ fn main() {
             fmt_opt_time(out.scenario1_convergence),
             out.frozen_rounds.to_string(),
             scenario.horizon.to_string(),
-            if out.escaped { "YES (unexpected!)" } else { "no" }.to_string(),
+            if out.escaped {
+                "YES (unexpected!)"
+            } else {
+                "no"
+            }
+            .to_string(),
             fmt_opt_time(out.contrast_convergence),
         ]);
         csv.write_record(&[
             n.to_string(),
-            out.scenario1_convergence.map(|t| t.to_string()).unwrap_or_default(),
+            out.scenario1_convergence
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
             out.frozen_rounds.to_string(),
             scenario.horizon.to_string(),
             out.escaped.to_string(),
-            out.contrast_convergence.map(|t| t.to_string()).unwrap_or_default(),
+            out.contrast_convergence
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
         ])
         .expect("row");
     }

@@ -66,7 +66,13 @@ fn main() {
 
     let mut csv = CsvWriter::create(
         h.csv_path("e5_lemma_dwell.csv"),
-        &["n", "domain", "mean_first_dwell", "max_first_dwell", "bound"],
+        &[
+            "n",
+            "domain",
+            "mean_first_dwell",
+            "max_first_dwell",
+            "bound",
+        ],
     )
     .expect("csv");
 

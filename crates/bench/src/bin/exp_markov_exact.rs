@@ -7,8 +7,8 @@
 //! *agent-level* engine (literal protocol execution). Shape to match:
 //! all three agree within confidence intervals.
 
-use fet_bench::{Harness, ROOT_SEED};
 use fet_analysis::markov::ExactChain;
+use fet_bench::{Harness, ROOT_SEED};
 use fet_core::config::ProblemSpec;
 use fet_core::fet::{FetProtocol, FetState};
 use fet_core::opinion::Opinion;
@@ -31,19 +31,36 @@ fn main() {
         "analytic hitting time ≈ aggregate MC ≈ agent-level MC (within CI)",
     );
 
-    let cases: Vec<(u64, u64)> =
-        if h.quick { vec![(8, 4), (16, 6)] } else { vec![(8, 4), (16, 6), (24, 8), (32, 10)] };
+    let cases: Vec<(u64, u64)> = if h.quick {
+        vec![(8, 4), (16, 6)]
+    } else {
+        vec![(8, 4), (16, 6), (24, 8), (32, 10)]
+    };
     let reps: u64 = h.size(3_000, 400);
 
     let mut table = Table::new(
-        ["n", "ell", "exact E[T]", "aggregate MC ± 2se", "agent MC ± 2se"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "n",
+            "ell",
+            "exact E[T]",
+            "aggregate MC ± 2se",
+            "agent MC ± 2se",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e14_markov_exact.csv"),
-        &["n", "ell", "exact", "aggregate_mc", "aggregate_se", "agent_mc", "agent_se"],
+        &[
+            "n",
+            "ell",
+            "exact",
+            "aggregate_mc",
+            "aggregate_se",
+            "agent_mc",
+            "agent_se",
+        ],
     )
     .expect("csv");
 
@@ -63,8 +80,7 @@ fn main() {
                 .child_indexed("n", n)
                 .child_indexed("rep", rep)
                 .seed();
-            let mut chain =
-                AggregateFetChain::new(spec, ell as u32, 1, 1, seed).expect("valid");
+            let mut chain = AggregateFetChain::new(spec, ell as u32, 1, 1, seed).expect("valid");
             chain
                 .run(budget, ConvergenceCriterion::new(1))
                 .converged_at
@@ -86,8 +102,7 @@ fn main() {
             let states: Vec<FetState> = (0..(n - 1) as usize)
                 .map(|_| FetState {
                     opinion: Opinion::Zero,
-                    prev_count_second_half: sample_binomial(ell, 1.0 / n as f64, &mut rng)
-                        as u32,
+                    prev_count_second_half: sample_binomial(ell, 1.0 / n as f64, &mut rng) as u32,
                 })
                 .collect();
             let mut engine = Engine::from_states(

@@ -21,14 +21,30 @@ fn main() {
     );
 
     let mut table = Table::new(
-        ["protocol", "ℓ", "output", "persistent", "working", "between-rounds", "peak"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "protocol",
+            "ℓ",
+            "output",
+            "persistent",
+            "working",
+            "between-rounds",
+            "peak",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut csv = CsvWriter::create(
         h.csv_path("e8_memory.csv"),
-        &["protocol", "ell", "output", "persistent", "working", "between_rounds", "peak"],
+        &[
+            "protocol",
+            "ell",
+            "output",
+            "persistent",
+            "working",
+            "between_rounds",
+            "peak",
+        ],
     )
     .expect("csv");
 
@@ -55,15 +71,45 @@ fn main() {
     };
 
     for ell in [8u32, 16, 32, 64, 128, 256] {
-        add("fet", ell, FetProtocol::new(ell).expect("ℓ ≥ 1").memory_footprint());
+        add(
+            "fet",
+            ell,
+            FetProtocol::new(ell).expect("ℓ ≥ 1").memory_footprint(),
+        );
     }
     let ell = 32;
-    add("simple-trend", ell, SimpleTrendProtocol::new(ell).expect("ℓ ≥ 1").memory_footprint());
+    add(
+        "simple-trend",
+        ell,
+        SimpleTrendProtocol::new(ell)
+            .expect("ℓ ≥ 1")
+            .memory_footprint(),
+    );
     add("voter", 1, VoterProtocol::new().memory_footprint());
-    add("majority", ell, MajorityProtocol::new(ell).expect("ℓ ≥ 1").memory_footprint());
-    add("3-majority", 3, ThreeMajorityProtocol::new().memory_footprint());
-    add("undecided-state", 1, UndecidedProtocol::new().memory_footprint());
-    add("oracle-clock*", 1, OracleClockProtocol::for_population(1024).expect("n ≥ 2").memory_footprint());
+    add(
+        "majority",
+        ell,
+        MajorityProtocol::new(ell)
+            .expect("ℓ ≥ 1")
+            .memory_footprint(),
+    );
+    add(
+        "3-majority",
+        3,
+        ThreeMajorityProtocol::new().memory_footprint(),
+    );
+    add(
+        "undecided-state",
+        1,
+        UndecidedProtocol::new().memory_footprint(),
+    );
+    add(
+        "oracle-clock*",
+        1,
+        OracleClockProtocol::for_population(1024)
+            .expect("n ≥ 2")
+            .memory_footprint(),
+    );
     add("rumor", 1, RumorProtocol::clean().memory_footprint());
 
     println!();

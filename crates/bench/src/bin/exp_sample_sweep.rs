@@ -28,7 +28,11 @@ fn main() {
         "graceful degradation as ℓ shrinks; constant ℓ still converges, slower and heavier-tailed",
     );
 
-    let sizes: Vec<u64> = if h.quick { vec![1 << 10] } else { vec![1 << 10, 1 << 14, 1 << 18] };
+    let sizes: Vec<u64> = if h.quick {
+        vec![1 << 10]
+    } else {
+        vec![1 << 10, 1 << 14, 1 << 18]
+    };
     let reps: u64 = h.size(200, 40);
 
     let mut csv = CsvWriter::create(
@@ -66,10 +70,11 @@ fn main() {
                 chain.run(budget, ConvergenceCriterion::new(3))
             });
             let summary = BatchSummary::from_reports(&reports);
-            let (mean, p95, max) = summary
-                .time
-                .map(|t| (t.mean, t.p95, t.max))
-                .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+            let (mean, p95, max) = summary.time.map(|t| (t.mean, t.p95, t.max)).unwrap_or((
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+            ));
             table.add_row(vec![
                 ell.to_string(),
                 format!("{:.3}", summary.success_rate()),

@@ -57,14 +57,27 @@ fn main() {
         "t_con poly-logarithmic: fitted a·(ln n)^b with b ≲ 2.5, success → 1",
     );
 
-    let exponents: Vec<u32> =
-        if h.quick { vec![8, 10, 12, 14] } else { vec![8, 10, 12, 14, 16, 18, 20, 22] };
+    let exponents: Vec<u32> = if h.quick {
+        vec![8, 10, 12, 14]
+    } else {
+        vec![8, 10, 12, 14, 16, 18, 20, 22]
+    };
     let reps: u64 = h.size(300, 40);
     let c = 4.0;
 
     let mut csv = CsvWriter::create(
         h.csv_path("e1_theorem1.csv"),
-        &["start", "n", "ell", "reps", "successes", "mean", "median", "p95", "max"],
+        &[
+            "start",
+            "n",
+            "ell",
+            "reps",
+            "successes",
+            "mean",
+            "median",
+            "p95",
+            "max",
+        ],
     )
     .expect("csv");
 
@@ -75,10 +88,19 @@ fn main() {
     for start in [Start::AllWrong, Start::YellowCenter] {
         println!("\n— start: {} —\n", start.label());
         let mut table = Table::new(
-            ["n", "ell", "success", "mean", "median", "p95", "max", "log^2.5 n"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            [
+                "n",
+                "ell",
+                "success",
+                "mean",
+                "median",
+                "p95",
+                "max",
+                "log^2.5 n",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         );
         let mut ns: Vec<f64> = Vec::new();
         let mut means: Vec<f64> = Vec::new();

@@ -46,7 +46,10 @@ fn cases(n: u32, quick: bool) -> Vec<Case> {
     let ln_n = f64::from(n).ln();
     let d_log = (4.0 * ln_n).ceil() as u32;
     let mut cases = vec![
-        Case { label: "complete", graph: builders::complete(n).expect("valid") },
+        Case {
+            label: "complete",
+            graph: builders::complete(n).expect("valid"),
+        },
         Case {
             label: "er-dense (p=0.1)",
             graph: builders::erdos_renyi(n, 0.1, &mut rng).expect("valid"),
@@ -58,8 +61,7 @@ fn cases(n: u32, quick: bool) -> Vec<Case> {
         },
         Case {
             label: "regular d=4lnn",
-            graph: builders::random_regular(n, d_log + (n * d_log) % 2, &mut rng)
-                .expect("valid"),
+            graph: builders::random_regular(n, d_log + (n * d_log) % 2, &mut rng).expect("valid"),
         },
         Case {
             label: "regular d=8",
@@ -121,17 +123,35 @@ fn main() {
     let mut csv = CsvWriter::create(
         h.csv_path("e18_topology.csv"),
         &[
-            "topology", "n", "edges", "min_deg", "max_deg", "diameter", "success", "mean",
-            "p95", "max", "frozen_frac",
+            "topology",
+            "n",
+            "edges",
+            "min_deg",
+            "max_deg",
+            "diameter",
+            "success",
+            "mean",
+            "p95",
+            "max",
+            "frozen_frac",
         ],
     )
     .expect("csv");
 
     let mut table = Table::new(
-        ["topology", "m", "deg", "diam", "success", "mean t_con", "p95", "frozen x"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "topology",
+            "m",
+            "deg",
+            "diam",
+            "success",
+            "mean t_con",
+            "p95",
+            "frozen x",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
 
     for case in cases(n, h.quick) {
@@ -157,14 +177,14 @@ fn main() {
             let frozen = engine.fraction_correct();
             (report, frozen)
         });
-        let reports: Vec<ConvergenceReport> = results.iter().map(|(r, _)| r.clone()).collect();
+        let reports: Vec<ConvergenceReport> = results.iter().map(|(r, _)| *r).collect();
         let summary = BatchSummary::from_reports(&reports);
-        let mean_frozen =
-            results.iter().map(|&(_, f)| f).sum::<f64>() / results.len() as f64;
-        let (mean, p95, max) = summary
-            .time
-            .map(|t| (t.mean, t.p95, t.max))
-            .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        let mean_frozen = results.iter().map(|&(_, f)| f).sum::<f64>() / results.len() as f64;
+        let (mean, p95, max) =
+            summary
+                .time
+                .map(|t| (t.mean, t.p95, t.max))
+                .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
         table.add_row(vec![
             case.label.to_string(),
             stats.edges.to_string(),
@@ -207,14 +227,24 @@ fn main() {
     // least 80% of replicates converge. The measured d*(n) growing roughly
     // like log n is the quantitative form of "fixed degree does not
     // scale".
-    let sizes: Vec<u32> = if h.quick { vec![256, 512] } else { vec![256, 512, 1024] };
+    let sizes: Vec<u32> = if h.quick {
+        vec![256, 512]
+    } else {
+        vec![256, 512, 1024]
+    };
     let reps_thr: u64 = h.size(12, 8);
     let budget_thr: u64 = h.size(3_000, 2_000);
     let mut thr_table = Table::new(
-        ["n", "4 ln n", "d* (80% success)", "success at d*", "success at d*/2"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "n",
+            "4 ln n",
+            "d* (80% success)",
+            "success at d*",
+            "success at d*/2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut thr_csv = CsvWriter::create(
         h.csv_path("e18_degree_threshold.csv"),
@@ -233,8 +263,7 @@ fn main() {
             let indices: Vec<u64> = (0..reps_thr).collect();
             let oks: Vec<bool> = parallel_map(&indices, 8, |&rep| {
                 let seed = gen.child_indexed("rep", rep).seed();
-                let protocol =
-                    FetProtocol::for_population(u64::from(n), 4.0).expect("valid");
+                let protocol = FetProtocol::for_population(u64::from(n), 4.0).expect("valid");
                 let mut engine = TopologyEngine::new(
                     protocol,
                     graph.clone(),

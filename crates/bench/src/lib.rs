@@ -37,7 +37,10 @@ impl Harness {
     /// constants in the source to change a sweep).
     pub fn from_args() -> Self {
         let quick = std::env::args().any(|a| a == "--quick");
-        Harness { quick, out_dir: default_out_dir() }
+        Harness {
+            quick,
+            out_dir: default_out_dir(),
+        }
     }
 
     /// Picks `full` or `quick` depending on the switch.
@@ -87,15 +90,24 @@ mod tests {
 
     #[test]
     fn size_switch() {
-        let h = Harness { quick: true, out_dir: PathBuf::from("x") };
+        let h = Harness {
+            quick: true,
+            out_dir: PathBuf::from("x"),
+        };
         assert_eq!(h.size(100, 10), 10);
-        let h = Harness { quick: false, out_dir: PathBuf::from("x") };
+        let h = Harness {
+            quick: false,
+            out_dir: PathBuf::from("x"),
+        };
         assert_eq!(h.size(100, 10), 100);
     }
 
     #[test]
     fn csv_path_joins() {
-        let h = Harness { quick: false, out_dir: PathBuf::from("/tmp/exp") };
+        let h = Harness {
+            quick: false,
+            out_dir: PathBuf::from("/tmp/exp"),
+        };
         assert_eq!(h.csv_path("a.csv"), PathBuf::from("/tmp/exp/a.csv"));
     }
 

@@ -1,19 +1,26 @@
 //! `fet` — command-line front end to the FET reproduction workspace.
 //!
 //! ```text
-//! fet run        --n 10000 [--ell 40] [--c 4.0] [--seed 7] [--init all-wrong] [--agent-level]
+//! fet run        --n 10000 [--protocol fet] [--ell 40] [--c 4.0] [--seed 7]
+//!                [--init all-wrong] [--fidelity agent|binomial|without-replacement|aggregate]
+//!                [--scheduler sync|async] [--agent-level]
+//! fet protocols                                    # list the registry
 //! fet trace      --n 100000 [--seed 7]             # trajectory + domain visits
 //! fet domains    --n 10000 [--delta 0.05] [--steps 60]
 //! fet markov     --n 16 --ell 6                    # exact expected t_con
 //! fet coins      --k 256 --p 0.45 --q 0.55
 //! fet impossibility --n 1024
-//! fet baselines  --n 1000 [--reps 10]
-//! fet topology   --n 1000 --graph regular [--degree 32] [--seed 7]
+//! fet baselines  --n 1000 [--reps 10]              # every registered protocol
+//! fet topology   --n 1000 --graph regular [--degree 32] [--seed 7] [--protocol fet]
 //! fet conflict   --n 2000 --k0 40 --k1 160 [--seed 7]
 //! ```
 //!
-//! Argument parsing is a deliberate ~60-line hand-rolled loop (the
-//! workspace's dependency budget excludes a CLI framework).
+//! Every simulation command runs through the unified
+//! `fet_sim::simulation::Simulation` builder; protocols are resolved at
+//! runtime through the `fet_protocols::registry::ProtocolRegistry`, so
+//! `--protocol` accepts any registered name. Argument parsing is a
+//! deliberate ~60-line hand-rolled loop (the workspace's dependency budget
+//! excludes a CLI framework).
 
 use fet_adversary::impossibility::ImpossibilityScenario;
 use fet_analysis::domains::DomainParams;
@@ -25,12 +32,12 @@ use fet_core::opinion::Opinion;
 use fet_core::protocol::Protocol;
 use fet_plot::heatmap::CategoricalMap;
 use fet_plot::table::Table;
-use fet_protocols::prelude::*;
+use fet_protocols::registry::{ProtocolParams, ProtocolRegistry};
 use fet_sim::aggregate::AggregateFetChain;
 use fet_sim::convergence::ConvergenceCriterion;
 use fet_sim::engine::Fidelity;
-use fet_sim::experiment::{run_fet_once, run_protocol_once, ExperimentSpec};
 use fet_sim::init::InitialCondition;
+use fet_sim::simulation::{Scheduler, Simulation, SimulationBuilder};
 use fet_stats::compare::CoinCompetition;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -50,6 +57,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "run" => cmd_run(&flags),
+        "protocols" => cmd_protocols(),
         "trace" => cmd_trace(&flags),
         "domains" => cmd_domains(&flags),
         "markov" => cmd_markov(&flags),
@@ -76,19 +84,22 @@ fn main() -> ExitCode {
 const USAGE: &str = "fet — self-stabilizing bit dissemination (Korman & Vacus, PODC 2022)
 
 commands:
-  run            one FET convergence run (agent or aggregate level)
+  run            one convergence run of any registered protocol
+  protocols      list the protocol registry (--protocol accepts these names)
   trace          aggregate-chain trajectory with domain-visit breakdown
   domains        render the Figure 1a domain partition
   markov         exact expected convergence time for small n
   coins          exact coin-competition probabilities
   impossibility  the §1.2 conflicting-sources construction
-  baselines      quick protocol comparison table
-  topology       FET on a non-complete graph (complete|er|regular|ring|star|barbell|smallworld)
+  baselines      comparison table over every registered protocol
+  topology       any protocol on a non-complete graph (complete|er|regular|ring|star|barbell|smallworld)
   conflict       long-run occupancy under honest conflicting stubborn sources
 
-common flags: --n N  --ell L  --c C  --seed S  --delta D  --steps K
-              --reps R  --init all-wrong|all-correct|random  --agent-level
-              --k K  --p P  --q Q  --correct 0|1
+common flags: --n N  --protocol NAME  --ell L  --c C  --seed S  --delta D
+              --steps K  --reps R  --init all-wrong|all-correct|random
+              --fidelity agent|binomial|without-replacement|aggregate
+              --scheduler sync|async  --agent-level (= --fidelity agent)
+              --k K  --p P  --q Q  --correct 0|1  --max-rounds R
 topology:     --graph NAME  --degree D  --beta B
 conflict:     --k0 K0  --k1 K1  --burn-in B  --window W";
 
@@ -120,7 +131,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{name}: `{v}`")),
     }
 }
 
@@ -141,41 +154,110 @@ fn get_correct(flags: &Flags) -> Result<Opinion, String> {
     }
 }
 
-fn spec_from(flags: &Flags) -> Result<ExperimentSpec, String> {
-    let n: u64 = get(flags, "n", 10_000)?;
-    let mut b = ExperimentSpec::builder(n);
-    b.seed(get(flags, "seed", 0)?)
+fn get_fidelity(flags: &Flags) -> Result<Option<Fidelity>, String> {
+    match flags.get("fidelity").map(String::as_str) {
+        None => Ok(flags.contains_key("agent-level").then_some(Fidelity::Agent)),
+        Some("agent") => Ok(Some(Fidelity::Agent)),
+        Some("binomial") => Ok(Some(Fidelity::Binomial)),
+        Some("without-replacement") => Ok(Some(Fidelity::WithoutReplacement)),
+        Some("aggregate") => Ok(Some(Fidelity::Aggregate)),
+        Some(other) => Err(format!("unknown --fidelity `{other}`")),
+    }
+}
+
+fn get_scheduler(flags: &Flags) -> Result<Scheduler, String> {
+    match flags.get("scheduler").map(String::as_str) {
+        None | Some("sync") => Ok(Scheduler::Synchronous),
+        Some("async") => Ok(Scheduler::Asynchronous),
+        Some(other) => Err(format!("unknown --scheduler `{other}`")),
+    }
+}
+
+/// Assembles the common `Simulation` builder axes from the flag map.
+fn builder_from(flags: &Flags) -> Result<SimulationBuilder, String> {
+    let mut b = Simulation::builder()
+        .seed(get(flags, "seed", 0)?)
         .sample_constant(get(flags, "c", 4.0)?)
         .correct(get_correct(flags)?)
-        .fidelity(if flags.contains_key("agent-level") {
-            Fidelity::Agent
-        } else {
-            Fidelity::Binomial
-        });
+        .init(get_init(flags)?)
+        .scheduler(get_scheduler(flags)?);
     if let Some(e) = flags.get("ell") {
-        b.ell(e.parse().map_err(|_| format!("invalid --ell `{e}`"))?);
+        b = b.ell(e.parse().map_err(|_| format!("invalid --ell `{e}`"))?);
     }
-    b.build().map_err(|e| e.to_string())
+    if let Some(f) = get_fidelity(flags)? {
+        b = b.fidelity(f);
+    }
+    if let Some(r) = flags.get("max-rounds") {
+        b = b.max_rounds(
+            r.parse()
+                .map_err(|_| format!("invalid --max-rounds `{r}`"))?,
+        );
+    }
+    if let Some(name) = flags.get("protocol") {
+        b = b.protocol_name(name.clone());
+    }
+    Ok(b)
 }
 
 fn cmd_run(flags: &Flags) -> Result<(), String> {
-    let spec = spec_from(flags)?;
+    let n: u64 = get(flags, "n", 10_000)?;
     let init = get_init(flags)?;
-    let outcome = run_fet_once(&spec, init);
+    let mut sim = builder_from(flags)?
+        .population(n)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let report = sim.run();
     println!(
-        "n = {}, ℓ = {}, init = {}, seed = {}",
-        spec.n,
-        spec.ell(),
+        "n = {n}, protocol = {}, samples/round = {}, init = {}, seed = {}",
+        report.protocol,
+        report.samples_per_round,
         init.label(),
-        spec.seed
+        get::<u64>(flags, "seed", 0)?
     );
-    match outcome.report.converged_at {
+    match report.converged_at() {
         Some(t) => {
-            println!("converged at round {t} (log^2.5 n = {:.1})", (spec.n as f64).ln().powf(2.5))
+            println!(
+                "converged at round {t} (log^2.5 n = {:.1})",
+                (n as f64).ln().powf(2.5)
+            )
         }
-        None => println!("did NOT converge within {} rounds", spec.max_rounds),
+        None => println!(
+            "did NOT converge within {} rounds",
+            report.report.rounds_run
+        ),
     }
-    println!("final fraction correct: {:.4}", outcome.report.final_fraction_correct);
+    println!(
+        "final fraction correct: {:.4}",
+        report.report.final_fraction_correct
+    );
+    Ok(())
+}
+
+fn cmd_protocols() -> Result<(), String> {
+    let registry = ProtocolRegistry::with_builtins();
+    let params = ProtocolParams::for_population(10_000, 4.0);
+    let mut table = Table::new(
+        ["name", "samples/round", "passive", "aggregate-exact"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for name in registry.names() {
+        let p = registry.build(name, &params).map_err(|e| e.to_string())?;
+        table.add_row(vec![
+            name.to_string(),
+            p.samples_per_round().to_string(),
+            if p.is_passive() { "yes" } else { "no" }.to_string(),
+            if p.aggregate_ell().is_some() {
+                "yes"
+            } else {
+                "—"
+            }
+            .to_string(),
+        ]);
+    }
+    println!("registered protocols (samples/round shown for n = 10000, c = 4):");
+    print!("{table}");
     Ok(())
 }
 
@@ -194,7 +276,10 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
     println!("n = {n}, ℓ = {ell}, converged at {:?}", report.converged_at);
     println!("domain visits:");
     for v in trace.visits() {
-        println!("  round {:>6}: {:>8} rounds in {}", v.start, v.dwell, v.domain);
+        println!(
+            "  round {:>6}: {:>8} rounds in {}",
+            v.start, v.dwell, v.domain
+        );
     }
     Ok(())
 }
@@ -219,7 +304,9 @@ fn cmd_domains(flags: &Flags) -> Result<(), String> {
         })
         .collect();
     let mut map = CategoricalMap::new(cells);
-    map.title(format!("Figure 1a partition, n = {n}, δ = {delta} (y grows upward)"));
+    map.title(format!(
+        "Figure 1a partition, n = {n}, δ = {delta} (y grows upward)"
+    ));
     print!("{}", map.render_flipped());
     Ok(())
 }
@@ -256,61 +343,70 @@ fn cmd_impossibility(flags: &Flags) -> Result<(), String> {
     let seed: u64 = get(flags, "seed", 0)?;
     let out = ImpossibilityScenario::standard(n, seed).run();
     println!("n = {n}:");
-    println!("  scenario 1 (honest majority) converged at: {:?}", out.scenario1_convergence);
+    println!(
+        "  scenario 1 (honest majority) converged at: {:?}",
+        out.scenario1_convergence
+    );
     println!(
         "  scenario 2 (conflicting sources, states copied): frozen for {} rounds{}",
         out.frozen_rounds,
-        if out.escaped { " then ESCAPED (unexpected!)" } else { " (never escaped)" }
+        if out.escaped {
+            " then ESCAPED (unexpected!)"
+        } else {
+            " (never escaped)"
+        }
     );
-    println!("  contrast (single honest source): converged at {:?}", out.contrast_convergence);
+    println!(
+        "  contrast (single honest source): converged at {:?}",
+        out.contrast_convergence
+    );
     Ok(())
 }
 
 fn cmd_baselines(flags: &Flags) -> Result<(), String> {
     let n: u64 = get(flags, "n", 1_000)?;
     let reps: u64 = get(flags, "reps", 10)?;
-    let base = {
-        let mut b = ExperimentSpec::builder(n);
-        b.seed(get(flags, "seed", 0)?).max_rounds(get(flags, "max-rounds", 30_000)?);
-        b.build().map_err(|e| e.to_string())?
-    };
+    let seed: u64 = get(flags, "seed", 0)?;
+    let max_rounds: u64 = get(flags, "max-rounds", 30_000)?;
     let init = get_init(flags)?;
-    let mut table =
-        Table::new(["protocol", "success", "mean t_con"].iter().map(|s| s.to_string()).collect());
-    macro_rules! case {
-        ($proto:expr) => {{
-            let proto = $proto;
-            let mut times = Vec::new();
-            let mut ok = 0u64;
-            for rep in 0..reps {
-                let mut s = base;
-                s.seed = base.seed.wrapping_add(rep * 7919 + 1);
-                let out = run_protocol_once(proto.clone(), &s, init);
-                if let Some(t) = out.report.converged_at {
-                    ok += 1;
-                    times.push(t as f64);
-                }
+    let registry = ProtocolRegistry::with_builtins();
+    let mut table = Table::new(
+        ["protocol", "success", "mean t_con"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    // One row per registered protocol — no per-protocol dispatch here;
+    // adding a registry entry adds a row.
+    for name in registry.names() {
+        let mut times = Vec::new();
+        let mut ok = 0u64;
+        for rep in 0..reps {
+            let mut sim = Simulation::builder()
+                .population(n)
+                .protocol_name(name)
+                .init(init)
+                .max_rounds(max_rounds)
+                .seed(seed.wrapping_add(rep * 7919 + 1))
+                .build()
+                .map_err(|e| e.to_string())?;
+            let out = sim.run();
+            if let Some(t) = out.converged_at() {
+                ok += 1;
+                times.push(t as f64);
             }
-            let mean = if times.is_empty() {
-                "—".to_string()
-            } else {
-                format!("{:.1}", times.iter().sum::<f64>() / times.len() as f64)
-            };
-            table.add_row(vec![
-                proto.name().to_string(),
-                format!("{:.2}", ok as f64 / reps as f64),
-                mean,
-            ]);
-        }};
+        }
+        let mean = if times.is_empty() {
+            "—".to_string()
+        } else {
+            format!("{:.1}", times.iter().sum::<f64>() / times.len() as f64)
+        };
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.2}", ok as f64 / reps as f64),
+            mean,
+        ]);
     }
-    case!(FetProtocol::new(base.ell()).map_err(|e| e.to_string())?);
-    case!(OracleClockProtocol::for_population(n).map_err(|e| e.to_string())?);
-    case!(VoterProtocol::new());
-    case!(MajorityProtocol::new(base.ell()).map_err(|e| e.to_string())?);
-    case!(ThreeMajorityProtocol::new());
-    case!(UndecidedProtocol::new());
-    case!(RumorProtocol::clean());
-    case!(RumorProtocol::corrupted());
     println!("n = {n}, init = {}, {reps} replicates:", init.label());
     print!("{table}");
     Ok(())
@@ -318,7 +414,6 @@ fn cmd_baselines(flags: &Flags) -> Result<(), String> {
 
 fn cmd_topology(flags: &Flags) -> Result<(), String> {
     use fet_topology::builders;
-    use fet_topology::engine::TopologyEngine;
     use fet_topology::graph::GraphStats;
 
     let n: u32 = get(flags, "n", 1_000)?;
@@ -340,28 +435,20 @@ fn cmd_topology(flags: &Flags) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let stats = GraphStats::of(&graph);
     println!("graph {name}: {stats}");
-    let protocol =
-        FetProtocol::for_population(u64::from(n), get(flags, "c", 4.0)?).map_err(|e| e.to_string())?;
-    let mut engine = TopologyEngine::new(
-        protocol,
-        graph,
-        1,
-        get_correct(flags)?,
-        get_init(flags)?,
-        seed,
-    )
-    .map_err(|e| e.to_string())?;
     let budget: u64 = get(flags, "max-rounds", 20_000)?;
-    let report = engine.run(
-        budget,
-        ConvergenceCriterion::new(5),
-        &mut fet_sim::observer::NullObserver,
-    );
-    match report.converged_at {
-        Some(t) => println!("converged at round {t}"),
+    let mut sim = builder_from(flags)?
+        .topology(graph)
+        .max_rounds(budget)
+        .stability_window(5)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let report = sim.run();
+    match report.converged_at() {
+        Some(t) => println!("protocol {} converged at round {t}", report.protocol),
         None => println!(
-            "did NOT converge within {budget} rounds; stalled at {:.1}% correct",
-            100.0 * engine.fraction_correct()
+            "protocol {} did NOT converge within {budget} rounds; stalled at {:.1}% correct",
+            report.protocol,
+            100.0 * sim.fraction_correct()
         ),
     }
     Ok(())
@@ -387,7 +474,10 @@ fn cmd_conflict(flags: &Flags) -> Result<(), String> {
     );
     println!("  time-averaged x̄      : {:.4}", out.mean_x);
     println!("  fraction of t with x>½: {:.4}", out.frac_above_half);
-    println!("  excursion range       : [{:.3}, {:.3}]", out.min_x, out.max_x);
+    println!(
+        "  excursion range       : [{:.3}, {:.3}]",
+        out.min_x, out.max_x
+    );
     println!("  final x               : {:.4}", out.final_x);
     println!(
         "\nreminder: with both stubborn groups non-empty there is no absorbing\n\
@@ -431,7 +521,10 @@ mod tests {
 
     #[test]
     fn get_init_covers_all_spellings() {
-        assert_eq!(get_init(&flags_of(&[]).unwrap()).unwrap(), InitialCondition::AllWrong);
+        assert_eq!(
+            get_init(&flags_of(&[]).unwrap()).unwrap(),
+            InitialCondition::AllWrong
+        );
         assert_eq!(
             get_init(&flags_of(&["--init", "all-correct"]).unwrap()).unwrap(),
             InitialCondition::AllCorrect
@@ -454,11 +547,34 @@ mod tests {
     }
 
     #[test]
-    fn spec_from_respects_fidelity_switch() {
+    fn fidelity_flag_and_agent_level_switch() {
         let f = flags_of(&["--n", "500", "--agent-level"]).unwrap();
-        let spec = spec_from(&f).unwrap();
-        assert_eq!(spec.fidelity, Fidelity::Agent);
+        assert_eq!(get_fidelity(&f).unwrap(), Some(Fidelity::Agent));
         let f = flags_of(&["--n", "500"]).unwrap();
-        assert_eq!(spec_from(&f).unwrap().fidelity, Fidelity::Binomial);
+        assert_eq!(get_fidelity(&f).unwrap(), None, "facade default applies");
+        let f = flags_of(&["--fidelity", "aggregate"]).unwrap();
+        assert_eq!(get_fidelity(&f).unwrap(), Some(Fidelity::Aggregate));
+        let f = flags_of(&["--fidelity", "sideways"]).unwrap();
+        assert!(get_fidelity(&f).is_err());
+    }
+
+    #[test]
+    fn scheduler_flag() {
+        assert_eq!(
+            get_scheduler(&flags_of(&[]).unwrap()).unwrap(),
+            Scheduler::Synchronous
+        );
+        assert_eq!(
+            get_scheduler(&flags_of(&["--scheduler", "async"]).unwrap()).unwrap(),
+            Scheduler::Asynchronous
+        );
+        assert!(get_scheduler(&flags_of(&["--scheduler", "warp"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn builder_from_accepts_protocol_names() {
+        let f = flags_of(&["--protocol", "voter"]).unwrap();
+        let sim = builder_from(&f).unwrap().population(100).build().unwrap();
+        let _ = sim;
     }
 }

@@ -20,7 +20,15 @@ fn run_ok(args: &[&str]) -> String {
 #[test]
 fn help_lists_commands() {
     let text = run_ok(&["help"]);
-    for cmd in ["run", "trace", "domains", "markov", "coins", "impossibility", "baselines"] {
+    for cmd in [
+        "run",
+        "trace",
+        "domains",
+        "markov",
+        "coins",
+        "impossibility",
+        "baselines",
+    ] {
         assert!(text.contains(cmd), "help missing `{cmd}`");
     }
 }
@@ -48,20 +56,39 @@ fn coins_prints_exact_probabilities() {
 
 #[test]
 fn coins_rejects_bad_probability() {
-    let out = fet().args(["coins", "--p", "1.5"]).output().expect("binary runs");
+    let out = fet()
+        .args(["coins", "--p", "1.5"])
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
 }
 
 #[test]
 fn run_converges_small_instance() {
     let text = run_ok(&["run", "--n", "300", "--seed", "7"]);
-    assert!(text.contains("converged at round"), "unexpected output: {text}");
+    assert!(
+        text.contains("converged at round"),
+        "unexpected output: {text}"
+    );
 }
 
 #[test]
 fn run_with_explicit_ell_and_zero_correct() {
-    let text = run_ok(&["run", "--n", "300", "--ell", "25", "--correct", "0", "--seed", "3"]);
-    assert!(text.contains("ℓ = 25"));
+    let text = run_ok(&[
+        "run",
+        "--n",
+        "300",
+        "--ell",
+        "25",
+        "--correct",
+        "0",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        text.contains("samples/round = 50"),
+        "FET at ℓ = 25 observes 2ℓ: {text}"
+    );
     assert!(text.contains("converged at round"));
 }
 
@@ -89,7 +116,10 @@ fn impossibility_reports_frozen() {
 fn trace_lists_domain_visits() {
     let text = run_ok(&["trace", "--n", "5000", "--seed", "2"]);
     assert!(text.contains("domain visits:"));
-    assert!(text.contains("Cyan1"), "all-wrong start must pass through Cyan1: {text}");
+    assert!(
+        text.contains("Cyan1"),
+        "all-wrong start must pass through Cyan1: {text}"
+    );
 }
 
 #[test]

@@ -57,7 +57,11 @@ impl ProblemSpec {
                 detail: format!("{num_sources} sources leave no non-source among {n} agents"),
             });
         }
-        Ok(ProblemSpec { n, num_sources, correct })
+        Ok(ProblemSpec {
+            n,
+            num_sources,
+            correct,
+        })
     }
 
     /// The canonical single-source instance.
@@ -106,6 +110,17 @@ impl ProblemSpec {
     pub fn log_n_pow_5_2(&self) -> f64 {
         self.log_n().powf(2.5)
     }
+}
+
+/// The paper's sample-size rule `ℓ = ⌈c·ln n⌉`, clamped to be usable for
+/// every input (`n` floored at 2, result floored at 1).
+///
+/// This is **the** canonical implementation — the protocol constructors,
+/// the registry's `ProtocolParams`, the `Simulation` facade, and
+/// `ExperimentSpec` all resolve `ℓ` through it, so the rule cannot drift
+/// between entry points.
+pub fn ell_for_population(n: u64, c: f64) -> u32 {
+    ((c * (n.max(2) as f64).ln()).ceil() as u32).max(1)
 }
 
 #[cfg(test)]

@@ -36,10 +36,16 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::ZeroSampleSize => write!(f, "sample size must be at least 1"),
             CoreError::ObservationOverflow { ones, sample_size } => {
-                write!(f, "observation reports {ones} ones in a sample of {sample_size}")
+                write!(
+                    f,
+                    "observation reports {ones} ones in a sample of {sample_size}"
+                )
             }
             CoreError::SampleSizeMismatch { expected, got } => {
-                write!(f, "protocol expects {expected} samples per round, observation has {got}")
+                write!(
+                    f,
+                    "protocol expects {expected} samples per round, observation has {got}"
+                )
             }
             CoreError::InvalidPopulation { detail } => write!(f, "invalid population: {detail}"),
         }
@@ -55,7 +61,10 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(CoreError::ZeroSampleSize.to_string().contains("at least 1"));
-        let e = CoreError::ObservationOverflow { ones: 9, sample_size: 4 };
+        let e = CoreError::ObservationOverflow {
+            ones: 9,
+            sample_size: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
     }

@@ -32,9 +32,28 @@ use crate::memory::{bits_for_count, MemoryFootprint};
 use crate::observation::Observation;
 use crate::opinion::Opinion;
 use crate::protocol::{Protocol, RoundContext};
-use fet_stats::hypergeometric::split_sample;
+use fet_stats::hypergeometric::{split_sample, SplitTable};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide cache of [`SplitTable`]s keyed by `ℓ`.
+///
+/// `FetProtocol` is a `Copy` configuration value, so it cannot own its
+/// table; the table is deterministic in `ℓ`, making a shared cache safe.
+/// One lock acquisition per *round* (not per agent) is noise next to the
+/// `O(ℓ²)` construction it avoids.
+fn split_table(ell: u64) -> Arc<SplitTable> {
+    static TABLES: OnceLock<Mutex<HashMap<u64, Arc<SplitTable>>>> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = tables.lock().expect("split-table cache poisoned");
+    Arc::clone(
+        guard
+            .entry(ell)
+            .or_insert_with(|| Arc::new(SplitTable::new(ell))),
+    )
+}
 
 /// Configuration of the FET protocol: the half-sample size `ℓ`.
 ///
@@ -102,8 +121,7 @@ impl FetProtocol {
                 detail: format!("sample constant c must be positive, got {c}"),
             });
         }
-        let ell = (c * (n as f64).ln()).ceil() as u32;
-        FetProtocol::new(ell.max(1))
+        FetProtocol::new(crate::config::ell_for_population(n, c))
     }
 
     /// The half-sample size `ℓ`.
@@ -128,7 +146,10 @@ impl Protocol for FetProtocol {
         // Default initialization draws it uniformly; adversaries construct
         // specific values directly through the public fields.
         let prev = (rng.next_u64() % u64::from(self.ell + 1)) as u32;
-        FetState { opinion, prev_count_second_half: prev }
+        FetState {
+            opinion,
+            prev_count_second_half: prev,
+        }
     }
 
     fn step(
@@ -161,8 +182,63 @@ impl Protocol for FetProtocol {
         new_opinion
     }
 
+    fn step_batch(
+        &self,
+        states: &mut [FetState],
+        observations: &[Observation],
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        outputs: &mut [Opinion],
+    ) {
+        assert_eq!(
+            states.len(),
+            observations.len(),
+            "one observation per agent"
+        );
+        assert_eq!(states.len(), outputs.len(), "one output slot per agent");
+        let m = self.samples_per_round();
+        if let Some(bad) = observations.iter().find(|o| o.sample_size() != m) {
+            panic!(
+                "FET(ℓ={}) expects {} samples, observation has {}",
+                self.ell,
+                m,
+                bad.sample_size()
+            );
+        }
+        let ell = u64::from(self.ell);
+        // Same decision rule as `step`, with the sample-size validation
+        // hoisted out of the loop and the state updates running straight
+        // over the contiguous slice. The partition split runs off a
+        // cached inverse-CDF table once the batch is large enough to beat
+        // table lookup overhead — `SplitTable` is stream-compatible with
+        // `split_sample`, so either path yields bit-identical results for
+        // a given seed.
+        let table = (states.len() as u64 >= 2 * ell).then(|| split_table(ell));
+        for ((state, obs), out) in states.iter_mut().zip(observations).zip(outputs.iter_mut()) {
+            let ones = u64::from(obs.ones());
+            let (count_prime, count_second) = match &table {
+                Some(t) => t.split(ones, rng),
+                None => split_sample(ones, ell, rng),
+            };
+            let stale = u64::from(state.prev_count_second_half);
+            let new_opinion = match count_prime.cmp(&stale) {
+                std::cmp::Ordering::Greater => Opinion::One,
+                std::cmp::Ordering::Less => Opinion::Zero,
+                std::cmp::Ordering::Equal => state.opinion,
+            };
+            state.opinion = new_opinion;
+            state.prev_count_second_half = count_second as u32;
+            *out = new_opinion;
+        }
+        let _ = ctx;
+    }
+
     fn output(&self, state: &FetState) -> Opinion {
         state.opinion
+    }
+
+    fn aggregate_ell(&self) -> Option<u32> {
+        Some(self.ell)
     }
 
     fn memory_footprint(&self) -> MemoryFootprint {
@@ -201,7 +277,10 @@ mod tests {
     fn rising_trend_adopts_one() {
         let p = FetProtocol::new(8).unwrap();
         let mut rng = rng("rise");
-        let mut s = FetState { opinion: Opinion::Zero, prev_count_second_half: 0 };
+        let mut s = FetState {
+            opinion: Opinion::Zero,
+            prev_count_second_half: 0,
+        };
         // All 16 samples are ones: count′ = 8 > 0 = count″_{t−1}.
         let obs = Observation::new(16, 16).unwrap();
         let out = p.step(&mut s, &obs, &ctx(), &mut rng);
@@ -213,7 +292,10 @@ mod tests {
     fn falling_trend_adopts_zero() {
         let p = FetProtocol::new(8).unwrap();
         let mut rng = rng("fall");
-        let mut s = FetState { opinion: Opinion::One, prev_count_second_half: 8 };
+        let mut s = FetState {
+            opinion: Opinion::One,
+            prev_count_second_half: 8,
+        };
         // All-zero sample: count′ = 0 < 8.
         let obs = Observation::new(0, 16).unwrap();
         let out = p.step(&mut s, &obs, &ctx(), &mut rng);
@@ -227,7 +309,10 @@ mod tests {
         let mut rng = rng("tie");
         for keep in [Opinion::Zero, Opinion::One] {
             // Unanimous sample forces count′ = 4; stale count equals it.
-            let mut s = FetState { opinion: keep, prev_count_second_half: 4 };
+            let mut s = FetState {
+                opinion: keep,
+                prev_count_second_half: 4,
+            };
             let obs = Observation::new(8, 8).unwrap();
             let out = p.step(&mut s, &obs, &ctx(), &mut rng);
             assert_eq!(out, keep, "tie must keep Y_t");
@@ -241,7 +326,10 @@ mod tests {
         // ties and keeps its opinion.
         let p = FetProtocol::new(8).unwrap();
         let mut rng = rng("stay");
-        let mut s = FetState { opinion: Opinion::Zero, prev_count_second_half: 0 };
+        let mut s = FetState {
+            opinion: Opinion::Zero,
+            prev_count_second_half: 0,
+        };
         for _ in 0..50 {
             let out = p.step(&mut s, &Observation::new(0, 16).unwrap(), &ctx(), &mut rng);
             assert_eq!(out, Opinion::Zero);
@@ -305,6 +393,65 @@ mod tests {
     }
 
     #[test]
+    fn step_batch_matches_sequential_steps_bit_for_bit() {
+        // The batch kernel must preserve the sequential RNG semantics: the
+        // same seed must produce identical states and outputs either way.
+        let p = FetProtocol::new(8).unwrap();
+        let m = p.samples_per_round();
+        let ctx = ctx();
+        let mut init_rng = rng("batch-init");
+        let mut states_loop: Vec<FetState> = (0..64)
+            .map(|i| {
+                p.init_state(
+                    if i % 2 == 0 {
+                        Opinion::Zero
+                    } else {
+                        Opinion::One
+                    },
+                    &mut init_rng,
+                )
+            })
+            .collect();
+        let mut states_batch = states_loop.clone();
+        let observations: Vec<Observation> = (0..64)
+            .map(|i| Observation::new((i * 7) % (m + 1), m).unwrap())
+            .collect();
+        let mut rng_loop = rng("batch-stream");
+        let mut rng_batch = rng("batch-stream");
+        let outputs_loop: Vec<Opinion> = states_loop
+            .iter_mut()
+            .zip(&observations)
+            .map(|(s, o)| p.step(s, o, &ctx, &mut rng_loop))
+            .collect();
+        let mut outputs_batch = vec![Opinion::Zero; 64];
+        p.step_batch(
+            &mut states_batch,
+            &observations,
+            &ctx,
+            &mut rng_batch,
+            &mut outputs_batch,
+        );
+        assert_eq!(states_loop, states_batch);
+        assert_eq!(outputs_loop, outputs_batch);
+    }
+
+    #[test]
+    fn aggregate_ell_exposed() {
+        assert_eq!(FetProtocol::new(12).unwrap().aggregate_ell(), Some(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 16 samples")]
+    fn step_batch_rejects_wrong_sample_size() {
+        let p = FetProtocol::new(8).unwrap();
+        let mut rng = rng("batch-panic");
+        let mut states = vec![p.init_state(Opinion::Zero, &mut rng)];
+        let obs = vec![Observation::new(3, 8).unwrap()];
+        let mut out = vec![Opinion::Zero];
+        p.step_batch(&mut states, &obs, &ctx(), &mut rng, &mut out);
+    }
+
+    #[test]
     fn zero_one_symmetry_in_distribution() {
         // Relabeling opinions 0↔1 (state and observation mirrored) must
         // mirror the outcome *distribution*: P(Y=1 | original) should match
@@ -316,8 +463,14 @@ mod tests {
         let mut ones_a = 0u32;
         let mut zeros_b = 0u32;
         for _ in 0..reps {
-            let mut s_a = FetState { opinion: Opinion::Zero, prev_count_second_half: 3 };
-            let mut s_b = FetState { opinion: Opinion::One, prev_count_second_half: 6 - 3 };
+            let mut s_a = FetState {
+                opinion: Opinion::Zero,
+                prev_count_second_half: 3,
+            };
+            let mut s_b = FetState {
+                opinion: Opinion::One,
+                prev_count_second_half: 6 - 3,
+            };
             if p.step(&mut s_a, &obs, &ctx(), &mut rng) == Opinion::One {
                 ones_a += 1;
             }

@@ -52,6 +52,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod config;
+pub mod erased;
 pub mod error;
 pub mod fet;
 pub mod memory;
@@ -67,6 +68,7 @@ pub use error::CoreError;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::config::ProblemSpec;
+    pub use crate::erased::{DynProtocol, DynState, ErasedProtocol};
     pub use crate::error::CoreError;
     pub use crate::fet::{FetProtocol, FetState};
     pub use crate::memory::MemoryFootprint;

@@ -27,7 +27,11 @@ impl MemoryFootprint {
     /// * `working_bits` — transient within-round scratch (FET: the fresh
     ///   `count′`); freed before the next round.
     pub fn new(output_bits: u32, persistent_bits: u32, working_bits: u32) -> Self {
-        MemoryFootprint { output_bits, persistent_bits, working_bits }
+        MemoryFootprint {
+            output_bits,
+            persistent_bits,
+            working_bits,
+        }
     }
 
     /// Publicly visible bits.

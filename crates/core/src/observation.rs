@@ -52,7 +52,10 @@ impl Observation {
     /// counts, enforcing the passive model at the boundary.
     pub fn from_opinions(opinions: &[Opinion]) -> Self {
         let ones = opinions.iter().filter(|o| o.is_one()).count() as u32;
-        Observation { ones, sample_size: opinions.len() as u32 }
+        Observation {
+            ones,
+            sample_size: opinions.len() as u32,
+        }
     }
 
     /// Number of sampled agents holding opinion 1 (the paper's `COUNT`).
@@ -93,7 +96,10 @@ impl Observation {
     /// symmetry property tests.
     #[must_use]
     pub fn relabeled(&self) -> Self {
-        Observation { ones: self.sample_size - self.ones, sample_size: self.sample_size }
+        Observation {
+            ones: self.sample_size - self.ones,
+            sample_size: self.sample_size,
+        }
     }
 }
 

@@ -140,7 +140,10 @@ mod tests {
 
     #[test]
     fn bit_round_trip() {
-        assert_eq!(Opinion::from_bit_value(Opinion::Zero.as_bit()), Opinion::Zero);
+        assert_eq!(
+            Opinion::from_bit_value(Opinion::Zero.as_bit()),
+            Opinion::Zero
+        );
         assert_eq!(Opinion::from_bit_value(Opinion::One.as_bit()), Opinion::One);
         assert_eq!(Opinion::from_bit_value(7), Opinion::One);
     }

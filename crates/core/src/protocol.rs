@@ -87,6 +87,47 @@ pub trait Protocol {
         rng: &mut dyn RngCore,
     ) -> Opinion;
 
+    /// Executes one round for a contiguous slice of agents: `states[i]`
+    /// consumes `observations[i]` and its new public opinion is written to
+    /// `outputs[i]`.
+    ///
+    /// The default implementation loops over [`Protocol::step`] and is
+    /// always correct. Protocols with a hot decision rule (FET, the
+    /// `fet-protocols` baselines) override it with a kernel that hoists
+    /// the per-observation validation out of the loop and runs straight
+    /// over the contiguous state slice — the form the engine's round loop
+    /// is built around.
+    ///
+    /// # Contract
+    ///
+    /// Equivalent to calling `step` once per agent in slice order with the
+    /// same RNG: specializations must preserve the *sequential RNG
+    /// semantics* so that batched and looped execution produce identical
+    /// streams for a given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths differ, or when any observation's
+    /// sample size does not match [`Protocol::samples_per_round`].
+    fn step_batch(
+        &self,
+        states: &mut [Self::State],
+        observations: &[Observation],
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        outputs: &mut [Opinion],
+    ) {
+        assert_eq!(
+            states.len(),
+            observations.len(),
+            "one observation per agent"
+        );
+        assert_eq!(states.len(), outputs.len(), "one output slot per agent");
+        for ((state, obs), out) in states.iter_mut().zip(observations).zip(outputs.iter_mut()) {
+            *out = self.step(state, obs, ctx, rng);
+        }
+    }
+
     /// The public opinion currently output by this state — the bit other
     /// agents see when they sample this agent.
     fn output(&self, state: &Self::State) -> Opinion;
@@ -107,6 +148,18 @@ pub trait Protocol {
     /// Defaults to `true`; decoupled baselines override.
     fn is_passive(&self) -> bool {
         true
+    }
+
+    /// The half-sample size `ℓ` for which Observation 1's aggregate
+    /// `(x_t, x_{t+1})` chain is *exact* for this protocol, if any.
+    ///
+    /// Only FET qualifies today: its sample-splitting makes consecutive
+    /// opinions conditionally independent given `(x_t, x_{t+1})`, which is
+    /// precisely what lets the simulation collapse the whole population
+    /// into two binomial draws per round. Protocols returning `None` cannot
+    /// be run at the aggregate fidelity.
+    fn aggregate_ell(&self) -> Option<u32> {
+        None
     }
 
     /// Memory accounting for Theorem 1's `O(log ℓ)` bits claim.

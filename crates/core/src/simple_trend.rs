@@ -82,8 +82,7 @@ impl SimpleTrendProtocol {
                 detail: format!("sample constant c must be positive, got {c}"),
             });
         }
-        let ell = (c * (n as f64).ln()).ceil() as u32;
-        SimpleTrendProtocol::new(ell.max(1))
+        SimpleTrendProtocol::new(crate::config::ell_for_population(n, c))
     }
 
     /// The sample size `ℓ`.
@@ -105,7 +104,10 @@ impl Protocol for SimpleTrendProtocol {
 
     fn init_state(&self, opinion: Opinion, rng: &mut dyn RngCore) -> SimpleTrendState {
         let prev = (rng.next_u64() % u64::from(self.ell + 1)) as u32;
-        SimpleTrendState { opinion, prev_count: prev }
+        SimpleTrendState {
+            opinion,
+            prev_count: prev,
+        }
     }
 
     fn step(
@@ -132,6 +134,44 @@ impl Protocol for SimpleTrendProtocol {
         state.opinion = new_opinion;
         state.prev_count = count;
         new_opinion
+    }
+
+    fn step_batch(
+        &self,
+        states: &mut [SimpleTrendState],
+        observations: &[Observation],
+        _ctx: &RoundContext,
+        _rng: &mut dyn RngCore,
+        outputs: &mut [Opinion],
+    ) {
+        assert_eq!(
+            states.len(),
+            observations.len(),
+            "one observation per agent"
+        );
+        assert_eq!(states.len(), outputs.len(), "one output slot per agent");
+        // Branch-only, RNG-free kernel over the contiguous slice; the
+        // sample-size check rides the loop (a separate validation pass
+        // costs as much as the decision rule itself here).
+        for ((state, obs), out) in states.iter_mut().zip(observations).zip(outputs.iter_mut()) {
+            assert_eq!(
+                obs.sample_size(),
+                self.ell,
+                "simple-trend(ℓ={}) expects {} samples, observation has {}",
+                self.ell,
+                self.ell,
+                obs.sample_size()
+            );
+            let count = obs.ones();
+            let new_opinion = match count.cmp(&state.prev_count) {
+                std::cmp::Ordering::Greater => Opinion::One,
+                std::cmp::Ordering::Less => Opinion::Zero,
+                std::cmp::Ordering::Equal => state.opinion,
+            };
+            state.opinion = new_opinion;
+            state.prev_count = count;
+            *out = new_opinion;
+        }
     }
 
     fn output(&self, state: &SimpleTrendState) -> Opinion {
@@ -165,7 +205,10 @@ mod tests {
         let p = SimpleTrendProtocol::new(8).unwrap();
         let mut rng = rng("det");
         let obs = Observation::new(5, 8).unwrap();
-        let mut s1 = SimpleTrendState { opinion: Opinion::Zero, prev_count: 3 };
+        let mut s1 = SimpleTrendState {
+            opinion: Opinion::Zero,
+            prev_count: 3,
+        };
         let mut s2 = s1;
         let o1 = p.step(&mut s1, &obs, &ctx(), &mut rng);
         let o2 = p.step(&mut s2, &obs, &ctx(), &mut rng);
@@ -178,19 +221,34 @@ mod tests {
         let p = SimpleTrendProtocol::new(8).unwrap();
         let mut rng = rng("table");
         // Rising.
-        let mut s = SimpleTrendState { opinion: Opinion::Zero, prev_count: 2 };
-        assert_eq!(p.step(&mut s, &Observation::new(5, 8).unwrap(), &ctx(), &mut rng), Opinion::One);
+        let mut s = SimpleTrendState {
+            opinion: Opinion::Zero,
+            prev_count: 2,
+        };
+        assert_eq!(
+            p.step(&mut s, &Observation::new(5, 8).unwrap(), &ctx(), &mut rng),
+            Opinion::One
+        );
         assert_eq!(s.prev_count, 5);
         // Falling.
-        let mut s = SimpleTrendState { opinion: Opinion::One, prev_count: 6 };
+        let mut s = SimpleTrendState {
+            opinion: Opinion::One,
+            prev_count: 6,
+        };
         assert_eq!(
             p.step(&mut s, &Observation::new(1, 8).unwrap(), &ctx(), &mut rng),
             Opinion::Zero
         );
         // Tie keeps.
         for keep in [Opinion::Zero, Opinion::One] {
-            let mut s = SimpleTrendState { opinion: keep, prev_count: 4 };
-            assert_eq!(p.step(&mut s, &Observation::new(4, 8).unwrap(), &ctx(), &mut rng), keep);
+            let mut s = SimpleTrendState {
+                opinion: keep,
+                prev_count: 4,
+            };
+            assert_eq!(
+                p.step(&mut s, &Observation::new(4, 8).unwrap(), &ctx(), &mut rng),
+                keep
+            );
         }
     }
 
@@ -201,8 +259,14 @@ mod tests {
         // moderate count is not low in absolute terms.
         let p = SimpleTrendProtocol::new(8).unwrap();
         let mut rng = rng("dep");
-        let mut s = SimpleTrendState { opinion: Opinion::Zero, prev_count: 0 };
-        assert_eq!(p.step(&mut s, &Observation::new(8, 8).unwrap(), &ctx(), &mut rng), Opinion::One);
+        let mut s = SimpleTrendState {
+            opinion: Opinion::Zero,
+            prev_count: 0,
+        };
+        assert_eq!(
+            p.step(&mut s, &Observation::new(8, 8).unwrap(), &ctx(), &mut rng),
+            Opinion::One
+        );
         assert_eq!(
             p.step(&mut s, &Observation::new(4, 8).unwrap(), &ctx(), &mut rng),
             Opinion::Zero,

@@ -113,7 +113,11 @@ impl FetVariant {
         if ell == 0 {
             return Err(CoreError::ZeroSampleSize);
         }
-        Ok(FetVariant { ell, tie_break, memory })
+        Ok(FetVariant {
+            ell,
+            tie_break,
+            memory,
+        })
     }
 
     /// The half-sample size `ℓ`.
@@ -155,7 +159,10 @@ impl Protocol for FetVariant {
 
     fn init_state(&self, opinion: Opinion, rng: &mut dyn RngCore) -> FetVariantState {
         let stored = (rng.next_u64() % u64::from(self.ell + 1)) as u32;
-        FetVariantState { opinion, stored_count: stored }
+        FetVariantState {
+            opinion,
+            stored_count: stored,
+        }
     }
 
     fn step(
@@ -230,7 +237,9 @@ mod tests {
         let v = FetVariant::new(8, TieBreak::Random, Memory::FreshHalf).unwrap();
         assert_eq!(v.variant_label(), "fet[random/fresh-half]");
         assert!(!v.is_canonical());
-        assert!(FetVariant::new(8, TieBreak::Keep, Memory::StaleHalf).unwrap().is_canonical());
+        assert!(FetVariant::new(8, TieBreak::Keep, Memory::StaleHalf)
+            .unwrap()
+            .is_canonical());
     }
 
     #[test]
@@ -243,8 +252,14 @@ mod tests {
         let fet = FetProtocol::new(ell).unwrap();
         let mut rng_a = SeedTree::new(42).child("a").rng();
         let mut rng_b = SeedTree::new(42).child("a").rng();
-        let mut sa = FetVariantState { opinion: Opinion::Zero, stored_count: 3 };
-        let mut sb = FetState { opinion: Opinion::Zero, prev_count_second_half: 3 };
+        let mut sa = FetVariantState {
+            opinion: Opinion::Zero,
+            stored_count: 3,
+        };
+        let mut sb = FetState {
+            opinion: Opinion::Zero,
+            prev_count_second_half: 3,
+        };
         for ones in [0u32, 5, 9, 16, 12, 3, 8, 8, 1, 15] {
             let obs = Observation::new(ones, 16).unwrap();
             let oa = variant.step(&mut sa, &obs, &ctx(), &mut rng_a);
@@ -262,20 +277,29 @@ mod tests {
         let mut rng = SeedTree::new(7).child("rand").rng();
         let mut zeros = 0;
         for _ in 0..200 {
-            let mut s = FetVariantState { opinion: Opinion::One, stored_count: 8 };
+            let mut s = FetVariantState {
+                opinion: Opinion::One,
+                stored_count: 8,
+            };
             let obs = Observation::new(16, 16).unwrap(); // unanimous ones
             if v.step(&mut s, &obs, &ctx(), &mut rng) == Opinion::Zero {
                 zeros += 1;
             }
         }
-        assert!(zeros > 50, "random tie-break should flip ~half: {zeros}/200");
+        assert!(
+            zeros > 50,
+            "random tie-break should flip ~half: {zeros}/200"
+        );
     }
 
     #[test]
     fn adopt_one_tie_break_pins_ones() {
         let v = FetVariant::new(4, TieBreak::AdoptOne, Memory::StaleHalf).unwrap();
         let mut rng = SeedTree::new(8).child("a1").rng();
-        let mut s = FetVariantState { opinion: Opinion::Zero, stored_count: 4 };
+        let mut s = FetVariantState {
+            opinion: Opinion::Zero,
+            stored_count: 4,
+        };
         let obs = Observation::new(8, 8).unwrap();
         assert_eq!(v.step(&mut s, &obs, &ctx(), &mut rng), Opinion::One);
     }
@@ -290,8 +314,14 @@ mod tests {
         let obs = Observation::new(9, 16).unwrap();
         let mut rng_a = SeedTree::new(9).child("x").rng();
         let mut rng_b = SeedTree::new(9).child("x").rng();
-        let mut sa = FetVariantState { opinion: Opinion::One, stored_count: 0 };
-        let mut sb = FetVariantState { opinion: Opinion::One, stored_count: 8 };
+        let mut sa = FetVariantState {
+            opinion: Opinion::One,
+            stored_count: 0,
+        };
+        let mut sb = FetVariantState {
+            opinion: Opinion::One,
+            stored_count: 8,
+        };
         for _ in 0..20 {
             let oa = v.step(&mut sa, &obs, &ctx(), &mut rng_a);
             let ob = v.step(&mut sb, &obs, &ctx(), &mut rng_b);

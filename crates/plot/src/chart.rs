@@ -35,7 +35,11 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>, marker: char, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), marker, points }
+        Series {
+            label: label.into(),
+            marker,
+            points,
+        }
     }
 }
 
@@ -69,8 +73,18 @@ impl LineChart {
     ///
     /// Panics when `width < 8` or `height < 4`.
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width >= 8 && height >= 4, "canvas too small: {width}×{height}");
-        LineChart { width, height, x_axis: Axis::Linear, y_axis: Axis::Linear, series: Vec::new(), title: None }
+        assert!(
+            width >= 8 && height >= 4,
+            "canvas too small: {width}×{height}"
+        );
+        LineChart {
+            width,
+            height,
+            x_axis: Axis::Linear,
+            y_axis: Axis::Linear,
+            series: Vec::new(),
+            title: None,
+        }
     }
 
     /// Sets the chart title.
@@ -213,7 +227,11 @@ mod tests {
     fn log_axes_render_raw_values() {
         let mut c = LineChart::new(20, 6);
         c.axes(Axis::Log10, Axis::Log10);
-        c.add_series(Series::new("p", '*', vec![(10.0, 100.0), (1000.0, 10000.0)]));
+        c.add_series(Series::new(
+            "p",
+            '*',
+            vec![(10.0, 100.0), (1000.0, 10000.0)],
+        ));
         let s = c.render();
         // The x labels show untransformed endpoints.
         assert!(s.contains("10.000"));

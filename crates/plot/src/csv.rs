@@ -52,7 +52,10 @@ impl<W: Write> CsvWriter<W> {
     /// Propagates write errors.
     pub fn new(mut sink: W, header: &[&str]) -> io::Result<Self> {
         write_row(&mut sink, header.iter().copied())?;
-        Ok(CsvWriter { sink, columns: header.len() })
+        Ok(CsvWriter {
+            sink,
+            columns: header.len(),
+        })
     }
 
     /// Writes one record of string fields.

@@ -24,10 +24,19 @@ impl Heatmap {
     ///
     /// Panics when rows are empty or ragged.
     pub fn new(values: Vec<Vec<f64>>) -> Self {
-        assert!(!values.is_empty() && !values[0].is_empty(), "heatmap needs data");
+        assert!(
+            !values.is_empty() && !values[0].is_empty(),
+            "heatmap needs data"
+        );
         let w = values[0].len();
-        assert!(values.iter().all(|r| r.len() == w), "heatmap rows must be equal length");
-        Heatmap { values, title: None }
+        assert!(
+            values.iter().all(|r| r.len() == w),
+            "heatmap rows must be equal length"
+        );
+        Heatmap {
+            values,
+            title: None,
+        }
     }
 
     /// Sets the title.
@@ -70,7 +79,11 @@ impl Heatmap {
             }
             out.push('\n');
         }
-        out.push_str(&format!("scale: '{}' = {lo:.3} … '{}' = {hi:.3}\n", RAMP[0], RAMP[RAMP.len() - 1]));
+        out.push_str(&format!(
+            "scale: '{}' = {lo:.3} … '{}' = {hi:.3}\n",
+            RAMP[0],
+            RAMP[RAMP.len() - 1]
+        ));
         out
     }
 
@@ -102,8 +115,8 @@ pub struct CategoricalMap {
 
 /// Glyph pool for categories, in assignment order.
 const GLYPHS: &[char] = &[
-    'G', 'g', 'P', 'p', 'R', 'r', 'C', 'c', 'Y', 'A', 'a', 'B', 'b', 'D', 'd', '1', '2', '3',
-    '4', '5',
+    'G', 'g', 'P', 'p', 'R', 'r', 'C', 'c', 'Y', 'A', 'a', 'B', 'b', 'D', 'd', '1', '2', '3', '4',
+    '5',
 ];
 
 impl CategoricalMap {
@@ -113,9 +126,15 @@ impl CategoricalMap {
     ///
     /// Panics when rows are empty or ragged.
     pub fn new(cells: Vec<Vec<String>>) -> Self {
-        assert!(!cells.is_empty() && !cells[0].is_empty(), "categorical map needs data");
+        assert!(
+            !cells.is_empty() && !cells[0].is_empty(),
+            "categorical map needs data"
+        );
         let w = cells[0].len();
-        assert!(cells.iter().all(|r| r.len() == w), "rows must be equal length");
+        assert!(
+            cells.iter().all(|r| r.len() == w),
+            "rows must be equal length"
+        );
         CategoricalMap { cells, title: None }
     }
 

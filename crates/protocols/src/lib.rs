@@ -35,15 +35,17 @@
 
 pub mod majority;
 pub mod oracle_clock;
+pub mod registry;
 pub mod rumor;
 pub mod three_majority;
 pub mod undecided;
 pub mod voter;
 
-/// Convenient re-exports of all baseline protocols.
+/// Convenient re-exports of all baseline protocols and the registry.
 pub mod prelude {
     pub use crate::majority::MajorityProtocol;
     pub use crate::oracle_clock::OracleClockProtocol;
+    pub use crate::registry::{ProtocolParams, ProtocolRegistry, RegistryError};
     pub use crate::rumor::{RumorProtocol, RumorState};
     pub use crate::three_majority::ThreeMajorityProtocol;
     pub use crate::undecided::{UndecidedProtocol, UndecidedState};
@@ -78,7 +80,11 @@ mod contract_tests {
             protocol.name()
         );
         for round in 0..200u64 {
-            let opinion = if rng.gen::<bool>() { Opinion::One } else { Opinion::Zero };
+            let opinion = if rng.gen::<bool>() {
+                Opinion::One
+            } else {
+                Opinion::Zero
+            };
             let mut state = protocol.init_state(opinion, &mut rng);
             assert_eq!(
                 protocol.output(&state),

@@ -91,6 +91,40 @@ impl Protocol for MajorityProtocol {
         *state
     }
 
+    fn step_batch(
+        &self,
+        states: &mut [Opinion],
+        observations: &[Observation],
+        _ctx: &RoundContext,
+        _rng: &mut dyn RngCore,
+        outputs: &mut [Opinion],
+    ) {
+        assert_eq!(
+            states.len(),
+            observations.len(),
+            "one observation per agent"
+        );
+        assert_eq!(states.len(), outputs.len(), "one output slot per agent");
+        if let Some(bad) = observations.iter().find(|o| o.sample_size() != self.ell) {
+            panic!(
+                "majority(ℓ={}) expects {} samples, observation has {}",
+                self.ell,
+                self.ell,
+                bad.sample_size()
+            );
+        }
+        // Branch-only threshold kernel over the contiguous slice.
+        for ((state, obs), out) in states.iter_mut().zip(observations).zip(outputs.iter_mut()) {
+            let twice = 2 * obs.ones();
+            *state = match twice.cmp(&self.ell) {
+                std::cmp::Ordering::Greater => Opinion::One,
+                std::cmp::Ordering::Less => Opinion::Zero,
+                std::cmp::Ordering::Equal => *state,
+            };
+            *out = *state;
+        }
+    }
+
     fn output(&self, state: &Opinion) -> Opinion {
         *state
     }
@@ -116,7 +150,10 @@ mod tests {
         let m = MajorityProtocol::new(5).unwrap();
         let mut rng = SeedTree::new(3).child("maj").rng();
         let mut s = Opinion::Zero;
-        assert_eq!(m.step(&mut s, &Observation::new(3, 5).unwrap(), &ctx(), &mut rng), Opinion::One);
+        assert_eq!(
+            m.step(&mut s, &Observation::new(3, 5).unwrap(), &ctx(), &mut rng),
+            Opinion::One
+        );
         assert_eq!(
             m.step(&mut s, &Observation::new(2, 5).unwrap(), &ctx(), &mut rng),
             Opinion::Zero
@@ -129,7 +166,10 @@ mod tests {
         let mut rng = SeedTree::new(4).child("tie").rng();
         for keep in [Opinion::Zero, Opinion::One] {
             let mut s = keep;
-            assert_eq!(m.step(&mut s, &Observation::new(2, 4).unwrap(), &ctx(), &mut rng), keep);
+            assert_eq!(
+                m.step(&mut s, &Observation::new(2, 4).unwrap(), &ctx(), &mut rng),
+                keep
+            );
         }
     }
 

@@ -82,7 +82,7 @@ impl OracleClockProtocol {
     /// Which opinion the current round is receptive to: subphase 0 adopts
     /// 0s, subphase 1 adopts 1s.
     pub fn receptive_to(&self, round: u64) -> Opinion {
-        if (round / self.subphase_len) % 2 == 0 {
+        if (round / self.subphase_len).is_multiple_of(2) {
             Opinion::Zero
         } else {
             Opinion::One
@@ -112,7 +112,11 @@ impl Protocol for OracleClockProtocol {
         ctx: &RoundContext,
         _rng: &mut dyn RngCore,
     ) -> Opinion {
-        assert_eq!(obs.sample_size(), 1, "oracle-clock expects exactly one sample");
+        assert_eq!(
+            obs.sample_size(),
+            1,
+            "oracle-clock expects exactly one sample"
+        );
         let seen = Opinion::from_bit_value(obs.ones() as u8);
         if seen == self.receptive_to(ctx.round()) {
             *state = seen;
@@ -155,12 +159,24 @@ mod tests {
         let mut s = Opinion::One;
         // Round 0 (receptive to 0): seeing 1 is ignored; seeing 0 adopts.
         let r0 = RoundContext::new(0);
-        assert_eq!(p.step(&mut s, &Observation::new(1, 1).unwrap(), &r0, &mut rng), Opinion::One);
-        assert_eq!(p.step(&mut s, &Observation::new(0, 1).unwrap(), &r0, &mut rng), Opinion::Zero);
+        assert_eq!(
+            p.step(&mut s, &Observation::new(1, 1).unwrap(), &r0, &mut rng),
+            Opinion::One
+        );
+        assert_eq!(
+            p.step(&mut s, &Observation::new(0, 1).unwrap(), &r0, &mut rng),
+            Opinion::Zero
+        );
         // Round 4 (receptive to 1): the mirror behaviour.
         let r4 = RoundContext::new(4);
-        assert_eq!(p.step(&mut s, &Observation::new(0, 1).unwrap(), &r4, &mut rng), Opinion::Zero);
-        assert_eq!(p.step(&mut s, &Observation::new(1, 1).unwrap(), &r4, &mut rng), Opinion::One);
+        assert_eq!(
+            p.step(&mut s, &Observation::new(0, 1).unwrap(), &r4, &mut rng),
+            Opinion::Zero
+        );
+        assert_eq!(
+            p.step(&mut s, &Observation::new(1, 1).unwrap(), &r4, &mut rng),
+            Opinion::One
+        );
     }
 
     #[test]

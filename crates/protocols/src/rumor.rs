@@ -44,7 +44,9 @@ pub struct RumorProtocol {
 impl RumorProtocol {
     /// The clean textbook protocol: agents start uninformed.
     pub fn clean() -> Self {
-        RumorProtocol { corrupt_init: false }
+        RumorProtocol {
+            corrupt_init: false,
+        }
     }
 
     /// The adversarially corrupted variant: agents start believing they
@@ -70,7 +72,10 @@ impl Protocol for RumorProtocol {
     }
 
     fn init_state(&self, opinion: Opinion, _rng: &mut dyn RngCore) -> RumorState {
-        RumorState { opinion, informed: self.corrupt_init }
+        RumorState {
+            opinion,
+            informed: self.corrupt_init,
+        }
     }
 
     fn step(
@@ -80,7 +85,11 @@ impl Protocol for RumorProtocol {
         _ctx: &RoundContext,
         _rng: &mut dyn RngCore,
     ) -> Opinion {
-        assert_eq!(obs.sample_size(), 1, "rumor spreading expects exactly one sample");
+        assert_eq!(
+            obs.sample_size(),
+            1,
+            "rumor spreading expects exactly one sample"
+        );
         if !state.informed {
             state.opinion = Opinion::from_bit_value(obs.ones() as u8);
             state.informed = true;
@@ -110,7 +119,10 @@ mod tests {
     fn uninformed_copies_and_locks() {
         let p = RumorProtocol::clean();
         let mut rng = SeedTree::new(13).child("rumor").rng();
-        let mut s = RumorState { opinion: Opinion::Zero, informed: false };
+        let mut s = RumorState {
+            opinion: Opinion::Zero,
+            informed: false,
+        };
         assert_eq!(
             p.step(&mut s, &Observation::new(1, 1).unwrap(), &ctx(), &mut rng),
             Opinion::One
@@ -140,6 +152,9 @@ mod tests {
 
     #[test]
     fn names_distinguish_variants() {
-        assert_ne!(RumorProtocol::clean().name(), RumorProtocol::corrupted().name());
+        assert_ne!(
+            RumorProtocol::clean().name(),
+            RumorProtocol::corrupted().name()
+        );
     }
 }

@@ -50,9 +50,46 @@ impl Protocol for ThreeMajorityProtocol {
         _ctx: &RoundContext,
         _rng: &mut dyn RngCore,
     ) -> Opinion {
-        assert_eq!(obs.sample_size(), 3, "3-majority expects exactly three samples");
-        *state = if obs.ones() >= 2 { Opinion::One } else { Opinion::Zero };
+        assert_eq!(
+            obs.sample_size(),
+            3,
+            "3-majority expects exactly three samples"
+        );
+        *state = if obs.ones() >= 2 {
+            Opinion::One
+        } else {
+            Opinion::Zero
+        };
         *state
+    }
+
+    fn step_batch(
+        &self,
+        states: &mut [Opinion],
+        observations: &[Observation],
+        _ctx: &RoundContext,
+        _rng: &mut dyn RngCore,
+        outputs: &mut [Opinion],
+    ) {
+        assert_eq!(
+            states.len(),
+            observations.len(),
+            "one observation per agent"
+        );
+        assert_eq!(states.len(), outputs.len(), "one output slot per agent");
+        assert!(
+            observations.iter().all(|o| o.sample_size() == 3),
+            "3-majority expects exactly three samples"
+        );
+        // Stateless threshold kernel over the contiguous slice.
+        for ((state, obs), out) in states.iter_mut().zip(observations).zip(outputs.iter_mut()) {
+            *state = if obs.ones() >= 2 {
+                Opinion::One
+            } else {
+                Opinion::Zero
+            };
+            *out = *state;
+        }
     }
 
     fn output(&self, state: &Opinion) -> Opinion {
@@ -98,6 +135,9 @@ mod tests {
         let obs = Observation::new(2, 3).unwrap();
         let mut a = Opinion::Zero;
         let mut b = Opinion::One;
-        assert_eq!(p.step(&mut a, &obs, &ctx, &mut rng), p.step(&mut b, &obs, &ctx, &mut rng));
+        assert_eq!(
+            p.step(&mut a, &obs, &ctx, &mut rng),
+            p.step(&mut b, &obs, &ctx, &mut rng)
+        );
     }
 }

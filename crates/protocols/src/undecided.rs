@@ -54,7 +54,10 @@ impl Protocol for UndecidedProtocol {
 
     fn init_state(&self, opinion: Opinion, rng: &mut dyn RngCore) -> UndecidedState {
         // Self-stabilization: the undecided flag is arbitrary at time 0.
-        UndecidedState { opinion, undecided: rng.next_u64() & 1 == 1 }
+        UndecidedState {
+            opinion,
+            undecided: rng.next_u64() & 1 == 1,
+        }
     }
 
     fn step(
@@ -64,7 +67,11 @@ impl Protocol for UndecidedProtocol {
         _ctx: &RoundContext,
         _rng: &mut dyn RngCore,
     ) -> Opinion {
-        assert_eq!(obs.sample_size(), 1, "undecided-state expects exactly one sample");
+        assert_eq!(
+            obs.sample_size(),
+            1,
+            "undecided-state expects exactly one sample"
+        );
         let seen = Opinion::from_bit_value(obs.ones() as u8);
         if state.undecided {
             state.opinion = seen;
@@ -102,7 +109,10 @@ mod tests {
     fn undecided_adopts_first_seen() {
         let p = UndecidedProtocol::new();
         let mut rng = SeedTree::new(7).child("usd").rng();
-        let mut s = UndecidedState { opinion: Opinion::Zero, undecided: true };
+        let mut s = UndecidedState {
+            opinion: Opinion::Zero,
+            undecided: true,
+        };
         assert_eq!(p.step(&mut s, &obs(1), &ctx(), &mut rng), Opinion::One);
         assert!(!s.undecided);
     }
@@ -111,7 +121,10 @@ mod tests {
     fn conflict_makes_undecided_but_display_unchanged() {
         let p = UndecidedProtocol::new();
         let mut rng = SeedTree::new(8).child("usd2").rng();
-        let mut s = UndecidedState { opinion: Opinion::Zero, undecided: false };
+        let mut s = UndecidedState {
+            opinion: Opinion::Zero,
+            undecided: false,
+        };
         let out = p.step(&mut s, &obs(1), &ctx(), &mut rng);
         assert_eq!(out, Opinion::Zero, "display persists through undecidedness");
         assert!(s.undecided);
@@ -121,7 +134,10 @@ mod tests {
     fn agreement_is_stable() {
         let p = UndecidedProtocol::new();
         let mut rng = SeedTree::new(9).child("usd3").rng();
-        let mut s = UndecidedState { opinion: Opinion::One, undecided: false };
+        let mut s = UndecidedState {
+            opinion: Opinion::One,
+            undecided: false,
+        };
         for _ in 0..5 {
             assert_eq!(p.step(&mut s, &obs(1), &ctx(), &mut rng), Opinion::One);
             assert!(!s.undecided);
@@ -133,7 +149,10 @@ mod tests {
         // decided-0 → (sees 1) undecided → (sees 1) decided-1.
         let p = UndecidedProtocol::new();
         let mut rng = SeedTree::new(10).child("usd4").rng();
-        let mut s = UndecidedState { opinion: Opinion::Zero, undecided: false };
+        let mut s = UndecidedState {
+            opinion: Opinion::Zero,
+            undecided: false,
+        };
         p.step(&mut s, &obs(1), &ctx(), &mut rng);
         let out = p.step(&mut s, &obs(1), &ctx(), &mut rng);
         assert_eq!(out, Opinion::One);

@@ -196,6 +196,16 @@ impl AggregateFetChain {
         }
     }
 
+    /// Fraction of non-source agents currently holding the correct
+    /// opinion.
+    pub fn fraction_correct(&self) -> f64 {
+        let correct_now = match self.spec.correct() {
+            Opinion::One => (self.ones_curr - self.spec.num_sources()) as f64,
+            Opinion::Zero => (self.spec.n() - self.ones_curr - self.spec.num_sources()) as f64,
+        };
+        correct_now / self.spec.num_non_sources() as f64
+    }
+
     /// Runs until convergence is confirmed or the round budget is spent.
     pub fn run(&mut self, max_rounds: u64, criterion: ConvergenceCriterion) -> ConvergenceReport {
         let mut detector = ConvergenceDetector::new(criterion);
@@ -277,7 +287,11 @@ mod tests {
         let mut chain = AggregateFetChain::new(spec(1_000), 30, 1_000, 1_000, 5).unwrap();
         for _ in 0..50 {
             chain.step();
-            assert!(chain.all_correct(), "absorbing state left at round {}", chain.round());
+            assert!(
+                chain.all_correct(),
+                "absorbing state left at round {}",
+                chain.round()
+            );
         }
     }
 
@@ -306,13 +320,15 @@ mod tests {
         let reps = 3_000;
         let mut acc = 0.0;
         for seed in 0..reps {
-            let mut c =
-                AggregateFetChain::new(spec(50_000), 32, 20_000, 26_000, seed).unwrap();
+            let mut c = AggregateFetChain::new(spec(50_000), 32, 20_000, 26_000, seed).unwrap();
             c.step();
             acc += c.fractions().1;
         }
         let mean = acc / reps as f64;
-        assert!((mean - expect).abs() < 0.002, "mean {mean} vs expectation {expect}");
+        assert!(
+            (mean - expect).abs() < 0.002,
+            "mean {mean} vs expectation {expect}"
+        );
     }
 
     #[test]
@@ -329,8 +345,7 @@ mod tests {
         // A single step at n = 10^9 must be effectively instantaneous and
         // produce a fraction in [0, 1].
         let spec_big = ProblemSpec::single_source(1_000_000_000, Opinion::One).unwrap();
-        let mut chain =
-            AggregateFetChain::new(spec_big, 80, 400_000_000, 500_000_000, 2).unwrap();
+        let mut chain = AggregateFetChain::new(spec_big, 80, 400_000_000, 500_000_000, 2).unwrap();
         chain.step();
         let (_, x) = chain.fractions();
         assert!((0.0..=1.0).contains(&x));

@@ -101,7 +101,21 @@ impl<P: Protocol> AsyncEngine<P> {
             states.push(state);
         }
         let ones_count = outputs.iter().filter(|o| o.is_one()).count() as u64;
-        Ok(AsyncEngine { protocol, spec, source, outputs, states, ones_count, rng, ticks: 0 })
+        Ok(AsyncEngine {
+            protocol,
+            spec,
+            source,
+            outputs,
+            states,
+            ones_count,
+            rng,
+            ticks: 0,
+        })
+    }
+
+    /// The problem specification.
+    pub fn spec(&self) -> &ProblemSpec {
+        &self.spec
     }
 
     /// Total activations so far.
@@ -122,7 +136,20 @@ impl<P: Protocol> AsyncEngine<P> {
     /// `true` when every non-source agent decides the correct opinion.
     pub fn all_correct(&self) -> bool {
         let correct = self.source.correct();
-        self.states.iter().all(|s| self.protocol.decision(s) == correct)
+        self.states
+            .iter()
+            .all(|s| self.protocol.decision(s) == correct)
+    }
+
+    /// Fraction of non-source agents currently deciding the correct
+    /// opinion (an `O(n)` scan; intended for once-per-parallel-round use).
+    pub fn fraction_correct(&self) -> f64 {
+        let correct = self.source.correct();
+        self.states
+            .iter()
+            .filter(|s| self.protocol.decision(s) == correct)
+            .count() as f64
+            / self.spec.num_non_sources() as f64
     }
 
     /// Activates one uniformly random non-source agent.
@@ -142,7 +169,9 @@ impl<P: Protocol> AsyncEngine<P> {
         let obs = Observation::new(ones, m).expect("count bounded by sample size");
         let ctx = RoundContext::new(self.parallel_rounds());
         let before = self.outputs[agent_index];
-        let after = self.protocol.step(&mut self.states[j], &obs, &ctx, &mut self.rng);
+        let after = self
+            .protocol
+            .step(&mut self.states[j], &obs, &ctx, &mut self.rng);
         self.outputs[agent_index] = after;
         match (before.is_one(), after.is_one()) {
             (false, true) => self.ones_count += 1,
@@ -216,8 +245,7 @@ mod tests {
         // absorbing: at unanimity count′ = ℓ ≥ any stored count, so agents
         // adopt or keep 1 forever.
         let protocol = FetProtocol::for_population(150, 4.0).unwrap();
-        let mut e =
-            AsyncEngine::new(protocol, spec(150), InitialCondition::AllCorrect, 5).unwrap();
+        let mut e = AsyncEngine::new(protocol, spec(150), InitialCondition::AllCorrect, 5).unwrap();
         assert!((e.fraction_ones() - 1.0).abs() < 1e-12);
         for _ in 0..150 * 50 {
             e.tick();

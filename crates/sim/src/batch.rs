@@ -9,8 +9,8 @@
 
 use crate::convergence::ConvergenceReport;
 use fet_stats::summary::{wilson_interval, Summary, WelfordAccumulator};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Maps `f` over `items` on up to `threads` worker threads, preserving
 /// input order in the output.
@@ -46,18 +46,19 @@ where
     }
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("batch worker panicked");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// Aggregated outcome of a batch of convergence runs.
@@ -96,10 +97,15 @@ impl BatchSummary {
     ///
     /// Panics when `reports` is empty.
     pub fn from_reports(reports: &[ConvergenceReport]) -> Self {
-        assert!(!reports.is_empty(), "batch summary needs at least one report");
+        assert!(
+            !reports.is_empty(),
+            "batch summary needs at least one report"
+        );
         let replicates = reports.len() as u64;
-        let times: Vec<f64> =
-            reports.iter().filter_map(|r| r.converged_at.map(|t| t as f64)).collect();
+        let times: Vec<f64> = reports
+            .iter()
+            .filter_map(|r| r.converged_at.map(|t| t as f64))
+            .collect();
         let successes = times.len() as u64;
         let success_ci = wilson_interval(successes, replicates, 0.95);
         let time = if times.is_empty() {
@@ -114,7 +120,12 @@ impl BatchSummary {
                 max: s.max(),
             })
         };
-        BatchSummary { replicates, successes, success_ci, time }
+        BatchSummary {
+            replicates,
+            successes,
+            success_ci,
+            time,
+        }
     }
 
     /// Empirical success rate.
@@ -127,7 +138,11 @@ impl BatchSummary {
 ///
 /// `run` receives the replicate index and must be deterministic in it
 /// (derive seeds from it).
-pub fn run_replicated<F>(replicates: u64, threads: usize, run: F) -> (Vec<ConvergenceReport>, BatchSummary)
+pub fn run_replicated<F>(
+    replicates: u64,
+    threads: usize,
+    run: F,
+) -> (Vec<ConvergenceReport>, BatchSummary)
 where
     F: Fn(u64) -> ConvergenceReport + Sync,
 {
@@ -152,12 +167,15 @@ impl SharedAccumulator {
 
     /// Records one observation.
     pub fn push(&self, x: f64) {
-        self.inner.lock().push(x);
+        self.inner
+            .lock()
+            .expect("accumulator lock poisoned")
+            .push(x);
     }
 
     /// Snapshot of the current statistics.
     pub fn snapshot(&self) -> WelfordAccumulator {
-        *self.inner.lock()
+        *self.inner.lock().expect("accumulator lock poisoned")
     }
 }
 

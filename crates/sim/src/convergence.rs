@@ -22,7 +22,9 @@ pub struct ConvergenceCriterion {
 impl ConvergenceCriterion {
     /// Criterion with the given stability window (clamped to ≥ 1).
     pub fn new(stability_window: u64) -> Self {
-        ConvergenceCriterion { stability_window: stability_window.max(1) }
+        ConvergenceCriterion {
+            stability_window: stability_window.max(1),
+        }
     }
 
     /// The paper-appropriate default for a population of `n`:
@@ -49,7 +51,11 @@ pub struct ConvergenceDetector {
 impl ConvergenceDetector {
     /// Creates a detector.
     pub fn new(criterion: ConvergenceCriterion) -> Self {
-        ConvergenceDetector { criterion, streak_start: None, confirmed_at: None }
+        ConvergenceDetector {
+            criterion,
+            streak_start: None,
+            confirmed_at: None,
+        }
     }
 
     /// Feeds the state of one round: whether *all* non-source agents
@@ -143,7 +149,10 @@ mod tests {
 
     #[test]
     fn for_population_scales_logarithmically() {
-        assert_eq!(ConvergenceCriterion::for_population(1024).stability_window, 11);
+        assert_eq!(
+            ConvergenceCriterion::for_population(1024).stability_window,
+            11
+        );
         assert_eq!(ConvergenceCriterion::for_population(2).stability_window, 2);
     }
 

@@ -17,6 +17,7 @@ use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceR
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::init::InitialCondition;
+use crate::neighborhood::{ensure_observable, Neighborhood};
 use crate::observer::{RoundObserver, RoundSnapshot};
 use fet_core::config::ProblemSpec;
 use fet_core::observation::Observation;
@@ -53,6 +54,55 @@ pub enum Fidelity {
     /// shrinks by the factor `(n−m)/(n−1)`), so convergence shapes should
     /// match — which experiment E10's drift harness confirms.
     WithoutReplacement,
+    /// Population-level shortcut: simulate only the `(x_t, x_{t+1})` chain
+    /// of Observation 1 — `O(ℓ)` per round, *independent of `n`*, and
+    /// distributionally exact for FET. Handled by
+    /// [`crate::aggregate::AggregateFetChain`] via the `Simulation` facade
+    /// ([`crate::simulation`]); the per-agent engines reject it because
+    /// they have no per-agent states to drive at this fidelity.
+    Aggregate,
+}
+
+/// Draws one agent's raw observed 1-count for the round: from its
+/// neighborhood when one is set, else via the fidelity's per-round
+/// sampler, else by literal index sampling. Shared by the batched and
+/// sleepy round paths so the sampling semantics cannot drift between
+/// them.
+#[allow(clippy::too_many_arguments)]
+fn draw_raw_count(
+    neighborhood: Option<&dyn Neighborhood>,
+    binomial: Option<&BinomialSampler>,
+    hypergeometric: Option<&Hypergeometric>,
+    snapshot: &[Opinion],
+    vertex: usize,
+    n: usize,
+    m: u32,
+    rng: &mut SmallRng,
+) -> u32 {
+    if let Some(nb) = neighborhood {
+        let neighbors = nb.neighbors_of(vertex as u32);
+        let mut c = 0u32;
+        for _ in 0..m {
+            let k = neighbors[rng.gen_range(0..neighbors.len())];
+            if snapshot[k as usize].is_one() {
+                c += 1;
+            }
+        }
+        c
+    } else if let Some(sampler) = binomial {
+        sampler.sample(rng) as u32
+    } else if let Some(h) = hypergeometric {
+        h.sample(rng) as u32
+    } else {
+        let mut c = 0u32;
+        for _ in 0..m {
+            let k = rng.gen_range(0..n);
+            if snapshot[k].is_one() {
+                c += 1;
+            }
+        }
+        c
+    }
 }
 
 /// A population of agents running one protocol, plus the round loop.
@@ -83,10 +133,13 @@ pub struct Engine<P: Protocol> {
     spec: ProblemSpec,
     source: Source,
     fidelity: Fidelity,
+    neighborhood: Option<Box<dyn Neighborhood>>,
     fault: FaultPlan,
     outputs: Vec<Opinion>,
     snapshot: Vec<Opinion>,
     states: Vec<P::State>,
+    obs_buf: Vec<Observation>,
+    out_buf: Vec<Opinion>,
     ones_count: u64,
     correct_decisions: u64,
     rng: SmallRng,
@@ -126,7 +179,9 @@ impl<P: Protocol> Engine<P> {
             outputs.push(protocol.output(&state));
             states.push(state);
         }
-        Ok(Self::assemble(protocol, spec, source, fidelity, outputs, states, rng))
+        Ok(Self::assemble(
+            protocol, spec, source, fidelity, outputs, states, rng,
+        ))
     }
 
     /// Creates an engine from explicitly provided non-source states — the
@@ -166,7 +221,44 @@ impl<P: Protocol> Engine<P> {
         for s in &states {
             outputs.push(protocol.output(s));
         }
-        Ok(Self::assemble(protocol, spec, source, fidelity, outputs, states, rng))
+        Ok(Self::assemble(
+            protocol, spec, source, fidelity, outputs, states, rng,
+        ))
+    }
+
+    /// Creates an engine where each agent samples from an explicit
+    /// communication structure instead of the whole population — the
+    /// `fet-topology` engine's mechanics, available behind the unified
+    /// facade. Sources occupy vertices `[0, num_sources)`; sampling is
+    /// literal ([`Fidelity::Agent`] semantics) since neighbor counts do
+    /// not follow a global binomial law.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when some vertex has no
+    /// neighbors, or when `num_sources` is zero or not smaller than the
+    /// vertex count; propagates `ProblemSpec` validation as
+    /// [`SimError::Core`].
+    pub fn with_neighborhood(
+        protocol: P,
+        neighborhood: Box<dyn Neighborhood>,
+        num_sources: u32,
+        correct: Opinion,
+        init: InitialCondition,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        ensure_observable(neighborhood.as_ref())?;
+        let n = neighborhood.population();
+        if num_sources == 0 || num_sources >= n {
+            return Err(SimError::InvalidParameter {
+                name: "num_sources",
+                detail: format!("need 1 ≤ num_sources < n = {n}, got {num_sources}"),
+            });
+        }
+        let spec = ProblemSpec::new(u64::from(n), u64::from(num_sources), correct)?;
+        let mut engine = Engine::new(protocol, spec, Fidelity::Agent, init, seed)?;
+        engine.neighborhood = Some(neighborhood);
+        Ok(engine)
     }
 
     fn checked_n(spec: &ProblemSpec) -> Result<usize, SimError> {
@@ -182,6 +274,14 @@ impl<P: Protocol> Engine<P> {
     }
 
     fn check_fidelity(protocol: &P, fidelity: Fidelity, n: usize) -> Result<(), SimError> {
+        if fidelity == Fidelity::Aggregate {
+            return Err(SimError::InvalidParameter {
+                name: "fidelity",
+                detail: "the aggregate fidelity has no per-agent states; run it through \
+                         `Simulation::builder()` (or `AggregateFetChain` directly)"
+                    .into(),
+            });
+        }
         if fidelity == Fidelity::WithoutReplacement
             && usize::try_from(protocol.samples_per_round()).expect("u32 fits usize") > n
         {
@@ -216,10 +316,13 @@ impl<P: Protocol> Engine<P> {
             spec,
             source,
             fidelity,
+            neighborhood: None,
             fault: FaultPlan::none(),
             outputs,
             snapshot,
             states,
+            obs_buf: Vec::new(),
+            out_buf: Vec::new(),
             ones_count,
             correct_decisions,
             rng,
@@ -318,57 +421,123 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// Executes one synchronous round.
+    ///
+    /// When no agent can sleep, the round runs in three phases —
+    /// observation generation into a reusable buffer, one
+    /// [`Protocol::step_batch`] call over the contiguous state slice, and a
+    /// counter fold — so protocols with specialized batch kernels pay
+    /// neither per-agent dispatch nor per-agent validation. Sleepy-agent
+    /// fault plans fall back to the per-agent loop (a sleeping agent must
+    /// skip its update entirely).
     pub fn step(&mut self) {
         // Scheduled environment change: the correct bit itself flips.
         if let Some(new_correct) = self.fault.retarget_at(self.round) {
             self.source.retarget(new_correct);
             self.refresh_caches();
         }
+        // Synchrony: all observations read the round-t outputs.
+        self.snapshot.clone_from(&self.outputs);
+        if self.fault.sleep_prob > 0.0 {
+            self.step_with_sleep();
+        } else {
+            self.step_batched();
+        }
+        self.round += 1;
+    }
+
+    /// Per-round samplers for the current fidelity (`None` = literal).
+    fn round_samplers(&self) -> (Option<BinomialSampler>, Option<Hypergeometric>) {
+        let n = self.outputs.len();
+        let m = self.protocol.samples_per_round();
+        let x_t = self.ones_count as f64 / n as f64;
+        match self.fidelity {
+            Fidelity::Agent => (None, None),
+            Fidelity::Binomial => (
+                Some(
+                    BinomialSampler::new(u64::from(m), x_t)
+                        .expect("x_t is a fraction of counts, always in [0, 1]"),
+                ),
+                None,
+            ),
+            Fidelity::WithoutReplacement => (
+                None,
+                Some(
+                    Hypergeometric::new(n as u64, self.ones_count, u64::from(m))
+                        .expect("m ≤ n is validated at engine construction"),
+                ),
+            ),
+            Fidelity::Aggregate => unreachable!("rejected at engine construction"),
+        }
+    }
+
+    /// The batched round path: observations into `obs_buf`, one
+    /// `step_batch` over the state slice, counters folded from `out_buf`.
+    fn step_batched(&mut self) {
         let n = self.outputs.len();
         let num_sources = self.spec.num_sources() as usize;
         let m = self.protocol.samples_per_round();
         let ctx = RoundContext::new(self.round);
-        // Synchrony: all observations read the round-t outputs.
-        self.snapshot.clone_from(&self.outputs);
-        let x_t = self.ones_count as f64 / n as f64;
-        let mut binomial = None;
-        let mut hypergeometric = None;
-        match self.fidelity {
-            Fidelity::Agent => {}
-            Fidelity::Binomial => {
-                binomial = Some(
-                    BinomialSampler::new(u64::from(m), x_t)
-                        .expect("x_t is a fraction of counts, always in [0, 1]"),
-                );
-            }
-            Fidelity::WithoutReplacement => {
-                hypergeometric = Some(
-                    Hypergeometric::new(n as u64, self.ones_count, u64::from(m))
-                        .expect("m ≤ n is validated at engine construction"),
-                );
-            }
+        let (binomial, hypergeometric) = self.round_samplers();
+        self.obs_buf.clear();
+        self.obs_buf.reserve(self.states.len());
+        for j in 0..self.states.len() {
+            let raw_ones = draw_raw_count(
+                self.neighborhood.as_deref(),
+                binomial.as_ref(),
+                hypergeometric.as_ref(),
+                &self.snapshot,
+                num_sources + j,
+                n,
+                m,
+                &mut self.rng,
+            );
+            let seen = self.fault.corrupt_count(raw_ones, m, &mut self.rng);
+            self.obs_buf
+                .push(Observation::new(seen, m).expect("corrupt_count preserves the bound"));
         }
-        let mut ones_count = num_sources as u64
-            * u64::from(self.source.output().is_one());
+        self.out_buf.clear();
+        self.out_buf.resize(self.states.len(), Opinion::Zero);
+        self.protocol.step_batch(
+            &mut self.states,
+            &self.obs_buf,
+            &ctx,
+            &mut self.rng,
+            &mut self.out_buf,
+        );
+        let mut ones_count = num_sources as u64 * u64::from(self.source.output().is_one());
+        let mut correct_decisions = 0u64;
+        for (j, (out, state)) in self.out_buf.iter().zip(&self.states).enumerate() {
+            self.outputs[num_sources + j] = *out;
+            ones_count += u64::from(out.is_one());
+            correct_decisions += u64::from(self.protocol.decision(state) == self.source.correct());
+        }
+        self.ones_count = ones_count;
+        self.correct_decisions = correct_decisions;
+    }
+
+    /// The per-agent round path, used when sleepy-agent faults are active.
+    fn step_with_sleep(&mut self) {
+        let n = self.outputs.len();
+        let num_sources = self.spec.num_sources() as usize;
+        let m = self.protocol.samples_per_round();
+        let ctx = RoundContext::new(self.round);
+        let (binomial, hypergeometric) = self.round_samplers();
+        let mut ones_count = num_sources as u64 * u64::from(self.source.output().is_one());
         let mut correct_decisions = 0u64;
         for (j, state) in self.states.iter_mut().enumerate() {
             let agent_index = num_sources + j;
             let sleeping = self.fault.draws_sleep(&mut self.rng);
             if !sleeping {
-                let raw_ones: u32 = if let Some(sampler) = &binomial {
-                    sampler.sample(&mut self.rng) as u32
-                } else if let Some(h) = &hypergeometric {
-                    h.sample(&mut self.rng) as u32
-                } else {
-                    let mut c = 0u32;
-                    for _ in 0..m {
-                        let k = self.rng.gen_range(0..n);
-                        if self.snapshot[k].is_one() {
-                            c += 1;
-                        }
-                    }
-                    c
-                };
+                let raw_ones = draw_raw_count(
+                    self.neighborhood.as_deref(),
+                    binomial.as_ref(),
+                    hypergeometric.as_ref(),
+                    &self.snapshot,
+                    agent_index,
+                    n,
+                    m,
+                    &mut self.rng,
+                );
                 let seen = self.fault.corrupt_count(raw_ones, m, &mut self.rng);
                 let obs = Observation::new(seen, m)
                     .expect("corrupt_count preserves the sample-size bound");
@@ -376,12 +545,10 @@ impl<P: Protocol> Engine<P> {
                 self.outputs[agent_index] = new_output;
             }
             ones_count += u64::from(self.outputs[agent_index].is_one());
-            correct_decisions +=
-                u64::from(self.protocol.decision(state) == self.source.correct());
+            correct_decisions += u64::from(self.protocol.decision(state) == self.source.correct());
         }
         self.ones_count = ones_count;
         self.correct_decisions = correct_decisions;
-        self.round += 1;
     }
 
     /// Runs until convergence is confirmed or `max_rounds` have executed.
@@ -448,8 +615,14 @@ mod tests {
     #[test]
     fn initial_condition_all_correct_is_absorbing_for_fet() {
         let p = FetProtocol::new(8).unwrap();
-        let mut e =
-            Engine::new(p, spec(200), Fidelity::Agent, InitialCondition::AllCorrect, 5).unwrap();
+        let mut e = Engine::new(
+            p,
+            spec(200),
+            Fidelity::Agent,
+            InitialCondition::AllCorrect,
+            5,
+        )
+        .unwrap();
         // The all-correct configuration must persist: every sample is
         // unanimous, every comparison ties once the stale counts settle.
         // The very first round may flip agents whose adversarial stale
@@ -463,14 +636,19 @@ mod tests {
             e.step();
         }
         assert_eq!(e.fraction_ones(), x_after_settle);
-        assert!(x_after_settle > 0.9, "population should stay near consensus");
+        assert!(
+            x_after_settle > 0.9,
+            "population should stay near consensus"
+        );
     }
 
     #[test]
     fn fet_converges_small_population_all_fidelities() {
-        for fidelity in
-            [Fidelity::Agent, Fidelity::Binomial, Fidelity::WithoutReplacement]
-        {
+        for fidelity in [
+            Fidelity::Agent,
+            Fidelity::Binomial,
+            Fidelity::WithoutReplacement,
+        ] {
             let p = FetProtocol::for_population(300, 4.0).unwrap();
             let mut e =
                 Engine::new(p, spec(300), fidelity, InitialCondition::AllWrong, 11).unwrap();
@@ -491,7 +669,13 @@ mod tests {
             InitialCondition::AllWrong,
             1,
         );
-        assert!(matches!(err, Err(SimError::InvalidParameter { name: "fidelity", .. })));
+        assert!(matches!(
+            err,
+            Err(SimError::InvalidParameter {
+                name: "fidelity",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -511,21 +695,35 @@ mod tests {
         assert!(report.converged(), "{report:?}");
         for _ in 0..200 {
             e.step();
-            assert!(e.all_correct(), "absorbing state violated at round {}", e.round());
+            assert!(
+                e.all_correct(),
+                "absorbing state violated at round {}",
+                e.round()
+            );
         }
     }
 
     #[test]
     fn converged_state_is_absorbing() {
         let p = FetProtocol::for_population(200, 4.0).unwrap();
-        let mut e =
-            Engine::new(p, spec(200), Fidelity::Binomial, InitialCondition::AllWrong, 13).unwrap();
+        let mut e = Engine::new(
+            p,
+            spec(200),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            13,
+        )
+        .unwrap();
         let report = e.run(20_000, ConvergenceCriterion::new(3), &mut NullObserver);
         assert!(report.converged());
         // Keep stepping: consensus on the correct opinion must never break.
         for _ in 0..200 {
             e.step();
-            assert!(e.all_correct(), "absorbing state violated at round {}", e.round());
+            assert!(
+                e.all_correct(),
+                "absorbing state violated at round {}",
+                e.round()
+            );
         }
     }
 
@@ -543,8 +741,14 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed: u64| {
             let p = FetProtocol::new(8).unwrap();
-            let mut e =
-                Engine::new(p, spec(120), Fidelity::Agent, InitialCondition::Random, seed).unwrap();
+            let mut e = Engine::new(
+                p,
+                spec(120),
+                Fidelity::Agent,
+                InitialCondition::Random,
+                seed,
+            )
+            .unwrap();
             let mut rec = TrajectoryRecorder::new();
             e.run(300, ConvergenceCriterion::new(2), &mut rec);
             rec.into_fractions()
@@ -567,10 +771,22 @@ mod tests {
     #[test]
     fn set_state_refreshes_counters() {
         let p = FetProtocol::new(4).unwrap();
-        let mut e =
-            Engine::new(p, spec(10), Fidelity::Agent, InitialCondition::AllCorrect, 29).unwrap();
+        let mut e = Engine::new(
+            p,
+            spec(10),
+            Fidelity::Agent,
+            InitialCondition::AllCorrect,
+            29,
+        )
+        .unwrap();
         assert!(e.all_correct());
-        e.set_state(0, FetState { opinion: Opinion::Zero, prev_count_second_half: 0 });
+        e.set_state(
+            0,
+            FetState {
+                opinion: Opinion::Zero,
+                prev_count_second_half: 0,
+            },
+        );
         assert!(!e.all_correct());
         assert!((e.fraction_ones() - 0.9).abs() < 1e-12);
     }
@@ -578,9 +794,14 @@ mod tests {
     #[test]
     fn source_retarget_mid_run_restabilizes() {
         let p = FetProtocol::for_population(300, 4.0).unwrap();
-        let mut e =
-            Engine::new(p, spec(300), Fidelity::Binomial, InitialCondition::AllCorrect, 31)
-                .unwrap();
+        let mut e = Engine::new(
+            p,
+            spec(300),
+            Fidelity::Binomial,
+            InitialCondition::AllCorrect,
+            31,
+        )
+        .unwrap();
         e.set_fault_plan(FaultPlan::with_source_retarget(10, Opinion::Zero));
         // After round 10 the correct bit is Zero; the population must
         // re-converge to all-zero despite starting all-one.
@@ -592,7 +813,10 @@ mod tests {
                 break;
             }
         }
-        assert!(converged_to_zero, "population failed to re-stabilize after retarget");
+        assert!(
+            converged_to_zero,
+            "population failed to re-stabilize after retarget"
+        );
         assert_eq!(e.fraction_ones(), 0.0);
     }
 }

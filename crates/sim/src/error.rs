@@ -61,7 +61,10 @@ mod tests {
         let e = SimError::from(fet_core::CoreError::ZeroSampleSize);
         assert!(e.to_string().contains("at least 1"));
         assert!(Error::source(&e).is_some());
-        let e = SimError::InvalidParameter { name: "threads", detail: "zero".into() };
+        let e = SimError::InvalidParameter {
+            name: "threads",
+            detail: "zero".into(),
+        };
         assert!(e.to_string().contains("threads"));
     }
 

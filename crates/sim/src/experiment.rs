@@ -2,23 +2,27 @@
 //!
 //! [`ExperimentSpec`] bundles everything a single convergence run needs —
 //! population, protocol parameterization, fidelity, budgets, seed — behind
-//! a builder, and [`run_fet_once`]/[`run_protocol_once`] execute it. The
-//! examples, CLI, and bench harness are all thin layers over this module.
+//! a builder, and [`run_fet_once`]/[`run_protocol_once`] execute it
+//! through the unified [`Simulation`](crate::simulation::Simulation)
+//! facade. Prefer the facade directly for anything beyond a plain
+//! single-run; this module remains as the stable one-call surface the
+//! bench harness sweeps are written against.
 
 use crate::convergence::{ConvergenceCriterion, ConvergenceReport};
-use crate::engine::{Engine, Fidelity};
+use crate::engine::Fidelity;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::init::InitialCondition;
-use crate::observer::TrajectoryRecorder;
+use crate::simulation::Simulation;
 use fet_core::config::ProblemSpec;
 use fet_core::fet::FetProtocol;
 use fet_core::opinion::Opinion;
 use fet_core::protocol::Protocol;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Default sample-size constant: `ℓ = ⌈c·ln n⌉` with `c = 4`.
-pub const DEFAULT_SAMPLE_CONSTANT: f64 = 4.0;
+pub use crate::simulation::DEFAULT_SAMPLE_CONSTANT;
 
 /// Everything one convergence run needs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,7 +59,7 @@ impl ExperimentSpec {
     pub fn ell(&self) -> u32 {
         match self.ell_override {
             Some(e) => e,
-            None => ((self.sample_constant * (self.n as f64).ln()).ceil() as u32).max(1),
+            None => fet_core::config::ell_for_population(self.n, self.sample_constant),
         }
     }
 
@@ -99,7 +103,7 @@ impl ExperimentSpecBuilder {
                 sample_constant: DEFAULT_SAMPLE_CONSTANT,
                 ell_override: None,
                 fidelity: Fidelity::Binomial,
-                max_rounds: default_max_rounds(n),
+                max_rounds: crate::simulation::default_max_rounds(n),
                 stability_window: 3,
                 seed: 0,
                 fault: FaultPlan::none(),
@@ -166,19 +170,24 @@ impl ExperimentSpecBuilder {
     /// # Errors
     ///
     /// Returns [`SimError`] when the population or protocol parameters are
-    /// invalid.
+    /// invalid, or when the fidelity is [`Fidelity::Aggregate`] — the
+    /// one-call helpers drive per-agent engines whose protocol is only
+    /// chosen at run time, so aggregate runs go through
+    /// [`Simulation::builder`](crate::simulation::Simulation::builder)
+    /// where the protocol's Observation 1 structure can be checked.
     pub fn build(&self) -> Result<ExperimentSpec, SimError> {
         self.spec.problem()?;
         self.spec.fet()?;
+        if self.spec.fidelity == Fidelity::Aggregate {
+            return Err(SimError::InvalidParameter {
+                name: "fidelity",
+                detail: "ExperimentSpec drives per-agent runs; use \
+                         `Simulation::builder().fidelity(Fidelity::Aggregate)` instead"
+                    .into(),
+            });
+        }
         Ok(self.spec)
     }
-}
-
-/// Generous default budget: `200 · log²(n)` rounds, far above the paper's
-/// `O(log^{5/2} n)` expectation at practical sizes while still bounded.
-fn default_max_rounds(n: u64) -> u64 {
-    let ln = (n.max(2) as f64).ln();
-    (200.0 * ln * ln).ceil() as u64
 }
 
 /// Outcome of one run: the convergence report plus the recorded `x_t`
@@ -210,23 +219,39 @@ pub fn run_fet_once(spec: &ExperimentSpec, init: InitialCondition) -> RunOutcome
 }
 
 /// Runs an arbitrary protocol once per `spec` from the given initial
-/// condition.
+/// condition, through the unified [`Simulation`] facade.
 ///
 /// # Panics
 ///
 /// Panics if the spec fails validation.
-pub fn run_protocol_once<P: Protocol>(
+pub fn run_protocol_once<P>(
     protocol: P,
     spec: &ExperimentSpec,
     init: InitialCondition,
-) -> RunOutcome {
-    let problem = spec.problem().expect("spec validated at build time");
-    let mut engine = Engine::new(protocol, problem, spec.fidelity, init, spec.seed)
+) -> RunOutcome
+where
+    P: Protocol + fmt::Debug + Send + Sync + 'static,
+    P::State: 'static,
+{
+    let mut sim = Simulation::builder()
+        .population(spec.n)
+        .sources(spec.num_sources)
+        .correct(spec.correct)
+        .protocol(protocol)
+        .fidelity(spec.fidelity)
+        .init(init)
+        .fault(spec.fault)
+        .seed(spec.seed)
+        .max_rounds(spec.max_rounds)
+        .stability_window(spec.stability_window)
+        .record_trajectory(true)
+        .build()
         .expect("spec validated at build time");
-    engine.set_fault_plan(spec.fault);
-    let mut recorder = TrajectoryRecorder::new();
-    let report = engine.run(spec.max_rounds, spec.criterion(), &mut recorder);
-    RunOutcome { report, trajectory: recorder.into_fractions() }
+    let run = sim.run();
+    RunOutcome {
+        report: run.report,
+        trajectory: run.trajectory.expect("trajectory recording requested"),
+    }
 }
 
 #[cfg(test)]
@@ -255,11 +280,25 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_aggregate_fidelity() {
+        // The one-call helpers would otherwise panic at run time with a
+        // message claiming the spec was validated.
+        let err = ExperimentSpec::builder(1_000)
+            .fidelity(Fidelity::Aggregate)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("Simulation::builder"), "{err}");
+    }
+
+    #[test]
     fn run_fet_once_converges_and_records() {
         let spec = ExperimentSpec::builder(400).seed(21).build().unwrap();
         let outcome = run_fet_once(&spec, InitialCondition::AllWrong);
         assert!(outcome.converged(), "{:?}", outcome.report);
-        assert_eq!(outcome.trajectory.len() as u64, outcome.report.rounds_run + 1);
+        assert_eq!(
+            outcome.trajectory.len() as u64,
+            outcome.report.rounds_run + 1
+        );
         assert_eq!(*outcome.trajectory.last().unwrap(), 1.0);
         // Starts all-wrong: only the source holds 1.
         assert!((outcome.trajectory[0] - 1.0 / 400.0).abs() < 1e-12);
@@ -275,8 +314,11 @@ mod tests {
 
     #[test]
     fn correct_zero_round_trip() {
-        let spec =
-            ExperimentSpec::builder(300).correct(Opinion::Zero).seed(5).build().unwrap();
+        let spec = ExperimentSpec::builder(300)
+            .correct(Opinion::Zero)
+            .seed(5)
+            .build()
+            .unwrap();
         let outcome = run_fet_once(&spec, InitialCondition::AllWrong);
         assert!(outcome.converged());
         assert_eq!(*outcome.trajectory.last().unwrap(), 0.0);

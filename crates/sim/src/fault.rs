@@ -40,8 +40,14 @@ impl FaultPlan {
     ///
     /// Panics when `flip_prob ∉ [0, 1]`.
     pub fn with_noise(flip_prob: f64) -> Self {
-        assert!((0.0..=1.0).contains(&flip_prob), "flip_prob out of range: {flip_prob}");
-        FaultPlan { flip_prob, ..FaultPlan::default() }
+        assert!(
+            (0.0..=1.0).contains(&flip_prob),
+            "flip_prob out of range: {flip_prob}"
+        );
+        FaultPlan {
+            flip_prob,
+            ..FaultPlan::default()
+        }
     }
 
     /// Plan with sleepy agents only.
@@ -50,13 +56,22 @@ impl FaultPlan {
     ///
     /// Panics when `sleep_prob ∉ [0, 1]`.
     pub fn with_sleep(sleep_prob: f64) -> Self {
-        assert!((0.0..=1.0).contains(&sleep_prob), "sleep_prob out of range: {sleep_prob}");
-        FaultPlan { sleep_prob, ..FaultPlan::default() }
+        assert!(
+            (0.0..=1.0).contains(&sleep_prob),
+            "sleep_prob out of range: {sleep_prob}"
+        );
+        FaultPlan {
+            sleep_prob,
+            ..FaultPlan::default()
+        }
     }
 
     /// Plan that flips the correct bit to `correct` at `round`.
     pub fn with_source_retarget(round: u64, correct: Opinion) -> Self {
-        FaultPlan { source_retarget: Some((round, correct)), ..FaultPlan::default() }
+        FaultPlan {
+            source_retarget: Some((round, correct)),
+            ..FaultPlan::default()
+        }
     }
 
     /// `true` when the plan injects nothing.
@@ -72,14 +87,13 @@ impl FaultPlan {
             return ones;
         }
         let lost = sample_binomial(u64::from(ones), self.flip_prob, rng) as u32;
-        let gained =
-            sample_binomial(u64::from(sample_size - ones), self.flip_prob, rng) as u32;
+        let gained = sample_binomial(u64::from(sample_size - ones), self.flip_prob, rng) as u32;
         ones - lost + gained
     }
 
     /// Draws whether an agent sleeps this round.
     pub fn draws_sleep(&self, rng: &mut dyn RngCore) -> bool {
-        self.sleep_prob > 0.0 && (&mut *rng).gen::<f64>() < self.sleep_prob
+        self.sleep_prob > 0.0 && (*rng).gen::<f64>() < self.sleep_prob
     }
 
     /// The retargeted correct opinion if this round triggers it.

@@ -72,7 +72,10 @@ mod tests {
         let mut rng = SeedTree::new(1).child("init").rng();
         for correct in [Opinion::Zero, Opinion::One] {
             assert_eq!(InitialCondition::AllWrong.draw(correct, &mut rng), !correct);
-            assert_eq!(InitialCondition::AllCorrect.draw(correct, &mut rng), correct);
+            assert_eq!(
+                InitialCondition::AllCorrect.draw(correct, &mut rng),
+                correct
+            );
         }
     }
 

@@ -48,7 +48,9 @@ pub mod error;
 pub mod experiment;
 pub mod fault;
 pub mod init;
+pub mod neighborhood;
 pub mod observer;
+pub mod simulation;
 
 pub use error::SimError;
 
@@ -63,5 +65,7 @@ pub mod prelude {
     pub use crate::experiment::{run_fet_once, ExperimentSpec, RunOutcome};
     pub use crate::fault::FaultPlan;
     pub use crate::init::InitialCondition;
+    pub use crate::neighborhood::Neighborhood;
     pub use crate::observer::{NullObserver, RoundObserver, TrajectoryRecorder};
+    pub use crate::simulation::{RunReport, Scheduler, Simulation, SimulationBuilder};
 }

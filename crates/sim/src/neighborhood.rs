@@ -1,0 +1,99 @@
+//! The communication-structure abstraction.
+//!
+//! The paper's model is fully connected: every agent samples the whole
+//! population. `fet-topology` relaxes that to explicit graphs — but it
+//! sits *above* this crate in the dependency order, so the engine cannot
+//! name its `Graph` type. [`Neighborhood`] inverts the dependency: it is
+//! the minimal object-safe view of a communication structure the engine
+//! needs (vertex count + observable-neighbor lists), implemented by
+//! `fet_topology::graph::Graph` and by anything else downstream crates
+//! dream up (dynamic graphs, weighted overlays, …).
+
+use crate::error::SimError;
+use std::fmt;
+
+/// Who each agent may observe: the engine-facing view of a topology.
+///
+/// Vertices are `0..population()`; sources occupy the lowest indices. An
+/// agent at vertex `v` samples **with replacement** from `neighbors_of(v)`.
+pub trait Neighborhood: fmt::Debug + Send + Sync {
+    /// Number of vertices (= population size).
+    fn population(&self) -> u32;
+
+    /// The agents observable from `vertex`, as a slice of vertex ids.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `vertex ≥ population()`.
+    fn neighbors_of(&self, vertex: u32) -> &[u32];
+
+    /// Clones the structure behind a box (engines are `Clone`).
+    fn clone_box(&self) -> Box<dyn Neighborhood>;
+}
+
+impl Clone for Box<dyn Neighborhood> {
+    fn clone(&self) -> Self {
+        (**self).clone_box()
+    }
+}
+
+/// Validates that every vertex can observe someone; an isolated vertex
+/// would deadlock the PULL model (no observation to deliver).
+pub fn ensure_observable(topology: &dyn Neighborhood) -> Result<(), SimError> {
+    for v in 0..topology.population() {
+        if topology.neighbors_of(v).is_empty() {
+            return Err(SimError::InvalidParameter {
+                name: "topology",
+                detail: format!("vertex {v} has no neighbors to observe"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring, directly on the trait (no `fet-topology` available here).
+    #[derive(Debug, Clone)]
+    pub(crate) struct Ring {
+        pub(crate) links: Vec<Vec<u32>>,
+    }
+
+    impl Ring {
+        pub(crate) fn new(n: u32) -> Ring {
+            let links = (0..n).map(|v| vec![(v + n - 1) % n, (v + 1) % n]).collect();
+            Ring { links }
+        }
+    }
+
+    impl Neighborhood for Ring {
+        fn population(&self) -> u32 {
+            self.links.len() as u32
+        }
+        fn neighbors_of(&self, vertex: u32) -> &[u32] {
+            &self.links[vertex as usize]
+        }
+        fn clone_box(&self) -> Box<dyn Neighborhood> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn boxed_clone_preserves_structure() {
+        let b: Box<dyn Neighborhood> = Box::new(Ring::new(5));
+        let c = b.clone();
+        assert_eq!(c.population(), 5);
+        assert_eq!(c.neighbors_of(0), &[4, 1]);
+    }
+
+    #[test]
+    fn ensure_observable_flags_isolated_vertices() {
+        let mut ring = Ring::new(4);
+        assert!(ensure_observable(&ring).is_ok());
+        ring.links[2].clear();
+        let err = ensure_observable(&ring).unwrap_err();
+        assert!(err.to_string().contains("vertex 2"));
+    }
+}

@@ -108,7 +108,11 @@ mod tests {
     use super::*;
 
     fn snap(round: u64, x: f64) -> RoundSnapshot {
-        RoundSnapshot { round, fraction_ones: x, fraction_correct: x }
+        RoundSnapshot {
+            round,
+            fraction_ones: x,
+            fraction_correct: x,
+        }
     }
 
     #[test]

@@ -1,0 +1,903 @@
+//! The unified `Simulation` facade: one validated builder over every way
+//! this workspace can run a protocol.
+//!
+//! The workspace grew five bespoke entry points — `Engine::<P>::new`, the
+//! neighbor-sampling engine, `AsyncEngine`, `AggregateFetChain`, and the
+//! `ExperimentSpec` helpers — each re-wired by hand in the CLI, every
+//! example, and every experiment binary. [`Simulation::builder`] replaces
+//! that wiring with one fluent, validated configuration surface:
+//!
+//! * **protocol** — a typed instance, an [`ErasedProtocol`], or a registry
+//!   name (`"fet"`, `"voter"`, `"3-majority"`, … — see
+//!   [`fet_protocols::registry::ProtocolRegistry`]); defaults to FET at the
+//!   paper's `ℓ = ⌈c·ln n⌉`.
+//! * **fidelity** — [`Fidelity::Agent`], [`Fidelity::Binomial`],
+//!   [`Fidelity::WithoutReplacement`], or [`Fidelity::Aggregate`] (the
+//!   `O(ℓ)`-per-round Observation 1 chain, FET only).
+//! * **communication structure** — the complete graph, or any
+//!   [`Neighborhood`] (e.g. a `fet_topology::graph::Graph`).
+//! * **scheduler** — synchronous rounds ([`Scheduler::Synchronous`]) or the
+//!   population-protocol-style random-activation scheduler
+//!   ([`Scheduler::Asynchronous`]).
+//! * **fault plan, initial condition, convergence criterion, budgets,
+//!   seed, trajectory recording** — one method each.
+//!
+//! Every combination is validated in [`SimulationBuilder::build`];
+//! incompatible selections (aggregate + topology, without-replacement with
+//! `m > n`, …) fail there with a specific [`SimError`], never at run time.
+//! Running yields a uniform [`RunReport`] regardless of the execution
+//! strategy chosen underneath.
+//!
+//! # Example
+//!
+//! ```
+//! use fet_sim::simulation::Simulation;
+//!
+//! // FET, binomial fidelity, worst-case start — the default everything.
+//! let report = Simulation::builder()
+//!     .population(1_000)
+//!     .seed(42)
+//!     .build()?
+//!     .run();
+//! assert!(report.converged());
+//!
+//! // Same instance through the registry, by name.
+//! let voter = Simulation::builder()
+//!     .population(200)
+//!     .protocol_name("voter")
+//!     .max_rounds(500)
+//!     .build()?
+//!     .run();
+//! assert_eq!(voter.protocol, "voter");
+//! # Ok::<(), fet_sim::SimError>(())
+//! ```
+
+use crate::aggregate::AggregateFetChain;
+use crate::asynchronous::AsyncEngine;
+use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
+use crate::engine::{Engine, Fidelity};
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+use crate::init::InitialCondition;
+use crate::neighborhood::Neighborhood;
+use crate::observer::{NullObserver, RoundObserver, RoundSnapshot, TrajectoryRecorder};
+use fet_core::config::{ell_for_population, ProblemSpec};
+use fet_core::erased::ErasedProtocol;
+use fet_core::fet::FetProtocol;
+use fet_core::opinion::Opinion;
+use fet_core::protocol::Protocol;
+use fet_protocols::registry::{ProtocolParams, ProtocolRegistry};
+use fet_stats::binomial::sample_binomial;
+use fet_stats::rng::SeedTree;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// When agents act relative to one another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// The paper's model: every agent observes and updates each round.
+    Synchronous,
+    /// Population-protocol-style: one random agent activates per tick;
+    /// time is counted in parallel rounds (`n` ticks each). Note the
+    /// reproduction's negative finding: FET does **not** converge under
+    /// this scheduler (see [`crate::asynchronous`]).
+    Asynchronous,
+}
+
+/// Default sample-size constant `c` in `ℓ = ⌈c·ln n⌉`.
+pub const DEFAULT_SAMPLE_CONSTANT: f64 = 4.0;
+
+/// Generous default budget: `200·ln²n` rounds, far above the paper's
+/// `O(log^{5/2} n)` expectation at practical sizes while still bounded.
+pub fn default_max_rounds(n: u64) -> u64 {
+    let ln = (n.max(2) as f64).ln();
+    (200.0 * ln * ln).ceil() as u64
+}
+
+/// Uniform outcome of one run, whatever ran underneath.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Name of the protocol that ran.
+    pub protocol: String,
+    /// Agents observed per agent per round (the protocol's `m`; `2ℓ` for
+    /// FET).
+    pub samples_per_round: u32,
+    /// Population size.
+    pub n: u64,
+    /// Fidelity the run used.
+    pub fidelity: Fidelity,
+    /// Scheduler the run used.
+    pub scheduler: Scheduler,
+    /// Convergence outcome. Under [`Scheduler::Asynchronous`] the rounds
+    /// are parallel rounds (`n` activations each).
+    pub report: ConvergenceReport,
+    /// The `x_t` trajectory, when recording was requested.
+    pub trajectory: Option<Vec<f64>>,
+}
+
+impl RunReport {
+    /// `true` when the run converged within budget.
+    pub fn converged(&self) -> bool {
+        self.report.converged()
+    }
+
+    /// `t_con`, if the run converged.
+    pub fn converged_at(&self) -> Option<u64> {
+        self.report.converged_at
+    }
+}
+
+enum Runner {
+    Sync(Box<Engine<ErasedProtocol>>),
+    Async(Box<AsyncEngine<ErasedProtocol>>),
+    Aggregate(AggregateFetChain),
+}
+
+impl fmt::Debug for Runner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Runner::Sync(_) => f.write_str("Runner::Sync"),
+            Runner::Async(_) => f.write_str("Runner::Async"),
+            Runner::Aggregate(_) => f.write_str("Runner::Aggregate"),
+        }
+    }
+}
+
+/// A fully configured, ready-to-run simulation.
+///
+/// Construct through [`Simulation::builder`]; run with [`Simulation::run`]
+/// or [`Simulation::run_observed`]. The simulation owns its state, so
+/// repeated `run` calls continue from where the previous one stopped
+/// (useful for warm-up / measurement phases).
+#[derive(Debug)]
+pub struct Simulation {
+    runner: Runner,
+    protocol_name: String,
+    samples_per_round: u32,
+    n: u64,
+    fidelity: Fidelity,
+    scheduler: Scheduler,
+    criterion: ConvergenceCriterion,
+    max_rounds: u64,
+    record_trajectory: bool,
+}
+
+impl Simulation {
+    /// Starts a builder with the workspace defaults: FET at
+    /// `ℓ = ⌈4·ln n⌉`, binomial fidelity, complete graph, synchronous
+    /// scheduler, all-wrong initial condition, no faults, seed 0.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::new()
+    }
+
+    /// The paper's `x_t`: fraction of agents currently outputting 1.
+    pub fn fraction_ones(&self) -> f64 {
+        match &self.runner {
+            Runner::Sync(e) => e.fraction_ones(),
+            Runner::Async(e) => e.fraction_ones(),
+            Runner::Aggregate(c) => c.fractions().1,
+        }
+    }
+
+    /// Fraction of non-source agents currently deciding correctly.
+    pub fn fraction_correct(&self) -> f64 {
+        match &self.runner {
+            Runner::Sync(e) => e.fraction_correct(),
+            Runner::Async(e) => e.fraction_correct(),
+            Runner::Aggregate(c) => c.fraction_correct(),
+        }
+    }
+
+    /// Rounds executed so far (parallel rounds under the async scheduler).
+    pub fn round(&self) -> u64 {
+        match &self.runner {
+            Runner::Sync(e) => e.round(),
+            Runner::Async(e) => e.parallel_rounds(),
+            Runner::Aggregate(c) => c.round(),
+        }
+    }
+
+    /// The current correct opinion (tracks mid-run source retargeting).
+    pub fn correct(&self) -> Opinion {
+        match &self.runner {
+            Runner::Sync(e) => e.correct(),
+            Runner::Async(e) => e.spec().correct(),
+            Runner::Aggregate(c) => c.spec().correct(),
+        }
+    }
+
+    /// `true` when every non-source agent currently decides correctly.
+    pub fn all_correct(&self) -> bool {
+        match &self.runner {
+            Runner::Sync(e) => e.all_correct(),
+            Runner::Async(e) => e.all_correct(),
+            Runner::Aggregate(c) => c.all_correct(),
+        }
+    }
+
+    /// Advances one round (one parallel round — `n` activations — under
+    /// the async scheduler) without convergence bookkeeping. For manual
+    /// drive loops; [`Simulation::run`] is the usual entry point.
+    pub fn step(&mut self) {
+        match &mut self.runner {
+            Runner::Sync(e) => e.step(),
+            Runner::Async(e) => {
+                for _ in 0..e.spec().n() {
+                    e.tick();
+                }
+            }
+            Runner::Aggregate(c) => c.step(),
+        }
+    }
+
+    /// Replaces the fault plan mid-run — e.g. scheduling a source
+    /// retarget relative to a convergence round that is only known after a
+    /// first [`Simulation::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for the aggregate and
+    /// asynchronous runners, which do not execute fault plans.
+    pub fn set_fault_plan(&mut self, fault: FaultPlan) -> Result<(), SimError> {
+        match &mut self.runner {
+            Runner::Sync(e) => {
+                e.set_fault_plan(fault);
+                Ok(())
+            }
+            Runner::Async(_) | Runner::Aggregate(_) => Err(SimError::InvalidParameter {
+                name: "fault",
+                detail: "fault plans are a synchronous per-agent engine feature".into(),
+            }),
+        }
+    }
+
+    /// Runs to convergence or budget, reporting the outcome.
+    pub fn run(&mut self) -> RunReport {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// Runs to convergence or budget, feeding every round snapshot
+    /// (including round 0) to `observer`.
+    pub fn run_observed(&mut self, observer: &mut dyn RoundObserver) -> RunReport {
+        let mut recorder = self.record_trajectory.then(TrajectoryRecorder::new);
+        let report = {
+            let mut fanout = |snapshot: RoundSnapshot| {
+                if let Some(rec) = recorder.as_mut() {
+                    rec.on_round(snapshot);
+                }
+                observer.on_round(snapshot);
+            };
+            let criterion = self.criterion;
+            let max_rounds = self.max_rounds;
+            match &mut self.runner {
+                Runner::Sync(engine) => engine.run(max_rounds, criterion, &mut fanout),
+                Runner::Async(engine) => run_async(engine, max_rounds, criterion, &mut fanout),
+                Runner::Aggregate(chain) => {
+                    run_aggregate(chain, max_rounds, criterion, &mut fanout)
+                }
+            }
+        };
+        RunReport {
+            protocol: self.protocol_name.clone(),
+            samples_per_round: self.samples_per_round,
+            n: self.n,
+            fidelity: self.fidelity,
+            scheduler: self.scheduler,
+            report,
+            trajectory: recorder.map(TrajectoryRecorder::into_fractions),
+        }
+    }
+}
+
+/// Drives the async engine in parallel rounds, with observer snapshots.
+fn run_async(
+    engine: &mut AsyncEngine<ErasedProtocol>,
+    max_parallel_rounds: u64,
+    criterion: ConvergenceCriterion,
+    observer: &mut dyn RoundObserver,
+) -> ConvergenceReport {
+    let n = engine.spec().n();
+    let mut detector = ConvergenceDetector::new(criterion);
+    let mut round = engine.parallel_rounds();
+    let snapshot = |engine: &AsyncEngine<ErasedProtocol>, round| RoundSnapshot {
+        round,
+        fraction_ones: engine.fraction_ones(),
+        fraction_correct: engine.fraction_correct(),
+    };
+    observer.on_round(snapshot(engine, round));
+    let mut done = detector.observe(round, engine.all_correct());
+    while !done && round < max_parallel_rounds {
+        for _ in 0..n {
+            engine.tick();
+        }
+        round = engine.parallel_rounds();
+        observer.on_round(snapshot(engine, round));
+        done = detector.observe(round, engine.all_correct());
+    }
+    ConvergenceReport {
+        converged_at: detector.converged_at(),
+        rounds_run: round,
+        final_fraction_correct: engine.fraction_correct(),
+    }
+}
+
+/// Drives the aggregate chain round by round, with observer snapshots.
+fn run_aggregate(
+    chain: &mut AggregateFetChain,
+    max_rounds: u64,
+    criterion: ConvergenceCriterion,
+    observer: &mut dyn RoundObserver,
+) -> ConvergenceReport {
+    let mut detector = ConvergenceDetector::new(criterion);
+    let snapshot = |chain: &AggregateFetChain| RoundSnapshot {
+        round: chain.round(),
+        fraction_ones: chain.fractions().1,
+        fraction_correct: chain.fraction_correct(),
+    };
+    observer.on_round(snapshot(chain));
+    let mut done = detector.observe(chain.round(), chain.all_correct());
+    while !done && chain.round() < max_rounds {
+        chain.step();
+        observer.on_round(snapshot(chain));
+        done = detector.observe(chain.round(), chain.all_correct());
+    }
+    ConvergenceReport {
+        converged_at: detector.converged_at(),
+        rounds_run: chain.round(),
+        final_fraction_correct: chain.fraction_correct(),
+    }
+}
+
+#[derive(Debug)]
+enum ProtocolChoice {
+    /// FET at the resolved `ℓ`.
+    Default,
+    /// Resolved through the registry at build time.
+    Named(String),
+    /// A caller-supplied instance.
+    Instance(ErasedProtocol),
+}
+
+/// Fluent, validated configuration for [`Simulation`].
+///
+/// Consuming builder: each method takes and returns `self`, ending in
+/// [`SimulationBuilder::build`]. See the [module docs](self) for the
+/// selection axes and an example.
+#[derive(Debug)]
+pub struct SimulationBuilder {
+    n: Option<u64>,
+    num_sources: u64,
+    correct: Opinion,
+    seed: u64,
+    sample_constant: f64,
+    ell_override: Option<u32>,
+    protocol: ProtocolChoice,
+    registry: Option<ProtocolRegistry>,
+    fidelity: Option<Fidelity>,
+    scheduler: Scheduler,
+    topology: Option<Box<dyn Neighborhood>>,
+    init: InitialCondition,
+    fault: FaultPlan,
+    max_rounds: Option<u64>,
+    stability_window: u64,
+    record_trajectory: bool,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        SimulationBuilder::new()
+    }
+}
+
+impl SimulationBuilder {
+    fn new() -> Self {
+        SimulationBuilder {
+            n: None,
+            num_sources: 1,
+            correct: Opinion::One,
+            seed: 0,
+            sample_constant: DEFAULT_SAMPLE_CONSTANT,
+            ell_override: None,
+            protocol: ProtocolChoice::Default,
+            registry: None,
+            fidelity: None,
+            scheduler: Scheduler::Synchronous,
+            topology: None,
+            init: InitialCondition::AllWrong,
+            fault: FaultPlan::none(),
+            max_rounds: None,
+            stability_window: 3,
+            record_trajectory: false,
+        }
+    }
+
+    /// Sets the population size (required unless a topology provides it).
+    pub fn population(mut self, n: u64) -> Self {
+        self.n = Some(n);
+        self
+    }
+
+    /// Sets the number of source agents (default 1).
+    pub fn sources(mut self, k: u64) -> Self {
+        self.num_sources = k;
+        self
+    }
+
+    /// Sets the correct opinion (default [`Opinion::One`]).
+    pub fn correct(mut self, o: Opinion) -> Self {
+        self.correct = o;
+        self
+    }
+
+    /// Sets the root seed (default 0).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the sample constant `c` in `ℓ = ⌈c·ln n⌉` (default 4.0).
+    pub fn sample_constant(mut self, c: f64) -> Self {
+        self.sample_constant = c;
+        self
+    }
+
+    /// Overrides `ℓ` directly (wins over the sample constant).
+    pub fn ell(mut self, ell: u32) -> Self {
+        self.ell_override = Some(ell);
+        self
+    }
+
+    /// Runs a specific protocol instance.
+    pub fn protocol<P>(mut self, protocol: P) -> Self
+    where
+        P: Protocol + fmt::Debug + Send + Sync + 'static,
+        P::State: 'static,
+    {
+        self.protocol = ProtocolChoice::Instance(ErasedProtocol::new(protocol));
+        self
+    }
+
+    /// Runs an already-erased protocol instance.
+    pub fn protocol_erased(mut self, protocol: ErasedProtocol) -> Self {
+        self.protocol = ProtocolChoice::Instance(protocol);
+        self
+    }
+
+    /// Selects the protocol by registry name at build time (built-in
+    /// registry unless [`SimulationBuilder::registry`] supplies another).
+    pub fn protocol_name(mut self, name: impl Into<String>) -> Self {
+        self.protocol = ProtocolChoice::Named(name.into());
+        self
+    }
+
+    /// Uses a custom protocol registry for name resolution.
+    pub fn registry(mut self, registry: ProtocolRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Sets the observation fidelity (default [`Fidelity::Binomial`] on
+    /// the complete graph, [`Fidelity::Agent`] with a topology).
+    pub fn fidelity(mut self, f: Fidelity) -> Self {
+        self.fidelity = Some(f);
+        self
+    }
+
+    /// Sets the scheduler (default [`Scheduler::Synchronous`]).
+    pub fn scheduler(mut self, s: Scheduler) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Restricts each agent's observations to an explicit communication
+    /// structure (e.g. a `fet_topology::graph::Graph`). Implies
+    /// [`Fidelity::Agent`] (neighbor sampling is literal — an explicit
+    /// non-agent fidelity is a build error); the population size is taken
+    /// from the structure.
+    pub fn topology(self, topology: impl Neighborhood + 'static) -> Self {
+        self.topology_boxed(Box::new(topology))
+    }
+
+    /// Boxed-topology variant of [`SimulationBuilder::topology`].
+    pub fn topology_boxed(mut self, topology: Box<dyn Neighborhood>) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the initial condition (default [`InitialCondition::AllWrong`]).
+    pub fn init(mut self, init: InitialCondition) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Installs a fault plan (default none).
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Sets the round budget (default `200·ln²n`).
+    pub fn max_rounds(mut self, r: u64) -> Self {
+        self.max_rounds = Some(r);
+        self
+    }
+
+    /// Sets the convergence stability window (default 3).
+    pub fn stability_window(mut self, w: u64) -> Self {
+        self.stability_window = w;
+        self
+    }
+
+    /// Records the `x_t` trajectory into the [`RunReport`] (default off).
+    pub fn record_trajectory(mut self, record: bool) -> Self {
+        self.record_trajectory = record;
+        self
+    }
+
+    fn invalid(name: &'static str, detail: impl Into<String>) -> SimError {
+        SimError::InvalidParameter {
+            name,
+            detail: detail.into(),
+        }
+    }
+
+    /// Validates the configuration and assembles the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for incompatible selections
+    /// — topology with a non-agent fidelity or the async scheduler,
+    /// aggregate fidelity with a protocol lacking the Observation 1
+    /// structure / with faults / with the async scheduler,
+    /// without-replacement sampling with `m > n`, an unknown registry name
+    /// — and [`SimError::Core`] for invalid instance parameters.
+    pub fn build(self) -> Result<Simulation, SimError> {
+        let n = match (self.n, self.topology.as_ref()) {
+            (Some(n), Some(t)) if n != u64::from(t.population()) => {
+                return Err(Self::invalid(
+                    "population",
+                    format!(
+                        "population {n} disagrees with the topology's {} vertices",
+                        t.population()
+                    ),
+                ));
+            }
+            (_, Some(t)) => u64::from(t.population()),
+            (Some(n), None) => n,
+            (None, None) => {
+                return Err(Self::invalid(
+                    "population",
+                    "set .population(n) or provide a topology",
+                ));
+            }
+        };
+        let ell = match self.ell_override {
+            Some(e) => e,
+            None => {
+                if !(self.sample_constant.is_finite() && self.sample_constant > 0.0) {
+                    return Err(Self::invalid(
+                        "sample_constant",
+                        format!("must be positive and finite, got {}", self.sample_constant),
+                    ));
+                }
+                ell_for_population(n, self.sample_constant)
+            }
+        };
+        let protocol = match &self.protocol {
+            ProtocolChoice::Default => ErasedProtocol::new(FetProtocol::new(ell)?),
+            ProtocolChoice::Named(name) => {
+                let builtins;
+                let registry = match self.registry.as_ref() {
+                    Some(r) => r,
+                    None => {
+                        builtins = ProtocolRegistry::with_builtins();
+                        &builtins
+                    }
+                };
+                registry
+                    .build(name, &ProtocolParams::with_ell(n, ell))
+                    .map_err(|e| Self::invalid("protocol", e.to_string()))?
+            }
+            ProtocolChoice::Instance(p) => p.clone(),
+        };
+        let spec = ProblemSpec::new(n, self.num_sources, self.correct)?;
+        let max_rounds = self.max_rounds.unwrap_or_else(|| default_max_rounds(n));
+        let criterion = ConvergenceCriterion::new(self.stability_window);
+        let fidelity = self.fidelity.unwrap_or(
+            if self.topology.is_some() || self.scheduler == Scheduler::Asynchronous {
+                Fidelity::Agent
+            } else {
+                Fidelity::Binomial
+            },
+        );
+        if self.scheduler == Scheduler::Asynchronous {
+            if fidelity != Fidelity::Agent {
+                return Err(Self::invalid(
+                    "scheduler",
+                    format!(
+                        "the asynchronous scheduler samples literally; {fidelity:?} fidelity \
+                         applies to synchronous rounds only"
+                    ),
+                ));
+            }
+            if !self.fault.is_none() {
+                return Err(Self::invalid(
+                    "fault",
+                    "fault plans are a synchronous-engine feature",
+                ));
+            }
+        }
+
+        if self.topology.is_some() {
+            if self.scheduler == Scheduler::Asynchronous {
+                return Err(Self::invalid(
+                    "topology",
+                    "the asynchronous scheduler runs on the complete graph only",
+                ));
+            }
+            if !matches!(fidelity, Fidelity::Agent) {
+                return Err(Self::invalid(
+                    "topology",
+                    format!(
+                        "neighbor sampling is literal; {fidelity:?} fidelity applies to the \
+                         complete graph only (use Fidelity::Agent or drop the topology)"
+                    ),
+                ));
+            }
+        }
+        if fidelity == Fidelity::Aggregate {
+            if self.scheduler == Scheduler::Asynchronous {
+                return Err(Self::invalid(
+                    "fidelity",
+                    "the aggregate chain models synchronous rounds only",
+                ));
+            }
+            if !self.fault.is_none() {
+                return Err(Self::invalid(
+                    "fidelity",
+                    "fault plans need per-agent state; use agent or binomial fidelity",
+                ));
+            }
+        }
+
+        let runner = match (self.scheduler, fidelity) {
+            (Scheduler::Synchronous, Fidelity::Aggregate) => {
+                let chain_ell = protocol.aggregate_ell().ok_or_else(|| {
+                    Self::invalid(
+                        "fidelity",
+                        format!(
+                            "protocol `{}` has no exact aggregate chain (Observation 1 \
+                             holds for FET only)",
+                            protocol.name()
+                        ),
+                    )
+                })?;
+                let ones = initial_ones(&spec, self.init, self.seed);
+                Runner::Aggregate(AggregateFetChain::new(
+                    spec, chain_ell, ones, ones, self.seed,
+                )?)
+            }
+            (Scheduler::Asynchronous, _) => Runner::Async(Box::new(AsyncEngine::new(
+                protocol.clone(),
+                spec,
+                self.init,
+                self.seed,
+            )?)),
+            (Scheduler::Synchronous, per_agent) => {
+                let mut engine = match self.topology {
+                    Some(topology) => Engine::with_neighborhood(
+                        protocol.clone(),
+                        topology,
+                        u32::try_from(self.num_sources).map_err(|_| {
+                            Self::invalid("sources", "topology engines index sources as u32")
+                        })?,
+                        self.correct,
+                        self.init,
+                        self.seed,
+                    )?,
+                    None => Engine::new(protocol.clone(), spec, per_agent, self.init, self.seed)?,
+                };
+                engine.set_fault_plan(self.fault);
+                Runner::Sync(Box::new(engine))
+            }
+        };
+
+        Ok(Simulation {
+            protocol_name: protocol.name().to_string(),
+            samples_per_round: protocol.samples_per_round(),
+            n,
+            fidelity,
+            scheduler: self.scheduler,
+            criterion,
+            max_rounds,
+            record_trajectory: self.record_trajectory,
+            runner,
+        })
+    }
+}
+
+/// Maps an [`InitialCondition`] to the whole-population 1-count the
+/// aggregate chain starts from (sources included).
+fn initial_ones(spec: &ProblemSpec, init: InitialCondition, seed: u64) -> u64 {
+    let k = spec.num_sources();
+    let non_sources = spec.num_non_sources();
+    let sources_one = match spec.correct() {
+        Opinion::One => k,
+        Opinion::Zero => 0,
+    };
+    let p_one = |p_correct: f64| match spec.correct() {
+        Opinion::One => p_correct,
+        Opinion::Zero => 1.0 - p_correct,
+    };
+    match init {
+        InitialCondition::AllWrong => {
+            sources_one + non_sources * u64::from(spec.correct() == Opinion::Zero)
+        }
+        InitialCondition::AllCorrect => {
+            sources_one + non_sources * u64::from(spec.correct() == Opinion::One)
+        }
+        InitialCondition::FractionCorrect(p) => {
+            let mut rng = SeedTree::new(seed).child("aggregate-init").rng();
+            sources_one + sample_binomial(non_sources, p_one(p), &mut rng)
+        }
+        InitialCondition::Random => {
+            let mut rng = SeedTree::new(seed).child("aggregate-init").rng();
+            sources_one + sample_binomial(non_sources, 0.5, &mut rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_converges() {
+        let mut sim = Simulation::builder()
+            .population(400)
+            .seed(7)
+            .build()
+            .unwrap();
+        let report = sim.run();
+        assert!(report.converged(), "{report:?}");
+        assert_eq!(report.protocol, "fet");
+        assert_eq!(report.n, 400);
+        assert_eq!(report.report.final_fraction_correct, 1.0);
+        assert!(report.trajectory.is_none());
+    }
+
+    #[test]
+    fn trajectory_recording_through_builder() {
+        let mut sim = Simulation::builder()
+            .population(300)
+            .seed(3)
+            .record_trajectory(true)
+            .build()
+            .unwrap();
+        let report = sim.run();
+        let traj = report.trajectory.expect("recording requested");
+        assert_eq!(traj.len() as u64, report.report.rounds_run + 1);
+        assert!((traj[0] - 1.0 / 300.0).abs() < 1e-12, "all-wrong start");
+        assert_eq!(*traj.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn aggregate_fidelity_runs_large_populations() {
+        let mut sim = Simulation::builder()
+            .population(1_000_000)
+            .fidelity(Fidelity::Aggregate)
+            .seed(5)
+            .build()
+            .unwrap();
+        let report = sim.run();
+        assert!(report.converged(), "{report:?}");
+        assert_eq!(report.fidelity, Fidelity::Aggregate);
+    }
+
+    #[test]
+    fn registry_name_selects_protocol() {
+        for name in ["voter", "majority", "3-majority"] {
+            let sim = Simulation::builder()
+                .population(100)
+                .protocol_name(name)
+                .max_rounds(50)
+                .build()
+                .unwrap();
+            assert_eq!(sim.protocol_name, name);
+        }
+    }
+
+    #[test]
+    fn unknown_protocol_name_is_a_build_error() {
+        let err = Simulation::builder()
+            .population(100)
+            .protocol_name("frobnicate")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown protocol"), "{err}");
+    }
+
+    #[test]
+    fn without_replacement_oversampling_is_a_build_error() {
+        // 2ℓ = 64 samples from 20 agents cannot be distinct.
+        let err = Simulation::builder()
+            .population(20)
+            .ell(32)
+            .fidelity(Fidelity::WithoutReplacement)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("without-replacement"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_rejects_non_fet_protocols() {
+        let err = Simulation::builder()
+            .population(1_000)
+            .protocol_name("voter")
+            .fidelity(Fidelity::Aggregate)
+            .build()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("no exact aggregate chain"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn aggregate_rejects_fault_plans() {
+        let err = Simulation::builder()
+            .population(1_000)
+            .fidelity(Fidelity::Aggregate)
+            .fault(FaultPlan::with_noise(0.05))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("per-agent state"), "{err}");
+    }
+
+    #[test]
+    fn async_scheduler_reports_the_negative_finding() {
+        let mut sim = Simulation::builder()
+            .population(150)
+            .scheduler(Scheduler::Asynchronous)
+            .fidelity(Fidelity::Agent)
+            .max_rounds(300)
+            .seed(11)
+            .build()
+            .unwrap();
+        let report = sim.run();
+        assert!(
+            !report.converged(),
+            "async FET should not converge: {report:?}"
+        );
+        assert_eq!(report.scheduler, Scheduler::Asynchronous);
+    }
+
+    #[test]
+    fn initial_ones_matches_conditions() {
+        let spec = ProblemSpec::single_source(1_000, Opinion::One).unwrap();
+        assert_eq!(initial_ones(&spec, InitialCondition::AllWrong, 0), 1);
+        assert_eq!(initial_ones(&spec, InitialCondition::AllCorrect, 0), 1_000);
+        let half = initial_ones(&spec, InitialCondition::Random, 1);
+        assert!(
+            (400..=600).contains(&half),
+            "binomial(999, 0.5) draw: {half}"
+        );
+        let spec0 = ProblemSpec::single_source(1_000, Opinion::Zero).unwrap();
+        assert_eq!(initial_ones(&spec0, InitialCondition::AllWrong, 0), 999);
+        assert_eq!(initial_ones(&spec0, InitialCondition::AllCorrect, 0), 0);
+    }
+
+    #[test]
+    fn simulation_state_persists_across_runs() {
+        let mut sim = Simulation::builder()
+            .population(300)
+            .seed(9)
+            .build()
+            .unwrap();
+        let first = sim.run();
+        assert!(first.converged());
+        // A second run starts from the converged configuration.
+        let second = sim.run();
+        assert_eq!(second.report.final_fraction_correct, 1.0);
+    }
+}

@@ -313,7 +313,9 @@ impl AliasTable {
     /// or all weights are zero.
     pub fn new(weights: &[f64]) -> Result<Self, StatsError> {
         if weights.is_empty() {
-            return Err(StatsError::EmptyInput { what: "alias-table weights" });
+            return Err(StatsError::EmptyInput {
+                what: "alias-table weights",
+            });
         }
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Err(StatsError::InvalidDomain {
@@ -589,7 +591,10 @@ mod tests {
         for (n, p) in [(1u64, 0.5), (10, 0.3), (63, 0.9), (200, 0.01)] {
             let b = Binomial::new(n, p).unwrap();
             let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
-            assert!((total - 1.0).abs() < 1e-10, "pmf sum for ({n},{p}) = {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-10,
+                "pmf sum for ({n},{p}) = {total}"
+            );
         }
     }
 
@@ -712,8 +717,10 @@ mod tests {
         let mut rng = rng("betasplit");
         let (n, p) = (10_000_000u64, 0.3);
         let reps = 3_000;
-        let mean: f64 =
-            (0..reps).map(|_| sample_binomial(n, p, &mut rng) as f64).sum::<f64>() / reps as f64;
+        let mean: f64 = (0..reps)
+            .map(|_| sample_binomial(n, p, &mut rng) as f64)
+            .sum::<f64>()
+            / reps as f64;
         let expect = n as f64 * p;
         let sd = (n as f64 * p * (1.0 - p)).sqrt();
         // Sample mean of `reps` draws has sd = sd/sqrt(reps); allow 5 sigma.
@@ -765,7 +772,10 @@ mod tests {
             let mean: f64 = (0..reps).map(|_| s.sample(&mut rng) as f64).sum::<f64>() / reps as f64;
             let expect = n as f64 * p;
             let tol = 5.0 * (n as f64 * p * (1.0 - p)).sqrt() / (reps as f64).sqrt();
-            assert!((mean - expect).abs() < tol, "({n},{p}) mean {mean} vs {expect}");
+            assert!(
+                (mean - expect).abs() < tol,
+                "({n},{p}) mean {mean} vs {expect}"
+            );
         }
     }
 

@@ -27,7 +27,10 @@ pub fn chernoff_upper(mu: f64, delta: f64) -> f64 {
 ///
 /// Panics in debug builds when `eps ∉ (0, 1)` or `mu < 0`.
 pub fn chernoff_lower(mu: f64, eps: f64) -> f64 {
-    debug_assert!(eps > 0.0 && eps < 1.0, "chernoff_lower requires ε ∈ (0,1), got {eps}");
+    debug_assert!(
+        eps > 0.0 && eps < 1.0,
+        "chernoff_lower requires ε ∈ (0,1), got {eps}"
+    );
     debug_assert!(mu >= 0.0, "chernoff_lower requires μ ≥ 0, got {mu}");
     (-eps * eps * mu / 2.0).exp()
 }
@@ -41,7 +44,10 @@ pub fn chernoff_lower(mu: f64, eps: f64) -> f64 {
 /// Panics in debug builds when `n == 0`, `range ≤ 0`, or `delta < 0`.
 pub fn hoeffding(n: u64, range: f64, delta: f64) -> f64 {
     debug_assert!(n > 0, "hoeffding requires n > 0");
-    debug_assert!(range > 0.0, "hoeffding requires positive range, got {range}");
+    debug_assert!(
+        range > 0.0,
+        "hoeffding requires positive range, got {range}"
+    );
     debug_assert!(delta >= 0.0, "hoeffding requires δ ≥ 0, got {delta}");
     (-2.0 * delta * delta / (n as f64 * range * range)).exp()
 }

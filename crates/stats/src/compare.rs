@@ -81,7 +81,13 @@ impl CoinCompetition {
         check_probability("q", q)?;
         let pmf_p = Binomial::new(k, p)?.pmf_vector();
         let pmf_q = Binomial::new(k, q)?.pmf_vector();
-        Ok(CoinCompetition { k, p, q, pmf_p, pmf_q })
+        Ok(CoinCompetition {
+            k,
+            p,
+            q,
+            pmf_p,
+            pmf_q,
+        })
     }
 
     /// Number of tosses per coin.
@@ -214,7 +220,12 @@ mod tests {
 
     #[test]
     fn outcomes_partition_unity() {
-        for (k, p, q) in [(1u64, 0.2, 0.9), (16, 0.5, 0.5), (64, 0.33, 0.66), (256, 0.01, 0.99)] {
+        for (k, p, q) in [
+            (1u64, 0.2, 0.9),
+            (16, 0.5, 0.5),
+            (64, 0.33, 0.66),
+            (256, 0.01, 0.99),
+        ] {
             let cc = CoinCompetition::new(k, p, q);
             let s = cc.p_first_wins() + cc.p_tie() + cc.p_second_wins();
             assert!((s - 1.0).abs() < 1e-10, "({k},{p},{q}) sums to {s}");

@@ -50,7 +50,10 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
 ///
 /// Panics when `alpha ∉ (0, 1)` or a sample size is zero.
 pub fn ks_critical_value(n: usize, m: usize, alpha: f64) -> f64 {
-    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must be in (0,1), got {alpha}"
+    );
     assert!(n > 0 && m > 0, "sample sizes must be positive");
     let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
     c * (((n + m) as f64) / (n as f64 * m as f64)).sqrt()
@@ -117,12 +120,18 @@ pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
 pub fn chi_square_statistic(observed: &[u64], expected_prob: &[f64]) -> Result<f64, StatsError> {
     if observed.len() != expected_prob.len() {
         return Err(StatsError::InvalidDomain {
-            detail: format!("lengths differ: {} vs {}", observed.len(), expected_prob.len()),
+            detail: format!(
+                "lengths differ: {} vs {}",
+                observed.len(),
+                expected_prob.len()
+            ),
         });
     }
     let total: u64 = observed.iter().sum();
     if total == 0 {
-        return Err(StatsError::EmptyInput { what: "chi-square observations" });
+        return Err(StatsError::EmptyInput {
+            what: "chi-square observations",
+        });
     }
     let mut acc = 0.0;
     for (&o, &p) in observed.iter().zip(expected_prob) {
@@ -165,8 +174,14 @@ mod tests {
         let a: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
         let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
         let c: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 0.15).collect();
-        assert!(ks_same_distribution(&a, &b, 0.001).unwrap(), "same law rejected");
-        assert!(!ks_same_distribution(&a, &c, 0.001).unwrap(), "shifted law accepted");
+        assert!(
+            ks_same_distribution(&a, &b, 0.001).unwrap(),
+            "same law rejected"
+        );
+        assert!(
+            !ks_same_distribution(&a, &c, 0.001).unwrap(),
+            "shifted law accepted"
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl Histogram {
     /// and [`StatsError::NotFinite`] when a bound is NaN/∞.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
         if !lo.is_finite() || !hi.is_finite() {
-            return Err(StatsError::NotFinite { name: "histogram bounds" });
+            return Err(StatsError::NotFinite {
+                name: "histogram bounds",
+            });
         }
         if lo >= hi {
             return Err(StatsError::InvalidDomain {
@@ -46,9 +48,18 @@ impl Histogram {
             });
         }
         if bins == 0 {
-            return Err(StatsError::InvalidDomain { detail: "histogram requires ≥ 1 bin".into() });
+            return Err(StatsError::InvalidDomain {
+                detail: "histogram requires ≥ 1 bin".into(),
+            });
         }
-        Ok(Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, total: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        })
     }
 
     /// Records one observation.

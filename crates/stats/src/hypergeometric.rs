@@ -51,7 +51,11 @@ impl Hypergeometric {
                 detail: format!("draws {draws} exceed population {total}"),
             });
         }
-        Ok(Hypergeometric { total, successes, draws })
+        Ok(Hypergeometric {
+            total,
+            successes,
+            draws,
+        })
     }
 
     /// Population size.
@@ -117,8 +121,7 @@ impl Hypergeometric {
             let num = (self.successes - k) as f64 * (self.draws - k) as f64;
             // k + 1 exceeds the support minimum (draws + successes − total),
             // so this reassociated form never underflows in u64.
-            let den =
-                (k + 1) as f64 * ((self.total + k + 1) - self.successes - self.draws) as f64;
+            let den = (k + 1) as f64 * ((self.total + k + 1) - self.successes - self.draws) as f64;
             pk *= num / den;
             acc += pk;
             k += 1;
@@ -149,11 +152,121 @@ impl Hypergeometric {
 /// assert!(a <= 8 && b <= 8);
 /// ```
 pub fn split_sample<R: Rng + ?Sized>(ones: u64, half: u64, rng: &mut R) -> (u64, u64) {
-    assert!(ones <= 2 * half, "ones {ones} exceed sample size {}", 2 * half);
+    assert!(
+        ones <= 2 * half,
+        "ones {ones} exceed sample size {}",
+        2 * half
+    );
     let h = Hypergeometric::new(2 * half, ones, half)
         .expect("parameters validated by the assertion above");
     let first = h.sample(rng);
     (first, ones - first)
+}
+
+/// Precomputed inverse-transform tables for [`split_sample`] at every
+/// possible observed count `0..=2·half`.
+///
+/// [`split_sample`] spends one `exp(ln Γ …)` evaluation per draw to seed
+/// the PMF recurrence. A round of the batched FET kernel performs one
+/// split per agent, all from the same family `Hypergeometric(2ℓ, c, ℓ)` —
+/// so the table computes each count's CDF once (`O(ℓ²)` total) and every
+/// draw becomes one uniform plus a short scan. Construction amortizes
+/// after roughly `2ℓ` draws.
+///
+/// Stream-compatible with [`split_sample`]: the CDF entries are the exact
+/// partial sums the sequential sampler accumulates (same seed PMF, same
+/// ratio recurrence, same addition order), each draw consumes exactly one
+/// uniform — and none for degenerate counts — so for a given RNG state the
+/// two produce bit-identical results.
+///
+/// # Example
+///
+/// ```
+/// use fet_stats::hypergeometric::{split_sample, SplitTable};
+/// use rand::SeedableRng;
+///
+/// let table = SplitTable::new(8);
+/// let mut a = rand::rngs::SmallRng::seed_from_u64(3);
+/// let mut b = rand::rngs::SmallRng::seed_from_u64(3);
+/// for ones in [0u64, 3, 7, 12, 16] {
+///     assert_eq!(table.split(ones, &mut a), split_sample(ones, 8, &mut b));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitTable {
+    half: u64,
+    /// Per count `c`: the partial sums of `Hypergeometric(2·half, c, half)`
+    /// over its support (empty for degenerate single-point supports).
+    cdfs: Vec<Vec<f64>>,
+    /// Per count `c`: the support minimum.
+    mins: Vec<u64>,
+}
+
+impl SplitTable {
+    /// Builds the tables for half-sample size `half` (total `2·half`).
+    pub fn new(half: u64) -> Self {
+        let total = 2 * half;
+        let mut cdfs = Vec::with_capacity((total + 1) as usize);
+        let mut mins = Vec::with_capacity((total + 1) as usize);
+        for c in 0..=total {
+            let h = Hypergeometric::new(total, c, half).expect("c ≤ 2·half by construction");
+            let (lo, hi) = (h.support_min(), h.support_max());
+            mins.push(lo);
+            if lo == hi {
+                cdfs.push(Vec::new());
+                continue;
+            }
+            // The sequential sampler's accumulation, reified: same seed
+            // PMF, same ratio recurrence, same addition order.
+            let mut cdf = Vec::with_capacity((hi - lo + 1) as usize);
+            let mut pk = h.pmf(lo);
+            let mut acc = pk;
+            cdf.push(acc);
+            for k in lo..hi {
+                let num = (c - k) as f64 * (half - k) as f64;
+                let den = (k + 1) as f64 * ((total + k + 1) - c - half) as f64;
+                pk *= num / den;
+                acc += pk;
+                cdf.push(acc);
+            }
+            cdfs.push(cdf);
+        }
+        SplitTable { half, cdfs, mins }
+    }
+
+    /// The half-sample size the table was built for.
+    pub fn half(&self) -> u64 {
+        self.half
+    }
+
+    /// Draws the FET partition split for an observed count of `ones`,
+    /// exactly as [`split_sample`] would for the same RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ones > 2 * half`.
+    pub fn split<R: Rng + ?Sized>(&self, ones: u64, rng: &mut R) -> (u64, u64) {
+        assert!(
+            ones <= 2 * self.half,
+            "ones {ones} exceed sample size {}",
+            2 * self.half
+        );
+        let lo = self.mins[ones as usize];
+        let cdf = &self.cdfs[ones as usize];
+        if cdf.is_empty() {
+            return (lo, ones - lo);
+        }
+        let u: f64 = rng.gen();
+        // First k with acc ≥ u — the sequential sampler's stop rule. The
+        // final entry is taken when u exceeds every partial sum (float
+        // round-off can leave the total a hair below 1).
+        let offset = cdf
+            .iter()
+            .position(|&acc| acc >= u)
+            .unwrap_or(cdf.len() - 1) as u64;
+        let first = lo + offset;
+        (first, ones - first)
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +310,11 @@ mod tests {
             sum += x;
         }
         let mean = sum as f64 / reps as f64;
-        assert!((mean - h.mean()).abs() < 0.05, "mean {mean} vs {}", h.mean());
+        assert!(
+            (mean - h.mean()).abs() < 0.05,
+            "mean {mean} vs {}",
+            h.mean()
+        );
     }
 
     #[test]

@@ -45,10 +45,14 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, StatsError> {
         });
     }
     if xs.len() < 2 {
-        return Err(StatsError::EmptyInput { what: "regression needs ≥ 2 points" });
+        return Err(StatsError::EmptyInput {
+            what: "regression needs ≥ 2 points",
+        });
     }
     if xs.iter().chain(ys).any(|v| !v.is_finite()) {
-        return Err(StatsError::NotFinite { name: "regression input" });
+        return Err(StatsError::NotFinite {
+            name: "regression input",
+        });
     }
     let n = xs.len() as f64;
     let mean_x: f64 = xs.iter().sum::<f64>() / n;
@@ -82,7 +86,13 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, StatsError> {
     let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
     let dof = (xs.len() as f64 - 2.0).max(1.0);
     let slope_stderr = (ss_res / dof / sxx).sqrt();
-    Ok(LinearFit { slope, intercept, r_squared, slope_stderr, n: xs.len() })
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_stderr,
+        n: xs.len(),
+    })
 }
 
 /// A fitted model `y = a · (ln x)^b`.
@@ -161,7 +171,11 @@ pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Result<PowerLawFit, StatsError> 
     let tx: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
     let ty: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
     let fit = linear_fit(&tx, &ty)?;
-    Ok(PowerLawFit { a: fit.intercept.exp(), b: fit.slope, r_squared: fit.r_squared })
+    Ok(PowerLawFit {
+        a: fit.intercept.exp(),
+        b: fit.slope,
+        r_squared: fit.r_squared,
+    })
 }
 
 #[cfg(test)]
@@ -227,14 +241,16 @@ mod tests {
     fn polylog_data_under_power_law_has_shrinking_exponent() {
         // Fitting a·x^b to polylog data over growing windows must yield
         // decreasing b — the experiment E1 diagnostic.
-        let window =
-            |lo: u32, hi: u32| -> f64 {
-                let xs: Vec<f64> = (lo..hi).map(|k| (1u64 << k) as f64).collect();
-                let ys: Vec<f64> = xs.iter().map(|&x| x.ln().powf(2.5)).collect();
-                fit_power_law(&xs, &ys).unwrap().b
-            };
+        let window = |lo: u32, hi: u32| -> f64 {
+            let xs: Vec<f64> = (lo..hi).map(|k| (1u64 << k) as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|&x| x.ln().powf(2.5)).collect();
+            fit_power_law(&xs, &ys).unwrap().b
+        };
         let early = window(4, 10);
         let late = window(14, 20);
-        assert!(late < early, "power-law exponent should shrink: {early} -> {late}");
+        assert!(
+            late < early,
+            "power-law exponent should shrink: {early} -> {late}"
+        );
     }
 }

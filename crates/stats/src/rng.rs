@@ -134,7 +134,10 @@ mod tests {
         let root = SeedTree::new(7);
         let mut seen = std::collections::HashSet::new();
         for i in 0..1000 {
-            assert!(seen.insert(root.child_indexed("rep", i).seed()), "collision at {i}");
+            assert!(
+                seen.insert(root.child_indexed("rep", i).seed()),
+                "collision at {i}"
+            );
         }
         assert!(seen.insert(root.child("other").seed()));
     }

@@ -164,7 +164,9 @@ impl Summary {
     /// [`StatsError::NotFinite`] if any value is NaN/infinite.
     pub fn from_slice(values: &[f64]) -> Result<Self, StatsError> {
         if values.is_empty() {
-            return Err(StatsError::EmptyInput { what: "summary sample" });
+            return Err(StatsError::EmptyInput {
+                what: "summary sample",
+            });
         }
         if values.iter().any(|v| !v.is_finite()) {
             return Err(StatsError::NotFinite { name: "values" });
@@ -214,7 +216,10 @@ impl Summary {
     ///
     /// Panics when `q ∉ [0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile requires q in [0,1], got {q}"
+        );
         if self.count == 1 {
             return self.sorted[0];
         }
@@ -268,7 +273,7 @@ mod tests {
     #[test]
     fn welford_constant_sequence_zero_variance() {
         let mut acc = WelfordAccumulator::new();
-        acc.extend(std::iter::repeat(3.5).take(100));
+        acc.extend(std::iter::repeat_n(3.5, 100));
         assert_eq!(acc.mean(), 3.5);
         assert!(acc.sample_variance().abs() < 1e-12);
         assert_eq!(acc.min(), 3.5);

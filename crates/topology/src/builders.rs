@@ -163,7 +163,11 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: u32, p: f64, rng: &mut R) -> Result<Graph
         loop {
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             let skip = (u.ln() / ln_q).floor() as u64;
-            pos = if first { skip } else { pos.saturating_add(skip + 1) };
+            pos = if first {
+                skip
+            } else {
+                pos.saturating_add(skip + 1)
+            };
             first = false;
             if pos >= total {
                 break;
@@ -218,14 +222,15 @@ pub fn random_regular<R: Rng + ?Sized>(
             detail: format!("random regular graph needs 1 ≤ d < n, got d = {d}, n = {n}"),
         });
     }
-    if (n as u64 * d as u64) % 2 != 0 {
+    if !(n as u64 * d as u64).is_multiple_of(2) {
         return Err(TopologyError::InvalidParameter {
             name: "d",
             detail: format!("n·d must be even, got n = {n}, d = {d}"),
         });
     }
-    let all_stubs: Vec<u32> =
-        (0..n).flat_map(|v| std::iter::repeat(v).take(d as usize)).collect();
+    let all_stubs: Vec<u32> = (0..n)
+        .flat_map(|v| std::iter::repeat_n(v, d as usize))
+        .collect();
     'attempt: for _ in 0..REGULAR_MAX_ATTEMPTS {
         let mut stubs = all_stubs.clone();
         let mut taken: std::collections::HashSet<(u32, u32)> =
@@ -451,7 +456,10 @@ mod tests {
         let mut rng = SeedTree::new(17).rng();
         assert!(random_regular(10, 0, &mut rng).is_err());
         assert!(random_regular(10, 10, &mut rng).is_err());
-        assert!(random_regular(5, 3, &mut rng).is_err(), "n·d odd must be rejected");
+        assert!(
+            random_regular(5, 3, &mut rng).is_err(),
+            "n·d odd must be rejected"
+        );
     }
 
     #[test]

@@ -1,28 +1,29 @@
 //! The neighbor-sampling round engine.
 //!
-//! Identical to `fet_sim::engine::Engine` in every respect except one: an
-//! agent at vertex `v` samples (with replacement) from `neighbors(v)`
-//! instead of the whole population. On the complete graph this engine and
-//! the flat engine coincide up to the excluded self-sample — agents here
-//! never observe themselves, exactly as in the paper where a sample of
-//! "other agents" is drawn (§1.2).
+//! A thin, typed wrapper over `fet_sim::engine::Engine::with_neighborhood`:
+//! an agent at vertex `v` samples (with replacement) from `neighbors(v)`
+//! instead of the whole population. The round mechanics — snapshot
+//! synchrony, batched protocol stepping, counter folds — live in `fet-sim`;
+//! this type only adds the graph-typed construction, accessors, and
+//! `TopologyError` reporting. On the complete graph this engine and the
+//! flat engine coincide up to the excluded self-sample — agents here never
+//! observe themselves, exactly as in the paper where a sample of "other
+//! agents" is drawn (§1.2).
 //!
 //! Sources occupy vertices `[0, num_sources)`; use
 //! [`crate::graph::Graph::with_swapped`] to place the source on a
-//! structurally interesting vertex first.
+//! structurally interesting vertex first. New code should prefer
+//! `fet_sim::simulation::Simulation::builder().topology(graph)`, which
+//! reaches the same engine.
 
 use crate::error::TopologyError;
 use crate::graph::Graph;
-use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
-use fet_core::protocol::{Protocol, RoundContext};
-use fet_core::source::Source;
-use fet_sim::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
+use fet_core::protocol::Protocol;
+use fet_sim::convergence::{ConvergenceCriterion, ConvergenceReport};
+use fet_sim::engine::Engine;
 use fet_sim::init::InitialCondition;
-use fet_sim::observer::{RoundObserver, RoundSnapshot};
-use fet_stats::rng::SeedTree;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use fet_sim::observer::RoundObserver;
 
 /// A population of agents running one protocol on an explicit graph.
 ///
@@ -51,17 +52,8 @@ use rand::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TopologyEngine<P: Protocol> {
-    protocol: P,
     graph: Graph,
-    source: Source,
-    num_sources: u32,
-    outputs: Vec<Opinion>,
-    snapshot: Vec<Opinion>,
-    states: Vec<P::State>,
-    ones_count: u64,
-    correct_decisions: u64,
-    rng: SmallRng,
-    round: u64,
+    inner: Engine<P>,
 }
 
 impl<P: Protocol> TopologyEngine<P> {
@@ -91,36 +83,19 @@ impl<P: Protocol> TopologyEngine<P> {
                 detail: format!("need 1 ≤ num_sources < n = {n}, got {num_sources}"),
             });
         }
-        let mut rng = SeedTree::new(seed).child("topology-engine").rng();
-        let source = Source::new(correct);
-        let mut outputs = Vec::with_capacity(n as usize);
-        let mut states = Vec::with_capacity((n - num_sources) as usize);
-        for _ in 0..num_sources {
-            outputs.push(source.output());
-        }
-        for _ in num_sources..n {
-            let opinion = init.draw(correct, &mut rng);
-            let state = protocol.init_state(opinion, &mut rng);
-            outputs.push(protocol.output(&state));
-            states.push(state);
-        }
-        let ones_count = outputs.iter().filter(|o| o.is_one()).count() as u64;
-        let correct_decisions =
-            states.iter().filter(|s| protocol.decision(s) == correct).count() as u64;
-        let snapshot = outputs.clone();
-        Ok(TopologyEngine {
+        let inner = Engine::with_neighborhood(
             protocol,
-            graph,
-            source,
+            Box::new(graph.clone()),
             num_sources,
-            outputs,
-            snapshot,
-            states,
-            ones_count,
-            correct_decisions,
-            rng,
-            round: 0,
-        })
+            correct,
+            init,
+            seed,
+        )
+        .map_err(|e| TopologyError::InvalidParameter {
+            name: "engine",
+            detail: e.to_string(),
+        })?;
+        Ok(TopologyEngine { graph, inner })
     }
 
     /// The underlying graph.
@@ -130,71 +105,45 @@ impl<P: Protocol> TopologyEngine<P> {
 
     /// The protocol configuration.
     pub fn protocol(&self) -> &P {
-        &self.protocol
+        self.inner.protocol()
     }
 
     /// Current round index (0 before any [`TopologyEngine::step`]).
     pub fn round(&self) -> u64 {
-        self.round
+        self.inner.round()
     }
 
     /// The correct opinion of the instance.
     pub fn correct(&self) -> Opinion {
-        self.source.correct()
+        self.inner.correct()
     }
 
     /// The paper's `x_t`: fraction of all agents (sources included)
     /// currently outputting opinion 1.
     pub fn fraction_ones(&self) -> f64 {
-        self.ones_count as f64 / self.graph.n() as f64
+        self.inner.fraction_ones()
     }
 
     /// Fraction of non-source agents whose decision equals the correct
     /// opinion.
     pub fn fraction_correct(&self) -> f64 {
-        self.correct_decisions as f64 / (self.graph.n() - self.num_sources) as f64
+        self.inner.fraction_correct()
     }
 
     /// `true` when every non-source agent decides correctly.
     pub fn all_correct(&self) -> bool {
-        self.correct_decisions == (self.graph.n() - self.num_sources) as u64
+        self.inner.all_correct()
     }
 
     /// Public outputs of all agents (vertex id order; `< num_sources` are
     /// sources).
     pub fn outputs(&self) -> &[Opinion] {
-        &self.outputs
+        self.inner.outputs()
     }
 
     /// Executes one synchronous round.
     pub fn step(&mut self) {
-        let m = self.protocol.samples_per_round();
-        let ctx = RoundContext::new(self.round);
-        // Synchrony: all observations read the round-t outputs.
-        self.snapshot.clone_from(&self.outputs);
-        let mut ones_count =
-            u64::from(self.num_sources) * u64::from(self.source.output().is_one());
-        let mut correct_decisions = 0u64;
-        for (j, state) in self.states.iter_mut().enumerate() {
-            let vertex = self.num_sources + j as u32;
-            let neighbors = self.graph.neighbors(vertex);
-            let mut seen = 0u32;
-            for _ in 0..m {
-                let k = neighbors[self.rng.gen_range(0..neighbors.len())];
-                if self.snapshot[k as usize].is_one() {
-                    seen += 1;
-                }
-            }
-            let obs = Observation::new(seen, m).expect("seen ≤ m by construction");
-            let new_output = self.protocol.step(state, &obs, &ctx, &mut self.rng);
-            self.outputs[vertex as usize] = new_output;
-            ones_count += u64::from(new_output.is_one());
-            correct_decisions +=
-                u64::from(self.protocol.decision(state) == self.source.correct());
-        }
-        self.ones_count = ones_count;
-        self.correct_decisions = correct_decisions;
-        self.round += 1;
+        self.inner.step()
     }
 
     /// Runs until convergence is confirmed or `max_rounds` have executed.
@@ -207,27 +156,7 @@ impl<P: Protocol> TopologyEngine<P> {
         criterion: ConvergenceCriterion,
         observer: &mut O,
     ) -> ConvergenceReport {
-        let mut detector = ConvergenceDetector::new(criterion);
-        observer.on_round(self.snapshot_now());
-        let mut done = detector.observe(self.round, self.all_correct());
-        while !done && self.round < max_rounds {
-            self.step();
-            observer.on_round(self.snapshot_now());
-            done = detector.observe(self.round, self.all_correct());
-        }
-        ConvergenceReport {
-            converged_at: detector.converged_at(),
-            rounds_run: self.round,
-            final_fraction_correct: self.fraction_correct(),
-        }
-    }
-
-    fn snapshot_now(&self) -> RoundSnapshot {
-        RoundSnapshot {
-            round: self.round,
-            fraction_ones: self.fraction_ones(),
-            fraction_correct: self.fraction_correct(),
-        }
+        self.inner.run(max_rounds, criterion, observer)
     }
 }
 
@@ -242,9 +171,11 @@ mod tests {
     fn rejects_isolated_vertex() {
         let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
         let p = FetProtocol::new(4).unwrap();
-        let err =
-            TopologyEngine::new(p, g, 1, Opinion::One, InitialCondition::AllWrong, 1);
-        assert!(matches!(err, Err(TopologyError::IsolatedVertex { vertex: 2 })));
+        let err = TopologyEngine::new(p, g, 1, Opinion::One, InitialCondition::AllWrong, 1);
+        assert!(matches!(
+            err,
+            Err(TopologyError::IsolatedVertex { vertex: 2 })
+        ));
     }
 
     #[test]
@@ -253,14 +184,17 @@ mod tests {
         let p = FetProtocol::new(4).unwrap();
         for bad in [0u32, 5, 6] {
             let err = TopologyEngine::new(
-                p.clone(),
+                p,
                 g.clone(),
                 bad,
                 Opinion::One,
                 InitialCondition::AllWrong,
                 1,
             );
-            assert!(matches!(err, Err(TopologyError::InvalidParameter { .. })), "{bad}");
+            assert!(
+                matches!(err, Err(TopologyError::InvalidParameter { .. })),
+                "{bad}"
+            );
         }
     }
 
@@ -286,7 +220,11 @@ mod tests {
         assert!(report.converged(), "{report:?}");
         for _ in 0..200 {
             e.step();
-            assert!(e.all_correct(), "absorbing state violated at round {}", e.round());
+            assert!(
+                e.all_correct(),
+                "absorbing state violated at round {}",
+                e.round()
+            );
         }
     }
 
@@ -315,7 +253,10 @@ mod tests {
         let mut e =
             TopologyEngine::new(p, g, 1, Opinion::One, InitialCondition::AllWrong, 19).unwrap();
         let report = e.run(2_000, ConvergenceCriterion::new(5), &mut NullObserver);
-        assert!(!report.converged(), "star hub-source should freeze, got {report:?}");
+        assert!(
+            !report.converged(),
+            "star hub-source should freeze, got {report:?}"
+        );
         // The frozen fraction is strictly between 0 and 1 (some leaves
         // flipped in round 1, some tied and kept the wrong opinion).
         let frac = e.fraction_correct();
@@ -335,8 +276,7 @@ mod tests {
             let g = builders::erdos_renyi(150, 0.2, &mut rng).unwrap();
             let p = FetProtocol::new(8).unwrap();
             let mut e =
-                TopologyEngine::new(p, g, 1, Opinion::One, InitialCondition::Random, seed)
-                    .unwrap();
+                TopologyEngine::new(p, g, 1, Opinion::One, InitialCondition::Random, seed).unwrap();
             let mut rec = TrajectoryRecorder::new();
             e.run(300, ConvergenceCriterion::new(2), &mut rec);
             rec.into_fractions()

@@ -48,10 +48,19 @@ impl fmt::Display for TopologyError {
                 write!(f, "vertex {vertex} out of range for graph on {n} vertices")
             }
             TopologyError::IsolatedVertex { vertex } => {
-                write!(f, "vertex {vertex} is isolated and cannot observe any agent")
+                write!(
+                    f,
+                    "vertex {vertex} is isolated and cannot observe any agent"
+                )
             }
-            TopologyError::GenerationFailed { generator, attempts } => {
-                write!(f, "generator `{generator}` failed after {attempts} attempts")
+            TopologyError::GenerationFailed {
+                generator,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "generator `{generator}` failed after {attempts} attempts"
+                )
             }
             TopologyError::Sim(e) => write!(f, "{e}"),
         }
@@ -80,10 +89,16 @@ mod tests {
     #[test]
     fn displays_every_variant() {
         let cases: Vec<TopologyError> = vec![
-            TopologyError::InvalidParameter { name: "p", detail: "must be in [0, 1]".into() },
+            TopologyError::InvalidParameter {
+                name: "p",
+                detail: "must be in [0, 1]".into(),
+            },
             TopologyError::VertexOutOfRange { vertex: 9, n: 5 },
             TopologyError::IsolatedVertex { vertex: 3 },
-            TopologyError::GenerationFailed { generator: "random_regular", attempts: 100 },
+            TopologyError::GenerationFailed {
+                generator: "random_regular",
+                attempts: 100,
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

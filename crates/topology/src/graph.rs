@@ -258,7 +258,9 @@ impl Graph {
     /// Iterates over all undirected edges as `(min, max)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         (0..self.n()).flat_map(move |v| {
-            self.neighbors(v).iter().filter_map(move |&w| (v < w).then_some((v, w)))
+            self.neighbors(v)
+                .iter()
+                .filter_map(move |&w| (v < w).then_some((v, w)))
         })
     }
 
@@ -275,6 +277,23 @@ impl Graph {
             }
         }
         Ok(())
+    }
+}
+
+/// Graphs plug straight into the unified `Simulation` facade:
+/// `Simulation::builder().topology(graph)` runs any protocol with
+/// neighbor-restricted sampling.
+impl fet_sim::neighborhood::Neighborhood for Graph {
+    fn population(&self) -> u32 {
+        self.n()
+    }
+
+    fn neighbors_of(&self, vertex: u32) -> &[u32] {
+        self.neighbors(vertex)
+    }
+
+    fn clone_box(&self) -> Box<dyn fet_sim::neighborhood::Neighborhood> {
+        Box::new(self.clone())
     }
 }
 
@@ -350,13 +369,19 @@ mod tests {
     #[test]
     fn rejects_zero_vertices() {
         let err = Graph::from_edges(0, &[]);
-        assert!(matches!(err, Err(TopologyError::InvalidParameter { name: "n", .. })));
+        assert!(matches!(
+            err,
+            Err(TopologyError::InvalidParameter { name: "n", .. })
+        ));
     }
 
     #[test]
     fn rejects_out_of_range_endpoint() {
         let err = Graph::from_edges(3, &[(0, 3)]);
-        assert!(matches!(err, Err(TopologyError::VertexOutOfRange { vertex: 3, n: 3 })));
+        assert!(matches!(
+            err,
+            Err(TopologyError::VertexOutOfRange { vertex: 3, n: 3 })
+        ));
     }
 
     #[test]

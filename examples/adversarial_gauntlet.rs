@@ -28,15 +28,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("n = {n}, ℓ = {} — named traps:\n", protocol.ell());
     let traps: [(&str, Vec<fet::core::fet::FetState>); 3] = [
         ("tie trap (all wrong, stale counts 0)", conf.tie_trap()),
-        ("bounce suppressor (all wrong, stale counts ℓ)", conf.bounce_suppressor()),
-        ("oscillation primer (anti-phase halves)", conf.oscillation_primer()),
+        (
+            "bounce suppressor (all wrong, stale counts ℓ)",
+            conf.bounce_suppressor(),
+        ),
+        (
+            "oscillation primer (anti-phase halves)",
+            conf.oscillation_primer(),
+        ),
     ];
     for (name, states) in traps {
         let mut engine = Engine::from_states(protocol, spec, Fidelity::Binomial, states, 4242)?;
         let report = engine.run(200_000, ConvergenceCriterion::new(3), &mut NullObserver);
         println!(
             "  {name:<48} t_con = {}",
-            report.converged_at.map(|t| t.to_string()).unwrap_or_else(|| "FAILED".into())
+            report
+                .converged_at
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "FAILED".into())
         );
     }
 

@@ -9,51 +9,47 @@
 //! budget. Only protocols that can *steer toward the source* despite the
 //! hostile start survive; consensus dynamics happily agree on the wrong
 //! value, and rumor spreading with corrupted `informed` flags freezes.
+//!
+//! The contenders come straight from the protocol registry: every
+//! registered name competes, with no per-protocol wiring. Register a new
+//! protocol and it shows up in the face-off automatically.
 
-use fet::core::fet::FetProtocol;
-use fet::core::protocol::Protocol;
-use fet::protocols::prelude::*;
-use fet::sim::experiment::{run_protocol_once, ExperimentSpec};
-use fet::sim::init::InitialCondition;
-
-fn face_off<P: Protocol + Clone>(proto: P, spec: &ExperimentSpec) {
-    let mut wins = 0u32;
-    let mut total_time = 0u64;
-    let reps = 10u64;
-    for rep in 0..reps {
-        let mut s = *spec;
-        s.seed = spec.seed.wrapping_add(rep);
-        let out = run_protocol_once(proto.clone(), &s, InitialCondition::AllWrong);
-        if let Some(t) = out.report.converged_at {
-            wins += 1;
-            total_time += t;
-        }
-    }
-    let verdict = match wins {
-        0 => "never converged".to_string(),
-        w => format!(
-            "{w}/{reps} runs, mean {} rounds",
-            total_time / u64::from(w)
-        ),
-    };
-    println!("  {:<16} {verdict}", proto.name());
-}
+use fet::prelude::Simulation;
+use fet::protocols::registry::{ProtocolParams, ProtocolRegistry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let spec = ExperimentSpec::builder(1_000).seed(5).max_rounds(30_000).build()?;
+    let n = 1_000u64;
+    let budget = 30_000u64;
+    let params = ProtocolParams::for_population(n, 4.0);
+    let registry = ProtocolRegistry::with_builtins();
     println!(
-        "n = 1000, ℓ = {}, all-wrong start, budget {} rounds:\n",
-        spec.ell(),
-        spec.max_rounds
+        "n = {n}, ℓ = {}, all-wrong start, budget {budget} rounds:\n",
+        params.ell
     );
-    face_off(FetProtocol::new(spec.ell())?, &spec);
-    face_off(OracleClockProtocol::for_population(1_000)?, &spec);
-    face_off(VoterProtocol::new(), &spec);
-    face_off(MajorityProtocol::new(spec.ell())?, &spec);
-    face_off(ThreeMajorityProtocol::new(), &spec);
-    face_off(UndecidedProtocol::new(), &spec);
-    face_off(RumorProtocol::clean(), &spec);
-    face_off(RumorProtocol::corrupted(), &spec);
+
+    for name in registry.names() {
+        let reps = 10u64;
+        let mut wins = 0u32;
+        let mut total_time = 0u64;
+        for rep in 0..reps {
+            let report = Simulation::builder()
+                .population(n)
+                .protocol_name(name)
+                .max_rounds(budget)
+                .seed(5u64.wrapping_add(rep))
+                .build()?
+                .run();
+            if let Some(t) = report.converged_at() {
+                wins += 1;
+                total_time += t;
+            }
+        }
+        let verdict = match wins {
+            0 => "never converged".to_string(),
+            w => format!("{w}/{reps} runs, mean {} rounds", total_time / u64::from(w)),
+        };
+        println!("  {name:<16} {verdict}");
+    }
     println!(
         "\nFET wins on the combination: passive + clockless + self-stabilizing.
 (oracle-clock is fast but borrows a synchronized clock; the others fail the

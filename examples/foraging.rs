@@ -17,15 +17,11 @@
 //! environment mid-run (a storm floods the East side) to show the group
 //! re-settling: the knowledgeable animals move West and the crowd follows.
 
-use fet::core::config::ProblemSpec;
 use fet::core::fet::FetProtocol;
 use fet::core::opinion::Opinion;
 use fet::core::protocol::Protocol;
-use fet::sim::convergence::ConvergenceCriterion;
-use fet::sim::engine::{Engine, Fidelity};
+use fet::prelude::Simulation;
 use fet::sim::fault::FaultPlan;
-use fet::sim::init::InitialCondition;
-use fet::sim::observer::NullObserver;
 
 const EAST: Opinion = Opinion::One;
 const WEST: Opinion = Opinion::Zero;
@@ -41,7 +37,6 @@ fn side(o: Opinion) -> &'static str {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let herd = 5_000u64;
     let knowledgeable = 8u64; // a constant number of agreeing "sources"
-    let spec = ProblemSpec::new(herd, knowledgeable, EAST)?;
     let protocol = FetProtocol::for_population(herd, 4.0)?;
     println!(
         "{herd} animals, {knowledgeable} knowledgeable ones staying {}; each animal scans {} others per round",
@@ -49,19 +44,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         protocol.samples_per_round()
     );
 
-    let mut engine = Engine::new(protocol, spec, Fidelity::Binomial, InitialCondition::AllWrong, 7)?;
-    println!("\nafter the predator scare, every uninformed animal is {}...", side(WEST));
-    let report = engine.run(100_000, ConvergenceCriterion::new(5), &mut NullObserver);
-    let t1 = report.converged_at.expect("the herd settles");
-    println!("round {t1}: the whole herd forages {} — knowledge spread passively", side(EAST));
+    let mut herd_sim = Simulation::builder()
+        .population(herd)
+        .sources(knowledgeable)
+        .correct(EAST)
+        .seed(7)
+        .stability_window(5)
+        .max_rounds(100_000)
+        .build()?;
+    println!(
+        "\nafter the predator scare, every uninformed animal is {}...",
+        side(WEST)
+    );
+    let report = herd_sim.run();
+    let t1 = report.converged_at().expect("the herd settles");
+    println!(
+        "round {t1}: the whole herd forages {} — knowledge spread passively",
+        side(EAST)
+    );
 
     // The storm: East floods, the knowledgeable animals move West.
-    let flip_round = engine.round() + 1;
-    engine.set_fault_plan(FaultPlan::with_source_retarget(flip_round, WEST));
+    let flip_round = herd_sim.round() + 1;
+    herd_sim.set_fault_plan(FaultPlan::with_source_retarget(flip_round, WEST))?;
     let mut resettled = None;
     for extra in 1..=100_000u64 {
-        engine.step();
-        if engine.correct() == WEST && engine.all_correct() {
+        herd_sim.step();
+        if herd_sim.correct() == WEST && herd_sim.all_correct() {
             resettled = Some(extra);
             break;
         }

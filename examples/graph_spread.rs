@@ -22,8 +22,6 @@
 //! carries no trend, so the tie rule locks each leaf's round-1 opinion.
 
 use fet::prelude::*;
-use fet::sim::convergence::ConvergenceCriterion;
-use fet::sim::observer::NullObserver;
 use fet::topology::builders;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,29 +29,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SeedTree::new(2022).child("graphs").rng();
 
     let cases = vec![
-        ("random 32-regular", builders::random_regular(n, 32, &mut rng)?),
-        ("small world (k=8, β=0.1)", builders::watts_strogatz(n, 8, 0.1, &mut rng)?),
+        (
+            "random 32-regular",
+            builders::random_regular(n, 32, &mut rng)?,
+        ),
+        (
+            "small world (k=8, β=0.1)",
+            builders::watts_strogatz(n, 8, 0.1, &mut rng)?,
+        ),
         ("star, source at hub", builders::star(n)?),
     ];
 
     println!("n = {n}, one source, every non-source agent starts WRONG\n");
     for (label, graph) in cases {
         let stats = GraphStats::of(&graph);
-        let protocol = FetProtocol::for_population(u64::from(n), 4.0)?;
-        let mut engine = TopologyEngine::new(
-            protocol,
-            graph,
-            1,
-            Opinion::One,
-            InitialCondition::AllWrong,
-            7,
-        )?;
-        let report = engine.run(20_000, ConvergenceCriterion::new(5), &mut NullObserver);
-        let verdict = match report.converged_at {
+        let mut sim = Simulation::builder()
+            .topology(graph)
+            .seed(7)
+            .stability_window(5)
+            .max_rounds(20_000)
+            .build()?;
+        let report = sim.run();
+        let verdict = match report.converged_at() {
             Some(t) => format!("converged at round {t}"),
             None => format!(
                 "NO convergence; stalled at {:.1}% correct",
-                100.0 * engine.fraction_correct()
+                100.0 * sim.fraction_correct()
             ),
         };
         println!("{label:<28} [{stats}]");

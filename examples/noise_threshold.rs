@@ -14,33 +14,29 @@
 //! noise-impossibility results of Boczkowski et al. 2018, which the paper
 //! cites.)
 
-use fet::core::config::ProblemSpec;
-use fet::core::fet::FetProtocol;
-use fet::core::opinion::Opinion;
-use fet::sim::engine::{Engine, Fidelity};
+use fet::prelude::Simulation;
 use fet::sim::fault::FaultPlan;
-use fet::sim::init::InitialCondition;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 400u64;
-    let spec = ProblemSpec::single_source(n, Opinion::One)?;
-    let protocol = FetProtocol::for_population(n, 4.0)?;
     println!("n = {n}; noise = probability each observed opinion bit is flipped\n");
     println!("noise (in units of 1/n)   time-avg fraction correct   visual");
 
     for mult in [0.0, 0.05, 0.25, 1.0, 4.0, 20.0] {
         let p = mult / n as f64;
-        let mut engine =
-            Engine::new(protocol, spec, Fidelity::Binomial, InitialCondition::AllWrong, 7)?;
-        engine.set_fault_plan(FaultPlan::with_noise(p));
+        let mut sim = Simulation::builder()
+            .population(n)
+            .seed(7)
+            .fault(FaultPlan::with_noise(p))
+            .build()?;
         for _ in 0..2_000 {
-            engine.step(); // warmup past the initial convergence
+            sim.step(); // warmup past the initial convergence
         }
         let rounds = 15_000u64;
         let mut acc = 0.0;
         for _ in 0..rounds {
-            engine.step();
-            acc += engine.fraction_correct();
+            sim.step();
+            acc += sim.fraction_correct();
         }
         let avg = acc / rounds as f64;
         let bar = "#".repeat((avg * 40.0).round() as usize);

@@ -11,20 +11,28 @@
 
 use fet::analysis::domains::DomainParams;
 use fet::analysis::trace::DomainTrace;
-use fet::core::config::ProblemSpec;
-use fet::core::opinion::Opinion;
 use fet::plot::chart::{Axis, LineChart, Series};
-use fet::sim::aggregate::AggregateFetChain;
-use fet::sim::convergence::ConvergenceCriterion;
+use fet::prelude::{Fidelity, Simulation};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: u64 = 1_000_000;
     let ell = (4.0 * (n as f64).ln()).ceil() as u32;
-    let spec = ProblemSpec::single_source(n, Opinion::One)?;
     println!("exact aggregate FET chain: n = {n}, ℓ = {ell}, starting from wrong consensus\n");
 
-    let mut chain = AggregateFetChain::all_wrong(spec, ell, 99)?;
-    let (report, traj) = chain.run_recording(1_000_000, ConvergenceCriterion::new(2));
+    let mut sim = Simulation::builder()
+        .population(n)
+        .ell(ell)
+        .fidelity(Fidelity::Aggregate)
+        .seed(99)
+        .stability_window(2)
+        .max_rounds(1_000_000)
+        .record_trajectory(true)
+        .build()?;
+    let outcome = sim.run();
+    let (report, traj) = (
+        outcome.report,
+        outcome.trajectory.expect("trajectory recording requested"),
+    );
 
     // Per-round log of the early rounds: the bounce is multiplicative.
     println!("round  x_t          growth");

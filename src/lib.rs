@@ -5,16 +5,23 @@
 //! (PODC 2022, arXiv:2203.11522). Re-exports the whole workspace:
 //!
 //! * [`core`] — the paper's contribution: the **FET** protocol
-//!   (*Follow the Emerging Trend*, Protocol 1) and its unpartitioned variant.
-//! * [`sim`] — the synchronous PULL-model simulation engine (agent-level,
-//!   binomial, and aggregate fidelities).
-//! * [`protocols`] — baseline opinion dynamics and dissemination protocols.
+//!   (*Follow the Emerging Trend*, Protocol 1), its unpartitioned variant,
+//!   and the object-safe [`core::erased`] layer for runtime protocol
+//!   selection.
+//! * [`sim`] — the simulation engines and the unified
+//!   [`sim::simulation::Simulation`] builder facade (agent-level,
+//!   binomial, without-replacement, and aggregate fidelities; synchronous
+//!   and asynchronous schedulers; topologies; fault plans).
+//! * [`protocols`] — baseline opinion dynamics plus the runtime
+//!   [`protocols::registry::ProtocolRegistry`] (`"fet"`, `"voter"`,
+//!   `"3-majority"`, …).
 //! * [`analysis`] — state-space domains (Fig. 1a/2), drift, Markov solver,
 //!   lemma numerics.
 //! * [`adversary`] — adversarial initial configurations and the §1.2
 //!   impossibility construction.
 //! * [`topology`] — graphs + the neighbor-sampling engine (the
-//!   fully-connected assumption, relaxed).
+//!   fully-connected assumption, relaxed); graphs plug into the facade via
+//!   `Simulation::builder().topology(graph)`.
 //! * [`stats`] — probability substrate.
 //! * [`plot`] — terminal plotting and CSV export.
 //!
@@ -33,6 +40,23 @@
 //! let outcome = run_fet_once(&spec, InitialCondition::AllWrong);
 //! assert!(outcome.converged());
 //! ```
+//!
+//! The same run through the unified builder facade — the entry point for
+//! everything beyond a plain single run (other protocols, fidelities,
+//! topologies, schedulers, fault plans):
+//!
+//! ```
+//! use fet::prelude::*;
+//!
+//! let report = Simulation::builder()
+//!     .population(1_000)
+//!     .protocol_name("fet") // any registry name: "voter", "3-majority", …
+//!     .seed(42)
+//!     .build()
+//!     .expect("valid configuration")
+//!     .run();
+//! assert!(report.converged());
+//! ```
 
 pub use fet_adversary as adversary;
 pub use fet_analysis as analysis;
@@ -46,11 +70,17 @@ pub use fet_topology as topology;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use fet_adversary::init::InitialCondition;
+    pub use fet_core::erased::{DynProtocol, ErasedProtocol};
     pub use fet_core::fet::FetProtocol;
     pub use fet_core::opinion::Opinion;
     pub use fet_core::protocol::Protocol;
+    pub use fet_protocols::registry::{ProtocolParams, ProtocolRegistry};
+    pub use fet_sim::convergence::{ConvergenceCriterion, ConvergenceReport};
     pub use fet_sim::engine::{Engine, Fidelity};
-    pub use fet_sim::experiment::{run_fet_once, ExperimentSpec, RunOutcome};
+    pub use fet_sim::experiment::{run_fet_once, run_protocol_once, ExperimentSpec, RunOutcome};
+    pub use fet_sim::fault::FaultPlan;
+    pub use fet_sim::neighborhood::Neighborhood;
+    pub use fet_sim::simulation::{RunReport, Scheduler, Simulation, SimulationBuilder};
     pub use fet_stats::rng::SeedTree;
     pub use fet_topology::engine::TopologyEngine;
     pub use fet_topology::graph::{Graph, GraphStats};

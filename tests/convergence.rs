@@ -1,15 +1,11 @@
 //! End-to-end convergence: Theorem 1's promise exercised across starts,
 //! fidelities, sizes, and the 0/1 symmetry.
 
-use fet::core::config::ProblemSpec;
-use fet::core::fet::FetProtocol;
 use fet::core::opinion::Opinion;
-use fet::sim::aggregate::AggregateFetChain;
-use fet::sim::convergence::ConvergenceCriterion;
-use fet::sim::engine::{Engine, Fidelity};
+use fet::sim::engine::Fidelity;
 use fet::sim::experiment::{run_fet_once, ExperimentSpec};
 use fet::sim::init::InitialCondition;
-use fet::sim::observer::NullObserver;
+use fet::sim::simulation::Simulation;
 
 #[test]
 fn converges_from_every_basic_initial_condition() {
@@ -19,7 +15,10 @@ fn converges_from_every_basic_initial_condition() {
         InitialCondition::Random,
         InitialCondition::FractionCorrect(0.25),
     ] {
-        let spec = ExperimentSpec::builder(500).seed(11).build().expect("valid");
+        let spec = ExperimentSpec::builder(500)
+            .seed(11)
+            .build()
+            .expect("valid");
         let out = run_fet_once(&spec, init);
         assert!(out.converged(), "init {init:?} failed: {:?}", out.report);
         assert_eq!(out.report.final_fraction_correct, 1.0);
@@ -29,16 +28,20 @@ fn converges_from_every_basic_initial_condition() {
 #[test]
 fn both_fidelities_converge_and_stay() {
     for fidelity in [Fidelity::Agent, Fidelity::Binomial] {
-        let spec = ProblemSpec::single_source(400, Opinion::One).expect("valid");
-        let protocol = FetProtocol::for_population(400, 4.0).expect("valid");
-        let mut engine =
-            Engine::new(protocol, spec, fidelity, InitialCondition::AllWrong, 3).expect("valid");
-        let report = engine.run(50_000, ConvergenceCriterion::new(5), &mut NullObserver);
+        let mut sim = Simulation::builder()
+            .population(400)
+            .fidelity(fidelity)
+            .seed(3)
+            .stability_window(5)
+            .max_rounds(50_000)
+            .build()
+            .expect("valid");
+        let report = sim.run();
         assert!(report.converged(), "{fidelity:?}: {report:?}");
         // Consensus on the correct opinion is absorbing: keep stepping.
         for _ in 0..100 {
-            engine.step();
-            assert!(engine.all_correct(), "{fidelity:?} broke consensus");
+            sim.step();
+            assert!(sim.all_correct(), "{fidelity:?} broke consensus");
         }
     }
 }
@@ -47,9 +50,16 @@ fn both_fidelities_converge_and_stay() {
 fn correct_zero_is_mirror_of_correct_one() {
     // The protocol is symmetric w.r.t. the source's opinion (§2): both
     // instances converge, and the final fractions mirror.
-    let one = ExperimentSpec::builder(300).seed(21).correct(Opinion::One).build().expect("valid");
-    let zero =
-        ExperimentSpec::builder(300).seed(21).correct(Opinion::Zero).build().expect("valid");
+    let one = ExperimentSpec::builder(300)
+        .seed(21)
+        .correct(Opinion::One)
+        .build()
+        .expect("valid");
+    let zero = ExperimentSpec::builder(300)
+        .seed(21)
+        .correct(Opinion::Zero)
+        .build()
+        .expect("valid");
     let out1 = run_fet_once(&one, InitialCondition::AllWrong);
     let out0 = run_fet_once(&zero, InitialCondition::AllWrong);
     assert!(out1.converged() && out0.converged());
@@ -59,14 +69,18 @@ fn correct_zero_is_mirror_of_correct_one() {
 
 #[test]
 fn aggregate_chain_scales_to_huge_populations() {
-    let spec = ProblemSpec::single_source(100_000_000, Opinion::One).expect("valid");
-    let ell = (4.0 * (1e8f64).ln()).ceil() as u32;
-    let mut chain = AggregateFetChain::all_wrong(spec, ell, 5).expect("valid");
-    let report = chain.run(1_000_000, ConvergenceCriterion::new(3));
+    let report = Simulation::builder()
+        .population(100_000_000)
+        .fidelity(Fidelity::Aggregate)
+        .seed(5)
+        .max_rounds(1_000_000)
+        .build()
+        .expect("valid")
+        .run();
     assert!(report.converged(), "{report:?}");
     // The paper's yardstick at n = 1e8: log^2.5 n ≈ 1527; the bounce makes
     // the all-wrong start far faster, but certainly within the yardstick.
-    let t = report.converged_at.expect("converged");
+    let t = report.converged_at().expect("converged");
     assert!(
         (t as f64) < (1e8f64).ln().powf(2.5),
         "t_con = {t} exceeds the paper's bound shape"
@@ -76,16 +90,26 @@ fn aggregate_chain_scales_to_huge_populations() {
 #[test]
 fn multi_source_instances_converge() {
     for k in [2u64, 8, 32] {
-        let spec = ProblemSpec::new(10_000, k, Opinion::One).expect("valid");
-        let mut chain = AggregateFetChain::all_wrong(spec, 37, k).expect("valid");
-        let report = chain.run(200_000, ConvergenceCriterion::new(3));
+        let report = Simulation::builder()
+            .population(10_000)
+            .sources(k)
+            .ell(37)
+            .fidelity(Fidelity::Aggregate)
+            .seed(k)
+            .max_rounds(200_000)
+            .build()
+            .expect("valid")
+            .run();
         assert!(report.converged(), "k = {k}: {report:?}");
     }
 }
 
 #[test]
 fn experiment_runs_are_deterministic() {
-    let spec = ExperimentSpec::builder(300).seed(777).build().expect("valid");
+    let spec = ExperimentSpec::builder(300)
+        .seed(777)
+        .build()
+        .expect("valid");
     let a = run_fet_once(&spec, InitialCondition::Random);
     let b = run_fet_once(&spec, InitialCondition::Random);
     assert_eq!(a, b);
@@ -93,7 +117,11 @@ fn experiment_runs_are_deterministic() {
 
 #[test]
 fn convergence_time_is_reported_at_streak_start() {
-    let spec = ExperimentSpec::builder(300).seed(13).stability_window(8).build().expect("valid");
+    let spec = ExperimentSpec::builder(300)
+        .seed(13)
+        .stability_window(8)
+        .build()
+        .expect("valid");
     let out = run_fet_once(&spec, InitialCondition::AllWrong);
     let t = out.report.converged_at.expect("converged") as usize;
     // From t onward the trajectory must be pinned at 1.

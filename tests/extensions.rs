@@ -11,44 +11,41 @@ use fet::core::fet::FetProtocol;
 use fet::core::opinion::Opinion;
 use fet::sim::convergence::ConvergenceCriterion;
 use fet::sim::engine::{Engine, Fidelity};
-use fet::sim::init::InitialCondition;
 use fet::sim::observer::NullObserver;
+use fet::sim::simulation::Simulation;
 use fet::stats::rng::SeedTree;
 use fet::topology::builders;
-use fet::topology::engine::TopologyEngine;
-use fet::topology::graph::GraphStats;
+use fet::topology::graph::{Graph, GraphStats};
 
-/// The topology engine on the complete graph must agree *in shape* with
-/// the flat engine: both self-stabilize from the all-wrong start in a
+/// A topology-restricted run on the complete graph must agree *in shape*
+/// with the flat engine: both self-stabilize from the all-wrong start in a
 /// comparable number of rounds.
 #[test]
-fn complete_graph_topology_engine_matches_flat_engine_shape() {
+fn complete_graph_topology_matches_flat_engine_shape() {
     let n: u64 = 400;
     let reps = 10u64;
     let mut flat_times = Vec::new();
     let mut graph_times = Vec::new();
     for rep in 0..reps {
-        let protocol = FetProtocol::for_population(n, 4.0).expect("valid");
-        let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
-        let mut flat =
-            Engine::new(protocol, spec, Fidelity::Agent, InitialCondition::AllWrong, 50 + rep)
-                .expect("valid");
-        let r1 = flat.run(50_000, ConvergenceCriterion::new(3), &mut NullObserver);
-        flat_times.push(r1.converged_at.expect("flat engine must converge") as f64);
+        let flat = Simulation::builder()
+            .population(n)
+            .fidelity(Fidelity::Agent)
+            .seed(50 + rep)
+            .max_rounds(50_000)
+            .build()
+            .expect("valid")
+            .run();
+        flat_times.push(flat.converged_at().expect("flat engine must converge") as f64);
 
-        let protocol = FetProtocol::for_population(n, 4.0).expect("valid");
         let graph = builders::complete(n as u32).expect("valid");
-        let mut topo = TopologyEngine::new(
-            protocol,
-            graph,
-            1,
-            Opinion::One,
-            InitialCondition::AllWrong,
-            90 + rep,
-        )
-        .expect("valid");
-        let r2 = topo.run(50_000, ConvergenceCriterion::new(3), &mut NullObserver);
-        graph_times.push(r2.converged_at.expect("topology engine must converge") as f64);
+        let topo = Simulation::builder()
+            .topology(graph)
+            .seed(90 + rep)
+            .max_rounds(50_000)
+            .build()
+            .expect("valid")
+            .run();
+        graph_times.push(topo.converged_at().expect("topology run must converge") as f64);
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let (mf, mg) = (mean(&flat_times), mean(&graph_times));
@@ -56,12 +53,12 @@ fn complete_graph_topology_engine_matches_flat_engine_shape() {
     // other is a conservative shape check at these replication counts.
     assert!(
         mf / mg < 3.0 && mg / mf < 3.0,
-        "complete-graph topology engine diverges from flat engine: {mf} vs {mg}"
+        "complete-graph topology run diverges from flat engine: {mf} vs {mg}"
     );
 }
 
 /// FET self-stabilizes on a Θ(log n)-degree random regular graph, and the
-/// consensus stays absorbing there (two crates: topology + core).
+/// consensus stays absorbing there (two crates: topology + sim facade).
 #[test]
 fn fet_self_stabilizes_on_log_degree_expander() {
     let n: u32 = 600;
@@ -69,21 +66,22 @@ fn fet_self_stabilizes_on_log_degree_expander() {
     let mut rng = SeedTree::new(7).child("expander").rng();
     let graph = builders::random_regular(n, d + (n * d) % 2, &mut rng).expect("valid");
     assert!(graph.is_connected());
-    let protocol = FetProtocol::for_population(u64::from(n), 4.0).expect("valid");
-    let mut engine = TopologyEngine::new(
-        protocol,
-        graph,
-        1,
-        Opinion::One,
-        InitialCondition::AllWrong,
-        11,
-    )
-    .expect("valid");
-    let report = engine.run(50_000, ConvergenceCriterion::new(5), &mut NullObserver);
+    let mut sim = Simulation::builder()
+        .topology(graph)
+        .seed(11)
+        .stability_window(5)
+        .max_rounds(50_000)
+        .build()
+        .expect("valid");
+    let report = sim.run();
     assert!(report.converged(), "{report:?}");
     for _ in 0..100 {
-        engine.step();
-        assert!(engine.all_correct(), "consensus broke at round {}", engine.round());
+        sim.step();
+        assert!(
+            sim.all_correct(),
+            "consensus broke at round {}",
+            sim.round()
+        );
     }
 }
 
@@ -103,19 +101,16 @@ fn star_source_placement_flips_freeze_to_convergence() {
     let leaf_source = hub_source.with_swapped(0, 1); // hub moves to vertex 1
     assert_eq!(GraphStats::of(&leaf_source).max_degree, n - 1);
 
-    let run = |graph, seed| {
-        let protocol = FetProtocol::for_population(u64::from(n), 4.0).expect("valid");
-        let mut engine = TopologyEngine::new(
-            protocol,
-            graph,
-            1,
-            Opinion::One,
-            InitialCondition::AllWrong,
-            seed,
-        )
-        .expect("valid");
-        let report = engine.run(5_000, ConvergenceCriterion::new(5), &mut NullObserver);
-        (report.converged(), engine.fraction_correct())
+    let run = |graph: Graph, seed| {
+        let mut sim = Simulation::builder()
+            .topology(graph)
+            .seed(seed)
+            .stability_window(5)
+            .max_rounds(5_000)
+            .build()
+            .expect("valid");
+        let report = sim.run();
+        (report.converged(), sim.fraction_correct())
     };
 
     let (hub_converged, hub_frac) = run(hub_source, 3);
@@ -123,7 +118,10 @@ fn star_source_placement_flips_freeze_to_convergence() {
     assert!(hub_frac < 1.0);
 
     let (leaf_converged, leaf_frac) = run(leaf_source, 5);
-    assert!(leaf_converged, "leaf-source star must converge via the hub cascade");
+    assert!(
+        leaf_converged,
+        "leaf-source star must converge via the hub cascade"
+    );
     assert_eq!(leaf_frac, 1.0);
 }
 
@@ -140,13 +138,15 @@ fn without_replacement_matches_with_replacement_shape() {
             (Fidelity::Binomial, &mut with_t),
             (Fidelity::WithoutReplacement, &mut without_t),
         ] {
-            let protocol = FetProtocol::for_population(n, 4.0).expect("valid");
-            let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
-            let mut engine =
-                Engine::new(protocol, spec, fidelity, InitialCondition::AllWrong, 700 + rep)
-                    .expect("valid");
-            let report = engine.run(50_000, ConvergenceCriterion::new(3), &mut NullObserver);
-            bucket.push(report.converged_at.expect("must converge") as f64);
+            let report = Simulation::builder()
+                .population(n)
+                .fidelity(fidelity)
+                .seed(700 + rep)
+                .max_rounds(50_000)
+                .build()
+                .expect("valid")
+                .run();
+            bucket.push(report.converged_at().expect("must converge") as f64);
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -183,9 +183,8 @@ fn exact_absorption_cdf_brackets_monte_carlo() {
             };
             (n - 1) as usize
         ];
-        let mut engine =
-            Engine::from_states(protocol, spec, Fidelity::Agent, states, 3_000 + rep)
-                .expect("valid");
+        let mut engine = Engine::from_states(protocol, spec, Fidelity::Agent, states, 3_000 + rep)
+            .expect("valid");
         let report = engine.run(100_000, ConvergenceCriterion::new(1), &mut NullObserver);
         times.push(report.converged_at.expect("must converge"));
     }
@@ -225,10 +224,16 @@ fn conflict_oscillates_but_agreement_absorbs() {
     // Conflict: 30 vs 90 stubborn agents — no settling.
     let mut conflicted = ConflictEngine::new(protocol, 1_200, 30, 90, 0.5, 5).expect("valid");
     let out = conflicted.run_measure(500, 2_000);
-    assert!(out.max_x - out.min_x > 0.3, "conflict should keep the system moving: {out:?}");
+    assert!(
+        out.max_x - out.min_x > 0.3,
+        "conflict should keep the system moving: {out:?}"
+    );
     // Agreement: all 120 stubborn agents emit 1 — the multi-source case of
     // §5; convergence to all-1 and absorption.
     let mut agreeing = ConflictEngine::new(protocol, 1_200, 0, 120, 0.0, 5).expect("valid");
     let settled = agreeing.run_measure(2_000, 50);
-    assert_eq!(settled.min_x, 1.0, "agreeing sources must reach unanimity: {settled:?}");
+    assert_eq!(
+        settled.min_x, 1.0,
+        "agreeing sources must reach unanimity: {settled:?}"
+    );
 }

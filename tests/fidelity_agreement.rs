@@ -16,14 +16,7 @@ use fet::stats::summary::WelfordAccumulator;
 
 /// One-step mean of the agent-level engine from a controlled (x0, x1)
 /// state, with stale counts drawn from the conditional law B(ℓ, x0).
-fn engine_one_step_mean(
-    n: u64,
-    ell: u32,
-    x0: f64,
-    x1: f64,
-    fidelity: Fidelity,
-    reps: u64,
-) -> f64 {
+fn engine_one_step_mean(n: u64, ell: u32, x0: f64, x1: f64, fidelity: Fidelity, reps: u64) -> f64 {
     let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
     let ones1 = ((x1 * n as f64).round() as u64).max(1);
     let mut acc = WelfordAccumulator::new();
@@ -33,7 +26,11 @@ fn engine_one_step_mean(
         let protocol = FetProtocol::new(ell).expect("valid");
         let states: Vec<FetState> = (0..(n - 1) as usize)
             .map(|i| FetState {
-                opinion: if (i as u64) < ones1 - 1 { Opinion::One } else { Opinion::Zero },
+                opinion: if (i as u64) < ones1 - 1 {
+                    Opinion::One
+                } else {
+                    Opinion::Zero
+                },
                 prev_count_second_half: sample_binomial(u64::from(ell), x0, &mut rng) as u32,
             })
             .collect();
@@ -67,8 +64,7 @@ fn one_step_mean_matches_closed_form_across_fidelities() {
         let ones1 = ((x1 * n as f64).round() as u64).max(1);
         let mut acc = WelfordAccumulator::new();
         for rep in 0..2000u64 {
-            let mut chain =
-                AggregateFetChain::new(spec, ell, ones0, ones1, rep).expect("valid");
+            let mut chain = AggregateFetChain::new(spec, ell, ones0, ones1, rep).expect("valid");
             chain.step();
             acc.push(chain.fractions().1);
         }

@@ -187,12 +187,18 @@ fn fet_symmetry_under_relabeling_in_distribution() {
         let mut count_a = 0u32;
         let mut count_b = 0u32;
         for _ in 0..reps {
-            let mut sa = FetState { opinion: Opinion::Zero, prev_count_second_half: stale };
+            let mut sa = FetState {
+                opinion: Opinion::Zero,
+                prev_count_second_half: stale,
+            };
             let obs = Observation::new(ones, m).expect("valid");
             if protocol.step(&mut sa, &obs, &ctx, &mut rng) == Opinion::One {
                 count_a += 1;
             }
-            let mut sb = FetState { opinion: Opinion::One, prev_count_second_half: 8 - stale };
+            let mut sb = FetState {
+                opinion: Opinion::One,
+                prev_count_second_half: 8 - stale,
+            };
             let obs_m = obs.relabeled();
             if protocol.step(&mut sb, &obs_m, &ctx, &mut rng) == Opinion::Zero {
                 count_b += 1;
@@ -272,7 +278,7 @@ proptest! {
         beta in 0.0f64..=1.0,
         seed in 0u64..300,
     ) {
-        prop_assume!(2 * k + 1 <= n);
+        prop_assume!(2 * k < n);
         let mut rng = SeedTree::new(seed).child("ws").rng();
         let g = fet::topology::builders::watts_strogatz(n, k, beta, &mut rng).unwrap();
         prop_assert_eq!(g.num_edges(), u64::from(n) * u64::from(k));

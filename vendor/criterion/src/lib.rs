@@ -1,0 +1,321 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the subset of the criterion API the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched` —
+//! backed by a small wall-clock harness instead of criterion's statistical
+//! machinery.
+//!
+//! Each benchmark is warmed up briefly, then timed over enough iterations
+//! to fill a fixed measurement budget; the per-iteration time is printed as
+//!
+//! ```text
+//! bench protocol_step/fet_ell32 ............ 184 ns/iter (n = 543210)
+//! ```
+//!
+//! Set `FET_BENCH_BUDGET_MS` to change the per-benchmark measurement
+//! budget (default 200 ms; warm-up is a quarter of the budget).
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting benchmark
+/// work. Re-exported so benches can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("FET_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+/// How setup outputs are batched in [`Bencher::iter_batched`]. The harness
+/// always runs setup once per iteration, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Sampling strategy hint; accepted and ignored (the harness has a single
+/// strategy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Let the harness decide.
+    Auto,
+    /// Uniform sample lengths.
+    Flat,
+    /// Linearly growing sample lengths.
+    Linear,
+}
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter, rendered as
+    /// `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Measurement budget for this pass.
+    budget: Duration,
+    /// Total time spent in the measured routine.
+    elapsed: Duration,
+    /// Iterations executed.
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let deadline = Instant::now() + self.budget;
+        // Geometric ramp-up amortizes the clock reads for fast routines.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let end = Instant::now();
+            self.elapsed += end - start;
+            self.iters += batch;
+            if end >= deadline {
+                break;
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let end = Instant::now();
+            self.elapsed += end - start;
+            self.iters += 1;
+            if end >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Mean time per iteration in nanoseconds.
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let full = budget();
+    // Warm-up pass with a quarter budget, discarded.
+    let mut warm = Bencher::new(full / 4);
+    f(&mut warm);
+    let mut b = Bencher::new(full);
+    f(&mut b);
+    let ns = b.ns_per_iter();
+    let dots = ".".repeat(44usize.saturating_sub(label.len()).max(1));
+    if ns < 10_000.0 {
+        println!("bench {label} {dots} {ns:>10.1} ns/iter (n = {})", b.iters);
+    } else {
+        println!(
+            "bench {label} {dots} {:>10.3} µs/iter (n = {})",
+            ns / 1_000.0,
+            b.iters
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored (harness sizing is time-budget based).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: Into<BenchmarkId>, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching the criterion API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+}
+
+/// Declares a group-runner function executing each benchmark function in
+/// order, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group, mirroring criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(2));
+        b.iter(|| 1u64 + 1);
+        assert!(b.iters > 0);
+        assert!(b.ns_per_iter().is_finite());
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut setups = 0u64;
+        let mut b = Bencher::new(Duration::from_millis(2));
+        b.iter_batched(
+            || {
+                setups += 1;
+            },
+            |()| {},
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, b.iters);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        let id = BenchmarkId::new("round", 128);
+        assert_eq!(id.id, "round/128");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,195 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! The build environment has no network access to crates.io; this crate
+//! supports the subset of the proptest surface the workspace's property
+//! tests use: the [`proptest!`] macro with `arg in strategy` bindings,
+//! range and [`any`] strategies, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! per-test seed (fully deterministic), there is no shrinking, and a
+//! failing case panics with the ordinary assertion message plus the case
+//! index. Set `PROPTEST_CASES` to change the number of cases per test
+//! (default 128).
+
+#![deny(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        // Closed upper end: scale a [0, 1) draw onto [start, end] with the
+        // endpoint reachable through rounding.
+        let u = rng.gen::<f64>();
+        self.start() + u * (self.end() - self.start())
+    }
+}
+
+/// Strategy drawing an arbitrary value of `T` (uniform bits / fair coin).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the arbitrary-value strategy for `T`.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut SmallRng) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// Number of cases each property runs (env `PROPTEST_CASES`, default 128).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Deterministic per-test RNG derived from the test's name.
+pub fn case_rng(test_name: &str, case: u64) -> SmallRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in test_name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..$crate::cases() {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    // Name the loop body so `prop_assume!` can skip a case.
+                    let __keep: bool = loop {
+                        $body
+                        #[allow(unreachable_code)]
+                        break true;
+                    };
+                    let _ = __keep;
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` semantics).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            break false;
+        }
+    };
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Any, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #[test]
+        fn ranges_respect_bounds(
+            a in 3u64..10,
+            b in 0.25f64..=0.75,
+            flag in crate::any::<bool>(),
+        ) {
+            assert!((3..10).contains(&a));
+            assert!((0.25..=0.75).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u64..100) {
+            crate::prop_assume!(x % 2 == 0);
+            assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_cases() {
+        use crate::Strategy;
+        let a = (0u64..1_000_000).generate(&mut crate::case_rng("t", 7));
+        let b = (0u64..1_000_000).generate(&mut crate::case_rng("t", 7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io. Nothing in
+//! this workspace actually serializes today (there is no `serde_json` /
+//! `csv`-via-serde consumer — CSV export in `fet-plot` is hand-rolled), but
+//! the types are annotated with `#[derive(Serialize, Deserialize)]` so the
+//! real `serde` can be dropped in when the environment allows it. This
+//! stand-in keeps those annotations compiling: `Serialize`/`Deserialize`
+//! are blanket marker traits and the derive macros expand to nothing.
+
+#![deny(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for every
+/// type so derived and hand-written bounds alike are satisfied.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for every
+/// type so derived and hand-written bounds alike are satisfied.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

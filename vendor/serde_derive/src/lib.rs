@@ -1,0 +1,22 @@
+//! No-op derive macros for the workspace-local `serde` stand-in.
+//!
+//! The vendored `serde` crate (see its docs for why it exists) implements
+//! `Serialize`/`Deserialize` as blanket marker traits, so the derives have
+//! nothing to generate: they accept the standard derive syntax (including
+//! `#[serde(...)]` attributes) and expand to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; the blanket impl in `serde` already
+/// covers every type, so nothing is emitted.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; the blanket impl in `serde` already
+/// covers every type, so nothing is emitted.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
