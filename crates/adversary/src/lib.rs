@@ -21,6 +21,29 @@
 //!   under passive communication: after copying internal states from a
 //!   converged honest-majority run, every observation is unanimous and the
 //!   population is provably frozen on the wrong opinion.
+//!
+//! # Example
+//!
+//! Even the tie trap — unanimous wrong opinions with tie-forcing stale
+//! counts — cannot stop FET (Theorem 1 quantifies over it):
+//!
+//! ```
+//! use fet_adversary::init::FetConfigurator;
+//! use fet_core::config::ProblemSpec;
+//! use fet_core::fet::FetProtocol;
+//! use fet_core::opinion::Opinion;
+//! use fet_sim::convergence::ConvergenceCriterion;
+//! use fet_sim::engine::{Engine, Fidelity};
+//! use fet_sim::observer::NullObserver;
+//!
+//! let spec = ProblemSpec::single_source(300, Opinion::One)?;
+//! let protocol = FetProtocol::for_population(300, 4.0)?;
+//! let hostile = FetConfigurator::new(protocol, spec).tie_trap();
+//! let mut engine = Engine::from_states(protocol, spec, Fidelity::Binomial, hostile, 7)?;
+//! let report = engine.run(20_000, ConvergenceCriterion::new(3), &mut NullObserver);
+//! assert!(report.converged(), "self-stabilization beats the tie trap");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]

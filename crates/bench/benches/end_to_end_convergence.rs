@@ -2,10 +2,19 @@
 //!
 //! Wall-clock for one complete self-stabilization episode at several
 //! scales, driven through the unified `Simulation` facade — the number a
-//! downstream user of the library actually feels.
+//! downstream user of the library actually feels. The `typed_vs_registry`
+//! pair at `n = 10^5` is the acceptance gauge for the population-erased
+//! facade path: a registry-name run must stay within a few percent of the
+//! hand-typed `Engine<FetProtocol>` run it is stream-identical to.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode};
-use fet_sim::engine::Fidelity;
+use fet_core::config::{ell_for_population, ProblemSpec};
+use fet_core::fet::FetProtocol;
+use fet_core::opinion::Opinion;
+use fet_sim::convergence::ConvergenceCriterion;
+use fet_sim::engine::{Engine, Fidelity};
+use fet_sim::init::InitialCondition;
+use fet_sim::observer::NullObserver;
 use fet_sim::simulation::Simulation;
 
 fn bench_convergence(c: &mut Criterion) {
@@ -47,5 +56,52 @@ fn bench_convergence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_convergence);
+/// Typed engine vs registry-name facade at `n = 10^5`: same protocol, same
+/// seed schedule, same binomial fidelity — the two full-convergence numbers
+/// whose ratio is the erased-path overhead.
+fn bench_typed_vs_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_convergence");
+    group.sampling_mode(SamplingMode::Flat);
+    group.sample_size(10);
+    let n = 100_000u64;
+
+    group.bench_with_input(BenchmarkId::new("engine_typed_binomial", n), &n, |b, &n| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let protocol = FetProtocol::new(ell_for_population(n, 4.0)).unwrap();
+            let spec = ProblemSpec::single_source(n, Opinion::One).unwrap();
+            let mut engine = Engine::new(
+                protocol,
+                spec,
+                Fidelity::Binomial,
+                InitialCondition::AllWrong,
+                seed,
+            )
+            .unwrap();
+            engine.run(1_000_000, ConvergenceCriterion::new(3), &mut NullObserver)
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new("facade_registry_binomial", n),
+        &n,
+        |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Simulation::builder()
+                    .population(n)
+                    .protocol_name("fet")
+                    .seed(seed)
+                    .max_rounds(1_000_000)
+                    .build()
+                    .unwrap()
+                    .run()
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence, bench_typed_vs_registry);
 criterion_main!(benches);

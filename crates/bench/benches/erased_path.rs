@@ -1,0 +1,74 @@
+//! The erased execution paths, measured at the engine level.
+//!
+//! One synchronous binomial-fidelity round — observation generation plus
+//! the batched protocol dispatch plus counter folds — through each of the
+//! three representations the workspace can run a protocol in:
+//!
+//! * `typed` — `Engine<FetProtocol>`: the monomorphized baseline.
+//! * `boxed` — `Engine<ErasedProtocol>`: the legacy per-agent erasure;
+//!   every round re-materializes a contiguous typed buffer (O(n) alloc +
+//!   2 clones per agent).
+//! * `population` — `PopulationEngine` over `Box<dyn DynPopulation>`: the
+//!   facade/registry hot path; one virtual dispatch per round into the
+//!   typed kernel, zero per-round copying.
+//!
+//! These are the numbers recorded in `docs/BENCHMARKS.md`; the acceptance
+//! bar is `population / typed ≤ ~1.05` at `n ≥ 10^5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fet_core::config::{ell_for_population, ProblemSpec};
+use fet_core::erased::ErasedProtocol;
+use fet_core::fet::FetProtocol;
+use fet_core::opinion::Opinion;
+use fet_sim::engine::{Engine, Fidelity, PopulationEngine};
+use fet_sim::init::InitialCondition;
+
+const SIZES: [u64; 3] = [1_024, 10_000, 100_000];
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erased_path_round");
+    for &n in &SIZES {
+        let ell = ell_for_population(n, 4.0);
+        let spec = || ProblemSpec::single_source(n, Opinion::One).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("typed", n), &n, |b, _| {
+            let mut engine = Engine::new(
+                FetProtocol::new(ell).unwrap(),
+                spec(),
+                Fidelity::Binomial,
+                InitialCondition::Random,
+                42,
+            )
+            .unwrap();
+            b.iter(|| engine.step());
+        });
+
+        group.bench_with_input(BenchmarkId::new("boxed", n), &n, |b, _| {
+            let mut engine = Engine::new(
+                ErasedProtocol::new(FetProtocol::new(ell).unwrap()),
+                spec(),
+                Fidelity::Binomial,
+                InitialCondition::Random,
+                42,
+            )
+            .unwrap();
+            b.iter(|| engine.step());
+        });
+
+        group.bench_with_input(BenchmarkId::new("population", n), &n, |b, _| {
+            let mut engine = PopulationEngine::new(
+                ErasedProtocol::new(FetProtocol::new(ell).unwrap()).population(),
+                spec(),
+                Fidelity::Binomial,
+                InitialCondition::Random,
+                42,
+            )
+            .unwrap();
+            b.iter(|| engine.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -108,8 +108,8 @@ fn bench_step_batch(c: &mut Criterion) {
             fet.step_batch(&mut states, &observations, &ctx, &mut rng, &mut outputs);
         });
     });
-    // The erased layer's price: boxed states, one virtual dispatch per
-    // agent inside `step_batch_erased`.
+    // The legacy erased layer's price: boxed states, plus a typed-buffer
+    // materialization (O(n) alloc + 2 clones/agent) each `step_batch`.
     group.bench_function("fet_erased_step_batch_1024", |b| {
         let erased = ErasedProtocol::new(fet);
         let mut rng = SeedTree::new(8).child("erased").rng();
@@ -120,6 +120,23 @@ fn bench_step_batch(c: &mut Criterion) {
         let mut outputs = vec![Opinion::Zero; agents];
         b.iter(|| {
             erased.step_batch(&mut states, &observations, &ctx, &mut rng, &mut outputs);
+        });
+    });
+    // The population-erased layer: one contiguous typed buffer behind an
+    // object-safe container — a single virtual dispatch per round, zero
+    // per-round allocation or cloning. Must sit within ~5% of the typed
+    // kernel.
+    group.bench_function("fet_population_erased_step_batch_1024", |b| {
+        let mut population = ErasedProtocol::new(fet).population();
+        let mut rng = SeedTree::new(8).child("pop-erased").rng();
+        let mut init_rng = SeedTree::new(7).child("pop-erased-init").rng();
+        population.reserve(agents);
+        for _ in 0..agents {
+            population.push_agent(Opinion::Zero, &mut init_rng);
+        }
+        let mut outputs = vec![Opinion::Zero; agents];
+        b.iter(|| {
+            population.step_batch(&observations, &ctx, &mut rng, &mut outputs);
         });
     });
 
@@ -150,5 +167,64 @@ fn bench_step_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_steps, bench_step_batch);
+/// The acceptance gauge at scale: typed vs boxed-erased vs
+/// population-erased FET kernels over 10^5 agents. The population path
+/// must stay within ~5% of the typed kernel; the boxed path documents the
+/// overhead the population container removes.
+fn bench_step_batch_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_step_batch_100k");
+    let ell = 32u32;
+    let agents = 100_000usize;
+    let fet = FetProtocol::new(ell).unwrap();
+    let m = fet.samples_per_round();
+    let ctx = RoundContext::new(0);
+    let observations: Vec<Observation> = (0..agents)
+        .map(|i| Observation::new((i as u32 * 13) % (m + 1), m).unwrap())
+        .collect();
+
+    group.bench_function("fet_step_batch_100k", |b| {
+        let mut init_rng = SeedTree::new(7).child("typed-init").rng();
+        let mut rng = SeedTree::new(8).child("typed").rng();
+        let mut states: Vec<FetState> = (0..agents)
+            .map(|_| fet.init_state(Opinion::Zero, &mut init_rng))
+            .collect();
+        let mut outputs = vec![Opinion::Zero; agents];
+        b.iter(|| {
+            fet.step_batch(&mut states, &observations, &ctx, &mut rng, &mut outputs);
+        });
+    });
+    group.bench_function("fet_erased_step_batch_100k", |b| {
+        let erased = ErasedProtocol::new(fet);
+        let mut init_rng = SeedTree::new(7).child("erased-init").rng();
+        let mut rng = SeedTree::new(8).child("erased").rng();
+        let mut states: Vec<_> = (0..agents)
+            .map(|_| erased.init_state(Opinion::Zero, &mut init_rng))
+            .collect();
+        let mut outputs = vec![Opinion::Zero; agents];
+        b.iter(|| {
+            erased.step_batch(&mut states, &observations, &ctx, &mut rng, &mut outputs);
+        });
+    });
+    group.bench_function("fet_population_erased_step_batch_100k", |b| {
+        let mut population = ErasedProtocol::new(fet).population();
+        let mut init_rng = SeedTree::new(7).child("pop-init").rng();
+        let mut rng = SeedTree::new(8).child("pop").rng();
+        population.reserve(agents);
+        for _ in 0..agents {
+            population.push_agent(Opinion::Zero, &mut init_rng);
+        }
+        let mut outputs = vec![Opinion::Zero; agents];
+        b.iter(|| {
+            population.step_batch(&observations, &ctx, &mut rng, &mut outputs);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_steps,
+    bench_step_batch,
+    bench_step_batch_large
+);
 criterion_main!(benches);

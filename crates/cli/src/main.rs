@@ -237,10 +237,16 @@ fn cmd_protocols() -> Result<(), String> {
     let registry = ProtocolRegistry::with_builtins();
     let params = ProtocolParams::for_population(10_000, 4.0);
     let mut table = Table::new(
-        ["name", "samples/round", "passive", "aggregate-exact"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "name",
+            "samples/round",
+            "passive",
+            "aggregate-exact",
+            "bits/agent",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     for name in registry.names() {
         let p = registry.build(name, &params).map_err(|e| e.to_string())?;
@@ -254,6 +260,9 @@ fn cmd_protocols() -> Result<(), String> {
                 "—"
             }
             .to_string(),
+            // Per-agent cost of the contiguous state buffer that
+            // `run --protocol` executes on.
+            p.memory_footprint().peak_bits().to_string(),
         ]);
     }
     println!("registered protocols (samples/round shown for n = 10000, c = 4):");

@@ -16,10 +16,37 @@
 //! the batched entry point ([`Protocol::step_batch`]) still dispatches once
 //! per *round* into the underlying typed kernel, so the round loop keeps a
 //! single indirect call per agent rather than three.
+//!
+//! # `ErasedProtocol` vs [`DynPopulation`]: which erasure to use
+//!
+//! There are two ways to run a runtime-selected protocol, erased at
+//! different granularities:
+//!
+//! | | [`ErasedProtocol`] (per-agent) | [`DynPopulation`] (population) |
+//! |---|---|---|
+//! | state layout | `n` separately boxed states | one contiguous `Vec<P::State>` |
+//! | per-round cost | `O(n)` buffer alloc + 2 clones/agent (boxes are not contiguous, so [`DynProtocol::step_batch_erased`] materializes a typed buffer and writes back) | zero-copy: one virtual dispatch into the typed kernel |
+//! | per-agent state access | yes — states are first-class `Box<dyn DynState>` values you can hold, swap, and move between containers | through the population only (indices, not owned values) |
+//! | drop-in for `Engine<P>` | yes — implements [`Protocol`] itself | no — engines need a population-aware entry point |
+//!
+//! **Default to the population container**: every facade/registry run does
+//! (`ErasedProtocol::population` is the bridge), and at `n = 1024` the
+//! boxed path measured ~25% slower than the typed kernel while the
+//! population path is within noise of it. Reach for `ErasedProtocol`'s
+//! per-agent states only when code genuinely needs owned, individually
+//! boxed states — e.g. adversarial surgery that moves single states across
+//! engines, or generic code written against `Protocol` that cannot be made
+//! population-aware. The boxed representation also remains reachable as
+//! `TypedPopulation<ErasedProtocol>` (erasing twice), which is what keeps
+//! old call sites working unchanged.
+//!
+//! [`DynPopulation`]: crate::population::DynPopulation
+//! [`TypedPopulation<ErasedProtocol>`]: crate::population::TypedPopulation
 
 use crate::memory::MemoryFootprint;
 use crate::observation::Observation;
 use crate::opinion::Opinion;
+use crate::population::{DynPopulation, TypedPopulation};
 use crate::protocol::{Protocol, RoundContext};
 use rand::RngCore;
 use std::any::Any;
@@ -99,6 +126,12 @@ pub trait DynProtocol: fmt::Debug + Send + Sync {
     fn aggregate_ell_erased(&self) -> Option<u32>;
     /// See [`Protocol::memory_footprint`].
     fn memory_footprint_erased(&self) -> MemoryFootprint;
+    /// Creates an empty contiguous population container for this protocol
+    /// — the zero-copy alternative to boxing each agent's state (see the
+    /// [module docs](self) for the trade-off). The container owns a clone
+    /// of the protocol configuration, so the handle and the population can
+    /// live independently.
+    fn fresh_population_erased(&self) -> Box<dyn DynPopulation>;
 }
 
 fn downcast<'a, S: 'static>(state: &'a dyn DynState, name: &str) -> &'a S {
@@ -117,7 +150,7 @@ fn downcast_mut<'a, S: 'static>(state: &'a mut dyn DynState, name: &str) -> &'a 
 
 impl<P> DynProtocol for P
 where
-    P: Protocol + fmt::Debug + Send + Sync + 'static,
+    P: Protocol + Clone + fmt::Debug + Send + Sync + 'static,
     P::State: 'static,
 {
     fn name_erased(&self) -> &str {
@@ -196,6 +229,10 @@ where
     fn memory_footprint_erased(&self) -> MemoryFootprint {
         Protocol::memory_footprint(self)
     }
+
+    fn fresh_population_erased(&self) -> Box<dyn DynPopulation> {
+        Box::new(TypedPopulation::new(self.clone()))
+    }
 }
 
 /// A runtime-selected protocol usable wherever a typed [`Protocol`] is:
@@ -230,7 +267,7 @@ impl ErasedProtocol {
     /// Erases a typed protocol.
     pub fn new<P>(protocol: P) -> Self
     where
-        P: Protocol + fmt::Debug + Send + Sync + 'static,
+        P: Protocol + Clone + fmt::Debug + Send + Sync + 'static,
         P::State: 'static,
     {
         ErasedProtocol {
@@ -246,6 +283,18 @@ impl ErasedProtocol {
     /// The underlying erased protocol.
     pub fn as_dyn(&self) -> &dyn DynProtocol {
         self.inner.as_ref()
+    }
+
+    /// Creates an empty contiguous population container for the underlying
+    /// *typed* protocol — the zero-copy execution path for runtime-selected
+    /// protocols (see the [module docs](self) for the trade-off against
+    /// per-agent boxed states).
+    ///
+    /// The call routes through the erased handle's inner protocol, so the
+    /// resulting container holds a `Vec` of the original concrete states —
+    /// not boxes — even though `self` is erased.
+    pub fn population(&self) -> Box<dyn DynPopulation> {
+        self.inner.fresh_population_erased()
     }
 }
 

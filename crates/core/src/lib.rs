@@ -58,6 +58,7 @@ pub mod fet;
 pub mod memory;
 pub mod observation;
 pub mod opinion;
+pub mod population;
 pub mod protocol;
 pub mod simple_trend;
 pub mod source;
@@ -74,6 +75,7 @@ pub mod prelude {
     pub use crate::memory::MemoryFootprint;
     pub use crate::observation::Observation;
     pub use crate::opinion::{AgentId, Opinion};
+    pub use crate::population::{DynPopulation, Population, TypedPopulation};
     pub use crate::protocol::{Protocol, RoundContext};
     pub use crate::simple_trend::SimpleTrendProtocol;
     pub use crate::source::Source;

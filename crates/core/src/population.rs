@@ -1,0 +1,451 @@
+//! Type-erased *population containers*: the zero-copy erased hot path.
+//!
+//! [`crate::erased::ErasedProtocol`] erases a protocol by boxing every
+//! per-agent state (`Vec<Box<dyn DynState>>`). That keeps runtime protocol
+//! selection fully general, but the batched round kernel cannot run over a
+//! slice of boxes: each round it must materialize a contiguous typed buffer
+//! and write it back — an `O(n)` allocation plus two clones per agent, per
+//! round, measured at ~25% over the typed kernel at `n = 1024`.
+//!
+//! This module erases at a coarser granularity — the **population**, not the
+//! agent. A [`TypedPopulation<P>`] owns one contiguous `Vec<P::State>` next
+//! to its protocol configuration; the object-safe [`Population`] /
+//! [`DynPopulation`] traits expose exactly the operations the round loop
+//! needs (initialize agents, step the whole slice, read outputs and
+//! decisions, account memory, clone for snapshots). A runtime-selected
+//! protocol therefore pays **one** virtual dispatch per round — straight
+//! into the typed [`Protocol::step_batch`] kernel — with zero per-round
+//! allocation or cloning. The states stay tiny and uniform (FET's is 8
+//! bytes), exactly the regime the 3-bit/noisy-PULL literature optimizes
+//! for, so one contiguous buffer is also the cache-friendly layout.
+//!
+//! Two traits split the interface by what callers need:
+//!
+//! * [`Population`] — the round-loop surface, object-safe, with minimal
+//!   bounds so fully generic engines can drive any `P: Protocol` without
+//!   extra `where` clauses.
+//! * [`DynPopulation`] — adds [`DynPopulation::clone_box`] (engines and
+//!   trajectory snapshots are `Clone`), and is the type protocol factories
+//!   hand out: `Box<dyn DynPopulation>`.
+//!
+//! The per-agent boxed representation remains available — erasing an
+//! [`ErasedProtocol`](crate::erased::ErasedProtocol) *again* yields a
+//! `TypedPopulation<ErasedProtocol>` whose "typed" state is `Box<dyn
+//! DynState>` — but it is a compatibility fallback, not the hot path. See
+//! the [`crate::erased`] module docs for the full trade-off discussion.
+//!
+//! # Example
+//!
+//! ```
+//! use fet_core::erased::ErasedProtocol;
+//! use fet_core::fet::FetProtocol;
+//! use fet_core::observation::Observation;
+//! use fet_core::opinion::Opinion;
+//! use fet_core::population::Population;
+//! use fet_core::protocol::RoundContext;
+//! use rand::SeedableRng;
+//!
+//! // A runtime-selected protocol hands out a contiguous population…
+//! let erased = ErasedProtocol::new(FetProtocol::new(8)?);
+//! let mut population = erased.population();
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! for _ in 0..100 {
+//!     population.push_agent(Opinion::Zero, &mut rng);
+//! }
+//!
+//! // …and one round is a single dispatch into the typed batch kernel.
+//! let obs = vec![Observation::new(12, 16)?; 100];
+//! let mut out = vec![Opinion::Zero; 100];
+//! population.step_batch(&obs, &RoundContext::new(0), &mut rng, &mut out);
+//! assert_eq!(population.len(), 100);
+//! # Ok::<(), fet_core::CoreError>(())
+//! ```
+
+use crate::memory::MemoryFootprint;
+use crate::observation::Observation;
+use crate::opinion::Opinion;
+use crate::protocol::{Protocol, RoundContext};
+use rand::RngCore;
+use std::fmt;
+
+/// The object-safe round-loop view of a set of agents running one protocol.
+///
+/// Agents are indexed `0..len()` in insertion order ([`push_agent`]); a
+/// simulation engine keeps sources outside the population and maps indices
+/// itself. All batch methods preserve the *sequential RNG semantics* of
+/// [`Protocol::step_batch`]: stepping the population in one call draws the
+/// same random stream as stepping agent by agent in index order.
+///
+/// Bounds are deliberately minimal (`Debug + Send`, no `Clone`), so that a
+/// fully generic engine can drive any `P: Protocol` through
+/// [`TypedPopulation`] without inheriting clonability requirements; see
+/// [`DynPopulation`] for the clonable, factory-facing extension.
+///
+/// [`push_agent`]: Population::push_agent
+pub trait Population: fmt::Debug + Send {
+    /// The protocol's name (see [`Protocol::name`]).
+    fn protocol_name(&self) -> &str;
+
+    /// Agents sampled per agent per round (see
+    /// [`Protocol::samples_per_round`]).
+    fn samples_per_round(&self) -> u32;
+
+    /// `true` when the protocol communicates passively (see
+    /// [`Protocol::is_passive`]).
+    fn is_passive(&self) -> bool;
+
+    /// Per-agent memory accounting (see [`Protocol::memory_footprint`]).
+    fn memory_footprint(&self) -> MemoryFootprint;
+
+    /// Number of agents currently in the population.
+    fn len(&self) -> usize;
+
+    /// `true` when the population holds no agents.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pre-allocates room for `additional` more agents.
+    fn reserve(&mut self, additional: usize);
+
+    /// Appends one agent initialized with the given public opinion and
+    /// randomized internals (see [`Protocol::init_state`]), returning the
+    /// new agent's public output.
+    fn push_agent(&mut self, opinion: Opinion, rng: &mut dyn RngCore) -> Opinion;
+
+    /// Executes one round for every agent: agent `i` consumes
+    /// `observations[i]` and its new public opinion is written to
+    /// `outputs[i]`. One dispatch into the typed
+    /// [`Protocol::step_batch`] kernel — no per-round allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths differ from [`Population::len`], or
+    /// when an observation's sample size does not match
+    /// [`Population::samples_per_round`].
+    fn step_batch(
+        &mut self,
+        observations: &[Observation],
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        outputs: &mut [Opinion],
+    );
+
+    /// Executes one round for the single agent `idx` (the sleepy-agent
+    /// fallback, where some agents skip their update entirely).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ len()`.
+    fn step_agent(
+        &mut self,
+        idx: usize,
+        obs: &Observation,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+    ) -> Opinion;
+
+    /// The public output of agent `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ len()`.
+    fn output_of(&self, idx: usize) -> Opinion;
+
+    /// The decision of agent `idx` (see [`Protocol::decision`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ len()`.
+    fn decision_of(&self, idx: usize) -> Opinion;
+
+    /// Number of agents whose decision equals `correct` — one typed loop
+    /// behind a single dispatch, so engines keep their per-round virtual
+    /// call count constant.
+    fn count_correct_decisions(&self, correct: Opinion) -> u64;
+
+    /// Writes every agent's public output into `out` (index-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != len()`.
+    fn write_outputs(&self, out: &mut [Opinion]);
+}
+
+/// A clonable [`Population`] — the type protocol factories hand out.
+///
+/// Splitting `clone_box` into a subtrait keeps [`Population`] free of
+/// `Clone` bounds for fully generic engine code while letting runtime
+/// containers (`Box<dyn DynPopulation>`) participate in `Clone` engines and
+/// trajectory snapshots.
+pub trait DynPopulation: Population {
+    /// Clones the population (protocol configuration and all agent states)
+    /// behind a box.
+    fn clone_box(&self) -> Box<dyn DynPopulation>;
+}
+
+impl Clone for Box<dyn DynPopulation> {
+    fn clone(&self) -> Self {
+        // Explicit deref: resolve against the underlying population, not a
+        // (hypothetical) blanket impl on the box itself.
+        (**self).clone_box()
+    }
+}
+
+/// One contiguous `Vec<P::State>` next to its protocol configuration — the
+/// canonical [`Population`] implementation.
+///
+/// This is the representation behind every execution path: typed engines
+/// own one directly (monomorphized, zero dispatch), while runtime-selected
+/// protocols hold the same struct behind `Box<dyn DynPopulation>` (one
+/// dispatch per round). Typed accessors ([`TypedPopulation::states`],
+/// [`TypedPopulation::states_mut`], …) remain available for adversarial
+/// state surgery.
+#[derive(Debug, Clone)]
+pub struct TypedPopulation<P: Protocol> {
+    protocol: P,
+    states: Vec<P::State>,
+}
+
+impl<P: Protocol> TypedPopulation<P> {
+    /// An empty population running `protocol`.
+    pub fn new(protocol: P) -> Self {
+        TypedPopulation {
+            protocol,
+            states: Vec::new(),
+        }
+    }
+
+    /// A population over explicitly provided states — the adversarial
+    /// entry point.
+    pub fn from_states(protocol: P, states: Vec<P::State>) -> Self {
+        TypedPopulation { protocol, states }
+    }
+
+    /// The protocol configuration.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The contiguous agent states, read-only.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Mutable access to the agent states for adversarial surgery. Engine
+    /// callers must refresh their cached counters afterwards.
+    pub fn states_mut(&mut self) -> &mut [P::State] {
+        &mut self.states
+    }
+
+    /// Replaces the state of agent `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn set_state(&mut self, idx: usize, state: P::State) {
+        self.states[idx] = state;
+    }
+}
+
+impl<P> Population for TypedPopulation<P>
+where
+    P: Protocol + fmt::Debug + Send,
+{
+    fn protocol_name(&self) -> &str {
+        self.protocol.name()
+    }
+
+    fn samples_per_round(&self) -> u32 {
+        self.protocol.samples_per_round()
+    }
+
+    fn is_passive(&self) -> bool {
+        self.protocol.is_passive()
+    }
+
+    fn memory_footprint(&self) -> MemoryFootprint {
+        self.protocol.memory_footprint()
+    }
+
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.states.reserve(additional);
+    }
+
+    fn push_agent(&mut self, opinion: Opinion, rng: &mut dyn RngCore) -> Opinion {
+        let state = self.protocol.init_state(opinion, rng);
+        let output = self.protocol.output(&state);
+        self.states.push(state);
+        output
+    }
+
+    fn step_batch(
+        &mut self,
+        observations: &[Observation],
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        outputs: &mut [Opinion],
+    ) {
+        self.protocol
+            .step_batch(&mut self.states, observations, ctx, rng, outputs);
+    }
+
+    fn step_agent(
+        &mut self,
+        idx: usize,
+        obs: &Observation,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+    ) -> Opinion {
+        self.protocol.step(&mut self.states[idx], obs, ctx, rng)
+    }
+
+    fn output_of(&self, idx: usize) -> Opinion {
+        self.protocol.output(&self.states[idx])
+    }
+
+    fn decision_of(&self, idx: usize) -> Opinion {
+        self.protocol.decision(&self.states[idx])
+    }
+
+    fn count_correct_decisions(&self, correct: Opinion) -> u64 {
+        self.states
+            .iter()
+            .filter(|s| self.protocol.decision(s) == correct)
+            .count() as u64
+    }
+
+    fn write_outputs(&self, out: &mut [Opinion]) {
+        assert_eq!(out.len(), self.states.len(), "one output slot per agent");
+        for (slot, state) in out.iter_mut().zip(&self.states) {
+            *slot = self.protocol.output(state);
+        }
+    }
+}
+
+impl<P> DynPopulation for TypedPopulation<P>
+where
+    P: Protocol + Clone + fmt::Debug + Send + Sync + 'static,
+    P::State: 'static,
+{
+    fn clone_box(&self) -> Box<dyn DynPopulation> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erased::ErasedProtocol;
+    use crate::fet::FetProtocol;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::SmallRng {
+        rand::rngs::SmallRng::seed_from_u64(0x90B)
+    }
+
+    fn filled(n: usize) -> (TypedPopulation<FetProtocol>, rand::rngs::SmallRng) {
+        let mut pop = TypedPopulation::new(FetProtocol::new(8).unwrap());
+        let mut r = rng();
+        pop.reserve(n);
+        for _ in 0..n {
+            pop.push_agent(Opinion::Zero, &mut r);
+        }
+        (pop, r)
+    }
+
+    #[test]
+    fn push_agent_matches_init_state_stream() {
+        let proto = FetProtocol::new(8).unwrap();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let (pop, _) = {
+            let mut pop = TypedPopulation::new(proto);
+            for _ in 0..5 {
+                pop.push_agent(Opinion::One, &mut r1);
+            }
+            (pop, ())
+        };
+        let direct: Vec<_> = (0..5)
+            .map(|_| {
+                FetProtocol::new(8)
+                    .unwrap()
+                    .init_state(Opinion::One, &mut r2)
+            })
+            .collect();
+        assert_eq!(pop.states(), &direct[..]);
+    }
+
+    #[test]
+    fn batch_equals_per_agent_loop() {
+        let (mut a, mut ra) = filled(16);
+        let (mut b, mut rb) = filled(16);
+        let ctx = RoundContext::new(0);
+        let obs: Vec<_> = (0..16)
+            .map(|i| Observation::new(i % 17, 16).unwrap())
+            .collect();
+        let mut batched = vec![Opinion::Zero; 16];
+        a.step_batch(&obs, &ctx, &mut ra, &mut batched);
+        let looped: Vec<_> = obs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| b.step_agent(i, o, &ctx, &mut rb))
+            .collect();
+        assert_eq!(batched, looped);
+        assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn counters_and_outputs_agree() {
+        let (pop, _) = filled(12);
+        let mut out = vec![Opinion::One; 12];
+        pop.write_outputs(&mut out);
+        let ones = out.iter().filter(|o| o.is_one()).count() as u64;
+        assert_eq!(pop.count_correct_decisions(Opinion::One), ones);
+        assert_eq!(
+            pop.count_correct_decisions(Opinion::Zero),
+            12 - ones,
+            "FET decisions are its outputs"
+        );
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(pop.output_of(i), *o);
+            assert_eq!(pop.decision_of(i), *o);
+        }
+    }
+
+    #[test]
+    fn clone_box_is_independent() {
+        let (pop, mut r) = filled(6);
+        let boxed: Box<dyn DynPopulation> = pop.clone_box();
+        let mut copy = boxed.clone();
+        let obs = vec![Observation::new(16, 16).unwrap(); 6];
+        let mut out = vec![Opinion::Zero; 6];
+        copy.step_batch(&obs, &RoundContext::new(0), &mut r, &mut out);
+        // The original is untouched by stepping the clone.
+        let mut orig_out = vec![Opinion::Zero; 6];
+        pop.write_outputs(&mut orig_out);
+        let mut boxed_out = vec![Opinion::Zero; 6];
+        boxed.write_outputs(&mut boxed_out);
+        assert_eq!(orig_out, boxed_out);
+        assert_eq!(copy.len(), 6);
+    }
+
+    #[test]
+    fn double_erasure_is_the_boxed_fallback() {
+        // Erasing an already-erased protocol yields the legacy per-agent
+        // boxed representation — supported, just not the hot path.
+        let erased = ErasedProtocol::new(FetProtocol::new(4).unwrap());
+        let mut pop = TypedPopulation::new(erased);
+        let mut r = rng();
+        pop.push_agent(Opinion::Zero, &mut r);
+        assert_eq!(pop.protocol_name(), "fet");
+        assert_eq!(pop.len(), 1);
+        let obs = [Observation::new(3, 8).unwrap()];
+        let mut out = [Opinion::Zero];
+        pop.step_batch(&obs, &RoundContext::new(0), &mut r, &mut out);
+    }
+}

@@ -9,6 +9,18 @@
 //! * [`heatmap`] — scalar heatmaps (shade ramp) and categorical maps with
 //!   legends (the Figure 1a / Figure 2 domain maps).
 //! * [`csv`] — CSV writing with proper quoting.
+//!
+//! # Example
+//!
+//! ```
+//! use fet_plot::table::Table;
+//!
+//! let mut table = Table::new(vec!["n".into(), "t_con".into()]);
+//! table.add_display_row(&[500u64, 23]);
+//! let rendered = table.render();
+//! assert!(rendered.contains("t_con"), "headers render: {rendered}");
+//! assert!(rendered.contains("500"));
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]

@@ -29,6 +29,25 @@
 //! inexpressible here by construction — which is precisely the paper's
 //! passive-communication restriction. Their *capability* (O(log n) with
 //! clocks) is represented by the oracle-clock baseline.
+//!
+//! # Example
+//!
+//! Protocols are usually reached by name through the [`registry`]:
+//!
+//! ```
+//! use fet_core::protocol::Protocol;
+//! use fet_protocols::registry::{ProtocolParams, ProtocolRegistry};
+//!
+//! let registry = ProtocolRegistry::with_builtins();
+//! let params = ProtocolParams::for_population(10_000, 4.0);
+//! let voter = registry.build("voter", &params)?;
+//! assert_eq!(voter.samples_per_round(), 1);
+//! // Every handle doubles as a zero-copy population builder — the
+//! // representation facade runs execute on:
+//! let population = registry.build_population("voter", &params)?;
+//! assert!(population.is_empty(), "engines fill the container");
+//! # Ok::<(), fet_protocols::registry::RegistryError>(())
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]

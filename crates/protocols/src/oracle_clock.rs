@@ -3,7 +3,7 @@
 //! > "if all agents share the same notion of global time, then convergence
 //! > can be achieved in `O(log n)` time w.h.p. even under passive
 //! > communication. The idea is that agents divide the time horizon into
-//! > phases of length `T = 4·log n`, [each] subdivided into 2 subphases of
+//! > phases of length `T = 4·log n`, \[each\] subdivided into 2 subphases of
 //! > length `2·log n` each. In the first subphase of each phase, if a
 //! > non-source agent observes an opinion 0, then it copies it as its new
 //! > opinion, but if it sees 1 it ignores it. In the second subphase, it

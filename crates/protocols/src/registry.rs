@@ -9,6 +9,16 @@
 //! [`ErasedProtocol`] from a [`ProtocolParams`], so a protocol chosen from a
 //! string flows into any engine or the `Simulation` facade unchanged.
 //!
+//! Each handle a factory produces is also a **population builder**: it
+//! still knows its concrete protocol type, so
+//! [`ProtocolRegistry::build_population`] (or
+//! [`ErasedProtocol::population`] on the handle) yields a contiguous
+//! type-erased state container — a
+//! [`DynPopulation`] — which is the
+//! zero-copy execution path synchronous facade runs use. Prefer it over
+//! driving the `ErasedProtocol` itself through an engine, which boxes
+//! every agent's state (see `fet_core::erased` for the trade-off).
+//!
 //! [`ProtocolRegistry::with_builtins`] pre-registers the whole comparison
 //! set of this workspace; [`ProtocolRegistry::register`] adds custom
 //! entries (last registration wins, enabling overrides).
@@ -22,6 +32,7 @@ use crate::voter::VoterProtocol;
 use fet_core::erased::ErasedProtocol;
 use fet_core::error::CoreError;
 use fet_core::fet::FetProtocol;
+use fet_core::population::DynPopulation;
 use fet_core::simple_trend::SimpleTrendProtocol;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -235,6 +246,35 @@ impl ProtocolRegistry {
             source,
         })
     }
+
+    /// Constructs an empty contiguous population container for the
+    /// protocol registered under `name` — the zero-copy erased execution
+    /// path (engines fill it and then dispatch each round straight into
+    /// the typed batch kernel).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtocolRegistry::build`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fet_protocols::registry::{ProtocolParams, ProtocolRegistry};
+    ///
+    /// let registry = ProtocolRegistry::with_builtins();
+    /// let params = ProtocolParams::for_population(10_000, 4.0);
+    /// let population = registry.build_population("3-majority", &params)?;
+    /// assert_eq!(population.protocol_name(), "3-majority");
+    /// assert!(population.is_empty());
+    /// # Ok::<(), fet_protocols::registry::RegistryError>(())
+    /// ```
+    pub fn build_population(
+        &self,
+        name: &str,
+        params: &ProtocolParams,
+    ) -> Result<Box<dyn DynPopulation>, RegistryError> {
+        Ok(self.build(name, params)?.population())
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +339,26 @@ mod tests {
         });
         let p = r.build("voter", &ProtocolParams::with_ell(100, 7)).unwrap();
         assert_eq!(p.name(), "majority", "override must win");
+    }
+
+    #[test]
+    fn population_builders_cover_every_builtin() {
+        use fet_core::opinion::Opinion;
+        use fet_stats::rng::SeedTree;
+        let r = ProtocolRegistry::with_builtins();
+        let params = ProtocolParams::for_population(500, 4.0);
+        let mut rng = SeedTree::new(3).child("registry-pop").rng();
+        for name in r.names().map(str::to_string).collect::<Vec<_>>() {
+            let mut pop = r.build_population(&name, &params).unwrap();
+            assert_eq!(pop.protocol_name(), name);
+            assert!(pop.is_empty(), "factories hand out empty containers");
+            pop.push_agent(Opinion::Zero, &mut rng);
+            assert_eq!(pop.len(), 1);
+            assert_eq!(
+                pop.samples_per_round(),
+                r.build(&name, &params).unwrap().samples_per_round()
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,29 @@
 //! fact that a with-replacement sample of size `m` from a population with
 //! 1-fraction `x` contains `Binomial(m, x)` ones. The `O(ℓ)`-per-round
 //! aggregate chain lives in [`crate::aggregate`].
+//!
+//! # One round loop, two front ends
+//!
+//! The round mechanics — snapshotting, observation generation, fault
+//! injection, the batched protocol dispatch, counter folding — are written
+//! once, generically over [`Population`] (the object-safe contiguous-state
+//! container from `fet-core`). Two front ends instantiate them:
+//!
+//! * [`Engine<P>`] — the typed engine. Owns a
+//!   [`TypedPopulation<P>`](fet_core::population::TypedPopulation), so
+//!   every population call monomorphizes away: this is the fastest path
+//!   and the one with typed state access for adversarial surgery.
+//! * [`PopulationEngine`] — the runtime-selected engine. Owns a
+//!   `Box<dyn DynPopulation>` (built by
+//!   [`ErasedProtocol::population`](fet_core::erased::ErasedProtocol::population)
+//!   or the `fet-protocols` registry), paying exactly one virtual dispatch
+//!   per round on the batched path — *not* the per-agent boxing and
+//!   per-round buffer copies of the older `Engine<ErasedProtocol>` route,
+//!   which remains supported but deprecated in spirit.
+//!
+//! Both front ends share every line of round code, so their random streams
+//! are identical by construction: a facade run selected by registry name
+//! reproduces a typed `Engine<P>` run bit for bit given the same seed.
 
 use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
 use crate::error::SimError;
@@ -22,6 +45,7 @@ use crate::observer::{RoundObserver, RoundSnapshot};
 use fet_core::config::ProblemSpec;
 use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
+use fet_core::population::{DynPopulation, Population, TypedPopulation};
 use fet_core::protocol::{Protocol, RoundContext};
 use fet_core::source::Source;
 use fet_stats::binomial::BinomialSampler;
@@ -30,6 +54,7 @@ use fet_stats::rng::SeedTree;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// How per-agent observations are generated.
 ///
@@ -105,6 +130,376 @@ fn draw_raw_count(
     }
 }
 
+fn checked_n(spec: &ProblemSpec) -> Result<usize, SimError> {
+    let n = spec.n();
+    if n > (u32::MAX as u64) {
+        return Err(SimError::UnsupportedPopulation {
+            detail: format!("n = {n} exceeds per-agent simulation limits; use the aggregate chain"),
+        });
+    }
+    Ok(n as usize)
+}
+
+fn check_fidelity(samples_per_round: u32, fidelity: Fidelity, n: usize) -> Result<(), SimError> {
+    if fidelity == Fidelity::Aggregate {
+        return Err(SimError::InvalidParameter {
+            name: "fidelity",
+            detail: "the aggregate fidelity has no per-agent states; run it through \
+                     `Simulation::builder()` (or `AggregateFetChain` directly)"
+                .into(),
+        });
+    }
+    if fidelity == Fidelity::WithoutReplacement
+        && usize::try_from(samples_per_round).expect("u32 fits usize") > n
+    {
+        return Err(SimError::InvalidParameter {
+            name: "fidelity",
+            detail: format!(
+                "without-replacement sampling needs m ≤ n, got m = {samples_per_round} and n = {n}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Everything a synchronous engine is *besides* its agents: the problem
+/// instance, the sampling machinery, the fault plan, the cached output
+/// bits and counters, and the round loop itself.
+///
+/// All round methods are generic over [`Population`]; `Engine<P>` calls
+/// them with a monomorphized [`TypedPopulation<P>`], `PopulationEngine`
+/// with a `dyn DynPopulation`. Keeping one implementation guarantees the
+/// two paths consume identical random streams.
+#[derive(Debug, Clone)]
+struct EngineCore {
+    spec: ProblemSpec,
+    source: Source,
+    fidelity: Fidelity,
+    neighborhood: Option<Box<dyn Neighborhood>>,
+    fault: FaultPlan,
+    outputs: Vec<Opinion>,
+    snapshot: Vec<Opinion>,
+    obs_buf: Vec<Observation>,
+    out_buf: Vec<Opinion>,
+    ones_count: u64,
+    correct_decisions: u64,
+    rng: SmallRng,
+    round: u64,
+}
+
+impl EngineCore {
+    /// Creates the core and fills `pop` with non-source agents drawn from
+    /// `init` (one opinion draw then one state init per agent, in agent
+    /// order — the random stream every construction path shares).
+    fn construct<A: Population + ?Sized>(
+        pop: &mut A,
+        spec: ProblemSpec,
+        fidelity: Fidelity,
+        init: InitialCondition,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let mut rng = SeedTree::new(seed).child("engine").rng();
+        let n = checked_n(&spec)?;
+        check_fidelity(pop.samples_per_round(), fidelity, n)?;
+        let num_sources = spec.num_sources() as usize;
+        let source = Source::new(spec.correct());
+        let mut outputs = Vec::with_capacity(n);
+        for _ in 0..num_sources {
+            outputs.push(source.output());
+        }
+        pop.reserve(n - num_sources);
+        for _ in num_sources..n {
+            let opinion = init.draw(spec.correct(), &mut rng);
+            outputs.push(pop.push_agent(opinion, &mut rng));
+        }
+        Ok(Self::assemble(pop, spec, source, fidelity, outputs, rng))
+    }
+
+    /// Creates the core over an already-filled population (the adversarial
+    /// entry point).
+    fn construct_filled<A: Population + ?Sized>(
+        pop: &mut A,
+        spec: ProblemSpec,
+        fidelity: Fidelity,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let rng = SeedTree::new(seed).child("engine").rng();
+        let n = checked_n(&spec)?;
+        check_fidelity(pop.samples_per_round(), fidelity, n)?;
+        let num_sources = spec.num_sources() as usize;
+        if pop.len() != n - num_sources {
+            return Err(SimError::InvalidParameter {
+                name: "states",
+                detail: format!(
+                    "expected {} non-source states, got {}",
+                    n - num_sources,
+                    pop.len()
+                ),
+            });
+        }
+        let source = Source::new(spec.correct());
+        let mut outputs = vec![source.output(); n];
+        pop.write_outputs(&mut outputs[num_sources..]);
+        Ok(Self::assemble(pop, spec, source, fidelity, outputs, rng))
+    }
+
+    fn assemble<A: Population + ?Sized>(
+        pop: &A,
+        spec: ProblemSpec,
+        source: Source,
+        fidelity: Fidelity,
+        outputs: Vec<Opinion>,
+        rng: SmallRng,
+    ) -> Self {
+        let ones_count = outputs.iter().filter(|o| o.is_one()).count() as u64;
+        let correct_decisions = pop.count_correct_decisions(source.correct());
+        let snapshot = outputs.clone();
+        EngineCore {
+            spec,
+            source,
+            fidelity,
+            neighborhood: None,
+            fault: FaultPlan::none(),
+            outputs,
+            snapshot,
+            obs_buf: Vec::new(),
+            out_buf: Vec::new(),
+            ones_count,
+            correct_decisions,
+            rng,
+            round: 0,
+        }
+    }
+
+    fn fraction_ones(&self) -> f64 {
+        self.ones_count as f64 / self.spec.n() as f64
+    }
+
+    fn fraction_correct(&self) -> f64 {
+        self.correct_decisions as f64 / self.spec.num_non_sources() as f64
+    }
+
+    fn all_correct(&self) -> bool {
+        self.correct_decisions == self.spec.num_non_sources()
+    }
+
+    /// Re-derives outputs and counters from the population's states.
+    fn refresh_caches<A: Population + ?Sized>(&mut self, pop: &A) {
+        let num_sources = self.spec.num_sources() as usize;
+        for i in 0..num_sources {
+            self.outputs[i] = self.source.output();
+        }
+        pop.write_outputs(&mut self.outputs[num_sources..]);
+        self.ones_count = self.outputs.iter().filter(|o| o.is_one()).count() as u64;
+        self.correct_decisions = pop.count_correct_decisions(self.source.correct());
+    }
+
+    /// Executes one synchronous round (see [`Engine::step`]).
+    fn step<A: Population + ?Sized>(&mut self, pop: &mut A) {
+        // Scheduled environment change: the correct bit itself flips.
+        if let Some(new_correct) = self.fault.retarget_at(self.round) {
+            self.source.retarget(new_correct);
+            self.refresh_caches(pop);
+        }
+        // Synchrony: all observations read the round-t outputs.
+        self.snapshot.clone_from(&self.outputs);
+        if self.fault.sleep_prob > 0.0 {
+            self.step_with_sleep(pop);
+        } else {
+            self.step_batched(pop);
+        }
+        self.round += 1;
+    }
+
+    /// Per-round samplers for the current fidelity (`None` = literal).
+    fn round_samplers(&self, m: u32) -> (Option<BinomialSampler>, Option<Hypergeometric>) {
+        let n = self.outputs.len();
+        let x_t = self.ones_count as f64 / n as f64;
+        match self.fidelity {
+            Fidelity::Agent => (None, None),
+            Fidelity::Binomial => (
+                Some(
+                    BinomialSampler::new(u64::from(m), x_t)
+                        .expect("x_t is a fraction of counts, always in [0, 1]"),
+                ),
+                None,
+            ),
+            Fidelity::WithoutReplacement => (
+                None,
+                Some(
+                    Hypergeometric::new(n as u64, self.ones_count, u64::from(m))
+                        .expect("m ≤ n is validated at engine construction"),
+                ),
+            ),
+            Fidelity::Aggregate => unreachable!("rejected at engine construction"),
+        }
+    }
+
+    /// The batched round path: observations into `obs_buf`, one
+    /// `step_batch` over the contiguous state buffer, counters folded from
+    /// `out_buf` plus one decision count.
+    fn step_batched<A: Population + ?Sized>(&mut self, pop: &mut A) {
+        let n = self.outputs.len();
+        let num_sources = self.spec.num_sources() as usize;
+        let num_agents = pop.len();
+        let m = pop.samples_per_round();
+        let ctx = RoundContext::new(self.round);
+        let (binomial, hypergeometric) = self.round_samplers(m);
+        self.obs_buf.clear();
+        self.obs_buf.reserve(num_agents);
+        for j in 0..num_agents {
+            let raw_ones = draw_raw_count(
+                self.neighborhood.as_deref(),
+                binomial.as_ref(),
+                hypergeometric.as_ref(),
+                &self.snapshot,
+                num_sources + j,
+                n,
+                m,
+                &mut self.rng,
+            );
+            let seen = self.fault.corrupt_count(raw_ones, m, &mut self.rng);
+            self.obs_buf
+                .push(Observation::new(seen, m).expect("corrupt_count preserves the bound"));
+        }
+        self.out_buf.clear();
+        self.out_buf.resize(num_agents, Opinion::Zero);
+        pop.step_batch(&self.obs_buf, &ctx, &mut self.rng, &mut self.out_buf);
+        // For passive protocols decision ≡ output, so the decision count
+        // folds out of `out_buf` in the same pass; only decoupled
+        // (non-passive) protocols need the extra scan over agent states.
+        let passive = pop.is_passive();
+        let correct = self.source.correct();
+        let mut ones_count = num_sources as u64 * u64::from(self.source.output().is_one());
+        let mut correct_decisions = 0u64;
+        for (j, out) in self.out_buf.iter().enumerate() {
+            self.outputs[num_sources + j] = *out;
+            ones_count += u64::from(out.is_one());
+            correct_decisions += u64::from(*out == correct);
+        }
+        self.ones_count = ones_count;
+        // Guard against a protocol that overrides `decision()` but forgets
+        // to override `is_passive()`: the fused count is only valid when
+        // decision ≡ output actually holds.
+        debug_assert!(
+            !passive || correct_decisions == pop.count_correct_decisions(correct),
+            "protocol `{}` reports is_passive() but decision() != output()",
+            pop.protocol_name()
+        );
+        self.correct_decisions = if passive {
+            correct_decisions
+        } else {
+            pop.count_correct_decisions(correct)
+        };
+    }
+
+    /// The per-agent round path, used when sleepy-agent faults are active.
+    fn step_with_sleep<A: Population + ?Sized>(&mut self, pop: &mut A) {
+        let n = self.outputs.len();
+        let num_sources = self.spec.num_sources() as usize;
+        let m = pop.samples_per_round();
+        let ctx = RoundContext::new(self.round);
+        let (binomial, hypergeometric) = self.round_samplers(m);
+        let passive = pop.is_passive();
+        let correct = self.source.correct();
+        let mut ones_count = num_sources as u64 * u64::from(self.source.output().is_one());
+        let mut correct_decisions = 0u64;
+        for j in 0..pop.len() {
+            let agent_index = num_sources + j;
+            let sleeping = self.fault.draws_sleep(&mut self.rng);
+            if !sleeping {
+                let raw_ones = draw_raw_count(
+                    self.neighborhood.as_deref(),
+                    binomial.as_ref(),
+                    hypergeometric.as_ref(),
+                    &self.snapshot,
+                    agent_index,
+                    n,
+                    m,
+                    &mut self.rng,
+                );
+                let seen = self.fault.corrupt_count(raw_ones, m, &mut self.rng);
+                let obs = Observation::new(seen, m)
+                    .expect("corrupt_count preserves the sample-size bound");
+                let new_output = pop.step_agent(j, &obs, &ctx, &mut self.rng);
+                self.outputs[agent_index] = new_output;
+            }
+            ones_count += u64::from(self.outputs[agent_index].is_one());
+            // Sleeping agents kept their output, so for passive protocols
+            // (decision ≡ output, slept or not) the fold stays fused.
+            correct_decisions += u64::from(self.outputs[agent_index] == correct);
+        }
+        self.ones_count = ones_count;
+        debug_assert!(
+            !passive || correct_decisions == pop.count_correct_decisions(correct),
+            "protocol `{}` reports is_passive() but decision() != output()",
+            pop.protocol_name()
+        );
+        self.correct_decisions = if passive {
+            correct_decisions
+        } else {
+            pop.count_correct_decisions(correct)
+        };
+    }
+
+    /// Runs until convergence is confirmed or `max_rounds` have executed.
+    fn run<A, O>(
+        &mut self,
+        pop: &mut A,
+        max_rounds: u64,
+        criterion: ConvergenceCriterion,
+        observer: &mut O,
+    ) -> ConvergenceReport
+    where
+        A: Population + ?Sized,
+        O: RoundObserver + ?Sized,
+    {
+        let mut detector = ConvergenceDetector::new(criterion);
+        observer.on_round(self.snapshot_now());
+        let mut done = detector.observe(self.round, self.all_correct());
+        while !done && self.round < max_rounds {
+            self.step(pop);
+            observer.on_round(self.snapshot_now());
+            done = detector.observe(self.round, self.all_correct());
+        }
+        ConvergenceReport {
+            converged_at: detector.converged_at(),
+            rounds_run: self.round,
+            final_fraction_correct: self.fraction_correct(),
+        }
+    }
+
+    fn snapshot_now(&self) -> RoundSnapshot {
+        RoundSnapshot {
+            round: self.round,
+            fraction_ones: self.fraction_ones(),
+            fraction_correct: self.fraction_correct(),
+        }
+    }
+}
+
+/// Validates a communication structure and its source placement, returning
+/// the implied problem specification. Shared by both engine front ends.
+fn neighborhood_spec(
+    neighborhood: &dyn Neighborhood,
+    num_sources: u32,
+    correct: Opinion,
+) -> Result<ProblemSpec, SimError> {
+    ensure_observable(neighborhood)?;
+    let n = neighborhood.population();
+    if num_sources == 0 || num_sources >= n {
+        return Err(SimError::InvalidParameter {
+            name: "num_sources",
+            detail: format!("need 1 ≤ num_sources < n = {n}, got {num_sources}"),
+        });
+    }
+    Ok(ProblemSpec::new(
+        u64::from(n),
+        u64::from(num_sources),
+        correct,
+    )?)
+}
+
 /// A population of agents running one protocol, plus the round loop.
 ///
 /// Agent indices `[0, num_sources)` are sources; the rest run the protocol.
@@ -129,24 +524,14 @@ fn draw_raw_count(
 /// ```
 #[derive(Debug, Clone)]
 pub struct Engine<P: Protocol> {
-    protocol: P,
-    spec: ProblemSpec,
-    source: Source,
-    fidelity: Fidelity,
-    neighborhood: Option<Box<dyn Neighborhood>>,
-    fault: FaultPlan,
-    outputs: Vec<Opinion>,
-    snapshot: Vec<Opinion>,
-    states: Vec<P::State>,
-    obs_buf: Vec<Observation>,
-    out_buf: Vec<Opinion>,
-    ones_count: u64,
-    correct_decisions: u64,
-    rng: SmallRng,
-    round: u64,
+    population: TypedPopulation<P>,
+    core: EngineCore,
 }
 
-impl<P: Protocol> Engine<P> {
+impl<P> Engine<P>
+where
+    P: Protocol + fmt::Debug + Send,
+{
     /// Creates an engine with non-source opinions drawn from `init` and
     /// internal variables randomized by the protocol.
     ///
@@ -163,25 +548,9 @@ impl<P: Protocol> Engine<P> {
         init: InitialCondition,
         seed: u64,
     ) -> Result<Self, SimError> {
-        let mut rng = SeedTree::new(seed).child("engine").rng();
-        let n = Self::checked_n(&spec)?;
-        Self::check_fidelity(&protocol, fidelity, n)?;
-        let num_sources = spec.num_sources() as usize;
-        let source = Source::new(spec.correct());
-        let mut outputs = Vec::with_capacity(n);
-        let mut states = Vec::with_capacity(n - num_sources);
-        for _ in 0..num_sources {
-            outputs.push(source.output());
-        }
-        for _ in num_sources..n {
-            let opinion = init.draw(spec.correct(), &mut rng);
-            let state = protocol.init_state(opinion, &mut rng);
-            outputs.push(protocol.output(&state));
-            states.push(state);
-        }
-        Ok(Self::assemble(
-            protocol, spec, source, fidelity, outputs, states, rng,
-        ))
+        let mut population = TypedPopulation::new(protocol);
+        let core = EngineCore::construct(&mut population, spec, fidelity, init, seed)?;
+        Ok(Engine { population, core })
     }
 
     /// Creates an engine from explicitly provided non-source states — the
@@ -199,31 +568,9 @@ impl<P: Protocol> Engine<P> {
         states: Vec<P::State>,
         seed: u64,
     ) -> Result<Self, SimError> {
-        let rng = SeedTree::new(seed).child("engine").rng();
-        let n = Self::checked_n(&spec)?;
-        Self::check_fidelity(&protocol, fidelity, n)?;
-        let num_sources = spec.num_sources() as usize;
-        if states.len() != n - num_sources {
-            return Err(SimError::InvalidParameter {
-                name: "states",
-                detail: format!(
-                    "expected {} non-source states, got {}",
-                    n - num_sources,
-                    states.len()
-                ),
-            });
-        }
-        let source = Source::new(spec.correct());
-        let mut outputs = Vec::with_capacity(n);
-        for _ in 0..num_sources {
-            outputs.push(source.output());
-        }
-        for s in &states {
-            outputs.push(protocol.output(s));
-        }
-        Ok(Self::assemble(
-            protocol, spec, source, fidelity, outputs, states, rng,
-        ))
+        let mut population = TypedPopulation::from_states(protocol, states);
+        let core = EngineCore::construct_filled(&mut population, spec, fidelity, seed)?;
+        Ok(Engine { population, core })
     }
 
     /// Creates an engine where each agent samples from an explicit
@@ -247,97 +594,20 @@ impl<P: Protocol> Engine<P> {
         init: InitialCondition,
         seed: u64,
     ) -> Result<Self, SimError> {
-        ensure_observable(neighborhood.as_ref())?;
-        let n = neighborhood.population();
-        if num_sources == 0 || num_sources >= n {
-            return Err(SimError::InvalidParameter {
-                name: "num_sources",
-                detail: format!("need 1 ≤ num_sources < n = {n}, got {num_sources}"),
-            });
-        }
-        let spec = ProblemSpec::new(u64::from(n), u64::from(num_sources), correct)?;
+        let spec = neighborhood_spec(neighborhood.as_ref(), num_sources, correct)?;
         let mut engine = Engine::new(protocol, spec, Fidelity::Agent, init, seed)?;
-        engine.neighborhood = Some(neighborhood);
+        engine.core.neighborhood = Some(neighborhood);
         Ok(engine)
-    }
-
-    fn checked_n(spec: &ProblemSpec) -> Result<usize, SimError> {
-        let n = spec.n();
-        if n > (u32::MAX as u64) {
-            return Err(SimError::UnsupportedPopulation {
-                detail: format!(
-                    "n = {n} exceeds per-agent simulation limits; use the aggregate chain"
-                ),
-            });
-        }
-        Ok(n as usize)
-    }
-
-    fn check_fidelity(protocol: &P, fidelity: Fidelity, n: usize) -> Result<(), SimError> {
-        if fidelity == Fidelity::Aggregate {
-            return Err(SimError::InvalidParameter {
-                name: "fidelity",
-                detail: "the aggregate fidelity has no per-agent states; run it through \
-                         `Simulation::builder()` (or `AggregateFetChain` directly)"
-                    .into(),
-            });
-        }
-        if fidelity == Fidelity::WithoutReplacement
-            && usize::try_from(protocol.samples_per_round()).expect("u32 fits usize") > n
-        {
-            return Err(SimError::InvalidParameter {
-                name: "fidelity",
-                detail: format!(
-                    "without-replacement sampling needs m ≤ n, got m = {} and n = {n}",
-                    protocol.samples_per_round()
-                ),
-            });
-        }
-        Ok(())
-    }
-
-    fn assemble(
-        protocol: P,
-        spec: ProblemSpec,
-        source: Source,
-        fidelity: Fidelity,
-        outputs: Vec<Opinion>,
-        states: Vec<P::State>,
-        rng: SmallRng,
-    ) -> Self {
-        let ones_count = outputs.iter().filter(|o| o.is_one()).count() as u64;
-        let correct_decisions = states
-            .iter()
-            .filter(|s| protocol.decision(s) == source.correct())
-            .count() as u64;
-        let snapshot = outputs.clone();
-        Engine {
-            protocol,
-            spec,
-            source,
-            fidelity,
-            neighborhood: None,
-            fault: FaultPlan::none(),
-            outputs,
-            snapshot,
-            states,
-            obs_buf: Vec::new(),
-            out_buf: Vec::new(),
-            ones_count,
-            correct_decisions,
-            rng,
-            round: 0,
-        }
     }
 
     /// Installs a fault plan (replacing any previous plan).
     pub fn set_fault_plan(&mut self, fault: FaultPlan) {
-        self.fault = fault;
+        self.core.fault = fault;
     }
 
     /// The protocol configuration.
     pub fn protocol(&self) -> &P {
-        &self.protocol
+        self.population.protocol()
     }
 
     /// The problem specification this engine was built with.
@@ -345,44 +615,44 @@ impl<P: Protocol> Engine<P> {
     /// Note: a fault plan may retarget the source mid-run; the *current*
     /// correct opinion is [`Engine::correct`], not `spec().correct()`.
     pub fn spec(&self) -> &ProblemSpec {
-        &self.spec
+        &self.core.spec
     }
 
     /// The current correct opinion (tracks mid-run retargeting).
     pub fn correct(&self) -> Opinion {
-        self.source.correct()
+        self.core.source.correct()
     }
 
     /// Current round index (0 before any [`Engine::step`]).
     pub fn round(&self) -> u64 {
-        self.round
+        self.core.round
     }
 
     /// The paper's `x_t`: fraction of all agents (sources included)
     /// currently outputting opinion 1.
     pub fn fraction_ones(&self) -> f64 {
-        self.ones_count as f64 / self.spec.n() as f64
+        self.core.fraction_ones()
     }
 
     /// Fraction of non-source agents whose *decision* equals the correct
     /// opinion.
     pub fn fraction_correct(&self) -> f64 {
-        self.correct_decisions as f64 / self.spec.num_non_sources() as f64
+        self.core.fraction_correct()
     }
 
     /// `true` when every non-source agent decides correctly.
     pub fn all_correct(&self) -> bool {
-        self.correct_decisions == self.spec.num_non_sources()
+        self.core.all_correct()
     }
 
     /// Public outputs of all agents (index `< num_sources` are sources).
     pub fn outputs(&self) -> &[Opinion] {
-        &self.outputs
+        &self.core.outputs
     }
 
     /// Non-source agent states (read-only).
     pub fn states(&self) -> &[P::State] {
-        &self.states
+        self.population.states()
     }
 
     /// Replaces the state of non-source agent `idx` (0-based among
@@ -392,32 +662,20 @@ impl<P: Protocol> Engine<P> {
     ///
     /// Panics when `idx` is out of range.
     pub fn set_state(&mut self, idx: usize, state: P::State) {
-        self.states[idx] = state;
+        self.population.set_state(idx, state);
         self.refresh_caches();
     }
 
     /// Re-derives outputs and counters from the states — call after bulk
     /// state surgery through [`Engine::states_mut`].
     pub fn refresh_caches(&mut self) {
-        let num_sources = self.spec.num_sources() as usize;
-        for i in 0..num_sources {
-            self.outputs[i] = self.source.output();
-        }
-        for (j, s) in self.states.iter().enumerate() {
-            self.outputs[num_sources + j] = self.protocol.output(s);
-        }
-        self.ones_count = self.outputs.iter().filter(|o| o.is_one()).count() as u64;
-        self.correct_decisions = self
-            .states
-            .iter()
-            .filter(|s| self.protocol.decision(s) == self.source.correct())
-            .count() as u64;
+        self.core.refresh_caches(&self.population);
     }
 
     /// Mutable access to non-source states for adversarial surgery.
     /// Callers **must** invoke [`Engine::refresh_caches`] afterwards.
     pub fn states_mut(&mut self) -> &mut [P::State] {
-        &mut self.states
+        self.population.states_mut()
     }
 
     /// Executes one synchronous round.
@@ -430,125 +688,7 @@ impl<P: Protocol> Engine<P> {
     /// fault plans fall back to the per-agent loop (a sleeping agent must
     /// skip its update entirely).
     pub fn step(&mut self) {
-        // Scheduled environment change: the correct bit itself flips.
-        if let Some(new_correct) = self.fault.retarget_at(self.round) {
-            self.source.retarget(new_correct);
-            self.refresh_caches();
-        }
-        // Synchrony: all observations read the round-t outputs.
-        self.snapshot.clone_from(&self.outputs);
-        if self.fault.sleep_prob > 0.0 {
-            self.step_with_sleep();
-        } else {
-            self.step_batched();
-        }
-        self.round += 1;
-    }
-
-    /// Per-round samplers for the current fidelity (`None` = literal).
-    fn round_samplers(&self) -> (Option<BinomialSampler>, Option<Hypergeometric>) {
-        let n = self.outputs.len();
-        let m = self.protocol.samples_per_round();
-        let x_t = self.ones_count as f64 / n as f64;
-        match self.fidelity {
-            Fidelity::Agent => (None, None),
-            Fidelity::Binomial => (
-                Some(
-                    BinomialSampler::new(u64::from(m), x_t)
-                        .expect("x_t is a fraction of counts, always in [0, 1]"),
-                ),
-                None,
-            ),
-            Fidelity::WithoutReplacement => (
-                None,
-                Some(
-                    Hypergeometric::new(n as u64, self.ones_count, u64::from(m))
-                        .expect("m ≤ n is validated at engine construction"),
-                ),
-            ),
-            Fidelity::Aggregate => unreachable!("rejected at engine construction"),
-        }
-    }
-
-    /// The batched round path: observations into `obs_buf`, one
-    /// `step_batch` over the state slice, counters folded from `out_buf`.
-    fn step_batched(&mut self) {
-        let n = self.outputs.len();
-        let num_sources = self.spec.num_sources() as usize;
-        let m = self.protocol.samples_per_round();
-        let ctx = RoundContext::new(self.round);
-        let (binomial, hypergeometric) = self.round_samplers();
-        self.obs_buf.clear();
-        self.obs_buf.reserve(self.states.len());
-        for j in 0..self.states.len() {
-            let raw_ones = draw_raw_count(
-                self.neighborhood.as_deref(),
-                binomial.as_ref(),
-                hypergeometric.as_ref(),
-                &self.snapshot,
-                num_sources + j,
-                n,
-                m,
-                &mut self.rng,
-            );
-            let seen = self.fault.corrupt_count(raw_ones, m, &mut self.rng);
-            self.obs_buf
-                .push(Observation::new(seen, m).expect("corrupt_count preserves the bound"));
-        }
-        self.out_buf.clear();
-        self.out_buf.resize(self.states.len(), Opinion::Zero);
-        self.protocol.step_batch(
-            &mut self.states,
-            &self.obs_buf,
-            &ctx,
-            &mut self.rng,
-            &mut self.out_buf,
-        );
-        let mut ones_count = num_sources as u64 * u64::from(self.source.output().is_one());
-        let mut correct_decisions = 0u64;
-        for (j, (out, state)) in self.out_buf.iter().zip(&self.states).enumerate() {
-            self.outputs[num_sources + j] = *out;
-            ones_count += u64::from(out.is_one());
-            correct_decisions += u64::from(self.protocol.decision(state) == self.source.correct());
-        }
-        self.ones_count = ones_count;
-        self.correct_decisions = correct_decisions;
-    }
-
-    /// The per-agent round path, used when sleepy-agent faults are active.
-    fn step_with_sleep(&mut self) {
-        let n = self.outputs.len();
-        let num_sources = self.spec.num_sources() as usize;
-        let m = self.protocol.samples_per_round();
-        let ctx = RoundContext::new(self.round);
-        let (binomial, hypergeometric) = self.round_samplers();
-        let mut ones_count = num_sources as u64 * u64::from(self.source.output().is_one());
-        let mut correct_decisions = 0u64;
-        for (j, state) in self.states.iter_mut().enumerate() {
-            let agent_index = num_sources + j;
-            let sleeping = self.fault.draws_sleep(&mut self.rng);
-            if !sleeping {
-                let raw_ones = draw_raw_count(
-                    self.neighborhood.as_deref(),
-                    binomial.as_ref(),
-                    hypergeometric.as_ref(),
-                    &self.snapshot,
-                    agent_index,
-                    n,
-                    m,
-                    &mut self.rng,
-                );
-                let seen = self.fault.corrupt_count(raw_ones, m, &mut self.rng);
-                let obs = Observation::new(seen, m)
-                    .expect("corrupt_count preserves the sample-size bound");
-                let new_output = self.protocol.step(state, &obs, &ctx, &mut self.rng);
-                self.outputs[agent_index] = new_output;
-            }
-            ones_count += u64::from(self.outputs[agent_index].is_one());
-            correct_decisions += u64::from(self.protocol.decision(state) == self.source.correct());
-        }
-        self.ones_count = ones_count;
-        self.correct_decisions = correct_decisions;
+        self.core.step(&mut self.population);
     }
 
     /// Runs until convergence is confirmed or `max_rounds` have executed.
@@ -561,27 +701,178 @@ impl<P: Protocol> Engine<P> {
         criterion: ConvergenceCriterion,
         observer: &mut O,
     ) -> ConvergenceReport {
-        let mut detector = ConvergenceDetector::new(criterion);
-        observer.on_round(self.snapshot_now());
-        let mut done = detector.observe(self.round, self.all_correct());
-        while !done && self.round < max_rounds {
-            self.step();
-            observer.on_round(self.snapshot_now());
-            done = detector.observe(self.round, self.all_correct());
+        self.core
+            .run(&mut self.population, max_rounds, criterion, observer)
+    }
+}
+
+/// The runtime-selected synchronous engine: [`Engine`] mechanics over a
+/// type-erased contiguous population container.
+///
+/// Where the old erased route (`Engine<ErasedProtocol>`) boxed every
+/// agent's state and re-materialized a typed buffer each round, this engine
+/// owns a `Box<dyn DynPopulation>` — one contiguous `Vec` of concrete
+/// states behind an object-safe interface — so each batched round costs a
+/// single virtual dispatch into the typed kernel with **zero per-round
+/// allocation or cloning**. Runs selected by registry name through
+/// `Simulation::builder()` execute here and are stream-identical to the
+/// corresponding typed [`Engine<P>`] run.
+///
+/// # Example
+///
+/// ```
+/// use fet_core::config::ProblemSpec;
+/// use fet_core::erased::ErasedProtocol;
+/// use fet_core::fet::FetProtocol;
+/// use fet_core::opinion::Opinion;
+/// use fet_sim::convergence::ConvergenceCriterion;
+/// use fet_sim::engine::{Fidelity, PopulationEngine};
+/// use fet_sim::init::InitialCondition;
+/// use fet_sim::observer::NullObserver;
+///
+/// let spec = ProblemSpec::single_source(300, Opinion::One)?;
+/// let erased = ErasedProtocol::new(FetProtocol::for_population(300, 4.0)?);
+/// let mut engine = PopulationEngine::new(
+///     erased.population(),
+///     spec,
+///     Fidelity::Binomial,
+///     InitialCondition::AllWrong,
+///     7,
+/// )?;
+/// let report = engine.run(5_000, ConvergenceCriterion::default(), &mut NullObserver);
+/// assert!(report.converged());
+/// assert_eq!(engine.protocol_name(), "fet");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PopulationEngine {
+    population: Box<dyn DynPopulation>,
+    core: EngineCore,
+}
+
+impl PopulationEngine {
+    /// Creates an engine over an (empty) erased population container,
+    /// filling it with non-source agents exactly as [`Engine::new`] does —
+    /// same seed derivation, same draw/init interleaving, hence identical
+    /// random streams.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::new`]. Additionally returns
+    /// [`SimError::InvalidParameter`] when the container already holds
+    /// agents (populations are filled by the engine).
+    pub fn new(
+        mut population: Box<dyn DynPopulation>,
+        spec: ProblemSpec,
+        fidelity: Fidelity,
+        init: InitialCondition,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        if !population.is_empty() {
+            return Err(SimError::InvalidParameter {
+                name: "population",
+                detail: format!(
+                    "expected an empty container, got {} pre-filled agents",
+                    population.len()
+                ),
+            });
         }
-        ConvergenceReport {
-            converged_at: detector.converged_at(),
-            rounds_run: self.round,
-            final_fraction_correct: self.fraction_correct(),
-        }
+        let core = EngineCore::construct(population.as_mut(), spec, fidelity, init, seed)?;
+        Ok(PopulationEngine { population, core })
     }
 
-    fn snapshot_now(&self) -> RoundSnapshot {
-        RoundSnapshot {
-            round: self.round,
-            fraction_ones: self.fraction_ones(),
-            fraction_correct: self.fraction_correct(),
-        }
+    /// Topology variant of [`PopulationEngine::new`]; see
+    /// [`Engine::with_neighborhood`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::with_neighborhood`].
+    pub fn with_neighborhood(
+        population: Box<dyn DynPopulation>,
+        neighborhood: Box<dyn Neighborhood>,
+        num_sources: u32,
+        correct: Opinion,
+        init: InitialCondition,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let spec = neighborhood_spec(neighborhood.as_ref(), num_sources, correct)?;
+        let mut engine = PopulationEngine::new(population, spec, Fidelity::Agent, init, seed)?;
+        engine.core.neighborhood = Some(neighborhood);
+        Ok(engine)
+    }
+
+    /// Installs a fault plan (replacing any previous plan).
+    pub fn set_fault_plan(&mut self, fault: FaultPlan) {
+        self.core.fault = fault;
+    }
+
+    /// The running protocol's name.
+    pub fn protocol_name(&self) -> &str {
+        self.population.protocol_name()
+    }
+
+    /// Agents sampled per agent per round.
+    pub fn samples_per_round(&self) -> u32 {
+        self.population.samples_per_round()
+    }
+
+    /// The erased population container (for memory accounting and
+    /// inspection).
+    pub fn population(&self) -> &dyn DynPopulation {
+        self.population.as_ref()
+    }
+
+    /// The problem specification this engine was built with (see
+    /// [`Engine::spec`] for the retargeting caveat).
+    pub fn spec(&self) -> &ProblemSpec {
+        &self.core.spec
+    }
+
+    /// The current correct opinion (tracks mid-run retargeting).
+    pub fn correct(&self) -> Opinion {
+        self.core.source.correct()
+    }
+
+    /// Current round index (0 before any [`PopulationEngine::step`]).
+    pub fn round(&self) -> u64 {
+        self.core.round
+    }
+
+    /// The paper's `x_t`: fraction of all agents currently outputting 1.
+    pub fn fraction_ones(&self) -> f64 {
+        self.core.fraction_ones()
+    }
+
+    /// Fraction of non-source agents deciding correctly.
+    pub fn fraction_correct(&self) -> f64 {
+        self.core.fraction_correct()
+    }
+
+    /// `true` when every non-source agent decides correctly.
+    pub fn all_correct(&self) -> bool {
+        self.core.all_correct()
+    }
+
+    /// Public outputs of all agents (index `< num_sources` are sources).
+    pub fn outputs(&self) -> &[Opinion] {
+        &self.core.outputs
+    }
+
+    /// Executes one synchronous round (see [`Engine::step`]).
+    pub fn step(&mut self) {
+        self.core.step(self.population.as_mut());
+    }
+
+    /// Runs until convergence is confirmed or `max_rounds` have executed
+    /// (see [`Engine::run`]).
+    pub fn run<O: RoundObserver + ?Sized>(
+        &mut self,
+        max_rounds: u64,
+        criterion: ConvergenceCriterion,
+        observer: &mut O,
+    ) -> ConvergenceReport {
+        self.core
+            .run(self.population.as_mut(), max_rounds, criterion, observer)
     }
 }
 
@@ -589,6 +880,7 @@ impl<P: Protocol> Engine<P> {
 mod tests {
     use super::*;
     use crate::observer::{NullObserver, TrajectoryRecorder};
+    use fet_core::erased::ErasedProtocol;
     use fet_core::fet::{FetProtocol, FetState};
 
     fn spec(n: u64) -> ProblemSpec {
@@ -818,5 +1110,149 @@ mod tests {
             "population failed to re-stabilize after retarget"
         );
         assert_eq!(e.fraction_ones(), 0.0);
+    }
+
+    // ---- PopulationEngine: the erased hot path ----
+
+    fn fet_population(ell: u32) -> Box<dyn fet_core::population::DynPopulation> {
+        ErasedProtocol::new(FetProtocol::new(ell).unwrap()).population()
+    }
+
+    /// Every fidelity, with and without faults: the population-erased
+    /// engine must replay the typed engine's trajectory bit for bit.
+    #[test]
+    fn population_engine_is_stream_identical_to_typed() {
+        let cases: Vec<(Fidelity, FaultPlan)> = vec![
+            (Fidelity::Agent, FaultPlan::none()),
+            (Fidelity::Binomial, FaultPlan::none()),
+            (Fidelity::WithoutReplacement, FaultPlan::none()),
+            (Fidelity::Binomial, FaultPlan::with_noise(0.03)),
+            (Fidelity::Binomial, FaultPlan::with_sleep(0.2)),
+            (
+                Fidelity::Binomial,
+                FaultPlan::with_source_retarget(5, Opinion::Zero),
+            ),
+        ];
+        for (fidelity, fault) in cases {
+            let mut typed = Engine::new(
+                FetProtocol::new(8).unwrap(),
+                spec(150),
+                fidelity,
+                InitialCondition::Random,
+                77,
+            )
+            .unwrap();
+            typed.set_fault_plan(fault);
+            let mut erased = PopulationEngine::new(
+                fet_population(8),
+                spec(150),
+                fidelity,
+                InitialCondition::Random,
+                77,
+            )
+            .unwrap();
+            erased.set_fault_plan(fault);
+            let mut rec_t = TrajectoryRecorder::new();
+            let mut rec_e = TrajectoryRecorder::new();
+            let rt = typed.run(120, ConvergenceCriterion::new(3), &mut rec_t);
+            let re = erased.run(120, ConvergenceCriterion::new(3), &mut rec_e);
+            assert_eq!(rt, re, "{fidelity:?}/{fault:?} reports diverged");
+            assert_eq!(
+                rec_t.into_fractions(),
+                rec_e.into_fractions(),
+                "{fidelity:?}/{fault:?} trajectories diverged"
+            );
+            assert_eq!(typed.outputs(), erased.outputs());
+        }
+    }
+
+    /// A ring, directly on the trait (no `fet-topology` available here).
+    #[derive(Debug, Clone)]
+    struct Ring {
+        links: Vec<Vec<u32>>,
+    }
+
+    impl Ring {
+        fn new(n: u32) -> Ring {
+            let links = (0..n).map(|v| vec![(v + n - 1) % n, (v + 1) % n]).collect();
+            Ring { links }
+        }
+    }
+
+    impl Neighborhood for Ring {
+        fn population(&self) -> u32 {
+            self.links.len() as u32
+        }
+        fn neighbors_of(&self, vertex: u32) -> &[u32] {
+            &self.links[vertex as usize]
+        }
+        fn clone_box(&self) -> Box<dyn Neighborhood> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn population_engine_on_a_ring_matches_typed() {
+        let mut typed = Engine::with_neighborhood(
+            FetProtocol::new(3).unwrap(),
+            Box::new(Ring::new(60)),
+            2,
+            Opinion::One,
+            InitialCondition::AllWrong,
+            19,
+        )
+        .unwrap();
+        let mut erased = PopulationEngine::with_neighborhood(
+            fet_population(3),
+            Box::new(Ring::new(60)),
+            2,
+            Opinion::One,
+            InitialCondition::AllWrong,
+            19,
+        )
+        .unwrap();
+        for _ in 0..40 {
+            typed.step();
+            erased.step();
+        }
+        assert_eq!(typed.outputs(), erased.outputs());
+        assert_eq!(typed.fraction_correct(), erased.fraction_correct());
+    }
+
+    #[test]
+    fn population_engine_rejects_prefilled_containers() {
+        let mut pop = fet_population(4);
+        let mut rng = SeedTree::new(1).child("prefill").rng();
+        pop.push_agent(Opinion::Zero, &mut rng);
+        let err = PopulationEngine::new(
+            pop,
+            spec(10),
+            Fidelity::Agent,
+            InitialCondition::AllWrong,
+            1,
+        );
+        assert!(matches!(
+            err,
+            Err(SimError::InvalidParameter {
+                name: "population",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn population_engine_clones_run_independently() {
+        let mut a = PopulationEngine::new(
+            fet_population(6),
+            spec(80),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            5,
+        )
+        .unwrap();
+        let mut b = a.clone();
+        let ra = a.run(2_000, ConvergenceCriterion::new(3), &mut NullObserver);
+        let rb = b.run(2_000, ConvergenceCriterion::new(3), &mut NullObserver);
+        assert_eq!(ra, rb, "clone must replay the original's stream");
     }
 }

@@ -3,8 +3,7 @@
 //! [`ExperimentSpec`] bundles everything a single convergence run needs —
 //! population, protocol parameterization, fidelity, budgets, seed — behind
 //! a builder, and [`run_fet_once`]/[`run_protocol_once`] execute it
-//! through the unified [`Simulation`](crate::simulation::Simulation)
-//! facade. Prefer the facade directly for anything beyond a plain
+//! through the unified [`Simulation`] facade. Prefer the facade directly for anything beyond a plain
 //! single-run; this module remains as the stable one-call surface the
 //! bench harness sweeps are written against.
 
@@ -230,7 +229,7 @@ pub fn run_protocol_once<P>(
     init: InitialCondition,
 ) -> RunOutcome
 where
-    P: Protocol + fmt::Debug + Send + Sync + 'static,
+    P: Protocol + Clone + fmt::Debug + Send + Sync + 'static,
     P::State: 'static,
 {
     let mut sim = Simulation::builder()

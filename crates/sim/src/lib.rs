@@ -35,6 +35,25 @@
 //! * [`batch`] — deterministic multi-threaded replication.
 //! * [`experiment`] — one-call experiment entry points used by the examples
 //!   and the bench harness.
+//!
+//! # Example
+//!
+//! The one-stop entry point is the [`simulation::Simulation`] builder;
+//! synchronous runs execute on the zero-copy population-erased path (see
+//! [`engine::PopulationEngine`]):
+//!
+//! ```
+//! use fet_sim::simulation::Simulation;
+//!
+//! let report = Simulation::builder()
+//!     .population(300)
+//!     .seed(7)
+//!     .build()?
+//!     .run();
+//! assert!(report.converged());
+//! assert_eq!(report.protocol, "fet");
+//! # Ok::<(), fet_sim::SimError>(())
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -60,7 +79,7 @@ pub mod prelude {
     pub use crate::asynchronous::AsyncEngine;
     pub use crate::batch::{parallel_map, BatchSummary};
     pub use crate::convergence::{ConvergenceCriterion, ConvergenceReport};
-    pub use crate::engine::{Engine, Fidelity};
+    pub use crate::engine::{Engine, Fidelity, PopulationEngine};
     pub use crate::error::SimError;
     pub use crate::experiment::{run_fet_once, ExperimentSpec, RunOutcome};
     pub use crate::fault::FaultPlan;

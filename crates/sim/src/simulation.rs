@@ -28,6 +28,15 @@
 //! Running yields a uniform [`RunReport`] regardless of the execution
 //! strategy chosen underneath.
 //!
+//! Synchronous runs — however the protocol was chosen — execute on the
+//! [`PopulationEngine`]: the protocol handle builds a type-erased
+//! *population container* (one contiguous buffer of concrete states, see
+//! [`fet_core::population`]) and every round dispatches once into the typed
+//! batch kernel. A registry-name run is therefore stream-identical to, and
+//! within a few percent of, the equivalent typed `Engine<P>` run; the older
+//! per-agent boxed route (`Engine<ErasedProtocol>`) remains available for
+//! code that needs owned boxed states but is no longer used here.
+//!
 //! # Example
 //!
 //! ```
@@ -55,7 +64,7 @@
 use crate::aggregate::AggregateFetChain;
 use crate::asynchronous::AsyncEngine;
 use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
-use crate::engine::{Engine, Fidelity};
+use crate::engine::{Fidelity, PopulationEngine};
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::init::InitialCondition;
@@ -128,7 +137,13 @@ impl RunReport {
 }
 
 enum Runner {
-    Sync(Box<Engine<ErasedProtocol>>),
+    /// The synchronous hot path: the generic round loop over a type-erased
+    /// *population container* (one contiguous typed state buffer — zero
+    /// per-round allocation or cloning), stream-identical to the typed
+    /// `Engine<P>` for the same seed.
+    Sync(Box<PopulationEngine>),
+    /// The per-activation scheduler steps one agent at a time, so it keeps
+    /// the per-agent erased representation.
     Async(Box<AsyncEngine<ErasedProtocol>>),
     Aggregate(AggregateFetChain),
 }
@@ -450,7 +465,7 @@ impl SimulationBuilder {
     /// Runs a specific protocol instance.
     pub fn protocol<P>(mut self, protocol: P) -> Self
     where
-        P: Protocol + fmt::Debug + Send + Sync + 'static,
+        P: Protocol + Clone + fmt::Debug + Send + Sync + 'static,
         P::State: 'static,
     {
         self.protocol = ProtocolChoice::Instance(ErasedProtocol::new(protocol));
@@ -684,9 +699,13 @@ impl SimulationBuilder {
                 self.seed,
             )?)),
             (Scheduler::Synchronous, per_agent) => {
+                // The factory-produced handle hands out a contiguous typed
+                // population container; the engine fills it once and every
+                // round after dispatches straight into the typed kernel.
+                let population = protocol.population();
                 let mut engine = match self.topology {
-                    Some(topology) => Engine::with_neighborhood(
-                        protocol.clone(),
+                    Some(topology) => PopulationEngine::with_neighborhood(
+                        population,
                         topology,
                         u32::try_from(self.num_sources).map_err(|_| {
                             Self::invalid("sources", "topology engines index sources as u32")
@@ -695,7 +714,9 @@ impl SimulationBuilder {
                         self.init,
                         self.seed,
                     )?,
-                    None => Engine::new(protocol.clone(), spec, per_agent, self.init, self.seed)?,
+                    None => {
+                        PopulationEngine::new(population, spec, per_agent, self.init, self.seed)?
+                    }
                 };
                 engine.set_fault_plan(self.fault);
                 Runner::Sync(Box::new(engine))

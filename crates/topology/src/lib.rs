@@ -30,6 +30,20 @@
 //! The star result is a crisp illustration of the mechanism: FET consumes
 //! *temporal differences* of observations, so an observation stream with
 //! no variance carries no information.
+//!
+//! # Example
+//!
+//! ```
+//! use fet_stats::rng::SeedTree;
+//! use fet_topology::builders;
+//!
+//! let mut rng = SeedTree::new(1).rng();
+//! let graph = builders::random_regular(256, 16, &mut rng)?;
+//! assert!(graph.is_connected());
+//! assert_eq!(graph.min_degree(), 16);
+//! assert_eq!(graph.max_degree(), 16);
+//! # Ok::<(), fet_topology::error::TopologyError>(())
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]

@@ -1,0 +1,195 @@
+//! The three erased-execution guarantees, checked from the outside:
+//!
+//! 1. Typed `Engine<P>`, the legacy per-agent boxed route
+//!    (`Engine<ErasedProtocol>`), and the population-erased facade path
+//!    (`Simulation::builder().protocol_name(..)`) replay **identical**
+//!    trajectories for the same seed — erasure changes representation,
+//!    never the random stream.
+//! 2. A registry-name facade run performs **zero per-round state clones**
+//!    (the defining property of the contiguous population container, vs.
+//!    the two-clones-per-agent-per-round of the boxed route).
+//! 3. The guarantee is protocol-independent: exercised for `fet` and
+//!    `3-majority`.
+
+use fet::prelude::*;
+use fet::protocols::three_majority::ThreeMajorityProtocol;
+use fet::sim::observer::TrajectoryRecorder;
+use fet_core::config::ell_for_population;
+use fet_core::config::ProblemSpec;
+use fet_core::memory::MemoryFootprint;
+use fet_core::observation::Observation;
+use fet_core::protocol::RoundContext;
+use rand::RngCore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const N: u64 = 250;
+const SEED: u64 = 0xE0_1D;
+const MAX_ROUNDS: u64 = 400;
+const WINDOW: u64 = 3;
+
+/// Runs the typed engine exactly as the facade would configure it.
+fn typed_trajectory<P>(protocol: P) -> (ConvergenceReport, Vec<f64>)
+where
+    P: Protocol + Clone + std::fmt::Debug + Send + Sync + 'static,
+    P::State: 'static,
+{
+    let spec = ProblemSpec::single_source(N, Opinion::One).unwrap();
+    let mut engine = Engine::new(
+        protocol,
+        spec,
+        Fidelity::Binomial,
+        InitialCondition::AllWrong,
+        SEED,
+    )
+    .unwrap();
+    let mut rec = TrajectoryRecorder::new();
+    let report = engine.run(MAX_ROUNDS, ConvergenceCriterion::new(WINDOW), &mut rec);
+    (report, rec.into_fractions())
+}
+
+/// Runs the facade (population-erased) path by registry name.
+fn facade_trajectory(name: &str) -> (ConvergenceReport, Vec<f64>) {
+    let run = Simulation::builder()
+        .population(N)
+        .protocol_name(name)
+        .seed(SEED)
+        .max_rounds(MAX_ROUNDS)
+        .stability_window(WINDOW)
+        .record_trajectory(true)
+        .build()
+        .unwrap()
+        .run();
+    (run.report, run.trajectory.expect("recording requested"))
+}
+
+/// Runs the legacy per-agent boxed route directly.
+fn boxed_trajectory(erased: ErasedProtocol) -> (ConvergenceReport, Vec<f64>) {
+    let spec = ProblemSpec::single_source(N, Opinion::One).unwrap();
+    let mut engine = Engine::new(
+        erased,
+        spec,
+        Fidelity::Binomial,
+        InitialCondition::AllWrong,
+        SEED,
+    )
+    .unwrap();
+    let mut rec = TrajectoryRecorder::new();
+    let report = engine.run(MAX_ROUNDS, ConvergenceCriterion::new(WINDOW), &mut rec);
+    (report, rec.into_fractions())
+}
+
+#[test]
+fn fet_three_paths_identical_trajectories() {
+    let ell = ell_for_population(N, 4.0);
+    let typed = typed_trajectory(FetProtocol::new(ell).unwrap());
+    let boxed = boxed_trajectory(ErasedProtocol::new(FetProtocol::new(ell).unwrap()));
+    let facade = facade_trajectory("fet");
+    assert_eq!(typed, boxed, "typed vs per-agent erased diverged");
+    assert_eq!(typed, facade, "typed vs population-erased diverged");
+    assert!(typed.0.converged(), "{:?}", typed.0);
+}
+
+#[test]
+fn three_majority_three_paths_identical_trajectories() {
+    let typed = typed_trajectory(ThreeMajorityProtocol::new());
+    let boxed = boxed_trajectory(ErasedProtocol::new(ThreeMajorityProtocol::new()));
+    let facade = facade_trajectory("3-majority");
+    assert_eq!(typed, boxed, "typed vs per-agent erased diverged");
+    assert_eq!(typed, facade, "typed vs population-erased diverged");
+    // 3-majority has no stubborn-source guarantee; we only require the
+    // three paths to walk the same trajectory, converged or not.
+    assert_eq!(typed.1.len(), facade.1.len());
+}
+
+// ---- zero-clone regression probe ----
+
+static STATE_CLONES: AtomicUsize = AtomicUsize::new(0);
+
+/// A state whose `Clone` is instrumented: any per-round re-materialization
+/// of the state buffer (the legacy boxed path's overhead) is counted.
+#[derive(Debug)]
+struct ProbeState {
+    opinion: Opinion,
+}
+
+impl Clone for ProbeState {
+    fn clone(&self) -> Self {
+        STATE_CLONES.fetch_add(1, Ordering::Relaxed);
+        ProbeState {
+            opinion: self.opinion,
+        }
+    }
+}
+
+/// A minimal follow-the-sample protocol carrying the probe state.
+#[derive(Debug, Clone)]
+struct CloneProbeProtocol;
+
+impl Protocol for CloneProbeProtocol {
+    type State = ProbeState;
+
+    fn name(&self) -> &str {
+        "clone-probe"
+    }
+
+    fn samples_per_round(&self) -> u32 {
+        1
+    }
+
+    fn init_state(&self, opinion: Opinion, _rng: &mut dyn RngCore) -> ProbeState {
+        ProbeState { opinion }
+    }
+
+    fn step(
+        &self,
+        state: &mut ProbeState,
+        obs: &Observation,
+        _ctx: &RoundContext,
+        _rng: &mut dyn RngCore,
+    ) -> Opinion {
+        state.opinion = if obs.ones() > 0 {
+            Opinion::One
+        } else {
+            Opinion::Zero
+        };
+        state.opinion
+    }
+
+    fn output(&self, state: &ProbeState) -> Opinion {
+        state.opinion
+    }
+
+    fn memory_footprint(&self) -> MemoryFootprint {
+        MemoryFootprint::new(1, 0, 0)
+    }
+}
+
+/// A registry-name facade run must never clone agent states: the
+/// population container steps its contiguous buffer in place. (Before the
+/// population container, the erased path cloned every state twice per
+/// round — this test would have counted tens of thousands.)
+#[test]
+fn registry_name_run_performs_zero_per_round_state_clones() {
+    let mut registry = ProtocolRegistry::empty();
+    registry.register("clone-probe", |_| {
+        Ok(ErasedProtocol::new(CloneProbeProtocol))
+    });
+    let mut sim = Simulation::builder()
+        .population(200)
+        .registry(registry)
+        .protocol_name("clone-probe")
+        .seed(11)
+        .max_rounds(50)
+        .build()
+        .unwrap();
+    let before = STATE_CLONES.load(Ordering::SeqCst);
+    let report = sim.run();
+    let after = STATE_CLONES.load(Ordering::SeqCst);
+    assert!(report.report.rounds_run > 0, "probe must actually step");
+    assert_eq!(
+        after - before,
+        0,
+        "population-erased path must not clone states ({} rounds ran)",
+        report.report.rounds_run
+    );
+}
