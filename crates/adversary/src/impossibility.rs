@@ -92,7 +92,7 @@ impl ImpossibilityScenario {
             ProblemSpec::new(self.n, k1, Opinion::One).expect("n/2 sources leave non-sources");
         let protocol = FetProtocol::new(self.ell).expect("ell ≥ 1");
         let mut engine1 = Engine::new(
-            protocol,
+            protocol.clone(),
             spec1,
             Fidelity::Binomial,
             fet_sim::init::InitialCondition::Random,
@@ -141,7 +141,7 @@ impl ImpossibilityScenario {
         let spec_frozen = ProblemSpec::new(self.n, 1, Opinion::One).expect("valid population");
         let states2 = vec![trap_state; (self.n - 1) as usize];
         let mut engine2 = Engine::from_states(
-            protocol,
+            protocol.clone(),
             spec_frozen,
             Fidelity::Binomial,
             states2,

@@ -24,7 +24,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Builder of explicit FET state vectors for [`fet_sim::engine::Engine::from_states`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FetConfigurator {
     protocol: FetProtocol,
     spec: ProblemSpec,
@@ -260,10 +260,10 @@ mod tests {
 
         let spec = ProblemSpec::single_source(300, Opinion::One).unwrap();
         let protocol = FetProtocol::for_population(300, 4.0).unwrap();
-        let c = FetConfigurator::new(protocol, spec);
+        let c = FetConfigurator::new(protocol.clone(), spec);
         for states in [c.tie_trap(), c.bounce_suppressor(), c.oscillation_primer()] {
-            let mut e =
-                Engine::from_states(protocol, spec, Fidelity::Binomial, states, 99).unwrap();
+            let mut e = Engine::from_states(protocol.clone(), spec, Fidelity::Binomial, states, 99)
+                .unwrap();
             let report = e.run(30_000, ConvergenceCriterion::new(3), &mut NullObserver);
             assert!(report.converged(), "trap defeated FET: {report:?}");
         }

@@ -38,7 +38,7 @@
 //!
 //! let spec = ProblemSpec::single_source(300, Opinion::One)?;
 //! let protocol = FetProtocol::for_population(300, 4.0)?;
-//! let hostile = FetConfigurator::new(protocol, spec).tie_trap();
+//! let hostile = FetConfigurator::new(protocol.clone(), spec).tie_trap();
 //! let mut engine = Engine::from_states(protocol, spec, Fidelity::Binomial, hostile, 7)?;
 //! let report = engine.run(20_000, ConvergenceCriterion::new(3), &mut NullObserver);
 //! assert!(report.converged(), "self-stabilization beats the tie trap");

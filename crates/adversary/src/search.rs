@@ -44,7 +44,7 @@ pub struct MeasuredPoint {
 }
 
 /// Search configuration and runner.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorstCaseSearch {
     protocol: FetProtocol,
     spec: ProblemSpec,
@@ -82,7 +82,7 @@ impl WorstCaseSearch {
 
     /// Measures one adversary point.
     pub fn measure(&self, point: AdversaryPoint) -> MeasuredPoint {
-        let conf = FetConfigurator::new(self.protocol, self.spec);
+        let conf = FetConfigurator::new(self.protocol.clone(), self.spec);
         let indices: Vec<u64> = (0..self.replicates).collect();
         let times = parallel_map(&indices, self.threads, |&rep| {
             let tree = SeedTree::new(self.seed)
@@ -91,7 +91,7 @@ impl WorstCaseSearch {
             let mut rng = tree.child("states").rng();
             let states = conf.mixed(point.frac_ones, point.frac_stale_high, &mut rng);
             let mut engine = Engine::from_states(
-                self.protocol,
+                self.protocol.clone(),
                 self.spec,
                 Fidelity::Binomial,
                 states,

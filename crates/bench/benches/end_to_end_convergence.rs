@@ -12,7 +12,7 @@ use fet_core::config::{ell_for_population, ProblemSpec};
 use fet_core::fet::FetProtocol;
 use fet_core::opinion::Opinion;
 use fet_sim::convergence::ConvergenceCriterion;
-use fet_sim::engine::{Engine, Fidelity};
+use fet_sim::engine::{Engine, ExecutionMode, Fidelity};
 use fet_sim::init::InitialCondition;
 use fet_sim::observer::NullObserver;
 use fet_sim::simulation::Simulation;
@@ -103,5 +103,66 @@ fn bench_typed_vs_registry(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_convergence, bench_typed_vs_registry);
+/// Batched vs fused full-convergence runs at `n = 10^5` through the
+/// facade: the ISSUE 3 acceptance pair (`batched / fused ≥ 1.5`). With
+/// `FET_BENCH_LARGE=1`, also one `n = 10^7` fused episode — the
+/// bounded-memory demonstration row of `docs/BENCHMARKS.md` (several
+/// minutes; excluded from default and CI budgets).
+fn bench_batched_vs_fused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_convergence");
+    group.sampling_mode(SamplingMode::Flat);
+    group.sample_size(10);
+    let n = 100_000u64;
+    for (label, mode) in [
+        ("facade_batched_binomial", ExecutionMode::Batched),
+        ("facade_fused_binomial", ExecutionMode::Fused),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Simulation::builder()
+                    .population(n)
+                    .execution_mode(mode)
+                    .seed(seed)
+                    .max_rounds(1_000_000)
+                    .build()
+                    .unwrap()
+                    .run()
+            });
+        });
+    }
+    if std::env::var_os("FET_BENCH_LARGE").is_some() {
+        let n_large = 10_000_000u64;
+        group.sample_size(2);
+        group.bench_with_input(
+            BenchmarkId::new("facade_fused_binomial", n_large),
+            &n_large,
+            |b, &n| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let report = Simulation::builder()
+                        .population(n)
+                        .execution_mode(ExecutionMode::Fused)
+                        .seed(seed)
+                        .max_rounds(1_000_000)
+                        .build()
+                        .unwrap()
+                        .run();
+                    assert!(report.converged(), "{report:?}");
+                    report
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_convergence,
+    bench_typed_vs_registry,
+    bench_batched_vs_fused
+);
 criterion_main!(benches);

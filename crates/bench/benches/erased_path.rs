@@ -1,29 +1,65 @@
 //! The erased execution paths, measured at the engine level.
 //!
 //! One synchronous binomial-fidelity round — observation generation plus
-//! the batched protocol dispatch plus counter folds — through each of the
-//! three representations the workspace can run a protocol in:
+//! the protocol dispatch plus counter folds — through each representation
+//! and round implementation the workspace can run a protocol in:
 //!
-//! * `typed` — `Engine<FetProtocol>`: the monomorphized baseline.
-//! * `boxed` — `Engine<ErasedProtocol>`: the legacy per-agent erasure;
-//!   every round re-materializes a contiguous typed buffer (O(n) alloc +
-//!   2 clones per agent).
-//! * `population` — `PopulationEngine` over `Box<dyn DynPopulation>`: the
-//!   facade/registry hot path; one virtual dispatch per round into the
-//!   typed kernel, zero per-round copying.
+//! * `typed` — `Engine<FetProtocol>`, batched pipeline: the monomorphized
+//!   buffered baseline.
+//! * `boxed` — `Engine<ErasedProtocol>`, batched: the legacy per-agent
+//!   erasure; every round re-materializes a contiguous typed buffer (O(n)
+//!   alloc + 2 clones per agent).
+//! * `population` — `PopulationEngine` over `Box<dyn DynPopulation>`,
+//!   batched: one virtual dispatch per round into the typed kernel, zero
+//!   per-round copying.
+//! * `typed_fused` / `population_fused` — the same two hot
+//!   representations through the fused single-pass kernel: observations
+//!   drawn on demand, outputs written in place, counters accumulated in
+//!   the kernel, `O(1)` auxiliary memory.
 //!
 //! These are the numbers recorded in `docs/BENCHMARKS.md`; the acceptance
-//! bar is `population / typed ≤ ~1.05` at `n ≥ 10^5`.
+//! bars are `population / typed ≤ ~1.05` (PR 2) and
+//! `typed / typed_fused ≥ 1.5` at `n = 10^5` (ISSUE 3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fet_core::config::{ell_for_population, ProblemSpec};
 use fet_core::erased::ErasedProtocol;
 use fet_core::fet::FetProtocol;
 use fet_core::opinion::Opinion;
-use fet_sim::engine::{Engine, Fidelity, PopulationEngine};
+use fet_sim::engine::{Engine, ExecutionMode, Fidelity, PopulationEngine};
 use fet_sim::init::InitialCondition;
 
 const SIZES: [u64; 3] = [1_024, 10_000, 100_000];
+
+fn typed_engine(n: u64, mode: ExecutionMode) -> Engine<FetProtocol> {
+    let ell = ell_for_population(n, 4.0);
+    let spec = ProblemSpec::single_source(n, Opinion::One).unwrap();
+    let mut engine = Engine::new(
+        FetProtocol::new(ell).unwrap(),
+        spec,
+        Fidelity::Binomial,
+        InitialCondition::Random,
+        42,
+    )
+    .unwrap();
+    engine.set_execution_mode(mode).unwrap();
+    engine
+}
+
+fn population_engine(n: u64, mode: ExecutionMode) -> PopulationEngine {
+    let ell = ell_for_population(n, 4.0);
+    let spec = ProblemSpec::single_source(n, Opinion::One).unwrap();
+    let mut engine = PopulationEngine::new(
+        ErasedProtocol::new(FetProtocol::new(ell).unwrap()).population(),
+        spec,
+        Fidelity::Binomial,
+        InitialCondition::Random,
+        42,
+    )
+    .unwrap();
+    engine.set_execution_mode(mode).unwrap();
+    engine
+}
 
 fn bench_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("erased_path_round");
@@ -31,15 +67,8 @@ fn bench_round(c: &mut Criterion) {
         let ell = ell_for_population(n, 4.0);
         let spec = || ProblemSpec::single_source(n, Opinion::One).unwrap();
 
-        group.bench_with_input(BenchmarkId::new("typed", n), &n, |b, _| {
-            let mut engine = Engine::new(
-                FetProtocol::new(ell).unwrap(),
-                spec(),
-                Fidelity::Binomial,
-                InitialCondition::Random,
-                42,
-            )
-            .unwrap();
+        group.bench_with_input(BenchmarkId::new("typed", n), &n, |b, &n| {
+            let mut engine = typed_engine(n, ExecutionMode::Batched);
             b.iter(|| engine.step());
         });
 
@@ -52,18 +81,22 @@ fn bench_round(c: &mut Criterion) {
                 42,
             )
             .unwrap();
+            engine.set_execution_mode(ExecutionMode::Batched).unwrap();
             b.iter(|| engine.step());
         });
 
-        group.bench_with_input(BenchmarkId::new("population", n), &n, |b, _| {
-            let mut engine = PopulationEngine::new(
-                ErasedProtocol::new(FetProtocol::new(ell).unwrap()).population(),
-                spec(),
-                Fidelity::Binomial,
-                InitialCondition::Random,
-                42,
-            )
-            .unwrap();
+        group.bench_with_input(BenchmarkId::new("population", n), &n, |b, &n| {
+            let mut engine = population_engine(n, ExecutionMode::Batched);
+            b.iter(|| engine.step());
+        });
+
+        group.bench_with_input(BenchmarkId::new("typed_fused", n), &n, |b, &n| {
+            let mut engine = typed_engine(n, ExecutionMode::Fused);
+            b.iter(|| engine.step());
+        });
+
+        group.bench_with_input(BenchmarkId::new("population_fused", n), &n, |b, &n| {
+            let mut engine = population_engine(n, ExecutionMode::Fused);
             b.iter(|| engine.step());
         });
     }

@@ -111,7 +111,7 @@ fn bench_step_batch(c: &mut Criterion) {
     // The legacy erased layer's price: boxed states, plus a typed-buffer
     // materialization (O(n) alloc + 2 clones/agent) each `step_batch`.
     group.bench_function("fet_erased_step_batch_1024", |b| {
-        let erased = ErasedProtocol::new(fet);
+        let erased = ErasedProtocol::new(fet.clone());
         let mut rng = SeedTree::new(8).child("erased").rng();
         let mut init_rng = SeedTree::new(7).child("erased-init").rng();
         let mut states: Vec<_> = (0..agents)
@@ -127,7 +127,7 @@ fn bench_step_batch(c: &mut Criterion) {
     // per-round allocation or cloning. Must sit within ~5% of the typed
     // kernel.
     group.bench_function("fet_population_erased_step_batch_1024", |b| {
-        let mut population = ErasedProtocol::new(fet).population();
+        let mut population = ErasedProtocol::new(fet.clone()).population();
         let mut rng = SeedTree::new(8).child("pop-erased").rng();
         let mut init_rng = SeedTree::new(7).child("pop-erased-init").rng();
         population.reserve(agents);
@@ -194,7 +194,7 @@ fn bench_step_batch_large(c: &mut Criterion) {
         });
     });
     group.bench_function("fet_erased_step_batch_100k", |b| {
-        let erased = ErasedProtocol::new(fet);
+        let erased = ErasedProtocol::new(fet.clone());
         let mut init_rng = SeedTree::new(7).child("erased-init").rng();
         let mut rng = SeedTree::new(8).child("erased").rng();
         let mut states: Vec<_> = (0..agents)
@@ -206,7 +206,7 @@ fn bench_step_batch_large(c: &mut Criterion) {
         });
     });
     group.bench_function("fet_population_erased_step_batch_100k", |b| {
-        let mut population = ErasedProtocol::new(fet).population();
+        let mut population = ErasedProtocol::new(fet.clone()).population();
         let mut init_rng = SeedTree::new(7).child("pop-init").rng();
         let mut rng = SeedTree::new(8).child("pop").rng();
         population.reserve(agents);

@@ -3,7 +3,7 @@
 //! ```text
 //! fet run        --n 10000 [--protocol fet] [--ell 40] [--c 4.0] [--seed 7]
 //!                [--init all-wrong] [--fidelity agent|binomial|without-replacement|aggregate]
-//!                [--scheduler sync|async] [--agent-level]
+//!                [--scheduler sync|async] [--mode batched|fused] [--agent-level]
 //! fet protocols                                    # list the registry
 //! fet trace      --n 100000 [--seed 7]             # trajectory + domain visits
 //! fet domains    --n 10000 [--delta 0.05] [--steps 60]
@@ -35,7 +35,7 @@ use fet_plot::table::Table;
 use fet_protocols::registry::{ProtocolParams, ProtocolRegistry};
 use fet_sim::aggregate::AggregateFetChain;
 use fet_sim::convergence::ConvergenceCriterion;
-use fet_sim::engine::Fidelity;
+use fet_sim::engine::{ExecutionMode, Fidelity};
 use fet_sim::init::InitialCondition;
 use fet_sim::simulation::{Scheduler, Simulation, SimulationBuilder};
 use fet_stats::compare::CoinCompetition;
@@ -99,6 +99,7 @@ common flags: --n N  --protocol NAME  --ell L  --c C  --seed S  --delta D
               --steps K  --reps R  --init all-wrong|all-correct|random
               --fidelity agent|binomial|without-replacement|aggregate
               --scheduler sync|async  --agent-level (= --fidelity agent)
+              --mode batched|fused (round implementation; default: auto-select)
               --k K  --p P  --q Q  --correct 0|1  --max-rounds R
 topology:     --graph NAME  --degree D  --beta B
 conflict:     --k0 K0  --k1 K1  --burn-in B  --window W";
@@ -165,6 +166,15 @@ fn get_fidelity(flags: &Flags) -> Result<Option<Fidelity>, String> {
     }
 }
 
+fn get_mode(flags: &Flags) -> Result<ExecutionMode, String> {
+    match flags.get("mode").map(String::as_str) {
+        None | Some("auto") => Ok(ExecutionMode::Auto),
+        Some("batched") => Ok(ExecutionMode::Batched),
+        Some("fused") => Ok(ExecutionMode::Fused),
+        Some(other) => Err(format!("unknown --mode `{other}`")),
+    }
+}
+
 fn get_scheduler(flags: &Flags) -> Result<Scheduler, String> {
     match flags.get("scheduler").map(String::as_str) {
         None | Some("sync") => Ok(Scheduler::Synchronous),
@@ -180,6 +190,7 @@ fn builder_from(flags: &Flags) -> Result<SimulationBuilder, String> {
         .sample_constant(get(flags, "c", 4.0)?)
         .correct(get_correct(flags)?)
         .init(get_init(flags)?)
+        .execution_mode(get_mode(flags)?)
         .scheduler(get_scheduler(flags)?);
     if let Some(e) = flags.get("ell") {
         b = b.ell(e.parse().map_err(|_| format!("invalid --ell `{e}`"))?);
@@ -208,10 +219,11 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let report = sim.run();
     println!(
-        "n = {n}, protocol = {}, samples/round = {}, init = {}, seed = {}",
+        "n = {n}, protocol = {}, samples/round = {}, init = {}, mode = {}, seed = {}",
         report.protocol,
         report.samples_per_round,
         init.label(),
+        report.mode,
         get::<u64>(flags, "seed", 0)?
     );
     match report.converged_at() {
@@ -242,6 +254,7 @@ fn cmd_protocols() -> Result<(), String> {
             "samples/round",
             "passive",
             "aggregate-exact",
+            "fused-kernel",
             "bits/agent",
         ]
         .iter()
@@ -258,6 +271,15 @@ fn cmd_protocols() -> Result<(), String> {
                 "yes"
             } else {
                 "—"
+            }
+            .to_string(),
+            // Whether `--mode fused` (and auto-selection) hits a
+            // hand-written single-pass kernel or the default per-step
+            // fused loop.
+            if p.has_fused_kernel() {
+                "specialized"
+            } else {
+                "default"
             }
             .to_string(),
             // Per-agent cost of the contiguous state buffer that
@@ -565,6 +587,23 @@ mod tests {
         assert_eq!(get_fidelity(&f).unwrap(), Some(Fidelity::Aggregate));
         let f = flags_of(&["--fidelity", "sideways"]).unwrap();
         assert!(get_fidelity(&f).is_err());
+    }
+
+    #[test]
+    fn mode_flag() {
+        assert_eq!(
+            get_mode(&flags_of(&[]).unwrap()).unwrap(),
+            ExecutionMode::Auto
+        );
+        assert_eq!(
+            get_mode(&flags_of(&["--mode", "batched"]).unwrap()).unwrap(),
+            ExecutionMode::Batched
+        );
+        assert_eq!(
+            get_mode(&flags_of(&["--mode", "fused"]).unwrap()).unwrap(),
+            ExecutionMode::Fused
+        );
+        assert!(get_mode(&flags_of(&["--mode", "warp"]).unwrap()).is_err());
     }
 
     #[test]

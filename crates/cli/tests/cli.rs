@@ -73,6 +73,50 @@ fn run_converges_small_instance() {
 }
 
 #[test]
+fn run_accepts_both_execution_modes() {
+    for mode in ["batched", "fused"] {
+        let text = run_ok(&["run", "--n", "300", "--seed", "7", "--mode", mode]);
+        assert!(
+            text.contains(&format!("mode = {mode}")),
+            "mode not echoed: {text}"
+        );
+        assert!(text.contains("converged at round"), "{mode}: {text}");
+    }
+}
+
+#[test]
+fn run_rejects_fused_with_literal_sampling() {
+    let out = fet()
+        .args([
+            "run",
+            "--n",
+            "300",
+            "--mode",
+            "fused",
+            "--fidelity",
+            "agent",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fused"));
+}
+
+#[test]
+fn protocols_table_reports_fused_kernels() {
+    let text = run_ok(&["protocols"]);
+    assert!(text.contains("fused-kernel"), "missing column: {text}");
+    assert!(
+        text.contains("specialized"),
+        "FET has a fused kernel: {text}"
+    );
+    assert!(
+        text.contains("default"),
+        "baselines use the default: {text}"
+    );
+}
+
+#[test]
 fn run_with_explicit_ell_and_zero_correct() {
     let text = run_ok(&[
         "run",

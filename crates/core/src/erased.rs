@@ -122,6 +122,8 @@ pub trait DynProtocol: fmt::Debug + Send + Sync {
     fn decision_erased(&self, state: &dyn DynState) -> Opinion;
     /// See [`Protocol::is_passive`].
     fn is_passive_erased(&self) -> bool;
+    /// See [`Protocol::has_fused_kernel`].
+    fn has_fused_kernel_erased(&self) -> bool;
     /// See [`Protocol::aggregate_ell`].
     fn aggregate_ell_erased(&self) -> Option<u32>;
     /// See [`Protocol::memory_footprint`].
@@ -220,6 +222,10 @@ where
 
     fn is_passive_erased(&self) -> bool {
         Protocol::is_passive(self)
+    }
+
+    fn has_fused_kernel_erased(&self) -> bool {
+        Protocol::has_fused_kernel(self)
     }
 
     fn aggregate_ell_erased(&self) -> Option<u32> {
@@ -347,6 +353,16 @@ impl Protocol for ErasedProtocol {
         self.inner.is_passive_erased()
     }
 
+    // `step_fused` is intentionally *not* overridden: the trait default
+    // loops over `step`, which forwards through the erased vtable into the
+    // typed update (cached split tables included), so the boxed fallback
+    // walks the same fused stream as every typed representation with O(1)
+    // auxiliary memory — at its usual per-agent-dispatch price.
+
+    fn has_fused_kernel(&self) -> bool {
+        self.inner.has_fused_kernel_erased()
+    }
+
     fn aggregate_ell(&self) -> Option<u32> {
         self.inner.aggregate_ell_erased()
     }
@@ -370,7 +386,7 @@ mod tests {
     #[test]
     fn erased_fet_steps_like_typed_fet() {
         let typed = FetProtocol::new(8).unwrap();
-        let erased = ErasedProtocol::new(typed);
+        let erased = ErasedProtocol::new(typed.clone());
         let mut rng_typed = rng();
         let mut rng_erased = rng();
         let mut st = typed.init_state(Opinion::Zero, &mut rng_typed);

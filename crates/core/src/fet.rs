@@ -31,19 +31,21 @@ use crate::error::CoreError;
 use crate::memory::{bits_for_count, MemoryFootprint};
 use crate::observation::Observation;
 use crate::opinion::Opinion;
-use crate::protocol::{Protocol, RoundContext};
-use fet_stats::hypergeometric::{split_sample, SplitTable};
+use crate::protocol::{FusedCounters, ObservationSource, Protocol, RoundContext};
+use fet_stats::hypergeometric::SplitTable;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Process-wide cache of [`SplitTable`]s keyed by `ℓ`.
 ///
-/// `FetProtocol` is a `Copy` configuration value, so it cannot own its
-/// table; the table is deterministic in `ℓ`, making a shared cache safe.
-/// One lock acquisition per *round* (not per agent) is noise next to the
-/// `O(ℓ²)` construction it avoids.
+/// The table is deterministic in `ℓ`, so all `FetProtocol` values with the
+/// same `ℓ` share one `Arc`'d table. The lock is taken once per protocol
+/// *construction* — never on the step/batch/fused hot paths, which read
+/// the `Arc` cached inside the protocol value.
 fn split_table(ell: u64) -> Arc<SplitTable> {
     static TABLES: OnceLock<Mutex<HashMap<u64, Arc<SplitTable>>>> = OnceLock::new();
     let tables = TABLES.get_or_init(|| Mutex::new(HashMap::new()));
@@ -55,11 +57,16 @@ fn split_table(ell: u64) -> Arc<SplitTable> {
     )
 }
 
-/// Configuration of the FET protocol: the half-sample size `ℓ`.
+/// Configuration of the FET protocol: the half-sample size `ℓ`, plus the
+/// shared precomputed partition-split table for that `ℓ`.
 ///
 /// Each agent observes `2ℓ` agents per round. The paper's Theorem 1 takes
 /// `ℓ = c·log n` for a sufficiently large constant `c`; use
 /// [`FetProtocol::for_population`] to apply that rule.
+///
+/// Equality, hashing, and serialization consider only `ℓ` — the table is
+/// a deterministic function of it, cached at construction so the kernels
+/// never touch the process-wide table cache (and its lock) mid-run.
 ///
 /// # Example
 ///
@@ -71,9 +78,34 @@ fn split_table(ell: u64) -> Arc<SplitTable> {
 /// assert_eq!(p.samples_per_round(), 2 * p.ell());
 /// # Ok::<(), fet_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct FetProtocol {
     ell: u32,
+    table: Arc<SplitTable>,
+}
+
+impl fmt::Debug for FetProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The table is derived data; printing its O(ℓ²) CDF entries would
+        // drown every engine debug dump.
+        f.debug_struct("FetProtocol")
+            .field("ell", &self.ell)
+            .finish()
+    }
+}
+
+impl PartialEq for FetProtocol {
+    fn eq(&self, other: &Self) -> bool {
+        self.ell == other.ell
+    }
+}
+
+impl Eq for FetProtocol {}
+
+impl Hash for FetProtocol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.ell.hash(state);
+    }
 }
 
 /// Per-agent FET state.
@@ -101,7 +133,10 @@ impl FetProtocol {
         if ell == 0 {
             return Err(CoreError::ZeroSampleSize);
         }
-        Ok(FetProtocol { ell })
+        Ok(FetProtocol {
+            ell,
+            table: split_table(u64::from(ell)),
+        })
     }
 
     /// Creates FET with the paper's parameterization `ℓ = ⌈c·ln n⌉` for a
@@ -168,9 +203,10 @@ impl Protocol for FetProtocol {
             obs.sample_size()
         );
         // Partition the 2ℓ-sample uniformly into S′ and S″ (hypergeometric
-        // split of the observed count; see module docs).
-        let (count_prime, count_second) =
-            split_sample(u64::from(obs.ones()), u64::from(self.ell), rng);
+        // split of the observed count; see module docs). The cached table
+        // is stream-compatible with `split_sample`, so this draws exactly
+        // what the sequential sampler would.
+        let (count_prime, count_second) = self.table.split(u64::from(obs.ones()), rng);
         let stale = u64::from(state.prev_count_second_half);
         let new_opinion = match count_prime.cmp(&stale) {
             std::cmp::Ordering::Greater => Opinion::One,
@@ -205,21 +241,14 @@ impl Protocol for FetProtocol {
                 bad.sample_size()
             );
         }
-        let ell = u64::from(self.ell);
         // Same decision rule as `step`, with the sample-size validation
         // hoisted out of the loop and the state updates running straight
-        // over the contiguous slice. The partition split runs off a
-        // cached inverse-CDF table once the batch is large enough to beat
-        // table lookup overhead — `SplitTable` is stream-compatible with
-        // `split_sample`, so either path yields bit-identical results for
-        // a given seed.
-        let table = (states.len() as u64 >= 2 * ell).then(|| split_table(ell));
+        // over the contiguous slice. The partition split runs off the
+        // inverse-CDF table cached at construction — stream-compatible
+        // with `split_sample`, so batch size never changes the draws.
         for ((state, obs), out) in states.iter_mut().zip(observations).zip(outputs.iter_mut()) {
             let ones = u64::from(obs.ones());
-            let (count_prime, count_second) = match &table {
-                Some(t) => t.split(ones, rng),
-                None => split_sample(ones, ell, rng),
-            };
+            let (count_prime, count_second) = self.table.split(ones, rng);
             let stale = u64::from(state.prev_count_second_half);
             let new_opinion = match count_prime.cmp(&stale) {
                 std::cmp::Ordering::Greater => Opinion::One,
@@ -231,6 +260,53 @@ impl Protocol for FetProtocol {
             *out = new_opinion;
         }
         let _ = ctx;
+    }
+
+    fn step_fused(
+        &self,
+        states: &mut [FetState],
+        source: &mut dyn ObservationSource,
+        _ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        correct: Opinion,
+        outputs: &mut [Opinion],
+    ) -> FusedCounters {
+        assert_eq!(states.len(), outputs.len(), "one output slot per agent");
+        let m = self.samples_per_round();
+        // One pass, O(1) auxiliary memory: draw the observation, split it
+        // through the cached table, decide, write the output, count — no
+        // observation or scratch buffers anywhere. Stream-identical to the
+        // default per-`step` loop because `step` draws through the same
+        // table with the same per-agent interleaving.
+        let mut counters = FusedCounters::default();
+        for (state, out) in states.iter_mut().zip(outputs.iter_mut()) {
+            let obs = source.next_observation(rng);
+            assert_eq!(
+                obs.sample_size(),
+                m,
+                "FET(ℓ={}) expects {} samples, observation has {}",
+                self.ell,
+                m,
+                obs.sample_size()
+            );
+            let (count_prime, count_second) = self.table.split(u64::from(obs.ones()), rng);
+            let stale = u64::from(state.prev_count_second_half);
+            let new_opinion = match count_prime.cmp(&stale) {
+                std::cmp::Ordering::Greater => Opinion::One,
+                std::cmp::Ordering::Less => Opinion::Zero,
+                std::cmp::Ordering::Equal => state.opinion,
+            };
+            state.opinion = new_opinion;
+            state.prev_count_second_half = count_second as u32;
+            *out = new_opinion;
+            counters.ones += u64::from(new_opinion.is_one());
+            counters.correct += u64::from(new_opinion == correct);
+        }
+        counters
+    }
+
+    fn has_fused_kernel(&self) -> bool {
+        true
     }
 
     fn output(&self, state: &FetState) -> Opinion {
@@ -438,6 +514,72 @@ mod tests {
     #[test]
     fn aggregate_ell_exposed() {
         assert_eq!(FetProtocol::new(12).unwrap().aggregate_ell(), Some(12));
+    }
+
+    /// Replays a fixed observation sequence, consuming no RNG itself.
+    struct SliceSource<'a> {
+        obs: std::slice::Iter<'a, Observation>,
+    }
+
+    impl ObservationSource for SliceSource<'_> {
+        fn next_observation(&mut self, _rng: &mut dyn RngCore) -> Observation {
+            *self.obs.next().expect("one observation per agent")
+        }
+    }
+
+    #[test]
+    fn step_fused_matches_sequential_steps_bit_for_bit() {
+        // The specialized fused kernel must stay stream-identical to the
+        // default per-`step` loop: same states, same outputs, same RNG
+        // consumption, and counters that match a recount.
+        let p = FetProtocol::new(8).unwrap();
+        let m = p.samples_per_round();
+        let ctx = ctx();
+        let mut init_rng = rng("fused-init");
+        let mut states_loop: Vec<FetState> = (0..48)
+            .map(|i| {
+                p.init_state(
+                    if i % 3 == 0 {
+                        Opinion::One
+                    } else {
+                        Opinion::Zero
+                    },
+                    &mut init_rng,
+                )
+            })
+            .collect();
+        let mut states_fused = states_loop.clone();
+        let observations: Vec<Observation> = (0..48)
+            .map(|i| Observation::new((i * 5) % (m + 1), m).unwrap())
+            .collect();
+        let mut rng_loop = rng("fused-stream");
+        let mut rng_fused = rng("fused-stream");
+        let outputs_loop: Vec<Opinion> = states_loop
+            .iter_mut()
+            .zip(&observations)
+            .map(|(s, o)| p.step(s, o, &ctx, &mut rng_loop))
+            .collect();
+        let mut outputs_fused = vec![Opinion::Zero; 48];
+        let counters = p.step_fused(
+            &mut states_fused,
+            &mut SliceSource {
+                obs: observations.iter(),
+            },
+            &ctx,
+            &mut rng_fused,
+            Opinion::One,
+            &mut outputs_fused,
+        );
+        assert_eq!(states_loop, states_fused);
+        assert_eq!(outputs_loop, outputs_fused);
+        assert_eq!(
+            counters.ones,
+            outputs_loop.iter().filter(|o| o.is_one()).count() as u64
+        );
+        assert_eq!(counters.correct, counters.ones, "correct is One here");
+        // Both paths must have consumed the same stream.
+        assert_eq!(rng_loop.next_u64(), rng_fused.next_u64());
+        assert!(p.has_fused_kernel());
     }
 
     #[test]

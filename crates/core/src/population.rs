@@ -64,7 +64,7 @@
 use crate::memory::MemoryFootprint;
 use crate::observation::Observation;
 use crate::opinion::Opinion;
-use crate::protocol::{Protocol, RoundContext};
+use crate::protocol::{FusedCounters, ObservationSource, Protocol, RoundContext};
 use rand::RngCore;
 use std::fmt;
 
@@ -130,6 +130,28 @@ pub trait Population: fmt::Debug + Send {
         rng: &mut dyn RngCore,
         outputs: &mut [Opinion],
     );
+
+    /// Executes one *fused* round for every agent: observations are drawn
+    /// from `source` on demand, each agent's new public opinion is written
+    /// to `outputs[i]`, and the round counters come back accumulated — one
+    /// dispatch into the typed [`Protocol::step_fused`] kernel, `O(1)`
+    /// auxiliary memory (no observation buffer exists anywhere). This is
+    /// the mean-field hot path; see the engine docs in `fet-sim` for when
+    /// it is selected over [`Population::step_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outputs.len() != len()`, or when `source` yields an
+    /// observation whose sample size does not match
+    /// [`Population::samples_per_round`].
+    fn step_fused(
+        &mut self,
+        source: &mut dyn ObservationSource,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        correct: Opinion,
+        outputs: &mut [Opinion],
+    ) -> FusedCounters;
 
     /// Executes one round for the single agent `idx` (the sleepy-agent
     /// fallback, where some agents skip their update entirely).
@@ -292,6 +314,18 @@ where
     ) {
         self.protocol
             .step_batch(&mut self.states, observations, ctx, rng, outputs);
+    }
+
+    fn step_fused(
+        &mut self,
+        source: &mut dyn ObservationSource,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        correct: Opinion,
+        outputs: &mut [Opinion],
+    ) -> FusedCounters {
+        self.protocol
+            .step_fused(&mut self.states, source, ctx, rng, correct, outputs)
     }
 
     fn step_agent(

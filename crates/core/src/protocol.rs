@@ -42,6 +42,43 @@ impl RoundContext {
     }
 }
 
+/// Streams per-agent observations into the fused round kernel
+/// ([`Protocol::step_fused`]).
+///
+/// On the mean-field fidelities (binomial / without-replacement sampling on
+/// the complete graph) an observation is a pure function of the round's
+/// global 1-count and the RNG — no snapshot of the population is consulted.
+/// An engine therefore hands the kernel a source that *draws* observation
+/// `i` on demand instead of materializing an `O(n)` observation buffer:
+/// the source encapsulates the fidelity's sampler plus any per-observation
+/// fault corruption, while the protocol stays in charge of the state
+/// update. One virtual call per agent, zero auxiliary memory.
+pub trait ObservationSource {
+    /// Draws the next agent's observation. Called exactly once per agent,
+    /// in agent order — implementations may consume `rng` (sampling,
+    /// noise), and the kernel interleaves these draws with its own
+    /// per-agent RNG use, which is what gives the fused path its own
+    /// deterministic stream (distinct from the batched path's
+    /// observations-first ordering).
+    fn next_observation(&mut self, rng: &mut dyn RngCore) -> Observation;
+}
+
+/// Counters accumulated by one fused round pass ([`Protocol::step_fused`]).
+///
+/// These are exactly the two aggregates the synchronous round loop needs
+/// each round; accumulating them inside the kernel is what lets the fused
+/// path skip the engine's output-buffer fold entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FusedCounters {
+    /// Number of agents in the stepped slice whose new output is 1.
+    pub ones: u64,
+    /// Number of agents in the stepped slice whose new output equals the
+    /// `correct` opinion the kernel was given. Only meaningful for passive
+    /// protocols (decision ≡ output); engines recount decisions for
+    /// decoupled baselines.
+    pub correct: u64,
+}
+
 /// A per-agent protocol: a pure state machine driven by passive
 /// observations.
 ///
@@ -126,6 +163,63 @@ pub trait Protocol {
         for ((state, obs), out) in states.iter_mut().zip(observations).zip(outputs.iter_mut()) {
             *out = self.step(state, obs, ctx, rng);
         }
+    }
+
+    /// Executes one *fused* round for a contiguous slice of agents: for
+    /// each agent in slice order, draws its observation from `source`,
+    /// applies the update, writes the new public opinion to `outputs[i]`,
+    /// and accumulates the round counters — one pass, `O(1)` auxiliary
+    /// memory (no observation or scratch buffers).
+    ///
+    /// The default implementation loops over [`Protocol::step`] and is
+    /// always correct; since [`Protocol::step_batch`] is required to
+    /// preserve sequential-step semantics, this is behaviourally the
+    /// batched kernel with the buffers deleted. Protocols with a hot
+    /// decision rule (FET, voter, 3-majority) override it with a kernel
+    /// that hoists per-observation validation and table lookups out of the
+    /// loop; overrides **must** stay stream-identical to the default (same
+    /// per-agent draw interleaving, same results for a given RNG state),
+    /// so every representation of one protocol walks one fused stream.
+    ///
+    /// Note the fused path's RNG *interleaving* differs from the batched
+    /// path's (observation and update draws alternate per agent instead of
+    /// all observations being drawn first), so fused and batched rounds
+    /// are two distinct deterministic streams of the same distribution —
+    /// see `fet-sim`'s engine docs for the execution-mode story.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outputs.len() != states.len()`, or when `source`
+    /// yields an observation whose sample size does not match
+    /// [`Protocol::samples_per_round`].
+    fn step_fused(
+        &self,
+        states: &mut [Self::State],
+        source: &mut dyn ObservationSource,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        correct: Opinion,
+        outputs: &mut [Opinion],
+    ) -> FusedCounters {
+        assert_eq!(states.len(), outputs.len(), "one output slot per agent");
+        let mut counters = FusedCounters::default();
+        for (state, out) in states.iter_mut().zip(outputs.iter_mut()) {
+            let obs = source.next_observation(rng);
+            let new_output = self.step(state, &obs, ctx, rng);
+            *out = new_output;
+            counters.ones += u64::from(new_output.is_one());
+            counters.correct += u64::from(new_output == correct);
+        }
+        counters
+    }
+
+    /// `true` when this protocol ships a specialized single-pass
+    /// [`Protocol::step_fused`] kernel (FET, voter, 3-majority), `false`
+    /// when fused execution runs through the default per-agent loop. The
+    /// fused *path* is available either way; this only reports whether the
+    /// hot kernel was hand-written. Surfaced by `fet protocols`.
+    fn has_fused_kernel(&self) -> bool {
+        false
     }
 
     /// The public opinion currently output by this state — the bit other

@@ -9,7 +9,7 @@
 use fet_core::memory::MemoryFootprint;
 use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
-use fet_core::protocol::{Protocol, RoundContext};
+use fet_core::protocol::{FusedCounters, ObservationSource, Protocol, RoundContext};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -90,6 +90,41 @@ impl Protocol for ThreeMajorityProtocol {
             };
             *out = *state;
         }
+    }
+
+    fn step_fused(
+        &self,
+        states: &mut [Opinion],
+        source: &mut dyn ObservationSource,
+        _ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        correct: Opinion,
+        outputs: &mut [Opinion],
+    ) -> FusedCounters {
+        assert_eq!(states.len(), outputs.len(), "one output slot per agent");
+        // Single-pass threshold kernel: draw, take the majority, count.
+        let mut counters = FusedCounters::default();
+        for (state, out) in states.iter_mut().zip(outputs.iter_mut()) {
+            let obs = source.next_observation(rng);
+            assert_eq!(
+                obs.sample_size(),
+                3,
+                "3-majority expects exactly three samples"
+            );
+            *state = if obs.ones() >= 2 {
+                Opinion::One
+            } else {
+                Opinion::Zero
+            };
+            *out = *state;
+            counters.ones += u64::from(state.is_one());
+            counters.correct += u64::from(*state == correct);
+        }
+        counters
+    }
+
+    fn has_fused_kernel(&self) -> bool {
+        true
     }
 
     fn output(&self, state: &Opinion) -> Opinion {

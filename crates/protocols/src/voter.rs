@@ -10,7 +10,7 @@
 use fet_core::memory::MemoryFootprint;
 use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
-use fet_core::protocol::{Protocol, RoundContext};
+use fet_core::protocol::{FusedCounters, ObservationSource, Protocol, RoundContext};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +85,33 @@ impl Protocol for VoterProtocol {
             *state = Opinion::from_bit_value(obs.ones() as u8);
             *out = *state;
         }
+    }
+
+    fn step_fused(
+        &self,
+        states: &mut [Opinion],
+        source: &mut dyn ObservationSource,
+        _ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        correct: Opinion,
+        outputs: &mut [Opinion],
+    ) -> FusedCounters {
+        assert_eq!(states.len(), outputs.len(), "one output slot per agent");
+        // Single-pass copy kernel: draw, adopt the observed bit, count.
+        let mut counters = FusedCounters::default();
+        for (state, out) in states.iter_mut().zip(outputs.iter_mut()) {
+            let obs = source.next_observation(rng);
+            assert_eq!(obs.sample_size(), 1, "voter expects exactly one sample");
+            *state = Opinion::from_bit_value(obs.ones() as u8);
+            *out = *state;
+            counters.ones += u64::from(state.is_one());
+            counters.correct += u64::from(*state == correct);
+        }
+        counters
+    }
+
+    fn has_fused_kernel(&self) -> bool {
+        true
     }
 
     fn output(&self, state: &Opinion) -> Opinion {

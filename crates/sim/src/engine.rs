@@ -35,6 +35,39 @@
 //! Both front ends share every line of round code, so their random streams
 //! are identical by construction: a facade run selected by registry name
 //! reproduces a typed `Engine<P>` run bit for bit given the same seed.
+//!
+//! # Two round implementations: batched and fused
+//!
+//! A synchronous round can execute two ways ([`ExecutionMode`]):
+//!
+//! * **batched** — the buffered pipeline: snapshot the outputs, fill an
+//!   observation buffer, one [`Population::step_batch`] dispatch, fold the
+//!   counters out of an output buffer. Required whenever observations read
+//!   *individual* agents (a [`Neighborhood`], or [`Fidelity::Agent`]'s
+//!   literal index sampling).
+//! * **fused** — the single-pass streaming kernel: on the mean-field
+//!   fidelities ([`Fidelity::Binomial`], [`Fidelity::WithoutReplacement`]
+//!   on the complete graph) an observation is a pure function of the
+//!   round's global 1-count, so nothing ever reads the snapshot. One
+//!   [`Population::step_fused`] dispatch draws each agent's observation,
+//!   applies the update, writes the output, and accumulates the round
+//!   counters in **one pass with `O(1)` auxiliary memory** — no snapshot
+//!   clone, no observation buffer, no output scratch.
+//!
+//! [`ExecutionMode::Auto`] (the default) selects fused exactly when it is
+//! exact — no neighborhood, non-literal fidelity — and falls back to the
+//! batched pipeline otherwise; sleepy-fault rounds always take the
+//! per-agent loop (a sleeping agent must skip its update entirely).
+//!
+//! **Stream-compatibility caveat:** the fused kernel interleaves RNG draws
+//! per agent (observation, then update) where the batched pipeline draws
+//! all observations first. The two modes are therefore *distinct
+//! deterministic streams* of the same distribution: a fused run replays
+//! bit-for-bit against any other fused run of the same seed — across
+//! typed, boxed, and population representations, exactly like the batched
+//! stream-identity story above — but fused and batched trajectories for
+//! one seed agree statistically, not bitwise
+//! (`tests/fused_equivalence.rs` enforces both properties).
 
 use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
 use crate::error::SimError;
@@ -46,13 +79,13 @@ use fet_core::config::ProblemSpec;
 use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
 use fet_core::population::{DynPopulation, Population, TypedPopulation};
-use fet_core::protocol::{Protocol, RoundContext};
+use fet_core::protocol::{ObservationSource, Protocol, RoundContext};
 use fet_core::source::Source;
 use fet_stats::binomial::BinomialSampler;
 use fet_stats::hypergeometric::Hypergeometric;
 use fet_stats::rng::SeedTree;
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -86,6 +119,96 @@ pub enum Fidelity {
     /// ([`crate::simulation`]); the per-agent engines reject it because
     /// they have no per-agent states to drive at this fidelity.
     Aggregate,
+}
+
+/// Which synchronous round implementation executes (see the
+/// [module docs](self) for the batched/fused trade-off and the
+/// stream-compatibility caveat).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Select automatically: the fused single-pass kernel on mean-field
+    /// rounds (no neighborhood, fidelity ≠ [`Fidelity::Agent`]), the
+    /// batched pipeline otherwise. The default.
+    #[default]
+    Auto,
+    /// Always run the buffered batched pipeline — the PR 2 behaviour,
+    /// useful for replaying batched-stream seeds and for A/B measurement.
+    Batched,
+    /// Force the fused single-pass kernel. Rejected (at
+    /// [`Engine::set_execution_mode`] /
+    /// `Simulation::builder().execution_mode(..)` time) for
+    /// configurations that must read individual agents: neighborhood
+    /// sampling and the literal [`Fidelity::Agent`]. Sleepy-fault rounds
+    /// still take the per-agent loop.
+    Fused,
+}
+
+impl fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecutionMode::Auto => "auto",
+            ExecutionMode::Batched => "batched",
+            ExecutionMode::Fused => "fused",
+        })
+    }
+}
+
+/// The engine's [`ObservationSource`] for fused rounds: the mean-field
+/// fidelity's per-round sampler plus per-observation fault corruption —
+/// exactly the sampling semantics of [`draw_raw_count`]'s sampler branches,
+/// delivered one observation at a time so no buffer ever exists. The
+/// noise-free configuration (`fault: None`) skips the corruption call,
+/// keeping the per-agent cost to one sampler draw.
+struct MeanFieldSource<'a> {
+    sampler: MeanFieldSampler<'a>,
+    /// `Some` only when observation noise is active.
+    fault: Option<&'a FaultPlan>,
+    m: u32,
+}
+
+enum MeanFieldSampler<'a> {
+    Binomial(&'a BinomialSampler),
+    Hypergeometric(&'a Hypergeometric),
+}
+
+impl ObservationSource for MeanFieldSource<'_> {
+    fn next_observation(&mut self, rng: &mut dyn RngCore) -> Observation {
+        let raw_ones = match self.sampler {
+            MeanFieldSampler::Binomial(sampler) => sampler.sample(rng) as u32,
+            MeanFieldSampler::Hypergeometric(h) => h.sample(rng) as u32,
+        };
+        let seen = match self.fault {
+            Some(fault) => fault.corrupt_count(raw_ones, self.m, rng),
+            None => raw_ones,
+        };
+        Observation::new(seen, self.m).expect("corrupt_count preserves the bound")
+    }
+}
+
+/// Settles a round's decision count from the count folded out of the
+/// round's outputs: passive protocols (decision ≡ output) take the folded
+/// count directly, decoupled baselines are recounted from their states.
+/// Shared by all three round paths (batched, fused, sleepy) so the
+/// passive-count contract cannot drift between them. The debug guard
+/// catches a protocol that overrides `decision()` but forgets to override
+/// `is_passive()` — the folded count is only valid when decision ≡ output
+/// actually holds.
+fn settle_correct_decisions<A: Population + ?Sized>(
+    pop: &A,
+    correct: Opinion,
+    folded_count: u64,
+) -> u64 {
+    let passive = pop.is_passive();
+    debug_assert!(
+        !passive || folded_count == pop.count_correct_decisions(correct),
+        "protocol `{}` reports is_passive() but decision() != output()",
+        pop.protocol_name()
+    );
+    if passive {
+        folded_count
+    } else {
+        pop.count_correct_decisions(correct)
+    }
 }
 
 /// Draws one agent's raw observed 1-count for the round: from its
@@ -175,6 +298,7 @@ struct EngineCore {
     spec: ProblemSpec,
     source: Source,
     fidelity: Fidelity,
+    mode: ExecutionMode,
     neighborhood: Option<Box<dyn Neighborhood>>,
     fault: FaultPlan,
     outputs: Vec<Opinion>,
@@ -253,15 +377,19 @@ impl EngineCore {
     ) -> Self {
         let ones_count = outputs.iter().filter(|o| o.is_one()).count() as u64;
         let correct_decisions = pop.count_correct_decisions(source.correct());
-        let snapshot = outputs.clone();
         EngineCore {
             spec,
             source,
             fidelity,
+            mode: ExecutionMode::Auto,
             neighborhood: None,
             fault: FaultPlan::none(),
             outputs,
-            snapshot,
+            // All three round scratch buffers start unallocated; rounds
+            // that never read them (the fused path, mean-field batched
+            // snapshots) never allocate them — the `O(1)`-auxiliary-memory
+            // guarantee `round_scratch_bytes` reports on.
+            snapshot: Vec::new(),
             obs_buf: Vec::new(),
             out_buf: Vec::new(),
             ones_count,
@@ -294,6 +422,48 @@ impl EngineCore {
         self.correct_decisions = pop.count_correct_decisions(self.source.correct());
     }
 
+    /// `true` when observations are a pure function of the round's global
+    /// 1-count — the precondition for the fused path *and* for skipping
+    /// the snapshot copy on the batched path.
+    fn mean_field(&self) -> bool {
+        self.neighborhood.is_none() && self.fidelity != Fidelity::Agent
+    }
+
+    /// Whether a fault-free round runs the fused kernel under the current
+    /// mode. (`Fused` is validated to imply `mean_field` at set time.)
+    fn fused_selected(&self) -> bool {
+        match self.mode {
+            ExecutionMode::Batched => false,
+            ExecutionMode::Auto | ExecutionMode::Fused => self.mean_field(),
+        }
+    }
+
+    /// Installs an execution mode, rejecting `Fused` for configurations
+    /// whose observations must read individual agents.
+    fn set_mode(&mut self, mode: ExecutionMode) -> Result<(), SimError> {
+        if mode == ExecutionMode::Fused && !self.mean_field() {
+            return Err(SimError::InvalidParameter {
+                name: "mode",
+                detail: "the fused path draws observations from the round's global 1-count; \
+                         neighborhood sampling and the literal Agent fidelity need the \
+                         snapshot-driven batched path"
+                    .into(),
+            });
+        }
+        self.mode = mode;
+        Ok(())
+    }
+
+    /// Bytes of per-round auxiliary buffers currently allocated (output
+    /// snapshot + observation buffer + output scratch). Stays `0` for runs
+    /// whose every round went through the fused path — the measurable form
+    /// of its `O(1)`-auxiliary-memory guarantee.
+    fn scratch_bytes(&self) -> usize {
+        self.snapshot.capacity() * std::mem::size_of::<Opinion>()
+            + self.obs_buf.capacity() * std::mem::size_of::<Observation>()
+            + self.out_buf.capacity() * std::mem::size_of::<Opinion>()
+    }
+
     /// Executes one synchronous round (see [`Engine::step`]).
     fn step<A: Population + ?Sized>(&mut self, pop: &mut A) {
         // Scheduled environment change: the correct bit itself flips.
@@ -301,10 +471,16 @@ impl EngineCore {
             self.source.retarget(new_correct);
             self.refresh_caches(pop);
         }
-        // Synchrony: all observations read the round-t outputs.
-        self.snapshot.clone_from(&self.outputs);
+        // Synchrony: all observations read the round-t outputs. Mean-field
+        // rounds consume only the global 1-count, so the O(n) snapshot
+        // copy is skipped there (on the batched path too, not just fused).
+        if !self.mean_field() {
+            self.snapshot.clone_from(&self.outputs);
+        }
         if self.fault.sleep_prob > 0.0 {
             self.step_with_sleep(pop);
+        } else if self.fused_selected() {
+            self.step_fused_round(pop);
         } else {
             self.step_batched(pop);
         }
@@ -368,7 +544,6 @@ impl EngineCore {
         // For passive protocols decision ≡ output, so the decision count
         // folds out of `out_buf` in the same pass; only decoupled
         // (non-passive) protocols need the extra scan over agent states.
-        let passive = pop.is_passive();
         let correct = self.source.correct();
         let mut ones_count = num_sources as u64 * u64::from(self.source.output().is_one());
         let mut correct_decisions = 0u64;
@@ -378,19 +553,39 @@ impl EngineCore {
             correct_decisions += u64::from(*out == correct);
         }
         self.ones_count = ones_count;
-        // Guard against a protocol that overrides `decision()` but forgets
-        // to override `is_passive()`: the fused count is only valid when
-        // decision ≡ output actually holds.
-        debug_assert!(
-            !passive || correct_decisions == pop.count_correct_decisions(correct),
-            "protocol `{}` reports is_passive() but decision() != output()",
-            pop.protocol_name()
-        );
-        self.correct_decisions = if passive {
-            correct_decisions
-        } else {
-            pop.count_correct_decisions(correct)
+        self.correct_decisions = settle_correct_decisions(pop, correct, correct_decisions);
+    }
+
+    /// The fused round path (mean-field rounds only): one
+    /// [`Population::step_fused`] dispatch draws each agent's observation,
+    /// applies the update, writes the output in place, and hands back the
+    /// round counters — a single pass with `O(1)` auxiliary memory.
+    fn step_fused_round<A: Population + ?Sized>(&mut self, pop: &mut A) {
+        let num_sources = self.spec.num_sources() as usize;
+        let m = pop.samples_per_round();
+        let ctx = RoundContext::new(self.round);
+        let (binomial, hypergeometric) = self.round_samplers(m);
+        let sampler = match (binomial.as_ref(), hypergeometric.as_ref()) {
+            (Some(s), _) => MeanFieldSampler::Binomial(s),
+            (_, Some(h)) => MeanFieldSampler::Hypergeometric(h),
+            _ => unreachable!("fused rounds run on mean-field fidelities only"),
         };
+        let mut obs_source = MeanFieldSource {
+            sampler,
+            fault: (self.fault.flip_prob > 0.0).then_some(&self.fault),
+            m,
+        };
+        let correct = self.source.correct();
+        let counters = pop.step_fused(
+            &mut obs_source,
+            &ctx,
+            &mut self.rng,
+            correct,
+            &mut self.outputs[num_sources..],
+        );
+        self.ones_count =
+            num_sources as u64 * u64::from(self.source.output().is_one()) + counters.ones;
+        self.correct_decisions = settle_correct_decisions(pop, correct, counters.correct);
     }
 
     /// The per-agent round path, used when sleepy-agent faults are active.
@@ -400,7 +595,6 @@ impl EngineCore {
         let m = pop.samples_per_round();
         let ctx = RoundContext::new(self.round);
         let (binomial, hypergeometric) = self.round_samplers(m);
-        let passive = pop.is_passive();
         let correct = self.source.correct();
         let mut ones_count = num_sources as u64 * u64::from(self.source.output().is_one());
         let mut correct_decisions = 0u64;
@@ -430,16 +624,7 @@ impl EngineCore {
             correct_decisions += u64::from(self.outputs[agent_index] == correct);
         }
         self.ones_count = ones_count;
-        debug_assert!(
-            !passive || correct_decisions == pop.count_correct_decisions(correct),
-            "protocol `{}` reports is_passive() but decision() != output()",
-            pop.protocol_name()
-        );
-        self.correct_decisions = if passive {
-            correct_decisions
-        } else {
-            pop.count_correct_decisions(correct)
-        };
+        self.correct_decisions = settle_correct_decisions(pop, correct, correct_decisions);
     }
 
     /// Runs until convergence is confirmed or `max_rounds` have executed.
@@ -603,6 +788,35 @@ where
     /// Installs a fault plan (replacing any previous plan).
     pub fn set_fault_plan(&mut self, fault: FaultPlan) {
         self.core.fault = fault;
+    }
+
+    /// Selects which round implementation executes (default
+    /// [`ExecutionMode::Auto`]). See the [module docs](self) for the
+    /// batched/fused trade-off and the stream-compatibility caveat:
+    /// changing the *resolved* implementation changes the run's RNG
+    /// interleaving, so fused and batched runs of one seed are distinct
+    /// (each individually deterministic) trajectories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when [`ExecutionMode::Fused`]
+    /// is requested for a configuration that must read individual agents
+    /// (a neighborhood, or [`Fidelity::Agent`]).
+    pub fn set_execution_mode(&mut self, mode: ExecutionMode) -> Result<(), SimError> {
+        self.core.set_mode(mode)
+    }
+
+    /// The configured execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.core.mode
+    }
+
+    /// Bytes of per-round auxiliary round buffers currently allocated
+    /// (output snapshot, observation buffer, output scratch). `0` for as
+    /// long as every executed round has gone through the fused path —
+    /// the measurable form of its `O(1)`-auxiliary-memory guarantee.
+    pub fn round_scratch_bytes(&self) -> usize {
+        self.core.scratch_bytes()
     }
 
     /// The protocol configuration.
@@ -804,6 +1018,27 @@ impl PopulationEngine {
     /// Installs a fault plan (replacing any previous plan).
     pub fn set_fault_plan(&mut self, fault: FaultPlan) {
         self.core.fault = fault;
+    }
+
+    /// Selects which round implementation executes (see
+    /// [`Engine::set_execution_mode`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::set_execution_mode`].
+    pub fn set_execution_mode(&mut self, mode: ExecutionMode) -> Result<(), SimError> {
+        self.core.set_mode(mode)
+    }
+
+    /// The configured execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.core.mode
+    }
+
+    /// Bytes of per-round auxiliary buffers currently allocated (see
+    /// [`Engine::round_scratch_bytes`]).
+    pub fn round_scratch_bytes(&self) -> usize {
+        self.core.scratch_bytes()
     }
 
     /// The running protocol's name.
@@ -1238,6 +1473,190 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    // ---- the fused execution mode ----
+
+    /// Fused rounds replay bit for bit across the typed and
+    /// population-erased front ends, for every mean-field fidelity and
+    /// the fault plans the fused path supports (noise, retargeting; sleep
+    /// rounds fall back to the per-agent loop by design and are covered
+    /// by the batched cases above).
+    #[test]
+    fn fused_is_stream_identical_across_typed_and_population_engines() {
+        let cases: Vec<(Fidelity, FaultPlan)> = vec![
+            (Fidelity::Binomial, FaultPlan::none()),
+            (Fidelity::WithoutReplacement, FaultPlan::none()),
+            (Fidelity::Binomial, FaultPlan::with_noise(0.03)),
+            (
+                Fidelity::Binomial,
+                FaultPlan::with_source_retarget(5, Opinion::Zero),
+            ),
+        ];
+        for (fidelity, fault) in cases {
+            let mut typed = Engine::new(
+                FetProtocol::new(8).unwrap(),
+                spec(150),
+                fidelity,
+                InitialCondition::Random,
+                77,
+            )
+            .unwrap();
+            typed.set_fault_plan(fault);
+            typed.set_execution_mode(ExecutionMode::Fused).unwrap();
+            let mut erased = PopulationEngine::new(
+                fet_population(8),
+                spec(150),
+                fidelity,
+                InitialCondition::Random,
+                77,
+            )
+            .unwrap();
+            erased.set_fault_plan(fault);
+            erased.set_execution_mode(ExecutionMode::Fused).unwrap();
+            let mut rec_t = TrajectoryRecorder::new();
+            let mut rec_e = TrajectoryRecorder::new();
+            let rt = typed.run(120, ConvergenceCriterion::new(3), &mut rec_t);
+            let re = erased.run(120, ConvergenceCriterion::new(3), &mut rec_e);
+            assert_eq!(rt, re, "{fidelity:?}/{fault:?} fused reports diverged");
+            assert_eq!(
+                rec_t.into_fractions(),
+                rec_e.into_fractions(),
+                "{fidelity:?}/{fault:?} fused trajectories diverged"
+            );
+            assert_eq!(typed.outputs(), erased.outputs());
+        }
+    }
+
+    /// Auto mode resolves to the fused kernel on mean-field rounds: the
+    /// round scratch buffers are never allocated — while forcing the
+    /// batched pipeline allocates them as before.
+    #[test]
+    fn auto_mode_runs_mean_field_rounds_with_zero_scratch() {
+        let mut auto = Engine::new(
+            FetProtocol::new(6).unwrap(),
+            spec(300),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            3,
+        )
+        .unwrap();
+        assert_eq!(auto.execution_mode(), ExecutionMode::Auto);
+        for _ in 0..20 {
+            auto.step();
+        }
+        assert_eq!(
+            auto.round_scratch_bytes(),
+            0,
+            "fused rounds must not allocate snapshot/obs/out buffers"
+        );
+
+        let mut batched = Engine::new(
+            FetProtocol::new(6).unwrap(),
+            spec(300),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            3,
+        )
+        .unwrap();
+        batched.set_execution_mode(ExecutionMode::Batched).unwrap();
+        batched.step();
+        assert!(
+            batched.round_scratch_bytes() > 0,
+            "the batched pipeline keeps its observation/output buffers"
+        );
+    }
+
+    /// Literal-fidelity rounds keep the snapshot (they read it), while
+    /// mean-field batched rounds skip the copy but keep obs/out buffers.
+    #[test]
+    fn snapshot_is_only_materialized_when_read() {
+        let mut literal = Engine::new(
+            FetProtocol::new(4).unwrap(),
+            spec(100),
+            Fidelity::Agent,
+            InitialCondition::AllWrong,
+            9,
+        )
+        .unwrap();
+        literal.step();
+        assert!(literal.round_scratch_bytes() >= 100, "snapshot + buffers");
+
+        let mut mean_field = Engine::new(
+            FetProtocol::new(4).unwrap(),
+            spec(100),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            9,
+        )
+        .unwrap();
+        mean_field
+            .set_execution_mode(ExecutionMode::Batched)
+            .unwrap();
+        mean_field.step();
+        // obs_buf (8 bytes/agent) + out_buf (1 byte/agent), but no
+        // 100-entry snapshot: under 10 bytes/agent total.
+        let scratch = mean_field.round_scratch_bytes();
+        assert!(
+            scratch > 0 && scratch < 100 * 10,
+            "mean-field batched rounds must skip the snapshot copy (got {scratch})"
+        );
+    }
+
+    #[test]
+    fn fused_mode_rejects_agent_fidelity_and_neighborhoods() {
+        let mut literal = Engine::new(
+            FetProtocol::new(4).unwrap(),
+            spec(60),
+            Fidelity::Agent,
+            InitialCondition::AllWrong,
+            1,
+        )
+        .unwrap();
+        assert!(matches!(
+            literal.set_execution_mode(ExecutionMode::Fused),
+            Err(SimError::InvalidParameter { name: "mode", .. })
+        ));
+
+        let mut ring = Engine::with_neighborhood(
+            FetProtocol::new(3).unwrap(),
+            Box::new(Ring::new(60)),
+            2,
+            Opinion::One,
+            InitialCondition::AllWrong,
+            19,
+        )
+        .unwrap();
+        assert!(matches!(
+            ring.set_execution_mode(ExecutionMode::Fused),
+            Err(SimError::InvalidParameter { name: "mode", .. })
+        ));
+        // Batched stays available everywhere.
+        ring.set_execution_mode(ExecutionMode::Batched).unwrap();
+    }
+
+    /// The fused path must satisfy the same end-to-end guarantees as the
+    /// batched one: convergence from the all-wrong start, absorbing once
+    /// converged.
+    #[test]
+    fn fused_converged_state_is_absorbing() {
+        let p = FetProtocol::for_population(200, 4.0).unwrap();
+        let mut e = Engine::new(
+            p,
+            spec(200),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            13,
+        )
+        .unwrap();
+        e.set_execution_mode(ExecutionMode::Fused).unwrap();
+        let report = e.run(20_000, ConvergenceCriterion::new(3), &mut NullObserver);
+        assert!(report.converged(), "{report:?}");
+        for _ in 0..200 {
+            e.step();
+            assert!(e.all_correct(), "fused absorbing state violated");
+        }
+        assert_eq!(e.round_scratch_bytes(), 0);
     }
 
     #[test]

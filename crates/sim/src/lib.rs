@@ -79,7 +79,7 @@ pub mod prelude {
     pub use crate::asynchronous::AsyncEngine;
     pub use crate::batch::{parallel_map, BatchSummary};
     pub use crate::convergence::{ConvergenceCriterion, ConvergenceReport};
-    pub use crate::engine::{Engine, Fidelity, PopulationEngine};
+    pub use crate::engine::{Engine, ExecutionMode, Fidelity, PopulationEngine};
     pub use crate::error::SimError;
     pub use crate::experiment::{run_fet_once, ExperimentSpec, RunOutcome};
     pub use crate::fault::FaultPlan;

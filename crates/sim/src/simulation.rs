@@ -19,6 +19,10 @@
 //! * **scheduler** — synchronous rounds ([`Scheduler::Synchronous`]) or the
 //!   population-protocol-style random-activation scheduler
 //!   ([`Scheduler::Asynchronous`]).
+//! * **execution mode** — how a synchronous round executes:
+//!   [`ExecutionMode::Auto`] (default; the fused single-pass kernel on
+//!   mean-field rounds, the batched pipeline otherwise), or force either
+//!   with [`ExecutionMode::Fused`] / [`ExecutionMode::Batched`].
 //! * **fault plan, initial condition, convergence criterion, budgets,
 //!   seed, trajectory recording** — one method each.
 //!
@@ -64,7 +68,7 @@
 use crate::aggregate::AggregateFetChain;
 use crate::asynchronous::AsyncEngine;
 use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
-use crate::engine::{Fidelity, PopulationEngine};
+use crate::engine::{ExecutionMode, Fidelity, PopulationEngine};
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::init::InitialCondition;
@@ -115,6 +119,11 @@ pub struct RunReport {
     pub n: u64,
     /// Fidelity the run used.
     pub fidelity: Fidelity,
+    /// Execution mode the run was configured with ([`ExecutionMode::Auto`]
+    /// resolves to the fused single-pass kernel on synchronous mean-field
+    /// runs and the batched pipeline otherwise; the aggregate and
+    /// asynchronous runners have one implementation each).
+    pub mode: ExecutionMode,
     /// Scheduler the run used.
     pub scheduler: Scheduler,
     /// Convergence outcome. Under [`Scheduler::Asynchronous`] the rounds
@@ -171,6 +180,7 @@ pub struct Simulation {
     samples_per_round: u32,
     n: u64,
     fidelity: Fidelity,
+    mode: ExecutionMode,
     scheduler: Scheduler,
     criterion: ConvergenceCriterion,
     max_rounds: u64,
@@ -297,6 +307,7 @@ impl Simulation {
             samples_per_round: self.samples_per_round,
             n: self.n,
             fidelity: self.fidelity,
+            mode: self.mode,
             scheduler: self.scheduler,
             report,
             trajectory: recorder.map(TrajectoryRecorder::into_fractions),
@@ -389,6 +400,7 @@ pub struct SimulationBuilder {
     protocol: ProtocolChoice,
     registry: Option<ProtocolRegistry>,
     fidelity: Option<Fidelity>,
+    mode: ExecutionMode,
     scheduler: Scheduler,
     topology: Option<Box<dyn Neighborhood>>,
     init: InitialCondition,
@@ -416,6 +428,7 @@ impl SimulationBuilder {
             protocol: ProtocolChoice::Default,
             registry: None,
             fidelity: None,
+            mode: ExecutionMode::Auto,
             scheduler: Scheduler::Synchronous,
             topology: None,
             init: InitialCondition::AllWrong,
@@ -495,6 +508,19 @@ impl SimulationBuilder {
     /// the complete graph, [`Fidelity::Agent`] with a topology).
     pub fn fidelity(mut self, f: Fidelity) -> Self {
         self.fidelity = Some(f);
+        self
+    }
+
+    /// Sets the synchronous round implementation (default
+    /// [`ExecutionMode::Auto`]: the fused single-pass kernel on mean-field
+    /// rounds, the batched pipeline otherwise). Forcing
+    /// [`ExecutionMode::Fused`] is validated in
+    /// [`SimulationBuilder::build`]: it requires a synchronous per-agent
+    /// run on the complete graph with a non-literal, non-aggregate
+    /// fidelity. Note the stream caveat in [`crate::engine`]'s docs: the
+    /// two modes are distinct deterministic streams per seed.
+    pub fn execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -674,6 +700,31 @@ impl SimulationBuilder {
                 ));
             }
         }
+        if self.mode != ExecutionMode::Auto {
+            // The batched/fused choice exists only for the synchronous
+            // per-agent engine; other runners have a single implementation.
+            if self.scheduler == Scheduler::Asynchronous || fidelity == Fidelity::Aggregate {
+                return Err(Self::invalid(
+                    "mode",
+                    format!(
+                        "execution mode `{}` applies to synchronous per-agent runs; the \
+                         aggregate chain and the asynchronous scheduler have one \
+                         implementation each (use ExecutionMode::Auto)",
+                        self.mode
+                    ),
+                ));
+            }
+            if self.mode == ExecutionMode::Fused
+                && (self.topology.is_some() || fidelity == Fidelity::Agent)
+            {
+                return Err(Self::invalid(
+                    "mode",
+                    "the fused path draws observations from the round's global 1-count; \
+                     neighborhood sampling and the literal Agent fidelity need the \
+                     snapshot-driven batched path",
+                ));
+            }
+        }
 
         let runner = match (self.scheduler, fidelity) {
             (Scheduler::Synchronous, Fidelity::Aggregate) => {
@@ -719,6 +770,9 @@ impl SimulationBuilder {
                     }
                 };
                 engine.set_fault_plan(self.fault);
+                engine
+                    .set_execution_mode(self.mode)
+                    .expect("fused-mode compatibility validated above");
                 Runner::Sync(Box::new(engine))
             }
         };
@@ -728,6 +782,7 @@ impl SimulationBuilder {
             samples_per_round: protocol.samples_per_round(),
             n,
             fidelity,
+            mode: self.mode,
             scheduler: self.scheduler,
             criterion,
             max_rounds,
@@ -848,6 +903,52 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("without-replacement"), "{err}");
+    }
+
+    #[test]
+    fn execution_mode_axis_builds_and_converges() {
+        for mode in [
+            ExecutionMode::Auto,
+            ExecutionMode::Batched,
+            ExecutionMode::Fused,
+        ] {
+            let mut sim = Simulation::builder()
+                .population(300)
+                .seed(7)
+                .execution_mode(mode)
+                .build()
+                .unwrap();
+            let report = sim.run();
+            assert!(report.converged(), "{mode:?}: {report:?}");
+            assert_eq!(report.mode, mode);
+        }
+    }
+
+    #[test]
+    fn fused_mode_rejects_incompatible_configurations() {
+        // Literal fidelity needs the snapshot-driven batched path.
+        let err = Simulation::builder()
+            .population(100)
+            .fidelity(Fidelity::Agent)
+            .execution_mode(ExecutionMode::Fused)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("fused"), "{err}");
+        // Aggregate and async runners have one implementation each.
+        for (fidelity, scheduler) in [
+            (Some(Fidelity::Aggregate), Scheduler::Synchronous),
+            (None, Scheduler::Asynchronous),
+        ] {
+            let mut b = Simulation::builder()
+                .population(100)
+                .scheduler(scheduler)
+                .execution_mode(ExecutionMode::Fused);
+            if let Some(f) = fidelity {
+                b = b.fidelity(f);
+            }
+            let err = b.build().unwrap_err();
+            assert!(err.to_string().contains("mode"), "{err}");
+        }
     }
 
     #[test]

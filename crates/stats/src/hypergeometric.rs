@@ -257,13 +257,12 @@ impl SplitTable {
             return (lo, ones - lo);
         }
         let u: f64 = rng.gen();
-        // First k with acc ≥ u — the sequential sampler's stop rule. The
-        // final entry is taken when u exceeds every partial sum (float
-        // round-off can leave the total a hair below 1).
-        let offset = cdf
-            .iter()
-            .position(|&acc| acc >= u)
-            .unwrap_or(cdf.len() - 1) as u64;
+        // First k with acc ≥ u — the sequential sampler's stop rule,
+        // located by binary search (the partial sums are non-decreasing,
+        // so `partition_point` finds exactly the index the linear scan
+        // would). The final entry is taken when u exceeds every partial
+        // sum (float round-off can leave the total a hair below 1).
+        let offset = cdf.partition_point(|&acc| acc < u).min(cdf.len() - 1) as u64;
         let first = lo + offset;
         (first, ones - first)
     }

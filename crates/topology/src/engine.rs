@@ -184,7 +184,7 @@ mod tests {
         let p = FetProtocol::new(4).unwrap();
         for bad in [0u32, 5, 6] {
             let err = TopologyEngine::new(
-                p,
+                p.clone(),
                 g.clone(),
                 bad,
                 Opinion::One,

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 2_000u64;
     let spec = ProblemSpec::single_source(n, Opinion::One)?;
     let protocol = FetProtocol::for_population(n, 4.0)?;
-    let conf = FetConfigurator::new(protocol, spec);
+    let conf = FetConfigurator::new(protocol.clone(), spec);
 
     println!("n = {n}, ℓ = {} — named traps:\n", protocol.ell());
     let traps: [(&str, Vec<fet::core::fet::FetState>); 3] = [
@@ -38,7 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
     for (name, states) in traps {
-        let mut engine = Engine::from_states(protocol, spec, Fidelity::Binomial, states, 4242)?;
+        let mut engine =
+            Engine::from_states(protocol.clone(), spec, Fidelity::Binomial, states, 4242)?;
         let report = engine.run(200_000, ConvergenceCriterion::new(3), &mut NullObserver);
         println!(
             "  {name:<48} t_con = {}",

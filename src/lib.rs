@@ -77,7 +77,7 @@ pub mod prelude {
     pub use fet_core::protocol::Protocol;
     pub use fet_protocols::registry::{ProtocolParams, ProtocolRegistry};
     pub use fet_sim::convergence::{ConvergenceCriterion, ConvergenceReport};
-    pub use fet_sim::engine::{Engine, Fidelity, PopulationEngine};
+    pub use fet_sim::engine::{Engine, ExecutionMode, Fidelity, PopulationEngine};
     pub use fet_sim::experiment::{run_fet_once, run_protocol_once, ExperimentSpec, RunOutcome};
     pub use fet_sim::fault::FaultPlan;
     pub use fet_sim::neighborhood::Neighborhood;

@@ -222,7 +222,8 @@ fn density_views_triangulate() {
 fn conflict_oscillates_but_agreement_absorbs() {
     let protocol = FetProtocol::new(24).expect("valid");
     // Conflict: 30 vs 90 stubborn agents — no settling.
-    let mut conflicted = ConflictEngine::new(protocol, 1_200, 30, 90, 0.5, 5).expect("valid");
+    let mut conflicted =
+        ConflictEngine::new(protocol.clone(), 1_200, 30, 90, 0.5, 5).expect("valid");
     let out = conflicted.run_measure(500, 2_000);
     assert!(
         out.max_x - out.min_x > 0.3,

@@ -16,7 +16,7 @@ use fet::sim::simulation::Simulation;
 fn setup(n: u64) -> (FetProtocol, ProblemSpec, FetConfigurator) {
     let spec = ProblemSpec::single_source(n, Opinion::One).expect("valid");
     let protocol = FetProtocol::for_population(n, 4.0).expect("valid");
-    (protocol, spec, FetConfigurator::new(protocol, spec))
+    (protocol.clone(), spec, FetConfigurator::new(protocol, spec))
 }
 
 #[test]
@@ -28,7 +28,8 @@ fn all_named_traps_are_defeated() {
         ("oscillation_primer", conf.oscillation_primer()),
     ] {
         let mut engine =
-            Engine::from_states(protocol, spec, Fidelity::Binomial, states, 17).expect("valid");
+            Engine::from_states(protocol.clone(), spec, Fidelity::Binomial, states, 17)
+                .expect("valid");
         let report = engine.run(100_000, ConvergenceCriterion::new(3), &mut NullObserver);
         assert!(report.converged(), "trap {name} defeated FET: {report:?}");
     }
