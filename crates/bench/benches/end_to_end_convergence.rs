@@ -103,12 +103,18 @@ fn bench_typed_vs_registry(c: &mut Criterion) {
     group.finish();
 }
 
-/// Batched vs fused full-convergence runs at `n = 10^5` through the
-/// facade: the ISSUE 3 acceptance pair (`batched / fused ≥ 1.5`). With
-/// `FET_BENCH_LARGE=1`, also one `n = 10^7` fused episode — the
-/// bounded-memory demonstration row of `docs/BENCHMARKS.md` (several
-/// minutes; excluded from default and CI budgets).
+/// Batched vs fused vs parallel-fused full-convergence runs at `n = 10^5`
+/// through the facade: the ISSUE 3 acceptance pair
+/// (`batched / fused ≥ 1.5`) plus the parallel variant
+/// (`FET_BENCH_THREADS` shards, default 4). With `FET_BENCH_LARGE=1`,
+/// also one `n = 10^7` episode in each fused mode — the bounded-memory
+/// and ISSUE 4 speedup demonstration rows of `docs/BENCHMARKS.md`
+/// (several minutes; excluded from default and CI budgets).
 fn bench_batched_vs_fused(c: &mut Criterion) {
+    let threads: u32 = std::env::var("FET_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     let mut group = c.benchmark_group("end_to_end_convergence");
     group.sampling_mode(SamplingMode::Flat);
     group.sample_size(10);
@@ -116,6 +122,10 @@ fn bench_batched_vs_fused(c: &mut Criterion) {
     for (label, mode) in [
         ("facade_batched_binomial", ExecutionMode::Batched),
         ("facade_fused_binomial", ExecutionMode::Fused),
+        (
+            "facade_fused_parallel_binomial",
+            ExecutionMode::FusedParallel { threads },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
             let mut seed = 0u64;
@@ -135,16 +145,20 @@ fn bench_batched_vs_fused(c: &mut Criterion) {
     if std::env::var_os("FET_BENCH_LARGE").is_some() {
         let n_large = 10_000_000u64;
         group.sample_size(2);
-        group.bench_with_input(
-            BenchmarkId::new("facade_fused_binomial", n_large),
-            &n_large,
-            |b, &n| {
+        for (label, mode) in [
+            ("facade_fused_binomial", ExecutionMode::Fused),
+            (
+                "facade_fused_parallel_binomial",
+                ExecutionMode::FusedParallel { threads },
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n_large), &n_large, |b, &n| {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
                     let report = Simulation::builder()
                         .population(n)
-                        .execution_mode(ExecutionMode::Fused)
+                        .execution_mode(mode)
                         .seed(seed)
                         .max_rounds(1_000_000)
                         .build()
@@ -153,8 +167,8 @@ fn bench_batched_vs_fused(c: &mut Criterion) {
                     assert!(report.converged(), "{report:?}");
                     report
                 });
-            },
-        );
+            });
+        }
     }
     group.finish();
 }

@@ -16,10 +16,18 @@
 //!   representations through the fused single-pass kernel: observations
 //!   drawn on demand, outputs written in place, counters accumulated in
 //!   the kernel, `O(1)` auxiliary memory.
+//! * `typed_fused_parallel` / `population_fused_parallel` — the fused
+//!   kernel work-sharded over 4 threads (`FET_BENCH_THREADS` overrides):
+//!   per-shard split-RNG streams, one dispatch, per-shard counters
+//!   reduced. On a single-core host this measures pure sharding/spawn
+//!   overhead rather than speedup.
 //!
 //! These are the numbers recorded in `docs/BENCHMARKS.md`; the acceptance
-//! bars are `population / typed ≤ ~1.05` (PR 2) and
-//! `typed / typed_fused ≥ 1.5` at `n = 10^5` (ISSUE 3).
+//! bars are `population / typed ≤ ~1.05` (PR 2),
+//! `typed / typed_fused ≥ 1.5` at `n = 10^5` (ISSUE 3), and
+//! `typed_fused / typed_fused_parallel ≥ 2` at `n = 10^7` with 4 threads
+//! on a ≥ 4-core host (ISSUE 4, measured in `end_to_end_convergence`'s
+//! `FET_BENCH_LARGE` episode).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fet_core::config::{ell_for_population, ProblemSpec};
@@ -99,8 +107,35 @@ fn bench_round(c: &mut Criterion) {
             let mut engine = population_engine(n, ExecutionMode::Fused);
             b.iter(|| engine.step());
         });
+
+        let parallel = ExecutionMode::FusedParallel {
+            threads: bench_threads(),
+        };
+
+        group.bench_with_input(BenchmarkId::new("typed_fused_parallel", n), &n, |b, &n| {
+            let mut engine = typed_engine(n, parallel);
+            b.iter(|| engine.step());
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("population_fused_parallel", n),
+            &n,
+            |b, &n| {
+                let mut engine = population_engine(n, parallel);
+                b.iter(|| engine.step());
+            },
+        );
     }
     group.finish();
+}
+
+/// Shard/worker count for the parallel variants (`FET_BENCH_THREADS`,
+/// default 4 — the ISSUE 4 acceptance configuration).
+fn bench_threads() -> u32 {
+    std::env::var("FET_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
 }
 
 criterion_group!(benches, bench_round);

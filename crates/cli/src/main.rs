@@ -3,7 +3,8 @@
 //! ```text
 //! fet run        --n 10000 [--protocol fet] [--ell 40] [--c 4.0] [--seed 7]
 //!                [--init all-wrong] [--fidelity agent|binomial|without-replacement|aggregate]
-//!                [--scheduler sync|async] [--mode batched|fused] [--agent-level]
+//!                [--scheduler sync|async] [--mode batched|fused|fused-parallel]
+//!                [--threads N] [--agent-level]
 //! fet protocols                                    # list the registry
 //! fet trace      --n 100000 [--seed 7]             # trajectory + domain visits
 //! fet domains    --n 10000 [--delta 0.05] [--steps 60]
@@ -99,7 +100,8 @@ common flags: --n N  --protocol NAME  --ell L  --c C  --seed S  --delta D
               --steps K  --reps R  --init all-wrong|all-correct|random
               --fidelity agent|binomial|without-replacement|aggregate
               --scheduler sync|async  --agent-level (= --fidelity agent)
-              --mode batched|fused (round implementation; default: auto-select)
+              --mode batched|fused|fused-parallel (round implementation; default: auto-select)
+              --threads N (shard/worker count for --mode fused-parallel; default: all cores)
               --k K  --p P  --q Q  --correct 0|1  --max-rounds R
 topology:     --graph NAME  --degree D  --beta B
 conflict:     --k0 K0  --k1 K1  --burn-in B  --window W";
@@ -167,12 +169,25 @@ fn get_fidelity(flags: &Flags) -> Result<Option<Fidelity>, String> {
 }
 
 fn get_mode(flags: &Flags) -> Result<ExecutionMode, String> {
-    match flags.get("mode").map(String::as_str) {
-        None | Some("auto") => Ok(ExecutionMode::Auto),
-        Some("batched") => Ok(ExecutionMode::Batched),
-        Some("fused") => Ok(ExecutionMode::Fused),
-        Some(other) => Err(format!("unknown --mode `{other}`")),
+    let mode = match flags.get("mode").map(String::as_str) {
+        None | Some("auto") => ExecutionMode::Auto,
+        Some("batched") => ExecutionMode::Batched,
+        Some("fused") => ExecutionMode::Fused,
+        Some("fused-parallel") => {
+            // Default thread count: every core the host offers.
+            let default = std::thread::available_parallelism().map_or(1, |p| p.get() as u32);
+            let threads: u32 = get(flags, "threads", default)?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            ExecutionMode::FusedParallel { threads }
+        }
+        Some(other) => return Err(format!("unknown --mode `{other}`")),
+    };
+    if flags.contains_key("threads") && !matches!(mode, ExecutionMode::FusedParallel { .. }) {
+        return Err("--threads applies to --mode fused-parallel only".into());
     }
+    Ok(mode)
 }
 
 fn get_scheduler(flags: &Flags) -> Result<Scheduler, String> {
@@ -255,6 +270,7 @@ fn cmd_protocols() -> Result<(), String> {
             "passive",
             "aggregate-exact",
             "fused-kernel",
+            "parallel",
             "bits/agent",
         ]
         .iter()
@@ -280,6 +296,16 @@ fn cmd_protocols() -> Result<(), String> {
                 "specialized"
             } else {
                 "default"
+            }
+            .to_string(),
+            // Whether `--mode fused-parallel` may shard this protocol
+            // across threads (all built-ins qualify; a protocol whose
+            // update depended on the round-global draw order would opt
+            // out).
+            if p.parallel_eligible() {
+                "eligible"
+            } else {
+                "opt-out"
             }
             .to_string(),
             // Per-agent cost of the contiguous state buffer that
@@ -604,6 +630,22 @@ mod tests {
             ExecutionMode::Fused
         );
         assert!(get_mode(&flags_of(&["--mode", "warp"]).unwrap()).is_err());
+        assert_eq!(
+            get_mode(&flags_of(&["--mode", "fused-parallel", "--threads", "4"]).unwrap()).unwrap(),
+            ExecutionMode::FusedParallel { threads: 4 }
+        );
+        // Defaults to the host's core count — at least one thread.
+        assert!(matches!(
+            get_mode(&flags_of(&["--mode", "fused-parallel"]).unwrap()).unwrap(),
+            ExecutionMode::FusedParallel { threads } if threads >= 1
+        ));
+        assert!(
+            get_mode(&flags_of(&["--mode", "fused-parallel", "--threads", "0"]).unwrap()).is_err()
+        );
+        assert!(
+            get_mode(&flags_of(&["--mode", "fused", "--threads", "4"]).unwrap()).is_err(),
+            "--threads without fused-parallel must be rejected"
+        );
     }
 
     #[test]

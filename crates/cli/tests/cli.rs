@@ -85,6 +85,54 @@ fn run_accepts_both_execution_modes() {
 }
 
 #[test]
+fn run_accepts_fused_parallel_with_threads() {
+    let text = run_ok(&[
+        "run",
+        "--n",
+        "300",
+        "--seed",
+        "7",
+        "--mode",
+        "fused-parallel",
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        text.contains("mode = fused-parallel(2)"),
+        "mode not echoed: {text}"
+    );
+    assert!(text.contains("converged at round"), "{text}");
+}
+
+#[test]
+fn run_fused_parallel_replays_per_seed_and_thread_count() {
+    let run = |threads: &str| {
+        run_ok(&[
+            "run",
+            "--n",
+            "400",
+            "--seed",
+            "11",
+            "--mode",
+            "fused-parallel",
+            "--threads",
+            threads,
+        ])
+    };
+    assert_eq!(run("3"), run("3"), "fixed (seed, threads) must replay");
+}
+
+#[test]
+fn run_rejects_threads_without_parallel_mode() {
+    let out = fet()
+        .args(["run", "--n", "300", "--threads", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fused-parallel"));
+}
+
+#[test]
 fn run_rejects_fused_with_literal_sampling() {
     let out = fet()
         .args([
@@ -113,6 +161,16 @@ fn protocols_table_reports_fused_kernels() {
     assert!(
         text.contains("default"),
         "baselines use the default: {text}"
+    );
+}
+
+#[test]
+fn protocols_table_reports_parallel_eligibility() {
+    let text = run_ok(&["protocols"]);
+    assert!(text.contains("parallel"), "missing column: {text}");
+    assert!(
+        text.contains("eligible"),
+        "built-ins shard across threads: {text}"
     );
 }
 

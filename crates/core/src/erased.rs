@@ -124,6 +124,8 @@ pub trait DynProtocol: fmt::Debug + Send + Sync {
     fn is_passive_erased(&self) -> bool;
     /// See [`Protocol::has_fused_kernel`].
     fn has_fused_kernel_erased(&self) -> bool;
+    /// See [`Protocol::parallel_eligible`].
+    fn parallel_eligible_erased(&self) -> bool;
     /// See [`Protocol::aggregate_ell`].
     fn aggregate_ell_erased(&self) -> Option<u32>;
     /// See [`Protocol::memory_footprint`].
@@ -226,6 +228,10 @@ where
 
     fn has_fused_kernel_erased(&self) -> bool {
         Protocol::has_fused_kernel(self)
+    }
+
+    fn parallel_eligible_erased(&self) -> bool {
+        Protocol::parallel_eligible(self)
     }
 
     fn aggregate_ell_erased(&self) -> Option<u32> {
@@ -361,6 +367,10 @@ impl Protocol for ErasedProtocol {
 
     fn has_fused_kernel(&self) -> bool {
         self.inner.has_fused_kernel_erased()
+    }
+
+    fn parallel_eligible(&self) -> bool {
+        self.inner.parallel_eligible_erased()
     }
 
     fn aggregate_ell(&self) -> Option<u32> {

@@ -60,6 +60,7 @@ pub mod observation;
 pub mod opinion;
 pub mod population;
 pub mod protocol;
+pub mod shard;
 pub mod simple_trend;
 pub mod source;
 pub mod variants;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::opinion::{AgentId, Opinion};
     pub use crate::population::{DynPopulation, Population, TypedPopulation};
     pub use crate::protocol::{Protocol, RoundContext};
+    pub use crate::shard::{ShardPlan, ShardSourceFactory};
     pub use crate::simple_trend::SimpleTrendProtocol;
     pub use crate::source::Source;
     pub use crate::variants::{FetVariant, Memory, TieBreak};

@@ -65,6 +65,7 @@ use crate::memory::MemoryFootprint;
 use crate::observation::Observation;
 use crate::opinion::Opinion;
 use crate::protocol::{FusedCounters, ObservationSource, Protocol, RoundContext};
+use crate::shard::{ShardPlan, ShardSourceFactory};
 use rand::RngCore;
 use std::fmt;
 
@@ -76,10 +77,12 @@ use std::fmt;
 /// [`Protocol::step_batch`]: stepping the population in one call draws the
 /// same random stream as stepping agent by agent in index order.
 ///
-/// Bounds are deliberately minimal (`Debug + Send`, no `Clone`), so that a
-/// fully generic engine can drive any `P: Protocol` through
-/// [`TypedPopulation`] without inheriting clonability requirements; see
-/// [`DynPopulation`] for the clonable, factory-facing extension.
+/// Bounds are deliberately minimal (`Debug + Send + Sync`, no `Clone` —
+/// `Sync` because the parallel fused round shares the protocol
+/// configuration read-only across shard workers), so that a fully generic
+/// engine can drive any `P: Protocol` through [`TypedPopulation`] without
+/// inheriting clonability requirements; see [`DynPopulation`] for the
+/// clonable, factory-facing extension.
 ///
 /// [`push_agent`]: Population::push_agent
 pub trait Population: fmt::Debug + Send {
@@ -93,6 +96,10 @@ pub trait Population: fmt::Debug + Send {
     /// `true` when the protocol communicates passively (see
     /// [`Protocol::is_passive`]).
     fn is_passive(&self) -> bool;
+
+    /// `true` when the protocol may run the work-sharded parallel fused
+    /// round (see [`Protocol::parallel_eligible`]).
+    fn parallel_eligible(&self) -> bool;
 
     /// Per-agent memory accounting (see [`Protocol::memory_footprint`]).
     fn memory_footprint(&self) -> MemoryFootprint;
@@ -149,6 +156,39 @@ pub trait Population: fmt::Debug + Send {
         source: &mut dyn ObservationSource,
         ctx: &RoundContext,
         rng: &mut dyn RngCore,
+        correct: Opinion,
+        outputs: &mut [Opinion],
+    ) -> FusedCounters;
+
+    /// Executes one **work-sharded parallel** fused round: the agents are
+    /// split into `plan.shards()` balanced contiguous ranges, each shard
+    /// runs the fused kernel over its own slice with its own
+    /// counter-derived RNG ([`ShardPlan::rng_for_shard`]) and its own
+    /// observation source ([`ShardSourceFactory::shard_source`]), and the
+    /// per-shard [`FusedCounters`] are reduced into the round totals. Up
+    /// to `plan.workers()` scoped OS threads execute the shards.
+    ///
+    /// # Determinism contract
+    ///
+    /// The resulting states, outputs, and counters are a pure function of
+    /// the agent states, the source configuration, and the plan's
+    /// `(stream, round, shard count)` — **never** of `plan.workers()`,
+    /// thread scheduling, or how a shard's range is sub-chunked (each
+    /// shard is one sequential kernel pass). All representations of one
+    /// protocol (typed, boxed, population-erased) walk identical parallel
+    /// streams because they all dispatch into the same typed kernel per
+    /// shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outputs.len() != len()`, when a source yields an
+    /// observation whose sample size does not match
+    /// [`Population::samples_per_round`], or when a shard worker panics.
+    fn step_fused_parallel(
+        &mut self,
+        factory: &dyn ShardSourceFactory,
+        ctx: &RoundContext,
+        plan: &ShardPlan,
         correct: Opinion,
         outputs: &mut [Opinion],
     ) -> FusedCounters;
@@ -272,7 +312,7 @@ impl<P: Protocol> TypedPopulation<P> {
 
 impl<P> Population for TypedPopulation<P>
 where
-    P: Protocol + fmt::Debug + Send,
+    P: Protocol + fmt::Debug + Send + Sync,
 {
     fn protocol_name(&self) -> &str {
         self.protocol.name()
@@ -284,6 +324,10 @@ where
 
     fn is_passive(&self) -> bool {
         self.protocol.is_passive()
+    }
+
+    fn parallel_eligible(&self) -> bool {
+        self.protocol.parallel_eligible()
     }
 
     fn memory_footprint(&self) -> MemoryFootprint {
@@ -326,6 +370,92 @@ where
     ) -> FusedCounters {
         self.protocol
             .step_fused(&mut self.states, source, ctx, rng, correct, outputs)
+    }
+
+    fn step_fused_parallel(
+        &mut self,
+        factory: &dyn ShardSourceFactory,
+        ctx: &RoundContext,
+        plan: &ShardPlan,
+        correct: Opinion,
+        outputs: &mut [Opinion],
+    ) -> FusedCounters {
+        /// One shard's work item: its index plus its disjoint state and
+        /// output slices.
+        type ShardJob<'a, S> = (u32, &'a mut [S], &'a mut [Opinion]);
+        let n = self.states.len();
+        assert_eq!(outputs.len(), n, "one output slot per agent");
+        let shards = plan.shards();
+        // Carve the state and output buffers into per-shard slices once;
+        // disjointness is what lets the shards run concurrently without
+        // any synchronization on the hot path.
+        let mut jobs: Vec<ShardJob<'_, P::State>> = Vec::with_capacity(shards as usize);
+        let mut states_rest = &mut self.states[..];
+        let mut outputs_rest = outputs;
+        for s in 0..shards {
+            let len = plan.shard_range(n, s).len();
+            let (st, st_rest) = states_rest.split_at_mut(len);
+            let (out, out_rest) = outputs_rest.split_at_mut(len);
+            states_rest = st_rest;
+            outputs_rest = out_rest;
+            if !st.is_empty() {
+                jobs.push((s, st, out));
+            }
+        }
+        let protocol = &self.protocol;
+        let run_shard = |(s, st, out): (u32, &mut [P::State], &mut [Opinion])| {
+            let mut rng = plan.rng_for_shard(s);
+            let mut source = factory.shard_source();
+            protocol.step_fused(st, source.as_mut(), ctx, &mut rng, correct, out)
+        };
+        // Per-shard counters are accumulated into fixed slots and reduced
+        // in shard order, so the totals cannot depend on which worker
+        // finished first (u64 sums are order-free anyway; the slots keep
+        // the reduction obviously deterministic).
+        let workers = (plan.workers() as usize).min(jobs.len());
+        let mut totals = FusedCounters::default();
+        if workers <= 1 {
+            for job in jobs {
+                totals += run_shard(job);
+            }
+        } else {
+            // Round-robin shard-to-worker striping; any assignment yields
+            // identical results (see the determinism contract), and the
+            // striping balances the remainder-carrying early shards
+            // across workers.
+            let mut groups: Vec<Vec<_>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, job) in jobs.into_iter().enumerate() {
+                groups[i % workers].push(job);
+            }
+            let run_shard = &run_shard;
+            let per_shard = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|group| {
+                        scope.spawn(move || {
+                            group
+                                .into_iter()
+                                .map(|job| {
+                                    let s = job.0;
+                                    (s, run_shard(job))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut per_shard = vec![FusedCounters::default(); shards as usize];
+                for handle in handles {
+                    for (s, c) in handle.join().expect("shard worker panicked") {
+                        per_shard[s as usize] = c;
+                    }
+                }
+                per_shard
+            });
+            for c in per_shard {
+                totals += c;
+            }
+        }
+        totals
     }
 
     fn step_agent(
@@ -466,6 +596,78 @@ mod tests {
         boxed.write_outputs(&mut boxed_out);
         assert_eq!(orig_out, boxed_out);
         assert_eq!(copy.len(), 6);
+    }
+
+    /// Draws uniform observations from the shard RNG, so any stream
+    /// perturbation shows up in states and outputs.
+    struct UniformSourceFactory {
+        m: u32,
+    }
+
+    struct UniformSource {
+        m: u32,
+    }
+
+    impl crate::protocol::ObservationSource for UniformSource {
+        fn next_observation(&mut self, rng: &mut dyn rand::RngCore) -> Observation {
+            Observation::new(rng.next_u32() % (self.m + 1), self.m).unwrap()
+        }
+    }
+
+    impl crate::shard::ShardSourceFactory for UniformSourceFactory {
+        fn shard_source(&self) -> Box<dyn crate::protocol::ObservationSource + '_> {
+            Box::new(UniformSource { m: self.m })
+        }
+    }
+
+    #[test]
+    fn parallel_fused_is_worker_invariant_and_matches_sequential_shards() {
+        let ctx = RoundContext::new(0);
+        let m = FetProtocol::new(8).unwrap().samples_per_round();
+        let factory = UniformSourceFactory { m };
+        for n in [0usize, 1, 5, 97] {
+            for shards in [1u32, 2, 3, 7, 16] {
+                // Reference: process the shards sequentially, each with its
+                // plan-derived RNG and a fresh source — the stream the
+                // parallel dispatch must reproduce under any worker count.
+                let (mut reference, _) = filled(n);
+                let plan1 = crate::shard::ShardPlan::new(shards, 1, 0xDEAD, 9);
+                let mut ref_out = vec![Opinion::Zero; n];
+                let mut ref_counters = crate::protocol::FusedCounters::default();
+                for s in 0..shards {
+                    let range = plan1.shard_range(n, s);
+                    let mut rng = plan1.rng_for_shard(s);
+                    let mut source = UniformSource { m };
+                    let c = reference.protocol.clone().step_fused(
+                        &mut reference.states[range.clone()],
+                        &mut source,
+                        &ctx,
+                        &mut rng,
+                        Opinion::One,
+                        &mut ref_out[range],
+                    );
+                    ref_counters += c;
+                }
+                for workers in [1u32, 2, 5] {
+                    let (mut pop, _) = filled(n);
+                    let plan = crate::shard::ShardPlan::new(shards, workers, 0xDEAD, 9);
+                    let mut out = vec![Opinion::Zero; n];
+                    let counters =
+                        pop.step_fused_parallel(&factory, &ctx, &plan, Opinion::One, &mut out);
+                    assert_eq!(
+                        pop.states(),
+                        reference.states(),
+                        "n={n} shards={shards} workers={workers}: states diverged"
+                    );
+                    assert_eq!(out, ref_out, "n={n} shards={shards} workers={workers}");
+                    assert_eq!(counters, ref_counters);
+                    assert_eq!(
+                        counters.ones,
+                        out.iter().filter(|o| o.is_one()).count() as u64
+                    );
+                }
+            }
+        }
     }
 
     #[test]

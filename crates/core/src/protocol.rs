@@ -79,6 +79,16 @@ pub struct FusedCounters {
     pub correct: u64,
 }
 
+impl std::ops::AddAssign for FusedCounters {
+    /// Merges another slice's counters — the reduction the parallel
+    /// fused round applies per shard. One impl, so a future counter
+    /// field cannot be dropped at some reduction site.
+    fn add_assign(&mut self, rhs: FusedCounters) {
+        self.ones += rhs.ones;
+        self.correct += rhs.correct;
+    }
+}
+
 /// A per-agent protocol: a pure state machine driven by passive
 /// observations.
 ///
@@ -220,6 +230,23 @@ pub trait Protocol {
     /// hot kernel was hand-written. Surfaced by `fet protocols`.
     fn has_fused_kernel(&self) -> bool {
         false
+    }
+
+    /// `true` when this protocol may run the work-sharded **parallel**
+    /// fused round (`--mode fused-parallel`): agents partitioned into
+    /// contiguous shards, each stepped by [`Protocol::step_fused`] with an
+    /// independent counter-derived RNG stream.
+    ///
+    /// Every per-agent state machine qualifies — agent `i`'s update reads
+    /// only its own state, its observation, and fresh randomness, so the
+    /// kernel is free to regroup agents under different generators.
+    /// Defaults to `true`; a protocol whose update semantics depend on the
+    /// *round-global* draw order (none of the built-ins do) must override
+    /// this to opt out, which engines honor by rejecting the parallel
+    /// mode. Surfaced by `fet protocols` alongside the fused-kernel
+    /// column.
+    fn parallel_eligible(&self) -> bool {
+        true
     }
 
     /// The public opinion currently output by this state — the bit other

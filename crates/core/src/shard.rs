@@ -1,0 +1,222 @@
+//! Work-sharding for the parallel fused round: deterministic split-RNG
+//! streams over contiguous agent ranges.
+//!
+//! The fused round kernel ([`Protocol::step_fused`]) is a single
+//! accumulate-as-you-go pass over the contiguous state buffer, which shards
+//! naturally by agent range — *if* each shard gets an independent random
+//! stream. Threading one sequential RNG through concurrently executing
+//! shards would make the trajectory depend on scheduling; instead every
+//! shard draws from its own generator, seeded by a **counter-based split**
+//! of `(stream seed, round, shard index)` through the same SplitMix64
+//! finalizer the workspace's `SeedTree` uses. No RNG state ever crosses a
+//! shard boundary, so:
+//!
+//! * the trajectory is a pure function of `(seed, shard count)` — workers
+//!   (OS threads), scheduling, and shard-to-worker assignment cannot
+//!   perturb it;
+//! * within one shard the kernel is an ordinary sequential pass, so
+//!   processing a shard's range in any sub-chunking (one call, or several
+//!   calls over consecutive sub-slices sharing the shard's RNG) replays the
+//!   identical stream — the *chunking-invariance* half of the determinism
+//!   contract;
+//! * the per-shard streams are statistically independent of each other and
+//!   of the engine's main stream (different SplitMix64 lanes), so the
+//!   parallel path samples the same per-round distribution as the
+//!   single-threaded fused path — equal in law, not bitwise.
+//!
+//! [`ShardPlan`] carries the partition (shard count, balanced contiguous
+//! ranges) and the per-round stream base; [`ShardSourceFactory`] lets an
+//! engine hand each shard a private observation source without any
+//! observation buffer existing. Both are consumed by
+//! [`Population::step_fused_parallel`](crate::population::Population::step_fused_parallel).
+//!
+//! [`Protocol::step_fused`]: crate::protocol::Protocol::step_fused
+
+use crate::protocol::ObservationSource;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::ops::Range;
+
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014) — the same mixing
+/// function as `fet_stats::rng::splitmix64_mix`, duplicated here because
+/// `fet-core` sits below `fet-stats` in the crate graph. Used for *seed
+/// derivation* only; shard randomness comes from [`SmallRng`] seeded with
+/// these values.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The SplitMix64 additive constant, used as the per-round counter stride.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Builds one shard's private observation source.
+///
+/// The parallel fused round gives every shard its own RNG *and* its own
+/// observation source: mean-field observations are a pure function of the
+/// round-start global 1-count and the RNG, so a source is just the round's
+/// sampler configuration — cheap to instantiate per shard, and never
+/// shared across threads (each [`ObservationSource`] is `&mut` inside its
+/// shard). The factory itself is shared read-only across workers, hence
+/// the `Sync` bound.
+pub trait ShardSourceFactory: Sync {
+    /// Creates a fresh observation source for one shard. Called once per
+    /// shard per round, from the worker thread that runs the shard.
+    fn shard_source(&self) -> Box<dyn ObservationSource + '_>;
+}
+
+/// The partition and stream base for one parallel fused round.
+///
+/// A plan splits `n` agents into [`ShardPlan::shards`] balanced contiguous
+/// ranges (sizes differ by at most one, earlier shards take the remainder)
+/// and assigns shard `s` the RNG [`ShardPlan::rng_for_shard`]`(s)` —
+/// seeded by `mix(mix(stream + round·GOLDEN) ^ mix(s + 1))`, a pure
+/// counter-based derivation with no sequential dependence between rounds
+/// or shards. [`ShardPlan::workers`] caps the OS threads that execute the
+/// shards; it is **not** part of the stream derivation, which is what
+/// makes trajectories reproducible across machines with different core
+/// counts for a fixed shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: u32,
+    workers: u32,
+    round_state: u64,
+}
+
+impl ShardPlan {
+    /// Creates the plan for one round.
+    ///
+    /// `stream` is the run-level parallel stream seed (derived once per
+    /// engine, independent of the engine's main RNG), `round` the global
+    /// round index. Zero `shards` or `workers` are clamped to 1.
+    pub fn new(shards: u32, workers: u32, stream: u64, round: u64) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            workers: workers.max(1),
+            round_state: mix(stream.wrapping_add(round.wrapping_mul(GOLDEN))),
+        }
+    }
+
+    /// Number of RNG stream partitions. Determines the trajectory (together
+    /// with the stream seed); see the [module docs](self).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Maximum OS threads used to execute the shards. Never affects the
+    /// trajectory.
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+
+    /// The deterministic RNG for shard `s` this round.
+    ///
+    /// Pure in `(stream, round, s)`: any worker may call it, in any order,
+    /// any number of times.
+    pub fn rng_for_shard(&self, s: u32) -> SmallRng {
+        SmallRng::seed_from_u64(mix(self.round_state ^ mix(u64::from(s) + 1)))
+    }
+
+    /// The contiguous agent range of shard `s` in a population of `n`
+    /// agents: balanced sizes (`⌈n/shards⌉` for the first `n mod shards`
+    /// shards, `⌊n/shards⌋` after), empty for trailing shards when
+    /// `n < shards` (the degenerate small-population case).
+    pub fn shard_range(&self, n: usize, s: u32) -> Range<usize> {
+        let shards = self.shards as usize;
+        let s = s as usize;
+        debug_assert!(s < shards, "shard index {s} out of {shards}");
+        let base = n / shards;
+        let rem = n % shards;
+        let start = s * base + s.min(rem);
+        let len = base + usize::from(s < rem);
+        start..start + len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn ranges_partition_the_population() {
+        for n in [0usize, 1, 2, 5, 7, 100, 101] {
+            for shards in [1u32, 2, 3, 7, 16] {
+                let plan = ShardPlan::new(shards, 1, 42, 0);
+                let mut next = 0usize;
+                for s in 0..shards {
+                    let r = plan.shard_range(n, s);
+                    assert_eq!(r.start, next, "n={n} shards={shards} s={s}");
+                    next = r.end;
+                    // Balanced: sizes differ by at most one.
+                    assert!(r.len() <= n / shards as usize + 1);
+                }
+                assert_eq!(next, n, "ranges must cover exactly [0, n)");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_small_populations_leave_trailing_shards_empty() {
+        let plan = ShardPlan::new(8, 8, 1, 0);
+        for s in 0..8 {
+            let r = plan.shard_range(3, s);
+            assert_eq!(r.len(), usize::from(s < 3));
+        }
+    }
+
+    #[test]
+    fn shard_rngs_are_counter_based_and_distinct() {
+        let plan = ShardPlan::new(4, 2, 7, 3);
+        // Pure: same (stream, round, shard) ⇒ same stream, in any order.
+        let a: Vec<u64> = (0..4).map(|s| plan.rng_for_shard(s).next_u64()).collect();
+        let b: Vec<u64> = (0..4)
+            .rev()
+            .map(|s| plan.rng_for_shard(s).next_u64())
+            .collect();
+        assert_eq!(a, b.into_iter().rev().collect::<Vec<_>>());
+        // Distinct across shards, rounds, and streams.
+        for s in 1..4 {
+            assert_ne!(a[0], a[s as usize]);
+        }
+        assert_ne!(
+            plan.rng_for_shard(0).next_u64(),
+            ShardPlan::new(4, 2, 7, 4).rng_for_shard(0).next_u64()
+        );
+        assert_ne!(
+            plan.rng_for_shard(0).next_u64(),
+            ShardPlan::new(4, 2, 8, 3).rng_for_shard(0).next_u64()
+        );
+    }
+
+    #[test]
+    fn workers_do_not_enter_the_stream_derivation() {
+        let one = ShardPlan::new(4, 1, 99, 5);
+        let many = ShardPlan::new(4, 64, 99, 5);
+        for s in 0..4 {
+            assert_eq!(
+                one.rng_for_shard(s).next_u64(),
+                many.rng_for_shard(s).next_u64()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_inputs_are_clamped() {
+        let plan = ShardPlan::new(0, 0, 0, 0);
+        assert_eq!(plan.shards(), 1);
+        assert_eq!(plan.workers(), 1);
+        assert_eq!(plan.shard_range(10, 0), 0..10);
+    }
+
+    #[test]
+    fn mix_matches_fet_stats_constants() {
+        // Guards the duplicated finalizer against drift: fixed vector
+        // computed from the published SplitMix64 reference.
+        assert_eq!(mix(0), 0);
+        assert_eq!(mix(1), 0x5692_161D_100B_05E5);
+        assert_eq!(mix(GOLDEN), 0xE220_A839_7B1D_CDAF);
+    }
+}

@@ -36,9 +36,9 @@
 //! are identical by construction: a facade run selected by registry name
 //! reproduces a typed `Engine<P>` run bit for bit given the same seed.
 //!
-//! # Two round implementations: batched and fused
+//! # Round implementations: batched, fused, and parallel fused
 //!
-//! A synchronous round can execute two ways ([`ExecutionMode`]):
+//! A synchronous round can execute three ways ([`ExecutionMode`]):
 //!
 //! * **batched** — the buffered pipeline: snapshot the outputs, fill an
 //!   observation buffer, one [`Population::step_batch`] dispatch, fold the
@@ -53,21 +53,37 @@
 //!   applies the update, writes the output, and accumulates the round
 //!   counters in **one pass with `O(1)` auxiliary memory** — no snapshot
 //!   clone, no observation buffer, no output scratch.
+//! * **fused-parallel** — the fused kernel, work-sharded: the population
+//!   splits into `threads` balanced contiguous agent ranges, every shard
+//!   runs the fused pass against the *round-start* global 1-count with an
+//!   independent RNG stream derived by a counter-based split of
+//!   `(seed, round, shard index)` (see [`fet_core::shard`]), and the
+//!   per-shard counters reduce into the round totals. One
+//!   [`Population::step_fused_parallel`] dispatch; scoped OS threads, no
+//!   `O(n)` auxiliary memory.
 //!
-//! [`ExecutionMode::Auto`] (the default) selects fused exactly when it is
-//! exact — no neighborhood, non-literal fidelity — and falls back to the
-//! batched pipeline otherwise; sleepy-fault rounds always take the
-//! per-agent loop (a sleeping agent must skip its update entirely).
+//! [`ExecutionMode::Auto`] (the default) selects a fused path exactly when
+//! it is exact — no neighborhood, non-literal fidelity — parallelizing it
+//! above [`FUSED_PARALLEL_AUTO_MIN_N`] agents when the host has more than
+//! one core, and falls back to the batched pipeline otherwise;
+//! sleepy-fault rounds always take the per-agent loop (a sleeping agent
+//! must skip its update entirely).
 //!
 //! **Stream-compatibility caveat:** the fused kernel interleaves RNG draws
 //! per agent (observation, then update) where the batched pipeline draws
-//! all observations first. The two modes are therefore *distinct
-//! deterministic streams* of the same distribution: a fused run replays
-//! bit-for-bit against any other fused run of the same seed — across
-//! typed, boxed, and population representations, exactly like the batched
-//! stream-identity story above — but fused and batched trajectories for
-//! one seed agree statistically, not bitwise
-//! (`tests/fused_equivalence.rs` enforces both properties).
+//! all observations first, and the parallel path re-keys the draws per
+//! shard. The modes are therefore *distinct deterministic streams* of the
+//! same distribution: a fused run replays bit-for-bit against any other
+//! fused run of the same seed — across typed, boxed, and population
+//! representations, exactly like the batched stream-identity story above
+//! — and a parallel run replays bit-for-bit for a fixed `(seed, thread
+//! count)` regardless of how many OS threads actually execute it (the
+//! shard *count* keys the stream; the worker count never does, which is
+//! what the CI determinism job enforces by re-running the identity suite
+//! under different `FET_PARALLEL_WORKERS`). Fused, parallel-fused (per
+//! shard count), and batched trajectories for one seed agree
+//! statistically, not bitwise (`tests/fused_equivalence.rs` and
+//! `tests/parallel_equivalence.rs` enforce all of these properties).
 
 use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
 use crate::error::SimError;
@@ -80,6 +96,7 @@ use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
 use fet_core::population::{DynPopulation, Population, TypedPopulation};
 use fet_core::protocol::{ObservationSource, Protocol, RoundContext};
+use fet_core::shard::{ShardPlan, ShardSourceFactory};
 use fet_core::source::Source;
 use fet_stats::binomial::BinomialSampler;
 use fet_stats::hypergeometric::Hypergeometric;
@@ -122,13 +139,19 @@ pub enum Fidelity {
 }
 
 /// Which synchronous round implementation executes (see the
-/// [module docs](self) for the batched/fused trade-off and the
+/// [module docs](self) for the batched/fused/parallel trade-off and the
 /// stream-compatibility caveat).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExecutionMode {
-    /// Select automatically: the fused single-pass kernel on mean-field
-    /// rounds (no neighborhood, fidelity ≠ [`Fidelity::Agent`]), the
-    /// batched pipeline otherwise. The default.
+    /// Select automatically: a fused kernel on mean-field rounds (no
+    /// neighborhood, fidelity ≠ [`Fidelity::Agent`]) — parallelized above
+    /// [`FUSED_PARALLEL_AUTO_MIN_N`] agents when more than one core is
+    /// available — and the batched pipeline otherwise. The default.
+    ///
+    /// Note: because the auto-parallel shard count follows the host's
+    /// core count, trajectories of `Auto` runs above the threshold are
+    /// reproducible per machine class, not across arbitrary machines; pin
+    /// [`ExecutionMode::FusedParallel`] for cross-machine replays.
     #[default]
     Auto,
     /// Always run the buffered batched pipeline — the PR 2 behaviour,
@@ -141,15 +164,71 @@ pub enum ExecutionMode {
     /// sampling and the literal [`Fidelity::Agent`]. Sleepy-fault rounds
     /// still take the per-agent loop.
     Fused,
+    /// Force the work-sharded parallel fused kernel with `threads` shards
+    /// (and at most that many worker threads; `FET_PARALLEL_WORKERS`
+    /// overrides the worker count without touching the stream). Rejected
+    /// wherever [`ExecutionMode::Fused`] is, for `threads == 0`, and for
+    /// protocols that opt out of
+    /// [`parallel_eligible`](fet_core::protocol::Protocol::parallel_eligible).
+    /// The trajectory is keyed by `(seed, threads)`: same thread count ⇒
+    /// bit-identical replay on any host.
+    FusedParallel {
+        /// Shard count — the RNG stream partition, and the worker-thread
+        /// cap.
+        threads: u32,
+    },
 }
 
 impl fmt::Display for ExecutionMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            ExecutionMode::Auto => "auto",
-            ExecutionMode::Batched => "batched",
-            ExecutionMode::Fused => "fused",
-        })
+        match self {
+            ExecutionMode::Auto => f.write_str("auto"),
+            ExecutionMode::Batched => f.write_str("batched"),
+            ExecutionMode::Fused => f.write_str("fused"),
+            ExecutionMode::FusedParallel { threads } => {
+                write!(f, "fused-parallel({threads})")
+            }
+        }
+    }
+}
+
+/// Population size above which [`ExecutionMode::Auto`] parallelizes the
+/// fused round (when the host has more than one core). Below it, per-round
+/// thread-spawn overhead outweighs the sharded work.
+pub const FUSED_PARALLEL_AUTO_MIN_N: u64 = 2_000_000;
+
+/// Shard-count cap for auto-selected parallelism: beyond this, per-shard
+/// work at [`FUSED_PARALLEL_AUTO_MIN_N`] no longer amortizes spawn costs,
+/// and the auto stream stays comparable across common host sizes.
+const FUSED_PARALLEL_AUTO_MAX_THREADS: u32 = 8;
+
+/// The round implementation a fault-free round resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundImpl {
+    Batched,
+    Fused,
+    FusedParallel { shards: u32 },
+}
+
+/// [`ExecutionMode::Auto`]'s selection rule, as a pure function: the
+/// batched pipeline off the mean field; on it, the parallel fused round
+/// once the population clears [`FUSED_PARALLEL_AUTO_MIN_N`] on a
+/// multi-core host — unless the protocol opts out of parallel sharding —
+/// and the single-threaded fused kernel otherwise.
+fn auto_round_impl(
+    mean_field: bool,
+    auto_threads: u32,
+    n: u64,
+    parallel_eligible: bool,
+) -> RoundImpl {
+    if !mean_field {
+        RoundImpl::Batched
+    } else if parallel_eligible && auto_threads > 1 && n >= FUSED_PARALLEL_AUTO_MIN_N {
+        RoundImpl::FusedParallel {
+            shards: auto_threads,
+        }
+    } else {
+        RoundImpl::Fused
     }
 }
 
@@ -166,9 +245,32 @@ struct MeanFieldSource<'a> {
     m: u32,
 }
 
+#[derive(Clone, Copy)]
 enum MeanFieldSampler<'a> {
     Binomial(&'a BinomialSampler),
     Hypergeometric(&'a Hypergeometric),
+}
+
+/// The engine's [`ShardSourceFactory`] for parallel fused rounds: hands
+/// every shard a private [`MeanFieldSource`] over the *shared, round-start*
+/// sampler configuration. Sharing is read-only (the samplers are built
+/// from the round-start 1-count and never mutated), so shards sample the
+/// same per-round distribution as the single-threaded fused path while
+/// drawing from their own RNG streams.
+struct MeanFieldSourceFactory<'a> {
+    sampler: MeanFieldSampler<'a>,
+    fault: Option<&'a FaultPlan>,
+    m: u32,
+}
+
+impl ShardSourceFactory for MeanFieldSourceFactory<'_> {
+    fn shard_source(&self) -> Box<dyn ObservationSource + '_> {
+        Box::new(MeanFieldSource {
+            sampler: self.sampler,
+            fault: self.fault,
+            m: self.m,
+        })
+    }
 }
 
 impl ObservationSource for MeanFieldSource<'_> {
@@ -309,6 +411,27 @@ struct EngineCore {
     correct_decisions: u64,
     rng: SmallRng,
     round: u64,
+    /// Run-level seed for the parallel fused round's split-RNG streams —
+    /// a separate `SeedTree` lane, so enabling parallelism never perturbs
+    /// the main engine stream (batched/fused trajectories are unchanged).
+    parallel_stream: u64,
+    /// Host core count (capped), cached for [`ExecutionMode::Auto`]'s
+    /// parallel selection.
+    auto_threads: u32,
+    /// Worker-thread override from `FET_PARALLEL_WORKERS` (a CI/testing
+    /// knob: caps the OS threads actually spawned without touching the
+    /// shard count, hence without touching the stream). Kept raw and
+    /// parsed only when a parallel round actually runs, so a malformed
+    /// value in the environment cannot abort batched/fused runs — but a
+    /// parallel run fails loudly rather than silently ignoring it (CI's
+    /// determinism job depends on the two worker counts differing).
+    parallel_workers: Option<String>,
+    /// Whether the population's protocol admits parallel sharding
+    /// ([`Protocol::parallel_eligible`]); cached at construction since a
+    /// population never changes protocol. Consulted by explicit
+    /// [`ExecutionMode::FusedParallel`] selection *and* by
+    /// [`ExecutionMode::Auto`]'s parallel pick.
+    parallel_eligible: bool,
 }
 
 impl EngineCore {
@@ -336,7 +459,9 @@ impl EngineCore {
             let opinion = init.draw(spec.correct(), &mut rng);
             outputs.push(pop.push_agent(opinion, &mut rng));
         }
-        Ok(Self::assemble(pop, spec, source, fidelity, outputs, rng))
+        Ok(Self::assemble(
+            pop, spec, source, fidelity, outputs, rng, seed,
+        ))
     }
 
     /// Creates the core over an already-filled population (the adversarial
@@ -364,7 +489,9 @@ impl EngineCore {
         let source = Source::new(spec.correct());
         let mut outputs = vec![source.output(); n];
         pop.write_outputs(&mut outputs[num_sources..]);
-        Ok(Self::assemble(pop, spec, source, fidelity, outputs, rng))
+        Ok(Self::assemble(
+            pop, spec, source, fidelity, outputs, rng, seed,
+        ))
     }
 
     fn assemble<A: Population + ?Sized>(
@@ -374,6 +501,7 @@ impl EngineCore {
         fidelity: Fidelity,
         outputs: Vec<Opinion>,
         rng: SmallRng,
+        seed: u64,
     ) -> Self {
         let ones_count = outputs.iter().filter(|o| o.is_one()).count() as u64;
         let correct_decisions = pop.count_correct_decisions(source.correct());
@@ -396,6 +524,12 @@ impl EngineCore {
             correct_decisions,
             rng,
             round: 0,
+            parallel_stream: SeedTree::new(seed).child("engine-parallel").seed(),
+            auto_threads: std::thread::available_parallelism()
+                .map_or(1, |p| p.get() as u32)
+                .min(FUSED_PARALLEL_AUTO_MAX_THREADS),
+            parallel_workers: std::env::var("FET_PARALLEL_WORKERS").ok(),
+            parallel_eligible: pop.parallel_eligible(),
         }
     }
 
@@ -429,19 +563,37 @@ impl EngineCore {
         self.neighborhood.is_none() && self.fidelity != Fidelity::Agent
     }
 
-    /// Whether a fault-free round runs the fused kernel under the current
-    /// mode. (`Fused` is validated to imply `mean_field` at set time.)
-    fn fused_selected(&self) -> bool {
+    /// The round implementation a fault-free round runs under the current
+    /// mode. (Fused modes are validated to imply `mean_field` at set
+    /// time.)
+    fn resolve_round_impl(&self) -> RoundImpl {
         match self.mode {
-            ExecutionMode::Batched => false,
-            ExecutionMode::Auto | ExecutionMode::Fused => self.mean_field(),
+            ExecutionMode::Batched => RoundImpl::Batched,
+            ExecutionMode::Fused if self.mean_field() => RoundImpl::Fused,
+            ExecutionMode::Fused => RoundImpl::Batched,
+            ExecutionMode::FusedParallel { threads } if self.mean_field() => {
+                RoundImpl::FusedParallel { shards: threads }
+            }
+            ExecutionMode::FusedParallel { .. } => RoundImpl::Batched,
+            ExecutionMode::Auto => auto_round_impl(
+                self.mean_field(),
+                self.auto_threads,
+                self.spec.n(),
+                self.parallel_eligible,
+            ),
         }
     }
 
-    /// Installs an execution mode, rejecting `Fused` for configurations
-    /// whose observations must read individual agents.
+    /// Installs an execution mode, rejecting the fused modes for
+    /// configurations whose observations must read individual agents, and
+    /// the parallel mode additionally for zero threads and for protocols
+    /// that opted out of parallel sharding.
     fn set_mode(&mut self, mode: ExecutionMode) -> Result<(), SimError> {
-        if mode == ExecutionMode::Fused && !self.mean_field() {
+        let fused_family = matches!(
+            mode,
+            ExecutionMode::Fused | ExecutionMode::FusedParallel { .. }
+        );
+        if fused_family && !self.mean_field() {
             return Err(SimError::InvalidParameter {
                 name: "mode",
                 detail: "the fused path draws observations from the round's global 1-count; \
@@ -449,6 +601,22 @@ impl EngineCore {
                          snapshot-driven batched path"
                     .into(),
             });
+        }
+        if let ExecutionMode::FusedParallel { threads } = mode {
+            if threads == 0 {
+                return Err(SimError::InvalidParameter {
+                    name: "mode",
+                    detail: "fused-parallel needs at least one thread".into(),
+                });
+            }
+            if !self.parallel_eligible {
+                return Err(SimError::InvalidParameter {
+                    name: "mode",
+                    detail: "this protocol opts out of parallel sharding \
+                             (Protocol::parallel_eligible() is false)"
+                        .into(),
+                });
+            }
         }
         self.mode = mode;
         Ok(())
@@ -479,10 +647,12 @@ impl EngineCore {
         }
         if self.fault.sleep_prob > 0.0 {
             self.step_with_sleep(pop);
-        } else if self.fused_selected() {
-            self.step_fused_round(pop);
         } else {
-            self.step_batched(pop);
+            match self.resolve_round_impl() {
+                RoundImpl::Batched => self.step_batched(pop),
+                RoundImpl::Fused => self.step_fused_round(pop),
+                RoundImpl::FusedParallel { shards } => self.step_fused_parallel_round(pop, shards),
+            }
         }
         self.round += 1;
     }
@@ -580,6 +750,48 @@ impl EngineCore {
             &mut obs_source,
             &ctx,
             &mut self.rng,
+            correct,
+            &mut self.outputs[num_sources..],
+        );
+        self.ones_count =
+            num_sources as u64 * u64::from(self.source.output().is_one()) + counters.ones;
+        self.correct_decisions = settle_correct_decisions(pop, correct, counters.correct);
+    }
+
+    /// The work-sharded parallel fused round (mean-field rounds only): one
+    /// [`Population::step_fused_parallel`] dispatch shards the agents into
+    /// `shards` contiguous ranges, each stepped by the fused kernel
+    /// against the round-start samplers under its own counter-derived RNG
+    /// stream (never the engine RNG — the main stream is untouched by
+    /// parallel rounds). Worker count = `min(shards, FET_PARALLEL_WORKERS
+    /// if set)`; it never affects the trajectory.
+    fn step_fused_parallel_round<A: Population + ?Sized>(&mut self, pop: &mut A, shards: u32) {
+        let num_sources = self.spec.num_sources() as usize;
+        let m = pop.samples_per_round();
+        let ctx = RoundContext::new(self.round);
+        let (binomial, hypergeometric) = self.round_samplers(m);
+        let sampler = match (binomial.as_ref(), hypergeometric.as_ref()) {
+            (Some(s), _) => MeanFieldSampler::Binomial(s),
+            (_, Some(h)) => MeanFieldSampler::Hypergeometric(h),
+            _ => unreachable!("parallel fused rounds run on mean-field fidelities only"),
+        };
+        let factory = MeanFieldSourceFactory {
+            sampler,
+            fault: (self.fault.flip_prob > 0.0).then_some(&self.fault),
+            m,
+        };
+        let workers = match &self.parallel_workers {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("FET_PARALLEL_WORKERS must be a u32, got `{v}`")),
+            None => shards,
+        };
+        let plan = ShardPlan::new(shards, workers, self.parallel_stream, self.round);
+        let correct = self.source.correct();
+        let counters = pop.step_fused_parallel(
+            &factory,
+            &ctx,
+            &plan,
             correct,
             &mut self.outputs[num_sources..],
         );
@@ -715,7 +927,7 @@ pub struct Engine<P: Protocol> {
 
 impl<P> Engine<P>
 where
-    P: Protocol + fmt::Debug + Send,
+    P: Protocol + fmt::Debug + Send + Sync,
 {
     /// Creates an engine with non-source opinions drawn from `init` and
     /// internal variables randomized by the protocol.
@@ -799,9 +1011,12 @@ where
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidParameter`] when [`ExecutionMode::Fused`]
-    /// is requested for a configuration that must read individual agents
-    /// (a neighborhood, or [`Fidelity::Agent`]).
+    /// Returns [`SimError::InvalidParameter`] when a fused mode
+    /// ([`ExecutionMode::Fused`] / [`ExecutionMode::FusedParallel`]) is
+    /// requested for a configuration that must read individual agents (a
+    /// neighborhood, or [`Fidelity::Agent`]), and for
+    /// [`ExecutionMode::FusedParallel`] with zero threads or a protocol
+    /// that opts out of parallel sharding.
     pub fn set_execution_mode(&mut self, mode: ExecutionMode) -> Result<(), SimError> {
         self.core.set_mode(mode)
     }
@@ -1657,6 +1872,201 @@ mod tests {
             assert!(e.all_correct(), "fused absorbing state violated");
         }
         assert_eq!(e.round_scratch_bytes(), 0);
+    }
+
+    // ---- the parallel fused execution mode ----
+
+    /// Parallel fused rounds replay bit for bit across the typed and
+    /// population-erased front ends for a fixed (seed, thread count), for
+    /// every mean-field fidelity and the fault plans the fused paths
+    /// support.
+    #[test]
+    fn fused_parallel_is_stream_identical_across_typed_and_population_engines() {
+        let cases: Vec<(Fidelity, FaultPlan)> = vec![
+            (Fidelity::Binomial, FaultPlan::none()),
+            (Fidelity::WithoutReplacement, FaultPlan::none()),
+            (Fidelity::Binomial, FaultPlan::with_noise(0.03)),
+            (
+                Fidelity::Binomial,
+                FaultPlan::with_source_retarget(5, Opinion::Zero),
+            ),
+        ];
+        let mode = ExecutionMode::FusedParallel { threads: 3 };
+        for (fidelity, fault) in cases {
+            let mut typed = Engine::new(
+                FetProtocol::new(8).unwrap(),
+                spec(151),
+                fidelity,
+                InitialCondition::Random,
+                77,
+            )
+            .unwrap();
+            typed.set_fault_plan(fault);
+            typed.set_execution_mode(mode).unwrap();
+            let mut erased = PopulationEngine::new(
+                fet_population(8),
+                spec(151),
+                fidelity,
+                InitialCondition::Random,
+                77,
+            )
+            .unwrap();
+            erased.set_fault_plan(fault);
+            erased.set_execution_mode(mode).unwrap();
+            let mut rec_t = TrajectoryRecorder::new();
+            let mut rec_e = TrajectoryRecorder::new();
+            let rt = typed.run(120, ConvergenceCriterion::new(3), &mut rec_t);
+            let re = erased.run(120, ConvergenceCriterion::new(3), &mut rec_e);
+            assert_eq!(rt, re, "{fidelity:?}/{fault:?} parallel reports diverged");
+            assert_eq!(
+                rec_t.into_fractions(),
+                rec_e.into_fractions(),
+                "{fidelity:?}/{fault:?} parallel trajectories diverged"
+            );
+            assert_eq!(typed.outputs(), erased.outputs());
+        }
+    }
+
+    /// The shard count keys the parallel stream: different thread counts
+    /// are distinct (statistically equivalent) trajectories, while the
+    /// same count replays exactly — and never perturbs the main engine
+    /// stream (a later batched round still matches a batched-only run).
+    #[test]
+    fn fused_parallel_stream_is_keyed_by_shard_count() {
+        let run = |threads: u32| {
+            let mut e = Engine::new(
+                FetProtocol::new(8).unwrap(),
+                spec(150),
+                Fidelity::Binomial,
+                InitialCondition::Random,
+                5,
+            )
+            .unwrap();
+            e.set_execution_mode(ExecutionMode::FusedParallel { threads })
+                .unwrap();
+            let mut rec = TrajectoryRecorder::new();
+            e.run(60, ConvergenceCriterion::new(3), &mut rec);
+            rec.into_fractions()
+        };
+        assert_eq!(run(2), run(2), "fixed (seed, threads) must replay");
+        assert_ne!(
+            run(1),
+            run(2),
+            "shard counts are distinct deterministic streams"
+        );
+        // threads = 1 is still the *sharded* stream (counter-derived shard
+        // RNG), not the sequential fused stream.
+        let mut fused = Engine::new(
+            FetProtocol::new(8).unwrap(),
+            spec(150),
+            Fidelity::Binomial,
+            InitialCondition::Random,
+            5,
+        )
+        .unwrap();
+        fused.set_execution_mode(ExecutionMode::Fused).unwrap();
+        let mut rec = TrajectoryRecorder::new();
+        fused.run(60, ConvergenceCriterion::new(3), &mut rec);
+        assert_ne!(run(1), rec.into_fractions());
+    }
+
+    #[test]
+    fn fused_parallel_mode_rejects_what_fused_rejects_plus_zero_threads() {
+        let mut literal = Engine::new(
+            FetProtocol::new(4).unwrap(),
+            spec(60),
+            Fidelity::Agent,
+            InitialCondition::AllWrong,
+            1,
+        )
+        .unwrap();
+        assert!(matches!(
+            literal.set_execution_mode(ExecutionMode::FusedParallel { threads: 4 }),
+            Err(SimError::InvalidParameter { name: "mode", .. })
+        ));
+        let mut mean_field = Engine::new(
+            FetProtocol::new(4).unwrap(),
+            spec(60),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            1,
+        )
+        .unwrap();
+        assert!(matches!(
+            mean_field.set_execution_mode(ExecutionMode::FusedParallel { threads: 0 }),
+            Err(SimError::InvalidParameter { name: "mode", .. })
+        ));
+        mean_field
+            .set_execution_mode(ExecutionMode::FusedParallel { threads: 4 })
+            .unwrap();
+    }
+
+    /// The parallel path inherits the fused guarantees: zero round
+    /// scratch, convergence from the all-wrong start, absorbing once
+    /// converged — including the degenerate n < threads case.
+    #[test]
+    fn fused_parallel_converges_with_zero_scratch() {
+        let p = FetProtocol::for_population(200, 4.0).unwrap();
+        let mut e = Engine::new(
+            p,
+            spec(200),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            13,
+        )
+        .unwrap();
+        e.set_execution_mode(ExecutionMode::FusedParallel { threads: 4 })
+            .unwrap();
+        let report = e.run(20_000, ConvergenceCriterion::new(3), &mut NullObserver);
+        assert!(report.converged(), "{report:?}");
+        for _ in 0..100 {
+            e.step();
+            assert!(e.all_correct(), "parallel absorbing state violated");
+        }
+        assert_eq!(e.round_scratch_bytes(), 0);
+
+        // n = 6 agents over 16 shards: trailing shards are empty.
+        let mut tiny = Engine::new(
+            FetProtocol::new(2).unwrap(),
+            spec(6),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            3,
+        )
+        .unwrap();
+        tiny.set_execution_mode(ExecutionMode::FusedParallel { threads: 16 })
+            .unwrap();
+        for _ in 0..50 {
+            tiny.step();
+        }
+        assert_eq!(tiny.round_scratch_bytes(), 0);
+    }
+
+    #[test]
+    fn auto_selection_parallelizes_only_large_mean_field_rounds() {
+        use super::auto_round_impl;
+        assert_eq!(
+            auto_round_impl(false, 8, u64::MAX, true),
+            RoundImpl::Batched
+        );
+        assert_eq!(
+            auto_round_impl(true, 8, FUSED_PARALLEL_AUTO_MIN_N - 1, true),
+            RoundImpl::Fused
+        );
+        assert_eq!(
+            auto_round_impl(true, 1, FUSED_PARALLEL_AUTO_MIN_N, true),
+            RoundImpl::Fused,
+            "single-core hosts never pay thread-spawn overhead"
+        );
+        assert_eq!(
+            auto_round_impl(true, 4, FUSED_PARALLEL_AUTO_MIN_N, false),
+            RoundImpl::Fused,
+            "Auto must honor a protocol's parallel opt-out"
+        );
+        assert_eq!(
+            auto_round_impl(true, 4, FUSED_PARALLEL_AUTO_MIN_N, true),
+            RoundImpl::FusedParallel { shards: 4 }
+        );
     }
 
     #[test]

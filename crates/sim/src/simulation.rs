@@ -20,9 +20,11 @@
 //!   population-protocol-style random-activation scheduler
 //!   ([`Scheduler::Asynchronous`]).
 //! * **execution mode** — how a synchronous round executes:
-//!   [`ExecutionMode::Auto`] (default; the fused single-pass kernel on
-//!   mean-field rounds, the batched pipeline otherwise), or force either
-//!   with [`ExecutionMode::Fused`] / [`ExecutionMode::Batched`].
+//!   [`ExecutionMode::Auto`] (default; a fused single-pass kernel on
+//!   mean-field rounds — work-sharded across threads above an `n`
+//!   threshold on multi-core hosts — and the batched pipeline otherwise),
+//!   or force one with [`ExecutionMode::Fused`] /
+//!   [`ExecutionMode::FusedParallel`] / [`ExecutionMode::Batched`].
 //! * **fault plan, initial condition, convergence criterion, budgets,
 //!   seed, trajectory recording** — one method each.
 //!
@@ -512,13 +514,18 @@ impl SimulationBuilder {
     }
 
     /// Sets the synchronous round implementation (default
-    /// [`ExecutionMode::Auto`]: the fused single-pass kernel on mean-field
-    /// rounds, the batched pipeline otherwise). Forcing
-    /// [`ExecutionMode::Fused`] is validated in
-    /// [`SimulationBuilder::build`]: it requires a synchronous per-agent
-    /// run on the complete graph with a non-literal, non-aggregate
-    /// fidelity. Note the stream caveat in [`crate::engine`]'s docs: the
-    /// two modes are distinct deterministic streams per seed.
+    /// [`ExecutionMode::Auto`]: a fused single-pass kernel on mean-field
+    /// rounds — parallelized above an `n` threshold on multi-core hosts —
+    /// and the batched pipeline otherwise). Forcing
+    /// [`ExecutionMode::Fused`] or [`ExecutionMode::FusedParallel`] is
+    /// validated in [`SimulationBuilder::build`]: both require a
+    /// synchronous per-agent run on the complete graph with a non-literal,
+    /// non-aggregate fidelity, and the parallel mode additionally a
+    /// non-zero thread count and a
+    /// [`parallel_eligible`](fet_core::protocol::Protocol::parallel_eligible)
+    /// protocol. Note the stream caveat in [`crate::engine`]'s docs: each
+    /// mode (and each parallel shard count) is its own deterministic
+    /// stream per seed.
     pub fn execution_mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
         self
@@ -714,14 +721,33 @@ impl SimulationBuilder {
                     ),
                 ));
             }
-            if self.mode == ExecutionMode::Fused
-                && (self.topology.is_some() || fidelity == Fidelity::Agent)
-            {
+            let fused_family = matches!(
+                self.mode,
+                ExecutionMode::Fused | ExecutionMode::FusedParallel { .. }
+            );
+            if fused_family && (self.topology.is_some() || fidelity == Fidelity::Agent) {
                 return Err(Self::invalid(
                     "mode",
                     "the fused path draws observations from the round's global 1-count; \
                      neighborhood sampling and the literal Agent fidelity need the \
                      snapshot-driven batched path",
+                ));
+            }
+            if matches!(self.mode, ExecutionMode::FusedParallel { threads: 0 }) {
+                return Err(Self::invalid(
+                    "mode",
+                    "fused-parallel needs at least one thread",
+                ));
+            }
+            if matches!(self.mode, ExecutionMode::FusedParallel { .. })
+                && !protocol.parallel_eligible()
+            {
+                return Err(Self::invalid(
+                    "mode",
+                    format!(
+                        "protocol `{}` opts out of parallel sharding",
+                        protocol.name()
+                    ),
                 ));
             }
         }
@@ -911,6 +937,7 @@ mod tests {
             ExecutionMode::Auto,
             ExecutionMode::Batched,
             ExecutionMode::Fused,
+            ExecutionMode::FusedParallel { threads: 2 },
         ] {
             let mut sim = Simulation::builder()
                 .population(300)
@@ -949,6 +976,43 @@ mod tests {
             let err = b.build().unwrap_err();
             assert!(err.to_string().contains("mode"), "{err}");
         }
+    }
+
+    #[test]
+    fn fused_parallel_mode_is_validated_at_build_time() {
+        // Literal fidelity needs the snapshot-driven batched path.
+        let err = Simulation::builder()
+            .population(100)
+            .fidelity(Fidelity::Agent)
+            .execution_mode(ExecutionMode::FusedParallel { threads: 4 })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("fused"), "{err}");
+        // Zero threads is meaningless.
+        let err = Simulation::builder()
+            .population(100)
+            .execution_mode(ExecutionMode::FusedParallel { threads: 0 })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("thread"), "{err}");
+    }
+
+    #[test]
+    fn fused_parallel_facade_replays_per_seed_and_thread_count() {
+        let run = || {
+            Simulation::builder()
+                .population(300)
+                .seed(21)
+                .execution_mode(ExecutionMode::FusedParallel { threads: 3 })
+                .record_trajectory(true)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.converged(), "{a:?}");
+        assert_eq!(a, b, "fixed (seed, threads) facade runs must replay");
     }
 
     #[test]

@@ -51,12 +51,12 @@ use fet_sim::observer::RoundObserver;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct TopologyEngine<P: Protocol + std::fmt::Debug + Send> {
+pub struct TopologyEngine<P: Protocol + std::fmt::Debug + Send + Sync> {
     graph: Graph,
     inner: Engine<P>,
 }
 
-impl<P: Protocol + std::fmt::Debug + Send> TopologyEngine<P> {
+impl<P: Protocol + std::fmt::Debug + Send + Sync> TopologyEngine<P> {
     /// Creates an engine on `graph` with sources at vertices
     /// `[0, num_sources)`, non-source opinions drawn from `init`, and
     /// internal variables randomized by the protocol.

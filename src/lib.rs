@@ -75,6 +75,7 @@ pub mod prelude {
     pub use fet_core::opinion::Opinion;
     pub use fet_core::population::{DynPopulation, Population, TypedPopulation};
     pub use fet_core::protocol::Protocol;
+    pub use fet_core::shard::{ShardPlan, ShardSourceFactory};
     pub use fet_protocols::registry::{ProtocolParams, ProtocolRegistry};
     pub use fet_sim::convergence::{ConvergenceCriterion, ConvergenceReport};
     pub use fet_sim::engine::{Engine, ExecutionMode, Fidelity, PopulationEngine};

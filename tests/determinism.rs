@@ -1,0 +1,127 @@
+//! Cross-thread-count determinism of the parallel fused path, as a
+//! process-level contract.
+//!
+//! The parallel stream is keyed by `(seed, shard count)`; the number of
+//! worker OS threads that executes the shards must never matter. This
+//! suite pins a matrix of shard counts × fidelities × fault plans and
+//! checks, inside one process, that the typed and facade representations
+//! replay each other bit for bit and that repeated runs replay themselves.
+//!
+//! The cross-*process* half is driven by CI's `determinism` job: it runs
+//! this suite twice — `FET_PARALLEL_WORKERS=1` and `FET_PARALLEL_WORKERS=4`
+//! (the engine honors the variable as a worker-count override that never
+//! enters the stream derivation) — with `FET_DETERMINISM_DUMP` pointing at
+//! a file, and diffs the two serialized trajectory dumps. Any scheduling
+//! or worker-count leak into the stream shows up as a diff.
+
+use fet::prelude::*;
+use fet::sim::observer::TrajectoryRecorder;
+use fet_core::config::{ell_for_population, ProblemSpec};
+use fet_sim::fault::FaultPlan;
+use fet_sim::init::InitialCondition;
+use std::fmt::Write as _;
+
+const N: u64 = 300;
+const SEED: u64 = 0xD373;
+const MAX_ROUNDS: u64 = 200;
+const SHARD_COUNTS: [u32; 5] = [1, 2, 3, 4, 7];
+
+/// The determinism matrix: every case must replay per (seed, shards).
+fn cases() -> Vec<(&'static str, Fidelity, FaultPlan)> {
+    vec![
+        ("binomial", Fidelity::Binomial, FaultPlan::none()),
+        (
+            "without-replacement",
+            Fidelity::WithoutReplacement,
+            FaultPlan::none(),
+        ),
+        ("noise", Fidelity::Binomial, FaultPlan::with_noise(0.02)),
+        (
+            "retarget",
+            Fidelity::Binomial,
+            FaultPlan::with_source_retarget(7, Opinion::Zero),
+        ),
+    ]
+}
+
+fn typed_trajectory(shards: u32, fidelity: Fidelity, fault: FaultPlan) -> Vec<f64> {
+    let ell = ell_for_population(N, 4.0);
+    let spec = ProblemSpec::single_source(N, Opinion::One).unwrap();
+    let mut engine = Engine::new(
+        FetProtocol::new(ell).unwrap(),
+        spec,
+        fidelity,
+        InitialCondition::AllWrong,
+        SEED,
+    )
+    .unwrap();
+    engine.set_fault_plan(fault);
+    engine
+        .set_execution_mode(ExecutionMode::FusedParallel { threads: shards })
+        .unwrap();
+    let mut rec = TrajectoryRecorder::new();
+    engine.run(MAX_ROUNDS, ConvergenceCriterion::new(3), &mut rec);
+    rec.into_fractions()
+}
+
+fn facade_trajectory(shards: u32, fidelity: Fidelity, fault: FaultPlan) -> Vec<f64> {
+    Simulation::builder()
+        .population(N)
+        .seed(SEED)
+        .fidelity(fidelity)
+        .fault(fault)
+        .max_rounds(MAX_ROUNDS)
+        .execution_mode(ExecutionMode::FusedParallel { threads: shards })
+        .record_trajectory(true)
+        .build()
+        .unwrap()
+        .run()
+        .trajectory
+        .expect("recording requested")
+}
+
+/// Shortest-round-trip (`{:?}`) f64 formatting: byte-identical text for
+/// bit-identical trajectories, so dumps diff cleanly across processes.
+fn render(label: &str, shards: u32, traj: &[f64]) -> String {
+    let mut line = format!("shards={shards} case={label} traj=");
+    for x in traj {
+        write!(line, "{x:?},").unwrap();
+    }
+    line.push('\n');
+    line
+}
+
+/// The in-process matrix: representation identity + replay identity per
+/// (shard count, case), serialized for CI's cross-worker-count diff.
+#[test]
+fn parallel_stream_identity_matrix() {
+    let mut dump = String::new();
+    let workers = std::env::var("FET_PARALLEL_WORKERS").unwrap_or_else(|_| "unset".into());
+    for shards in SHARD_COUNTS {
+        for (label, fidelity, fault) in cases() {
+            let typed = typed_trajectory(shards, fidelity, fault);
+            let facade = facade_trajectory(shards, fidelity, fault);
+            assert_eq!(
+                typed, facade,
+                "shards={shards} case={label} (workers={workers}): \
+                 typed vs facade trajectories diverged"
+            );
+            let again = typed_trajectory(shards, fidelity, fault);
+            assert_eq!(
+                typed, again,
+                "shards={shards} case={label} (workers={workers}): replay diverged"
+            );
+            dump.push_str(&render(label, shards, &typed));
+        }
+    }
+    // Distinct shard counts must be distinct streams (same distribution,
+    // different interleaving) — a constant trajectory would make the
+    // cross-worker diff vacuous.
+    assert_ne!(
+        typed_trajectory(1, Fidelity::Binomial, FaultPlan::none()),
+        typed_trajectory(2, Fidelity::Binomial, FaultPlan::none()),
+    );
+    if let Ok(path) = std::env::var("FET_DETERMINISM_DUMP") {
+        std::fs::write(&path, dump).expect("write determinism dump");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for shard-boundary correctness of the parallel
+//! fused round.
+//!
+//! The determinism contract has three legs, each exercised here over
+//! arbitrary (odd, including tiny) population sizes and shard counts —
+//! 1, 2, 3, 7, the host's core count, and fuzzed values, including the
+//! degenerate `n < shards` case:
+//!
+//! * **worker invariance** — for a fixed shard count, any worker count
+//!   produces identical states, outputs, and counters;
+//! * **chunking invariance** — processing one shard's range as several
+//!   consecutive sub-slices sharing the shard's RNG replays the one-call
+//!   kernel exactly (the kernel is a sequential pass, so slicing cannot
+//!   move draws across agents);
+//! * **counter correctness** — the reduced per-shard counters equal a
+//!   recount of the written outputs, and shard ranges partition `[0, n)`.
+
+use fet::prelude::*;
+use fet::sim::observer::TrajectoryRecorder;
+use fet_core::config::ProblemSpec;
+use fet_core::observation::Observation;
+use fet_core::protocol::{FusedCounters, ObservationSource, RoundContext};
+use fet_sim::init::InitialCondition;
+use proptest::prelude::*;
+use rand::RngCore;
+use rand::SeedableRng;
+
+/// Shard counts of interest: the fixed panel plus the host's parallelism.
+fn shard_counts() -> Vec<u32> {
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get() as u32);
+    let mut counts = vec![1, 2, 3, 7, cpus];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// A deterministic mean-field-like source: draws from the shard RNG, so
+/// stream perturbations are visible in every downstream byte.
+struct UniformSource {
+    m: u32,
+}
+
+impl ObservationSource for UniformSource {
+    fn next_observation(&mut self, rng: &mut dyn RngCore) -> Observation {
+        Observation::new(rng.next_u32() % (self.m + 1), self.m).unwrap()
+    }
+}
+
+struct UniformFactory {
+    m: u32,
+}
+
+impl ShardSourceFactory for UniformFactory {
+    fn shard_source(&self) -> Box<dyn ObservationSource + '_> {
+        Box::new(UniformSource { m: self.m })
+    }
+}
+
+fn filled_population(ell: u32, n: usize, seed: u64) -> TypedPopulation<FetProtocol> {
+    let mut pop = TypedPopulation::new(FetProtocol::new(ell).unwrap());
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        let opinion = if i % 2 == 0 {
+            Opinion::Zero
+        } else {
+            Opinion::One
+        };
+        pop.push_agent(opinion, &mut rng);
+    }
+    pop
+}
+
+proptest! {
+    /// Kernel level: for every shard count (panel + fuzzed) over odd
+    /// population sizes, any worker count and any sub-chunking of the
+    /// shard ranges produce identical states, outputs, and counters.
+    #[test]
+    fn parallel_kernel_is_worker_and_chunking_invariant(
+        half_n in 0usize..120,
+        extra_shards in 1u32..12,
+        workers in 1u32..6,
+        stream in 0u64..1000,
+        chunk in 1usize..13,
+    ) {
+        let n = 2 * half_n + 1; // odd by construction, as small as 1
+        let ell = 4u32;
+        let m = FetProtocol::new(ell).unwrap().samples_per_round();
+        let ctx = RoundContext::new(0);
+        let mut counts = shard_counts();
+        counts.push(extra_shards);
+        for shards in counts {
+            let plan = ShardPlan::new(shards, workers, stream, 2);
+            // Reference: each shard's range processed as consecutive
+            // sub-chunks of `chunk` agents sharing the shard RNG — the
+            // maximally re-chunked sequential execution.
+            let mut reference = filled_population(ell, n, stream);
+            let mut ref_out = vec![Opinion::Zero; n];
+            let mut ref_counters = FusedCounters::default();
+            let protocol = FetProtocol::new(ell).unwrap();
+            for s in 0..shards {
+                let range = plan.shard_range(n, s);
+                let mut rng = plan.rng_for_shard(s);
+                let mut source = UniformSource { m };
+                let mut at = range.start;
+                while at < range.end {
+                    let end = (at + chunk).min(range.end);
+                    let c = protocol.step_fused(
+                        &mut reference.states_mut()[at..end],
+                        &mut source,
+                        &ctx,
+                        &mut rng,
+                        Opinion::One,
+                        &mut ref_out[at..end],
+                    );
+                    ref_counters += c;
+                    at = end;
+                }
+            }
+            // Parallel dispatch under the given worker count.
+            let mut pop = filled_population(ell, n, stream);
+            let factory = UniformFactory { m };
+            let mut out = vec![Opinion::Zero; n];
+            let counters =
+                pop.step_fused_parallel(&factory, &ctx, &plan, Opinion::One, &mut out);
+            prop_assert_eq!(
+                pop.states(), reference.states(),
+                "n={} shards={} workers={} chunk={}: states diverged", n, shards, workers, chunk
+            );
+            prop_assert_eq!(&out, &ref_out);
+            prop_assert_eq!(counters, ref_counters);
+            prop_assert_eq!(
+                counters.ones,
+                out.iter().filter(|o| o.is_one()).count() as u64
+            );
+            prop_assert_eq!(
+                counters.correct,
+                out.iter().filter(|&&o| o == Opinion::One).count() as u64
+            );
+        }
+    }
+
+    /// Engine level: the degenerate `n < threads` case runs, replays, and
+    /// keeps the zero-scratch guarantee for arbitrary oversized shard
+    /// counts.
+    #[test]
+    fn oversharded_engines_replay(
+        n in 3u64..20,
+        threads in 8u32..40,
+        seed in 0u64..200,
+    ) {
+        let run = || {
+            let spec = ProblemSpec::single_source(n, Opinion::One).unwrap();
+            let mut engine = Engine::new(
+                FetProtocol::new(2).unwrap(),
+                spec,
+                Fidelity::Binomial,
+                InitialCondition::Random,
+                seed,
+            )
+            .unwrap();
+            engine
+                .set_execution_mode(ExecutionMode::FusedParallel { threads })
+                .unwrap();
+            let mut rec = TrajectoryRecorder::new();
+            engine.run(40, ConvergenceCriterion::new(3), &mut rec);
+            assert_eq!(engine.round_scratch_bytes(), 0);
+            rec.into_fractions()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
