@@ -1,0 +1,82 @@
+//! The graph (neighborhood) round implementations, measured at the engine
+//! level: one synchronous FET round on a random-regular expander through
+//! each execution mode.
+//!
+//! * `graph_batched` — the buffered pipeline (snapshot clone, observation
+//!   buffer fill over neighbor reads, `step_batch` dispatch, counter
+//!   fold): the PR 4 state of the art for every graph run.
+//! * `graph_fused` — the single-pass graph kernel: each agent's
+//!   observation drawn on demand from its neighbors' round-start opinions
+//!   (the persistent double buffer), update applied, output written in
+//!   place, counters accumulated — no observation/output buffers.
+//! * `graph_fused_parallel` — the same pass work-sharded by contiguous
+//!   vertex range over the shared adjacency (`FET_BENCH_THREADS` shards,
+//!   default 4). On a single-core host this measures pure sharding/spawn
+//!   overhead rather than speedup.
+//!
+//! Default sizes 10⁴ and 10⁵ at degree 32 (≈ 4·ln n at 10⁵ — the regime
+//! where FET behaves like the complete graph); `FET_BENCH_LARGE=1` adds
+//! the opt-in 10⁷ episode. Numbers are recorded in `docs/BENCHMARKS.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fet_core::fet::FetProtocol;
+use fet_core::opinion::Opinion;
+use fet_sim::engine::ExecutionMode;
+use fet_sim::init::InitialCondition;
+use fet_stats::rng::SeedTree;
+use fet_topology::builders;
+use fet_topology::engine::TopologyEngine;
+
+const DEGREE: u32 = 32;
+
+fn sizes() -> Vec<u32> {
+    let mut sizes = vec![10_000u32, 100_000];
+    if std::env::var("FET_BENCH_LARGE").is_ok() {
+        sizes.push(10_000_000);
+    }
+    sizes
+}
+
+/// Shard/worker count for the parallel variant (`FET_BENCH_THREADS`,
+/// default 4 — the acceptance configuration).
+fn bench_threads() -> u32 {
+    std::env::var("FET_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+fn bench_graph_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_round");
+    let parallel = ExecutionMode::FusedParallel {
+        threads: bench_threads(),
+    };
+    for &n in &sizes() {
+        for (label, mode) in [
+            ("graph_batched", ExecutionMode::Batched),
+            ("graph_fused", ExecutionMode::Fused),
+            ("graph_fused_parallel", parallel),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut rng = SeedTree::new(17).child("graph-bench").rng();
+                let graph =
+                    builders::random_regular(n, DEGREE, &mut rng).expect("valid regular graph");
+                let mut engine = TopologyEngine::new(
+                    FetProtocol::for_population(u64::from(n), 4.0).expect("valid ℓ"),
+                    graph,
+                    1,
+                    Opinion::One,
+                    InitialCondition::Random,
+                    42,
+                )
+                .expect("valid engine");
+                engine.set_execution_mode(mode).expect("graph-capable mode");
+                b.iter(|| engine.step());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_round);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! fet impossibility --n 1024
 //! fet baselines  --n 1000 [--reps 10]              # every registered protocol
 //! fet topology   --n 1000 --graph regular [--degree 32] [--seed 7] [--protocol fet]
+//!                [--mode batched|fused|fused-parallel] [--threads N]
 //! fet conflict   --n 2000 --k0 40 --k1 160 [--seed 7]
 //! ```
 //!
@@ -100,10 +101,12 @@ common flags: --n N  --protocol NAME  --ell L  --c C  --seed S  --delta D
               --steps K  --reps R  --init all-wrong|all-correct|random
               --fidelity agent|binomial|without-replacement|aggregate
               --scheduler sync|async  --agent-level (= --fidelity agent)
-              --mode batched|fused|fused-parallel (round implementation; default: auto-select)
+              --mode batched|fused|fused-parallel (round implementation; default: auto-select.
+                     fused modes run on mean-field fidelities AND on `topology` graph runs;
+                     only --fidelity agent on the complete graph requires batched)
               --threads N (shard/worker count for --mode fused-parallel; default: all cores)
               --k K  --p P  --q Q  --correct 0|1  --max-rounds R
-topology:     --graph NAME  --degree D  --beta B
+topology:     --graph NAME  --degree D  --beta B  (accepts --mode, incl. fused/fused-parallel)
 conflict:     --k0 K0  --k1 K1  --burn-in B  --window W";
 
 type Flags = HashMap<String, String>;
@@ -291,7 +294,9 @@ fn cmd_protocols() -> Result<(), String> {
             .to_string(),
             // Whether `--mode fused` (and auto-selection) hits a
             // hand-written single-pass kernel or the default per-step
-            // fused loop.
+            // fused loop. Either way the fused path covers mean-field
+            // *and* graph (`topology`) runs; only the literal agent
+            // fidelity on the complete graph stays batched.
             if p.has_fused_kernel() {
                 "specialized"
             } else {
@@ -315,6 +320,11 @@ fn cmd_protocols() -> Result<(), String> {
     }
     println!("registered protocols (samples/round shown for n = 10000, c = 4):");
     print!("{table}");
+    println!(
+        "fused-kernel/parallel columns apply to mean-field runs and to graph runs \
+         (`fet topology --mode fused|fused-parallel`) alike;\nonly `--fidelity agent` \
+         on the complete graph is batched-only."
+    );
     Ok(())
 }
 

@@ -151,6 +151,31 @@ fn run_rejects_fused_with_literal_sampling() {
 }
 
 #[test]
+fn topology_accepts_the_fused_family() {
+    for mode in ["batched", "fused", "fused-parallel"] {
+        let text = run_ok(&[
+            "topology", "--n", "300", "--graph", "regular", "--degree", "24", "--seed", "7",
+            "--mode", mode,
+        ]);
+        assert!(
+            text.contains("converged at round"),
+            "graph {mode} run failed: {text}"
+        );
+    }
+}
+
+#[test]
+fn topology_fused_replays_per_seed() {
+    let run = || {
+        run_ok(&[
+            "topology", "--n", "200", "--graph", "regular", "--degree", "24", "--seed", "5",
+            "--mode", "fused",
+        ])
+    };
+    assert_eq!(run(), run(), "fixed seed graph-fused runs must replay");
+}
+
+#[test]
 fn protocols_table_reports_fused_kernels() {
     let text = run_ok(&["protocols"]);
     assert!(text.contains("fused-kernel"), "missing column: {text}");

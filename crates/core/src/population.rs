@@ -380,9 +380,10 @@ where
         correct: Opinion,
         outputs: &mut [Opinion],
     ) -> FusedCounters {
-        /// One shard's work item: its index plus its disjoint state and
-        /// output slices.
-        type ShardJob<'a, S> = (u32, &'a mut [S], &'a mut [Opinion]);
+        /// One shard's work item: its index, its agent range (so the
+        /// factory can build a range-aligned source), and its disjoint
+        /// state and output slices.
+        type ShardJob<'a, S> = (u32, std::ops::Range<usize>, &'a mut [S], &'a mut [Opinion]);
         let n = self.states.len();
         assert_eq!(outputs.len(), n, "one output slot per agent");
         let shards = plan.shards();
@@ -393,19 +394,24 @@ where
         let mut states_rest = &mut self.states[..];
         let mut outputs_rest = outputs;
         for s in 0..shards {
-            let len = plan.shard_range(n, s).len();
-            let (st, st_rest) = states_rest.split_at_mut(len);
-            let (out, out_rest) = outputs_rest.split_at_mut(len);
+            let range = plan.shard_range(n, s);
+            let (st, st_rest) = states_rest.split_at_mut(range.len());
+            let (out, out_rest) = outputs_rest.split_at_mut(range.len());
             states_rest = st_rest;
             outputs_rest = out_rest;
             if !st.is_empty() {
-                jobs.push((s, st, out));
+                jobs.push((s, range, st, out));
             }
         }
         let protocol = &self.protocol;
-        let run_shard = |(s, st, out): (u32, &mut [P::State], &mut [Opinion])| {
+        let run_shard = |(s, range, st, out): (
+            u32,
+            std::ops::Range<usize>,
+            &mut [P::State],
+            &mut [Opinion],
+        )| {
             let mut rng = plan.rng_for_shard(s);
-            let mut source = factory.shard_source();
+            let mut source = factory.shard_source(range);
             protocol.step_fused(st, source.as_mut(), ctx, &mut rng, correct, out)
         };
         // Per-shard counters are accumulated into fixed slots and reduced
@@ -615,7 +621,10 @@ mod tests {
     }
 
     impl crate::shard::ShardSourceFactory for UniformSourceFactory {
-        fn shard_source(&self) -> Box<dyn crate::protocol::ObservationSource + '_> {
+        fn shard_source(
+            &self,
+            _range: std::ops::Range<usize>,
+        ) -> Box<dyn crate::protocol::ObservationSource + '_> {
             Box::new(UniformSource { m: self.m })
         }
     }

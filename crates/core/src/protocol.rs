@@ -45,21 +45,29 @@ impl RoundContext {
 /// Streams per-agent observations into the fused round kernel
 /// ([`Protocol::step_fused`]).
 ///
-/// On the mean-field fidelities (binomial / without-replacement sampling on
-/// the complete graph) an observation is a pure function of the round's
-/// global 1-count and the RNG — no snapshot of the population is consulted.
-/// An engine therefore hands the kernel a source that *draws* observation
-/// `i` on demand instead of materializing an `O(n)` observation buffer:
-/// the source encapsulates the fidelity's sampler plus any per-observation
-/// fault corruption, while the protocol stays in charge of the state
-/// update. One virtual call per agent, zero auxiliary memory.
+/// A source *draws* observation `i` on demand instead of materializing an
+/// `O(n)` observation buffer: it encapsulates the sampling rule plus any
+/// per-observation fault corruption, while the protocol stays in charge of
+/// the state update. One virtual call per agent, zero auxiliary memory.
+/// Two families exist:
+///
+/// * **mean-field** sources (binomial / without-replacement sampling on
+///   the complete graph): an observation is a pure function of the round's
+///   global 1-count and the RNG — no snapshot of the population is
+///   consulted, and the source is position-oblivious.
+/// * **positional** sources (neighborhood sampling on an explicit graph):
+///   agent `i`'s observation reads the round-start opinions of `i`'s
+///   neighbors, so the source carries an internal agent cursor that
+///   advances once per draw. Positional sources are constructed knowing
+///   the first agent they stream for (see
+///   [`ShardSourceFactory`](crate::shard::ShardSourceFactory)).
 pub trait ObservationSource {
     /// Draws the next agent's observation. Called exactly once per agent,
-    /// in agent order — implementations may consume `rng` (sampling,
-    /// noise), and the kernel interleaves these draws with its own
-    /// per-agent RNG use, which is what gives the fused path its own
-    /// deterministic stream (distinct from the batched path's
-    /// observations-first ordering).
+    /// in agent order over the stepped slice — implementations may consume
+    /// `rng` (sampling, noise) and advance positional state, and the
+    /// kernel interleaves these draws with its own per-agent RNG use,
+    /// which is what gives the fused path its own deterministic stream
+    /// (distinct from the batched path's observations-first ordering).
     fn next_observation(&mut self, rng: &mut dyn RngCore) -> Observation;
 }
 

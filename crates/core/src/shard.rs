@@ -33,24 +33,10 @@
 //! [`Protocol::step_fused`]: crate::protocol::Protocol::step_fused
 
 use crate::protocol::ObservationSource;
+use fet_stats::rng::{counter_split, counter_stream_base};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::ops::Range;
-
-/// SplitMix64 finalizer (Steele, Lea & Flood 2014) — the same mixing
-/// function as `fet_stats::rng::splitmix64_mix`, duplicated here because
-/// `fet-core` sits below `fet-stats` in the crate graph. Used for *seed
-/// derivation* only; shard randomness comes from [`SmallRng`] seeded with
-/// these values.
-#[inline]
-fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// The SplitMix64 additive constant, used as the per-round counter stride.
-const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Builds one shard's private observation source.
 ///
@@ -61,10 +47,21 @@ const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 /// shared across threads (each [`ObservationSource`] is `&mut` inside its
 /// shard). The factory itself is shared read-only across workers, hence
 /// the `Sync` bound.
+///
+/// The factory is told which contiguous **agent range** the source will
+/// stream for. Mean-field sources ignore it (every agent samples the same
+/// global distribution), but *positional* sources — neighborhood sampling,
+/// where agent `i`'s observation depends on who agent `i` can see — use
+/// `range.start` to align their internal cursor with the shard's first
+/// agent. The range is always the one [`ShardPlan::shard_range`] produced
+/// for the shard, so a source's draws are a pure function of
+/// `(configuration, shard count)` — never of worker scheduling.
 pub trait ShardSourceFactory: Sync {
-    /// Creates a fresh observation source for one shard. Called once per
-    /// shard per round, from the worker thread that runs the shard.
-    fn shard_source(&self) -> Box<dyn ObservationSource + '_>;
+    /// Creates a fresh observation source for the shard covering `range`
+    /// (agent indices within the stepped slice). Called once per shard per
+    /// round, from the worker thread that runs the shard; the source will
+    /// be asked for exactly `range.len()` observations, in agent order.
+    fn shard_source(&self, range: Range<usize>) -> Box<dyn ObservationSource + '_>;
 }
 
 /// The partition and stream base for one parallel fused round.
@@ -72,12 +69,14 @@ pub trait ShardSourceFactory: Sync {
 /// A plan splits `n` agents into [`ShardPlan::shards`] balanced contiguous
 /// ranges (sizes differ by at most one, earlier shards take the remainder)
 /// and assigns shard `s` the RNG [`ShardPlan::rng_for_shard`]`(s)` —
-/// seeded by `mix(mix(stream + round·GOLDEN) ^ mix(s + 1))`, a pure
-/// counter-based derivation with no sequential dependence between rounds
-/// or shards. [`ShardPlan::workers`] caps the OS threads that execute the
-/// shards; it is **not** part of the stream derivation, which is what
-/// makes trajectories reproducible across machines with different core
-/// counts for a fixed shard count.
+/// seeded by the workspace's canonical counter split
+/// ([`fet_stats::rng::counter_stream_base`] over `(stream, round)`, then
+/// [`fet_stats::rng::counter_split`] per shard index), a pure derivation
+/// with no sequential dependence between rounds or shards.
+/// [`ShardPlan::workers`] caps the OS threads that execute the shards; it
+/// is **not** part of the stream derivation, which is what makes
+/// trajectories reproducible across machines with different core counts
+/// for a fixed shard count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPlan {
     shards: u32,
@@ -95,7 +94,7 @@ impl ShardPlan {
         ShardPlan {
             shards: shards.max(1),
             workers: workers.max(1),
-            round_state: mix(stream.wrapping_add(round.wrapping_mul(GOLDEN))),
+            round_state: counter_stream_base(stream, round),
         }
     }
 
@@ -116,7 +115,7 @@ impl ShardPlan {
     /// Pure in `(stream, round, s)`: any worker may call it, in any order,
     /// any number of times.
     pub fn rng_for_shard(&self, s: u32) -> SmallRng {
-        SmallRng::seed_from_u64(mix(self.round_state ^ mix(u64::from(s) + 1)))
+        SmallRng::seed_from_u64(counter_split(self.round_state, u64::from(s)))
     }
 
     /// The contiguous agent range of shard `s` in a population of `n`
@@ -212,11 +211,15 @@ mod tests {
     }
 
     #[test]
-    fn mix_matches_fet_stats_constants() {
-        // Guards the duplicated finalizer against drift: fixed vector
-        // computed from the published SplitMix64 reference.
-        assert_eq!(mix(0), 0);
-        assert_eq!(mix(1), 0x5692_161D_100B_05E5);
-        assert_eq!(mix(GOLDEN), 0xE220_A839_7B1D_CDAF);
+    fn stream_derivation_is_pinned() {
+        // Fixed vectors (from the published SplitMix64 reference) guard
+        // the counter-split recipe against drift: every parallel
+        // trajectory in the workspace is keyed by these values.
+        assert_eq!(counter_stream_base(0, 0), 0);
+        assert_eq!(counter_stream_base(0, 1), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(
+            counter_split(0, 0),
+            fet_stats::rng::splitmix64_mix(0x5692_161D_100B_05E5)
+        );
     }
 }

@@ -42,32 +42,39 @@
 //!
 //! * **batched** — the buffered pipeline: snapshot the outputs, fill an
 //!   observation buffer, one [`Population::step_batch`] dispatch, fold the
-//!   counters out of an output buffer. Required whenever observations read
-//!   *individual* agents (a [`Neighborhood`], or [`Fidelity::Agent`]'s
-//!   literal index sampling).
-//! * **fused** — the single-pass streaming kernel: on the mean-field
-//!   fidelities ([`Fidelity::Binomial`], [`Fidelity::WithoutReplacement`]
-//!   on the complete graph) an observation is a pure function of the
-//!   round's global 1-count, so nothing ever reads the snapshot. One
-//!   [`Population::step_fused`] dispatch draws each agent's observation,
-//!   applies the update, writes the output, and accumulates the round
-//!   counters in **one pass with `O(1)` auxiliary memory** — no snapshot
-//!   clone, no observation buffer, no output scratch.
+//!   counters out of an output buffer. The A/B reference implementation,
+//!   and the only one for [`Fidelity::Agent`]'s literal complete-graph
+//!   index sampling.
+//! * **fused** — the single-pass streaming kernel: one
+//!   [`Population::step_fused`] dispatch draws each agent's observation
+//!   from an on-demand source, applies the update, writes the output, and
+//!   accumulates the round counters in **one pass** — no observation
+//!   buffer, no output scratch. On the mean-field fidelities
+//!   ([`Fidelity::Binomial`], [`Fidelity::WithoutReplacement`] on the
+//!   complete graph) the source is the round's global sampler and the
+//!   round keeps `O(1)` auxiliary memory; on neighborhood
+//!   ([`Neighborhood`]) runs the source reads neighbors' round-start
+//!   opinions from a **persistent double buffer** (~1 byte/agent,
+//!   allocated once and rotated by pointer swap each round — still no
+//!   per-round allocation and no typed-state clone).
 //! * **fused-parallel** — the fused kernel, work-sharded: the population
 //!   splits into `threads` balanced contiguous agent ranges, every shard
-//!   runs the fused pass against the *round-start* global 1-count with an
-//!   independent RNG stream derived by a counter-based split of
+//!   runs the fused pass against the *round-start* state (global 1-count,
+//!   or the shared opinion double buffer plus adjacency on graphs) with
+//!   an independent RNG stream derived by a counter-based split of
 //!   `(seed, round, shard index)` (see [`fet_core::shard`]), and the
 //!   per-shard counters reduce into the round totals. One
 //!   [`Population::step_fused_parallel`] dispatch; scoped OS threads, no
-//!   `O(n)` auxiliary memory.
+//!   `O(n)` auxiliary memory beyond the graph double buffer.
 //!
 //! [`ExecutionMode::Auto`] (the default) selects a fused path exactly when
-//! it is exact — no neighborhood, non-literal fidelity — parallelizing it
-//! above [`FUSED_PARALLEL_AUTO_MIN_N`] agents when the host has more than
-//! one core, and falls back to the batched pipeline otherwise;
-//! sleepy-fault rounds always take the per-agent loop (a sleeping agent
-//! must skip its update entirely).
+//! an on-demand observation source exists — any mean-field fidelity, and
+//! any neighborhood run — parallelizing it above
+//! [`FUSED_PARALLEL_AUTO_MIN_N`] agents when the host has more than one
+//! core, and falls back to the batched pipeline only for the literal
+//! [`Fidelity::Agent`] on the complete graph; sleepy-fault rounds always
+//! take the per-agent loop (a sleeping agent must skip its update
+//! entirely).
 //!
 //! **Stream-compatibility caveat:** the fused kernel interleaves RNG draws
 //! per agent (observation, then update) where the batched pipeline draws
@@ -91,18 +98,21 @@ use crate::fault::FaultPlan;
 use crate::init::InitialCondition;
 use crate::neighborhood::{ensure_observable, Neighborhood};
 use crate::observer::{RoundObserver, RoundSnapshot};
+use crate::sources::{
+    GraphSourceFactory, MeanFieldSampler, MeanFieldSource, MeanFieldSourceFactory,
+};
 use fet_core::config::ProblemSpec;
 use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
 use fet_core::population::{DynPopulation, Population, TypedPopulation};
-use fet_core::protocol::{ObservationSource, Protocol, RoundContext};
-use fet_core::shard::{ShardPlan, ShardSourceFactory};
+use fet_core::protocol::{FusedCounters, Protocol, RoundContext};
+use fet_core::shard::ShardPlan;
 use fet_core::source::Source;
 use fet_stats::binomial::BinomialSampler;
 use fet_stats::hypergeometric::Hypergeometric;
 use fet_stats::rng::SeedTree;
 use rand::rngs::SmallRng;
-use rand::{Rng, RngCore};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -143,10 +153,11 @@ pub enum Fidelity {
 /// stream-compatibility caveat).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExecutionMode {
-    /// Select automatically: a fused kernel on mean-field rounds (no
-    /// neighborhood, fidelity ≠ [`Fidelity::Agent`]) — parallelized above
-    /// [`FUSED_PARALLEL_AUTO_MIN_N`] agents when more than one core is
-    /// available — and the batched pipeline otherwise. The default.
+    /// Select automatically: a fused kernel wherever an on-demand
+    /// observation source exists (mean-field fidelities *and* neighborhood
+    /// runs) — parallelized above [`FUSED_PARALLEL_AUTO_MIN_N`] agents
+    /// when more than one core is available — and the batched pipeline
+    /// for the literal complete-graph [`Fidelity::Agent`]. The default.
     ///
     /// Note: because the auto-parallel shard count follows the host's
     /// core count, trajectories of `Auto` runs above the threshold are
@@ -157,11 +168,12 @@ pub enum ExecutionMode {
     /// Always run the buffered batched pipeline — the PR 2 behaviour,
     /// useful for replaying batched-stream seeds and for A/B measurement.
     Batched,
-    /// Force the fused single-pass kernel. Rejected (at
+    /// Force the fused single-pass kernel — on mean-field fidelities and
+    /// on neighborhood (graph) runs alike. Rejected (at
     /// [`Engine::set_execution_mode`] /
-    /// `Simulation::builder().execution_mode(..)` time) for
-    /// configurations that must read individual agents: neighborhood
-    /// sampling and the literal [`Fidelity::Agent`]. Sleepy-fault rounds
+    /// `Simulation::builder().execution_mode(..)` time) only for the one
+    /// configuration with no on-demand observation source: the literal
+    /// [`Fidelity::Agent`] on the complete graph. Sleepy-fault rounds
     /// still take the per-agent loop.
     Fused,
     /// Force the work-sharded parallel fused kernel with `threads` shards
@@ -211,17 +223,19 @@ enum RoundImpl {
 }
 
 /// [`ExecutionMode::Auto`]'s selection rule, as a pure function: the
-/// batched pipeline off the mean field; on it, the parallel fused round
-/// once the population clears [`FUSED_PARALLEL_AUTO_MIN_N`] on a
-/// multi-core host — unless the protocol opts out of parallel sharding —
-/// and the single-threaded fused kernel otherwise.
+/// batched pipeline when no on-demand observation source exists (the
+/// literal [`Fidelity::Agent`] on the complete graph); everywhere else —
+/// mean-field fidelities *and* neighborhood (graph) runs — the parallel
+/// fused round once the population clears [`FUSED_PARALLEL_AUTO_MIN_N`]
+/// on a multi-core host (unless the protocol opts out of parallel
+/// sharding), and the single-threaded fused kernel otherwise.
 fn auto_round_impl(
-    mean_field: bool,
+    fused_capable: bool,
     auto_threads: u32,
     n: u64,
     parallel_eligible: bool,
 ) -> RoundImpl {
-    if !mean_field {
+    if !fused_capable {
         RoundImpl::Batched
     } else if parallel_eligible && auto_threads > 1 && n >= FUSED_PARALLEL_AUTO_MIN_N {
         RoundImpl::FusedParallel {
@@ -229,61 +243,6 @@ fn auto_round_impl(
         }
     } else {
         RoundImpl::Fused
-    }
-}
-
-/// The engine's [`ObservationSource`] for fused rounds: the mean-field
-/// fidelity's per-round sampler plus per-observation fault corruption —
-/// exactly the sampling semantics of [`draw_raw_count`]'s sampler branches,
-/// delivered one observation at a time so no buffer ever exists. The
-/// noise-free configuration (`fault: None`) skips the corruption call,
-/// keeping the per-agent cost to one sampler draw.
-struct MeanFieldSource<'a> {
-    sampler: MeanFieldSampler<'a>,
-    /// `Some` only when observation noise is active.
-    fault: Option<&'a FaultPlan>,
-    m: u32,
-}
-
-#[derive(Clone, Copy)]
-enum MeanFieldSampler<'a> {
-    Binomial(&'a BinomialSampler),
-    Hypergeometric(&'a Hypergeometric),
-}
-
-/// The engine's [`ShardSourceFactory`] for parallel fused rounds: hands
-/// every shard a private [`MeanFieldSource`] over the *shared, round-start*
-/// sampler configuration. Sharing is read-only (the samplers are built
-/// from the round-start 1-count and never mutated), so shards sample the
-/// same per-round distribution as the single-threaded fused path while
-/// drawing from their own RNG streams.
-struct MeanFieldSourceFactory<'a> {
-    sampler: MeanFieldSampler<'a>,
-    fault: Option<&'a FaultPlan>,
-    m: u32,
-}
-
-impl ShardSourceFactory for MeanFieldSourceFactory<'_> {
-    fn shard_source(&self) -> Box<dyn ObservationSource + '_> {
-        Box::new(MeanFieldSource {
-            sampler: self.sampler,
-            fault: self.fault,
-            m: self.m,
-        })
-    }
-}
-
-impl ObservationSource for MeanFieldSource<'_> {
-    fn next_observation(&mut self, rng: &mut dyn RngCore) -> Observation {
-        let raw_ones = match self.sampler {
-            MeanFieldSampler::Binomial(sampler) => sampler.sample(rng) as u32,
-            MeanFieldSampler::Hypergeometric(h) => h.sample(rng) as u32,
-        };
-        let seen = match self.fault {
-            Some(fault) => fault.corrupt_count(raw_ones, self.m, rng),
-            None => raw_ones,
-        };
-        Observation::new(seen, self.m).expect("corrupt_count preserves the bound")
     }
 }
 
@@ -415,6 +374,11 @@ struct EngineCore {
     /// a separate `SeedTree` lane, so enabling parallelism never perturbs
     /// the main engine stream (batched/fused trajectories are unchanged).
     parallel_stream: u64,
+    /// Run-level seed lane for graph-fused index draws: every
+    /// [`crate::sources::GraphSource`]'s owned index stream splits from
+    /// `(this, round, shard range start)` — again without ever consuming
+    /// the main engine RNG.
+    graph_index_stream: u64,
     /// Host core count (capped), cached for [`ExecutionMode::Auto`]'s
     /// parallel selection.
     auto_threads: u32,
@@ -525,6 +489,7 @@ impl EngineCore {
             rng,
             round: 0,
             parallel_stream: SeedTree::new(seed).child("engine-parallel").seed(),
+            graph_index_stream: SeedTree::new(seed).child("graph-index").seed(),
             auto_threads: std::thread::available_parallelism()
                 .map_or(1, |p| p.get() as u32)
                 .min(FUSED_PARALLEL_AUTO_MAX_THREADS),
@@ -557,26 +522,38 @@ impl EngineCore {
     }
 
     /// `true` when observations are a pure function of the round's global
-    /// 1-count — the precondition for the fused path *and* for skipping
-    /// the snapshot copy on the batched path.
+    /// 1-count — the precondition for skipping the snapshot entirely
+    /// (mean-field fused rounds keep no opinion buffer at all, and even
+    /// mean-field *batched* rounds skip the snapshot copy).
     fn mean_field(&self) -> bool {
         self.neighborhood.is_none() && self.fidelity != Fidelity::Agent
     }
 
+    /// `true` when the run has an on-demand observation source — the
+    /// precondition for the fused family. Mean-field fidelities stream
+    /// from the round's global 1-count; neighborhood runs stream from the
+    /// round-start opinion double buffer through [`crate::sources::GraphSource`]. Only the
+    /// literal [`Fidelity::Agent`] on the complete graph is left out: it
+    /// is the A/B reference for the mean-field shortcut and deliberately
+    /// keeps the PR 2 snapshot-driven batched semantics.
+    fn fused_capable(&self) -> bool {
+        self.neighborhood.is_some() || self.fidelity != Fidelity::Agent
+    }
+
     /// The round implementation a fault-free round runs under the current
-    /// mode. (Fused modes are validated to imply `mean_field` at set
+    /// mode. (Fused modes are validated to imply `fused_capable` at set
     /// time.)
     fn resolve_round_impl(&self) -> RoundImpl {
         match self.mode {
             ExecutionMode::Batched => RoundImpl::Batched,
-            ExecutionMode::Fused if self.mean_field() => RoundImpl::Fused,
+            ExecutionMode::Fused if self.fused_capable() => RoundImpl::Fused,
             ExecutionMode::Fused => RoundImpl::Batched,
-            ExecutionMode::FusedParallel { threads } if self.mean_field() => {
+            ExecutionMode::FusedParallel { threads } if self.fused_capable() => {
                 RoundImpl::FusedParallel { shards: threads }
             }
             ExecutionMode::FusedParallel { .. } => RoundImpl::Batched,
             ExecutionMode::Auto => auto_round_impl(
-                self.mean_field(),
+                self.fused_capable(),
                 self.auto_threads,
                 self.spec.n(),
                 self.parallel_eligible,
@@ -584,21 +561,23 @@ impl EngineCore {
         }
     }
 
-    /// Installs an execution mode, rejecting the fused modes for
-    /// configurations whose observations must read individual agents, and
-    /// the parallel mode additionally for zero threads and for protocols
-    /// that opted out of parallel sharding.
+    /// Installs an execution mode, rejecting the fused modes for the one
+    /// configuration with no on-demand observation source (the literal
+    /// [`Fidelity::Agent`] on the complete graph), and the parallel mode
+    /// additionally for zero threads and for protocols that opted out of
+    /// parallel sharding.
     fn set_mode(&mut self, mode: ExecutionMode) -> Result<(), SimError> {
         let fused_family = matches!(
             mode,
             ExecutionMode::Fused | ExecutionMode::FusedParallel { .. }
         );
-        if fused_family && !self.mean_field() {
+        if fused_family && !self.fused_capable() {
             return Err(SimError::InvalidParameter {
                 name: "mode",
-                detail: "the fused path draws observations from the round's global 1-count; \
-                         neighborhood sampling and the literal Agent fidelity need the \
-                         snapshot-driven batched path"
+                detail: "offending axis: fidelity — the literal Agent fidelity on the complete \
+                         graph has no on-demand observation source and keeps the snapshot-driven \
+                         batched path; fused modes run on the mean-field fidelities \
+                         (Binomial/WithoutReplacement) and on neighborhood (graph) runs"
                     .into(),
             });
         }
@@ -606,14 +585,15 @@ impl EngineCore {
             if threads == 0 {
                 return Err(SimError::InvalidParameter {
                     name: "mode",
-                    detail: "fused-parallel needs at least one thread".into(),
+                    detail: "offending axis: threads — fused-parallel needs at least one thread"
+                        .into(),
                 });
             }
             if !self.parallel_eligible {
                 return Err(SimError::InvalidParameter {
                     name: "mode",
-                    detail: "this protocol opts out of parallel sharding \
-                             (Protocol::parallel_eligible() is false)"
+                    detail: "offending axis: protocol — this protocol opts out of parallel \
+                             sharding (Protocol::parallel_eligible() is false)"
                         .into(),
                 });
             }
@@ -624,8 +604,12 @@ impl EngineCore {
 
     /// Bytes of per-round auxiliary buffers currently allocated (output
     /// snapshot + observation buffer + output scratch). Stays `0` for runs
-    /// whose every round went through the fused path — the measurable form
-    /// of its `O(1)`-auxiliary-memory guarantee.
+    /// whose every round went through the mean-field fused path — the
+    /// measurable form of its `O(1)`-auxiliary-memory guarantee. Graph
+    /// (neighborhood) fused runs report exactly the persistent opinion
+    /// double buffer (~1 byte/agent, allocated once, rotated thereafter);
+    /// batched runs additionally keep the ~9 bytes/agent
+    /// observation/output buffers.
     fn scratch_bytes(&self) -> usize {
         self.snapshot.capacity() * std::mem::size_of::<Opinion>()
             + self.obs_buf.capacity() * std::mem::size_of::<Observation>()
@@ -639,22 +623,57 @@ impl EngineCore {
             self.source.retarget(new_correct);
             self.refresh_caches(pop);
         }
-        // Synchrony: all observations read the round-t outputs. Mean-field
-        // rounds consume only the global 1-count, so the O(n) snapshot
-        // copy is skipped there (on the batched path too, not just fused).
-        if !self.mean_field() {
-            self.snapshot.clone_from(&self.outputs);
-        }
         if self.fault.sleep_prob > 0.0 {
+            // Synchrony: all observations read the round-t outputs.
+            // Mean-field rounds consume only the global 1-count, so the
+            // O(n) snapshot copy is skipped there.
+            if !self.mean_field() {
+                self.snapshot.clone_from(&self.outputs);
+            }
             self.step_with_sleep(pop);
         } else {
-            match self.resolve_round_impl() {
+            let round_impl = self.resolve_round_impl();
+            if !self.mean_field() {
+                match round_impl {
+                    // The buffered pipeline copies the round-start outputs
+                    // (it overwrites `outputs` only after all draws).
+                    RoundImpl::Batched => self.snapshot.clone_from(&self.outputs),
+                    // Fused graph rounds write outputs in place while the
+                    // graph source still reads round-start opinions: rotate
+                    // the persistent double buffer instead of copying.
+                    RoundImpl::Fused | RoundImpl::FusedParallel { .. } => {
+                        self.rotate_opinion_buffer()
+                    }
+                }
+            }
+            match round_impl {
                 RoundImpl::Batched => self.step_batched(pop),
                 RoundImpl::Fused => self.step_fused_round(pop),
                 RoundImpl::FusedParallel { shards } => self.step_fused_parallel_round(pop, shards),
             }
         }
         self.round += 1;
+    }
+
+    /// Rotates the round-start opinion double buffer for graph-fused
+    /// rounds: after the swap, `snapshot` holds the round-`t` outputs for
+    /// graph sources to read, and `outputs` is the write target the kernel
+    /// fills completely (the source prefix is re-stamped here; every
+    /// non-source slot is overwritten by the fused pass). No copy, no
+    /// allocation after the buffer exists — the ~1 byte/agent `snapshot`
+    /// vector is the *only* persistent auxiliary memory of graph-fused
+    /// execution.
+    fn rotate_opinion_buffer(&mut self) {
+        if self.snapshot.len() != self.outputs.len() {
+            // First graph-fused round: materialize the second buffer once.
+            self.snapshot.clone_from(&self.outputs);
+        }
+        std::mem::swap(&mut self.snapshot, &mut self.outputs);
+        let num_sources = self.spec.num_sources() as usize;
+        let output = self.source.output();
+        for slot in &mut self.outputs[..num_sources] {
+            *slot = output;
+        }
     }
 
     /// Per-round samplers for the current fidelity (`None` = literal).
@@ -726,60 +745,75 @@ impl EngineCore {
         self.correct_decisions = settle_correct_decisions(pop, correct, correct_decisions);
     }
 
-    /// The fused round path (mean-field rounds only): one
-    /// [`Population::step_fused`] dispatch draws each agent's observation,
-    /// applies the update, writes the output in place, and hands back the
-    /// round counters — a single pass with `O(1)` auxiliary memory.
+    /// The fused round path: one [`Population::step_fused`] dispatch draws
+    /// each agent's observation, applies the update, writes the output in
+    /// place, and hands back the round counters — a single pass. On
+    /// mean-field rounds the observation source is the round's global
+    /// sampler (`O(1)` auxiliary memory); on neighborhood rounds it is a
+    /// [`crate::sources::GraphSource`] over the round-start opinion double buffer (the
+    /// only auxiliary memory, ~1 byte/agent, rotated — never reallocated —
+    /// each round).
     fn step_fused_round<A: Population + ?Sized>(&mut self, pop: &mut A) {
         let num_sources = self.spec.num_sources() as usize;
         let m = pop.samples_per_round();
         let ctx = RoundContext::new(self.round);
-        let (binomial, hypergeometric) = self.round_samplers(m);
-        let sampler = match (binomial.as_ref(), hypergeometric.as_ref()) {
-            (Some(s), _) => MeanFieldSampler::Binomial(s),
-            (_, Some(h)) => MeanFieldSampler::Hypergeometric(h),
-            _ => unreachable!("fused rounds run on mean-field fidelities only"),
-        };
-        let mut obs_source = MeanFieldSource {
-            sampler,
-            fault: (self.fault.flip_prob > 0.0).then_some(&self.fault),
-            m,
-        };
         let correct = self.source.correct();
-        let counters = pop.step_fused(
-            &mut obs_source,
-            &ctx,
-            &mut self.rng,
-            correct,
-            &mut self.outputs[num_sources..],
-        );
-        self.ones_count =
-            num_sources as u64 * u64::from(self.source.output().is_one()) + counters.ones;
-        self.correct_decisions = settle_correct_decisions(pop, correct, counters.correct);
+        let fault = (self.fault.flip_prob > 0.0).then_some(&self.fault);
+        let counters = if let Some(nb) = self.neighborhood.as_deref() {
+            let factory = GraphSourceFactory::new(
+                nb,
+                &self.snapshot,
+                fault,
+                m,
+                u32::try_from(num_sources).expect("num_sources < n fits u32"),
+                self.graph_index_stream,
+                self.round,
+            );
+            // Stack-built source over the full range: no per-round
+            // allocation on the single-threaded path.
+            let mut obs_source = factory.source_for(0..pop.len());
+            pop.step_fused(
+                &mut obs_source,
+                &ctx,
+                &mut self.rng,
+                correct,
+                &mut self.outputs[num_sources..],
+            )
+        } else {
+            let (binomial, hypergeometric) = self.round_samplers(m);
+            let sampler = match (binomial.as_ref(), hypergeometric.as_ref()) {
+                (Some(s), _) => MeanFieldSampler::Binomial(s),
+                (_, Some(h)) => MeanFieldSampler::Hypergeometric(h),
+                _ => unreachable!("fused complete-graph rounds run on mean-field fidelities only"),
+            };
+            let mut obs_source = MeanFieldSource { sampler, fault, m };
+            pop.step_fused(
+                &mut obs_source,
+                &ctx,
+                &mut self.rng,
+                correct,
+                &mut self.outputs[num_sources..],
+            )
+        };
+        self.settle_fused_counters(pop, counters);
     }
 
-    /// The work-sharded parallel fused round (mean-field rounds only): one
+    /// The work-sharded parallel fused round: one
     /// [`Population::step_fused_parallel`] dispatch shards the agents into
-    /// `shards` contiguous ranges, each stepped by the fused kernel
-    /// against the round-start samplers under its own counter-derived RNG
-    /// stream (never the engine RNG — the main stream is untouched by
-    /// parallel rounds). Worker count = `min(shards, FET_PARALLEL_WORKERS
-    /// if set)`; it never affects the trajectory.
+    /// `shards` contiguous ranges, each stepped by the fused kernel under
+    /// its own counter-derived RNG stream (never the engine RNG — the main
+    /// stream is untouched by parallel rounds). Every shard gets a private
+    /// source over shared round-start state: the mean-field samplers, or
+    /// the opinion double buffer plus adjacency on neighborhood runs
+    /// (range-aligned through [`GraphSourceFactory`]). Worker count =
+    /// `min(shards, FET_PARALLEL_WORKERS if set)`; it never affects the
+    /// trajectory.
     fn step_fused_parallel_round<A: Population + ?Sized>(&mut self, pop: &mut A, shards: u32) {
         let num_sources = self.spec.num_sources() as usize;
         let m = pop.samples_per_round();
         let ctx = RoundContext::new(self.round);
-        let (binomial, hypergeometric) = self.round_samplers(m);
-        let sampler = match (binomial.as_ref(), hypergeometric.as_ref()) {
-            (Some(s), _) => MeanFieldSampler::Binomial(s),
-            (_, Some(h)) => MeanFieldSampler::Hypergeometric(h),
-            _ => unreachable!("parallel fused rounds run on mean-field fidelities only"),
-        };
-        let factory = MeanFieldSourceFactory {
-            sampler,
-            fault: (self.fault.flip_prob > 0.0).then_some(&self.fault),
-            m,
-        };
+        let correct = self.source.correct();
+        let fault = (self.fault.flip_prob > 0.0).then_some(&self.fault);
         let workers = match &self.parallel_workers {
             Some(v) => v
                 .parse()
@@ -787,17 +821,50 @@ impl EngineCore {
             None => shards,
         };
         let plan = ShardPlan::new(shards, workers, self.parallel_stream, self.round);
-        let correct = self.source.correct();
-        let counters = pop.step_fused_parallel(
-            &factory,
-            &ctx,
-            &plan,
-            correct,
-            &mut self.outputs[num_sources..],
-        );
-        self.ones_count =
-            num_sources as u64 * u64::from(self.source.output().is_one()) + counters.ones;
-        self.correct_decisions = settle_correct_decisions(pop, correct, counters.correct);
+        let counters = if let Some(nb) = self.neighborhood.as_deref() {
+            let factory = GraphSourceFactory::new(
+                nb,
+                &self.snapshot,
+                fault,
+                m,
+                u32::try_from(num_sources).expect("num_sources < n fits u32"),
+                self.graph_index_stream,
+                self.round,
+            );
+            pop.step_fused_parallel(
+                &factory,
+                &ctx,
+                &plan,
+                correct,
+                &mut self.outputs[num_sources..],
+            )
+        } else {
+            let (binomial, hypergeometric) = self.round_samplers(m);
+            let sampler = match (binomial.as_ref(), hypergeometric.as_ref()) {
+                (Some(s), _) => MeanFieldSampler::Binomial(s),
+                (_, Some(h)) => MeanFieldSampler::Hypergeometric(h),
+                _ => unreachable!(
+                    "parallel fused complete-graph rounds run on mean-field fidelities only"
+                ),
+            };
+            let factory = MeanFieldSourceFactory { sampler, fault, m };
+            pop.step_fused_parallel(
+                &factory,
+                &ctx,
+                &plan,
+                correct,
+                &mut self.outputs[num_sources..],
+            )
+        };
+        self.settle_fused_counters(pop, counters);
+    }
+
+    /// Folds one fused round's kernel counters into the engine counters.
+    fn settle_fused_counters<A: Population + ?Sized>(&mut self, pop: &A, counters: FusedCounters) {
+        let num_sources = self.spec.num_sources();
+        self.ones_count = num_sources * u64::from(self.source.output().is_one()) + counters.ones;
+        self.correct_decisions =
+            settle_correct_decisions(pop, self.source.correct(), counters.correct);
     }
 
     /// The per-agent round path, used when sleepy-agent faults are active.
@@ -1028,8 +1095,10 @@ where
 
     /// Bytes of per-round auxiliary round buffers currently allocated
     /// (output snapshot, observation buffer, output scratch). `0` for as
-    /// long as every executed round has gone through the fused path —
-    /// the measurable form of its `O(1)`-auxiliary-memory guarantee.
+    /// long as every executed round has gone through the mean-field fused
+    /// path — the measurable form of its `O(1)`-auxiliary-memory
+    /// guarantee; graph-fused runs report exactly the persistent ~1
+    /// byte/agent opinion double buffer.
     pub fn round_scratch_bytes(&self) -> usize {
         self.core.scratch_bytes()
     }
@@ -1819,7 +1888,7 @@ mod tests {
     }
 
     #[test]
-    fn fused_mode_rejects_agent_fidelity_and_neighborhoods() {
+    fn fused_mode_rejects_only_the_literal_complete_graph_fidelity() {
         let mut literal = Engine::new(
             FetProtocol::new(4).unwrap(),
             spec(60),
@@ -1828,11 +1897,20 @@ mod tests {
             1,
         )
         .unwrap();
-        assert!(matches!(
-            literal.set_execution_mode(ExecutionMode::Fused),
-            Err(SimError::InvalidParameter { name: "mode", .. })
-        ));
+        for mode in [
+            ExecutionMode::Fused,
+            ExecutionMode::FusedParallel { threads: 2 },
+        ] {
+            let err = literal.set_execution_mode(mode).unwrap_err();
+            assert!(
+                matches!(&err, SimError::InvalidParameter { name: "mode", .. })
+                    && err.to_string().contains("fidelity"),
+                "{err}"
+            );
+        }
 
+        // Neighborhood runs stream observations from the round-start
+        // opinion buffer: the whole fused family is available there.
         let mut ring = Engine::with_neighborhood(
             FetProtocol::new(3).unwrap(),
             Box::new(Ring::new(60)),
@@ -1842,12 +1920,169 @@ mod tests {
             19,
         )
         .unwrap();
-        assert!(matches!(
-            ring.set_execution_mode(ExecutionMode::Fused),
-            Err(SimError::InvalidParameter { name: "mode", .. })
-        ));
+        ring.set_execution_mode(ExecutionMode::Fused).unwrap();
+        ring.set_execution_mode(ExecutionMode::FusedParallel { threads: 2 })
+            .unwrap();
         // Batched stays available everywhere.
         ring.set_execution_mode(ExecutionMode::Batched).unwrap();
+    }
+
+    // ---- graph-fused execution ----
+
+    /// Graph rounds replay bit for bit across the typed and
+    /// population-erased front ends in every fused mode, and `Auto` now
+    /// resolves graph rounds to the fused single pass (same stream as
+    /// forcing `Fused`).
+    #[test]
+    fn graph_fused_is_stream_identical_across_typed_and_population_engines() {
+        for mode in [
+            ExecutionMode::Auto,
+            ExecutionMode::Fused,
+            ExecutionMode::FusedParallel { threads: 3 },
+        ] {
+            let mut typed = Engine::with_neighborhood(
+                FetProtocol::new(3).unwrap(),
+                Box::new(Ring::new(61)),
+                2,
+                Opinion::One,
+                InitialCondition::AllWrong,
+                19,
+            )
+            .unwrap();
+            typed.set_execution_mode(mode).unwrap();
+            let mut erased = PopulationEngine::with_neighborhood(
+                fet_population(3),
+                Box::new(Ring::new(61)),
+                2,
+                Opinion::One,
+                InitialCondition::AllWrong,
+                19,
+            )
+            .unwrap();
+            erased.set_execution_mode(mode).unwrap();
+            for _ in 0..40 {
+                typed.step();
+                erased.step();
+            }
+            assert_eq!(typed.outputs(), erased.outputs(), "{mode:?}");
+            assert_eq!(typed.fraction_correct(), erased.fraction_correct());
+        }
+    }
+
+    /// `Auto` and forced `Fused` are the same stream on graphs, and the
+    /// graph-batched stream is preserved (and distinct from graph-fused).
+    #[test]
+    fn graph_auto_resolves_to_fused_and_batched_stream_is_preserved() {
+        let run = |mode: ExecutionMode| {
+            let mut e = Engine::with_neighborhood(
+                FetProtocol::new(3).unwrap(),
+                Box::new(Ring::new(60)),
+                2,
+                Opinion::One,
+                InitialCondition::Random,
+                23,
+            )
+            .unwrap();
+            e.set_execution_mode(mode).unwrap();
+            let mut rec = TrajectoryRecorder::new();
+            e.run(60, ConvergenceCriterion::new(3), &mut rec);
+            rec.into_fractions()
+        };
+        let auto = run(ExecutionMode::Auto);
+        let fused = run(ExecutionMode::Fused);
+        let batched = run(ExecutionMode::Batched);
+        assert_eq!(auto, fused, "Auto must resolve graph rounds to fused");
+        assert_ne!(
+            fused, batched,
+            "graph-fused must be its own stream, not batched renamed"
+        );
+    }
+
+    /// Graph-fused rounds keep exactly the persistent opinion double
+    /// buffer (~1 byte/agent) and allocate nothing else per round, while
+    /// graph-batched rounds keep snapshot + observation/output scratch.
+    #[test]
+    fn graph_fused_scratch_is_exactly_the_double_buffer() {
+        let n = 80usize;
+        let mut fused = Engine::with_neighborhood(
+            FetProtocol::new(3).unwrap(),
+            Box::new(Ring::new(n as u32)),
+            2,
+            Opinion::One,
+            InitialCondition::AllWrong,
+            7,
+        )
+        .unwrap();
+        fused.set_execution_mode(ExecutionMode::Fused).unwrap();
+        for _ in 0..20 {
+            fused.step();
+        }
+        assert_eq!(
+            fused.round_scratch_bytes(),
+            n * std::mem::size_of::<Opinion>(),
+            "graph-fused keeps the n-byte double buffer and nothing else"
+        );
+
+        let mut batched = Engine::with_neighborhood(
+            FetProtocol::new(3).unwrap(),
+            Box::new(Ring::new(n as u32)),
+            2,
+            Opinion::One,
+            InitialCondition::AllWrong,
+            7,
+        )
+        .unwrap();
+        batched.set_execution_mode(ExecutionMode::Batched).unwrap();
+        batched.step();
+        assert!(
+            batched.round_scratch_bytes() > n * std::mem::size_of::<Opinion>(),
+            "graph-batched keeps snapshot plus obs/out scratch"
+        );
+    }
+
+    /// Sleep faults on graphs fall back to the per-agent loop and still
+    /// read round-start opinions; noise and retargeting compose with the
+    /// graph source. The graph-fused family must satisfy the absorbing
+    /// guarantee end to end.
+    #[test]
+    fn graph_fused_converges_and_absorbs_on_the_complete_ring() {
+        // A dense ring (every vertex sees half the ring) behaves like the
+        // complete graph: FET must converge and stay converged.
+        let n = 120u32;
+        let links: Vec<Vec<u32>> = (0..n)
+            .map(|v| (1..=n / 2).map(|d| (v + d) % n).collect())
+            .collect();
+        #[derive(Debug, Clone)]
+        struct Dense {
+            links: Vec<Vec<u32>>,
+        }
+        impl Neighborhood for Dense {
+            fn population(&self) -> u32 {
+                self.links.len() as u32
+            }
+            fn neighbors_of(&self, vertex: u32) -> &[u32] {
+                &self.links[vertex as usize]
+            }
+            fn clone_box(&self) -> Box<dyn Neighborhood> {
+                Box::new(self.clone())
+            }
+        }
+        let mut e = Engine::with_neighborhood(
+            FetProtocol::for_population(u64::from(n), 4.0).unwrap(),
+            Box::new(Dense { links }),
+            1,
+            Opinion::One,
+            InitialCondition::AllWrong,
+            13,
+        )
+        .unwrap();
+        e.set_execution_mode(ExecutionMode::Fused).unwrap();
+        let report = e.run(20_000, ConvergenceCriterion::new(3), &mut NullObserver);
+        assert!(report.converged(), "{report:?}");
+        for _ in 0..100 {
+            e.step();
+            assert!(e.all_correct(), "graph-fused absorbing state violated");
+        }
     }
 
     /// The fused path must satisfy the same end-to-end guarantees as the

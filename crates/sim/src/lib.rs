@@ -70,6 +70,7 @@ pub mod init;
 pub mod neighborhood;
 pub mod observer;
 pub mod simulation;
+pub mod sources;
 
 pub use error::SimError;
 
@@ -87,4 +88,5 @@ pub mod prelude {
     pub use crate::neighborhood::Neighborhood;
     pub use crate::observer::{NullObserver, RoundObserver, TrajectoryRecorder};
     pub use crate::simulation::{RunReport, Scheduler, Simulation, SimulationBuilder};
+    pub use crate::sources::{GraphSource, GraphSourceFactory};
 }

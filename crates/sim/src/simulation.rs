@@ -515,13 +515,15 @@ impl SimulationBuilder {
 
     /// Sets the synchronous round implementation (default
     /// [`ExecutionMode::Auto`]: a fused single-pass kernel on mean-field
-    /// rounds — parallelized above an `n` threshold on multi-core hosts —
-    /// and the batched pipeline otherwise). Forcing
-    /// [`ExecutionMode::Fused`] or [`ExecutionMode::FusedParallel`] is
-    /// validated in [`SimulationBuilder::build`]: both require a
-    /// synchronous per-agent run on the complete graph with a non-literal,
-    /// non-aggregate fidelity, and the parallel mode additionally a
-    /// non-zero thread count and a
+    /// *and* topology (graph) rounds — parallelized above an `n` threshold
+    /// on multi-core hosts — and the batched pipeline for the literal
+    /// complete-graph Agent fidelity). Forcing [`ExecutionMode::Fused`] or
+    /// [`ExecutionMode::FusedParallel`] is validated in
+    /// [`SimulationBuilder::build`]: both require a synchronous per-agent
+    /// run with an on-demand observation source (any mean-field fidelity,
+    /// or any topology — only the literal Agent fidelity on the complete
+    /// graph is rejected), and the parallel mode additionally a non-zero
+    /// thread count and a
     /// [`parallel_eligible`](fet_core::protocol::Protocol::parallel_eligible)
     /// protocol. Note the stream caveat in [`crate::engine`]'s docs: each
     /// mode (and each parallel shard count) is its own deterministic
@@ -725,18 +727,19 @@ impl SimulationBuilder {
                 self.mode,
                 ExecutionMode::Fused | ExecutionMode::FusedParallel { .. }
             );
-            if fused_family && (self.topology.is_some() || fidelity == Fidelity::Agent) {
+            if fused_family && self.topology.is_none() && fidelity == Fidelity::Agent {
                 return Err(Self::invalid(
                     "mode",
-                    "the fused path draws observations from the round's global 1-count; \
-                     neighborhood sampling and the literal Agent fidelity need the \
-                     snapshot-driven batched path",
+                    "offending axis: fidelity — the literal Agent fidelity on the complete \
+                     graph has no on-demand observation source and keeps the snapshot-driven \
+                     batched path; fused modes run on the mean-field fidelities \
+                     (Binomial/WithoutReplacement) and on topology (graph) runs",
                 ));
             }
             if matches!(self.mode, ExecutionMode::FusedParallel { threads: 0 }) {
                 return Err(Self::invalid(
                     "mode",
-                    "fused-parallel needs at least one thread",
+                    "offending axis: threads — fused-parallel needs at least one thread",
                 ));
             }
             if matches!(self.mode, ExecutionMode::FusedParallel { .. })
@@ -745,7 +748,7 @@ impl SimulationBuilder {
                 return Err(Self::invalid(
                     "mode",
                     format!(
-                        "protocol `{}` opts out of parallel sharding",
+                        "offending axis: protocol — `{}` opts out of parallel sharding",
                         protocol.name()
                     ),
                 ));

@@ -1,0 +1,365 @@
+//! Observation sources: every fused observation draw, one abstraction.
+//!
+//! The fused round kernels ([`Protocol::step_fused`]) never see buffers —
+//! they pull each agent's [`Observation`] from an
+//! [`ObservationSource`] on demand. This module is where the engine's
+//! sources live, one per sampling rule:
+//!
+//! * [`MeanFieldSource`] — the complete-graph fidelities
+//!   ([`Fidelity::Binomial`] / [`Fidelity::WithoutReplacement`]): an
+//!   observation is a pure function of the round-start global 1-count and
+//!   the RNG, so the source is just the round's sampler configuration.
+//! * [`GraphSource`] — neighborhood sampling on an explicit
+//!   [`Neighborhood`]: agent `i` samples `m` neighbors **with
+//!   replacement** from its adjacency list and counts 1-opinions in the
+//!   round-start snapshot. The source is *positional*: it carries a vertex
+//!   cursor that advances once per draw, so it must be constructed knowing
+//!   the first vertex it streams for.
+//!
+//! Both sources compose the same per-observation fault corruption
+//! ([`FaultPlan::corrupt_count`]) the batched pipeline applies, and both
+//! come with a [`ShardSourceFactory`] so the work-sharded parallel round
+//! can hand every shard a private source: [`MeanFieldSourceFactory`]
+//! ignores the shard range (mean-field draws are position-oblivious),
+//! [`GraphSourceFactory`] aligns the cursor with the shard's first agent.
+//! Either way a source's draws are a pure function of the round
+//! configuration and the shard plan — never of worker scheduling — which
+//! is what keeps parallel graph rounds on the `(seed, shard count)`
+//! determinism contract.
+//!
+//! Funneling *all* on-demand draws through this one abstraction is also
+//! what keeps the remaining SIMD-batch-sampling lever tractable: a future
+//! vectorized sampler slots in behind [`ObservationSource`] without
+//! touching any kernel.
+//!
+//! [`Protocol::step_fused`]: fet_core::protocol::Protocol::step_fused
+//! [`Fidelity::Binomial`]: crate::engine::Fidelity::Binomial
+//! [`Fidelity::WithoutReplacement`]: crate::engine::Fidelity::WithoutReplacement
+
+use crate::fault::FaultPlan;
+use crate::neighborhood::Neighborhood;
+use fet_core::observation::Observation;
+use fet_core::opinion::Opinion;
+use fet_core::protocol::ObservationSource;
+use fet_core::shard::ShardSourceFactory;
+use fet_stats::rng::{counter_split, counter_stream_base};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::ops::Range;
+
+/// The round's mean-field sampler: one of the two exact per-agent
+/// shortcuts for complete-graph sampling.
+#[derive(Debug, Clone, Copy)]
+pub enum MeanFieldSampler<'a> {
+    /// `Binomial(m, x_t)` — with-replacement sampling.
+    Binomial(&'a fet_stats::binomial::BinomialSampler),
+    /// `Hypergeometric(n, ones_t, m)` — without-replacement sampling.
+    Hypergeometric(&'a fet_stats::hypergeometric::Hypergeometric),
+}
+
+/// The engine's [`ObservationSource`] for mean-field fused rounds: the
+/// fidelity's per-round sampler plus per-observation fault corruption —
+/// exactly the sampling semantics of the batched pipeline's sampler
+/// branches, delivered one observation at a time so no buffer ever
+/// exists. The noise-free configuration (`fault: None`) skips the
+/// corruption call, keeping the per-agent cost to one sampler draw.
+#[derive(Debug)]
+pub struct MeanFieldSource<'a> {
+    pub(crate) sampler: MeanFieldSampler<'a>,
+    /// `Some` only when observation noise is active.
+    pub(crate) fault: Option<&'a FaultPlan>,
+    pub(crate) m: u32,
+}
+
+impl ObservationSource for MeanFieldSource<'_> {
+    fn next_observation(&mut self, rng: &mut dyn RngCore) -> Observation {
+        let raw_ones = match self.sampler {
+            MeanFieldSampler::Binomial(sampler) => sampler.sample(rng) as u32,
+            MeanFieldSampler::Hypergeometric(h) => h.sample(rng) as u32,
+        };
+        let seen = match self.fault {
+            Some(fault) => fault.corrupt_count(raw_ones, self.m, rng),
+            None => raw_ones,
+        };
+        Observation::new(seen, self.m).expect("corrupt_count preserves the bound")
+    }
+}
+
+/// The engine's [`ShardSourceFactory`] for parallel mean-field rounds:
+/// hands every shard a private [`MeanFieldSource`] over the *shared,
+/// round-start* sampler configuration. Sharing is read-only (the samplers
+/// are built from the round-start 1-count and never mutated), so shards
+/// sample the same per-round distribution as the single-threaded fused
+/// path while drawing from their own RNG streams. The shard range is
+/// ignored: mean-field draws are position-oblivious.
+#[derive(Debug)]
+pub struct MeanFieldSourceFactory<'a> {
+    pub(crate) sampler: MeanFieldSampler<'a>,
+    pub(crate) fault: Option<&'a FaultPlan>,
+    pub(crate) m: u32,
+}
+
+impl ShardSourceFactory for MeanFieldSourceFactory<'_> {
+    fn shard_source(&self, _range: Range<usize>) -> Box<dyn ObservationSource + '_> {
+        Box::new(MeanFieldSource {
+            sampler: self.sampler,
+            fault: self.fault,
+            m: self.m,
+        })
+    }
+}
+
+/// The engine's [`ObservationSource`] for graph (neighborhood) fused
+/// rounds: for each successive agent, samples `m` neighbors uniformly
+/// **with replacement** from the agent's adjacency list, counts 1-opinions
+/// in the round-start snapshot, and applies per-observation fault
+/// corruption — the sampling semantics of the batched pipeline's
+/// neighborhood branch (same law, its own index-draw stream), delivered
+/// one observation at a time so no observation buffer ever exists.
+///
+/// The source is positional: construction fixes the first vertex it
+/// streams for, and the cursor advances once per draw. The snapshot it
+/// reads is the engine's *round-start opinion double buffer* (all `n`
+/// vertices, sources included), so the fused round preserves the
+/// synchronous semantics — every observation reads round-`t` outputs even
+/// though the kernel writes round-`t+1` outputs in place.
+///
+/// # The owned index stream
+///
+/// The kernel hands sources a `&mut dyn RngCore`, so every word drawn
+/// from it costs a truly opaque virtual call — at `m = 2ℓ` index draws
+/// per agent, that call (and the instruction-level parallelism it
+/// forfeits inside the sampling loop) would dominate a graph observation.
+/// A graph source therefore owns a **concrete** [`SmallRng`] for its
+/// index draws, seeded by a counter-based split of the engine's dedicated
+/// `graph-index` stream and the source's first agent index
+/// ([`fet_stats::rng::counter_split`]): the generator state lives in
+/// registers across the whole sampling loop, and each 64-bit word yields
+/// **two** index lanes.
+/// The kernel's `rng` is still what fault corruption draws from, so the
+/// shard-keyed update stream is untouched. Determinism is preserved
+/// exactly: the index stream is a pure function of
+/// `(engine seed, round, first agent)` — never of worker scheduling.
+#[derive(Debug)]
+pub struct GraphSource<'a> {
+    neighborhood: &'a dyn Neighborhood,
+    snapshot: &'a [Opinion],
+    fault: Option<&'a FaultPlan>,
+    m: u32,
+    /// The vertex the next draw streams for.
+    vertex: u32,
+    /// The owned index-draw generator (see the type-level docs).
+    index_rng: SmallRng,
+}
+
+impl<'a> GraphSource<'a> {
+    /// A source streaming observations for vertices `first_vertex..`, in
+    /// order, drawing neighbor indices from the stream seeded by
+    /// `index_seed`. `snapshot` holds the round-start output of **every**
+    /// vertex (sources included, vertex-id indexed); `fault` should be
+    /// `Some` only when observation noise is active.
+    ///
+    /// Every streamed vertex must have at least one neighbor (the PULL
+    /// model cannot deliver an observation to an isolated vertex —
+    /// engines reject such structures up front via
+    /// [`crate::neighborhood::ensure_observable`]); drawing for an
+    /// isolated vertex panics.
+    pub fn new(
+        neighborhood: &'a dyn Neighborhood,
+        snapshot: &'a [Opinion],
+        fault: Option<&'a FaultPlan>,
+        m: u32,
+        first_vertex: u32,
+        index_seed: u64,
+    ) -> Self {
+        GraphSource {
+            neighborhood,
+            snapshot,
+            fault,
+            m,
+            vertex: first_vertex,
+            index_rng: SmallRng::seed_from_u64(index_seed),
+        }
+    }
+}
+
+impl ObservationSource for GraphSource<'_> {
+    fn next_observation(&mut self, rng: &mut dyn RngCore) -> Observation {
+        let neighbors = self.neighborhood.neighbors_of(self.vertex);
+        debug_assert!(
+            !neighbors.is_empty(),
+            "vertex {} has no neighbors to observe (see ensure_observable)",
+            self.vertex
+        );
+        self.vertex += 1;
+        let d = u32::try_from(neighbors.len()).expect("degree < n fits u32");
+        let raw_ones = if d == 1 {
+            // A degree-1 vertex observes its one neighbor m times:
+            // unanimous by construction, no randomness to draw.
+            u32::from(self.snapshot[neighbors[0] as usize].is_one()) * self.m
+        } else {
+            // Each 64-bit word of the owned index stream yields two
+            // 32-bit lanes; a lane maps into [0, d) by Lemire's
+            // multiply-with-rejection — exactly uniform: it is rejected
+            // iff the low half of `lane · d` falls below 2³² mod d
+            // (never, when d is a power of two; rare otherwise).
+            let threshold = d.wrapping_neg() % d; // 2³² mod d
+            let mut ones = 0u32;
+            let mut word = 0u64;
+            let mut lanes = 0u32;
+            for _ in 0..self.m {
+                let idx = loop {
+                    if lanes == 0 {
+                        word = self.index_rng.next_u64();
+                        lanes = 2;
+                    }
+                    let lane = word as u32;
+                    word >>= 32;
+                    lanes -= 1;
+                    let wide = u64::from(lane) * u64::from(d);
+                    if (wide as u32) >= threshold {
+                        break (wide >> 32) as u32;
+                    }
+                };
+                ones += u32::from(self.snapshot[neighbors[idx as usize] as usize].is_one());
+            }
+            ones
+        };
+        let seen = match self.fault {
+            Some(fault) => fault.corrupt_count(raw_ones, self.m, rng),
+            None => raw_ones,
+        };
+        Observation::new(seen, self.m).expect("corrupt_count preserves the bound")
+    }
+}
+
+/// The engine's [`ShardSourceFactory`] for graph rounds: hands every
+/// shard a [`GraphSource`] whose cursor starts at the shard's first agent
+/// and whose index stream is seeded by
+/// [`counter_split`]`(round_base, range.start)`. The adjacency structure
+/// and the round-start snapshot
+/// are shared read-only across workers; each shard's draws depend only on
+/// its range and the round base, so graph shard streams are
+/// worker-invariant exactly like the mean-field ones. The single-threaded
+/// fused round uses the same factory with the full range `0..n`.
+#[derive(Debug)]
+pub struct GraphSourceFactory<'a> {
+    neighborhood: &'a dyn Neighborhood,
+    snapshot: &'a [Opinion],
+    fault: Option<&'a FaultPlan>,
+    m: u32,
+    /// Vertex id of agent 0 of the stepped slice (= the number of source
+    /// agents, which occupy the lowest vertex ids).
+    vertex_base: u32,
+    /// The round's index-stream base (see [`GraphSourceFactory::new`]).
+    round_base: u64,
+}
+
+impl<'a> GraphSourceFactory<'a> {
+    /// A factory for one round. `vertex_base` is the vertex id of the
+    /// first stepped (non-source) agent; shard ranges are offsets on top
+    /// of it. `index_stream` is the engine's run-level `graph-index` seed
+    /// lane and `round` the global round index: together they form the
+    /// round's counter-derived index-stream base, from which each shard's
+    /// seed splits purely by its range start.
+    pub fn new(
+        neighborhood: &'a dyn Neighborhood,
+        snapshot: &'a [Opinion],
+        fault: Option<&'a FaultPlan>,
+        m: u32,
+        vertex_base: u32,
+        index_stream: u64,
+        round: u64,
+    ) -> Self {
+        GraphSourceFactory {
+            neighborhood,
+            snapshot,
+            fault,
+            m,
+            vertex_base,
+            round_base: counter_stream_base(index_stream, round),
+        }
+    }
+
+    /// Builds the shard source for `range` without boxing — the
+    /// single-threaded fused round calls this with `0..n` and keeps the
+    /// source on the stack (no per-round allocation).
+    pub fn source_for(&self, range: Range<usize>) -> GraphSource<'_> {
+        GraphSource::new(
+            self.neighborhood,
+            self.snapshot,
+            self.fault,
+            self.m,
+            self.vertex_base + u32::try_from(range.start).expect("n is validated to fit u32"),
+            counter_split(self.round_base, range.start as u64),
+        )
+    }
+}
+
+impl ShardSourceFactory for GraphSourceFactory<'_> {
+    fn shard_source(&self, range: Range<usize>) -> Box<dyn ObservationSource + '_> {
+        Box::new(self.source_for(range))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A two-vertex graph where vertex 1 sees only vertex 0.
+    #[derive(Debug, Clone)]
+    struct Funnel;
+
+    impl Neighborhood for Funnel {
+        fn population(&self) -> u32 {
+            2
+        }
+        fn neighbors_of(&self, vertex: u32) -> &[u32] {
+            match vertex {
+                0 => &[1],
+                _ => &[0],
+            }
+        }
+        fn clone_box(&self) -> Box<dyn Neighborhood> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn graph_source_counts_snapshot_ones_along_the_cursor() {
+        let snapshot = [Opinion::One, Opinion::Zero];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut source = GraphSource::new(&Funnel, &snapshot, None, 3, 0, 11);
+        // Vertex 0 sees only vertex 1 (a zero), vertex 1 only vertex 0 (a
+        // one): unanimous counts either way, independent of the RNG.
+        assert_eq!(source.next_observation(&mut rng).ones(), 0);
+        assert_eq!(source.next_observation(&mut rng).ones(), 3);
+    }
+
+    #[test]
+    fn graph_factory_aligns_the_cursor_with_the_shard_range() {
+        let snapshot = [Opinion::One, Opinion::Zero];
+        let factory = GraphSourceFactory::new(&Funnel, &snapshot, None, 2, 0, 9, 3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        // A shard starting at agent 1 streams vertex 1 first.
+        let mut source = factory.shard_source(1..2);
+        assert_eq!(source.next_observation(&mut rng).ones(), 2);
+    }
+
+    #[test]
+    fn index_streams_are_pure_in_round_and_range() {
+        // Same (stream, round, range) ⇒ same draws; different rounds or
+        // range starts ⇒ different streams.
+        let a = GraphSourceFactory::new(&Funnel, &[Opinion::One, Opinion::Zero], None, 2, 0, 9, 3);
+        let b = GraphSourceFactory::new(&Funnel, &[Opinion::One, Opinion::Zero], None, 2, 0, 9, 3);
+        let c = GraphSourceFactory::new(&Funnel, &[Opinion::One, Opinion::Zero], None, 2, 0, 9, 4);
+        assert_eq!(a.round_base, b.round_base);
+        assert_ne!(a.round_base, c.round_base);
+        assert_ne!(
+            counter_split(a.round_base, 0),
+            counter_split(a.round_base, 1)
+        );
+    }
+}

@@ -28,6 +28,29 @@ pub fn splitmix64_mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The per-round base of a counter-based stream split: mixes a run-level
+/// `stream` seed with a `round` counter strided by the SplitMix64 golden
+/// constant. Pure in its inputs — no sequential state, so any round's base
+/// can be derived in any order.
+///
+/// This is the canonical derivation behind every work-sharded stream in
+/// the workspace — `fet_core::shard::ShardPlan` keys the parallel fused
+/// rounds with it, and `fet-sim`'s graph-fused index streams split from
+/// it per shard range: round base from [`counter_stream_base`], then one
+/// independent stream per partition index from [`counter_split`].
+#[inline]
+pub fn counter_stream_base(stream: u64, round: u64) -> u64 {
+    splitmix64_mix(stream.wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Splits one partition's seed out of a round base produced by
+/// [`counter_stream_base`]: pure in `(base, index)`, so any worker may
+/// derive any partition's seed in any order, any number of times.
+#[inline]
+pub fn counter_split(base: u64, index: u64) -> u64 {
+    splitmix64_mix(base ^ splitmix64_mix(index.wrapping_add(1)))
+}
+
 /// Hierarchical deterministic seed source.
 ///
 /// A `SeedTree` maps `(root seed, label path)` to 64-bit seeds. Children are

@@ -2,13 +2,22 @@
 //!
 //! A thin, typed wrapper over `fet_sim::engine::Engine::with_neighborhood`:
 //! an agent at vertex `v` samples (with replacement) from `neighbors(v)`
-//! instead of the whole population. The round mechanics — snapshot
-//! synchrony, batched protocol stepping, counter folds — live in `fet-sim`;
-//! this type only adds the graph-typed construction, accessors, and
-//! `TopologyError` reporting. On the complete graph this engine and the
-//! flat engine coincide up to the excluded self-sample — agents here never
-//! observe themselves, exactly as in the paper where a sample of "other
-//! agents" is drawn (§1.2).
+//! instead of the whole population. The round mechanics live in `fet-sim`
+//! and are selected by `fet_sim::engine::ExecutionMode` exactly as on the
+//! complete graph: by default (`Auto`) a graph round executes as a
+//! **fused single pass** — each agent's observation is drawn on demand
+//! from its neighbors' round-start opinions (a persistent ~1 byte/agent
+//! double buffer), the update applied, the output written in place — and
+//! the buffered batched pipeline remains available via
+//! [`TopologyEngine::set_execution_mode`] (or `--mode batched`) as the
+//! A/B reference. Work-sharded parallel graph rounds
+//! (`ExecutionMode::FusedParallel`) split the vertex range into
+//! contiguous shards over the `Arc`-shared adjacency. This type only adds
+//! the graph-typed construction, accessors, and `TopologyError`
+//! reporting. On the complete graph this engine and the flat engine
+//! coincide up to the excluded self-sample — agents here never observe
+//! themselves, exactly as in the paper where a sample of "other agents"
+//! is drawn (§1.2).
 //!
 //! Sources occupy vertices `[0, num_sources)`; use
 //! [`crate::graph::Graph::with_swapped`] to place the source on a
@@ -21,9 +30,10 @@ use crate::graph::Graph;
 use fet_core::opinion::Opinion;
 use fet_core::protocol::Protocol;
 use fet_sim::convergence::{ConvergenceCriterion, ConvergenceReport};
-use fet_sim::engine::Engine;
+use fet_sim::engine::{Engine, ExecutionMode};
 use fet_sim::init::InitialCondition;
 use fet_sim::observer::RoundObserver;
+use std::sync::Arc;
 
 /// A population of agents running one protocol on an explicit graph.
 ///
@@ -52,7 +62,10 @@ use fet_sim::observer::RoundObserver;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TopologyEngine<P: Protocol + std::fmt::Debug + Send + Sync> {
-    graph: Graph,
+    /// The adjacency structure, shared with the inner engine's boxed
+    /// `Neighborhood` (and with every engine clone) behind an `Arc`: the
+    /// CSR arrays exist once, however many handles read them.
+    graph: Arc<Graph>,
     inner: Engine<P>,
 }
 
@@ -83,9 +96,10 @@ impl<P: Protocol + std::fmt::Debug + Send + Sync> TopologyEngine<P> {
                 detail: format!("need 1 ≤ num_sources < n = {n}, got {num_sources}"),
             });
         }
+        let graph = Arc::new(graph);
         let inner = Engine::with_neighborhood(
             protocol,
-            Box::new(graph.clone()),
+            Box::new(crate::graph::SharedGraph::new(Arc::clone(&graph))),
             num_sources,
             correct,
             init,
@@ -96,6 +110,34 @@ impl<P: Protocol + std::fmt::Debug + Send + Sync> TopologyEngine<P> {
             detail: e.to_string(),
         })?;
         Ok(TopologyEngine { graph, inner })
+    }
+
+    /// Selects which round implementation executes graph rounds (default
+    /// [`ExecutionMode::Auto`], which resolves to the fused single pass —
+    /// see [`Engine::set_execution_mode`] for the stream caveat).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Sim`] for
+    /// [`ExecutionMode::FusedParallel`] with zero threads or a protocol
+    /// that opts out of parallel sharding. (Graph runs accept the whole
+    /// fused family; only the complete-graph literal fidelity — which
+    /// this engine never uses — rejects it.)
+    pub fn set_execution_mode(&mut self, mode: ExecutionMode) -> Result<(), TopologyError> {
+        Ok(self.inner.set_execution_mode(mode)?)
+    }
+
+    /// The configured execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.inner.execution_mode()
+    }
+
+    /// Bytes of auxiliary round buffers currently allocated (see
+    /// [`Engine::round_scratch_bytes`]): graph-fused rounds keep exactly
+    /// the persistent ~1 byte/agent opinion double buffer, batched graph
+    /// rounds add the observation/output scratch on top.
+    pub fn round_scratch_bytes(&self) -> usize {
+        self.inner.round_scratch_bytes()
     }
 
     /// The underlying graph.

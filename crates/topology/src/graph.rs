@@ -278,6 +278,23 @@ impl Graph {
         }
         Ok(())
     }
+
+    /// The raw CSR offset array: `csr_offsets()[v]..csr_offsets()[v + 1]`
+    /// indexes [`Graph::csr_neighbors`] for vertex `v` (length `n + 1`).
+    ///
+    /// Together with [`Graph::csr_neighbors`] this exposes the whole
+    /// adjacency structure as two borrows — what shard workers of the
+    /// graph-fused round read concurrently (through an
+    /// `Arc<Graph>`-backed `Neighborhood`) without cloning anything.
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated sorted adjacency lists (see
+    /// [`Graph::csr_offsets`]).
+    pub fn csr_neighbors(&self) -> &[u32] {
+        &self.neighbors
+    }
 }
 
 /// Graphs plug straight into the unified `Simulation` facade:
@@ -290,6 +307,63 @@ impl fet_sim::neighborhood::Neighborhood for Graph {
 
     fn neighbors_of(&self, vertex: u32) -> &[u32] {
         self.neighbors(vertex)
+    }
+
+    fn clone_box(&self) -> Box<dyn fet_sim::neighborhood::Neighborhood> {
+        Box::new(self.clone())
+    }
+}
+
+/// The shared-adjacency form of a [`Graph`]: an `Arc`-backed
+/// `Neighborhood` whose `clone_box` is a reference-count bump instead of
+/// an `O(n + m)` CSR copy.
+///
+/// [`crate::engine::TopologyEngine`] hands the engine this form so that
+/// engine clones (trajectory snapshots, batch replication) and the
+/// engine's own boxed copy all read one adjacency structure — and so
+/// graph-fused shard workers share it without any duplication.
+///
+/// # Example
+///
+/// ```
+/// use fet_sim::neighborhood::Neighborhood;
+/// use fet_topology::graph::{Graph, SharedGraph};
+/// use std::sync::Arc;
+///
+/// let g = Arc::new(Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])?);
+/// let shared = SharedGraph::new(Arc::clone(&g));
+/// let boxed = shared.clone_box(); // no CSR copy, just a refcount bump
+/// assert_eq!(boxed.neighbors_of(1), g.neighbors(1));
+/// # Ok::<(), fet_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedGraph(std::sync::Arc<Graph>);
+
+impl SharedGraph {
+    /// Wraps an already-shared graph.
+    pub fn new(graph: std::sync::Arc<Graph>) -> Self {
+        SharedGraph(graph)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.0
+    }
+}
+
+impl From<Graph> for SharedGraph {
+    fn from(graph: Graph) -> Self {
+        SharedGraph(std::sync::Arc::new(graph))
+    }
+}
+
+impl fet_sim::neighborhood::Neighborhood for SharedGraph {
+    fn population(&self) -> u32 {
+        self.0.n()
+    }
+
+    fn neighbors_of(&self, vertex: u32) -> &[u32] {
+        self.0.neighbors(vertex)
     }
 
     fn clone_box(&self) -> Box<dyn fet_sim::neighborhood::Neighborhood> {

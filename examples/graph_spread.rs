@@ -20,6 +20,12 @@
 //! with n; see experiment E18). The star freezes outright: FET reads
 //! *temporal differences* of observations, and a constant unanimous stream
 //! carries no trend, so the tie rule locks each leaf's round-1 opinion.
+//!
+//! Graph runs execute on the **fused** single-pass round (forced
+//! explicitly below; `ExecutionMode::Auto` resolves there too): each
+//! agent's observation is drawn on demand from its neighbors' round-start
+//! opinions — no observation buffer, just the persistent ~1 byte/agent
+//! opinion double buffer.
 
 use fet::prelude::*;
 use fet::topology::builders;
@@ -46,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut sim = Simulation::builder()
             .topology(graph)
             .seed(7)
+            .execution_mode(ExecutionMode::Fused)
             .stability_window(5)
             .max_rounds(20_000)
             .build()?;

@@ -13,6 +13,14 @@
 //! enters the stream derivation) — with `FET_DETERMINISM_DUMP` pointing at
 //! a file, and diffs the two serialized trajectory dumps. Any scheduling
 //! or worker-count leak into the stream shows up as a diff.
+//!
+//! The **graph leg** does the same for neighborhood runs: parallel
+//! graph-fused rounds shard the vertex range and read adjacency + the
+//! round-start opinion buffer through range-aligned `GraphSource`s, so
+//! their streams must be exactly as worker-invariant as the mean-field
+//! ones. `graph_parallel_stream_identity_matrix` serializes
+//! random-regular-graph trajectories to `FET_DETERMINISM_DUMP_GRAPH` for
+//! the same cross-worker-count byte-diff.
 
 use fet::prelude::*;
 use fet::sim::observer::TrajectoryRecorder;
@@ -123,5 +131,94 @@ fn parallel_stream_identity_matrix() {
     );
     if let Ok(path) = std::env::var("FET_DETERMINISM_DUMP") {
         std::fs::write(&path, dump).expect("write determinism dump");
+    }
+}
+
+// ---- the graph leg ----
+
+/// A fixed random-regular instance for the graph matrix (built from its
+/// own seed lane so the engine seed stays the run key).
+fn regular_graph() -> fet::topology::graph::Graph {
+    let mut rng = fet::stats::rng::SeedTree::new(0x6AF)
+        .child("determinism-graph")
+        .rng();
+    fet::topology::builders::random_regular(N as u32, 24, &mut rng).unwrap()
+}
+
+fn graph_typed_trajectory(shards: u32, fault: FaultPlan) -> Vec<f64> {
+    let ell = ell_for_population(N, 4.0);
+    let mut engine = Engine::with_neighborhood(
+        FetProtocol::new(ell).unwrap(),
+        Box::new(regular_graph()),
+        1,
+        Opinion::One,
+        InitialCondition::AllWrong,
+        SEED,
+    )
+    .unwrap();
+    engine.set_fault_plan(fault);
+    engine
+        .set_execution_mode(ExecutionMode::FusedParallel { threads: shards })
+        .unwrap();
+    let mut rec = TrajectoryRecorder::new();
+    engine.run(MAX_ROUNDS, ConvergenceCriterion::new(3), &mut rec);
+    rec.into_fractions()
+}
+
+fn graph_facade_trajectory(shards: u32, fault: FaultPlan) -> Vec<f64> {
+    Simulation::builder()
+        .topology(regular_graph())
+        .seed(SEED)
+        .fault(fault)
+        .max_rounds(MAX_ROUNDS)
+        .execution_mode(ExecutionMode::FusedParallel { threads: shards })
+        .record_trajectory(true)
+        .build()
+        .unwrap()
+        .run()
+        .trajectory
+        .expect("recording requested")
+}
+
+/// The graph-mode determinism matrix: parallel graph-fused trajectories
+/// must be keyed by `(seed, shard count)` alone — identical across the
+/// typed and facade representations, across repeated runs, and (via CI's
+/// byte-diff of the serialized dump) across worker counts.
+#[test]
+fn graph_parallel_stream_identity_matrix() {
+    let graph_cases: Vec<(&str, FaultPlan)> = vec![
+        ("plain", FaultPlan::none()),
+        ("noise", FaultPlan::with_noise(0.02)),
+        (
+            "retarget",
+            FaultPlan::with_source_retarget(7, Opinion::Zero),
+        ),
+    ];
+    let mut dump = String::new();
+    let workers = std::env::var("FET_PARALLEL_WORKERS").unwrap_or_else(|_| "unset".into());
+    for shards in SHARD_COUNTS {
+        for (label, fault) in &graph_cases {
+            let typed = graph_typed_trajectory(shards, *fault);
+            let facade = graph_facade_trajectory(shards, *fault);
+            assert_eq!(
+                typed, facade,
+                "graph shards={shards} case={label} (workers={workers}): \
+                 typed vs facade trajectories diverged"
+            );
+            let again = graph_typed_trajectory(shards, *fault);
+            assert_eq!(
+                typed, again,
+                "graph shards={shards} case={label} (workers={workers}): replay diverged"
+            );
+            dump.push_str(&render(label, shards, &typed));
+        }
+    }
+    assert_ne!(
+        graph_typed_trajectory(1, FaultPlan::none()),
+        graph_typed_trajectory(2, FaultPlan::none()),
+        "graph shard counts must key distinct streams"
+    );
+    if let Ok(path) = std::env::var("FET_DETERMINISM_DUMP_GRAPH") {
+        std::fs::write(&path, dump).expect("write graph determinism dump");
     }
 }

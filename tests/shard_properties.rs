@@ -14,6 +14,13 @@
 //!   move draws across agents);
 //! * **counter correctness** — the reduced per-shard counters equal a
 //!   recount of the written outputs, and shard ranges partition `[0, n)`.
+//!
+//! The graph-fused round adds a fourth leg: **range alignment** of the
+//! positional `GraphSource` — every shard's source must start streaming
+//! at exactly the shard's first vertex, over arbitrarily *irregular* CSR
+//! layouts (stars with degree-1 leaves, cycles, paths with degree-1
+//! endpoints), odd population sizes, and the degenerate `n < threads`
+//! case.
 
 use fet::prelude::*;
 use fet::sim::observer::TrajectoryRecorder;
@@ -51,7 +58,7 @@ struct UniformFactory {
 }
 
 impl ShardSourceFactory for UniformFactory {
-    fn shard_source(&self) -> Box<dyn ObservationSource + '_> {
+    fn shard_source(&self, _range: std::ops::Range<usize>) -> Box<dyn ObservationSource + '_> {
         Box::new(UniformSource { m: self.m })
     }
 }
@@ -167,5 +174,122 @@ proptest! {
             rec.into_fractions()
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Kernel level, graph leg: the parallel dispatch with range-aligned
+    /// `GraphSource`s replays the sequential shard-by-shard reference over
+    /// irregular CSR layouts — so no shard can start its cursor at the
+    /// wrong vertex, whatever the degree sequence or the `n`/`shards`
+    /// ratio.
+    #[test]
+    fn graph_parallel_kernel_aligns_source_ranges(
+        half_n in 2usize..60,
+        shards in 1u32..20,
+        workers in 1u32..6,
+        stream in 0u64..500,
+        kind in 0u32..3,
+    ) {
+        let n_total = (2 * half_n + 1) as u32; // odd, ≥ 5 vertices
+        let graph = irregular_graph(kind, n_total);
+        let num_sources = 1usize; // vertex 0 is the source
+        let n = n_total as usize - num_sources;
+        let ell = 3u32;
+        let protocol = FetProtocol::new(ell).unwrap();
+        let m = protocol.samples_per_round();
+        let ctx = RoundContext::new(1);
+        // A fixed, non-uniform round-start snapshot over all vertices.
+        let snapshot: Vec<Opinion> = (0..n_total)
+            .map(|v| if v % 3 == 0 { Opinion::One } else { Opinion::Zero })
+            .collect();
+        let factory = fet_sim::sources::GraphSourceFactory::new(
+            &graph,
+            &snapshot,
+            None,
+            m,
+            num_sources as u32,
+            stream ^ 0xA5A5,
+            4,
+        );
+        let plan = ShardPlan::new(shards, workers, stream, 4);
+        // Reference: shards processed sequentially, each with its
+        // plan-derived RNG and its range-aligned source.
+        let mut reference = filled_population(ell, n, stream);
+        let mut ref_out = vec![Opinion::Zero; n];
+        let mut ref_counters = FusedCounters::default();
+        for s in 0..shards {
+            let range = plan.shard_range(n, s);
+            let mut rng = plan.rng_for_shard(s);
+            let mut source = fet_core::shard::ShardSourceFactory::shard_source(
+                &factory,
+                range.clone(),
+            );
+            let c = protocol.step_fused(
+                &mut reference.states_mut()[range.clone()],
+                source.as_mut(),
+                &ctx,
+                &mut rng,
+                Opinion::One,
+                &mut ref_out[range],
+            );
+            ref_counters += c;
+        }
+        // Parallel dispatch under the given worker count.
+        let mut pop = filled_population(ell, n, stream);
+        let mut out = vec![Opinion::Zero; n];
+        let counters = pop.step_fused_parallel(&factory, &ctx, &plan, Opinion::One, &mut out);
+        prop_assert_eq!(
+            pop.states(), reference.states(),
+            "kind={} n={} shards={} workers={}: states diverged", kind, n, shards, workers
+        );
+        prop_assert_eq!(&out, &ref_out);
+        prop_assert_eq!(counters, ref_counters);
+        prop_assert_eq!(counters.ones, out.iter().filter(|o| o.is_one()).count() as u64);
+    }
+
+    /// Engine level, graph leg: full graph-fused-parallel runs over
+    /// irregular layouts replay per (seed, shards) and match the facade —
+    /// including sleepy fallbacks and `n < threads`.
+    #[test]
+    fn graph_parallel_engines_replay_over_irregular_layouts(
+        half_n in 3usize..25,
+        threads in 1u32..24,
+        seed in 0u64..100,
+        kind in 0u32..3,
+    ) {
+        let n = (2 * half_n + 1) as u32;
+        let run = || {
+            let mut engine = Engine::with_neighborhood(
+                FetProtocol::new(2).unwrap(),
+                Box::new(irregular_graph(kind, n)),
+                1,
+                Opinion::One,
+                InitialCondition::Random,
+                seed,
+            )
+            .unwrap();
+            engine
+                .set_execution_mode(ExecutionMode::FusedParallel { threads })
+                .unwrap();
+            let mut rec = TrajectoryRecorder::new();
+            engine.run(15, ConvergenceCriterion::new(3), &mut rec);
+            rec.into_fractions()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Irregular CSR layouts for the graph legs: a star (hub degree `n−1`,
+/// leaves degree 1), a cycle (uniform degree 2), and a path (degree-1
+/// endpoints) — the shapes whose adjacency slices differ most across a
+/// shard boundary.
+fn irregular_graph(kind: u32, n: u32) -> fet::topology::graph::Graph {
+    use fet::topology::{builders, graph::Graph};
+    match kind {
+        0 => builders::star(n).unwrap(),
+        1 => builders::ring_lattice(n, 1).unwrap(),
+        _ => {
+            let edges: Vec<(u32, u32)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+            Graph::from_edges(n, &edges).unwrap()
+        }
     }
 }
