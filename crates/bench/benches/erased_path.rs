@@ -30,6 +30,7 @@
 //! `FET_BENCH_LARGE` episode).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fet_bench::host_parallelism_note;
 use fet_core::config::{ell_for_population, ProblemSpec};
 use fet_core::erased::ErasedProtocol;
 use fet_core::fet::FetProtocol;
@@ -70,6 +71,7 @@ fn population_engine(n: u64, mode: ExecutionMode) -> PopulationEngine {
 }
 
 fn bench_round(c: &mut Criterion) {
+    host_parallelism_note(bench_threads() as usize);
     let mut group = c.benchmark_group("erased_path_round");
     for &n in &SIZES {
         let ell = ell_for_population(n, 4.0);

@@ -19,6 +19,7 @@
 //! the opt-in 10⁷ episode. Numbers are recorded in `docs/BENCHMARKS.md`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fet_bench::host_parallelism_note;
 use fet_core::fet::FetProtocol;
 use fet_core::opinion::Opinion;
 use fet_sim::engine::ExecutionMode;
@@ -47,6 +48,7 @@ fn bench_threads() -> u32 {
 }
 
 fn bench_graph_round(c: &mut Criterion) {
+    host_parallelism_note(bench_threads() as usize);
     let mut group = c.benchmark_group("graph_round");
     let parallel = ExecutionMode::FusedParallel {
         threads: bench_threads(),

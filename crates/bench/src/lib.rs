@@ -76,6 +76,20 @@ pub fn default_out_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/experiments"))
 }
 
+/// Prints a one-line note when the host offers fewer cores than a
+/// parallel benchmark variant assumes, so recorded numbers are
+/// self-documenting: on a starved host the parallel variants measure
+/// dispatch overhead, not speedup.
+pub fn host_parallelism_note(required: usize) {
+    let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if available < required {
+        eprintln!(
+            "note: host offers {available} core(s) but parallel variants assume {required}; \
+             parallel timings below measure scheduling overhead, not speedup"
+        );
+    }
+}
+
 /// Formats an `Option<u64>` convergence time for tables.
 pub fn fmt_opt_time(t: Option<u64>) -> String {
     match t {

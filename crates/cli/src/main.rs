@@ -41,7 +41,11 @@ use fet_sim::engine::{ExecutionMode, Fidelity};
 use fet_sim::init::InitialCondition;
 use fet_sim::simulation::{Scheduler, Simulation, SimulationBuilder};
 use fet_stats::compare::CoinCompetition;
+use fet_sweep::runner::{run_sweep, SweepOptions};
+use fet_sweep::serve::SweepServer;
+use fet_sweep::spec::SweepSpec;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -50,7 +54,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(&args[1..]) {
+    // `sweep` takes its spec file as a positional argument.
+    let mut rest = &args[1..];
+    let mut positional: Option<String> = None;
+    if cmd == "sweep" {
+        if let Some(first) = rest.first() {
+            if !first.starts_with("--") {
+                positional = Some(first.clone());
+                rest = &rest[1..];
+            }
+        }
+    }
+    let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -68,6 +83,8 @@ fn main() -> ExitCode {
         "baselines" => cmd_baselines(&flags),
         "topology" => cmd_topology(&flags),
         "conflict" => cmd_conflict(&flags),
+        "sweep" => cmd_sweep(positional.as_deref(), &flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -96,6 +113,13 @@ commands:
   baselines      comparison table over every registered protocol
   topology       any protocol on a non-complete graph (complete|er|regular|ring|star|barbell|smallworld)
   conflict       long-run occupancy under honest conflicting stubborn sources
+  sweep          run a parameter grid × seed range from a JSON spec file:
+                 `fet sweep spec.json [--workers W] [--manifest PATH] [--limit K] [--quiet]`
+                 --manifest checkpoints every episode; re-running resumes and the
+                 finalized file is byte-identical whatever the interruptions/workers
+                 (worker default: $FET_SWEEP_WORKERS, else all cores)
+  serve          sweep daemon: `fet serve [--addr 127.0.0.1:7878] [--workers W]`
+                 POST /sweep streams NDJSON episode records; GET /status reports the queue
 
 common flags: --n N  --protocol NAME  --ell L  --c C  --seed S  --delta D
               --steps K  --reps R  --init all-wrong|all-correct|random
@@ -120,7 +144,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected a --flag, got `{a}`"));
         };
         // Boolean switches.
-        if name == "agent-level" || name == "quick" {
+        if name == "agent-level" || name == "quick" || name == "quiet" {
             flags.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -553,6 +577,90 @@ fn cmd_conflict(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Worker-count resolution for the episode tier: `--workers`, then the
+/// `FET_SWEEP_WORKERS` environment variable, then every host core.
+/// (Distinct from `FET_PARALLEL_WORKERS`, which caps the *round-sharding*
+/// tier inside a single fused-parallel simulation.)
+fn sweep_workers(flags: &Flags) -> Result<usize, String> {
+    let workers = match flags.get("workers") {
+        Some(w) => w.parse().map_err(|_| format!("invalid --workers `{w}`"))?,
+        None => match std::env::var("FET_SWEEP_WORKERS") {
+            Ok(w) => w
+                .parse()
+                .map_err(|_| format!("invalid FET_SWEEP_WORKERS `{w}`"))?,
+            Err(_) => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        },
+    };
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    Ok(workers)
+}
+
+fn cmd_sweep(spec_path: Option<&str>, flags: &Flags) -> Result<(), String> {
+    let Some(path) = spec_path
+        .map(str::to_string)
+        .or_else(|| flags.get("spec").cloned())
+    else {
+        return Err("sweep needs a spec file: `fet sweep <spec.json>`".into());
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let spec = SweepSpec::parse(&text).map_err(|e| e.to_string())?;
+    let workers = sweep_workers(flags)?;
+    let episode_limit = match flags.get("limit") {
+        None => None,
+        Some(k) => Some(k.parse().map_err(|_| format!("invalid --limit `{k}`"))?),
+    };
+    let options = SweepOptions {
+        workers,
+        manifest: flags.get("manifest").map(PathBuf::from),
+        episode_limit,
+        progress: !flags.contains_key("quiet"),
+    };
+    let outcome = run_sweep(&spec, &options).map_err(|e| e.to_string())?;
+    println!(
+        "sweep {}: {} cells × {} seeds = {} episodes | {} resumed, {} run now | \
+         {:.2}s, {:.1} ep/s, {workers} workers",
+        spec.hash(),
+        spec.cell_count(),
+        spec.seeds.count,
+        spec.episode_count(),
+        outcome.resumed,
+        outcome.completed_now,
+        outcome.elapsed.as_secs_f64(),
+        outcome.throughput(),
+    );
+    println!(
+        "warm cache: {} protocol instances, {} graphs",
+        outcome.protocols_cached, outcome.graphs_cached
+    );
+    match outcome.report {
+        Some(report) => println!("{report}"),
+        None => println!(
+            "partial: {} of {} episodes checkpointed; re-run the same command to resume",
+            outcome.records.len(),
+            spec.episode_count()
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let workers = sweep_workers(flags)?;
+    let server = SweepServer::bind(&addr, workers).map_err(|e| e.to_string())?;
+    println!(
+        "fet serve listening on http://{} ({workers} workers)",
+        server.local_addr()
+    );
+    println!("  POST /sweep   submit a spec document; the response streams NDJSON episode records");
+    println!("  GET  /status  queue depth, in-flight episodes, throughput counters");
+    server.run_forever()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -669,6 +777,25 @@ mod tests {
             Scheduler::Asynchronous
         );
         assert!(get_scheduler(&flags_of(&["--scheduler", "warp"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn sweep_workers_flag_beats_default_and_rejects_zero() {
+        let f = flags_of(&["--workers", "3"]).unwrap();
+        assert_eq!(sweep_workers(&f).unwrap(), 3);
+        let f = flags_of(&["--workers", "0"]).unwrap();
+        assert!(sweep_workers(&f).is_err());
+        let f = flags_of(&["--workers", "three"]).unwrap();
+        assert!(sweep_workers(&f).is_err());
+        assert!(sweep_workers(&flags_of(&[]).unwrap()).unwrap() >= 1);
+    }
+
+    #[test]
+    fn sweep_requires_a_spec_path() {
+        let err = cmd_sweep(None, &flags_of(&[]).unwrap()).unwrap_err();
+        assert!(err.contains("spec file"), "{err}");
+        let err = cmd_sweep(Some("/nonexistent/spec.json"), &flags_of(&[]).unwrap()).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
     }
 
     #[test]

@@ -28,6 +28,8 @@ fn help_lists_commands() {
         "coins",
         "impossibility",
         "baselines",
+        "sweep",
+        "serve",
     ] {
         assert!(text.contains(cmd), "help missing `{cmd}`");
     }
@@ -254,4 +256,147 @@ fn flag_without_value_fails() {
     let out = fet().args(["run", "--n"]).output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+}
+
+// ---------------------------------------------------------------- sweep
+
+/// Writes a spec file into a fresh per-test temp directory.
+fn sweep_dir(name: &str, spec: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fet-cli-sweep-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::write(dir.join("spec.json"), spec).expect("spec written");
+    dir
+}
+
+const SMALL_SPEC: &str =
+    r#"{"n": [100], "noise": [0, 0.05], "seeds": {"base": 3, "count": 3}, "max_rounds": 3000}"#;
+
+#[test]
+fn sweep_runs_a_grid_and_prints_the_report() {
+    let dir = sweep_dir("grid", SMALL_SPEC);
+    let spec = dir.join("spec.json");
+    let text = run_ok(&["sweep", spec.to_str().unwrap(), "--workers", "2", "--quiet"]);
+    assert!(text.contains("6 episodes"), "{text}");
+    assert!(text.contains("mean T"), "per-cell table expected: {text}");
+    assert!(
+        text.contains("convergence times"),
+        "histogram expected: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_manifests_are_worker_count_invariant() {
+    let dir = sweep_dir("workers", SMALL_SPEC);
+    let spec = dir.join("spec.json");
+    let m1 = dir.join("w1.jsonl");
+    let m4 = dir.join("w4.jsonl");
+    run_ok(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--workers",
+        "1",
+        "--quiet",
+        "--manifest",
+        m1.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--workers",
+        "4",
+        "--quiet",
+        "--manifest",
+        m4.to_str().unwrap(),
+    ]);
+    let b1 = std::fs::read(&m1).unwrap();
+    let b4 = std::fs::read(&m4).unwrap();
+    assert!(!b1.is_empty());
+    assert_eq!(b1, b4, "finalized manifests must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_resumes_a_limited_run_to_the_same_bytes() {
+    let dir = sweep_dir("resume", SMALL_SPEC);
+    let spec = dir.join("spec.json");
+    let interrupted = dir.join("interrupted.jsonl");
+    let reference = dir.join("reference.jsonl");
+    run_ok(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--quiet",
+        "--manifest",
+        reference.to_str().unwrap(),
+    ]);
+    // First pass stops after two episodes; the second finishes the sweep.
+    let partial = run_ok(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--quiet",
+        "--limit",
+        "2",
+        "--manifest",
+        interrupted.to_str().unwrap(),
+    ]);
+    assert!(partial.contains("partial: 2 of 6"), "{partial}");
+    let resumed = run_ok(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--quiet",
+        "--manifest",
+        interrupted.to_str().unwrap(),
+    ]);
+    assert!(resumed.contains("2 resumed, 4 run now"), "{resumed}");
+    assert_eq!(
+        std::fs::read(&interrupted).unwrap(),
+        std::fs::read(&reference).unwrap(),
+        "kill-then-resume must reproduce the uninterrupted manifest"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_rejects_malformed_specs_with_context() {
+    for (spec, needle) in [
+        (r#"{"n": [100,}"#, "JSON"),
+        (r#"{"noise": [0.1]}"#, "`n` is required"),
+        (r#"{"n": [100], "mode": "warp"}"#, "unknown `mode`"),
+        (r#"{"n": [100], "frobnicate": 1}"#, "unknown field"),
+    ] {
+        let dir = sweep_dir("malformed", spec);
+        let path = dir.join("spec.json");
+        let out = fet()
+            .args(["sweep", path.to_str().unwrap(), "--quiet"])
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "spec `{spec}` must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(stderr.contains(needle), "spec `{spec}`: {stderr}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn sweep_validates_flags() {
+    let dir = sweep_dir("flags", SMALL_SPEC);
+    let path = dir.join("spec.json");
+    for args in [
+        vec!["sweep"],
+        vec!["sweep", path.to_str().unwrap(), "--workers", "0"],
+        vec!["sweep", path.to_str().unwrap(), "--workers", "many"],
+        vec!["sweep", path.to_str().unwrap(), "--limit", "few"],
+        vec!["sweep", "/nonexistent/spec.json"],
+    ] {
+        let out = fet().args(&args).output().expect("binary runs");
+        assert!(!out.status.success(), "`fet {}` must fail", args.join(" "));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

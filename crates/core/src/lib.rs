@@ -58,6 +58,7 @@ pub mod fet;
 pub mod memory;
 pub mod observation;
 pub mod opinion;
+pub mod pool;
 pub mod population;
 pub mod protocol;
 pub mod shard;

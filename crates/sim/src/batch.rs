@@ -5,6 +5,13 @@
 //! batch layer only changes *when* replicates run, never *what* they
 //! compute.
 //!
+//! Since PR 6 the execution itself is delegated to the workspace-wide
+//! work-stealing runner ([`fet_core::pool`]) — the same injector +
+//! per-worker-deque scheduler the episode-parallel sweep engine
+//! (`fet-sweep`) saturates cores with. This module keeps only the
+//! replicate-shaped API (`parallel_map`, [`run_replicated`]) and the
+//! summary statistics; its former bespoke chunked thread loop is gone.
+//!
 //! [`SeedTree`]: fet_stats::rng::SeedTree
 
 use crate::convergence::ConvergenceReport;
@@ -15,9 +22,10 @@ use std::sync::Mutex;
 /// Maps `f` over `items` on up to `threads` worker threads, preserving
 /// input order in the output.
 ///
-/// Work is split into contiguous chunks; each worker writes results
-/// directly into its disjoint output slice, so no locking is involved in
-/// the hot path.
+/// Runs on the workspace work-stealing pool
+/// ([`fet_core::pool::run_indexed`]): jobs are keyed by index and write
+/// only their own result slot, so the output is identical for every
+/// thread count.
 ///
 /// # Panics
 ///
@@ -37,28 +45,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1);
-    if items.is_empty() {
-        return Vec::new();
-    }
-    if threads == 1 || items.len() == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    fet_core::pool::run_indexed(items.len(), threads, |i| f(&items[i]))
 }
 
 /// Aggregated outcome of a batch of convergence runs.

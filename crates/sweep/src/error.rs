@@ -1,0 +1,67 @@
+//! Error type for the sweep engine.
+
+use crate::json::JsonError;
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong assembling or running a sweep.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The spec document is not valid JSON.
+    Json(JsonError),
+    /// The spec parsed but describes an invalid sweep.
+    Spec {
+        /// What is wrong, naming the offending field.
+        detail: String,
+    },
+    /// A filesystem operation on the manifest failed.
+    Io(io::Error),
+    /// A manifest exists but belongs to a different spec.
+    ManifestMismatch {
+        /// Hash recorded in the manifest header.
+        found: String,
+        /// Hash of the spec being run.
+        expected: String,
+    },
+    /// The underlying simulation rejected an episode configuration.
+    Sim(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Json(e) => write!(f, "spec is not valid JSON: {e}"),
+            SweepError::Spec { detail } => write!(f, "invalid sweep spec: {detail}"),
+            SweepError::Io(e) => write!(f, "manifest I/O failed: {e}"),
+            SweepError::ManifestMismatch { found, expected } => write!(
+                f,
+                "manifest belongs to a different spec (manifest hash {found}, \
+                 spec hash {expected}); delete the manifest or fix the spec path"
+            ),
+            SweepError::Sim(detail) => write!(f, "episode configuration rejected: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<JsonError> for SweepError {
+    fn from(e: JsonError) -> Self {
+        SweepError::Json(e)
+    }
+}
+
+impl From<io::Error> for SweepError {
+    fn from(e: io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+impl SweepError {
+    /// Convenience constructor for spec-validation failures.
+    pub fn spec(detail: impl Into<String>) -> Self {
+        SweepError::Spec {
+            detail: detail.into(),
+        }
+    }
+}

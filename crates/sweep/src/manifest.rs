@@ -1,0 +1,345 @@
+//! The on-disk checkpoint a sweep can be killed and resumed from.
+//!
+//! A manifest is a JSON-lines file. The first line is a header naming
+//! the format version and the spec (by hash and by canonical body); each
+//! following line is one completed [`EpisodeRecord`].
+//!
+//! Two phases with different write disciplines:
+//!
+//! * **Journal** — while the sweep runs, records append in *completion*
+//!   order, flushed per line. A kill can truncate at most the final
+//!   line, which the loader tolerates and drops. Completion order is
+//!   scheduling-dependent, so a journal is not canonical — it is a crash
+//!   log, not an artifact.
+//! * **Canonical** — when every episode is present, [`Manifest::finalize`]
+//!   rewrites the file with records sorted by episode index and marks the
+//!   header complete. Because each record is a pure function of its
+//!   episode index, the canonical bytes are identical whatever the worker
+//!   count and however many kill/resume cycles preceded them.
+
+use crate::error::SweepError;
+use crate::json::Json;
+use crate::spec::{EpisodeRecord, SweepSpec};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// Format version stamped into headers; bumped on incompatible change.
+pub const MANIFEST_VERSION: i64 = 1;
+
+/// An open manifest: the journal file plus the set of episodes already
+/// recorded in it.
+#[derive(Debug)]
+pub struct Manifest {
+    path: PathBuf,
+    journal: File,
+    /// Completed records keyed by episode index (deduplicated: the first
+    /// record for an index wins, matching replay semantics).
+    records: BTreeMap<u64, EpisodeRecord>,
+    complete: bool,
+}
+
+impl Manifest {
+    /// Opens `path` for the given spec, creating it with a fresh header
+    /// when absent, or loading completed episodes when resuming.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::ManifestMismatch`] when the file belongs to a
+    /// different spec, [`SweepError::Spec`] when the header is
+    /// malformed, [`SweepError::Io`] on filesystem failure.
+    pub fn open(path: &Path, spec: &SweepSpec) -> Result<Manifest, SweepError> {
+        let expected = spec.hash();
+        let mut records = BTreeMap::new();
+        let mut complete = false;
+        let exists = path.exists();
+        if exists {
+            let reader = BufReader::new(File::open(path)?);
+            let mut lines = reader.lines();
+            let header_line = match lines.next() {
+                Some(line) => line?,
+                None => String::new(),
+            };
+            if !header_line.is_empty() {
+                let header = Json::parse(&header_line)
+                    .map_err(|e| SweepError::spec(format!("manifest header: {e}")))?;
+                let found = header
+                    .get("spec_hash")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| SweepError::spec("manifest header missing `spec_hash`"))?
+                    .to_string();
+                if found != expected {
+                    return Err(SweepError::ManifestMismatch { found, expected });
+                }
+                complete = header
+                    .get("complete")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                let mut buffered: Vec<String> = Vec::new();
+                for line in lines {
+                    buffered.push(line?);
+                }
+                let last = buffered.len().saturating_sub(1);
+                for (i, line) in buffered.iter().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match Json::parse(line)
+                        .map_err(SweepError::from)
+                        .and_then(|v| EpisodeRecord::from_json(&v))
+                    {
+                        Ok(record) => {
+                            records.entry(record.episode).or_insert(record);
+                        }
+                        // Only the final line may be damaged — that is
+                        // the kill-mid-write signature. Damage anywhere
+                        // else means the file is not ours to trust.
+                        Err(e) if i == last => {
+                            let _ = e;
+                        }
+                        Err(e) => {
+                            return Err(SweepError::spec(format!(
+                                "manifest line {} is corrupt: {e}",
+                                i + 2
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        let mut journal = OpenOptions::new().create(true).append(true).open(path)?;
+        if !exists || journal.metadata()?.len() == 0 {
+            let header = header_json(spec, false);
+            writeln!(journal, "{header}")?;
+            journal.flush()?;
+        }
+        Ok(Manifest {
+            path: path.to_path_buf(),
+            journal,
+            records,
+            complete,
+        })
+    }
+
+    /// Episode indices already completed (sorted ascending).
+    pub fn completed(&self) -> impl Iterator<Item = u64> + '_ {
+        self.records.keys().copied()
+    }
+
+    /// `true` when `episode` is already recorded.
+    pub fn contains(&self, episode: u64) -> bool {
+        self.records.contains_key(&episode)
+    }
+
+    /// Number of completed episodes.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no episodes are recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// `true` when a previous run finalized this manifest.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The records, in episode-index order.
+    pub fn records(&self) -> impl Iterator<Item = &EpisodeRecord> {
+        self.records.values()
+    }
+
+    /// Appends one completed episode to the journal, flushed before
+    /// return so a later kill cannot lose it.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] on write failure.
+    pub fn append(&mut self, record: EpisodeRecord) -> Result<(), SweepError> {
+        if self.records.contains_key(&record.episode) {
+            return Ok(());
+        }
+        writeln!(self.journal, "{}", record.to_json())?;
+        self.journal.flush()?;
+        self.records.insert(record.episode, record);
+        Ok(())
+    }
+
+    /// Rewrites the manifest in canonical form: complete header, then
+    /// records sorted by episode index. Written via a temporary sibling
+    /// file and rename, so a kill during finalize leaves either the old
+    /// journal or the finished artifact, never a half-written file.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Spec`] when called before every episode completed,
+    /// [`SweepError::Io`] on filesystem failure.
+    pub fn finalize(&mut self, spec: &SweepSpec) -> Result<(), SweepError> {
+        let expected = spec.episode_count();
+        if self.records.len() as u64 != expected {
+            return Err(SweepError::spec(format!(
+                "cannot finalize: {} of {expected} episodes recorded",
+                self.records.len()
+            )));
+        }
+        let tmp_path = self.path.with_extension("tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            writeln!(tmp, "{}", header_json(spec, true))?;
+            for record in self.records.values() {
+                writeln!(tmp, "{}", record.to_json())?;
+            }
+            tmp.flush()?;
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Reopen the journal handle onto the canonical file so further
+        // appends (there should be none) do not resurrect the old inode.
+        self.journal = OpenOptions::new().append(true).open(&self.path)?;
+        self.complete = true;
+        Ok(())
+    }
+
+    /// The canonical bytes of the manifest as currently on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] on read failure.
+    pub fn bytes(&self) -> Result<Vec<u8>, SweepError> {
+        let mut f = File::open(&self.path)?;
+        f.seek(std::io::SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+fn header_json(spec: &SweepSpec, complete: bool) -> Json {
+    let mut members = vec![
+        (
+            "fet_sweep_manifest".to_string(),
+            Json::Int(MANIFEST_VERSION),
+        ),
+        ("spec_hash".to_string(), Json::Str(spec.hash())),
+        (
+            "episodes".to_string(),
+            Json::Int(spec.episode_count() as i64),
+        ),
+        ("spec".to_string(), spec.to_json()),
+    ];
+    if complete {
+        members.push(("complete".to_string(), Json::Bool(true)));
+    }
+    Json::Object(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::WarmCache;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fet-sweep-manifest-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn run_records(spec: &SweepSpec, upto: u64) -> Vec<EpisodeRecord> {
+        let cache = WarmCache::new();
+        (0..upto)
+            .map(|i| spec.run_episode(i, &cache).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn journal_resumes_and_finalizes_canonically() {
+        let spec = SweepSpec::single_cell(100, 1, 4);
+        let path = temp_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let records = run_records(&spec, 4);
+
+        // Uninterrupted reference run.
+        let mut reference = Manifest::open(&path, &spec).unwrap();
+        for r in &records {
+            reference.append(r.clone()).unwrap();
+        }
+        reference.finalize(&spec).unwrap();
+        let want = reference.bytes().unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        // Interrupted run: two episodes (completion order scrambled),
+        // then "kill", then resume and finish.
+        let mut first = Manifest::open(&path, &spec).unwrap();
+        first.append(records[2].clone()).unwrap();
+        first.append(records[0].clone()).unwrap();
+        drop(first);
+        let mut resumed = Manifest::open(&path, &spec).unwrap();
+        assert_eq!(resumed.completed().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(!resumed.is_complete());
+        resumed.append(records[3].clone()).unwrap();
+        resumed.append(records[1].clone()).unwrap();
+        resumed.finalize(&spec).unwrap();
+        assert_eq!(
+            resumed.bytes().unwrap(),
+            want,
+            "byte-identical after resume"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped() {
+        let spec = SweepSpec::single_cell(100, 1, 3);
+        let path = temp_path("truncated");
+        let _ = std::fs::remove_file(&path);
+        let records = run_records(&spec, 2);
+        let mut m = Manifest::open(&path, &spec).unwrap();
+        m.append(records[0].clone()).unwrap();
+        m.append(records[1].clone()).unwrap();
+        drop(m);
+        // Emulate a kill mid-write: chop the file mid final line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 17]).unwrap();
+        let reopened = Manifest::open(&path, &spec).unwrap();
+        assert_eq!(reopened.completed().collect::<Vec<_>>(), vec![0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_spec_is_refused() {
+        let spec = SweepSpec::single_cell(100, 1, 3);
+        let path = temp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        drop(Manifest::open(&path, &spec).unwrap());
+        let other = SweepSpec::single_cell(100, 1, 5);
+        let err = Manifest::open(&path, &other).unwrap_err();
+        assert!(matches!(err, SweepError::ManifestMismatch { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_appends_are_ignored() {
+        let spec = SweepSpec::single_cell(100, 1, 2);
+        let path = temp_path("dup");
+        let _ = std::fs::remove_file(&path);
+        let records = run_records(&spec, 1);
+        let mut m = Manifest::open(&path, &spec).unwrap();
+        m.append(records[0].clone()).unwrap();
+        m.append(records[0].clone()).unwrap();
+        assert_eq!(m.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn finalize_before_completion_is_an_error() {
+        let spec = SweepSpec::single_cell(100, 1, 3);
+        let path = temp_path("early");
+        let _ = std::fs::remove_file(&path);
+        let mut m = Manifest::open(&path, &spec).unwrap();
+        assert!(m.finalize(&spec).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

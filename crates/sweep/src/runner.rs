@@ -1,0 +1,298 @@
+//! The batch sweep runner: episode jobs over work-stealing workers,
+//! streamed through a merge loop into the manifest and live aggregates.
+//!
+//! Scheduling shape (shared with `fet_sim::batch` via
+//! [`fet_core::pool`]): a shared injector seeded with every pending
+//! episode index, one deque per worker, owners popping LIFO and thieves
+//! taking half FIFO. The pool decides *when* an episode runs, never
+//! *what* it computes — each record is a pure function of its episode
+//! index — so any worker count, any interleaving, and any kill/resume
+//! history produce the same final manifest bytes.
+//!
+//! The merge loop runs on the calling thread: workers send completed
+//! records over a channel; the merger journals each one as it lands
+//! (completion order — crash-safe, not canonical), folds it into the
+//! order-invariant live aggregates, and emits a progress line. When the
+//! last episode lands the manifest is rewritten canonically and the
+//! report rendered from episode-index order.
+
+use crate::aggregate::{render_report, SweepAggregates, SweepReport};
+use crate::cache::WarmCache;
+use crate::error::SweepError;
+use crate::manifest::Manifest;
+use crate::spec::{EpisodeRecord, SweepSpec};
+use fet_core::pool::{refill_batch, Injector, WorkerDeque};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How a sweep invocation should run.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; 0 or 1 runs on the calling thread.
+    pub workers: usize,
+    /// Checkpoint path; `None` keeps records in memory only.
+    pub manifest: Option<PathBuf>,
+    /// Stop after this many episodes complete in *this* invocation,
+    /// leaving the manifest resumable — the programmatic kill switch the
+    /// resume tests drive.
+    pub episode_limit: Option<usize>,
+    /// Emit a live progress line to stderr.
+    pub progress: bool,
+}
+
+/// What a sweep invocation produced.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Every known record (resumed + new), in episode-index order.
+    pub records: Vec<EpisodeRecord>,
+    /// Rendered artifacts, present only when the sweep is complete.
+    pub report: Option<SweepReport>,
+    /// Episodes executed by this invocation.
+    pub completed_now: usize,
+    /// Episodes recovered from the manifest instead of re-run.
+    pub resumed: usize,
+    /// `true` when every episode of the spec is recorded.
+    pub complete: bool,
+    /// Wall-clock time of this invocation.
+    pub elapsed: Duration,
+    /// Distinct protocol instances the warm cache ended up holding.
+    pub protocols_cached: usize,
+    /// Distinct graphs the warm cache ended up holding.
+    pub graphs_cached: usize,
+}
+
+impl SweepOutcome {
+    /// Episodes per second over this invocation.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.completed_now as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs (or resumes) a sweep.
+///
+/// # Errors
+///
+/// Spec-validation, manifest, and episode-construction failures; an
+/// episode failure aborts the sweep after in-flight episodes drain, and
+/// everything already journaled stays resumable.
+pub fn run_sweep(spec: &SweepSpec, options: &SweepOptions) -> Result<SweepOutcome, SweepError> {
+    spec.validate()?;
+    let start = Instant::now();
+    let cache = WarmCache::new();
+
+    let mut manifest = match &options.manifest {
+        Some(path) => Some(Manifest::open(path, spec)?),
+        None => None,
+    };
+    let mut memory: BTreeMap<u64, EpisodeRecord> = BTreeMap::new();
+    if let Some(m) = &manifest {
+        for r in m.records() {
+            memory.insert(r.episode, r.clone());
+        }
+    }
+    let resumed = memory.len();
+
+    let mut pending: Vec<u64> = (0..spec.episode_count())
+        .filter(|e| !memory.contains_key(e))
+        .collect();
+    if let Some(limit) = options.episode_limit {
+        pending.truncate(limit);
+    }
+
+    let mut aggregates = SweepAggregates::new(spec);
+    for r in memory.values() {
+        aggregates.record(r);
+    }
+
+    let completed_now = pending.len();
+    if !pending.is_empty() {
+        let workers = options.workers.max(1).min(pending.len());
+        let mut last_progress = Instant::now();
+        let mut failure: Option<SweepError> = None;
+        // The merge step: journal (crash-safe, completion order), fold
+        // into the live aggregates, emit progress.
+        let mut merge = |result: Result<EpisodeRecord, SweepError>,
+                         manifest: &mut Option<Manifest>|
+         -> Result<(), SweepError> {
+            let record = match result {
+                Ok(r) => r,
+                Err(e) => {
+                    failure.get_or_insert(e);
+                    return Ok(());
+                }
+            };
+            aggregates.record(&record);
+            if let Some(m) = manifest {
+                m.append(record.clone())?;
+            }
+            memory.insert(record.episode, record);
+            if options.progress
+                && (last_progress.elapsed() > Duration::from_millis(200)
+                    || aggregates.done() == aggregates.total())
+            {
+                eprint!(
+                    "\r{}",
+                    aggregates.progress_line(start.elapsed().as_secs_f64())
+                );
+                last_progress = Instant::now();
+            }
+            Ok(())
+        };
+        if workers <= 1 {
+            // Serial path: run and merge inline, same discipline.
+            for &episode in &pending {
+                merge(spec.run_episode(episode, &cache), &mut manifest)?;
+            }
+        } else {
+            let injector = Injector::new();
+            injector.push_all(pending.iter().copied());
+            let deques: Vec<WorkerDeque<u64>> = (0..workers).map(|_| WorkerDeque::new()).collect();
+            let (tx, rx) = mpsc::channel::<Result<EpisodeRecord, SweepError>>();
+            let mut merge_error: Option<SweepError> = None;
+            std::thread::scope(|scope| {
+                let cache = &cache;
+                for me in 0..workers {
+                    let tx = tx.clone();
+                    let injector = &injector;
+                    let deques = &deques;
+                    scope.spawn(move || {
+                        while let Some(episode) = next_job(me, injector, deques) {
+                            if tx.send(spec.run_episode(episode, cache)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                // Merge concurrently on the calling thread; the loop
+                // ends when the last worker drops its sender.
+                for result in rx {
+                    if let Err(e) = merge(result, &mut manifest) {
+                        merge_error.get_or_insert(e);
+                        break;
+                    }
+                }
+            });
+            if let Some(e) = merge_error {
+                return Err(e);
+            }
+        }
+        if options.progress {
+            eprintln!();
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+    }
+
+    let complete = memory.len() as u64 == spec.episode_count();
+    if complete {
+        if let Some(m) = &mut manifest {
+            if !m.is_complete() || completed_now > 0 {
+                m.finalize(spec)?;
+            } else if m.is_complete() && completed_now == 0 {
+                // Fully resumed from a finalized manifest: nothing to do.
+            }
+        }
+    }
+    let records: Vec<EpisodeRecord> = memory.into_values().collect();
+    let report = if complete {
+        Some(render_report(spec, &records))
+    } else {
+        None
+    };
+    Ok(SweepOutcome {
+        records,
+        report,
+        completed_now,
+        resumed,
+        complete,
+        elapsed: start.elapsed(),
+        protocols_cached: cache.protocols_cached(),
+        graphs_cached: cache.graphs_cached(),
+    })
+}
+
+/// Claims the next episode for worker `me`: own deque first, then a
+/// batch from the injector, then half of the fullest sibling's deque.
+/// `None` means the closed job world is exhausted.
+fn next_job(me: usize, injector: &Injector<u64>, deques: &[WorkerDeque<u64>]) -> Option<u64> {
+    loop {
+        if let Some(job) = deques[me].pop() {
+            return Some(job);
+        }
+        let batch = injector.claim(refill_batch(injector.len(), deques.len()));
+        if !batch.is_empty() {
+            deques[me].extend(batch);
+            continue;
+        }
+        let victim = (0..deques.len())
+            .filter(|&w| w != me)
+            .max_by_key(|&w| deques[w].len())?;
+        let loot = deques[victim].steal_half();
+        if loot.is_empty() {
+            return None;
+        }
+        deques[me].extend(loot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(workers: usize) -> SweepOptions {
+        SweepOptions {
+            workers,
+            ..SweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_records() {
+        let spec = SweepSpec::parse(
+            r#"{"n": [100], "noise": [0, 0.05], "seeds": {"count": 4}, "max_rounds": 3000}"#,
+        )
+        .unwrap();
+        let one = run_sweep(&spec, &opts(1)).unwrap();
+        let four = run_sweep(&spec, &opts(4)).unwrap();
+        assert!(one.complete && four.complete);
+        assert_eq!(one.records, four.records);
+        assert_eq!(
+            one.report.unwrap().to_string(),
+            four.report.unwrap().to_string(),
+            "rendered artifacts are worker-count invariant"
+        );
+    }
+
+    #[test]
+    fn episode_limit_leaves_a_resumable_partial() {
+        let spec = SweepSpec::single_cell(100, 9, 6);
+        let mut partial_opts = opts(2);
+        partial_opts.episode_limit = Some(2);
+        let partial = run_sweep(&spec, &partial_opts).unwrap();
+        assert!(!partial.complete);
+        assert!(partial.report.is_none());
+        assert_eq!(partial.completed_now, 2);
+    }
+
+    #[test]
+    fn warm_cache_holds_one_protocol_per_cell_ell() {
+        let spec = SweepSpec::parse(r#"{"n": [100, 200], "seeds": {"count": 2}}"#).unwrap();
+        let outcome = run_sweep(&spec, &opts(2)).unwrap();
+        // Two populations with derived ℓ → at most two protocol builds
+        // for eight episodes.
+        assert!(
+            outcome.protocols_cached <= 2,
+            "{}",
+            outcome.protocols_cached
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Daemon-level tests: concurrent clients over real TCP sockets.
+
+use fet_sweep::json::Json;
+use fet_sweep::runner::{run_sweep, SweepOptions};
+use fet_sweep::serve::SweepServer;
+use fet_sweep::spec::SweepSpec;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// POSTs `body` to `/sweep` and returns the NDJSON lines of the response
+/// body (headers stripped).
+fn post_sweep(addr: SocketAddr, body: &str) -> (String, Vec<String>) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    write!(
+        conn,
+        "POST /sweep HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request written");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("response read");
+    let (head, rest) = response.split_once("\r\n\r\n").expect("header terminator");
+    let status = head.lines().next().unwrap_or("").to_string();
+    let lines = rest
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect();
+    (status, lines)
+}
+
+fn get_status(addr: SocketAddr) -> Json {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    write!(conn, "GET /status HTTP/1.1\r\nHost: test\r\n\r\n").expect("request written");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("response read");
+    let (_, body) = response.split_once("\r\n\r\n").expect("header terminator");
+    Json::parse(body.trim()).expect("status is JSON")
+}
+
+/// The reference record lines for a spec: what an in-process sweep
+/// produces, serialized exactly as the daemon streams them.
+fn reference_lines(spec_text: &str) -> Vec<String> {
+    let spec = SweepSpec::parse(spec_text).unwrap();
+    let outcome = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 1,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    outcome
+        .records
+        .iter()
+        .map(|r| r.to_json().to_string())
+        .collect()
+}
+
+const SPEC_A: &str = r#"{"n": [90], "seeds": {"base": 0, "count": 4}, "max_rounds": 1500}"#;
+const SPEC_B: &str = r#"{"n": [110], "seeds": {"base": 500, "count": 4}, "max_rounds": 1500}"#;
+
+#[test]
+fn two_concurrent_clients_get_disjoint_deterministic_streams() {
+    let server = SweepServer::bind("127.0.0.1:0", 2).unwrap();
+    let addr = server.local_addr();
+
+    let a = std::thread::spawn(move || post_sweep(addr, SPEC_A));
+    let b = std::thread::spawn(move || post_sweep(addr, SPEC_B));
+    let (status_a, lines_a) = a.join().unwrap();
+    let (status_b, lines_b) = b.join().unwrap();
+    assert!(status_a.contains("200"), "{status_a}");
+    assert!(status_b.contains("200"), "{status_b}");
+
+    for (tag, lines, spec_text) in [("A", &lines_a, SPEC_A), ("B", &lines_b, SPEC_B)] {
+        let (footer, records) = lines.split_last().expect("footer line");
+        assert_eq!(records.len(), 4, "client {tag} saw all episodes");
+        let footer = Json::parse(footer).unwrap();
+        assert_eq!(
+            footer.get("done").and_then(Json::as_bool),
+            Some(true),
+            "{tag}"
+        );
+        assert_eq!(
+            footer.get("episodes").and_then(Json::as_u64),
+            Some(4),
+            "{tag}"
+        );
+
+        // Deterministic: completion order may vary, content may not.
+        let mut got: Vec<String> = records.to_vec();
+        let mut want = reference_lines(spec_text);
+        got.sort();
+        want.sort();
+        assert_eq!(
+            got, want,
+            "client {tag}'s records match an in-process sweep"
+        );
+    }
+
+    // Disjoint: no (n, seed) pair appears in both streams.
+    let keys = |lines: &[String]| -> Vec<(u64, u64)> {
+        lines[..lines.len() - 1]
+            .iter()
+            .map(|l| {
+                let v = Json::parse(l).unwrap();
+                (
+                    v.get("cell")
+                        .and_then(|c| c.get("n"))
+                        .and_then(Json::as_u64)
+                        .unwrap(),
+                    v.get("seed").and_then(Json::as_u64).unwrap(),
+                )
+            })
+            .collect()
+    };
+    for key in keys(&lines_a) {
+        assert!(!keys(&lines_b).contains(&key), "streams overlap at {key:?}");
+    }
+
+    let status = get_status(addr);
+    assert_eq!(
+        status.get("completed_episodes").and_then(Json::as_u64),
+        Some(8),
+        "{status}"
+    );
+    assert_eq!(
+        status.get("queue_depth").and_then(Json::as_u64),
+        Some(0),
+        "{status}"
+    );
+    assert_eq!(
+        status.get("active_submissions").and_then(Json::as_u64),
+        Some(0),
+        "{status}"
+    );
+}
+
+#[test]
+fn malformed_spec_gets_a_400_with_detail() {
+    let server = SweepServer::bind("127.0.0.1:0", 1).unwrap();
+    let (status, lines) = post_sweep(server.local_addr(), r#"{"n": [100,}"#);
+    assert!(status.contains("400"), "{status}");
+    let body = Json::parse(&lines.join("")).unwrap();
+    assert!(
+        body.get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .contains("JSON"),
+        "{body}"
+    );
+
+    let (status, lines) = post_sweep(server.local_addr(), r#"{"noise": [0.5]}"#);
+    assert!(status.contains("400"), "{status}");
+    assert!(lines.join("").contains("`n` is required"), "{lines:?}");
+}
+
+#[test]
+fn sequential_submissions_reuse_the_warm_cache() {
+    let server = SweepServer::bind("127.0.0.1:0", 2).unwrap();
+    let addr = server.local_addr();
+    post_sweep(addr, SPEC_A);
+    post_sweep(addr, SPEC_A);
+    let status = get_status(addr);
+    assert_eq!(
+        status.get("protocols_cached").and_then(Json::as_u64),
+        Some(1),
+        "same cell → one warm protocol instance across submissions: {status}"
+    );
+    assert_eq!(
+        status.get("submitted").and_then(Json::as_u64),
+        Some(2),
+        "{status}"
+    );
+}

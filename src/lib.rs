@@ -24,6 +24,9 @@
 //!   `Simulation::builder().topology(graph)`.
 //! * [`stats`] — probability substrate.
 //! * [`plot`] — terminal plotting and CSV export.
+//! * [`sweep`] — the throughput tier: episode-parallel parameter sweeps
+//!   with work-stealing workers, kill/resume manifests, and the
+//!   `fet serve` daemon.
 //!
 //! # Quickstart
 //!
@@ -65,6 +68,7 @@ pub use fet_plot as plot;
 pub use fet_protocols as protocols;
 pub use fet_sim as sim;
 pub use fet_stats as stats;
+pub use fet_sweep as sweep;
 pub use fet_topology as topology;
 
 /// One-stop imports for examples and downstream users.
@@ -84,6 +88,8 @@ pub mod prelude {
     pub use fet_sim::neighborhood::Neighborhood;
     pub use fet_sim::simulation::{RunReport, Scheduler, Simulation, SimulationBuilder};
     pub use fet_stats::rng::SeedTree;
+    pub use fet_sweep::runner::{run_sweep, SweepOptions, SweepOutcome};
+    pub use fet_sweep::spec::SweepSpec;
     pub use fet_topology::engine::TopologyEngine;
     pub use fet_topology::graph::{Graph, GraphStats};
 }
