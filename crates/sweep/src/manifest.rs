@@ -22,7 +22,7 @@ use crate::json::Json;
 use crate::spec::{EpisodeRecord, SweepSpec};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Read, Seek, Write};
+use std::io::{Read, Seek, Write};
 use std::path::{Path, PathBuf};
 
 /// Format version stamped into headers; bumped on incompatible change.
@@ -53,63 +53,98 @@ impl Manifest {
         let expected = spec.hash();
         let mut records = BTreeMap::new();
         let mut complete = false;
-        let exists = path.exists();
-        if exists {
-            let reader = BufReader::new(File::open(path)?);
-            let mut lines = reader.lines();
-            let header_line = match lines.next() {
-                Some(line) => line?,
-                None => String::new(),
+        // Byte length of the trusted prefix: header plus every intact
+        // record line. Anything past it is a kill-mid-write remnant and
+        // is truncated away before appends resume, so a resumed journal
+        // never writes onto a damaged partial line.
+        let mut valid_len = 0u64;
+        if path.exists() {
+            let data = std::fs::read(path)?;
+            // (content, end offset past the newline, newline-terminated).
+            let mut lines: Vec<(&[u8], u64, bool)> = Vec::new();
+            let mut start = 0usize;
+            while start < data.len() {
+                let end = data[start..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map_or(data.len(), |i| start + i + 1);
+                let intact = data[end - 1] == b'\n';
+                let content = &data[start..end - usize::from(intact)];
+                lines.push((content, end as u64, intact));
+                start = end;
+            }
+            let parse_header = |(content, _, intact): (&[u8], u64, bool)| {
+                if !intact {
+                    return Err(SweepError::spec("manifest header: unterminated line"));
+                }
+                let text = std::str::from_utf8(content)
+                    .map_err(|_| SweepError::spec("manifest header: not UTF-8"))?;
+                Json::parse(text).map_err(|e| SweepError::spec(format!("manifest header: {e}")))
             };
-            if !header_line.is_empty() {
-                let header = Json::parse(&header_line)
-                    .map_err(|e| SweepError::spec(format!("manifest header: {e}")))?;
-                let found = header
-                    .get("spec_hash")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| SweepError::spec("manifest header missing `spec_hash`"))?
-                    .to_string();
-                if found != expected {
-                    return Err(SweepError::ManifestMismatch { found, expected });
-                }
-                complete = header
-                    .get("complete")
-                    .and_then(Json::as_bool)
-                    .unwrap_or(false);
-                let mut buffered: Vec<String> = Vec::new();
-                for line in lines {
-                    buffered.push(line?);
-                }
-                let last = buffered.len().saturating_sub(1);
-                for (i, line) in buffered.iter().enumerate() {
-                    if line.trim().is_empty() {
-                        continue;
+            match lines.first().copied().map(parse_header) {
+                None => {}
+                // A kill can land mid-write of the header itself. With no
+                // record lines after it, nothing was lost: treat the file
+                // as empty and rewrite the header fresh.
+                Some(Err(_)) if lines.len() == 1 => {}
+                Some(Err(e)) => return Err(e),
+                Some(Ok(header)) => {
+                    let found = header
+                        .get("spec_hash")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| SweepError::spec("manifest header missing `spec_hash`"))?
+                        .to_string();
+                    if found != expected {
+                        return Err(SweepError::ManifestMismatch { found, expected });
                     }
-                    match Json::parse(line)
-                        .map_err(SweepError::from)
-                        .and_then(|v| EpisodeRecord::from_json(&v))
-                    {
-                        Ok(record) => {
-                            records.entry(record.episode).or_insert(record);
+                    complete = header
+                        .get("complete")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false);
+                    valid_len = lines[0].1;
+                    let last = lines.len() - 1;
+                    for (i, &(content, end, intact)) in lines.iter().enumerate().skip(1) {
+                        if content.iter().all(u8::is_ascii_whitespace) {
+                            if intact {
+                                valid_len = end;
+                            }
+                            continue;
                         }
-                        // Only the final line may be damaged — that is
-                        // the kill-mid-write signature. Damage anywhere
-                        // else means the file is not ours to trust.
-                        Err(e) if i == last => {
-                            let _ = e;
-                        }
-                        Err(e) => {
-                            return Err(SweepError::spec(format!(
-                                "manifest line {} is corrupt: {e}",
-                                i + 2
-                            )));
+                        match std::str::from_utf8(content)
+                            .map_err(|_| SweepError::spec("record line is not UTF-8"))
+                            .and_then(|text| Json::parse(text).map_err(SweepError::from))
+                            .and_then(|v| EpisodeRecord::from_json(&v))
+                        {
+                            Ok(record) if intact => {
+                                records.entry(record.episode).or_insert(record);
+                                valid_len = end;
+                            }
+                            // An unterminated final record parsed only by
+                            // luck of where the kill landed; drop it too —
+                            // the episode reruns deterministically.
+                            Ok(_) => {}
+                            // Only the final line may be damaged — that is
+                            // the kill-mid-write signature. Damage anywhere
+                            // else means the file is not ours to trust.
+                            Err(_) if i == last => {}
+                            Err(e) => {
+                                return Err(SweepError::spec(format!(
+                                    "manifest line {} is corrupt: {e}",
+                                    i + 1
+                                )));
+                            }
                         }
                     }
                 }
             }
+            if data.len() as u64 > valid_len {
+                let damaged = OpenOptions::new().write(true).open(path)?;
+                damaged.set_len(valid_len)?;
+                damaged.sync_all()?;
+            }
         }
         let mut journal = OpenOptions::new().create(true).append(true).open(path)?;
-        if !exists || journal.metadata()?.len() == 0 {
+        if valid_len == 0 {
             let header = header_json(spec, false);
             writeln!(journal, "{header}")?;
             journal.flush()?;
@@ -305,6 +340,71 @@ mod tests {
         std::fs::write(&path, &text[..text.len() - 17]).unwrap();
         let reopened = Manifest::open(&path, &spec).unwrap();
         assert_eq!(reopened.completed().collect::<Vec<_>>(), vec![0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_after_truncated_line_keeps_journal_clean() {
+        let spec = SweepSpec::single_cell(100, 1, 3);
+        let path = temp_path("retruncate");
+        let _ = std::fs::remove_file(&path);
+        let records = run_records(&spec, 3);
+        let mut m = Manifest::open(&path, &spec).unwrap();
+        m.append(records[0].clone()).unwrap();
+        m.append(records[1].clone()).unwrap();
+        drop(m);
+        // Kill mid-write of record 1, resume, keep appending, then
+        // resume again: the post-resume appends must land on a clean
+        // line, not merged onto the damaged remnant.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 17]).unwrap();
+        let mut resumed = Manifest::open(&path, &spec).unwrap();
+        assert_eq!(resumed.completed().collect::<Vec<_>>(), vec![0]);
+        resumed.append(records[1].clone()).unwrap();
+        resumed.append(records[2].clone()).unwrap();
+        drop(resumed);
+        let again = Manifest::open(&path, &spec).unwrap();
+        assert_eq!(again.completed().collect::<Vec<_>>(), vec![0, 1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unterminated_final_record_is_rerun() {
+        let spec = SweepSpec::single_cell(100, 1, 2);
+        let path = temp_path("no-newline");
+        let _ = std::fs::remove_file(&path);
+        let records = run_records(&spec, 2);
+        let mut m = Manifest::open(&path, &spec).unwrap();
+        m.append(records[0].clone()).unwrap();
+        m.append(records[1].clone()).unwrap();
+        drop(m);
+        // Kill after the record's bytes but before its newline: the
+        // record parses, but appending after it would merge lines, so
+        // the loader drops it for a deterministic rerun.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        let mut resumed = Manifest::open(&path, &spec).unwrap();
+        assert_eq!(resumed.completed().collect::<Vec<_>>(), vec![0]);
+        resumed.append(records[1].clone()).unwrap();
+        resumed.finalize(&spec).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_header_only_file_starts_fresh() {
+        let spec = SweepSpec::single_cell(100, 1, 2);
+        let path = temp_path("torn-header");
+        let _ = std::fs::remove_file(&path);
+        drop(Manifest::open(&path, &spec).unwrap());
+        // Kill mid-write of the header itself: no records existed, so
+        // the file is treated as empty and the header rewritten.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let m = Manifest::open(&path, &spec).unwrap();
+        assert!(m.is_empty());
+        drop(m);
+        let reopened = Manifest::open(&path, &spec).unwrap();
+        assert!(reopened.is_empty());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -34,6 +34,11 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Largest accepted `POST /sweep` body. Specs are small JSON documents;
+/// the cap exists so a bogus `Content-Length` cannot make the daemon
+/// allocate unbounded memory.
+const MAX_BODY_BYTES: usize = 1 << 20;
+
 /// One client-submitted sweep.
 struct Submission {
     id: u64,
@@ -249,6 +254,17 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result
             respond(&mut stream, 200, "application/json", &body)
         }
         ("POST", "/sweep") => {
+            if content_length > MAX_BODY_BYTES {
+                let err = Json::object([(
+                    "error",
+                    Json::Str(format!(
+                        "request body of {content_length} bytes exceeds the \
+                         {MAX_BODY_BYTES}-byte limit"
+                    )),
+                )])
+                .to_string();
+                return respond(&mut stream, 413, "application/json", &err);
+            }
             let mut body = vec![0u8; content_length];
             reader.read_exact(&mut body)?;
             let text = String::from_utf8_lossy(&body);
@@ -370,6 +386,7 @@ fn respond(
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        413 => "Payload Too Large",
         _ => "Method Not Allowed",
     };
     write!(
@@ -394,6 +411,20 @@ mod tests {
         conn.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 200"), "{response}");
         assert!(response.contains("\"queue_depth\":0"), "{response}");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_allocation() {
+        let server = SweepServer::bind("127.0.0.1:0", 1).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        write!(
+            conn,
+            "POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 100000000000\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
     }
 
     #[test]

@@ -206,7 +206,12 @@ impl SweepSpec {
         let seeds = match doc.get("seeds") {
             None => SeedRange { base: 0, count: 1 },
             Some(v) => SeedRange {
-                base: v.get("base").and_then(Json::as_u64).unwrap_or(0),
+                base: match v.get("base") {
+                    None => 0,
+                    Some(b) => b.as_u64().ok_or_else(|| {
+                        SweepError::spec("`seeds.base` must be a non-negative integer")
+                    })?,
+                },
                 count: v
                     .get("count")
                     .and_then(Json::as_u64)
@@ -814,6 +819,9 @@ mod tests {
             r#"{"noise": [0.1]}"#,
             r#"{"n": []}"#,
             r#"{"n": [100], "seeds": {"count": 0}}"#,
+            r#"{"n": [100], "seeds": {"base": "7", "count": 2}}"#,
+            r#"{"n": [100], "seeds": {"base": -1, "count": 2}}"#,
+            r#"{"n": [100], "seeds": {"base": 0.5, "count": 2}}"#,
             r#"{"n": [100], "noise": [1.5]}"#,
             r#"{"n": [100], "mode": "warp"}"#,
             r#"{"n": [100], "threads": 4}"#,

@@ -41,6 +41,7 @@ proptest! {
         workers_before in 1usize..5,
         workers_after in 1usize..5,
         seed_base in 0u64..1_000,
+        torn in proptest::any::<bool>(),
     ) {
         let spec = small_spec(seed_base);
         let reference_path = temp_manifest(&format!("ref-{seed_base}"));
@@ -62,11 +63,20 @@ proptest! {
         .unwrap();
         prop_assert!(!partial.complete);
         prop_assert_eq!(partial.completed_now, kill_after);
+        // Optionally tear the final journal line, emulating a kill that
+        // lands mid-write rather than between episodes: the damaged
+        // record is dropped and its episode rerun.
+        let mut lost = 0usize;
+        if torn {
+            let bytes = std::fs::read(&interrupted_path).unwrap();
+            std::fs::write(&interrupted_path, &bytes[..bytes.len() - 7]).unwrap();
+            lost = 1;
+        }
         let resumed = run_sweep(&spec, &opts(workers_after, Some(interrupted_path.clone()), None))
             .unwrap();
         prop_assert!(resumed.complete);
-        prop_assert_eq!(resumed.resumed, kill_after);
-        prop_assert_eq!(resumed.completed_now, 6 - kill_after);
+        prop_assert_eq!(resumed.resumed, kill_after - lost);
+        prop_assert_eq!(resumed.completed_now, 6 - kill_after + lost);
 
         let reference_bytes = std::fs::read(&reference_path).unwrap();
         let resumed_bytes = std::fs::read(&interrupted_path).unwrap();
