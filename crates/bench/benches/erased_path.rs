@@ -21,6 +21,11 @@
 //!   per-shard split-RNG streams, one dispatch, per-shard counters
 //!   reduced. On a single-core host this measures pure sharding/spawn
 //!   overhead rather than speedup.
+//! * `bitplane_fused` / `bitplane_fused_parallel` — the same fused rounds
+//!   on the packed representation (`BitPopulation`: 1 bit/agent opinions
+//!   plus a byte clock plane, popcount global counts). Stream-identical
+//!   to the typed rows; the interesting number is the memory column in
+//!   `docs/BENCHMARKS.md`, not the round time.
 //!
 //! These are the numbers recorded in `docs/BENCHMARKS.md`; the acceptance
 //! bars are `population / typed ≤ ~1.05` (PR 2),
@@ -30,7 +35,7 @@
 //! `FET_BENCH_LARGE` episode).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fet_bench::host_parallelism_note;
+use fet_bench::announced_bench_threads;
 use fet_core::config::{ell_for_population, ProblemSpec};
 use fet_core::erased::ErasedProtocol;
 use fet_core::fet::FetProtocol;
@@ -70,8 +75,25 @@ fn population_engine(n: u64, mode: ExecutionMode) -> PopulationEngine {
     engine
 }
 
+fn bitplane_engine(n: u64, mode: ExecutionMode) -> PopulationEngine {
+    let ell = ell_for_population(n, 4.0);
+    let spec = ProblemSpec::single_source(n, Opinion::One).unwrap();
+    let mut engine = PopulationEngine::new(
+        ErasedProtocol::new(FetProtocol::new(ell).unwrap())
+            .bit_population()
+            .expect("FET's clock fits the byte plane at bench sizes"),
+        spec,
+        Fidelity::Binomial,
+        InitialCondition::Random,
+        42,
+    )
+    .unwrap();
+    engine.set_execution_mode(mode).unwrap();
+    engine
+}
+
 fn bench_round(c: &mut Criterion) {
-    host_parallelism_note(bench_threads() as usize);
+    let threads = announced_bench_threads();
     let mut group = c.benchmark_group("erased_path_round");
     for &n in &SIZES {
         let ell = ell_for_population(n, 4.0);
@@ -110,9 +132,12 @@ fn bench_round(c: &mut Criterion) {
             b.iter(|| engine.step());
         });
 
-        let parallel = ExecutionMode::FusedParallel {
-            threads: bench_threads(),
-        };
+        group.bench_with_input(BenchmarkId::new("bitplane_fused", n), &n, |b, &n| {
+            let mut engine = bitplane_engine(n, ExecutionMode::Fused);
+            b.iter(|| engine.step());
+        });
+
+        let parallel = ExecutionMode::FusedParallel { threads };
 
         group.bench_with_input(BenchmarkId::new("typed_fused_parallel", n), &n, |b, &n| {
             let mut engine = typed_engine(n, parallel);
@@ -127,17 +152,17 @@ fn bench_round(c: &mut Criterion) {
                 b.iter(|| engine.step());
             },
         );
+
+        group.bench_with_input(
+            BenchmarkId::new("bitplane_fused_parallel", n),
+            &n,
+            |b, &n| {
+                let mut engine = bitplane_engine(n, parallel);
+                b.iter(|| engine.step());
+            },
+        );
     }
     group.finish();
-}
-
-/// Shard/worker count for the parallel variants (`FET_BENCH_THREADS`,
-/// default 4 — the ISSUE 4 acceptance configuration).
-fn bench_threads() -> u32 {
-    std::env::var("FET_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
 }
 
 criterion_group!(benches, bench_round);

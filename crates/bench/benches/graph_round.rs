@@ -13,16 +13,21 @@
 //!   vertex range over the shared adjacency (`FET_BENCH_THREADS` shards,
 //!   default 4). On a single-core host this measures pure sharding/spawn
 //!   overhead rather than speedup.
+//! * `graph_bitplane_fused` / `graph_bitplane_fused_parallel` — the same
+//!   two fused passes on the packed `BitPopulation`, where the round-start
+//!   double buffer is a 1-bit-per-agent plane snapshot instead of the
+//!   byte buffer.
 //!
 //! Default sizes 10⁴ and 10⁵ at degree 32 (≈ 4·ln n at 10⁵ — the regime
 //! where FET behaves like the complete graph); `FET_BENCH_LARGE=1` adds
 //! the opt-in 10⁷ episode. Numbers are recorded in `docs/BENCHMARKS.md`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fet_bench::host_parallelism_note;
+use fet_bench::announced_bench_threads;
+use fet_core::erased::ErasedProtocol;
 use fet_core::fet::FetProtocol;
 use fet_core::opinion::Opinion;
-use fet_sim::engine::ExecutionMode;
+use fet_sim::engine::{ExecutionMode, PopulationEngine};
 use fet_sim::init::InitialCondition;
 use fet_stats::rng::SeedTree;
 use fet_topology::builders;
@@ -38,21 +43,10 @@ fn sizes() -> Vec<u32> {
     sizes
 }
 
-/// Shard/worker count for the parallel variant (`FET_BENCH_THREADS`,
-/// default 4 — the acceptance configuration).
-fn bench_threads() -> u32 {
-    std::env::var("FET_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
-}
-
 fn bench_graph_round(c: &mut Criterion) {
-    host_parallelism_note(bench_threads() as usize);
+    let threads = announced_bench_threads();
     let mut group = c.benchmark_group("graph_round");
-    let parallel = ExecutionMode::FusedParallel {
-        threads: bench_threads(),
-    };
+    let parallel = ExecutionMode::FusedParallel { threads };
     for &n in &sizes() {
         for (label, mode) in [
             ("graph_batched", ExecutionMode::Batched),
@@ -66,6 +60,33 @@ fn bench_graph_round(c: &mut Criterion) {
                 let mut engine = TopologyEngine::new(
                     FetProtocol::for_population(u64::from(n), 4.0).expect("valid ℓ"),
                     graph,
+                    1,
+                    Opinion::One,
+                    InitialCondition::Random,
+                    42,
+                )
+                .expect("valid engine");
+                engine.set_execution_mode(mode).expect("graph-capable mode");
+                b.iter(|| engine.step());
+            });
+        }
+        // The packed representation on the same expander: graph-fused and
+        // graph-fused-parallel rounds on a `BitPopulation`, whose
+        // round-start double buffer is the 1-bit plane snapshot.
+        for (label, mode) in [
+            ("graph_bitplane_fused", ExecutionMode::Fused),
+            ("graph_bitplane_fused_parallel", parallel),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut rng = SeedTree::new(17).child("graph-bench").rng();
+                let graph =
+                    builders::random_regular(n, DEGREE, &mut rng).expect("valid regular graph");
+                let protocol = FetProtocol::for_population(u64::from(n), 4.0).expect("valid ℓ");
+                let mut engine = PopulationEngine::with_neighborhood(
+                    ErasedProtocol::new(protocol)
+                        .bit_population()
+                        .expect("FET's clock fits the byte plane at bench sizes"),
+                    Box::new(graph),
                     1,
                     Opinion::One,
                     InitialCondition::Random,

@@ -76,18 +76,62 @@ pub fn default_out_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/experiments"))
 }
 
+/// Parses a `FET_BENCH_THREADS`-style override into the shard/worker
+/// count for parallel bench variants. Missing, unparsable, or zero values
+/// fall back to 4 — the acceptance configuration every recorded number in
+/// `docs/BENCHMARKS.md` assumes.
+pub fn thread_count_from(var: Option<&str>) -> u32 {
+    var.and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(4)
+}
+
+/// The starved-host warning line, if one is warranted: `Some` exactly when
+/// the host offers fewer cores than a parallel variant assumes. Pure so
+/// the smoke tests can pin both branches without faking core counts.
+pub fn parallelism_note_text(available: usize, required: usize) -> Option<String> {
+    (available < required).then(|| {
+        format!(
+            "note: host offers {available} core(s) but parallel variants assume {required}; \
+             parallel timings below measure scheduling overhead, not speedup"
+        )
+    })
+}
+
 /// Prints a one-line note when the host offers fewer cores than a
 /// parallel benchmark variant assumes, so recorded numbers are
 /// self-documenting: on a starved host the parallel variants measure
 /// dispatch overhead, not speedup.
 pub fn host_parallelism_note(required: usize) {
     let available = std::thread::available_parallelism().map_or(1, |p| p.get());
-    if available < required {
-        eprintln!(
-            "note: host offers {available} core(s) but parallel variants assume {required}; \
-             parallel timings below measure scheduling overhead, not speedup"
-        );
+    if let Some(note) = parallelism_note_text(available, required) {
+        eprintln!("{note}");
     }
+}
+
+/// The one entry point for benches with parallel variants: parses
+/// `FET_BENCH_THREADS` (default 4) *and* announces the starved-host note,
+/// so no bench can parse the override while forgetting the announcement.
+pub fn announced_bench_threads() -> u32 {
+    let threads = thread_count_from(std::env::var("FET_BENCH_THREADS").ok().as_deref());
+    host_parallelism_note(threads as usize);
+    threads
+}
+
+/// This process's resident set size in bytes, read from
+/// `/proc/self/status` (`None` off Linux or if the field is missing) —
+/// the host-truth column next to the engine's own `resident_bytes`
+/// accounting in the `docs/BENCHMARKS.md` memory table.
+pub fn vm_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kib: u64 = status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kib * 1024)
 }
 
 /// Formats an `Option<u64>` convergence time for tables.
@@ -129,5 +173,36 @@ mod tests {
     fn fmt_opt_time_variants() {
         assert_eq!(fmt_opt_time(Some(7)), "7");
         assert_eq!(fmt_opt_time(None), "—");
+    }
+
+    #[test]
+    fn thread_count_parsing() {
+        assert_eq!(thread_count_from(None), 4);
+        assert_eq!(thread_count_from(Some("2")), 2);
+        assert_eq!(thread_count_from(Some("16")), 16);
+        assert_eq!(thread_count_from(Some("zero")), 4);
+        assert_eq!(
+            thread_count_from(Some("0")),
+            4,
+            "zero shards is never valid"
+        );
+        assert_eq!(thread_count_from(Some("")), 4);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn vm_rss_reads_a_positive_size() {
+        let rss = vm_rss_bytes().expect("Linux exposes /proc/self/status");
+        assert!(rss > 0);
+    }
+
+    #[test]
+    fn parallelism_note_fires_only_when_starved() {
+        assert_eq!(parallelism_note_text(8, 4), None);
+        assert_eq!(parallelism_note_text(4, 4), None);
+        let note = parallelism_note_text(1, 4).expect("starved host warrants a note");
+        assert!(note.contains("1 core(s)"), "{note}");
+        assert!(note.contains("assume 4"), "{note}");
+        assert!(note.contains("scheduling overhead"), "{note}");
     }
 }

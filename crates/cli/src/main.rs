@@ -4,7 +4,7 @@
 //! fet run        --n 10000 [--protocol fet] [--ell 40] [--c 4.0] [--seed 7]
 //!                [--init all-wrong] [--fidelity agent|binomial|without-replacement|aggregate]
 //!                [--scheduler sync|async] [--mode batched|fused|fused-parallel]
-//!                [--threads N] [--agent-level]
+//!                [--threads N] [--storage auto|typed|bit-plane] [--agent-level]
 //! fet protocols                                    # list the registry
 //! fet trace      --n 100000 [--seed 7]             # trajectory + domain visits
 //! fet domains    --n 10000 [--delta 0.05] [--steps 60]
@@ -39,7 +39,7 @@ use fet_sim::aggregate::AggregateFetChain;
 use fet_sim::convergence::ConvergenceCriterion;
 use fet_sim::engine::{ExecutionMode, Fidelity};
 use fet_sim::init::InitialCondition;
-use fet_sim::simulation::{Scheduler, Simulation, SimulationBuilder};
+use fet_sim::simulation::{Scheduler, Simulation, SimulationBuilder, Storage};
 use fet_stats::compare::CoinCompetition;
 use fet_sweep::runner::{run_sweep, SweepOptions};
 use fet_sweep::serve::SweepServer;
@@ -129,6 +129,9 @@ common flags: --n N  --protocol NAME  --ell L  --c C  --seed S  --delta D
                      fused modes run on mean-field fidelities AND on `topology` graph runs;
                      only --fidelity agent on the complete graph requires batched)
               --threads N (shard/worker count for --mode fused-parallel; default: all cores)
+              --storage auto|typed|bit-plane (state representation; bit-plane packs opinions
+                     64/word for packable protocols on fused configurations — same trajectory,
+                     ~8x less state; auto switches at n >= 10^7)
               --k K  --p P  --q Q  --correct 0|1  --max-rounds R
 topology:     --graph NAME  --degree D  --beta B  (accepts --mode, incl. fused/fused-parallel)
 conflict:     --k0 K0  --k1 K1  --burn-in B  --window W";
@@ -217,6 +220,17 @@ fn get_mode(flags: &Flags) -> Result<ExecutionMode, String> {
     Ok(mode)
 }
 
+fn get_storage(flags: &Flags) -> Result<Storage, String> {
+    match flags.get("storage").map(String::as_str) {
+        None | Some("auto") => Ok(Storage::Auto),
+        Some("typed") => Ok(Storage::Typed),
+        Some("bit-plane") => Ok(Storage::BitPlane),
+        Some(other) => Err(format!(
+            "unknown --storage `{other}` (auto|typed|bit-plane)"
+        )),
+    }
+}
+
 fn get_scheduler(flags: &Flags) -> Result<Scheduler, String> {
     match flags.get("scheduler").map(String::as_str) {
         None | Some("sync") => Ok(Scheduler::Synchronous),
@@ -233,7 +247,8 @@ fn builder_from(flags: &Flags) -> Result<SimulationBuilder, String> {
         .correct(get_correct(flags)?)
         .init(get_init(flags)?)
         .execution_mode(get_mode(flags)?)
-        .scheduler(get_scheduler(flags)?);
+        .scheduler(get_scheduler(flags)?)
+        .storage(get_storage(flags)?);
     if let Some(e) = flags.get("ell") {
         b = b.ell(e.parse().map_err(|_| format!("invalid --ell `{e}`"))?);
     }
@@ -261,11 +276,14 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let report = sim.run();
     println!(
-        "n = {n}, protocol = {}, samples/round = {}, init = {}, mode = {}, seed = {}",
+        "n = {n}, protocol = {}, samples/round = {}, init = {}, mode = {}, storage = {} \
+         ({} state bytes), seed = {}",
         report.protocol,
         report.samples_per_round,
         init.label(),
         report.mode,
+        report.storage,
+        report.resident_bytes,
         get::<u64>(flags, "seed", 0)?
     );
     match report.converged_at() {
@@ -764,6 +782,39 @@ mod tests {
             get_mode(&flags_of(&["--mode", "fused", "--threads", "4"]).unwrap()).is_err(),
             "--threads without fused-parallel must be rejected"
         );
+    }
+
+    #[test]
+    fn storage_flag() {
+        assert_eq!(get_storage(&flags_of(&[]).unwrap()).unwrap(), Storage::Auto);
+        assert_eq!(
+            get_storage(&flags_of(&["--storage", "auto"]).unwrap()).unwrap(),
+            Storage::Auto
+        );
+        assert_eq!(
+            get_storage(&flags_of(&["--storage", "typed"]).unwrap()).unwrap(),
+            Storage::Typed
+        );
+        assert_eq!(
+            get_storage(&flags_of(&["--storage", "bit-plane"]).unwrap()).unwrap(),
+            Storage::BitPlane
+        );
+        assert!(get_storage(&flags_of(&["--storage", "sparse"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn builder_from_threads_storage_through() {
+        let f = flags_of(&["--storage", "bit-plane"]).unwrap();
+        let sim = builder_from(&f).unwrap().population(200).build().unwrap();
+        assert_eq!(sim.storage(), Storage::BitPlane);
+        // Incompatible axes surface the facade's build error.
+        let f = flags_of(&["--storage", "bit-plane", "--mode", "batched"]).unwrap();
+        let err = builder_from(&f)
+            .unwrap()
+            .population(200)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("offending axis"), "{err}");
     }
 
     #[test]

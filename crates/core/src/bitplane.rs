@@ -1,0 +1,780 @@
+//! Bit-plane packed populations: 1 bit/agent opinion storage.
+//!
+//! The paper's regime is huge anonymous populations with a few bits of
+//! state per agent — at `n = 10⁸`–`10⁹` even one byte per opinion is the
+//! memory-bandwidth bottleneck (see `docs/BENCHMARKS.md`). This module
+//! packs the public opinion plane 64 agents per `u64` word
+//! ([`BitPlane`]), with a protocol's remaining per-agent state — FET's
+//! stored `count″ ∈ [0, ℓ]` — in a parallel byte plane, behind the same
+//! [`Population`] trait every engine already drives.
+//!
+//! # Packability contract
+//!
+//! A protocol opts in by returning a non-`Unpacked`
+//! [`StatePlanes`] descriptor and
+//! implementing [`Protocol::pack_state`]/[`Protocol::unpack_state`] as
+//! mutual inverses whose packed opinion bit **is** the state's
+//! [`Protocol::output`]. Packing is restricted to *passive* protocols
+//! (decision ≡ output), which is what lets the container answer both the
+//! global 1-count and the correct-decision count by popcount.
+//!
+//! # Trajectory identity
+//!
+//! [`BitPopulation`] steps each agent by unpack → [`Protocol::step`] →
+//! repack, drawing observations and randomness in exactly the per-agent
+//! order the kernel contract pins for every other representation. A
+//! bit-plane run is therefore **bit-identical** to the typed, boxed, and
+//! population-erased runs of the same `(seed, shard count)` — the
+//! property `tests/erasure_equivalence.rs` extends to 4-way.
+//!
+//! # Word-aligned sharding
+//!
+//! The parallel fused round carves the opinion plane with
+//! `split_at_mut`, so shard boundaries must not split a `u64` word.
+//! [`ShardPlan::shard_range`](crate::shard::ShardPlan::shard_range)
+//! guarantees word-aligned range starts for every population size and
+//! shard count; [`BitPopulation::step_fused_parallel_inplace`] relies on
+//! it.
+
+use crate::memory::MemoryFootprint;
+use crate::observation::Observation;
+use crate::opinion::Opinion;
+use crate::population::{DynPopulation, Population};
+use crate::protocol::{FusedCounters, ObservationSource, Protocol, RoundContext, StatePlanes};
+use crate::shard::{ShardPlan, ShardSourceFactory};
+use rand::RngCore;
+use std::fmt;
+
+/// Bits per plane word.
+pub const WORD_BITS: usize = 64;
+
+/// A dense bit vector packed 64 bits per `u64` word — the opinion plane.
+///
+/// Invariant: bits at positions `len()..` in the trailing word are zero,
+/// so [`BitPlane::count_ones`] is a straight popcount over the words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitPlane {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitPlane {
+    /// An empty plane.
+    pub fn new() -> Self {
+        BitPlane::default()
+    }
+
+    /// An empty plane with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitPlane {
+            words: Vec::with_capacity(bits.div_ceil(WORD_BITS)),
+            len: 0,
+        }
+    }
+
+    /// A plane of `bits` zero bits.
+    pub fn zeroed(bits: usize) -> Self {
+        BitPlane {
+            words: vec![0; bits.div_ceil(WORD_BITS)],
+            len: bits,
+        }
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pre-allocates room for `additional` more bits.
+    pub fn reserve(&mut self, additional: usize) {
+        let want = (self.len + additional).div_ceil(WORD_BITS);
+        self.words.reserve(want.saturating_sub(self.words.len()));
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, opinion: Opinion) {
+        let bit = self.len % WORD_BITS;
+        if bit == 0 {
+            self.words.push(0);
+        }
+        let word = self.words.last_mut().expect("word pushed above");
+        *word |= u64::from(opinion.is_one()) << bit;
+        self.len += 1;
+    }
+
+    /// The bit at `idx` as an [`Opinion`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Opinion {
+        assert!(idx < self.len, "bit index {idx} out of {}", self.len);
+        Opinion::from(((self.words[idx / WORD_BITS] >> (idx % WORD_BITS)) & 1) == 1)
+    }
+
+    /// Sets the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ len()`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, opinion: Opinion) {
+        assert!(idx < self.len, "bit index {idx} out of {}", self.len);
+        let mask = 1u64 << (idx % WORD_BITS);
+        let word = &mut self.words[idx / WORD_BITS];
+        *word = (*word & !mask) | (u64::from(opinion.is_one()) * mask);
+    }
+
+    /// Number of 1-bits — one popcount per word, no per-bit walk.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// The packed words, read-only. The trailing word's bits past
+    /// [`BitPlane::len`] are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The packed words, mutable. Callers must preserve the
+    /// trailing-bits-zero invariant.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Heap bytes the word storage holds (capacity, not length).
+    pub fn resident_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Steps agents `0..len` of a packed slice pair through the protocol's
+/// per-agent update, drawing observations from `source`: the single
+/// kernel behind every `BitPopulation` round entry point.
+///
+/// Each word is read once, rebuilt in a register, and written once
+/// (word-at-a-time updates); observations and randomness are drawn in
+/// per-agent index order, so the stream is identical to every other
+/// representation's kernel. `outputs`, when present, receives the new
+/// opinions index-aligned (`None` on the in-place paths — the plane
+/// itself is the output store).
+#[allow(clippy::too_many_arguments)]
+fn step_packed_slice<P: Protocol>(
+    protocol: &P,
+    words: &mut [u64],
+    aux: &mut [u8],
+    len: usize,
+    source: &mut dyn ObservationSource,
+    ctx: &RoundContext,
+    rng: &mut dyn RngCore,
+    correct: Opinion,
+    mut outputs: Option<&mut [Opinion]>,
+) -> FusedCounters {
+    debug_assert!(words.len() >= len.div_ceil(WORD_BITS));
+    debug_assert!(aux.is_empty() || aux.len() == len);
+    if let Some(out) = outputs.as_deref() {
+        assert_eq!(out.len(), len, "one output slot per agent");
+    }
+    let has_aux = !aux.is_empty();
+    let mut counters = FusedCounters::default();
+    let mut idx = 0usize;
+    for word_slot in words.iter_mut() {
+        if idx >= len {
+            break;
+        }
+        let in_word = (len - idx).min(WORD_BITS);
+        let mut word = *word_slot;
+        for bit in 0..in_word {
+            let opinion = Opinion::from(((word >> bit) & 1) == 1);
+            let aux_byte = if has_aux { aux[idx] } else { 0 };
+            let mut state = protocol.unpack_state(opinion, aux_byte);
+            let obs = source.next_observation(rng);
+            let new_opinion = protocol.step(&mut state, &obs, ctx, rng);
+            let (packed_opinion, packed_aux) = protocol.pack_state(&state);
+            debug_assert_eq!(
+                packed_opinion, new_opinion,
+                "pack_state's opinion bit must be the state's output"
+            );
+            let mask = 1u64 << bit;
+            word = (word & !mask) | (u64::from(new_opinion.is_one()) * mask);
+            if has_aux {
+                aux[idx] = packed_aux;
+            }
+            if let Some(out) = outputs.as_deref_mut() {
+                out[idx] = new_opinion;
+            }
+            counters.ones += u64::from(new_opinion.is_one());
+            counters.correct += u64::from(new_opinion == correct);
+            idx += 1;
+        }
+        *word_slot = word;
+    }
+    counters
+}
+
+/// A [`Population`] storing its agents as packed planes: one opinion bit
+/// per agent in a [`BitPlane`] plus (for
+/// [`StatePlanes::OpinionPlusByte`] protocols) one auxiliary byte per
+/// agent.
+///
+/// Construction requires a packable protocol — see the
+/// [module docs](self) for the contract. Every [`Population`] entry
+/// point is implemented, so the container drops into byte-addressed
+/// engines unchanged; the in-place fused rounds
+/// ([`Population::step_fused_inplace`] /
+/// [`Population::step_fused_parallel_inplace`]) additionally let
+/// bit-aware engines skip the per-agent output buffer entirely.
+#[derive(Clone)]
+pub struct BitPopulation<P: Protocol> {
+    protocol: P,
+    planes: StatePlanes,
+    opinions: BitPlane,
+    aux: Vec<u8>,
+}
+
+impl<P: Protocol + fmt::Debug> fmt::Debug for BitPopulation<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BitPopulation")
+            .field("protocol", &self.protocol)
+            .field("planes", &self.planes)
+            .field("len", &self.opinions.len())
+            .finish()
+    }
+}
+
+impl<P: Protocol> BitPopulation<P> {
+    /// An empty bit-plane population running `protocol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the protocol is not packable: its
+    /// [`Protocol::state_planes`] is [`StatePlanes::Unpacked`], or it is
+    /// not passive ([`Protocol::is_passive`]). Callers selecting storage
+    /// at runtime should gate on those first (the erased layer's
+    /// [`bit_population`](crate::erased::ErasedProtocol::bit_population)
+    /// does, returning `None`).
+    pub fn new(protocol: P) -> Self {
+        let planes = protocol.state_planes();
+        assert!(
+            planes != StatePlanes::Unpacked,
+            "protocol `{}` declares no packed state layout",
+            protocol.name()
+        );
+        assert!(
+            protocol.is_passive(),
+            "protocol `{}` is not passive; bit-plane storage equates decisions with the packed \
+             opinion bit",
+            protocol.name()
+        );
+        BitPopulation {
+            protocol,
+            planes,
+            opinions: BitPlane::new(),
+            aux: Vec::new(),
+        }
+    }
+
+    /// The protocol configuration.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The packed plane layout this container uses.
+    pub fn planes(&self) -> StatePlanes {
+        self.planes
+    }
+
+    /// The packed opinion plane, read-only.
+    pub fn opinion_plane(&self) -> &BitPlane {
+        &self.opinions
+    }
+
+    /// The auxiliary byte plane, read-only (empty for
+    /// [`StatePlanes::OpinionOnly`] protocols).
+    pub fn aux_plane(&self) -> &[u8] {
+        &self.aux
+    }
+
+    fn has_aux(&self) -> bool {
+        self.planes == StatePlanes::OpinionPlusByte
+    }
+
+    fn unpack(&self, idx: usize) -> P::State {
+        let aux = if self.has_aux() { self.aux[idx] } else { 0 };
+        self.protocol.unpack_state(self.opinions.get(idx), aux)
+    }
+
+    fn repack(&mut self, idx: usize, state: &P::State) {
+        let (opinion, aux) = self.protocol.pack_state(state);
+        self.opinions.set(idx, opinion);
+        if self.has_aux() {
+            self.aux[idx] = aux;
+        }
+    }
+
+    /// One shard's job for the parallel rounds: shard index, agent
+    /// range, word slice, aux slice, and (outputs path only) the output
+    /// slice.
+    fn run_parallel<'a>(
+        &'a mut self,
+        factory: &dyn ShardSourceFactory,
+        ctx: &RoundContext,
+        plan: &ShardPlan,
+        correct: Opinion,
+        mut outputs: Option<&'a mut [Opinion]>,
+    ) -> FusedCounters
+    where
+        P: Sync,
+    {
+        type ShardJob<'b> = (
+            u32,
+            std::ops::Range<usize>,
+            &'b mut [u64],
+            &'b mut [u8],
+            Option<&'b mut [Opinion]>,
+        );
+        let n = self.opinions.len();
+        if let Some(out) = outputs.as_deref() {
+            assert_eq!(out.len(), n, "one output slot per agent");
+        }
+        let shards = plan.shards();
+        let has_aux = self.has_aux();
+        // Carve the planes into per-shard slices once. The plan's ranges
+        // start on word boundaries (see `ShardPlan::shard_range`), so the
+        // word splits below land exactly between shards and the slices
+        // are disjoint — which is what lets them run concurrently.
+        let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(shards as usize);
+        let mut words_rest = self.opinions.words_mut();
+        let mut aux_rest = &mut self.aux[..];
+        let mut outputs_rest = outputs.take();
+        for s in 0..shards {
+            let range = plan.shard_range(n, s);
+            if range.is_empty() {
+                continue;
+            }
+            debug_assert!(
+                range.start.is_multiple_of(WORD_BITS),
+                "shard range {range:?} splits a word"
+            );
+            let word_count = range.end.div_ceil(WORD_BITS) - range.start / WORD_BITS;
+            let (w, w_rest) = words_rest.split_at_mut(word_count);
+            words_rest = w_rest;
+            let aux_slice = if has_aux {
+                let (a, a_rest) = aux_rest.split_at_mut(range.len());
+                aux_rest = a_rest;
+                a
+            } else {
+                &mut []
+            };
+            let out_slice = outputs_rest.take().map(|o| {
+                let (head, tail) = o.split_at_mut(range.len());
+                outputs_rest = Some(tail);
+                head
+            });
+            jobs.push((s, range, w, aux_slice, out_slice));
+        }
+        let protocol = &self.protocol;
+        let run_shard = |(s, range, words, aux, out): ShardJob<'_>| {
+            let mut rng = plan.rng_for_shard(s);
+            let mut source = factory.shard_source(range.clone());
+            step_packed_slice(
+                protocol,
+                words,
+                aux,
+                range.len(),
+                source.as_mut(),
+                ctx,
+                &mut rng,
+                correct,
+                out,
+            )
+        };
+        // Reduce per-shard counters into fixed slots in shard order —
+        // exactly the discipline `TypedPopulation::step_fused_parallel`
+        // documents, so totals never depend on worker scheduling.
+        let workers = (plan.workers() as usize).min(jobs.len());
+        let mut totals = FusedCounters::default();
+        if workers <= 1 {
+            for job in jobs {
+                totals += run_shard(job);
+            }
+        } else {
+            let mut groups: Vec<Vec<_>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, job) in jobs.into_iter().enumerate() {
+                groups[i % workers].push(job);
+            }
+            let run_shard = &run_shard;
+            let per_shard = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|group| {
+                        scope.spawn(move || {
+                            group
+                                .into_iter()
+                                .map(|job| {
+                                    let s = job.0;
+                                    (s, run_shard(job))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut per_shard = vec![FusedCounters::default(); shards as usize];
+                for handle in handles {
+                    for (s, c) in handle.join().expect("shard worker panicked") {
+                        per_shard[s as usize] = c;
+                    }
+                }
+                per_shard
+            });
+            for c in per_shard {
+                totals += c;
+            }
+        }
+        totals
+    }
+}
+
+impl<P> Population for BitPopulation<P>
+where
+    P: Protocol + fmt::Debug + Send + Sync,
+{
+    fn protocol_name(&self) -> &str {
+        self.protocol.name()
+    }
+
+    fn samples_per_round(&self) -> u32 {
+        self.protocol.samples_per_round()
+    }
+
+    fn is_passive(&self) -> bool {
+        self.protocol.is_passive()
+    }
+
+    fn parallel_eligible(&self) -> bool {
+        self.protocol.parallel_eligible()
+    }
+
+    fn memory_footprint(&self) -> MemoryFootprint {
+        self.protocol.memory_footprint()
+    }
+
+    fn len(&self) -> usize {
+        self.opinions.len()
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.opinions.reserve(additional);
+        if self.has_aux() {
+            self.aux.reserve(additional);
+        }
+    }
+
+    fn push_agent(&mut self, opinion: Opinion, rng: &mut dyn RngCore) -> Opinion {
+        let state = self.protocol.init_state(opinion, rng);
+        let output = self.protocol.output(&state);
+        let (packed_opinion, packed_aux) = self.protocol.pack_state(&state);
+        debug_assert_eq!(packed_opinion, output);
+        self.opinions.push(packed_opinion);
+        if self.has_aux() {
+            self.aux.push(packed_aux);
+        }
+        output
+    }
+
+    fn step_batch(
+        &mut self,
+        observations: &[Observation],
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        outputs: &mut [Opinion],
+    ) {
+        let n = self.opinions.len();
+        assert_eq!(observations.len(), n, "one observation per agent");
+        assert_eq!(outputs.len(), n, "one output slot per agent");
+        for i in 0..n {
+            let mut state = self.unpack(i);
+            let new = self.protocol.step(&mut state, &observations[i], ctx, rng);
+            self.repack(i, &state);
+            outputs[i] = new;
+        }
+    }
+
+    fn step_fused(
+        &mut self,
+        source: &mut dyn ObservationSource,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        correct: Opinion,
+        outputs: &mut [Opinion],
+    ) -> FusedCounters {
+        let len = self.opinions.len();
+        let BitPopulation {
+            protocol,
+            opinions,
+            aux,
+            ..
+        } = self;
+        step_packed_slice(
+            protocol,
+            opinions.words_mut(),
+            aux,
+            len,
+            source,
+            ctx,
+            rng,
+            correct,
+            Some(outputs),
+        )
+    }
+
+    fn step_fused_parallel(
+        &mut self,
+        factory: &dyn ShardSourceFactory,
+        ctx: &RoundContext,
+        plan: &ShardPlan,
+        correct: Opinion,
+        outputs: &mut [Opinion],
+    ) -> FusedCounters {
+        self.run_parallel(factory, ctx, plan, correct, Some(outputs))
+    }
+
+    fn step_agent(
+        &mut self,
+        idx: usize,
+        obs: &Observation,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+    ) -> Opinion {
+        let mut state = self.unpack(idx);
+        let new = self.protocol.step(&mut state, obs, ctx, rng);
+        self.repack(idx, &state);
+        new
+    }
+
+    fn output_of(&self, idx: usize) -> Opinion {
+        self.opinions.get(idx)
+    }
+
+    fn decision_of(&self, idx: usize) -> Opinion {
+        // Packing is restricted to passive protocols: decision ≡ output
+        // ≡ the stored bit.
+        self.opinions.get(idx)
+    }
+
+    fn count_correct_decisions(&self, correct: Opinion) -> u64 {
+        let ones = self.opinions.count_ones();
+        if correct.is_one() {
+            ones
+        } else {
+            self.opinions.len() as u64 - ones
+        }
+    }
+
+    fn write_outputs(&self, out: &mut [Opinion]) {
+        assert_eq!(out.len(), self.opinions.len(), "one output slot per agent");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.opinions.get(i);
+        }
+    }
+
+    fn count_output_ones(&self) -> u64 {
+        self.opinions.count_ones()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.opinions.resident_bytes() + self.aux.capacity()
+    }
+
+    fn supports_inplace_rounds(&self) -> bool {
+        true
+    }
+
+    fn step_fused_inplace(
+        &mut self,
+        source: &mut dyn ObservationSource,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        correct: Opinion,
+    ) -> FusedCounters {
+        let len = self.opinions.len();
+        let BitPopulation {
+            protocol,
+            opinions,
+            aux,
+            ..
+        } = self;
+        step_packed_slice(
+            protocol,
+            opinions.words_mut(),
+            aux,
+            len,
+            source,
+            ctx,
+            rng,
+            correct,
+            None,
+        )
+    }
+
+    fn step_fused_parallel_inplace(
+        &mut self,
+        factory: &dyn ShardSourceFactory,
+        ctx: &RoundContext,
+        plan: &ShardPlan,
+        correct: Opinion,
+    ) -> FusedCounters {
+        self.run_parallel(factory, ctx, plan, correct, None)
+    }
+
+    fn write_opinion_words(&self, snapshot: &mut [u64]) {
+        snapshot.copy_from_slice(self.opinions.words());
+    }
+}
+
+impl<P> DynPopulation for BitPopulation<P>
+where
+    P: Protocol + Clone + fmt::Debug + Send + Sync + 'static,
+    P::State: 'static,
+{
+    fn clone_box(&self) -> Box<dyn DynPopulation> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fet::FetProtocol;
+    use crate::population::TypedPopulation;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::SmallRng {
+        rand::rngs::SmallRng::seed_from_u64(0xB17)
+    }
+
+    fn filled_pair(n: usize) -> (TypedPopulation<FetProtocol>, BitPopulation<FetProtocol>) {
+        let proto = FetProtocol::new(8).unwrap();
+        let mut typed = TypedPopulation::new(proto.clone());
+        let mut bits = BitPopulation::new(proto);
+        let mut rt = rng();
+        let mut rb = rng();
+        for i in 0..n {
+            let opinion = Opinion::from(i % 3 == 0);
+            assert_eq!(
+                typed.push_agent(opinion, &mut rt),
+                bits.push_agent(opinion, &mut rb)
+            );
+        }
+        (typed, bits)
+    }
+
+    #[test]
+    fn plane_push_get_set_count() {
+        let mut plane = BitPlane::new();
+        for i in 0..130 {
+            plane.push(Opinion::from(i % 5 == 0));
+        }
+        assert_eq!(plane.len(), 130);
+        assert_eq!(plane.words().len(), 3);
+        for i in 0..130 {
+            assert_eq!(plane.get(i), Opinion::from(i % 5 == 0));
+        }
+        let scalar = (0..130).filter(|i| i % 5 == 0).count() as u64;
+        assert_eq!(plane.count_ones(), scalar);
+        plane.set(129, Opinion::One);
+        plane.set(0, Opinion::Zero);
+        assert_eq!(plane.get(129), Opinion::One);
+        assert_eq!(plane.get(0), Opinion::Zero);
+        // Trailing bits stay zero: the popcount matches a scalar recount.
+        let recount = (0..130).filter(|&i| plane.get(i).is_one()).count() as u64;
+        assert_eq!(plane.count_ones(), recount);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn plane_get_bounds_checked() {
+        let plane = BitPlane::zeroed(64);
+        let _ = plane.get(64);
+    }
+
+    #[test]
+    fn push_agent_matches_typed_stream() {
+        let (typed, bits) = filled_pair(97);
+        for i in 0..97 {
+            assert_eq!(typed.output_of(i), bits.output_of(i));
+            assert_eq!(
+                typed.states()[i],
+                bits.protocol()
+                    .unpack_state(bits.opinion_plane().get(i), bits.aux_plane()[i]),
+                "agent {i} state diverged through pack/unpack"
+            );
+        }
+        assert_eq!(typed.count_output_ones(), bits.count_output_ones());
+    }
+
+    #[test]
+    fn fused_round_matches_typed_population() {
+        use crate::population::Population;
+        struct Uniform {
+            m: u32,
+        }
+        impl ObservationSource for Uniform {
+            fn next_observation(&mut self, rng: &mut dyn RngCore) -> Observation {
+                Observation::new(rng.next_u32() % (self.m + 1), self.m).unwrap()
+            }
+        }
+        let (mut typed, mut bits) = filled_pair(77);
+        let m = typed.samples_per_round();
+        let ctx = RoundContext::new(3);
+        let mut rt = rand::rngs::SmallRng::seed_from_u64(42);
+        let mut rb = rand::rngs::SmallRng::seed_from_u64(42);
+        let mut out_t = vec![Opinion::Zero; 77];
+        let mut out_b = vec![Opinion::Zero; 77];
+        let ct = typed.step_fused(&mut Uniform { m }, &ctx, &mut rt, Opinion::One, &mut out_t);
+        let cb = bits.step_fused(&mut Uniform { m }, &ctx, &mut rb, Opinion::One, &mut out_b);
+        assert_eq!(out_t, out_b);
+        assert_eq!(ct, cb);
+        // And the in-place variant walks the very same stream.
+        let (_, mut bits2) = filled_pair(77);
+        let mut r2 = rand::rngs::SmallRng::seed_from_u64(42);
+        let c2 = bits2.step_fused_inplace(&mut Uniform { m }, &ctx, &mut r2, Opinion::One);
+        assert_eq!(c2, cb);
+        for (i, &out) in out_b.iter().enumerate() {
+            assert_eq!(bits2.output_of(i), out);
+        }
+    }
+
+    #[test]
+    fn correct_decision_popcount_matches_scalar() {
+        let (typed, bits) = filled_pair(130);
+        for correct in [Opinion::Zero, Opinion::One] {
+            assert_eq!(
+                typed.count_correct_decisions(correct),
+                bits.count_correct_decisions(correct)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "declares no packed state layout")]
+    fn unpackable_protocol_is_rejected() {
+        // ℓ = 300 overflows the byte plane, so FET falls back to Unpacked.
+        let _ = BitPopulation::new(FetProtocol::new(300).unwrap());
+    }
+
+    #[test]
+    fn resident_bytes_counts_both_planes() {
+        let (_, bits) = filled_pair(200);
+        let want = bits.opinion_plane().resident_bytes() + bits.aux_plane().len();
+        assert!(bits.resident_bytes() >= want);
+        // ~1 bit + 1 byte per agent, not 8 bytes per state.
+        assert!(bits.resident_bytes() < 200 * std::mem::size_of::<crate::fet::FetState>());
+    }
+}

@@ -43,11 +43,12 @@
 //! [`DynPopulation`]: crate::population::DynPopulation
 //! [`TypedPopulation<ErasedProtocol>`]: crate::population::TypedPopulation
 
+use crate::bitplane::BitPopulation;
 use crate::memory::MemoryFootprint;
 use crate::observation::Observation;
 use crate::opinion::Opinion;
 use crate::population::{DynPopulation, TypedPopulation};
-use crate::protocol::{Protocol, RoundContext};
+use crate::protocol::{Protocol, RoundContext, StatePlanes};
 use rand::RngCore;
 use std::any::Any;
 use std::fmt;
@@ -136,6 +137,15 @@ pub trait DynProtocol: fmt::Debug + Send + Sync {
     /// of the protocol configuration, so the handle and the population can
     /// live independently.
     fn fresh_population_erased(&self) -> Box<dyn DynPopulation>;
+    /// See [`Protocol::state_planes`] — the *underlying* protocol's packed
+    /// layout (the erased wrapper's own boxed states never pack).
+    fn state_planes_erased(&self) -> StatePlanes;
+    /// Creates an empty **bit-plane** population container
+    /// ([`BitPopulation`]) for this
+    /// protocol, or `None` when the protocol does not pack
+    /// ([`Protocol::state_planes`] is [`StatePlanes::Unpacked`], or the
+    /// protocol is not passive).
+    fn fresh_bit_population_erased(&self) -> Option<Box<dyn DynPopulation>>;
 }
 
 fn downcast<'a, S: 'static>(state: &'a dyn DynState, name: &str) -> &'a S {
@@ -245,6 +255,18 @@ where
     fn fresh_population_erased(&self) -> Box<dyn DynPopulation> {
         Box::new(TypedPopulation::new(self.clone()))
     }
+
+    fn state_planes_erased(&self) -> StatePlanes {
+        Protocol::state_planes(self)
+    }
+
+    fn fresh_bit_population_erased(&self) -> Option<Box<dyn DynPopulation>> {
+        if Protocol::state_planes(self) != StatePlanes::Unpacked && Protocol::is_passive(self) {
+            Some(Box::new(BitPopulation::new(self.clone())))
+        } else {
+            None
+        }
+    }
 }
 
 /// A runtime-selected protocol usable wherever a typed [`Protocol`] is:
@@ -307,6 +329,24 @@ impl ErasedProtocol {
     /// not boxes — even though `self` is erased.
     pub fn population(&self) -> Box<dyn DynPopulation> {
         self.inner.fresh_population_erased()
+    }
+
+    /// The underlying *typed* protocol's packed plane layout. Distinct
+    /// from [`Protocol::state_planes`] on `self` (which reports
+    /// [`StatePlanes::Unpacked`] — boxed `dyn` states never pack): this
+    /// is the layout a bit-plane container would use.
+    pub fn packed_planes(&self) -> StatePlanes {
+        self.inner.state_planes_erased()
+    }
+
+    /// Creates an empty bit-plane population container
+    /// ([`BitPopulation`]) for the
+    /// underlying typed protocol — 1 bit/agent opinion storage — or
+    /// `None` when the protocol does not pack. Engines selecting storage
+    /// at runtime call this first and fall back to
+    /// [`ErasedProtocol::population`].
+    pub fn bit_population(&self) -> Option<Box<dyn DynPopulation>> {
+        self.inner.fresh_bit_population_erased()
     }
 }
 

@@ -31,7 +31,7 @@ use crate::error::CoreError;
 use crate::memory::{bits_for_count, MemoryFootprint};
 use crate::observation::Observation;
 use crate::opinion::Opinion;
-use crate::protocol::{FusedCounters, ObservationSource, Protocol, RoundContext};
+use crate::protocol::{FusedCounters, ObservationSource, Protocol, RoundContext, StatePlanes};
 use fet_stats::hypergeometric::SplitTable;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -322,6 +322,32 @@ impl Protocol for FetProtocol {
         // agent also holds the fresh count′ ∈ [0, ℓ].
         let count_bits = bits_for_count(self.ell);
         MemoryFootprint::new(1, count_bits, count_bits)
+    }
+
+    fn state_planes(&self) -> StatePlanes {
+        // The stored count″ ∈ [0, ℓ] fits the auxiliary byte plane iff
+        // ℓ ≤ 255; larger clocks fall back to typed storage.
+        if self.ell <= u32::from(u8::MAX) {
+            StatePlanes::OpinionPlusByte
+        } else {
+            StatePlanes::Unpacked
+        }
+    }
+
+    fn pack_state(&self, state: &FetState) -> (Opinion, u8) {
+        debug_assert!(
+            self.ell <= u32::from(u8::MAX) && state.prev_count_second_half <= self.ell,
+            "FET state {state:?} does not fit the byte plane (ell = {})",
+            self.ell
+        );
+        (state.opinion, state.prev_count_second_half as u8)
+    }
+
+    fn unpack_state(&self, opinion: Opinion, aux: u8) -> FetState {
+        FetState {
+            opinion,
+            prev_count_second_half: u32::from(aux),
+        }
     }
 }
 

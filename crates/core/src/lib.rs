@@ -51,6 +51,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod bitplane;
 pub mod config;
 pub mod erased;
 pub mod error;

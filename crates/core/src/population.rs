@@ -232,6 +232,87 @@ pub trait Population: fmt::Debug + Send {
     ///
     /// Panics when `out.len() != len()`.
     fn write_outputs(&self, out: &mut [Opinion]);
+
+    /// Number of agents whose public output is `One`. The default walks
+    /// [`Population::output_of`]; bit-plane containers answer by popcount.
+    fn count_output_ones(&self) -> u64 {
+        (0..self.len())
+            .filter(|&i| self.output_of(i).is_one())
+            .count() as u64
+    }
+
+    /// Resident heap bytes of the agent state storage (capacity, not
+    /// length — what the allocator actually holds). `0` when the
+    /// container does not account for itself.
+    fn resident_bytes(&self) -> usize {
+        0
+    }
+
+    /// `true` when this container supports the *in-place* fused rounds
+    /// ([`Population::step_fused_inplace`] /
+    /// [`Population::step_fused_parallel_inplace`]) that skip the
+    /// engine-side `outputs` buffer entirely. Only bit-plane containers
+    /// do: their opinion plane *is* the output store.
+    fn supports_inplace_rounds(&self) -> bool {
+        false
+    }
+
+    /// Like [`Population::step_fused`], but without an `outputs` slice:
+    /// the container's own opinion storage is the output store. Only
+    /// meaningful when [`Population::supports_inplace_rounds`] is `true`.
+    ///
+    /// # Panics
+    ///
+    /// The default panics — byte-addressed containers have no in-place
+    /// representation.
+    fn step_fused_inplace(
+        &mut self,
+        source: &mut dyn ObservationSource,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+        correct: Opinion,
+    ) -> FusedCounters {
+        let _ = (source, ctx, rng, correct);
+        panic!(
+            "population `{}` has no in-place fused round",
+            self.protocol_name()
+        );
+    }
+
+    /// Like [`Population::step_fused_parallel`], but without an `outputs`
+    /// slice. The plan's shard ranges must be word-aligned
+    /// ([`ShardPlan::shard_range`] guarantees it) so the opinion plane
+    /// splits at `u64` boundaries.
+    ///
+    /// # Panics
+    ///
+    /// The default panics — byte-addressed containers have no in-place
+    /// representation.
+    fn step_fused_parallel_inplace(
+        &mut self,
+        factory: &dyn ShardSourceFactory,
+        ctx: &RoundContext,
+        plan: &ShardPlan,
+        correct: Opinion,
+    ) -> FusedCounters {
+        let _ = (factory, ctx, plan, correct);
+        panic!(
+            "population `{}` has no in-place fused round",
+            self.protocol_name()
+        );
+    }
+
+    /// Copies the opinion plane word-for-word into `snapshot`, which must
+    /// hold exactly `len().div_ceil(64)` words. Only meaningful when
+    /// [`Population::supports_inplace_rounds`] is `true`; the default
+    /// panics.
+    fn write_opinion_words(&self, snapshot: &mut [u64]) {
+        let _ = snapshot;
+        panic!(
+            "population `{}` has no packed opinion plane",
+            self.protocol_name()
+        );
+    }
 }
 
 /// A clonable [`Population`] — the type protocol factories hand out.
@@ -494,6 +575,17 @@ where
         for (slot, state) in out.iter_mut().zip(&self.states) {
             *slot = self.protocol.output(state);
         }
+    }
+
+    fn count_output_ones(&self) -> u64 {
+        self.states
+            .iter()
+            .filter(|s| self.protocol.output(s).is_one())
+            .count() as u64
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.states.capacity() * std::mem::size_of::<P::State>()
     }
 }
 

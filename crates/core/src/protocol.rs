@@ -97,6 +97,32 @@ impl std::ops::AddAssign for FusedCounters {
     }
 }
 
+/// How a protocol's per-agent state can be packed into bit/byte planes
+/// for the bit-plane population representation
+/// ([`BitPopulation`](crate::bitplane::BitPopulation)).
+///
+/// A protocol that declares a packed layout promises that its whole
+/// [`Protocol::State`] round-trips through
+/// [`Protocol::pack_state`]/[`Protocol::unpack_state`]: the public
+/// opinion bit plus at most one auxiliary byte. The packed opinion bit
+/// **is** the state's [`Protocol::output`] (and, because packing is
+/// restricted to passive protocols, its decision too) — that identity is
+/// what lets the container answer global 1-counts by popcount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StatePlanes {
+    /// The state does not pack; only the unpacked typed container
+    /// ([`TypedPopulation`](crate::population::TypedPopulation)) can hold
+    /// it. The default.
+    Unpacked,
+    /// The state is exactly the public opinion (voter, 3-majority): one
+    /// bit per agent, no auxiliary plane.
+    OpinionOnly,
+    /// The state is the public opinion plus one auxiliary value that fits
+    /// a byte (FET with `ℓ ≤ 255`: the stored `count″ ∈ [0, ℓ]`): one bit
+    /// plane plus one parallel byte plane.
+    OpinionPlusByte,
+}
+
 /// A per-agent protocol: a pure state machine driven by passive
 /// observations.
 ///
@@ -293,6 +319,51 @@ pub trait Protocol {
 
     /// Memory accounting for Theorem 1's `O(log ℓ)` bits claim.
     fn memory_footprint(&self) -> MemoryFootprint;
+
+    /// Declares whether (and how) this protocol's state packs into
+    /// bit/byte planes — the descriptor the bit-plane population
+    /// representation keys off. Defaults to [`StatePlanes::Unpacked`]
+    /// (typed storage only, API unchanged).
+    ///
+    /// # Contract
+    ///
+    /// A protocol returning anything other than `Unpacked` must
+    ///
+    /// * be passive ([`Protocol::is_passive`] — the packed opinion bit
+    ///   doubles as the decision bit);
+    /// * implement [`Protocol::pack_state`]/[`Protocol::unpack_state`] as
+    ///   mutual inverses over every state reachable from
+    ///   [`Protocol::init_state`] and [`Protocol::step`];
+    /// * pack the opinion bit as exactly [`Protocol::output`] of the
+    ///   state.
+    fn state_planes(&self) -> StatePlanes {
+        StatePlanes::Unpacked
+    }
+
+    /// Packs a state into `(opinion bit, auxiliary byte)` — the planes of
+    /// [`StatePlanes`]. Protocols declaring [`StatePlanes::OpinionOnly`]
+    /// return `(output, 0)`.
+    ///
+    /// # Panics
+    ///
+    /// The default panics: only protocols whose
+    /// [`Protocol::state_planes`] is not `Unpacked` are packed, and those
+    /// must override.
+    fn pack_state(&self, state: &Self::State) -> (Opinion, u8) {
+        let _ = state;
+        panic!("protocol `{}` declares no packed state layout", self.name());
+    }
+
+    /// Reconstructs the state packed as `(opinion, aux)` by
+    /// [`Protocol::pack_state`].
+    ///
+    /// # Panics
+    ///
+    /// The default panics, exactly as [`Protocol::pack_state`].
+    fn unpack_state(&self, opinion: Opinion, aux: u8) -> Self::State {
+        let _ = (opinion, aux);
+        panic!("protocol `{}` declares no packed state layout", self.name());
+    }
 }
 
 #[cfg(test)]

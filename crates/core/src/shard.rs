@@ -66,9 +66,11 @@ pub trait ShardSourceFactory: Sync {
 
 /// The partition and stream base for one parallel fused round.
 ///
-/// A plan splits `n` agents into [`ShardPlan::shards`] balanced contiguous
-/// ranges (sizes differ by at most one, earlier shards take the remainder)
-/// and assigns shard `s` the RNG [`ShardPlan::rng_for_shard`]`(s)` —
+/// A plan splits `n` agents into [`ShardPlan::shards`] contiguous,
+/// **word-aligned** ranges (the `⌈n/64⌉` bit-plane words are balanced
+/// across shards, earlier shards take the remainder; see
+/// [`ShardPlan::shard_range`]) and assigns shard `s` the RNG
+/// [`ShardPlan::rng_for_shard`]`(s)` —
 /// seeded by the workspace's canonical counter split
 /// ([`fet_stats::rng::counter_stream_base`] over `(stream, round)`, then
 /// [`fet_stats::rng::counter_split`] per shard index), a pure derivation
@@ -119,18 +121,36 @@ impl ShardPlan {
     }
 
     /// The contiguous agent range of shard `s` in a population of `n`
-    /// agents: balanced sizes (`⌈n/shards⌉` for the first `n mod shards`
-    /// shards, `⌊n/shards⌋` after), empty for trailing shards when
-    /// `n < shards` (the degenerate small-population case).
+    /// agents.
+    ///
+    /// Ranges are **word-aligned**: the `⌈n/64⌉` plane words are balanced
+    /// across the shards (word counts differ by at most one, earlier
+    /// shards take the remainder) and converted back to agent indices, so
+    /// every non-empty range starts on a multiple of 64 and only the last
+    /// non-empty range may end mid-word (at `n`, where empty trailing
+    /// shards then sit). This is what lets bit-plane
+    /// populations carve their packed `u64` opinion plane with
+    /// `split_at_mut` — no shard boundary ever splits a word — while
+    /// byte-addressed containers accept any consecutive partition
+    /// unchanged. Trailing shards are empty when there are fewer words
+    /// than shards.
+    ///
+    /// Like the shard count itself, the exact partition is part of the
+    /// trajectory's keyed determinism contract: a pure function of
+    /// `(n, shards, s)`, never of workers or scheduling.
     pub fn shard_range(&self, n: usize, s: u32) -> Range<usize> {
+        const WORD: usize = 64;
         let shards = self.shards as usize;
         let s = s as usize;
         debug_assert!(s < shards, "shard index {s} out of {shards}");
-        let base = n / shards;
-        let rem = n % shards;
-        let start = s * base + s.min(rem);
-        let len = base + usize::from(s < rem);
-        start..start + len
+        let words = n.div_ceil(WORD);
+        let base = words / shards;
+        let rem = words % shards;
+        let start_w = s * base + s.min(rem);
+        let len_w = base + usize::from(s < rem);
+        let start = (start_w * WORD).min(n);
+        let end = ((start_w + len_w) * WORD).min(n);
+        start..end
     }
 }
 
@@ -140,17 +160,28 @@ mod tests {
     use rand::RngCore;
 
     #[test]
-    fn ranges_partition_the_population() {
-        for n in [0usize, 1, 2, 5, 7, 100, 101] {
+    fn ranges_partition_the_population_word_aligned() {
+        for n in [0usize, 1, 2, 5, 63, 64, 65, 100, 101, 128, 1000, 4099] {
             for shards in [1u32, 2, 3, 7, 16] {
                 let plan = ShardPlan::new(shards, 1, 42, 0);
+                let words = n.div_ceil(64);
                 let mut next = 0usize;
                 for s in 0..shards {
                     let r = plan.shard_range(n, s);
                     assert_eq!(r.start, next, "n={n} shards={shards} s={s}");
                     next = r.end;
-                    // Balanced: sizes differ by at most one.
-                    assert!(r.len() <= n / shards as usize + 1);
+                    // Every non-empty range starts on a word boundary
+                    // (empty trailing ranges sit at n, wherever that is)…
+                    if !r.is_empty() {
+                        assert_eq!(r.start % 64, 0, "n={n} shards={shards} s={s}");
+                    }
+                    // …and word counts are balanced: they differ by at
+                    // most one across shards.
+                    let r_words = r.end.div_ceil(64) - r.start / 64;
+                    assert!(
+                        r_words <= words / shards as usize + 1,
+                        "n={n} shards={shards} s={s}: {r_words} words"
+                    );
                 }
                 assert_eq!(next, n, "ranges must cover exactly [0, n)");
             }
@@ -159,10 +190,24 @@ mod tests {
 
     #[test]
     fn degenerate_small_populations_leave_trailing_shards_empty() {
+        // Three agents all share word 0, so shard 0 takes the whole
+        // population and the other shards come back empty — word
+        // alignment refuses to split the agents' shared `u64`.
         let plan = ShardPlan::new(8, 8, 1, 0);
         for s in 0..8 {
             let r = plan.shard_range(3, s);
-            assert_eq!(r.len(), usize::from(s < 3));
+            assert_eq!(r.len(), if s == 0 { 3 } else { 0 });
+        }
+        // With two words and eight shards, the second word goes to
+        // shard 1.
+        for s in 0..8 {
+            let r = plan.shard_range(100, s);
+            let want = match s {
+                0 => 0..64,
+                1 => 64..100,
+                _ => 100..100,
+            };
+            assert_eq!(r, want, "s={s}");
         }
     }
 

@@ -10,7 +10,7 @@
 use fet_core::memory::MemoryFootprint;
 use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
-use fet_core::protocol::{FusedCounters, ObservationSource, Protocol, RoundContext};
+use fet_core::protocol::{FusedCounters, ObservationSource, Protocol, RoundContext, StatePlanes};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +120,18 @@ impl Protocol for VoterProtocol {
 
     fn memory_footprint(&self) -> MemoryFootprint {
         MemoryFootprint::new(1, 0, 0)
+    }
+
+    fn state_planes(&self) -> StatePlanes {
+        StatePlanes::OpinionOnly
+    }
+
+    fn pack_state(&self, state: &Opinion) -> (Opinion, u8) {
+        (*state, 0)
+    }
+
+    fn unpack_state(&self, opinion: Opinion, _aux: u8) -> Opinion {
+        opinion
     }
 }
 

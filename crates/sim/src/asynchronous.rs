@@ -128,6 +128,12 @@ impl<P: Protocol> AsyncEngine<P> {
         self.ticks / self.spec.n()
     }
 
+    /// Heap bytes resident in the per-agent state and output buffers.
+    pub fn resident_state_bytes(&self) -> usize {
+        self.states.capacity() * std::mem::size_of::<P::State>()
+            + self.outputs.capacity() * std::mem::size_of::<Opinion>()
+    }
+
     /// The paper's `x_t` (fraction of ones over the whole population).
     pub fn fraction_ones(&self) -> f64 {
         self.ones_count as f64 / self.spec.n() as f64

@@ -99,8 +99,9 @@ use crate::init::InitialCondition;
 use crate::neighborhood::{ensure_observable, Neighborhood};
 use crate::observer::{RoundObserver, RoundSnapshot};
 use crate::sources::{
-    GraphSourceFactory, MeanFieldSampler, MeanFieldSource, MeanFieldSourceFactory,
+    GraphSourceFactory, MeanFieldSampler, MeanFieldSource, MeanFieldSourceFactory, SnapshotView,
 };
+use fet_core::bitplane::BitPlane;
 use fet_core::config::ProblemSpec;
 use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
@@ -366,6 +367,18 @@ struct EngineCore {
     snapshot: Vec<Opinion>,
     obs_buf: Vec<Observation>,
     out_buf: Vec<Opinion>,
+    /// `true` when the population stores opinions as packed bit planes
+    /// ([`Population::supports_inplace_rounds`]): the engine then keeps
+    /// **no** byte-addressed `outputs` buffer at all — the population's
+    /// own opinion plane is the output store, rounds run through the
+    /// in-place fused kernels, and graph rounds double-buffer round-start
+    /// opinions in [`EngineCore::bit_snapshot`] (1 bit/agent instead of
+    /// 1 byte/agent).
+    bit_store: bool,
+    /// The round-start opinion plane copy for bit-plane graph rounds
+    /// (word-copied from the population each round; empty on mean-field
+    /// runs and on byte-addressed populations).
+    bit_snapshot: BitPlane,
     ones_count: u64,
     correct_decisions: u64,
     rng: SmallRng,
@@ -414,14 +427,24 @@ impl EngineCore {
         check_fidelity(pop.samples_per_round(), fidelity, n)?;
         let num_sources = spec.num_sources() as usize;
         let source = Source::new(spec.correct());
-        let mut outputs = Vec::with_capacity(n);
-        for _ in 0..num_sources {
-            outputs.push(source.output());
+        // Bit-plane populations keep no byte output buffer: the opinion
+        // plane itself is the output store. The construction RNG stream
+        // (one draw + one init per agent, in order) is shared either way.
+        let bits = pop.supports_inplace_rounds();
+        let mut outputs = Vec::new();
+        if !bits {
+            outputs.reserve(n);
+            for _ in 0..num_sources {
+                outputs.push(source.output());
+            }
         }
         pop.reserve(n - num_sources);
         for _ in num_sources..n {
             let opinion = init.draw(spec.correct(), &mut rng);
-            outputs.push(pop.push_agent(opinion, &mut rng));
+            let out = pop.push_agent(opinion, &mut rng);
+            if !bits {
+                outputs.push(out);
+            }
         }
         Ok(Self::assemble(
             pop, spec, source, fidelity, outputs, rng, seed,
@@ -451,8 +474,13 @@ impl EngineCore {
             });
         }
         let source = Source::new(spec.correct());
-        let mut outputs = vec![source.output(); n];
-        pop.write_outputs(&mut outputs[num_sources..]);
+        let outputs = if pop.supports_inplace_rounds() {
+            Vec::new()
+        } else {
+            let mut outputs = vec![source.output(); n];
+            pop.write_outputs(&mut outputs[num_sources..]);
+            outputs
+        };
         Ok(Self::assemble(
             pop, spec, source, fidelity, outputs, rng, seed,
         ))
@@ -467,7 +495,8 @@ impl EngineCore {
         rng: SmallRng,
         seed: u64,
     ) -> Self {
-        let ones_count = outputs.iter().filter(|o| o.is_one()).count() as u64;
+        let ones_count =
+            spec.num_sources() * u64::from(source.output().is_one()) + pop.count_output_ones();
         let correct_decisions = pop.count_correct_decisions(source.correct());
         EngineCore {
             spec,
@@ -484,6 +513,8 @@ impl EngineCore {
             snapshot: Vec::new(),
             obs_buf: Vec::new(),
             out_buf: Vec::new(),
+            bit_store: pop.supports_inplace_rounds(),
+            bit_snapshot: BitPlane::new(),
             ones_count,
             correct_decisions,
             rng,
@@ -513,11 +544,14 @@ impl EngineCore {
     /// Re-derives outputs and counters from the population's states.
     fn refresh_caches<A: Population + ?Sized>(&mut self, pop: &A) {
         let num_sources = self.spec.num_sources() as usize;
-        for i in 0..num_sources {
-            self.outputs[i] = self.source.output();
+        if !self.bit_store {
+            for i in 0..num_sources {
+                self.outputs[i] = self.source.output();
+            }
+            pop.write_outputs(&mut self.outputs[num_sources..]);
         }
-        pop.write_outputs(&mut self.outputs[num_sources..]);
-        self.ones_count = self.outputs.iter().filter(|o| o.is_one()).count() as u64;
+        self.ones_count =
+            num_sources as u64 * u64::from(self.source.output().is_one()) + pop.count_output_ones();
         self.correct_decisions = pop.count_correct_decisions(self.source.correct());
     }
 
@@ -581,6 +615,15 @@ impl EngineCore {
                     .into(),
             });
         }
+        if self.bit_store && mode == ExecutionMode::Batched {
+            return Err(SimError::InvalidParameter {
+                name: "mode",
+                detail: "offending axis: storage — bit-plane populations keep no byte output \
+                         buffer, so the buffered batched pipeline cannot run on them; use a \
+                         fused mode (or byte storage for batched A/B replays)"
+                    .into(),
+            });
+        }
         if let ExecutionMode::FusedParallel { threads } = mode {
             if threads == 0 {
                 return Err(SimError::InvalidParameter {
@@ -607,13 +650,15 @@ impl EngineCore {
     /// whose every round went through the mean-field fused path — the
     /// measurable form of its `O(1)`-auxiliary-memory guarantee. Graph
     /// (neighborhood) fused runs report exactly the persistent opinion
-    /// double buffer (~1 byte/agent, allocated once, rotated thereafter);
-    /// batched runs additionally keep the ~9 bytes/agent
-    /// observation/output buffers.
+    /// double buffer (~1 byte/agent, allocated once, rotated thereafter —
+    /// or ~1 **bit**/agent on bit-plane populations, whose round-start
+    /// snapshot is a packed word plane); batched runs additionally keep
+    /// the ~9 bytes/agent observation/output buffers.
     fn scratch_bytes(&self) -> usize {
         self.snapshot.capacity() * std::mem::size_of::<Opinion>()
             + self.obs_buf.capacity() * std::mem::size_of::<Observation>()
             + self.out_buf.capacity() * std::mem::size_of::<Opinion>()
+            + self.bit_snapshot.resident_bytes()
     }
 
     /// Executes one synchronous round (see [`Engine::step`]).
@@ -624,6 +669,11 @@ impl EngineCore {
             self.refresh_caches(pop);
         }
         if self.fault.sleep_prob > 0.0 {
+            assert!(
+                !self.bit_store,
+                "sleepy-agent faults need the per-agent byte output buffer; \
+                 run them on byte storage"
+            );
             // Synchrony: all observations read the round-t outputs.
             // Mean-field rounds consume only the global 1-count, so the
             // O(n) snapshot copy is skipped there.
@@ -640,9 +690,15 @@ impl EngineCore {
                     RoundImpl::Batched => self.snapshot.clone_from(&self.outputs),
                     // Fused graph rounds write outputs in place while the
                     // graph source still reads round-start opinions: rotate
-                    // the persistent double buffer instead of copying.
+                    // the persistent double buffer instead of copying —
+                    // or, on bit-plane populations, word-copy the packed
+                    // opinion plane into the 1 bit/agent word snapshot.
                     RoundImpl::Fused | RoundImpl::FusedParallel { .. } => {
-                        self.rotate_opinion_buffer()
+                        if self.bit_store {
+                            self.refresh_bit_snapshot(pop);
+                        } else {
+                            self.rotate_opinion_buffer();
+                        }
                     }
                 }
             }
@@ -676,9 +732,23 @@ impl EngineCore {
         }
     }
 
+    /// The bit-plane analogue of [`EngineCore::rotate_opinion_buffer`]:
+    /// word-copies the population's packed opinion plane into the
+    /// persistent round-start snapshot (1 bit/agent, allocated once).
+    /// Graph sources then read it through [`SnapshotView::Bits`] while
+    /// the in-place kernel overwrites the population plane.
+    fn refresh_bit_snapshot<A: Population + ?Sized>(&mut self, pop: &A) {
+        if self.bit_snapshot.len() != pop.len() {
+            self.bit_snapshot = BitPlane::zeroed(pop.len());
+        }
+        pop.write_opinion_words(self.bit_snapshot.words_mut());
+    }
+
     /// Per-round samplers for the current fidelity (`None` = literal).
     fn round_samplers(&self, m: u32) -> (Option<BinomialSampler>, Option<Hypergeometric>) {
-        let n = self.outputs.len();
+        // Sized from the spec, not the byte output buffer — bit-plane
+        // populations keep no such buffer.
+        let n = self.spec.n() as usize;
         let x_t = self.ones_count as f64 / n as f64;
         match self.fidelity {
             Fidelity::Agent => (None, None),
@@ -704,7 +774,7 @@ impl EngineCore {
     /// `step_batch` over the contiguous state buffer, counters folded from
     /// `out_buf` plus one decision count.
     fn step_batched<A: Population + ?Sized>(&mut self, pop: &mut A) {
-        let n = self.outputs.len();
+        let n = self.spec.n() as usize;
         let num_sources = self.spec.num_sources() as usize;
         let num_agents = pop.len();
         let m = pop.samples_per_round();
@@ -759,26 +829,40 @@ impl EngineCore {
         let ctx = RoundContext::new(self.round);
         let correct = self.source.correct();
         let fault = (self.fault.flip_prob > 0.0).then_some(&self.fault);
+        let num_sources_u32 = u32::try_from(num_sources).expect("num_sources < n fits u32");
         let counters = if let Some(nb) = self.neighborhood.as_deref() {
+            let view = if self.bit_store {
+                SnapshotView::Bits {
+                    source_output: self.source.output(),
+                    num_sources: num_sources_u32,
+                    words: self.bit_snapshot.words(),
+                }
+            } else {
+                SnapshotView::Bytes(&self.snapshot)
+            };
             let factory = GraphSourceFactory::new(
                 nb,
-                &self.snapshot,
+                view,
                 fault,
                 m,
-                u32::try_from(num_sources).expect("num_sources < n fits u32"),
+                num_sources_u32,
                 self.graph_index_stream,
                 self.round,
             );
             // Stack-built source over the full range: no per-round
             // allocation on the single-threaded path.
             let mut obs_source = factory.source_for(0..pop.len());
-            pop.step_fused(
-                &mut obs_source,
-                &ctx,
-                &mut self.rng,
-                correct,
-                &mut self.outputs[num_sources..],
-            )
+            if self.bit_store {
+                pop.step_fused_inplace(&mut obs_source, &ctx, &mut self.rng, correct)
+            } else {
+                pop.step_fused(
+                    &mut obs_source,
+                    &ctx,
+                    &mut self.rng,
+                    correct,
+                    &mut self.outputs[num_sources..],
+                )
+            }
         } else {
             let (binomial, hypergeometric) = self.round_samplers(m);
             let sampler = match (binomial.as_ref(), hypergeometric.as_ref()) {
@@ -787,13 +871,17 @@ impl EngineCore {
                 _ => unreachable!("fused complete-graph rounds run on mean-field fidelities only"),
             };
             let mut obs_source = MeanFieldSource { sampler, fault, m };
-            pop.step_fused(
-                &mut obs_source,
-                &ctx,
-                &mut self.rng,
-                correct,
-                &mut self.outputs[num_sources..],
-            )
+            if self.bit_store {
+                pop.step_fused_inplace(&mut obs_source, &ctx, &mut self.rng, correct)
+            } else {
+                pop.step_fused(
+                    &mut obs_source,
+                    &ctx,
+                    &mut self.rng,
+                    correct,
+                    &mut self.outputs[num_sources..],
+                )
+            }
         };
         self.settle_fused_counters(pop, counters);
     }
@@ -821,23 +909,37 @@ impl EngineCore {
             None => shards,
         };
         let plan = ShardPlan::new(shards, workers, self.parallel_stream, self.round);
+        let num_sources_u32 = u32::try_from(num_sources).expect("num_sources < n fits u32");
         let counters = if let Some(nb) = self.neighborhood.as_deref() {
+            let view = if self.bit_store {
+                SnapshotView::Bits {
+                    source_output: self.source.output(),
+                    num_sources: num_sources_u32,
+                    words: self.bit_snapshot.words(),
+                }
+            } else {
+                SnapshotView::Bytes(&self.snapshot)
+            };
             let factory = GraphSourceFactory::new(
                 nb,
-                &self.snapshot,
+                view,
                 fault,
                 m,
-                u32::try_from(num_sources).expect("num_sources < n fits u32"),
+                num_sources_u32,
                 self.graph_index_stream,
                 self.round,
             );
-            pop.step_fused_parallel(
-                &factory,
-                &ctx,
-                &plan,
-                correct,
-                &mut self.outputs[num_sources..],
-            )
+            if self.bit_store {
+                pop.step_fused_parallel_inplace(&factory, &ctx, &plan, correct)
+            } else {
+                pop.step_fused_parallel(
+                    &factory,
+                    &ctx,
+                    &plan,
+                    correct,
+                    &mut self.outputs[num_sources..],
+                )
+            }
         } else {
             let (binomial, hypergeometric) = self.round_samplers(m);
             let sampler = match (binomial.as_ref(), hypergeometric.as_ref()) {
@@ -848,13 +950,17 @@ impl EngineCore {
                 ),
             };
             let factory = MeanFieldSourceFactory { sampler, fault, m };
-            pop.step_fused_parallel(
-                &factory,
-                &ctx,
-                &plan,
-                correct,
-                &mut self.outputs[num_sources..],
-            )
+            if self.bit_store {
+                pop.step_fused_parallel_inplace(&factory, &ctx, &plan, correct)
+            } else {
+                pop.step_fused_parallel(
+                    &factory,
+                    &ctx,
+                    &plan,
+                    correct,
+                    &mut self.outputs[num_sources..],
+                )
+            }
         };
         self.settle_fused_counters(pop, counters);
     }
@@ -869,7 +975,7 @@ impl EngineCore {
 
     /// The per-agent round path, used when sleepy-agent faults are active.
     fn step_with_sleep<A: Population + ?Sized>(&mut self, pop: &mut A) {
-        let n = self.outputs.len();
+        let n = self.spec.n() as usize;
         let num_sources = self.spec.num_sources() as usize;
         let m = pop.samples_per_round();
         let ctx = RoundContext::new(self.round);
@@ -1258,29 +1364,24 @@ impl PopulationEngine {
     ///
     /// As [`Engine::new`]. Additionally returns
     /// [`SimError::InvalidParameter`] when the container already holds
-    /// agents (populations are filled by the engine).
+    /// agents (populations are filled by the engine), or when a bit-plane
+    /// container ([`Population::supports_inplace_rounds`]) is paired with
+    /// the literal [`Fidelity::Agent`] on the complete graph — the one
+    /// configuration with no fused round for the in-place kernels to run.
     pub fn new(
-        mut population: Box<dyn DynPopulation>,
+        population: Box<dyn DynPopulation>,
         spec: ProblemSpec,
         fidelity: Fidelity,
         init: InitialCondition,
         seed: u64,
     ) -> Result<Self, SimError> {
-        if !population.is_empty() {
-            return Err(SimError::InvalidParameter {
-                name: "population",
-                detail: format!(
-                    "expected an empty container, got {} pre-filled agents",
-                    population.len()
-                ),
-            });
-        }
-        let core = EngineCore::construct(population.as_mut(), spec, fidelity, init, seed)?;
-        Ok(PopulationEngine { population, core })
+        PopulationEngine::build(population, spec, fidelity, init, seed, None)
     }
 
     /// Topology variant of [`PopulationEngine::new`]; see
-    /// [`Engine::with_neighborhood`].
+    /// [`Engine::with_neighborhood`]. Bit-plane containers are accepted
+    /// here (graph rounds are fused-capable): their round-start double
+    /// buffer is the packed 1 bit/agent word snapshot.
     ///
     /// # Errors
     ///
@@ -1294,9 +1395,51 @@ impl PopulationEngine {
         seed: u64,
     ) -> Result<Self, SimError> {
         let spec = neighborhood_spec(neighborhood.as_ref(), num_sources, correct)?;
-        let mut engine = PopulationEngine::new(population, spec, Fidelity::Agent, init, seed)?;
-        engine.core.neighborhood = Some(neighborhood);
-        Ok(engine)
+        PopulationEngine::build(
+            population,
+            spec,
+            Fidelity::Agent,
+            init,
+            seed,
+            Some(neighborhood),
+        )
+    }
+
+    /// Shared constructor body: fills the container, installs the
+    /// neighborhood (when any), and validates the storage/configuration
+    /// pairing — bit-plane containers run the fused family only, so they
+    /// need an on-demand observation source (a mean-field fidelity or a
+    /// neighborhood).
+    fn build(
+        mut population: Box<dyn DynPopulation>,
+        spec: ProblemSpec,
+        fidelity: Fidelity,
+        init: InitialCondition,
+        seed: u64,
+        neighborhood: Option<Box<dyn Neighborhood>>,
+    ) -> Result<Self, SimError> {
+        if !population.is_empty() {
+            return Err(SimError::InvalidParameter {
+                name: "population",
+                detail: format!(
+                    "expected an empty container, got {} pre-filled agents",
+                    population.len()
+                ),
+            });
+        }
+        let mut core = EngineCore::construct(population.as_mut(), spec, fidelity, init, seed)?;
+        core.neighborhood = neighborhood;
+        if core.bit_store && !core.fused_capable() {
+            return Err(SimError::InvalidParameter {
+                name: "storage",
+                detail: "offending axis: fidelity — bit-plane populations run the fused round \
+                         family only, and the literal Agent fidelity on the complete graph has \
+                         no on-demand observation source; use Binomial/WithoutReplacement, a \
+                         neighborhood, or byte storage"
+                    .into(),
+            });
+        }
+        Ok(PopulationEngine { population, core })
     }
 
     /// Installs a fault plan (replacing any previous plan).
@@ -1372,9 +1515,37 @@ impl PopulationEngine {
         self.core.all_correct()
     }
 
+    /// `true` when the engine drives a bit-plane population through the
+    /// in-place fused kernels (no byte output buffer exists; see
+    /// [`PopulationEngine::collect_outputs`]).
+    pub fn uses_bit_storage(&self) -> bool {
+        self.core.bit_store
+    }
+
     /// Public outputs of all agents (index `< num_sources` are sources).
+    ///
+    /// # Panics
+    ///
+    /// Panics on bit-plane storage, which keeps no byte output buffer —
+    /// use [`PopulationEngine::collect_outputs`] (allocating) or read the
+    /// population directly.
     pub fn outputs(&self) -> &[Opinion] {
+        assert!(
+            !self.core.bit_store,
+            "bit-plane runs keep no byte output buffer; use collect_outputs()"
+        );
         &self.core.outputs
+    }
+
+    /// The current outputs of all agents, materialized into a fresh
+    /// `Vec` — works on every storage representation (sources occupy
+    /// indices `< num_sources`). Allocates; meant for inspection and
+    /// equivalence tests, not hot paths.
+    pub fn collect_outputs(&self) -> Vec<Opinion> {
+        let num_sources = self.core.spec.num_sources() as usize;
+        let mut out = vec![self.core.source.output(); self.core.spec.n() as usize];
+        self.population.write_outputs(&mut out[num_sources..]);
+        out
     }
 
     /// Executes one synchronous round (see [`Engine::step`]).
@@ -2301,6 +2472,188 @@ mod tests {
         assert_eq!(
             auto_round_impl(true, 4, FUSED_PARALLEL_AUTO_MIN_N, true),
             RoundImpl::FusedParallel { shards: 4 }
+        );
+    }
+
+    // ---- bit-plane storage ----
+
+    fn fet_bit_population(ell: u32) -> Box<dyn fet_core::population::DynPopulation> {
+        ErasedProtocol::new(FetProtocol::new(ell).unwrap())
+            .bit_population()
+            .expect("small-ℓ FET is packable")
+    }
+
+    /// Bit-plane engines replay the typed engine's fused trajectories bit
+    /// for bit — mean-field, both fused modes, with and without noise and
+    /// retargeting.
+    #[test]
+    fn bit_population_engine_is_stream_identical_in_every_fused_mode() {
+        let cases: Vec<(ExecutionMode, FaultPlan)> = vec![
+            (ExecutionMode::Fused, FaultPlan::none()),
+            (ExecutionMode::Fused, FaultPlan::with_noise(0.03)),
+            (
+                ExecutionMode::Fused,
+                FaultPlan::with_source_retarget(5, Opinion::Zero),
+            ),
+            (
+                ExecutionMode::FusedParallel { threads: 3 },
+                FaultPlan::none(),
+            ),
+        ];
+        for (mode, fault) in cases {
+            let mut typed = Engine::new(
+                FetProtocol::new(8).unwrap(),
+                spec(150),
+                Fidelity::Binomial,
+                InitialCondition::Random,
+                77,
+            )
+            .unwrap();
+            typed.set_fault_plan(fault);
+            typed.set_execution_mode(mode).unwrap();
+            let mut bits = PopulationEngine::new(
+                fet_bit_population(8),
+                spec(150),
+                Fidelity::Binomial,
+                InitialCondition::Random,
+                77,
+            )
+            .unwrap();
+            assert!(bits.uses_bit_storage());
+            bits.set_fault_plan(fault);
+            bits.set_execution_mode(mode).unwrap();
+            let mut rec_t = TrajectoryRecorder::new();
+            let mut rec_b = TrajectoryRecorder::new();
+            let rt = typed.run(120, ConvergenceCriterion::new(3), &mut rec_t);
+            let rb = bits.run(120, ConvergenceCriterion::new(3), &mut rec_b);
+            assert_eq!(rt, rb, "{mode:?}/{fault:?} reports diverged");
+            assert_eq!(
+                rec_t.into_fractions(),
+                rec_b.into_fractions(),
+                "{mode:?}/{fault:?} trajectories diverged"
+            );
+            assert_eq!(typed.outputs(), bits.collect_outputs().as_slice());
+        }
+    }
+
+    /// Graph rounds on bit-plane storage read the packed word snapshot
+    /// through the same index stream as the byte double buffer: the
+    /// trajectories are bit-identical across storage representations.
+    #[test]
+    fn bit_population_engine_on_a_ring_matches_typed() {
+        for mode in [
+            ExecutionMode::Fused,
+            ExecutionMode::FusedParallel { threads: 3 },
+        ] {
+            let mut typed = Engine::with_neighborhood(
+                FetProtocol::new(3).unwrap(),
+                Box::new(Ring::new(151)),
+                2,
+                Opinion::One,
+                InitialCondition::AllWrong,
+                19,
+            )
+            .unwrap();
+            typed.set_execution_mode(mode).unwrap();
+            let mut bits = PopulationEngine::with_neighborhood(
+                fet_bit_population(3),
+                Box::new(Ring::new(151)),
+                2,
+                Opinion::One,
+                InitialCondition::AllWrong,
+                19,
+            )
+            .unwrap();
+            bits.set_execution_mode(mode).unwrap();
+            for _ in 0..40 {
+                typed.step();
+                bits.step();
+            }
+            assert_eq!(
+                typed.outputs(),
+                bits.collect_outputs().as_slice(),
+                "{mode:?}"
+            );
+            assert_eq!(typed.fraction_correct(), bits.fraction_correct());
+        }
+    }
+
+    /// The one configuration with no fused round is rejected at
+    /// construction, the batched pipeline at mode-set time, and the byte
+    /// output accessor panics — bit-plane runs keep no such buffer.
+    #[test]
+    fn bit_storage_rejects_batched_and_the_literal_fidelity() {
+        let err = PopulationEngine::new(
+            fet_bit_population(4),
+            spec(60),
+            Fidelity::Agent,
+            InitialCondition::AllWrong,
+            1,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                SimError::InvalidParameter {
+                    name: "storage",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let mut e = PopulationEngine::new(
+            fet_bit_population(4),
+            spec(60),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            1,
+        )
+        .unwrap();
+        assert!(matches!(
+            e.set_execution_mode(ExecutionMode::Batched),
+            Err(SimError::InvalidParameter { name: "mode", .. })
+        ));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = e.outputs();
+        }));
+        assert!(caught.is_err(), "outputs() must panic on bit storage");
+    }
+
+    /// Mean-field bit rounds keep zero auxiliary memory; graph bit rounds
+    /// keep exactly the ⌈stepped/64⌉-word round-start snapshot — 1
+    /// bit/agent where the byte engine keeps 1 byte/agent.
+    #[test]
+    fn bit_storage_scratch_is_the_word_snapshot() {
+        let mut mean_field = PopulationEngine::new(
+            fet_bit_population(6),
+            spec(300),
+            Fidelity::Binomial,
+            InitialCondition::AllWrong,
+            3,
+        )
+        .unwrap();
+        for _ in 0..10 {
+            mean_field.step();
+        }
+        assert_eq!(mean_field.round_scratch_bytes(), 0);
+
+        let mut ring = PopulationEngine::with_neighborhood(
+            fet_bit_population(3),
+            Box::new(Ring::new(640)),
+            2,
+            Opinion::One,
+            InitialCondition::AllWrong,
+            7,
+        )
+        .unwrap();
+        ring.set_execution_mode(ExecutionMode::Fused).unwrap();
+        for _ in 0..10 {
+            ring.step();
+        }
+        assert_eq!(
+            ring.round_scratch_bytes(),
+            638usize.div_ceil(64) * std::mem::size_of::<u64>(),
+            "graph bit rounds keep the packed word snapshot and nothing else"
         );
     }
 

@@ -87,6 +87,6 @@ pub mod prelude {
     pub use crate::init::InitialCondition;
     pub use crate::neighborhood::Neighborhood;
     pub use crate::observer::{NullObserver, RoundObserver, TrajectoryRecorder};
-    pub use crate::simulation::{RunReport, Scheduler, Simulation, SimulationBuilder};
+    pub use crate::simulation::{RunReport, Scheduler, Simulation, SimulationBuilder, Storage};
     pub use crate::sources::{GraphSource, GraphSourceFactory};
 }

@@ -52,7 +52,7 @@ pub fn ensure_observable(topology: &dyn Neighborhood) -> Result<(), SimError> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     /// A ring, directly on the trait (no `fet-topology` available here).

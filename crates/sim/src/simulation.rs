@@ -102,6 +102,53 @@ pub enum Scheduler {
 /// Default sample-size constant `c` in `ℓ = ⌈c·ln n⌉`.
 pub const DEFAULT_SAMPLE_CONSTANT: f64 = 4.0;
 
+/// Population size at which [`Storage::Auto`] switches a packable,
+/// fused-capable synchronous run to bit-plane storage. Below it the byte
+/// representation's ~8 bytes/agent are immaterial and the typed buffer
+/// stays the familiar default; above it the packed planes cut resident
+/// opinion storage 8× (64×, for opinion-only protocols).
+pub const BIT_PLANE_AUTO_MIN_N: u64 = 10_000_000;
+
+/// How the synchronous engine stores per-agent state (orthogonal to
+/// [`ExecutionMode`], which picks how a round *executes*).
+///
+/// Bit-plane storage packs opinions 64 agents per `u64` word (plus one
+/// auxiliary byte per agent for protocols like FET that carry a small
+/// counter — see [`fet_core::bitplane`]) and runs rounds through the
+/// in-place fused kernels. It requires a *packable, passive* protocol
+/// ([`fet_core::protocol::Protocol::state_planes`]), a synchronous
+/// fused-capable configuration (any mean-field fidelity, or any
+/// topology), and no sleepy-agent faults; [`SimulationBuilder::build`]
+/// validates all of that. Trajectories are **bit-identical** to the
+/// typed representation for the same `(seed, execution mode, shard
+/// count)` — storage never perturbs the stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Storage {
+    /// Select automatically: bit-plane when the protocol is packable,
+    /// the configuration supports it, and `n ≥` [`BIT_PLANE_AUTO_MIN_N`];
+    /// the typed byte representation otherwise. The default.
+    #[default]
+    Auto,
+    /// One typed state per agent in a contiguous buffer — the byte
+    /// representation every PR before bit planes used.
+    Typed,
+    /// Packed bit planes: 1 bit/agent opinion (+ 1 byte/agent auxiliary
+    /// for [`fet_core::protocol::StatePlanes::OpinionPlusByte`]
+    /// protocols). Rejected at build time when the protocol or
+    /// configuration cannot support it.
+    BitPlane,
+}
+
+impl fmt::Display for Storage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Storage::Auto => f.write_str("auto"),
+            Storage::Typed => f.write_str("typed"),
+            Storage::BitPlane => f.write_str("bit-plane"),
+        }
+    }
+}
+
 /// Generous default budget: `200·ln²n` rounds, far above the paper's
 /// `O(log^{5/2} n)` expectation at practical sizes while still bounded.
 pub fn default_max_rounds(n: u64) -> u64 {
@@ -128,6 +175,16 @@ pub struct RunReport {
     pub mode: ExecutionMode,
     /// Scheduler the run used.
     pub scheduler: Scheduler,
+    /// The storage representation the run resolved to — never
+    /// [`Storage::Auto`]; [`Storage::BitPlane`] exactly when the
+    /// synchronous engine drove packed planes, [`Storage::Typed`]
+    /// otherwise (including the aggregate and asynchronous runners,
+    /// which keep no packable per-agent planes).
+    pub storage: Storage,
+    /// Heap bytes resident in the per-agent state container at report
+    /// time (`0` for the aggregate chain, which keeps no per-agent
+    /// states) — the number the bit planes shrink ~8× for FET.
+    pub resident_bytes: u64,
     /// Convergence outcome. Under [`Scheduler::Asynchronous`] the rounds
     /// are parallel rounds (`n` activations each).
     pub report: ConvergenceReport,
@@ -184,6 +241,7 @@ pub struct Simulation {
     fidelity: Fidelity,
     mode: ExecutionMode,
     scheduler: Scheduler,
+    storage: Storage,
     criterion: ConvergenceCriterion,
     max_rounds: u64,
     record_trajectory: bool,
@@ -311,9 +369,26 @@ impl Simulation {
             fidelity: self.fidelity,
             mode: self.mode,
             scheduler: self.scheduler,
+            storage: self.storage,
+            resident_bytes: self.resident_bytes(),
             report,
             trajectory: recorder.map(TrajectoryRecorder::into_fractions),
         }
+    }
+
+    /// Heap bytes resident in the per-agent state container right now.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.runner {
+            Runner::Sync(e) => e.population().resident_bytes() as u64,
+            Runner::Async(e) => e.resident_state_bytes() as u64,
+            Runner::Aggregate(_) => 0,
+        }
+    }
+
+    /// The storage representation this simulation resolved to (never
+    /// [`Storage::Auto`]).
+    pub fn storage(&self) -> Storage {
+        self.storage
     }
 }
 
@@ -404,6 +479,7 @@ pub struct SimulationBuilder {
     fidelity: Option<Fidelity>,
     mode: ExecutionMode,
     scheduler: Scheduler,
+    storage: Storage,
     topology: Option<Box<dyn Neighborhood>>,
     init: InitialCondition,
     fault: FaultPlan,
@@ -432,6 +508,7 @@ impl SimulationBuilder {
             fidelity: None,
             mode: ExecutionMode::Auto,
             scheduler: Scheduler::Synchronous,
+            storage: Storage::Auto,
             topology: None,
             init: InitialCondition::AllWrong,
             fault: FaultPlan::none(),
@@ -536,6 +613,28 @@ impl SimulationBuilder {
     /// Sets the scheduler (default [`Scheduler::Synchronous`]).
     pub fn scheduler(mut self, s: Scheduler) -> Self {
         self.scheduler = s;
+        self
+    }
+
+    /// Selects the per-agent storage representation (default
+    /// [`Storage::Auto`]): the contiguous typed buffer, or packed bit
+    /// planes — 1 bit/agent opinion plus, for protocols like FET that
+    /// carry a small per-agent counter, 1 byte/agent of auxiliary state
+    /// (see [`fet_core::bitplane`]).
+    ///
+    /// Storage is orthogonal to [`SimulationBuilder::execution_mode`]: it
+    /// changes where states live, never which random stream the round
+    /// draws — trajectories are bit-identical across representations for
+    /// the same `(seed, mode, shard count)`. Forcing
+    /// [`Storage::BitPlane`] is validated in
+    /// [`SimulationBuilder::build`]: it requires a packable passive
+    /// protocol ([`fet_core::protocol::Protocol::state_planes`]), the
+    /// synchronous scheduler, a fused-capable configuration (any
+    /// mean-field fidelity, or any topology — not the literal Agent
+    /// fidelity on the complete graph, and not
+    /// [`ExecutionMode::Batched`]), and no sleepy-agent faults.
+    pub fn storage(mut self, s: Storage) -> Self {
+        self.storage = s;
         self
     }
 
@@ -755,6 +854,64 @@ impl SimulationBuilder {
             }
         }
 
+        // Storage is a synchronous per-agent engine axis riding the fused
+        // round family; every requirement is checkable here, so forcing
+        // bit planes fails at build time with the offending axis named.
+        let bit_plane_obstacle: Option<String> = if self.scheduler == Scheduler::Asynchronous {
+            Some(
+                "offending axis: scheduler — the asynchronous runner steps boxed per-agent \
+                 states, not packed planes"
+                    .into(),
+            )
+        } else if fidelity == Fidelity::Aggregate {
+            Some(
+                "offending axis: fidelity — the aggregate chain keeps no per-agent states \
+                 to pack"
+                    .into(),
+            )
+        } else if self.mode == ExecutionMode::Batched {
+            Some(
+                "offending axis: mode — bit-plane populations run the fused round family, \
+                 not the snapshot-driven batched pipeline"
+                    .into(),
+            )
+        } else if self.topology.is_none() && fidelity == Fidelity::Agent {
+            Some(
+                "offending axis: fidelity — the literal Agent fidelity on the complete graph \
+                 keeps the batched path, which bit planes do not support (use \
+                 Binomial/WithoutReplacement fidelity, or a topology)"
+                    .into(),
+            )
+        } else if self.fault.sleep_prob > 0.0 {
+            Some(
+                "offending axis: fault — sleepy-agent faults need the per-agent byte output \
+                 buffer; run them on typed storage"
+                    .into(),
+            )
+        } else if protocol.bit_population().is_none() {
+            Some(format!(
+                "offending axis: protocol — `{}` has no packed-plane representation \
+                 (its state_planes layout is Unpacked)",
+                protocol.name()
+            ))
+        } else {
+            None
+        };
+        let storage = match self.storage {
+            Storage::Typed => Storage::Typed,
+            Storage::BitPlane => match bit_plane_obstacle {
+                Some(detail) => return Err(Self::invalid("storage", detail)),
+                None => Storage::BitPlane,
+            },
+            Storage::Auto => {
+                if bit_plane_obstacle.is_none() && n >= BIT_PLANE_AUTO_MIN_N {
+                    Storage::BitPlane
+                } else {
+                    Storage::Typed
+                }
+            }
+        };
+
         let runner = match (self.scheduler, fidelity) {
             (Scheduler::Synchronous, Fidelity::Aggregate) => {
                 let chain_ell = protocol.aggregate_ell().ok_or_else(|| {
@@ -779,10 +936,18 @@ impl SimulationBuilder {
                 self.seed,
             )?)),
             (Scheduler::Synchronous, per_agent) => {
-                // The factory-produced handle hands out a contiguous typed
-                // population container; the engine fills it once and every
-                // round after dispatches straight into the typed kernel.
-                let population = protocol.population();
+                // The factory-produced handle hands out a population
+                // container — contiguous typed states, or packed bit
+                // planes when the storage axis resolved there; the engine
+                // fills it once and every round after dispatches straight
+                // into the typed kernel. The representation never enters
+                // the random stream.
+                let population = match storage {
+                    Storage::BitPlane => protocol
+                        .bit_population()
+                        .expect("packability validated by the storage axis above"),
+                    _ => protocol.population(),
+                };
                 let mut engine = match self.topology {
                     Some(topology) => PopulationEngine::with_neighborhood(
                         population,
@@ -813,6 +978,7 @@ impl SimulationBuilder {
             fidelity,
             mode: self.mode,
             scheduler: self.scheduler,
+            storage,
             criterion,
             max_rounds,
             record_trajectory: self.record_trajectory,
@@ -1074,6 +1240,119 @@ mod tests {
         let spec0 = ProblemSpec::single_source(1_000, Opinion::Zero).unwrap();
         assert_eq!(initial_ones(&spec0, InitialCondition::AllWrong, 0), 999);
         assert_eq!(initial_ones(&spec0, InitialCondition::AllCorrect, 0), 0);
+    }
+
+    #[test]
+    fn storage_axis_is_trajectory_invisible() {
+        // The representation equivalence contract at facade level: for a
+        // fixed (seed, mode), typed and bit-plane storage produce the
+        // same trajectory, report, and convergence round — the packed
+        // planes never enter the stream.
+        for mode in [
+            ExecutionMode::Fused,
+            ExecutionMode::FusedParallel { threads: 3 },
+        ] {
+            let run = |storage: Storage| {
+                Simulation::builder()
+                    .population(350)
+                    .seed(13)
+                    .execution_mode(mode)
+                    .storage(storage)
+                    .record_trajectory(true)
+                    .build()
+                    .unwrap()
+                    .run()
+            };
+            let typed = run(Storage::Typed);
+            let bits = run(Storage::BitPlane);
+            assert!(typed.converged(), "{mode:?}: {typed:?}");
+            assert_eq!(typed.storage, Storage::Typed);
+            assert_eq!(bits.storage, Storage::BitPlane);
+            assert_eq!(typed.trajectory, bits.trajectory, "{mode:?}");
+            assert_eq!(typed.report, bits.report, "{mode:?}");
+            // And the representation actually shrinks resident state:
+            // ~16 bytes/agent typed FET vs 1 bit + 1 byte packed.
+            assert!(
+                bits.resident_bytes * 4 < typed.resident_bytes,
+                "{mode:?}: {} !< {}",
+                bits.resident_bytes,
+                typed.resident_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn storage_auto_resolves_typed_below_the_threshold() {
+        let sim = Simulation::builder().population(500).build().unwrap();
+        assert_eq!(sim.storage(), Storage::Typed);
+        // The aggregate and async runners always report typed storage.
+        let sim = Simulation::builder()
+            .population(1_000_000)
+            .fidelity(Fidelity::Aggregate)
+            .build()
+            .unwrap();
+        assert_eq!(sim.storage(), Storage::Typed);
+    }
+
+    #[test]
+    fn bit_plane_storage_rejects_incompatible_configurations() {
+        let base = || {
+            Simulation::builder()
+                .population(200)
+                .storage(Storage::BitPlane)
+        };
+        for (what, builder) in [
+            (
+                "batched mode",
+                base().execution_mode(ExecutionMode::Batched),
+            ),
+            ("literal fidelity", base().fidelity(Fidelity::Agent)),
+            ("aggregate fidelity", base().fidelity(Fidelity::Aggregate)),
+            (
+                "async scheduler",
+                base()
+                    .scheduler(Scheduler::Asynchronous)
+                    .fidelity(Fidelity::Agent),
+            ),
+            ("sleep faults", base().fault(FaultPlan::with_sleep(0.1))),
+        ] {
+            let err = builder.build().unwrap_err();
+            assert!(
+                err.to_string().contains("storage") && err.to_string().contains("offending axis"),
+                "{what}: {err}"
+            );
+        }
+        // An unpackable protocol (voter keeps OpinionOnly planes — that
+        // IS packable; majority's tie-breaking state is too; use a big
+        // ell so FET's count no longer fits the auxiliary byte).
+        let err = Simulation::builder()
+            .population(200)
+            .ell(300)
+            .storage(Storage::BitPlane)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("packed-plane"), "{err}");
+    }
+
+    #[test]
+    fn bit_plane_storage_through_a_topology() {
+        use crate::neighborhood::tests::Ring;
+        let run = |storage: Storage| {
+            Simulation::builder()
+                .topology(Ring::new(180))
+                .seed(23)
+                .max_rounds(400)
+                .storage(storage)
+                .record_trajectory(true)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let typed = run(Storage::Typed);
+        let bits = run(Storage::BitPlane);
+        assert_eq!(typed.trajectory, bits.trajectory);
+        assert_eq!(typed.report, bits.report);
+        assert_eq!(bits.storage, Storage::BitPlane);
     }
 
     #[test]

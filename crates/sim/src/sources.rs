@@ -109,6 +109,75 @@ impl ShardSourceFactory for MeanFieldSourceFactory<'_> {
     }
 }
 
+/// A read-only, vertex-indexed view of the round-start opinions — the
+/// one abstraction graph sampling reads through, whatever the engine's
+/// storage representation.
+///
+/// Byte-addressed engines snapshot all `n` opinions into a `Vec<Opinion>`
+/// (1 byte/agent); bit-plane engines word-copy the population's packed
+/// opinion plane (1 bit/agent) and handle the source prefix
+/// arithmetically — source vertices occupy the lowest ids and all hold
+/// the round's source output, so the snapshot plane stays a straight
+/// word copy of the stepped agents. Both views answer the only question
+/// sampling ever asks: *was vertex `v` a 1 at round start?*
+#[derive(Debug, Clone, Copy)]
+pub enum SnapshotView<'a> {
+    /// One `Opinion` per vertex, vertex-id indexed — the byte-addressed
+    /// double buffer.
+    Bytes(&'a [Opinion]),
+    /// Packed 64 opinions/word. Vertices `0..num_sources` are sources
+    /// (all showing `source_output` this round); stepped agents follow,
+    /// bit `v - num_sources` of the plane.
+    Bits {
+        /// The opinion every source vertex shows this round.
+        source_output: Opinion,
+        /// Number of source vertices (the lowest vertex ids).
+        num_sources: u32,
+        /// The stepped agents' round-start opinion plane words.
+        words: &'a [u64],
+    },
+}
+
+impl SnapshotView<'_> {
+    /// `true` iff vertex `vertex` held opinion 1 at round start.
+    #[inline]
+    pub fn is_one(&self, vertex: u32) -> bool {
+        match *self {
+            SnapshotView::Bytes(snapshot) => snapshot[vertex as usize].is_one(),
+            SnapshotView::Bits {
+                source_output,
+                num_sources,
+                words,
+            } => {
+                if vertex < num_sources {
+                    source_output.is_one()
+                } else {
+                    let idx = (vertex - num_sources) as usize;
+                    ((words[idx / 64] >> (idx % 64)) & 1) == 1
+                }
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a [Opinion]> for SnapshotView<'a> {
+    fn from(snapshot: &'a [Opinion]) -> Self {
+        SnapshotView::Bytes(snapshot)
+    }
+}
+
+impl<'a> From<&'a Vec<Opinion>> for SnapshotView<'a> {
+    fn from(snapshot: &'a Vec<Opinion>) -> Self {
+        SnapshotView::Bytes(snapshot)
+    }
+}
+
+impl<'a, const N: usize> From<&'a [Opinion; N]> for SnapshotView<'a> {
+    fn from(snapshot: &'a [Opinion; N]) -> Self {
+        SnapshotView::Bytes(snapshot)
+    }
+}
+
 /// The engine's [`ObservationSource`] for graph (neighborhood) fused
 /// rounds: for each successive agent, samples `m` neighbors uniformly
 /// **with replacement** from the agent's adjacency list, counts 1-opinions
@@ -143,7 +212,7 @@ impl ShardSourceFactory for MeanFieldSourceFactory<'_> {
 #[derive(Debug)]
 pub struct GraphSource<'a> {
     neighborhood: &'a dyn Neighborhood,
-    snapshot: &'a [Opinion],
+    snapshot: SnapshotView<'a>,
     fault: Option<&'a FaultPlan>,
     m: u32,
     /// The vertex the next draw streams for.
@@ -166,7 +235,7 @@ impl<'a> GraphSource<'a> {
     /// isolated vertex panics.
     pub fn new(
         neighborhood: &'a dyn Neighborhood,
-        snapshot: &'a [Opinion],
+        snapshot: impl Into<SnapshotView<'a>>,
         fault: Option<&'a FaultPlan>,
         m: u32,
         first_vertex: u32,
@@ -174,7 +243,7 @@ impl<'a> GraphSource<'a> {
     ) -> Self {
         GraphSource {
             neighborhood,
-            snapshot,
+            snapshot: snapshot.into(),
             fault,
             m,
             vertex: first_vertex,
@@ -196,7 +265,7 @@ impl ObservationSource for GraphSource<'_> {
         let raw_ones = if d == 1 {
             // A degree-1 vertex observes its one neighbor m times:
             // unanimous by construction, no randomness to draw.
-            u32::from(self.snapshot[neighbors[0] as usize].is_one()) * self.m
+            u32::from(self.snapshot.is_one(neighbors[0])) * self.m
         } else {
             // Each 64-bit word of the owned index stream yields two
             // 32-bit lanes; a lane maps into [0, d) by Lemire's
@@ -221,7 +290,7 @@ impl ObservationSource for GraphSource<'_> {
                         break (wide >> 32) as u32;
                     }
                 };
-                ones += u32::from(self.snapshot[neighbors[idx as usize] as usize].is_one());
+                ones += u32::from(self.snapshot.is_one(neighbors[idx as usize]));
             }
             ones
         };
@@ -245,7 +314,7 @@ impl ObservationSource for GraphSource<'_> {
 #[derive(Debug)]
 pub struct GraphSourceFactory<'a> {
     neighborhood: &'a dyn Neighborhood,
-    snapshot: &'a [Opinion],
+    snapshot: SnapshotView<'a>,
     fault: Option<&'a FaultPlan>,
     m: u32,
     /// Vertex id of agent 0 of the stepped slice (= the number of source
@@ -264,7 +333,7 @@ impl<'a> GraphSourceFactory<'a> {
     /// seed splits purely by its range start.
     pub fn new(
         neighborhood: &'a dyn Neighborhood,
-        snapshot: &'a [Opinion],
+        snapshot: impl Into<SnapshotView<'a>>,
         fault: Option<&'a FaultPlan>,
         m: u32,
         vertex_base: u32,
@@ -273,7 +342,7 @@ impl<'a> GraphSourceFactory<'a> {
     ) -> Self {
         GraphSourceFactory {
             neighborhood,
-            snapshot,
+            snapshot: snapshot.into(),
             fault,
             m,
             vertex_base,
@@ -346,6 +415,42 @@ mod tests {
         // A shard starting at agent 1 streams vertex 1 first.
         let mut source = factory.shard_source(1..2);
         assert_eq!(source.next_observation(&mut rng).ones(), 2);
+    }
+
+    #[test]
+    fn bit_view_reads_source_prefix_and_packed_plane() {
+        let words = [0b101u64];
+        let view = SnapshotView::Bits {
+            source_output: Opinion::One,
+            num_sources: 2,
+            words: &words,
+        };
+        // Sources answer arithmetically…
+        assert!(view.is_one(0));
+        assert!(view.is_one(1));
+        // …stepped agents from the packed plane, offset by the prefix.
+        assert!(view.is_one(2));
+        assert!(!view.is_one(3));
+        assert!(view.is_one(4));
+    }
+
+    #[test]
+    fn graph_source_reads_identically_through_either_view() {
+        // Vertex 1's only neighbor is vertex 0 — a source in the bits
+        // view, a plain snapshot slot in the bytes view.
+        let snapshot = [Opinion::One, Opinion::Zero];
+        let bits = SnapshotView::Bits {
+            source_output: Opinion::One,
+            num_sources: 1,
+            words: &[0b0],
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut by_bytes = GraphSource::new(&Funnel, &snapshot, None, 3, 1, 11);
+        let mut by_bits = GraphSource::new(&Funnel, bits, None, 3, 1, 11);
+        assert_eq!(
+            by_bytes.next_observation(&mut rng).ones(),
+            by_bits.next_observation(&mut rng).ones(),
+        );
     }
 
     #[test]

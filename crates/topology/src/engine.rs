@@ -6,8 +6,10 @@
 //! and are selected by `fet_sim::engine::ExecutionMode` exactly as on the
 //! complete graph: by default (`Auto`) a graph round executes as a
 //! **fused single pass** — each agent's observation is drawn on demand
-//! from its neighbors' round-start opinions (a persistent ~1 byte/agent
-//! double buffer), the update applied, the output written in place — and
+//! from its neighbors' round-start opinions (a persistent double buffer —
+//! ~1 byte/agent on the typed representation this engine uses, 1
+//! bit/agent when the `Simulation` facade resolves bit-plane storage),
+//! the update applied, the output written in place — and
 //! the buffered batched pipeline remains available via
 //! [`TopologyEngine::set_execution_mode`] (or `--mode batched`) as the
 //! A/B reference. Work-sharded parallel graph rounds

@@ -86,7 +86,7 @@ pub mod prelude {
     pub use fet_sim::experiment::{run_fet_once, run_protocol_once, ExperimentSpec, RunOutcome};
     pub use fet_sim::fault::FaultPlan;
     pub use fet_sim::neighborhood::Neighborhood;
-    pub use fet_sim::simulation::{RunReport, Scheduler, Simulation, SimulationBuilder};
+    pub use fet_sim::simulation::{RunReport, Scheduler, Simulation, SimulationBuilder, Storage};
     pub use fet_stats::rng::SeedTree;
     pub use fet_sweep::runner::{run_sweep, SweepOptions, SweepOutcome};
     pub use fet_sweep::spec::SweepSpec;

@@ -1,0 +1,253 @@
+//! Property-based tests pinning the bit-plane representation.
+//!
+//! The bit-plane contract has four legs, each fuzzed here over population
+//! sizes that stress word boundaries (`n = 1`, `n < 64`, `n` not a
+//! multiple of 64) and shard counts that would split mid-word if ranges
+//! were agent-balanced instead of word-aligned:
+//!
+//! * **plane correctness** — push/get/set round-trip through the packed
+//!   words, and `count_ones` (a popcount) equals a scalar recount;
+//! * **representation equivalence** — a `BitPopulation` fused round
+//!   (sequential, parallel, and the in-place variants) writes the same
+//!   outputs, counters, and final decisions as a `TypedPopulation`
+//!   driven by the identical streams;
+//! * **popcount invariant** — after *every* round,
+//!   `count_output_ones()` equals the scalar `output_of` recount;
+//! * **clock-plane round trip** — FET's `pack_state`/`unpack_state` are
+//!   mutually inverse over the whole `(opinion, count ∈ [0, ℓ])` domain
+//!   for every byte-sized `ℓ`.
+
+use fet::prelude::*;
+use fet_core::bitplane::{BitPlane, BitPopulation};
+use fet_core::observation::Observation;
+use fet_core::protocol::{ObservationSource, RoundContext};
+use proptest::prelude::*;
+use rand::RngCore;
+use rand::SeedableRng;
+
+/// A deterministic mean-field-like source: draws from the round RNG, so
+/// any stream divergence between representations is visible immediately.
+struct UniformSource {
+    m: u32,
+}
+
+impl ObservationSource for UniformSource {
+    fn next_observation(&mut self, rng: &mut dyn RngCore) -> Observation {
+        Observation::new(rng.next_u32() % (self.m + 1), self.m).unwrap()
+    }
+}
+
+struct UniformFactory {
+    m: u32,
+}
+
+impl ShardSourceFactory for UniformFactory {
+    fn shard_source(&self, _range: std::ops::Range<usize>) -> Box<dyn ObservationSource + '_> {
+        Box::new(UniformSource { m: self.m })
+    }
+}
+
+/// Fills both representations from the same opinion sequence and the same
+/// per-agent init stream, so they start bit-identical.
+fn twin_populations(
+    ell: u32,
+    n: usize,
+    seed: u64,
+) -> (TypedPopulation<FetProtocol>, BitPopulation<FetProtocol>) {
+    let mut typed = TypedPopulation::new(FetProtocol::new(ell).unwrap());
+    let mut bits = BitPopulation::new(FetProtocol::new(ell).unwrap());
+    let mut rng_a = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut rng_b = rand::rngs::SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        let opinion = if i % 3 == 0 {
+            Opinion::One
+        } else {
+            Opinion::Zero
+        };
+        typed.push_agent(opinion, &mut rng_a);
+        bits.push_agent(opinion, &mut rng_b);
+    }
+    (typed, bits)
+}
+
+/// Population sizes that stress word boundaries: 1, sub-word, exactly one
+/// word, one-past, and larger non-multiples of 64.
+fn boundary_sizes(extra: usize) -> Vec<usize> {
+    let mut sizes = vec![1, 2, 63, 64, 65, 127, 128, 129, 200, extra.max(1)];
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+proptest! {
+    /// Plane level: push/get round-trips arbitrary bit patterns across
+    /// word boundaries; set flips survive; count_ones is the scalar count.
+    #[test]
+    fn bit_plane_push_get_set_roundtrip(
+        len in 1usize..300,
+        pattern_seed in any::<u64>(),
+        flips in 0usize..20,
+    ) {
+        let mut pattern_rng = rand::rngs::SmallRng::seed_from_u64(pattern_seed);
+        let pattern: Vec<bool> = (0..len).map(|_| pattern_rng.next_u64() & 1 == 1).collect();
+        let mut plane = BitPlane::new();
+        for &b in &pattern {
+            plane.push(Opinion::from(b));
+        }
+        prop_assert_eq!(plane.len(), pattern.len());
+        let mut mirror = pattern.clone();
+        for _ in 0..flips {
+            let idx = pattern_rng.next_u64() as usize % mirror.len();
+            mirror[idx] = !mirror[idx];
+            plane.set(idx, Opinion::from(mirror[idx]));
+        }
+        for (i, &b) in mirror.iter().enumerate() {
+            prop_assert_eq!(plane.get(i), Opinion::from(b), "bit {}", i);
+        }
+        let scalar = mirror.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(plane.count_ones(), scalar);
+        // The word storage is exactly ⌈n/64⌉ words; bits past `len` in
+        // the last word stay zero (push never smears).
+        prop_assert_eq!(plane.words().len(), mirror.len().div_ceil(64));
+        if !mirror.len().is_multiple_of(64) {
+            let tail = plane.words()[mirror.len() / 64] >> (mirror.len() % 64);
+            prop_assert_eq!(tail, 0, "tail bits past len must stay clear");
+        }
+    }
+
+    /// Round level: sequential fused rounds on twin populations driven by
+    /// identical streams stay bit-identical — outputs, counters, packed
+    /// decisions, and the popcount-vs-scalar-recount invariant after
+    /// every round.
+    #[test]
+    fn fused_rounds_match_typed_and_keep_popcount_exact(
+        extra_n in 1usize..400,
+        ell in 1u32..8,
+        seed in 0u64..500,
+        rounds in 1u64..5,
+    ) {
+        for n in boundary_sizes(extra_n) {
+            let (mut typed, mut bits) = twin_populations(ell, n, seed);
+            let m = typed.samples_per_round();
+            let mut rng_a = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xBEEF);
+            let mut rng_b = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xBEEF);
+            for round in 0..rounds {
+                let ctx = RoundContext::new(round);
+                let mut out_a = vec![Opinion::Zero; n];
+                let mut out_b = vec![Opinion::Zero; n];
+                let ca = typed.step_fused(
+                    &mut UniformSource { m }, &ctx, &mut rng_a, Opinion::One, &mut out_a,
+                );
+                let cb = bits.step_fused(
+                    &mut UniformSource { m }, &ctx, &mut rng_b, Opinion::One, &mut out_b,
+                );
+                prop_assert_eq!(&out_a, &out_b, "n={} round={}", n, round);
+                prop_assert_eq!(ca, cb);
+                // Popcount global count ≡ scalar recount, every round.
+                let scalar = (0..n)
+                    .filter(|&i| bits.output_of(i).is_one())
+                    .count() as u64;
+                prop_assert_eq!(bits.count_output_ones(), scalar);
+                prop_assert_eq!(cb.ones, scalar);
+            }
+            for i in 0..n {
+                prop_assert_eq!(typed.output_of(i), bits.output_of(i));
+                prop_assert_eq!(typed.decision_of(i), bits.decision_of(i));
+            }
+            prop_assert_eq!(
+                typed.count_correct_decisions(Opinion::One),
+                bits.count_correct_decisions(Opinion::One)
+            );
+        }
+    }
+
+    /// Shard level: parallel rounds whose agent-balanced split would land
+    /// mid-word (arbitrary shard counts against boundary-stressing sizes)
+    /// match the typed container and the in-place variant — word-aligned
+    /// ranges change nothing but where the split falls.
+    #[test]
+    fn parallel_rounds_match_across_representations_and_entry_points(
+        extra_n in 1usize..400,
+        shards in 2u32..12,
+        workers in 1u32..5,
+        stream in 0u64..300,
+    ) {
+        let ell = 3u32;
+        for n in boundary_sizes(extra_n) {
+            let plan = ShardPlan::new(shards, workers, stream, 1);
+            let ctx = RoundContext::new(1);
+            let (mut typed, mut bits) = twin_populations(ell, n, stream);
+            let (_, mut bits_inplace) = twin_populations(ell, n, stream);
+            let m = typed.samples_per_round();
+            let factory = UniformFactory { m };
+            let mut out_a = vec![Opinion::Zero; n];
+            let mut out_b = vec![Opinion::Zero; n];
+            let ca = typed.step_fused_parallel(&factory, &ctx, &plan, Opinion::One, &mut out_a);
+            let cb = bits.step_fused_parallel(&factory, &ctx, &plan, Opinion::One, &mut out_b);
+            let ci = bits_inplace.step_fused_parallel_inplace(
+                &factory, &ctx, &plan, Opinion::One,
+            );
+            prop_assert_eq!(&out_a, &out_b, "n={} shards={}", n, shards);
+            prop_assert_eq!(ca, cb);
+            prop_assert_eq!(cb, ci, "in-place variant must reduce the same counters");
+            for i in 0..n {
+                prop_assert_eq!(bits.output_of(i), bits_inplace.output_of(i), "agent {}", i);
+                prop_assert_eq!(typed.output_of(i), bits.output_of(i), "agent {}", i);
+            }
+            prop_assert_eq!(bits.count_output_ones(), ca.ones);
+        }
+    }
+
+    /// State level: FET's clock plane survives the byte round trip over
+    /// the whole domain — every `ℓ ≤ 255`, every stored count in
+    /// `[0, ℓ]`, both opinions.
+    #[test]
+    fn fet_clock_plane_pack_unpack_roundtrip(ell in 1u32..=255) {
+        let protocol = FetProtocol::new(ell).unwrap();
+        for count in 0..=ell {
+            for opinion in [Opinion::Zero, Opinion::One] {
+                let state = protocol.unpack_state(opinion, count as u8);
+                let (packed_opinion, packed_aux) = protocol.pack_state(&state);
+                prop_assert_eq!(packed_opinion, opinion);
+                prop_assert_eq!(u32::from(packed_aux), count);
+                prop_assert_eq!(protocol.output(&state), opinion);
+            }
+        }
+    }
+}
+
+/// The explicit degenerate sizes from the issue, pinned outside the
+/// fuzzer so they can never rotate out of coverage: n = 1, n < 64, and n
+/// not a multiple of 64, through a full engine-free round each.
+#[test]
+fn pinned_word_boundary_sizes_step_correctly() {
+    for n in [1usize, 5, 63, 64, 65, 100, 129] {
+        let (mut typed, mut bits) = twin_populations(4, n, 99);
+        let m = typed.samples_per_round();
+        let ctx = RoundContext::new(0);
+        let mut rng_a = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut rng_b = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut out_a = vec![Opinion::Zero; n];
+        let mut out_b = vec![Opinion::Zero; n];
+        typed.step_fused(
+            &mut UniformSource { m },
+            &ctx,
+            &mut rng_a,
+            Opinion::One,
+            &mut out_a,
+        );
+        bits.step_fused(
+            &mut UniformSource { m },
+            &ctx,
+            &mut rng_b,
+            Opinion::One,
+            &mut out_b,
+        );
+        assert_eq!(out_a, out_b, "n={n}");
+        assert_eq!(
+            bits.count_output_ones(),
+            out_b.iter().filter(|o| o.is_one()).count() as u64,
+            "n={n}"
+        );
+    }
+}

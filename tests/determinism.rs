@@ -222,3 +222,79 @@ fn graph_parallel_stream_identity_matrix() {
         std::fs::write(&path, dump).expect("write graph determinism dump");
     }
 }
+
+// ---- the bit-plane leg ----
+
+fn bitplane_facade_trajectory(
+    shards: u32,
+    fidelity: Fidelity,
+    fault: FaultPlan,
+    storage: Storage,
+) -> Vec<f64> {
+    Simulation::builder()
+        .population(N)
+        .seed(SEED)
+        .fidelity(fidelity)
+        .fault(fault)
+        .max_rounds(MAX_ROUNDS)
+        .execution_mode(ExecutionMode::FusedParallel { threads: shards })
+        .storage(storage)
+        .record_trajectory(true)
+        .build()
+        .unwrap()
+        .run()
+        .trajectory
+        .expect("recording requested")
+}
+
+/// The storage-representation determinism matrix: bit-plane parallel
+/// trajectories must be byte-identical to typed-storage ones for every
+/// `(seed, shard count)` — in process against `Storage::Typed`, across
+/// repeated runs, and (via CI's byte-diff of the serialized dump, against
+/// the typed `FET_DETERMINISM_DUMP` file's shared cases and across worker
+/// counts) out of process. Mean-field and graph legs both.
+#[test]
+fn bitplane_parallel_stream_identity_matrix() {
+    let mut dump = String::new();
+    let workers = std::env::var("FET_PARALLEL_WORKERS").unwrap_or_else(|_| "unset".into());
+    for shards in SHARD_COUNTS {
+        for (label, fidelity, fault) in cases() {
+            let typed = bitplane_facade_trajectory(shards, fidelity, fault, Storage::Typed);
+            let bits = bitplane_facade_trajectory(shards, fidelity, fault, Storage::BitPlane);
+            assert_eq!(
+                typed, bits,
+                "shards={shards} case={label} (workers={workers}): \
+                 typed vs bit-plane trajectories diverged"
+            );
+            let again = bitplane_facade_trajectory(shards, fidelity, fault, Storage::BitPlane);
+            assert_eq!(
+                bits, again,
+                "shards={shards} case={label} (workers={workers}): bit-plane replay diverged"
+            );
+            dump.push_str(&render(label, shards, &bits));
+        }
+        // Graph leg: the 1-bit round-start snapshot must feed the shard
+        // sources exactly as the byte double buffer does.
+        let graph_typed = graph_typed_trajectory(shards, FaultPlan::none());
+        let graph_bits = Simulation::builder()
+            .topology(regular_graph())
+            .seed(SEED)
+            .max_rounds(MAX_ROUNDS)
+            .execution_mode(ExecutionMode::FusedParallel { threads: shards })
+            .storage(Storage::BitPlane)
+            .record_trajectory(true)
+            .build()
+            .unwrap()
+            .run()
+            .trajectory
+            .expect("recording requested");
+        assert_eq!(
+            graph_typed, graph_bits,
+            "graph shards={shards} (workers={workers}): typed vs bit-plane diverged"
+        );
+        dump.push_str(&render("graph-plain", shards, &graph_bits));
+    }
+    if let Ok(path) = std::env::var("FET_DETERMINISM_DUMP_BITPLANE") {
+        std::fs::write(&path, dump).expect("write bit-plane determinism dump");
+    }
+}

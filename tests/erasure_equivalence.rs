@@ -1,26 +1,62 @@
-//! The three erased-execution guarantees, checked from the outside:
+//! The erased-execution guarantees, checked from the outside:
 //!
 //! 1. Typed `Engine<P>`, the legacy per-agent boxed route
-//!    (`Engine<ErasedProtocol>`), and the population-erased facade path
-//!    (`Simulation::builder().protocol_name(..)`) replay **identical**
-//!    trajectories for the same seed — erasure changes representation,
-//!    never the random stream.
+//!    (`Engine<ErasedProtocol>`), the population-erased facade path
+//!    (`Simulation::builder().protocol_name(..)`), and the **bit-plane**
+//!    facade path (`.storage(Storage::BitPlane)`) replay **identical**
+//!    trajectories for the same seed — representation (erasure *and*
+//!    packing) never touches the random stream.
 //! 2. A registry-name facade run performs **zero per-round state clones**
 //!    (the defining property of the contiguous population container, vs.
 //!    the two-clones-per-agent-per-round of the boxed route).
-//! 3. The guarantee is protocol-independent: exercised for `fet` and
+//! 3. A bit-plane run allocates **no more than** the equivalent typed run
+//!    while stepping (the packed planes are persistent; rounds touch them
+//!    in place), measured with a counting allocator.
+//! 4. The guarantees are protocol-independent: exercised for `fet` and
 //!    `3-majority`.
 
 use fet::prelude::*;
 use fet::protocols::three_majority::ThreeMajorityProtocol;
 use fet::sim::observer::TrajectoryRecorder;
+use fet::sim::simulation::Storage;
 use fet_core::config::ell_for_population;
 use fet_core::config::ProblemSpec;
 use fet_core::memory::MemoryFootprint;
 use fet_core::observation::Observation;
 use fet_core::protocol::RoundContext;
 use rand::RngCore;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts heap allocations per thread, so concurrently running tests in
+/// this binary never pollute each other's measurements (the engines under
+/// test run single-threaded in `Fused` mode).
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // try_with: the TLS slot may already be torn down during thread
+        // exit; allocation accounting just stops then.
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
 
 const N: u64 = 250;
 const SEED: u64 = 0xE0_1D;
@@ -47,19 +83,26 @@ where
     (report, rec.into_fractions())
 }
 
-/// Runs the facade (population-erased) path by registry name.
-fn facade_trajectory(name: &str) -> (ConvergenceReport, Vec<f64>) {
+/// Runs the facade (population-erased) path by registry name, on the
+/// requested storage representation.
+fn facade_trajectory_on(name: &str, storage: Storage) -> (ConvergenceReport, Vec<f64>) {
     let run = Simulation::builder()
         .population(N)
         .protocol_name(name)
         .seed(SEED)
         .max_rounds(MAX_ROUNDS)
         .stability_window(WINDOW)
+        .storage(storage)
         .record_trajectory(true)
         .build()
         .unwrap()
         .run();
+    assert_eq!(run.storage, storage, "requested representation must stick");
     (run.report, run.trajectory.expect("recording requested"))
+}
+
+fn facade_trajectory(name: &str) -> (ConvergenceReport, Vec<f64>) {
+    facade_trajectory_on(name, Storage::Typed)
 }
 
 /// Runs the legacy per-agent boxed route directly.
@@ -79,26 +122,66 @@ fn boxed_trajectory(erased: ErasedProtocol) -> (ConvergenceReport, Vec<f64>) {
 }
 
 #[test]
-fn fet_three_paths_identical_trajectories() {
+fn fet_four_paths_identical_trajectories() {
     let ell = ell_for_population(N, 4.0);
     let typed = typed_trajectory(FetProtocol::new(ell).unwrap());
     let boxed = boxed_trajectory(ErasedProtocol::new(FetProtocol::new(ell).unwrap()));
     let facade = facade_trajectory("fet");
+    let bits = facade_trajectory_on("fet", Storage::BitPlane);
     assert_eq!(typed, boxed, "typed vs per-agent erased diverged");
     assert_eq!(typed, facade, "typed vs population-erased diverged");
+    assert_eq!(typed, bits, "typed vs bit-plane diverged");
     assert!(typed.0.converged(), "{:?}", typed.0);
 }
 
 #[test]
-fn three_majority_three_paths_identical_trajectories() {
+fn three_majority_four_paths_identical_trajectories() {
     let typed = typed_trajectory(ThreeMajorityProtocol::new());
     let boxed = boxed_trajectory(ErasedProtocol::new(ThreeMajorityProtocol::new()));
     let facade = facade_trajectory("3-majority");
+    let bits = facade_trajectory_on("3-majority", Storage::BitPlane);
     assert_eq!(typed, boxed, "typed vs per-agent erased diverged");
     assert_eq!(typed, facade, "typed vs population-erased diverged");
+    assert_eq!(typed, bits, "typed vs bit-plane diverged");
     // 3-majority has no stubborn-source guarantee; we only require the
-    // three paths to walk the same trajectory, converged or not.
+    // four paths to walk the same trajectory, converged or not.
     assert_eq!(typed.1.len(), facade.1.len());
+}
+
+/// Bit-plane rounds must not out-allocate typed rounds: the planes are
+/// persistent and rounds step them in place, so any allocation left is the
+/// shared per-round machinery (the binomial sampler), identical on both
+/// representations. Measured on this thread only — single-threaded `Fused`
+/// mode keeps all engine work here.
+#[test]
+fn bit_plane_rounds_allocate_no_more_than_typed_rounds() {
+    let run_counting = |storage: Storage| {
+        let mut sim = Simulation::builder()
+            .population(N)
+            .seed(SEED)
+            .max_rounds(60)
+            .execution_mode(ExecutionMode::Fused)
+            .storage(storage)
+            .build()
+            .unwrap();
+        let before = allocs_on_this_thread();
+        let report = sim.run();
+        let allocs = allocs_on_this_thread() - before;
+        (report, allocs)
+    };
+    let (typed_report, typed_allocs) = run_counting(Storage::Typed);
+    let (bits_report, bits_allocs) = run_counting(Storage::BitPlane);
+    assert_eq!(
+        typed_report.report, bits_report.report,
+        "same rounds must have run on both representations"
+    );
+    assert!(bits_report.report.rounds_run >= 5, "probe must step");
+    assert!(
+        bits_allocs <= typed_allocs,
+        "bit-plane path allocated more than typed ({bits_allocs} > {typed_allocs}) \
+         over {} rounds",
+        bits_report.report.rounds_run
+    );
 }
 
 // ---- zero-clone regression probe ----

@@ -5,10 +5,12 @@
 //! 1. **Determinism / representation-independence** — a graph-fused run
 //!    is its own deterministic stream: for one seed (and, for the
 //!    parallel mode, one shard count), the typed `Engine<P>`, the legacy
-//!    boxed route (`Engine<ErasedProtocol>`), and the facade's
-//!    population-erased path replay **identical** trajectories, and the
-//!    only auxiliary memory any of them keeps is the persistent ~1
-//!    byte/agent opinion double buffer.
+//!    boxed route (`Engine<ErasedProtocol>`), the facade's
+//!    population-erased path, and the facade's bit-plane path
+//!    (`.storage(Storage::BitPlane)`) replay **identical** trajectories,
+//!    and the only auxiliary memory any of them keeps is the persistent
+//!    round-start opinion double buffer (~1 byte/agent typed, 1 bit/agent
+//!    packed).
 //! 2. **Statistical equivalence with the graph-batched pipeline** — the
 //!    fused graph round samples exactly the batched round's law (m
 //!    neighbors with replacement, counted in the round-start snapshot),
@@ -73,8 +75,13 @@ where
     (report, rec.into_fractions())
 }
 
-/// Runs the facade (population-erased) path on the same graph instance.
-fn facade_trajectory(name: &str, mode: ExecutionMode) -> (ConvergenceReport, Vec<f64>) {
+/// Runs the facade (population-erased) path on the same graph instance,
+/// on the requested storage representation.
+fn facade_trajectory_on(
+    name: &str,
+    mode: ExecutionMode,
+    storage: Storage,
+) -> (ConvergenceReport, Vec<f64>) {
     let run = Simulation::builder()
         .topology(expander(N))
         .protocol_name(name)
@@ -82,16 +89,22 @@ fn facade_trajectory(name: &str, mode: ExecutionMode) -> (ConvergenceReport, Vec
         .max_rounds(MAX_ROUNDS)
         .stability_window(WINDOW)
         .execution_mode(mode)
+        .storage(storage)
         .record_trajectory(true)
         .build()
         .unwrap()
         .run();
     assert_eq!(run.mode, mode);
+    assert_eq!(run.storage, storage);
     (run.report, run.trajectory.expect("recording requested"))
 }
 
+fn facade_trajectory(name: &str, mode: ExecutionMode) -> (ConvergenceReport, Vec<f64>) {
+    facade_trajectory_on(name, mode, Storage::Typed)
+}
+
 #[test]
-fn fet_graph_fused_three_paths_identical_trajectories() {
+fn fet_graph_fused_four_paths_identical_trajectories() {
     let ell = ell_for_population(u64::from(N), 4.0);
     for mode in [
         ExecutionMode::Fused,
@@ -100,6 +113,7 @@ fn fet_graph_fused_three_paths_identical_trajectories() {
         let typed = typed_trajectory(FetProtocol::new(ell).unwrap(), mode);
         let boxed = typed_trajectory(ErasedProtocol::new(FetProtocol::new(ell).unwrap()), mode);
         let facade = facade_trajectory("fet", mode);
+        let bits = facade_trajectory_on("fet", mode, Storage::BitPlane);
         assert_eq!(
             typed, boxed,
             "{mode:?}: typed vs per-agent erased graph trajectories diverged"
@@ -107,6 +121,10 @@ fn fet_graph_fused_three_paths_identical_trajectories() {
         assert_eq!(
             typed, facade,
             "{mode:?}: typed vs population-erased graph trajectories diverged"
+        );
+        assert_eq!(
+            typed, bits,
+            "{mode:?}: typed vs bit-plane graph trajectories diverged"
         );
         assert!(
             typed.0.converged(),

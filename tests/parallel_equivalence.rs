@@ -3,8 +3,9 @@
 //!
 //! 1. **Determinism / representation-independence** — a parallel fused
 //!    run is keyed by `(seed, thread count)`: for one such pair, the typed
-//!    `Engine<P>`, the legacy boxed route (`Engine<ErasedProtocol>`), and
-//!    the facade's population-erased path replay **identical**
+//!    `Engine<P>`, the legacy boxed route (`Engine<ErasedProtocol>`), the
+//!    facade's population-erased path, and the facade's **bit-plane**
+//!    path (`.storage(Storage::BitPlane)`) replay **identical**
 //!    trajectories, and none of them allocates per-round
 //!    snapshot/observation/output buffers.
 //! 2. **Statistical equivalence with the single-threaded fused path** —
@@ -61,8 +62,13 @@ where
     (report, rec.into_fractions())
 }
 
-/// Runs the facade (population-erased) path by registry name.
-fn facade_trajectory(name: &str, mode: ExecutionMode) -> (ConvergenceReport, Vec<f64>) {
+/// Runs the facade (population-erased) path by registry name, on the
+/// requested storage representation.
+fn facade_trajectory_on(
+    name: &str,
+    mode: ExecutionMode,
+    storage: Storage,
+) -> (ConvergenceReport, Vec<f64>) {
     let run = Simulation::builder()
         .population(N)
         .protocol_name(name)
@@ -70,16 +76,22 @@ fn facade_trajectory(name: &str, mode: ExecutionMode) -> (ConvergenceReport, Vec
         .max_rounds(MAX_ROUNDS)
         .stability_window(WINDOW)
         .execution_mode(mode)
+        .storage(storage)
         .record_trajectory(true)
         .build()
         .unwrap()
         .run();
     assert_eq!(run.mode, mode);
+    assert_eq!(run.storage, storage);
     (run.report, run.trajectory.expect("recording requested"))
 }
 
+fn facade_trajectory(name: &str, mode: ExecutionMode) -> (ConvergenceReport, Vec<f64>) {
+    facade_trajectory_on(name, mode, Storage::Typed)
+}
+
 #[test]
-fn fet_parallel_three_paths_identical_trajectories() {
+fn fet_parallel_four_paths_identical_trajectories() {
     let ell = ell_for_population(N, 4.0);
     let mode = ExecutionMode::FusedParallel { threads: THREADS };
     let typed = typed_trajectory(FetProtocol::new(ell).unwrap(), mode, Fidelity::Binomial);
@@ -89,11 +101,13 @@ fn fet_parallel_three_paths_identical_trajectories() {
         Fidelity::Binomial,
     );
     let facade = facade_trajectory("fet", mode);
+    let bits = facade_trajectory_on("fet", mode, Storage::BitPlane);
     assert_eq!(typed, boxed, "typed vs per-agent erased parallel diverged");
     assert_eq!(
         typed, facade,
         "typed vs population-erased parallel diverged"
     );
+    assert_eq!(typed, bits, "typed vs bit-plane parallel diverged");
     assert!(typed.0.converged(), "{:?}", typed.0);
     // And the whole thing replays: same (seed, threads) ⇒ same stream.
     let again = typed_trajectory(FetProtocol::new(ell).unwrap(), mode, Fidelity::Binomial);
@@ -101,7 +115,7 @@ fn fet_parallel_three_paths_identical_trajectories() {
 }
 
 #[test]
-fn three_majority_parallel_three_paths_identical_trajectories() {
+fn three_majority_parallel_four_paths_identical_trajectories() {
     let mode = ExecutionMode::FusedParallel { threads: THREADS };
     let typed = typed_trajectory(ThreeMajorityProtocol::new(), mode, Fidelity::Binomial);
     let boxed = typed_trajectory(
@@ -110,11 +124,13 @@ fn three_majority_parallel_three_paths_identical_trajectories() {
         Fidelity::Binomial,
     );
     let facade = facade_trajectory("3-majority", mode);
+    let bits = facade_trajectory_on("3-majority", mode, Storage::BitPlane);
     assert_eq!(typed, boxed, "typed vs per-agent erased parallel diverged");
     assert_eq!(
         typed, facade,
         "typed vs population-erased parallel diverged"
     );
+    assert_eq!(typed, bits, "typed vs bit-plane parallel diverged");
     assert_eq!(typed.1.len(), facade.1.len());
 }
 
