@@ -113,13 +113,13 @@ fn main() {
     }
     for mult in [0.1, 0.5, 1.0, 4.0, 20.0] {
         let p = mult / n as f64;
-        let plan = FaultPlan::with_noise(p);
+        let plan = FaultPlan::with_noise(p).expect("grid noise levels are valid");
         let (s, m) = measure_strict(&base, plan, reps.min(10));
         let avg = measure_time_average(&base, plan, avg_rounds);
         rows.push((format!("noise p = {mult}·(1/n) = {p:.5}"), s, m, avg));
     }
     for sp in [0.2, 0.5, 0.8] {
-        let plan = FaultPlan::with_sleep(sp);
+        let plan = FaultPlan::with_sleep(sp).expect("grid sleep levels are valid");
         let (s, m) = measure_strict(&base, plan, reps);
         let avg = measure_time_average(&base, plan, avg_rounds);
         rows.push((format!("sleep p = {sp}"), s, m, avg));

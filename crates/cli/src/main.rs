@@ -15,6 +15,7 @@
 //! fet topology   --n 1000 --graph regular [--degree 32] [--seed 7] [--protocol fet]
 //!                [--mode batched|fused|fused-parallel] [--threads N]
 //! fet conflict   --n 2000 --k0 40 --k1 160 [--seed 7]
+//! fet gauntlet   spec.json [--workers W] [--manifest STEM] [--limit K] [--quiet]
 //! ```
 //!
 //! Every simulation command runs through the unified
@@ -32,6 +33,7 @@ use fet_core::config::ProblemSpec;
 use fet_core::fet::FetProtocol;
 use fet_core::opinion::Opinion;
 use fet_core::protocol::Protocol;
+use fet_gauntlet::{run_gauntlet, GauntletOptions, GauntletSpec};
 use fet_plot::heatmap::CategoricalMap;
 use fet_plot::table::Table;
 use fet_protocols::registry::{ProtocolParams, ProtocolRegistry};
@@ -54,10 +56,10 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `sweep` takes its spec file as a positional argument.
+    // `sweep` and `gauntlet` take their spec file as a positional argument.
     let mut rest = &args[1..];
     let mut positional: Option<String> = None;
-    if cmd == "sweep" {
+    if cmd == "sweep" || cmd == "gauntlet" {
         if let Some(first) = rest.first() {
             if !first.starts_with("--") {
                 positional = Some(first.clone());
@@ -84,6 +86,7 @@ fn main() -> ExitCode {
         "topology" => cmd_topology(&flags),
         "conflict" => cmd_conflict(&flags),
         "sweep" => cmd_sweep(positional.as_deref(), &flags),
+        "gauntlet" => cmd_gauntlet(positional.as_deref(), &flags),
         "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -118,6 +121,10 @@ commands:
                  --manifest checkpoints every episode; re-running resumes and the
                  finalized file is byte-identical whatever the interruptions/workers
                  (worker default: $FET_SWEEP_WORKERS, else all cores)
+  gauntlet       robustness suite: fault-schedule sweeps with per-switch recovery reports:
+                 `fet gauntlet spec.json [--workers W] [--manifest STEM] [--limit K] [--quiet]`
+                 the spec adds `switch_period`/`corruption`/`switches` axes and an optional
+                 `protocols` array; each protocol checkpoints into <STEM>.<protocol>.jsonl
   serve          sweep daemon: `fet serve [--addr 127.0.0.1:7878] [--workers W]`
                  POST /sweep streams NDJSON episode records; GET /status reports the queue
 
@@ -663,6 +670,54 @@ fn cmd_sweep(spec_path: Option<&str>, flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_gauntlet(spec_path: Option<&str>, flags: &Flags) -> Result<(), String> {
+    let Some(path) = spec_path
+        .map(str::to_string)
+        .or_else(|| flags.get("spec").cloned())
+    else {
+        return Err("gauntlet needs a spec file: `fet gauntlet <spec.json>`".into());
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let spec = GauntletSpec::parse(&text).map_err(|e| e.to_string())?;
+    let workers = sweep_workers(flags)?;
+    let episode_limit = match flags.get("limit") {
+        None => None,
+        Some(k) => Some(k.parse().map_err(|_| format!("invalid --limit `{k}`"))?),
+    };
+    let options = GauntletOptions {
+        workers,
+        manifest_stem: flags.get("manifest").map(PathBuf::from),
+        episode_limit,
+        progress: !flags.contains_key("quiet"),
+    };
+    let outcome = run_gauntlet(&spec, &options).map_err(|e| e.to_string())?;
+    let protocols: Vec<&str> = spec.protocols().collect();
+    println!(
+        "gauntlet over {{{}}}: {} episodes total | {} resumed, {} run now | {workers} workers",
+        protocols.join(", "),
+        spec.episode_count(),
+        outcome.resumed(),
+        outcome.completed_now(),
+    );
+    for (p, (_, sweep)) in outcome.outcomes.iter().zip(spec.sweeps()) {
+        println!(
+            "  {}: {} of {} episodes, {:.2}s, {:.1} ep/s",
+            p.protocol,
+            p.outcome.records.len(),
+            sweep.episode_count(),
+            p.outcome.elapsed.as_secs_f64(),
+            p.outcome.throughput(),
+        );
+    }
+    match outcome.report {
+        Some(report) => println!("{report}"),
+        None => {
+            println!("partial: re-run the same command to resume from the checkpoint manifests")
+        }
+    }
+    Ok(())
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let addr = flags
         .get("addr")
@@ -846,6 +901,15 @@ mod tests {
         let err = cmd_sweep(None, &flags_of(&[]).unwrap()).unwrap_err();
         assert!(err.contains("spec file"), "{err}");
         let err = cmd_sweep(Some("/nonexistent/spec.json"), &flags_of(&[]).unwrap()).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn gauntlet_requires_a_spec_path() {
+        let err = cmd_gauntlet(None, &flags_of(&[]).unwrap()).unwrap_err();
+        assert!(err.contains("spec file"), "{err}");
+        let err =
+            cmd_gauntlet(Some("/nonexistent/spec.json"), &flags_of(&[]).unwrap()).unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
     }
 

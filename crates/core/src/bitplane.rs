@@ -280,6 +280,31 @@ impl<P: Protocol> BitPopulation<P> {
         }
     }
 
+    /// A population packing explicitly provided states — the adversarial
+    /// entry point, mirroring
+    /// [`TypedPopulation::from_states`](crate::population::TypedPopulation::from_states).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the protocol is not packable (see
+    /// [`BitPopulation::new`]) or when a state does not survive
+    /// [`Protocol::pack_state`].
+    pub fn from_states(protocol: P, states: &[P::State]) -> Self {
+        let mut pop = BitPopulation::new(protocol);
+        pop.opinions.reserve(states.len());
+        if pop.has_aux() {
+            pop.aux.reserve(states.len());
+        }
+        for state in states {
+            let (opinion, aux) = pop.protocol.pack_state(state);
+            pop.opinions.push(opinion);
+            if pop.has_aux() {
+                pop.aux.push(aux);
+            }
+        }
+        pop
+    }
+
     /// The protocol configuration.
     pub fn protocol(&self) -> &P {
         &self.protocol
@@ -486,6 +511,13 @@ where
             self.aux.push(packed_aux);
         }
         output
+    }
+
+    fn corrupt_agent(&mut self, idx: usize, opinion: Opinion, rng: &mut dyn RngCore) {
+        // Same protocol draw stream as the typed container, then repack:
+        // corruption events stay bit-identical across representations.
+        let state = self.protocol.init_state(opinion, rng);
+        self.repack(idx, &state);
     }
 
     fn step_batch(

@@ -207,6 +207,17 @@ pub trait Population: fmt::Debug + Send {
         rng: &mut dyn RngCore,
     ) -> Opinion;
 
+    /// Rewrites agent `idx` to a fresh protocol-initial state holding
+    /// `opinion`, drawing any initialization randomness from `rng` — the
+    /// fault-schedule state-corruption hook. Every container draws the
+    /// same stream for the same protocol, so a corruption event is
+    /// bit-identical across storage representations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ len()`.
+    fn corrupt_agent(&mut self, idx: usize, opinion: Opinion, rng: &mut dyn RngCore);
+
     /// The public output of agent `idx`.
     ///
     /// # Panics
@@ -428,6 +439,10 @@ where
         let output = self.protocol.output(&state);
         self.states.push(state);
         output
+    }
+
+    fn corrupt_agent(&mut self, idx: usize, opinion: Opinion, rng: &mut dyn RngCore) {
+        self.states[idx] = self.protocol.init_state(opinion, rng);
     }
 
     fn step_batch(

@@ -1,0 +1,692 @@
+//! # fet-gauntlet — the robustness tier
+//!
+//! A *gauntlet* is a sweep over fault schedules: every episode runs a
+//! round-indexed [`fet_sim::fault::FaultSchedule`] that repeatedly
+//! retargets the correct opinion (and optionally corrupts agent state at
+//! the switch-window midpoints), and the artifact of interest is not the
+//! one-shot convergence time but the **per-switch recovery profile** —
+//! how fast the population re-adapts after each perturbation.
+//!
+//! The crate is a thin orchestration layer over [`fet_sweep`]:
+//!
+//! * a [`GauntletSpec`] is a sweep spec with a `protocols` *axis* —
+//!   the same `(n × noise × switch_period × corruption × seeds)` grid is
+//!   expanded into one [`SweepSpec`] per protocol name;
+//! * [`run_gauntlet`] drives [`run_sweep`] once per protocol, giving each
+//!   its own checkpoint manifest (`<stem>.<protocol>.jsonl`) so the
+//!   kill/resume and byte-identity guarantees of the sweep tier carry
+//!   over unchanged;
+//! * when every sweep is complete, a [`GauntletReport`] condenses the
+//!   episode records into per-cell adaptation-latency distributions
+//!   (mean / median / p95 over trend-switch events) and renders one
+//!   noise × switch-period heatmap per protocol.
+//!
+//! ## Determinism contract
+//!
+//! A gauntlet inherits the sweep tier's contract verbatim: every episode
+//! is a pure function of `(seed, shard count, cell parameters)`, so the
+//! finalized per-protocol manifests and the rendered report are
+//! byte-identical across worker counts, episode interleavings, and
+//! kill/resume cycles. CI checks this by diffing gauntlet manifests
+//! produced under `--workers 1`, `--workers 4`, and an interrupted run.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fet_gauntlet::{run_gauntlet, GauntletOptions, GauntletSpec};
+//!
+//! let spec = GauntletSpec::parse(
+//!     r#"{"n": [200], "noise": [0, 0.02], "switch_period": [400],
+//!         "switches": 2, "seeds": {"count": 2}, "max_rounds": 4000}"#,
+//! )?;
+//! let outcome = run_gauntlet(&spec, &GauntletOptions::default())?;
+//! assert!(outcome.complete);
+//! println!("{}", outcome.report.unwrap());
+//! # Ok::<(), fet_sweep::SweepError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use fet_plot::heatmap::Heatmap;
+use fet_plot::table::{fmt_float, Table};
+use fet_sim::convergence::RecoveryRecord;
+use fet_sim::fault::FaultEventKind;
+use fet_stats::summary::Summary;
+use fet_sweep::{
+    run_sweep, EpisodeRecord, Json, SweepError, SweepOptions, SweepOutcome, SweepSpec,
+};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A gauntlet: one fault-schedule sweep grid, expanded per protocol.
+///
+/// Parsed from the sweep-spec JSON dialect plus one extra member,
+/// `"protocols"` — an array of protocol registry names that replaces the
+/// scalar `"protocol"` field (the two are mutually exclusive). Every
+/// other member is handed to [`SweepSpec::parse`] unchanged, so the
+/// robustness axes (`switch_period`, `corruption`, `switches`) follow
+/// the sweep tier's rules; a gauntlet additionally *requires* a
+/// non-empty `switch_period` axis — a schedule-free grid is a plain
+/// sweep and should run as one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GauntletSpec {
+    /// `(protocol name, expanded sweep)` in spec order.
+    sweeps: Vec<(String, SweepSpec)>,
+}
+
+impl GauntletSpec {
+    /// Parses a gauntlet spec document.
+    ///
+    /// # Errors
+    ///
+    /// Invalid JSON, an invalid `protocols` member, both `protocol` and
+    /// `protocols` present, a missing `switch_period` axis, or any error
+    /// [`SweepSpec::parse`] reports for the expanded per-protocol spec.
+    pub fn parse(text: &str) -> Result<GauntletSpec, SweepError> {
+        let doc = Json::parse(text)?;
+        let Json::Object(members) = &doc else {
+            return Err(SweepError::spec("the spec must be a JSON object"));
+        };
+        if doc.get("protocol").is_some() && doc.get("protocols").is_some() {
+            return Err(SweepError::spec(
+                "use either `protocol` or `protocols`, not both",
+            ));
+        }
+        let protocols: Vec<String> = match doc.get("protocols") {
+            None => match doc.get("protocol") {
+                None => vec!["fet".to_string()],
+                Some(v) => vec![v
+                    .as_str()
+                    .ok_or_else(|| SweepError::spec("`protocol` must be a string"))?
+                    .to_string()],
+            },
+            Some(Json::Array(items)) if !items.is_empty() => {
+                let mut names = Vec::with_capacity(items.len());
+                for item in items {
+                    let name = item
+                        .as_str()
+                        .ok_or_else(|| SweepError::spec("`protocols` entries must be strings"))?;
+                    if names.iter().any(|n| n == name) {
+                        return Err(SweepError::spec(format!(
+                            "protocol `{name}` is listed twice in `protocols`"
+                        )));
+                    }
+                    names.push(name.to_string());
+                }
+                names
+            }
+            Some(_) => {
+                return Err(SweepError::spec(
+                    "`protocols` must be a non-empty array of protocol names",
+                ));
+            }
+        };
+        let mut sweeps = Vec::with_capacity(protocols.len());
+        for name in protocols {
+            let mut sweep_members: Vec<(String, Json)> =
+                vec![("protocol".to_string(), Json::Str(name.clone()))];
+            for (key, value) in members {
+                if key != "protocol" && key != "protocols" {
+                    sweep_members.push((key.clone(), value.clone()));
+                }
+            }
+            let sweep = SweepSpec::parse(&Json::Object(sweep_members).to_string())?;
+            if sweep.switch_period.is_empty() {
+                return Err(SweepError::spec(
+                    "a gauntlet needs a non-empty `switch_period` axis; \
+                     schedule-free grids are plain sweeps — run `fet sweep`",
+                ));
+            }
+            sweeps.push((name, sweep));
+        }
+        Ok(GauntletSpec { sweeps })
+    }
+
+    /// The per-protocol sweeps, in spec order.
+    pub fn sweeps(&self) -> &[(String, SweepSpec)] {
+        &self.sweeps
+    }
+
+    /// The protocol names, in spec order.
+    pub fn protocols(&self) -> impl Iterator<Item = &str> {
+        self.sweeps.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// Total episodes across all protocols.
+    pub fn episode_count(&self) -> u64 {
+        self.sweeps.iter().map(|(_, s)| s.episode_count()).sum()
+    }
+}
+
+/// How a gauntlet invocation should run (the per-protocol analogue of
+/// [`SweepOptions`]).
+#[derive(Debug, Clone, Default)]
+pub struct GauntletOptions {
+    /// Worker threads per sweep; 0 or 1 runs on the calling thread.
+    pub workers: usize,
+    /// Checkpoint path *stem*; each protocol journals into
+    /// `<stem>.<protocol>.jsonl` (see [`manifest_path`]). `None` keeps
+    /// records in memory only.
+    pub manifest_stem: Option<PathBuf>,
+    /// Stop after this many episodes complete in *this* invocation,
+    /// counted across protocols — the programmatic kill switch the
+    /// resume tests drive. Sweeps whose budget is exhausted still replay
+    /// their manifests, so resumed records are never lost.
+    pub episode_limit: Option<usize>,
+    /// Emit live progress lines to stderr.
+    pub progress: bool,
+}
+
+/// The manifest path for one protocol under a gauntlet stem:
+/// `<stem>.<protocol>.jsonl`.
+pub fn manifest_path(stem: &Path, protocol: &str) -> PathBuf {
+    let mut name = stem
+        .file_name()
+        .map(|s| s.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".{protocol}.jsonl"));
+    stem.with_file_name(name)
+}
+
+/// One protocol's slice of a gauntlet invocation.
+#[derive(Debug)]
+pub struct ProtocolOutcome {
+    /// Protocol registry name.
+    pub protocol: String,
+    /// The underlying sweep outcome.
+    pub outcome: SweepOutcome,
+}
+
+/// What a gauntlet invocation produced.
+#[derive(Debug)]
+pub struct GauntletOutcome {
+    /// Per-protocol outcomes, in spec order.
+    pub outcomes: Vec<ProtocolOutcome>,
+    /// `true` when every protocol's sweep is complete.
+    pub complete: bool,
+    /// The rendered robustness report, present only when complete.
+    pub report: Option<GauntletReport>,
+}
+
+impl GauntletOutcome {
+    /// Episodes executed by this invocation, across protocols.
+    pub fn completed_now(&self) -> usize {
+        self.outcomes.iter().map(|p| p.outcome.completed_now).sum()
+    }
+
+    /// Episodes recovered from manifests instead of re-run.
+    pub fn resumed(&self) -> usize {
+        self.outcomes.iter().map(|p| p.outcome.resumed).sum()
+    }
+}
+
+/// Runs (or resumes) a gauntlet: one checkpointed sweep per protocol.
+///
+/// # Errors
+///
+/// Whatever [`run_sweep`] reports for any protocol's sweep; manifests
+/// already journaled stay resumable.
+pub fn run_gauntlet(
+    spec: &GauntletSpec,
+    options: &GauntletOptions,
+) -> Result<GauntletOutcome, SweepError> {
+    let mut outcomes = Vec::with_capacity(spec.sweeps.len());
+    let mut remaining = options.episode_limit;
+    for (protocol, sweep) in spec.sweeps() {
+        if options.progress {
+            eprintln!(
+                "gauntlet: protocol `{protocol}` ({} episodes)",
+                sweep.episode_count()
+            );
+        }
+        let sweep_options = SweepOptions {
+            workers: options.workers,
+            manifest: options
+                .manifest_stem
+                .as_deref()
+                .map(|stem| manifest_path(stem, protocol)),
+            episode_limit: remaining,
+            progress: options.progress,
+        };
+        let outcome = run_sweep(sweep, &sweep_options)?;
+        if let Some(budget) = remaining.as_mut() {
+            *budget = budget.saturating_sub(outcome.completed_now);
+        }
+        outcomes.push(ProtocolOutcome {
+            protocol: protocol.clone(),
+            outcome,
+        });
+    }
+    let complete = outcomes.iter().all(|p| p.outcome.complete);
+    let report = if complete {
+        Some(render_gauntlet(spec, &outcomes))
+    } else {
+        None
+    };
+    Ok(GauntletOutcome {
+        outcomes,
+        complete,
+        report,
+    })
+}
+
+/// One grid cell's recovery profile, aggregated over its seeds.
+///
+/// Adaptation/re-stabilization statistics cover **trend-switch** events
+/// only (the headline robustness metric); corruption and noise events
+/// perturb the run but are not separately scored. Latency fields are
+/// `None` when no switch in the cell ever re-adapted — the expected
+/// outcome deep in the no-recovery phase, not an error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GauntletRow {
+    /// Protocol registry name.
+    pub protocol: String,
+    /// Population size.
+    pub n: u64,
+    /// Observation-noise level.
+    pub noise: f64,
+    /// Rounds between trend switches.
+    pub switch_period: u64,
+    /// State-corruption fraction, when the cell has one.
+    pub corruption: Option<f64>,
+    /// Trend-switch events observed across the cell's seeds.
+    pub switches: u64,
+    /// Switches that re-adapted (first all-correct round reached).
+    pub adapted: u64,
+    /// Switches that re-stabilized (held the stability window).
+    pub restabilized: u64,
+    /// Mean adaptation latency over re-adapted switches.
+    pub adapt_mean: Option<f64>,
+    /// Median adaptation latency.
+    pub adapt_median: Option<f64>,
+    /// 95th-percentile adaptation latency.
+    pub adapt_p95: Option<f64>,
+    /// Median re-stabilization time over re-stabilized switches.
+    pub restab_median: Option<f64>,
+}
+
+/// The rendered robustness report: per-cell recovery rows plus one
+/// noise × switch-period adaptation-latency heatmap per protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GauntletReport {
+    /// Per-cell rows, in `protocol × n × noise × period × corruption`
+    /// spec order.
+    pub rows: Vec<GauntletRow>,
+    rendered: String,
+}
+
+impl fmt::Display for GauntletReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// Trend-switch recovery records of one episode record.
+fn switch_recoveries(record: &EpisodeRecord) -> impl Iterator<Item = &RecoveryRecord> {
+    record
+        .recovery
+        .iter()
+        .filter(|r| r.kind == FaultEventKind::TrendSwitch)
+}
+
+fn summarize(values: &[f64]) -> (Option<f64>, Option<f64>, Option<f64>) {
+    match Summary::from_slice(values) {
+        Ok(s) => (Some(s.mean()), Some(s.median()), Some(s.quantile(0.95))),
+        Err(_) => (None, None, None),
+    }
+}
+
+fn opt_float(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), fmt_float)
+}
+
+/// Builds the robustness report from complete per-protocol outcomes.
+///
+/// Deterministic by construction: rows follow the spec's axis order and
+/// every statistic is computed from the episode records in episode-index
+/// order, so the rendered text is byte-identical however the episodes
+/// were scheduled.
+pub fn render_gauntlet(spec: &GauntletSpec, outcomes: &[ProtocolOutcome]) -> GauntletReport {
+    let mut rows = Vec::new();
+    let mut rendered = String::new();
+    let mut table = Table::new(
+        [
+            "protocol",
+            "n",
+            "noise",
+            "period",
+            "corrupt",
+            "switches",
+            "adapted",
+            "restab",
+            "adapt mean",
+            "adapt p50",
+            "adapt p95",
+            "restab p50",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    let mut heatmaps = String::new();
+    for (slot, (protocol, sweep)) in spec.sweeps().iter().enumerate() {
+        let records = &outcomes[slot].outcome.records;
+        let corruption_axis: Vec<Option<f64>> = if sweep.corruption.is_empty() {
+            vec![None]
+        } else {
+            sweep.corruption.iter().copied().map(Some).collect()
+        };
+        for &n in &sweep.n {
+            for &noise in &sweep.noise {
+                for &period in &sweep.switch_period {
+                    for &corruption in &corruption_axis {
+                        let cell_records: Vec<&EpisodeRecord> = records
+                            .iter()
+                            .filter(|r| {
+                                r.cell.n == n
+                                    && r.cell.noise == noise
+                                    && r.cell.switch_period == Some(period)
+                                    && r.cell.corruption == corruption
+                            })
+                            .collect();
+                        let mut switches = 0u64;
+                        let mut adapted = 0u64;
+                        let mut restabilized = 0u64;
+                        let mut adapt_latencies = Vec::new();
+                        let mut restab_times = Vec::new();
+                        for record in &cell_records {
+                            for recovery in switch_recoveries(record) {
+                                switches += 1;
+                                if let Some(lat) = recovery.adaptation_latency() {
+                                    adapted += 1;
+                                    adapt_latencies.push(lat as f64);
+                                }
+                                if let Some(t) = recovery.restabilization_time() {
+                                    restabilized += 1;
+                                    restab_times.push(t as f64);
+                                }
+                            }
+                        }
+                        let (adapt_mean, adapt_median, adapt_p95) = summarize(&adapt_latencies);
+                        let (_, restab_median, _) = summarize(&restab_times);
+                        let row = GauntletRow {
+                            protocol: protocol.clone(),
+                            n,
+                            noise,
+                            switch_period: period,
+                            corruption,
+                            switches,
+                            adapted,
+                            restabilized,
+                            adapt_mean,
+                            adapt_median,
+                            adapt_p95,
+                            restab_median,
+                        };
+                        table.add_row(vec![
+                            row.protocol.clone(),
+                            row.n.to_string(),
+                            fmt_float(row.noise),
+                            row.switch_period.to_string(),
+                            opt_float(row.corruption),
+                            row.switches.to_string(),
+                            row.adapted.to_string(),
+                            row.restabilized.to_string(),
+                            opt_float(row.adapt_mean),
+                            opt_float(row.adapt_median),
+                            opt_float(row.adapt_p95),
+                            opt_float(row.restab_median),
+                        ]);
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        // Per-protocol heatmap: mean adaptation latency by
+        // (noise row, switch-period column), pooled over n/ℓ/corruption.
+        let values: Vec<Vec<f64>> = sweep
+            .noise
+            .iter()
+            .map(|&noise| {
+                sweep
+                    .switch_period
+                    .iter()
+                    .map(|&period| {
+                        let latencies: Vec<f64> = records
+                            .iter()
+                            .filter(|r| {
+                                r.cell.noise == noise && r.cell.switch_period == Some(period)
+                            })
+                            .flat_map(switch_recoveries)
+                            .filter_map(|rec| rec.adaptation_latency().map(|l| l as f64))
+                            .collect();
+                        match Summary::from_slice(&latencies) {
+                            Ok(s) => s.mean(),
+                            Err(_) => f64::NAN,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut hm = Heatmap::new(values);
+        hm.title(format!(
+            "{protocol}: mean adaptation latency (rows: noise ↑, cols: switch period →; '?' = never re-adapted)"
+        ));
+        heatmaps.push_str(&hm.render_flipped());
+    }
+    rendered.push_str("per-switch recovery (trend-switch events)\n");
+    rendered.push_str(&table.render());
+    rendered.push('\n');
+    rendered.push_str(&heatmaps);
+    GauntletReport { rows, rendered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"{
+        "n": [120],
+        "noise": [0, 0.02],
+        "switch_period": [300],
+        "switches": 2,
+        "seeds": {"count": 2},
+        "max_rounds": 4000,
+        "stability_window": 3
+    }"#;
+
+    fn temp_stem(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fet-gauntlet-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn protocols_default_to_fet() {
+        let spec = GauntletSpec::parse(SMALL).unwrap();
+        assert_eq!(spec.protocols().collect::<Vec<_>>(), ["fet"]);
+        assert_eq!(spec.episode_count(), 4);
+    }
+
+    #[test]
+    fn protocols_axis_expands_per_protocol() {
+        let spec = GauntletSpec::parse(
+            r#"{"protocols": ["fet", "voter"], "n": [100], "switch_period": [200],
+                "seeds": {"count": 3}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.protocols().collect::<Vec<_>>(), ["fet", "voter"]);
+        assert_eq!(spec.sweeps()[1].1.protocol, "voter");
+        assert_eq!(spec.episode_count(), 6);
+    }
+
+    #[test]
+    fn spec_rejections_name_the_problem() {
+        for (text, needle) in [
+            (r#"[1]"#, "JSON object"),
+            (
+                r#"{"protocol": "fet", "protocols": ["fet"], "n": [100], "switch_period": [9]}"#,
+                "not both",
+            ),
+            (
+                r#"{"protocols": [], "n": [100], "switch_period": [9]}"#,
+                "non-empty array",
+            ),
+            (
+                r#"{"protocols": [7], "n": [100], "switch_period": [9]}"#,
+                "must be strings",
+            ),
+            (
+                r#"{"protocols": ["fet", "fet"], "n": [100], "switch_period": [9]}"#,
+                "listed twice",
+            ),
+            (r#"{"n": [100]}"#, "switch_period"),
+            (
+                r#"{"n": [100], "switch_period": [9], "bogus": 1}"#,
+                "unknown field",
+            ),
+        ] {
+            let err = GauntletSpec::parse(text).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{text}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn manifest_path_appends_protocol_and_extension() {
+        assert_eq!(
+            manifest_path(Path::new("/tmp/run/g"), "fet"),
+            Path::new("/tmp/run/g.fet.jsonl")
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let spec = GauntletSpec::parse(SMALL).unwrap();
+        let one = run_gauntlet(
+            &spec,
+            &GauntletOptions {
+                workers: 1,
+                ..GauntletOptions::default()
+            },
+        )
+        .unwrap();
+        let four = run_gauntlet(
+            &spec,
+            &GauntletOptions {
+                workers: 4,
+                ..GauntletOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(one.complete && four.complete);
+        assert_eq!(
+            one.outcomes[0].outcome.records,
+            four.outcomes[0].outcome.records
+        );
+        assert_eq!(
+            one.report.unwrap().to_string(),
+            four.report.unwrap().to_string(),
+            "rendered gauntlet artifacts are worker-count invariant"
+        );
+    }
+
+    #[test]
+    fn report_scores_every_cell_and_switch() {
+        let spec = GauntletSpec::parse(SMALL).unwrap();
+        let outcome = run_gauntlet(&spec, &GauntletOptions::default()).unwrap();
+        let report = outcome.report.unwrap();
+        assert_eq!(report.rows.len(), 2, "one row per (noise) cell");
+        for row in &report.rows {
+            assert_eq!(row.switches, 4, "2 switches × 2 seeds per cell");
+        }
+        let quiet = &report.rows[0];
+        assert_eq!(quiet.noise, 0.0);
+        assert_eq!(quiet.adapted, 4, "noise-free switches all re-adapt");
+        assert!(quiet.adapt_mean.is_some() && quiet.adapt_p95.is_some());
+        let text = report.to_string();
+        assert!(text.contains("adapt p95"));
+        assert!(text.contains("mean adaptation latency"));
+    }
+
+    #[test]
+    fn interrupted_gauntlet_resumes_to_identical_manifests() {
+        let stem_a = temp_stem("resume-a");
+        let stem_b = temp_stem("resume-b");
+        let spec = GauntletSpec::parse(SMALL).unwrap();
+        let cleanup = |stem: &Path| {
+            let _ = std::fs::remove_file(manifest_path(stem, "fet"));
+        };
+        cleanup(&stem_a);
+        cleanup(&stem_b);
+
+        // One uninterrupted reference run.
+        let reference = run_gauntlet(
+            &spec,
+            &GauntletOptions {
+                manifest_stem: Some(stem_a.clone()),
+                ..GauntletOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(reference.complete);
+
+        // Kill after 1 episode, then resume to completion.
+        let partial = run_gauntlet(
+            &spec,
+            &GauntletOptions {
+                manifest_stem: Some(stem_b.clone()),
+                episode_limit: Some(1),
+                ..GauntletOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!partial.complete);
+        assert_eq!(partial.completed_now(), 1);
+        let resumed = run_gauntlet(
+            &spec,
+            &GauntletOptions {
+                manifest_stem: Some(stem_b.clone()),
+                ..GauntletOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(resumed.complete);
+        assert_eq!(resumed.resumed(), 1);
+
+        let bytes_a = std::fs::read(manifest_path(&stem_a, "fet")).unwrap();
+        let bytes_b = std::fs::read(manifest_path(&stem_b, "fet")).unwrap();
+        assert_eq!(
+            bytes_a, bytes_b,
+            "kill/resume must not change manifest bytes"
+        );
+        assert_eq!(
+            reference.report.unwrap().to_string(),
+            resumed.report.unwrap().to_string()
+        );
+        cleanup(&stem_a);
+        cleanup(&stem_b);
+    }
+
+    #[test]
+    fn episode_budget_spans_protocols() {
+        let spec = GauntletSpec::parse(
+            r#"{"protocols": ["fet", "voter"], "n": [100], "switch_period": [200],
+                "switches": 1, "seeds": {"count": 2}, "max_rounds": 2000}"#,
+        )
+        .unwrap();
+        let outcome = run_gauntlet(
+            &spec,
+            &GauntletOptions {
+                episode_limit: Some(3),
+                ..GauntletOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.completed_now(), 3);
+        assert_eq!(outcome.outcomes[0].outcome.completed_now, 2);
+        assert_eq!(outcome.outcomes[1].outcome.completed_now, 1);
+        assert!(!outcome.complete);
+        assert!(outcome.report.is_none());
+    }
+}

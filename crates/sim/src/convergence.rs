@@ -10,6 +10,7 @@
 //! so any window ≥ 1 identifies the true `t_con`; baselines without an
 //! absorbing state need larger windows.
 
+use crate::fault::FaultEventKind;
 use serde::{Deserialize, Serialize};
 
 /// When to declare convergence.
@@ -108,6 +109,122 @@ impl ConvergenceReport {
     }
 }
 
+/// Recovery outcome of one fault-schedule event.
+///
+/// A record opens when its event fires and tracks two milestones against
+/// the *post-event* correct opinion:
+///
+/// * **adaptation** — the first round at which every non-source agent
+///   decides correctly again (`adapted_at`);
+/// * **re-stabilization** — the start of the first all-correct streak
+///   that persists for the run's stability window (`restabilized_at`).
+///
+/// Both stay `None` when the run never recovers before the next event or
+/// the round budget — under persistent noise that is the expected
+/// outcome, not an error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// Round at whose start the event fired.
+    pub event_round: u64,
+    /// What kind of event perturbed the run.
+    pub kind: FaultEventKind,
+    /// First all-correct round at or after the event, if any.
+    pub adapted_at: Option<u64>,
+    /// Start of the first stability-window-long all-correct streak at or
+    /// after the event, if any.
+    pub restabilized_at: Option<u64>,
+}
+
+impl RecoveryRecord {
+    /// Rounds from the event to the first all-correct round.
+    pub fn adaptation_latency(&self) -> Option<u64> {
+        self.adapted_at.map(|r| r - self.event_round)
+    }
+
+    /// Rounds from the event to the start of the surviving streak.
+    pub fn restabilization_time(&self) -> Option<u64> {
+        self.restabilized_at.map(|r| r - self.event_round)
+    }
+}
+
+/// Streaming per-event recovery bookkeeping, fed once per round like
+/// [`ConvergenceDetector`]. Opening an event closes the previous one (its
+/// milestones freeze), so each record measures recovery within its own
+/// inter-event window.
+#[derive(Debug, Clone)]
+pub struct RecoveryTracker {
+    criterion: ConvergenceCriterion,
+    records: Vec<RecoveryRecord>,
+    /// Index of the still-open record, with its current streak start.
+    open: Option<(usize, Option<u64>)>,
+}
+
+impl RecoveryTracker {
+    /// Creates a tracker confirming re-stabilization with `criterion`.
+    pub fn new(criterion: ConvergenceCriterion) -> Self {
+        RecoveryTracker {
+            criterion,
+            records: Vec::new(),
+            open: None,
+        }
+    }
+
+    /// Registers an event firing at the start of `round`: freezes the
+    /// previous record (if still open) and opens a new one.
+    pub fn on_event(&mut self, round: u64, kind: FaultEventKind) {
+        self.records.push(RecoveryRecord {
+            event_round: round,
+            kind,
+            adapted_at: None,
+            restabilized_at: None,
+        });
+        self.open = Some((self.records.len() - 1, None));
+    }
+
+    /// Feeds the state of one round (same convention as
+    /// [`ConvergenceDetector::observe`]).
+    pub fn observe(&mut self, round: u64, all_correct: bool) {
+        let Some((idx, streak_start)) = self.open.as_mut() else {
+            return;
+        };
+        if all_correct {
+            let record = &mut self.records[*idx];
+            record.adapted_at.get_or_insert(round);
+            let start = *streak_start.get_or_insert(round);
+            if round + 1 - start >= self.criterion.stability_window {
+                record.restabilized_at = Some(start);
+                self.open = None;
+            }
+        } else {
+            *streak_start = None;
+        }
+    }
+
+    /// Replaces the re-stabilization criterion. Called at run entry so
+    /// the tracker honors the run's stability window even when events
+    /// were installed before the criterion was known.
+    pub fn set_criterion(&mut self, criterion: ConvergenceCriterion) {
+        self.criterion = criterion;
+    }
+
+    /// Drops all records and any open streak — used when a fresh
+    /// schedule is installed.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.open = None;
+    }
+
+    /// `true` when no record is still waiting for re-stabilization.
+    pub fn is_settled(&self) -> bool {
+        self.open.is_none()
+    }
+
+    /// The per-event records so far (the last may still be open).
+    pub fn records(&self) -> &[RecoveryRecord] {
+        &self.records
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +271,51 @@ mod tests {
             11
         );
         assert_eq!(ConvergenceCriterion::for_population(2).stability_window, 2);
+    }
+
+    #[test]
+    fn recovery_tracker_measures_adaptation_and_restabilization() {
+        let mut t = RecoveryTracker::new(ConvergenceCriterion::new(3));
+        assert!(t.is_settled());
+        t.observe(0, true); // no open record: ignored
+        t.on_event(5, FaultEventKind::TrendSwitch);
+        assert!(!t.is_settled());
+        t.observe(5, false);
+        t.observe(6, true); // adaptation
+        t.observe(7, false); // streak broken
+        t.observe(8, true);
+        t.observe(9, true);
+        assert!(!t.is_settled());
+        t.observe(10, true); // streak of 3 starting at 8
+        assert!(t.is_settled());
+        let records = t.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].event_round, 5);
+        assert_eq!(records[0].kind, FaultEventKind::TrendSwitch);
+        assert_eq!(records[0].adapted_at, Some(6));
+        assert_eq!(records[0].restabilized_at, Some(8));
+        assert_eq!(records[0].adaptation_latency(), Some(1));
+        assert_eq!(records[0].restabilization_time(), Some(3));
+    }
+
+    #[test]
+    fn next_event_freezes_an_unrecovered_record() {
+        let mut t = RecoveryTracker::new(ConvergenceCriterion::new(2));
+        t.on_event(0, FaultEventKind::StateCorruption);
+        t.observe(0, false);
+        t.observe(1, true); // adapted, but streak too short
+        t.on_event(2, FaultEventKind::TrendSwitch);
+        t.observe(2, true);
+        t.observe(3, true);
+        let records = t.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].adapted_at, Some(1));
+        assert_eq!(
+            records[0].restabilized_at, None,
+            "frozen by the next event before confirming"
+        );
+        assert_eq!(records[1].restabilized_at, Some(2));
+        assert!(t.is_settled());
     }
 
     #[test]

@@ -92,9 +92,11 @@
 //! statistically, not bitwise (`tests/fused_equivalence.rs` and
 //! `tests/parallel_equivalence.rs` enforce all of these properties).
 
-use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
+use crate::convergence::{
+    ConvergenceCriterion, ConvergenceDetector, ConvergenceReport, RecoveryRecord, RecoveryTracker,
+};
 use crate::error::SimError;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultEvent, FaultPlan, FaultSchedule};
 use crate::init::InitialCondition;
 use crate::neighborhood::{ensure_observable, Neighborhood};
 use crate::observer::{RoundObserver, RoundSnapshot};
@@ -111,9 +113,9 @@ use fet_core::shard::ShardPlan;
 use fet_core::source::Source;
 use fet_stats::binomial::BinomialSampler;
 use fet_stats::hypergeometric::Hypergeometric;
-use fet_stats::rng::SeedTree;
+use fet_stats::rng::{counter_split, counter_stream_base, SeedTree};
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -363,6 +365,20 @@ struct EngineCore {
     mode: ExecutionMode,
     neighborhood: Option<Box<dyn Neighborhood>>,
     fault: FaultPlan,
+    /// Round-sorted fault-schedule events still to fire;
+    /// [`EngineCore::next_event`] indexes the first pending one. Empty
+    /// unless a [`FaultSchedule`] was installed.
+    schedule_events: Vec<FaultEvent>,
+    next_event: usize,
+    /// Active noise burst: `(first round after the burst, flip level to
+    /// restore)`.
+    burst_restore: Option<(u64, f64)>,
+    /// Dedicated RNG lane for fault-schedule side effects (the state
+    /// corruption draws). Fault-free runs never touch it, so installing
+    /// an event-free schedule leaves every other stream bit-identical.
+    fault_stream: u64,
+    /// Per-event recovery bookkeeping, fed once per executed round.
+    recovery: RecoveryTracker,
     outputs: Vec<Opinion>,
     snapshot: Vec<Opinion>,
     obs_buf: Vec<Observation>,
@@ -505,6 +521,11 @@ impl EngineCore {
             mode: ExecutionMode::Auto,
             neighborhood: None,
             fault: FaultPlan::none(),
+            schedule_events: Vec::new(),
+            next_event: 0,
+            burst_restore: None,
+            fault_stream: SeedTree::new(seed).child("fault-schedule").seed(),
+            recovery: RecoveryTracker::new(ConvergenceCriterion::default()),
             outputs,
             // All three round scratch buffers start unallocated; rounds
             // that never read them (the fused path, mean-field batched
@@ -661,9 +682,98 @@ impl EngineCore {
             + self.bit_snapshot.resident_bytes()
     }
 
+    /// Fires every schedule event due at the start of the current round.
+    /// Runs before the round's snapshot rotation, so trend switches and
+    /// state corruption are visible to this round's observations in every
+    /// execution mode and storage representation.
+    fn apply_schedule<A: Population + ?Sized>(&mut self, pop: &mut A) {
+        if let Some((end, restore)) = self.burst_restore {
+            if self.round >= end {
+                self.fault.flip_prob = restore;
+                self.burst_restore = None;
+            }
+        }
+        while let Some(&event) = self.schedule_events.get(self.next_event) {
+            if event.round() > self.round {
+                break;
+            }
+            self.next_event += 1;
+            if event.round() < self.round {
+                // Installed mid-run after its round already passed: never
+                // fires (firing late would desynchronize replays).
+                continue;
+            }
+            self.recovery.on_event(self.round, event.kind());
+            match event {
+                FaultEvent::TrendSwitch { correct, .. } => {
+                    self.source.retarget(correct);
+                    self.refresh_caches(pop);
+                }
+                FaultEvent::NoiseChange { flip_prob, .. } => {
+                    self.fault.flip_prob = flip_prob;
+                    self.burst_restore = None;
+                }
+                FaultEvent::NoiseBurst {
+                    rounds, flip_prob, ..
+                } => {
+                    self.burst_restore =
+                        Some((self.round.saturating_add(rounds), self.fault.flip_prob));
+                    self.fault.flip_prob = flip_prob;
+                }
+                FaultEvent::StateCorruption { fraction, .. } => {
+                    self.corrupt_states(pop, fraction);
+                }
+            }
+        }
+    }
+
+    /// Rewrites a Bernoulli(`fraction`) subset of non-source agents to
+    /// fresh protocol-initial states with uniformly random opinions. All
+    /// randomness comes from the dedicated `fault-schedule` counter lane,
+    /// keyed by `(round, event index)` — deterministic per seed and
+    /// independent of execution mode, shard count, and storage.
+    fn corrupt_states<A: Population + ?Sized>(&mut self, pop: &mut A, fraction: f64) {
+        if fraction <= 0.0 {
+            return;
+        }
+        let base = counter_stream_base(self.fault_stream, self.round);
+        let mut rng = SmallRng::seed_from_u64(counter_split(base, self.next_event as u64));
+        for idx in 0..pop.len() {
+            if rng.gen::<f64>() < fraction {
+                let opinion = if rng.gen::<bool>() {
+                    Opinion::One
+                } else {
+                    Opinion::Zero
+                };
+                pop.corrupt_agent(idx, opinion, &mut rng);
+            }
+        }
+        self.refresh_caches(pop);
+    }
+
+    /// `true` once every schedule event has fired and the last one's
+    /// recovery record has confirmed re-stabilization (or there was no
+    /// schedule at all). [`EngineCore::run`] keeps stepping until this
+    /// holds, so pre-switch convergence cannot end the run early.
+    fn schedule_settled(&self) -> bool {
+        self.next_event >= self.schedule_events.len() && self.recovery.is_settled()
+    }
+
+    /// Installs a fault schedule: the base plan replaces the current
+    /// [`FaultPlan`], events are armed from the top, and recovery records
+    /// are cleared.
+    fn set_schedule(&mut self, schedule: &FaultSchedule) {
+        self.fault = schedule.base();
+        self.schedule_events = schedule.events().to_vec();
+        self.next_event = 0;
+        self.burst_restore = None;
+        self.recovery.reset();
+    }
+
     /// Executes one synchronous round (see [`Engine::step`]).
     fn step<A: Population + ?Sized>(&mut self, pop: &mut A) {
-        // Scheduled environment change: the correct bit itself flips.
+        self.apply_schedule(pop);
+        // Legacy one-shot environment change: the correct bit itself flips.
         if let Some(new_correct) = self.fault.retarget_at(self.round) {
             self.source.retarget(new_correct);
             self.refresh_caches(pop);
@@ -709,6 +819,7 @@ impl EngineCore {
             }
         }
         self.round += 1;
+        self.recovery.observe(self.round, self.all_correct());
     }
 
     /// Rotates the round-start opinion double buffer for graph-fused
@@ -1024,10 +1135,11 @@ impl EngineCore {
         A: Population + ?Sized,
         O: RoundObserver + ?Sized,
     {
+        self.recovery.set_criterion(criterion);
         let mut detector = ConvergenceDetector::new(criterion);
         observer.on_round(self.snapshot_now());
         let mut done = detector.observe(self.round, self.all_correct());
-        while !done && self.round < max_rounds {
+        while (!done || !self.schedule_settled()) && self.round < max_rounds {
             self.step(pop);
             observer.on_round(self.snapshot_now());
             done = detector.observe(self.round, self.all_correct());
@@ -1068,6 +1180,20 @@ fn neighborhood_spec(
         u64::from(num_sources),
         correct,
     )?)
+}
+
+/// The storage/configuration pairing error shared by the
+/// [`PopulationEngine`] constructors: bit-plane containers run the fused
+/// round family only, so they need an on-demand observation source.
+fn bit_store_fidelity_error() -> SimError {
+    SimError::InvalidParameter {
+        name: "storage",
+        detail: "offending axis: fidelity — bit-plane populations run the fused round \
+                 family only, and the literal Agent fidelity on the complete graph has \
+                 no on-demand observation source; use Binomial/WithoutReplacement, a \
+                 neighborhood, or byte storage"
+            .into(),
+    }
 }
 
 /// A population of agents running one protocol, plus the round loop.
@@ -1173,6 +1299,20 @@ where
     /// Installs a fault plan (replacing any previous plan).
     pub fn set_fault_plan(&mut self, fault: FaultPlan) {
         self.core.fault = fault;
+    }
+
+    /// Installs a round-indexed fault schedule: its base plan replaces
+    /// the current [`FaultPlan`], and its events fire at the start of
+    /// their rounds during [`Engine::step`] / [`Engine::run`]. Replaces
+    /// any previous schedule and clears its recovery records.
+    pub fn set_fault_schedule(&mut self, schedule: &FaultSchedule) {
+        self.core.set_schedule(schedule);
+    }
+
+    /// Per-event recovery records accumulated so far (one per fired
+    /// schedule event, in firing order; the last may still be open).
+    pub fn recovery_records(&self) -> &[RecoveryRecord] {
+        self.core.recovery.records()
     }
 
     /// Selects which round implementation executes (default
@@ -1405,6 +1545,29 @@ impl PopulationEngine {
         )
     }
 
+    /// Creates an engine over an already-filled container — the erased
+    /// analogue of [`Engine::from_states`], and the entry point for
+    /// replaying an explicit state vector on bit-plane storage (see
+    /// [`fet_core::bitplane::BitPopulation::from_states`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::from_states`]; additionally rejects a bit-plane
+    /// container paired with the literal [`Fidelity::Agent`] on the
+    /// complete graph (see [`PopulationEngine::new`]).
+    pub fn from_population(
+        mut population: Box<dyn DynPopulation>,
+        spec: ProblemSpec,
+        fidelity: Fidelity,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let core = EngineCore::construct_filled(population.as_mut(), spec, fidelity, seed)?;
+        if core.bit_store && !core.fused_capable() {
+            return Err(bit_store_fidelity_error());
+        }
+        Ok(PopulationEngine { population, core })
+    }
+
     /// Shared constructor body: fills the container, installs the
     /// neighborhood (when any), and validates the storage/configuration
     /// pairing — bit-plane containers run the fused family only, so they
@@ -1430,14 +1593,7 @@ impl PopulationEngine {
         let mut core = EngineCore::construct(population.as_mut(), spec, fidelity, init, seed)?;
         core.neighborhood = neighborhood;
         if core.bit_store && !core.fused_capable() {
-            return Err(SimError::InvalidParameter {
-                name: "storage",
-                detail: "offending axis: fidelity — bit-plane populations run the fused round \
-                         family only, and the literal Agent fidelity on the complete graph has \
-                         no on-demand observation source; use Binomial/WithoutReplacement, a \
-                         neighborhood, or byte storage"
-                    .into(),
-            });
+            return Err(bit_store_fidelity_error());
         }
         Ok(PopulationEngine { population, core })
     }
@@ -1445,6 +1601,18 @@ impl PopulationEngine {
     /// Installs a fault plan (replacing any previous plan).
     pub fn set_fault_plan(&mut self, fault: FaultPlan) {
         self.core.fault = fault;
+    }
+
+    /// Installs a round-indexed fault schedule (see
+    /// [`Engine::set_fault_schedule`]).
+    pub fn set_fault_schedule(&mut self, schedule: &FaultSchedule) {
+        self.core.set_schedule(schedule);
+    }
+
+    /// Per-event recovery records accumulated so far (see
+    /// [`Engine::recovery_records`]).
+    pub fn recovery_records(&self) -> &[RecoveryRecord] {
+        self.core.recovery.records()
     }
 
     /// Selects which round implementation executes (see
@@ -1569,6 +1737,7 @@ impl PopulationEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultEventKind;
     use crate::observer::{NullObserver, TrajectoryRecorder};
     use fet_core::erased::ErasedProtocol;
     use fet_core::fet::{FetProtocol, FetState};
@@ -1816,8 +1985,8 @@ mod tests {
             (Fidelity::Agent, FaultPlan::none()),
             (Fidelity::Binomial, FaultPlan::none()),
             (Fidelity::WithoutReplacement, FaultPlan::none()),
-            (Fidelity::Binomial, FaultPlan::with_noise(0.03)),
-            (Fidelity::Binomial, FaultPlan::with_sleep(0.2)),
+            (Fidelity::Binomial, FaultPlan::with_noise(0.03).unwrap()),
+            (Fidelity::Binomial, FaultPlan::with_sleep(0.2).unwrap()),
             (
                 Fidelity::Binomial,
                 FaultPlan::with_source_retarget(5, Opinion::Zero),
@@ -1942,7 +2111,7 @@ mod tests {
         let cases: Vec<(Fidelity, FaultPlan)> = vec![
             (Fidelity::Binomial, FaultPlan::none()),
             (Fidelity::WithoutReplacement, FaultPlan::none()),
-            (Fidelity::Binomial, FaultPlan::with_noise(0.03)),
+            (Fidelity::Binomial, FaultPlan::with_noise(0.03).unwrap()),
             (
                 Fidelity::Binomial,
                 FaultPlan::with_source_retarget(5, Opinion::Zero),
@@ -2291,7 +2460,7 @@ mod tests {
         let cases: Vec<(Fidelity, FaultPlan)> = vec![
             (Fidelity::Binomial, FaultPlan::none()),
             (Fidelity::WithoutReplacement, FaultPlan::none()),
-            (Fidelity::Binomial, FaultPlan::with_noise(0.03)),
+            (Fidelity::Binomial, FaultPlan::with_noise(0.03).unwrap()),
             (
                 Fidelity::Binomial,
                 FaultPlan::with_source_retarget(5, Opinion::Zero),
@@ -2490,7 +2659,7 @@ mod tests {
     fn bit_population_engine_is_stream_identical_in_every_fused_mode() {
         let cases: Vec<(ExecutionMode, FaultPlan)> = vec![
             (ExecutionMode::Fused, FaultPlan::none()),
-            (ExecutionMode::Fused, FaultPlan::with_noise(0.03)),
+            (ExecutionMode::Fused, FaultPlan::with_noise(0.03).unwrap()),
             (
                 ExecutionMode::Fused,
                 FaultPlan::with_source_retarget(5, Opinion::Zero),
@@ -2671,5 +2840,239 @@ mod tests {
         let ra = a.run(2_000, ConvergenceCriterion::new(3), &mut NullObserver);
         let rb = b.run(2_000, ConvergenceCriterion::new(3), &mut NullObserver);
         assert_eq!(ra, rb, "clone must replay the original's stream");
+    }
+
+    /// An event-free schedule must leave every random stream untouched:
+    /// the run replays a plain fault-plan run bit for bit.
+    #[test]
+    fn event_free_schedule_is_stream_identical_to_plan() {
+        let base = FaultPlan::with_noise(0.02).unwrap();
+        let mut plain = Engine::new(
+            FetProtocol::new(8).unwrap(),
+            spec(150),
+            Fidelity::Binomial,
+            InitialCondition::Random,
+            99,
+        )
+        .unwrap();
+        plain.set_fault_plan(base);
+        let mut scheduled = Engine::new(
+            FetProtocol::new(8).unwrap(),
+            spec(150),
+            Fidelity::Binomial,
+            InitialCondition::Random,
+            99,
+        )
+        .unwrap();
+        scheduled.set_fault_schedule(&FaultSchedule::from_plan(base));
+        let mut rec_p = TrajectoryRecorder::new();
+        let mut rec_s = TrajectoryRecorder::new();
+        let rp = plain.run(200, ConvergenceCriterion::new(3), &mut rec_p);
+        let rs = scheduled.run(200, ConvergenceCriterion::new(3), &mut rec_s);
+        assert_eq!(rp, rs, "reports diverged");
+        assert_eq!(rec_p.into_fractions(), rec_s.into_fractions());
+        assert_eq!(plain.outputs(), scheduled.outputs());
+        assert!(scheduled.recovery_records().is_empty());
+    }
+
+    /// Repeated trend switches each produce a recovery record, and the
+    /// run keeps stepping past pre-switch convergence to measure them.
+    #[test]
+    fn trend_switches_yield_per_switch_recovery_records() {
+        let mut e = Engine::new(
+            FetProtocol::for_population(300, 4.0).unwrap(),
+            spec(300),
+            Fidelity::Binomial,
+            InitialCondition::AllCorrect,
+            21,
+        )
+        .unwrap();
+        let schedule = FaultSchedule::new(
+            FaultPlan::none(),
+            vec![
+                FaultEvent::TrendSwitch {
+                    round: 40,
+                    correct: Opinion::Zero,
+                },
+                FaultEvent::TrendSwitch {
+                    round: 1_000,
+                    correct: Opinion::One,
+                },
+            ],
+        )
+        .unwrap();
+        e.set_fault_schedule(&schedule);
+        let report = e.run(40_000, ConvergenceCriterion::new(5), &mut NullObserver);
+        let records = e.recovery_records();
+        assert_eq!(records.len(), 2, "{records:?}");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.kind, FaultEventKind::TrendSwitch);
+            let adapted = r.adaptation_latency();
+            assert!(adapted.is_some(), "switch {i} never adapted: {records:?}");
+            let restab = r.restabilization_time();
+            assert!(
+                restab.is_some(),
+                "switch {i} never restabilized: {records:?}"
+            );
+            assert!(
+                restab >= adapted,
+                "switch {i} restabilized before adapting: {records:?}"
+            );
+        }
+        assert_eq!(records[0].event_round, 40);
+        assert_eq!(records[1].event_round, 1_000);
+        assert!(
+            report.rounds_run > 1_000,
+            "run must outlive the last switch: {report:?}"
+        );
+        assert_eq!(report.final_fraction_correct, 1.0);
+    }
+
+    /// State corruption rewrites the chosen fraction deterministically:
+    /// typed byte storage and bit-plane storage replay the same
+    /// post-corruption trajectory in every fused mode.
+    #[test]
+    fn state_corruption_is_stream_identical_across_storages() {
+        let schedule = FaultSchedule::new(
+            FaultPlan::with_noise(0.01).unwrap(),
+            vec![
+                FaultEvent::StateCorruption {
+                    round: 10,
+                    fraction: 0.4,
+                },
+                FaultEvent::NoiseBurst {
+                    round: 25,
+                    rounds: 5,
+                    flip_prob: 0.3,
+                },
+                FaultEvent::NoiseChange {
+                    round: 60,
+                    flip_prob: 0.0,
+                },
+            ],
+        )
+        .unwrap();
+        for mode in [
+            ExecutionMode::Fused,
+            ExecutionMode::FusedParallel { threads: 3 },
+        ] {
+            let mut typed = Engine::new(
+                FetProtocol::new(8).unwrap(),
+                spec(150),
+                Fidelity::Binomial,
+                InitialCondition::Random,
+                77,
+            )
+            .unwrap();
+            typed.set_execution_mode(mode).unwrap();
+            typed.set_fault_schedule(&schedule);
+            let mut bits = PopulationEngine::new(
+                fet_bit_population(8),
+                spec(150),
+                Fidelity::Binomial,
+                InitialCondition::Random,
+                77,
+            )
+            .unwrap();
+            bits.set_execution_mode(mode).unwrap();
+            bits.set_fault_schedule(&schedule);
+            let mut rec_t = TrajectoryRecorder::new();
+            let mut rec_b = TrajectoryRecorder::new();
+            let rt = typed.run(120, ConvergenceCriterion::new(3), &mut rec_t);
+            let rb = bits.run(120, ConvergenceCriterion::new(3), &mut rec_b);
+            assert_eq!(rt, rb, "{mode:?} reports diverged");
+            assert_eq!(
+                rec_t.into_fractions(),
+                rec_b.into_fractions(),
+                "{mode:?} trajectories diverged"
+            );
+            assert_eq!(typed.outputs(), bits.collect_outputs().as_slice());
+            assert_eq!(typed.recovery_records(), bits.recovery_records());
+            assert_eq!(typed.recovery_records().len(), 3);
+        }
+    }
+
+    /// A noise burst restores the pre-burst flip level when its window
+    /// ends, and a plain noise change cancels a pending restore.
+    #[test]
+    fn noise_burst_window_restores_base_level() {
+        let mut e = Engine::new(
+            FetProtocol::for_population(300, 4.0).unwrap(),
+            spec(300),
+            Fidelity::Binomial,
+            InitialCondition::AllCorrect,
+            9,
+        )
+        .unwrap();
+        let schedule = FaultSchedule::new(
+            FaultPlan::none(),
+            vec![FaultEvent::NoiseBurst {
+                round: 5,
+                rounds: 10,
+                flip_prob: 1.0,
+            }],
+        )
+        .unwrap();
+        e.set_fault_schedule(&schedule);
+        for _ in 0..5 {
+            e.step();
+        }
+        assert!(e.fraction_correct() > 0.9, "pre-burst consensus lost");
+        e.step(); // burst round: every observation flips
+        assert!(
+            e.fraction_correct() < 0.5,
+            "flip_prob = 1 must scramble the population, got {}",
+            e.fraction_correct()
+        );
+        let report = e.run(20_000, ConvergenceCriterion::new(5), &mut NullObserver);
+        assert!(
+            report.converged(),
+            "noise must vanish after the burst window: {report:?}"
+        );
+        let records = e.recovery_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind, FaultEventKind::NoiseBurst);
+        assert!(records[0].restabilized_at.is_some());
+    }
+
+    /// `PopulationEngine::from_population` replays `Engine::from_states`
+    /// for byte containers and accepts pre-filled bit-plane containers.
+    #[test]
+    fn population_engine_from_population_replays_from_states() {
+        let protocol = FetProtocol::new(4).unwrap();
+        let states: Vec<FetState> = (0..149)
+            .map(|i| {
+                let opinion = if i % 3 == 0 {
+                    Opinion::One
+                } else {
+                    Opinion::Zero
+                };
+                FetState {
+                    opinion,
+                    prev_count_second_half: (i % 5) as u32,
+                }
+            })
+            .collect();
+        let mut typed = Engine::from_states(
+            protocol.clone(),
+            spec(150),
+            Fidelity::Binomial,
+            states.clone(),
+            31,
+        )
+        .unwrap();
+        let container = Box::new(fet_core::bitplane::BitPopulation::from_states(
+            protocol, &states,
+        ));
+        let mut bits =
+            PopulationEngine::from_population(container, spec(150), Fidelity::Binomial, 31)
+                .unwrap();
+        let mut rec_t = TrajectoryRecorder::new();
+        let mut rec_b = TrajectoryRecorder::new();
+        let rt = typed.run(120, ConvergenceCriterion::new(3), &mut rec_t);
+        let rb = bits.run(120, ConvergenceCriterion::new(3), &mut rec_b);
+        assert_eq!(rt, rb);
+        assert_eq!(rec_t.into_fractions(), rec_b.into_fractions());
+        assert_eq!(typed.outputs(), bits.collect_outputs().as_slice());
     }
 }

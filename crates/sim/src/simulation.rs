@@ -69,10 +69,12 @@
 
 use crate::aggregate::AggregateFetChain;
 use crate::asynchronous::AsyncEngine;
-use crate::convergence::{ConvergenceCriterion, ConvergenceDetector, ConvergenceReport};
+use crate::convergence::{
+    ConvergenceCriterion, ConvergenceDetector, ConvergenceReport, RecoveryRecord,
+};
 use crate::engine::{ExecutionMode, Fidelity, PopulationEngine};
 use crate::error::SimError;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, FaultSchedule};
 use crate::init::InitialCondition;
 use crate::neighborhood::Neighborhood;
 use crate::observer::{NullObserver, RoundObserver, RoundSnapshot, TrajectoryRecorder};
@@ -190,6 +192,11 @@ pub struct RunReport {
     pub report: ConvergenceReport,
     /// The `x_t` trajectory, when recording was requested.
     pub trajectory: Option<Vec<f64>>,
+    /// Per-event recovery records, one per fired fault-schedule event in
+    /// firing order. Empty unless a [`FaultSchedule`] with events ran.
+    /// `None` milestones mean the run never recovered before the next
+    /// event or the round budget — expected under persistent noise.
+    pub recovery: Vec<RecoveryRecord>,
 }
 
 impl RunReport {
@@ -336,6 +343,35 @@ impl Simulation {
         }
     }
 
+    /// Installs a round-indexed fault schedule mid-run (see
+    /// [`PopulationEngine::set_fault_schedule`]); event rounds are
+    /// absolute, so events scheduled before the current round never fire.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::set_fault_plan`].
+    pub fn set_fault_schedule(&mut self, schedule: &FaultSchedule) -> Result<(), SimError> {
+        match &mut self.runner {
+            Runner::Sync(e) => {
+                e.set_fault_schedule(schedule);
+                Ok(())
+            }
+            Runner::Async(_) | Runner::Aggregate(_) => Err(SimError::InvalidParameter {
+                name: "fault",
+                detail: "fault schedules are a synchronous per-agent engine feature".into(),
+            }),
+        }
+    }
+
+    /// Per-event recovery records accumulated so far (empty for runners
+    /// without fault schedules).
+    pub fn recovery_records(&self) -> &[RecoveryRecord] {
+        match &self.runner {
+            Runner::Sync(e) => e.recovery_records(),
+            Runner::Async(_) | Runner::Aggregate(_) => &[],
+        }
+    }
+
     /// Runs to convergence or budget, reporting the outcome.
     pub fn run(&mut self) -> RunReport {
         self.run_observed(&mut NullObserver)
@@ -373,6 +409,7 @@ impl Simulation {
             resident_bytes: self.resident_bytes(),
             report,
             trajectory: recorder.map(TrajectoryRecorder::into_fractions),
+            recovery: self.recovery_records().to_vec(),
         }
     }
 
@@ -483,6 +520,7 @@ pub struct SimulationBuilder {
     topology: Option<Box<dyn Neighborhood>>,
     init: InitialCondition,
     fault: FaultPlan,
+    schedule: Option<FaultSchedule>,
     max_rounds: Option<u64>,
     stability_window: u64,
     record_trajectory: bool,
@@ -512,6 +550,7 @@ impl SimulationBuilder {
             topology: None,
             init: InitialCondition::AllWrong,
             fault: FaultPlan::none(),
+            schedule: None,
             max_rounds: None,
             stability_window: 3,
             record_trajectory: false,
@@ -665,6 +704,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Installs a round-indexed fault schedule (default none). Wins over
+    /// [`SimulationBuilder::fault`]: the schedule's base plan becomes the
+    /// run's fault plan and its events fire at the start of their rounds.
+    pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
     /// Sets the round budget (default `200·ln²n`).
     pub fn max_rounds(mut self, r: u64) -> Self {
         self.max_rounds = Some(r);
@@ -759,6 +806,14 @@ impl SimulationBuilder {
                 Fidelity::Binomial
             },
         );
+        // The fault plan the run actually executes: a schedule's base
+        // plan wins over `.fault()` (the schedule's events ride on top).
+        let effective_fault = self
+            .schedule
+            .as_ref()
+            .map_or(self.fault, FaultSchedule::base);
+        let faulty =
+            !effective_fault.is_none() || self.schedule.as_ref().is_some_and(|s| !s.is_trivial());
         if self.scheduler == Scheduler::Asynchronous {
             if fidelity != Fidelity::Agent {
                 return Err(Self::invalid(
@@ -769,10 +824,10 @@ impl SimulationBuilder {
                     ),
                 ));
             }
-            if !self.fault.is_none() {
+            if faulty {
                 return Err(Self::invalid(
                     "fault",
-                    "fault plans are a synchronous-engine feature",
+                    "fault plans and schedules are a synchronous-engine feature",
                 ));
             }
         }
@@ -801,10 +856,11 @@ impl SimulationBuilder {
                     "the aggregate chain models synchronous rounds only",
                 ));
             }
-            if !self.fault.is_none() {
+            if faulty {
                 return Err(Self::invalid(
                     "fidelity",
-                    "fault plans need per-agent state; use agent or binomial fidelity",
+                    "fault plans and schedules need per-agent state; use agent or binomial \
+                     fidelity",
                 ));
             }
         }
@@ -882,7 +938,7 @@ impl SimulationBuilder {
                  Binomial/WithoutReplacement fidelity, or a topology)"
                     .into(),
             )
-        } else if self.fault.sleep_prob > 0.0 {
+        } else if effective_fault.sleep_prob > 0.0 {
             Some(
                 "offending axis: fault — sleepy-agent faults need the per-agent byte output \
                  buffer; run them on typed storage"
@@ -963,7 +1019,10 @@ impl SimulationBuilder {
                         PopulationEngine::new(population, spec, per_agent, self.init, self.seed)?
                     }
                 };
-                engine.set_fault_plan(self.fault);
+                match &self.schedule {
+                    Some(schedule) => engine.set_fault_schedule(schedule),
+                    None => engine.set_fault_plan(self.fault),
+                }
                 engine
                     .set_execution_mode(self.mode)
                     .expect("fused-mode compatibility validated above");
@@ -1203,7 +1262,7 @@ mod tests {
         let err = Simulation::builder()
             .population(1_000)
             .fidelity(Fidelity::Aggregate)
-            .fault(FaultPlan::with_noise(0.05))
+            .fault(FaultPlan::with_noise(0.05).unwrap())
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("per-agent state"), "{err}");
@@ -1314,7 +1373,10 @@ mod tests {
                     .scheduler(Scheduler::Asynchronous)
                     .fidelity(Fidelity::Agent),
             ),
-            ("sleep faults", base().fault(FaultPlan::with_sleep(0.1))),
+            (
+                "sleep faults",
+                base().fault(FaultPlan::with_sleep(0.1).unwrap()),
+            ),
         ] {
             let err = builder.build().unwrap_err();
             assert!(

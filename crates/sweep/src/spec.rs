@@ -17,9 +17,10 @@
 use crate::error::SweepError;
 use crate::json::Json;
 use fet_core::config::ell_for_population;
-use fet_sim::convergence::ConvergenceReport;
+use fet_core::opinion::Opinion;
+use fet_sim::convergence::{ConvergenceReport, RecoveryRecord};
 use fet_sim::engine::{ExecutionMode, Fidelity};
-use fet_sim::fault::FaultPlan;
+use fet_sim::fault::{FaultEvent, FaultEventKind, FaultPlan, FaultSchedule};
 use fet_sim::init::InitialCondition;
 use fet_sim::simulation::{default_max_rounds, Simulation, SimulationBuilder};
 use fet_stats::rng::SeedTree;
@@ -59,10 +60,19 @@ pub struct CellParams {
     /// Explicit `ℓ` override; `None` derives `ℓ = ⌈c·ln n⌉` from the
     /// spec's sample constant.
     pub ell: Option<u32>,
+    /// Trend-switch period `P`: the episode's fault schedule retargets
+    /// the correct opinion every `P` rounds, `switches` times. `None`
+    /// means the cell runs fault-schedule-free (the pre-gauntlet shape).
+    pub switch_period: Option<u64>,
+    /// State-corruption fraction: each switch window additionally rewrites
+    /// this Bernoulli fraction of agent states at its midpoint.
+    pub corruption: Option<f64>,
 }
 
 impl CellParams {
-    /// The canonical JSON form of the cell (manifest key material).
+    /// The canonical JSON form of the cell (manifest key material). The
+    /// gauntlet members are emitted only when present, so specs without
+    /// the robustness axes keep their pre-gauntlet manifests byte-stable.
     pub fn to_json(&self) -> Json {
         let mut members = vec![
             ("n".to_string(), Json::Int(self.n as i64)),
@@ -70,6 +80,12 @@ impl CellParams {
         ];
         if let Some(ell) = self.ell {
             members.push(("ell".to_string(), Json::Int(i64::from(ell))));
+        }
+        if let Some(p) = self.switch_period {
+            members.push(("switch_period".to_string(), Json::Int(p as i64)));
+        }
+        if let Some(f) = self.corruption {
+            members.push(("corruption".to_string(), Json::from_f64(f)));
         }
         Json::Object(members)
     }
@@ -87,6 +103,15 @@ pub struct SweepSpec {
     pub noise: Vec<f64>,
     /// Explicit `ℓ` axis; empty means one derived-ℓ point per cell.
     pub ell: Vec<u32>,
+    /// Trend-switch-period axis (rounds between switches); empty means no
+    /// fault schedules — the pre-gauntlet sweep shape.
+    pub switch_period: Vec<u64>,
+    /// State-corruption-fraction axis; empty means no corruption events.
+    /// Requires a non-empty `switch_period` (corruption events fire at
+    /// switch-window midpoints).
+    pub corruption: Vec<f64>,
+    /// Trend switches per episode when `switch_period` is set (default 3).
+    pub switches: u64,
     /// Sample constant `c` for derived `ℓ` (default 4).
     pub sample_constant: f64,
     /// Seeds per cell.
@@ -122,6 +147,9 @@ impl SweepSpec {
             n: vec![n],
             noise: vec![0.0],
             ell: Vec::new(),
+            switch_period: Vec::new(),
+            corruption: Vec::new(),
+            switches: 3,
             sample_constant: 4.0,
             seeds: SeedRange {
                 base: seed_base,
@@ -154,6 +182,9 @@ impl SweepSpec {
             "n",
             "noise",
             "ell",
+            "switch_period",
+            "corruption",
+            "switches",
             "sample_constant",
             "seeds",
             "fidelity",
@@ -196,6 +227,14 @@ impl SweepSpec {
                     u32::try_from(e).map_err(|_| SweepError::spec("`ell` entries must fit in u32"))
                 })
                 .collect::<Result<Vec<u32>, _>>()?,
+        };
+        let switch_period = u64_axis(&doc, "switch_period")?.unwrap_or_default();
+        let corruption = f64_axis(&doc, "corruption")?.unwrap_or_default();
+        let switches = match doc.get("switches") {
+            None => 3,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| SweepError::spec("`switches` must be a number"))?,
         };
         let sample_constant = match doc.get("sample_constant") {
             None => 4.0,
@@ -308,6 +347,9 @@ impl SweepSpec {
             n,
             noise,
             ell,
+            switch_period,
+            corruption,
+            switches,
             sample_constant,
             seeds,
             fidelity,
@@ -355,6 +397,50 @@ impl SweepSpec {
                 "`sample_constant` must be positive and finite",
             ));
         }
+        for &p in &self.switch_period {
+            if p == 0 {
+                return Err(SweepError::spec(
+                    "`switch_period` entries must be at least 1 round",
+                ));
+            }
+        }
+        for &f in &self.corruption {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(SweepError::spec(format!(
+                    "corruption fraction {f} is not a probability"
+                )));
+            }
+        }
+        if !self.corruption.is_empty() && self.switch_period.is_empty() {
+            return Err(SweepError::spec(
+                "`corruption` events fire at switch-window midpoints; add a `switch_period` axis",
+            ));
+        }
+        if !self.switch_period.is_empty() {
+            if self.switches == 0 {
+                return Err(SweepError::spec(
+                    "`switches` must be at least 1 when `switch_period` is set",
+                ));
+            }
+            // Every scheduled event must fit the episode budget, or the
+            // recovery records would silently truncate.
+            for &n in &self.n {
+                let budget = self.max_rounds.unwrap_or_else(|| default_max_rounds(n));
+                for &p in &self.switch_period {
+                    let last = self
+                        .switches
+                        .saturating_mul(p)
+                        .saturating_add(if self.corruption.is_empty() { 0 } else { p / 2 });
+                    if last >= budget {
+                        return Err(SweepError::spec(format!(
+                            "the last scheduled event (round {last}) does not fit the \
+                             {budget}-round budget for n = {n}; raise `max_rounds` or shrink \
+                             `switches`/`switch_period`"
+                        )));
+                    }
+                }
+            }
+        }
         let episodes = self.episode_count();
         const MAX_EPISODES: u64 = 10_000_000;
         if episodes > MAX_EPISODES {
@@ -401,6 +487,24 @@ impl SweepSpec {
             members.push((
                 "ell".into(),
                 Json::Array(self.ell.iter().map(|&e| Json::Int(i64::from(e))).collect()),
+            ));
+        }
+        if !self.switch_period.is_empty() {
+            members.push((
+                "switch_period".into(),
+                Json::Array(
+                    self.switch_period
+                        .iter()
+                        .map(|&p| Json::Int(p as i64))
+                        .collect(),
+                ),
+            ));
+            members.push(("switches".into(), Json::Int(self.switches as i64)));
+        }
+        if !self.corruption.is_empty() {
+            members.push((
+                "corruption".into(),
+                Json::Array(self.corruption.iter().map(|&f| Json::from_f64(f)).collect()),
             ));
         }
         members.push((
@@ -474,9 +578,14 @@ impl SweepSpec {
         format!("{h:016x}")
     }
 
-    /// Number of grid cells (`n × noise × ℓ` points).
+    /// Number of grid cells
+    /// (`n × noise × ℓ × switch_period × corruption` points).
     pub fn cell_count(&self) -> u64 {
-        self.n.len() as u64 * self.noise.len() as u64 * self.ell_axis_len()
+        self.n.len() as u64
+            * self.noise.len() as u64
+            * self.ell_axis_len()
+            * self.switch_axis_len()
+            * self.corruption_axis_len()
     }
 
     /// Total episodes (cells × seeds).
@@ -488,23 +597,54 @@ impl SweepSpec {
         self.ell.len().max(1) as u64
     }
 
-    /// The parameters of cell `cell_index` (row-major `n × noise × ℓ`).
+    fn switch_axis_len(&self) -> u64 {
+        self.switch_period.len().max(1) as u64
+    }
+
+    fn corruption_axis_len(&self) -> u64 {
+        self.corruption.len().max(1) as u64
+    }
+
+    /// The parameters of cell `cell_index` (row-major
+    /// `n × noise × ℓ × switch_period × corruption`; absent axes
+    /// contribute a single implicit point, so pre-gauntlet specs keep
+    /// their cell numbering).
     ///
     /// # Panics
     ///
     /// Panics when `cell_index ≥ cell_count()`.
     pub fn cell(&self, cell_index: u64) -> CellParams {
         assert!(cell_index < self.cell_count(), "cell index out of range");
+        let corrs = self.corruption_axis_len();
+        let switches = self.switch_axis_len();
         let ells = self.ell_axis_len();
-        let per_n = self.noise.len() as u64 * ells;
+        let per_ell = switches * corrs;
+        let per_noise = ells * per_ell;
+        let per_n = self.noise.len() as u64 * per_noise;
         let n = self.n[(cell_index / per_n) as usize];
-        let noise = self.noise[((cell_index / ells) % self.noise.len() as u64) as usize];
+        let noise = self.noise[((cell_index / per_noise) % self.noise.len() as u64) as usize];
         let ell = if self.ell.is_empty() {
             None
         } else {
-            Some(self.ell[(cell_index % ells) as usize])
+            Some(self.ell[((cell_index / per_ell) % ells) as usize])
         };
-        CellParams { n, noise, ell }
+        let switch_period = if self.switch_period.is_empty() {
+            None
+        } else {
+            Some(self.switch_period[((cell_index / corrs) % switches) as usize])
+        };
+        let corruption = if self.corruption.is_empty() {
+            None
+        } else {
+            Some(self.corruption[(cell_index % corrs) as usize])
+        };
+        CellParams {
+            n,
+            noise,
+            ell,
+            switch_period,
+            corruption,
+        }
     }
 
     /// Decomposes a flat episode index into `(cell, seed)`.
@@ -567,10 +707,55 @@ impl SweepSpec {
             Some(t) => b.topology(cache.shared_graph(t, cell.n as u32)?),
             None => b.fidelity(self.fidelity),
         };
-        if cell.noise > 0.0 {
-            b = b.fault(FaultPlan::with_noise(cell.noise));
+        if cell.switch_period.is_some() {
+            b = b.fault_schedule(self.cell_schedule(&cell)?);
+        } else if cell.noise > 0.0 {
+            let plan =
+                FaultPlan::with_noise(cell.noise).map_err(|e| SweepError::Sim(e.to_string()))?;
+            b = b.fault(plan);
         }
         b.build().map_err(|e| SweepError::Sim(e.to_string()))
+    }
+
+    /// The fault schedule a gauntlet cell runs: `switches` trend switches
+    /// at rounds `P, 2P, …` alternating the correct opinion away from the
+    /// spec's initial target, plus — when the cell carries a corruption
+    /// fraction — one state-corruption event at each switch window's
+    /// midpoint. The cell's noise level rides as the schedule's base plan.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Sim`] when the knobs fail fault validation (cannot
+    /// happen for a spec that passed [`SweepSpec::validate`]).
+    pub fn cell_schedule(&self, cell: &CellParams) -> Result<FaultSchedule, SweepError> {
+        let sim_err = |e: fet_sim::SimError| SweepError::Sim(e.to_string());
+        let base = if cell.noise > 0.0 {
+            FaultPlan::with_noise(cell.noise).map_err(sim_err)?
+        } else {
+            FaultPlan::none()
+        };
+        let Some(period) = cell.switch_period else {
+            return FaultSchedule::new(base, Vec::new()).map_err(sim_err);
+        };
+        let mut events = Vec::new();
+        for k in 1..=self.switches {
+            let round = k * period;
+            // The initial correct opinion is One (ProblemSpec default the
+            // sweep builder uses), so odd switches target Zero.
+            let correct = if k % 2 == 1 {
+                Opinion::Zero
+            } else {
+                Opinion::One
+            };
+            events.push(FaultEvent::TrendSwitch { round, correct });
+            if let Some(fraction) = cell.corruption {
+                events.push(FaultEvent::StateCorruption {
+                    round: round + period / 2,
+                    fraction,
+                });
+            }
+        }
+        FaultSchedule::new(base, events).map_err(sim_err)
     }
 
     /// Runs one episode to completion.
@@ -593,6 +778,7 @@ impl SweepSpec {
             cell,
             report: report.report,
             trajectory: report.trajectory,
+            recovery: report.recovery,
         })
     }
 }
@@ -619,6 +805,9 @@ pub struct EpisodeRecord {
     pub report: ConvergenceReport,
     /// Full `x_t` trajectory when the spec requested recording.
     pub trajectory: Option<Vec<f64>>,
+    /// Per-event recovery records (empty unless the cell ran a fault
+    /// schedule with events).
+    pub recovery: Vec<RecoveryRecord>,
 }
 
 impl EpisodeRecord {
@@ -651,6 +840,12 @@ impl EpisodeRecord {
             members.push((
                 "trajectory".into(),
                 Json::Array(traj.iter().map(|&x| Json::from_f64(x)).collect()),
+            ));
+        }
+        if !self.recovery.is_empty() {
+            members.push((
+                "recovery".into(),
+                Json::Array(self.recovery.iter().map(recovery_to_json).collect()),
             ));
         }
         Json::Object(members)
@@ -687,6 +882,8 @@ impl EpisodeRecord {
                     .get("ell")
                     .and_then(Json::as_u64)
                     .map(|e| e as u32),
+                switch_period: cell_json.get("switch_period").and_then(Json::as_u64),
+                corruption: cell_json.get("corruption").and_then(Json::as_f64),
             },
             report: ConvergenceReport {
                 converged_at: report_json.get("converged_at").and_then(Json::as_u64),
@@ -703,8 +900,54 @@ impl EpisodeRecord {
                 .get("trajectory")
                 .and_then(Json::as_array)
                 .map(|items| items.iter().filter_map(Json::as_f64).collect()),
+            recovery: match v.get("recovery").and_then(Json::as_array) {
+                None => Vec::new(),
+                Some(items) => items
+                    .iter()
+                    .map(recovery_from_json)
+                    .collect::<Result<Vec<RecoveryRecord>, _>>()?,
+            },
         })
     }
+}
+
+/// The canonical JSON form of one recovery record (manifest material —
+/// byte-stable under round-tripping).
+pub fn recovery_to_json(record: &RecoveryRecord) -> Json {
+    let opt = |r: Option<u64>| match r {
+        Some(t) => Json::Int(t as i64),
+        None => Json::Null,
+    };
+    Json::object([
+        ("event_round", Json::Int(record.event_round as i64)),
+        ("kind", Json::Str(record.kind.to_string())),
+        ("adapted_at", opt(record.adapted_at)),
+        ("restabilized_at", opt(record.restabilized_at)),
+    ])
+}
+
+/// Parses one recovery record from its canonical JSON form.
+///
+/// # Errors
+///
+/// [`SweepError::Spec`] when members are missing, mistyped, or name an
+/// unknown event kind.
+pub fn recovery_from_json(v: &Json) -> Result<RecoveryRecord, SweepError> {
+    let kind_label = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| SweepError::spec("recovery record missing string `kind`"))?;
+    let kind = FaultEventKind::parse(kind_label)
+        .ok_or_else(|| SweepError::spec(format!("unknown recovery event kind `{kind_label}`")))?;
+    Ok(RecoveryRecord {
+        event_round: v
+            .get("event_round")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SweepError::spec("recovery record missing numeric `event_round`"))?,
+        kind,
+        adapted_at: v.get("adapted_at").and_then(Json::as_u64),
+        restabilized_at: v.get("restabilized_at").and_then(Json::as_u64),
+    })
 }
 
 fn u64_axis(doc: &Json, name: &str) -> Result<Option<Vec<u64>>, SweepError> {
@@ -770,7 +1013,9 @@ mod tests {
             CellParams {
                 n: 100,
                 noise: 0.0,
-                ell: None
+                ell: None,
+                switch_period: None,
+                corruption: None,
             }
         );
         assert_eq!(
@@ -778,7 +1023,9 @@ mod tests {
             CellParams {
                 n: 100,
                 noise: 0.05,
-                ell: None
+                ell: None,
+                switch_period: None,
+                corruption: None,
             }
         );
         assert_eq!(
@@ -786,7 +1033,9 @@ mod tests {
             CellParams {
                 n: 200,
                 noise: 0.0,
-                ell: None
+                ell: None,
+                switch_period: None,
+                corruption: None,
             }
         );
         let (cell, seed) = spec.episode(7);
@@ -850,6 +1099,8 @@ mod tests {
                 n: 100,
                 noise: 0.05,
                 ell: Some(20),
+                switch_period: Some(64),
+                corruption: Some(0.25),
             },
             report: ConvergenceReport {
                 converged_at: Some(37),
@@ -857,6 +1108,12 @@ mod tests {
                 final_fraction_correct: 1.0,
             },
             trajectory: Some(vec![0.0, 0.25, 1.0]),
+            recovery: vec![RecoveryRecord {
+                event_round: 64,
+                kind: FaultEventKind::TrendSwitch,
+                adapted_at: Some(70),
+                restabilized_at: None,
+            }],
         };
         let line = record.to_json().to_string();
         let back = EpisodeRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
@@ -889,5 +1146,120 @@ mod tests {
         let mut b = a.clone();
         b.seeds.count = 5;
         assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn robustness_axes_multiply_cells_row_major() {
+        let spec = SweepSpec::parse(
+            r#"{"n": [100], "noise": [0, 0.02], "switch_period": [50, 100],
+                "corruption": [0.1, 0.3], "switches": 2, "seeds": {"count": 2},
+                "max_rounds": 1000}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.cell_count(), 8, "1 n × 2 noise × 2 periods × 2 corr");
+        assert_eq!(spec.episode_count(), 16);
+        // Corruption is the fastest-varying axis, then switch period.
+        assert_eq!(spec.cell(0).switch_period, Some(50));
+        assert_eq!(spec.cell(0).corruption, Some(0.1));
+        assert_eq!(spec.cell(1).corruption, Some(0.3));
+        assert_eq!(spec.cell(2).switch_period, Some(100));
+        assert_eq!(spec.cell(4).noise, 0.02);
+        assert_eq!(spec.cell(4).switch_period, Some(50));
+    }
+
+    #[test]
+    fn robustness_axis_rejections_name_the_problem() {
+        for (bad, needle) in [
+            // Corruption without a switch axis has no rounds to fire on.
+            (r#"{"n": [100], "corruption": [0.2]}"#, "switch_period"),
+            (r#"{"n": [100], "switch_period": [0]}"#, "at least 1 round"),
+            (
+                r#"{"n": [100], "switch_period": [50], "corruption": [1.5]}"#,
+                "not a probability",
+            ),
+            (
+                r#"{"n": [100], "switch_period": [50], "switches": 0}"#,
+                "switches",
+            ),
+            // Last event (2 switches × 500 + midpoint 250) overruns the budget.
+            (
+                r#"{"n": [100], "switch_period": [500], "corruption": [0.1],
+                    "switches": 2, "max_rounds": 1000}"#,
+                "budget",
+            ),
+        ] {
+            let err = SweepSpec::parse(bad).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{bad}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn cell_schedule_alternates_targets_and_places_midpoint_corruption() {
+        let spec = SweepSpec::parse(
+            r#"{"n": [100], "switch_period": [100], "corruption": [0.2],
+                "switches": 3, "seeds": {"count": 1}, "max_rounds": 1000}"#,
+        )
+        .unwrap();
+        let schedule = spec.cell_schedule(&spec.cell(0)).unwrap();
+        let events = schedule.events();
+        assert_eq!(events.len(), 6, "3 switches + 3 corruption midpoints");
+        let mut switch_rounds = Vec::new();
+        let mut corruption_rounds = Vec::new();
+        for event in events {
+            match event {
+                FaultEvent::TrendSwitch { round, correct } => {
+                    // Odd switches retarget to Zero, even back to One.
+                    let expected = if (round / 100) % 2 == 1 {
+                        Opinion::Zero
+                    } else {
+                        Opinion::One
+                    };
+                    assert_eq!(*correct, expected);
+                    switch_rounds.push(*round);
+                }
+                FaultEvent::StateCorruption { round, fraction } => {
+                    assert_eq!(*fraction, 0.2);
+                    corruption_rounds.push(*round);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(switch_rounds, [100, 200, 300]);
+        assert_eq!(corruption_rounds, [150, 250, 350]);
+    }
+
+    #[test]
+    fn pre_gauntlet_specs_keep_their_canonical_bytes() {
+        // A spec without robustness axes must not mention them in its
+        // canonical form — existing manifest hashes stay valid.
+        let spec = small_spec();
+        let canon = spec.to_json().to_string();
+        for key in ["switch_period", "corruption", "switches"] {
+            assert!(!canon.contains(key), "`{key}` leaked into `{canon}`");
+        }
+    }
+
+    #[test]
+    fn gauntlet_episode_records_carry_recovery_and_round_trip() {
+        let spec = SweepSpec::parse(
+            r#"{"n": [120], "switch_period": [300], "switches": 2,
+                "seeds": {"count": 1}, "max_rounds": 4000, "stability_window": 3}"#,
+        )
+        .unwrap();
+        let cache = crate::cache::WarmCache::new();
+        let record = spec.run_episode(0, &cache).unwrap();
+        let switches: Vec<_> = record
+            .recovery
+            .iter()
+            .filter(|r| r.kind == FaultEventKind::TrendSwitch)
+            .collect();
+        assert_eq!(switches.len(), 2);
+        assert!(
+            switches.iter().all(|r| r.adapted_at.is_some()),
+            "noise-free switches re-adapt: {switches:?}"
+        );
+        let line = record.to_json().to_string();
+        let back = EpisodeRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, record, "recovery records survive the manifest format");
     }
 }

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut sim = Simulation::builder()
             .population(n)
             .seed(7)
-            .fault(FaultPlan::with_noise(p))
+            .fault(FaultPlan::with_noise(p).expect("sweep noise levels are valid"))
             .build()?;
         for _ in 0..2_000 {
             sim.step(); // warmup past the initial convergence

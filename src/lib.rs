@@ -27,6 +27,9 @@
 //! * [`sweep`] — the throughput tier: episode-parallel parameter sweeps
 //!   with work-stealing workers, kill/resume manifests, and the
 //!   `fet serve` daemon.
+//! * [`gauntlet`] — the robustness tier: multi-protocol fault-schedule
+//!   sweeps with per-switch recovery reports and adaptation-latency
+//!   heatmaps (`fet gauntlet`).
 //!
 //! # Quickstart
 //!
@@ -64,6 +67,7 @@
 pub use fet_adversary as adversary;
 pub use fet_analysis as analysis;
 pub use fet_core as core;
+pub use fet_gauntlet as gauntlet;
 pub use fet_plot as plot;
 pub use fet_protocols as protocols;
 pub use fet_sim as sim;
@@ -80,11 +84,12 @@ pub mod prelude {
     pub use fet_core::population::{DynPopulation, Population, TypedPopulation};
     pub use fet_core::protocol::Protocol;
     pub use fet_core::shard::{ShardPlan, ShardSourceFactory};
+    pub use fet_gauntlet::{run_gauntlet, GauntletOptions, GauntletSpec};
     pub use fet_protocols::registry::{ProtocolParams, ProtocolRegistry};
     pub use fet_sim::convergence::{ConvergenceCriterion, ConvergenceReport};
     pub use fet_sim::engine::{Engine, ExecutionMode, Fidelity, PopulationEngine};
     pub use fet_sim::experiment::{run_fet_once, run_protocol_once, ExperimentSpec, RunOutcome};
-    pub use fet_sim::fault::FaultPlan;
+    pub use fet_sim::fault::{FaultEvent, FaultPlan, FaultSchedule};
     pub use fet_sim::neighborhood::Neighborhood;
     pub use fet_sim::simulation::{RunReport, Scheduler, Simulation, SimulationBuilder, Storage};
     pub use fet_stats::rng::SeedTree;

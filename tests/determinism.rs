@@ -43,7 +43,11 @@ fn cases() -> Vec<(&'static str, Fidelity, FaultPlan)> {
             Fidelity::WithoutReplacement,
             FaultPlan::none(),
         ),
-        ("noise", Fidelity::Binomial, FaultPlan::with_noise(0.02)),
+        (
+            "noise",
+            Fidelity::Binomial,
+            FaultPlan::with_noise(0.02).unwrap(),
+        ),
         (
             "retarget",
             Fidelity::Binomial,
@@ -188,7 +192,7 @@ fn graph_facade_trajectory(shards: u32, fault: FaultPlan) -> Vec<f64> {
 fn graph_parallel_stream_identity_matrix() {
     let graph_cases: Vec<(&str, FaultPlan)> = vec![
         ("plain", FaultPlan::none()),
-        ("noise", FaultPlan::with_noise(0.02)),
+        ("noise", FaultPlan::with_noise(0.02).unwrap()),
         (
             "retarget",
             FaultPlan::with_source_retarget(7, Opinion::Zero),

@@ -1,0 +1,185 @@
+//! Property-based tests for round-indexed fault schedules: construction
+//! validation (ordering, knobs, burst-window overlap), the manifest JSON
+//! round trip of per-event recovery records, and the stream-identity
+//! guarantee — an event-free [`FaultSchedule`] is bit-identical to
+//! running its base [`FaultPlan`] alone, across execution modes.
+
+use fet::prelude::*;
+use fet::sim::convergence::RecoveryRecord;
+use fet::sim::fault::FaultEventKind;
+use fet::sweep::json::Json;
+use fet::sweep::spec::{recovery_from_json, recovery_to_json};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn kind_of(index: u64) -> FaultEventKind {
+    match index % 4 {
+        0 => FaultEventKind::TrendSwitch,
+        1 => FaultEventKind::NoiseChange,
+        2 => FaultEventKind::NoiseBurst,
+        _ => FaultEventKind::StateCorruption,
+    }
+}
+
+proptest! {
+    /// Any round-sorted event list with in-range knobs validates, and the
+    /// schedule preserves it verbatim (order, count, final round).
+    #[test]
+    fn sorted_schedules_validate_and_preserve_events(
+        len in 0usize..8,
+        seed in 0u64..10_000,
+        noise in 0.0f64..=1.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rounds: Vec<u64> = (0..len).map(|_| rng.gen_range(0..5_000u64)).collect();
+        rounds.sort_unstable();
+        let events: Vec<FaultEvent> = rounds
+            .iter()
+            .enumerate()
+            .map(|(i, &round)| match i % 3 {
+                0 => FaultEvent::TrendSwitch {
+                    round,
+                    correct: Opinion::Zero,
+                },
+                1 => FaultEvent::StateCorruption {
+                    round,
+                    fraction: f64::from(rng.gen_range(0..=1000u32)) / 1000.0,
+                },
+                _ => FaultEvent::NoiseChange {
+                    round,
+                    flip_prob: f64::from(rng.gen_range(0..=1000u32)) / 1000.0,
+                },
+            })
+            .collect();
+        let schedule =
+            FaultSchedule::new(FaultPlan::with_noise(noise).unwrap(), events.clone()).unwrap();
+        prop_assert_eq!(schedule.events(), &events[..]);
+        prop_assert_eq!(schedule.final_event_round(), rounds.last().copied());
+        prop_assert_eq!(schedule.is_trivial(), events.is_empty() && noise == 0.0);
+    }
+
+    /// A strictly out-of-order pair is always rejected, wherever it sits
+    /// in the list.
+    #[test]
+    fn unsorted_schedules_are_rejected(
+        first in 0u64..1_000,
+        gap in 1u64..1_000,
+        prefix_len in 0u64..4,
+    ) {
+        let mut events: Vec<FaultEvent> = (0..prefix_len)
+            .map(|i| FaultEvent::TrendSwitch {
+                round: i,
+                correct: Opinion::Zero,
+            })
+            .collect();
+        // `first` comes after `first + gap`: out of order by construction.
+        events.push(FaultEvent::TrendSwitch {
+            round: 1_000 + first + gap,
+            correct: Opinion::Zero,
+        });
+        events.push(FaultEvent::TrendSwitch {
+            round: 1_000 + first,
+            correct: Opinion::One,
+        });
+        let err = FaultSchedule::new(FaultPlan::none(), events).unwrap_err();
+        prop_assert!(err.to_string().contains("sorted"), "{}", err);
+    }
+
+    /// A second noise-level event is rejected exactly when it falls inside
+    /// a burst's half-open window `[round, round + rounds)`; trend
+    /// switches inside the window are always fine.
+    #[test]
+    fn burst_window_overlap_is_exactly_half_open(
+        start in 0u64..1_000,
+        len in 1u64..50,
+        offset in 0u64..60,
+    ) {
+        let burst = FaultEvent::NoiseBurst {
+            round: start,
+            rounds: len,
+            flip_prob: 0.3,
+        };
+        let noise_event = FaultEvent::NoiseChange {
+            round: start + offset,
+            flip_prob: 0.05,
+        };
+        let result = FaultSchedule::new(FaultPlan::none(), vec![burst, noise_event]);
+        if offset < len {
+            prop_assert!(result.is_err(), "offset {} < len {} must overlap", offset, len);
+        } else {
+            prop_assert!(result.is_ok(), "offset {} >= len {}: {:?}", offset, len, result);
+        }
+        let switch = FaultEvent::TrendSwitch {
+            round: start + offset,
+            correct: Opinion::Zero,
+        };
+        prop_assert!(
+            FaultSchedule::new(FaultPlan::none(), vec![burst, switch]).is_ok(),
+            "trend switches never conflict with burst windows"
+        );
+    }
+
+    /// Recovery records survive the canonical manifest JSON byte-for-byte,
+    /// for every kind and every milestone combination (including the
+    /// never-recovered `None`s).
+    #[test]
+    fn recovery_records_round_trip_through_manifest_json(
+        event_round in 0u64..100_000,
+        kind_index in 0u64..4,
+        adapt_delta in 0u64..10_000,
+        restab_delta in 0u64..10_000,
+        milestones in 0u32..4,
+    ) {
+        let adapted_at = (milestones >= 1).then(|| event_round + adapt_delta);
+        let restabilized_at = (milestones >= 2).then(|| event_round + adapt_delta + restab_delta);
+        let record = RecoveryRecord {
+            event_round,
+            kind: kind_of(kind_index),
+            adapted_at,
+            restabilized_at,
+        };
+        let line = recovery_to_json(&record).to_string();
+        let back = recovery_from_json(&Json::parse(&line).unwrap()).unwrap();
+        prop_assert_eq!(back, record);
+        prop_assert_eq!(recovery_to_json(&back).to_string(), line, "byte-stable round trip");
+    }
+
+    /// Stream identity: an event-free schedule carrying a plan produces
+    /// the same `RunReport` — trajectory included — as installing the
+    /// plan directly, under both the fused and sharded-parallel rounds.
+    #[test]
+    fn event_free_schedules_are_stream_identical_to_plans(
+        n in 50u64..150,
+        seed in 0u64..1_000,
+        noise_steps in 0u32..4,
+        parallel in any::<bool>(),
+    ) {
+        let noise = f64::from(noise_steps) * 0.01;
+        let mode = if parallel {
+            ExecutionMode::FusedParallel { threads: 2 }
+        } else {
+            ExecutionMode::Fused
+        };
+        let plan = FaultPlan::with_noise(noise).unwrap();
+        let run = |use_schedule: bool| {
+            let builder = Simulation::builder()
+                .population(n)
+                .seed(seed)
+                .execution_mode(mode)
+                .record_trajectory(true)
+                .stability_window(3)
+                .max_rounds(400);
+            let builder = if use_schedule {
+                builder.fault_schedule(FaultSchedule::from_plan(plan))
+            } else {
+                builder.fault(plan)
+            };
+            builder.build().unwrap().run()
+        };
+        let with_plan = run(false);
+        let with_schedule = run(true);
+        prop_assert!(with_schedule.recovery.is_empty(), "no events, no records");
+        prop_assert_eq!(with_plan, with_schedule);
+    }
+}

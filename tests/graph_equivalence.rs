@@ -229,9 +229,9 @@ fn fet_graph_fused_vs_batched_convergence_times_agree() {
 fn graph_fused_fault_plans_replay_and_match_facade() {
     let ell = ell_for_population(u64::from(N), 4.0);
     for fault in [
-        FaultPlan::with_noise(0.05),
+        FaultPlan::with_noise(0.05).unwrap(),
         FaultPlan::with_source_retarget(9, Opinion::Zero),
-        FaultPlan::with_sleep(0.2),
+        FaultPlan::with_sleep(0.2).unwrap(),
     ] {
         let typed = || {
             let mut engine = Engine::with_neighborhood(

@@ -4,11 +4,12 @@
 use fet::adversary::impossibility::ImpossibilityScenario;
 use fet::adversary::init::FetConfigurator;
 use fet::adversary::search::{AdversaryPoint, WorstCaseSearch};
+use fet::core::bitplane::BitPopulation;
 use fet::core::config::ProblemSpec;
 use fet::core::fet::FetProtocol;
 use fet::core::opinion::Opinion;
 use fet::sim::convergence::ConvergenceCriterion;
-use fet::sim::engine::{Engine, Fidelity};
+use fet::sim::engine::{Engine, ExecutionMode, Fidelity, PopulationEngine};
 use fet::sim::fault::FaultPlan;
 use fet::sim::observer::NullObserver;
 use fet::sim::simulation::Simulation;
@@ -32,6 +33,46 @@ fn all_named_traps_are_defeated() {
                 .expect("valid");
         let report = engine.run(100_000, ConvergenceCriterion::new(3), &mut NullObserver);
         assert!(report.converged(), "trap {name} defeated FET: {report:?}");
+    }
+}
+
+#[test]
+fn named_traps_are_defeated_on_bitplane_and_parallel_engines() {
+    // The same adversarial state vectors, replayed on the sharded fused
+    // round and on the 1-bit/agent packed container: every trap must
+    // still be escaped, and the bit-plane trajectory must be the typed
+    // one bit-for-bit (the storage determinism contract).
+    let (protocol, spec, conf) = setup(400);
+    let mode = ExecutionMode::FusedParallel { threads: 2 };
+    for (name, states) in [
+        ("tie_trap", conf.tie_trap()),
+        ("bounce_suppressor", conf.bounce_suppressor()),
+        ("oscillation_primer", conf.oscillation_primer()),
+    ] {
+        let mut typed = Engine::from_states(
+            protocol.clone(),
+            spec,
+            Fidelity::Binomial,
+            states.clone(),
+            17,
+        )
+        .expect("valid");
+        typed.set_execution_mode(mode).expect("parallel mode");
+        let typed_report = typed.run(100_000, ConvergenceCriterion::new(3), &mut NullObserver);
+        assert!(
+            typed_report.converged(),
+            "trap {name} defeated the parallel engine: {typed_report:?}"
+        );
+
+        let container = Box::new(BitPopulation::from_states(protocol.clone(), &states));
+        let mut bits = PopulationEngine::from_population(container, spec, Fidelity::Binomial, 17)
+            .expect("valid");
+        bits.set_execution_mode(mode).expect("parallel mode");
+        let bit_report = bits.run(100_000, ConvergenceCriterion::new(3), &mut NullObserver);
+        assert_eq!(
+            typed_report, bit_report,
+            "trap {name}: bit-plane storage must replay the typed trajectory"
+        );
     }
 }
 
@@ -103,7 +144,7 @@ fn observation_noise_destroys_the_absorbing_consensus() {
     let mut sim = Simulation::builder()
         .population(400)
         .seed(31)
-        .fault(FaultPlan::with_noise(0.05))
+        .fault(FaultPlan::with_noise(0.05).unwrap())
         .stability_window(5)
         .max_rounds(100_000)
         .build()
@@ -141,7 +182,7 @@ fn convergence_with_sleepy_agents() {
     let report = Simulation::builder()
         .population(400)
         .seed(37)
-        .fault(FaultPlan::with_sleep(0.2))
+        .fault(FaultPlan::with_sleep(0.2).unwrap())
         .stability_window(5)
         .max_rounds(200_000)
         .build()
