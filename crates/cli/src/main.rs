@@ -324,6 +324,7 @@ fn cmd_protocols() -> Result<(), String> {
             "fused-kernel",
             "parallel",
             "bits/agent",
+            "packed-planes",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -365,6 +366,11 @@ fn cmd_protocols() -> Result<(), String> {
             // Per-agent cost of the contiguous state buffer that
             // `run --protocol` executes on.
             p.memory_footprint().peak_bits().to_string(),
+            // The bit-plane storage layout (`--storage bit-plane`):
+            // opinion bit plus the packed aux plane width — e.g. FET at
+            // this table's ℓ shows `1b+{bits}b` for its ⌈log₂(ℓ+1)⌉-bit
+            // clock, voter/3-majority show the bare `1b` opinion plane.
+            p.packed_planes().to_string(),
         ]);
     }
     println!("registered protocols (samples/round shown for n = 10000, c = 4):");

@@ -202,6 +202,64 @@ fn protocols_table_reports_parallel_eligibility() {
 }
 
 #[test]
+fn protocols_table_reports_packed_planes() {
+    let text = run_ok(&["protocols"]);
+    assert!(text.contains("packed-planes"), "missing column: {text}");
+    // Opinion-only baselines pack to the bare 1-bit plane…
+    let voter_line = text
+        .lines()
+        .find(|l| l.starts_with("voter"))
+        .expect("voter row");
+    assert!(
+        voter_line.trim_end().ends_with(" 1b"),
+        "voter packs opinion-only: {voter_line}"
+    );
+    // …and FET's clock column shows its packed ⌈log₂(ℓ+1)⌉-bit width
+    // (ℓ = 37 at the table's reference n → 6 bits).
+    assert!(
+        text.contains("1b+6b"),
+        "FET's clock packs below a byte: {text}"
+    );
+}
+
+/// Backs the tutorial's bit-plane block (docs/TUTORIAL.md, step 2): the
+/// packed representation is selectable, echoed, and trajectory-identical
+/// to the typed run for the same `(seed, mode)`.
+#[test]
+fn run_with_bit_plane_storage_matches_typed() {
+    let run = |storage: &str| {
+        run_ok(&[
+            "run",
+            "--n",
+            "300",
+            "--seed",
+            "7",
+            "--mode",
+            "fused",
+            "--storage",
+            storage,
+        ])
+    };
+    let packed = run("bit-plane");
+    assert!(
+        packed.contains("storage = bit-plane"),
+        "storage not echoed: {packed}"
+    );
+    let typed = run("typed");
+    let tail = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("storage = "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        tail(&packed),
+        tail(&typed),
+        "bit-plane must replay the typed trajectory"
+    );
+}
+
+#[test]
 fn run_with_explicit_ell_and_zero_correct() {
     let text = run_ok(&[
         "run",
@@ -382,6 +440,36 @@ fn sweep_rejects_malformed_specs_with_context() {
         assert!(stderr.contains(needle), "spec `{spec}`: {stderr}");
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+// -------------------------------------------------------------- gauntlet
+
+/// The tutorial's gauntlet spec (docs/TUTORIAL.md, step 4) — keep the two
+/// in sync: this test is what backs that command block.
+const SMALL_GAUNTLET_SPEC: &str = r#"{"protocols": ["fet", "voter"], "n": [150],
+ "noise": [0, 0.02], "switch_period": [300], "switches": 2, "corruption": [0.1],
+ "seeds": {"base": 7, "count": 2}, "max_rounds": 4000, "stability_window": 3}"#;
+
+#[test]
+fn gauntlet_runs_a_small_suite_and_prints_the_report() {
+    let dir = sweep_dir("gauntlet", SMALL_GAUNTLET_SPEC);
+    let spec = dir.join("spec.json");
+    let text = run_ok(&[
+        "gauntlet",
+        spec.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--quiet",
+    ]);
+    assert!(
+        text.contains("gauntlet over {fet, voter}"),
+        "header expected: {text}"
+    );
+    assert!(
+        text.contains("recovery"),
+        "per-switch recovery report expected: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

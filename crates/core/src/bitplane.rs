@@ -1,12 +1,29 @@
-//! Bit-plane packed populations: 1 bit/agent opinion storage.
+//! Bit-plane packed populations: 1 bit/agent opinion storage plus a
+//! packed auxiliary plane.
 //!
 //! The paper's regime is huge anonymous populations with a few bits of
 //! state per agent — at `n = 10⁸`–`10⁹` even one byte per opinion is the
 //! memory-bandwidth bottleneck (see `docs/BENCHMARKS.md`). This module
 //! packs the public opinion plane 64 agents per `u64` word
 //! ([`BitPlane`]), with a protocol's remaining per-agent state — FET's
-//! stored `count″ ∈ [0, ℓ]` — in a parallel byte plane, behind the same
-//! [`Population`] trait every engine already drives.
+//! stored `count″ ∈ [0, ℓ]` — in a parallel auxiliary plane whose width
+//! tracks the protocol's declared layout ([`StatePlanes`]):
+//!
+//! * [`StatePlanes::OpinionOnly`] — no aux plane at all (voter,
+//!   3-majority);
+//! * [`StatePlanes::OpinionPlusPacked`]`{ bits }` — exactly `bits` bits
+//!   per agent: a [`NibblePlane`] (16 agents/word) when `bits = 4`, an
+//!   interleaved [`BitSlicedPlane`] otherwise. For FET with `ℓ = 5` this
+//!   is 3 bits/agent — ~375 MB at `n = 10⁹` instead of the byte plane's
+//!   1 GB;
+//! * [`StatePlanes::OpinionPlusByte`] — one byte per agent, the 8-bit
+//!   fast path (direct byte addressing, same memory as an 8-bit sliced
+//!   plane).
+//!
+//! When `bits < 4` the bit-sliced plane is strictly smaller than a
+//! nibble plane, so the nibble fast path is taken only when it is free
+//! (`bits = 4`, FET's `ℓ ∈ [8, 15]`): exact width wins whenever the two
+//! layouts differ in memory.
 //!
 //! # Packability contract
 //!
@@ -16,25 +33,46 @@
 //! mutual inverses whose packed opinion bit **is** the state's
 //! [`Protocol::output`]. Packing is restricted to *passive* protocols
 //! (decision ≡ output), which is what lets the container answer both the
-//! global 1-count and the correct-decision count by popcount.
+//! global 1-count and the correct-decision count by popcount. Protocols
+//! declaring a packed aux width promise `aux < 2^bits` for every
+//! reachable state — the planes store only the low `bits` bits.
+//!
+//! # Word-at-a-time kernels
+//!
+//! [`StatePlanes::OpinionOnly`] protocols whose update is a pure
+//! threshold on the observation ([`Protocol::opinion_threshold`] is
+//! `Some`) skip the per-agent unpack → step → repack walk entirely: the
+//! fused round asks the source for one *threshold word* per 64 agents
+//! ([`ObservationSource::next_threshold_word`]) and writes it straight
+//! into the opinion plane, counting by popcount. The mean-field source
+//! overrides the word draw to hoist its per-draw virtual dispatch,
+//! sampler match, and fault check out of the loop, which is where the
+//! measured ≥ 2× per-round win over the per-agent packed loop comes from
+//! (`fet-bench`'s `word_kernel`).
 //!
 //! # Trajectory identity
 //!
 //! [`BitPopulation`] steps each agent by unpack → [`Protocol::step`] →
 //! repack, drawing observations and randomness in exactly the per-agent
-//! order the kernel contract pins for every other representation. A
-//! bit-plane run is therefore **bit-identical** to the typed, boxed, and
+//! order the kernel contract pins for every other representation; the
+//! word-at-a-time kernel draws the very same observation stream 64
+//! agents at a time (see the contract on
+//! [`ObservationSource::next_threshold_word`]). A bit-plane run is
+//! therefore **bit-identical** to the typed, boxed, and
 //! population-erased runs of the same `(seed, shard count)` — the
-//! property `tests/erasure_equivalence.rs` extends to 4-way.
+//! property `tests/erasure_equivalence.rs` extends to 4-way — and the
+//! aux-plane layout (byte, nibble, bit-sliced) never enters the stream.
 //!
 //! # Word-aligned sharding
 //!
-//! The parallel fused round carves the opinion plane with
-//! `split_at_mut`, so shard boundaries must not split a `u64` word.
+//! The parallel fused round carves the planes with `split_at_mut`, so
+//! shard boundaries must not split a plane word.
 //! [`ShardPlan::shard_range`](crate::shard::ShardPlan::shard_range)
-//! guarantees word-aligned range starts for every population size and
-//! shard count; [`BitPopulation::step_fused_parallel_inplace`] relies on
-//! it.
+//! guarantees range starts that are multiples of 64 agents for every
+//! population size and shard count, which is word-aligned for **every**
+//! plane width at once: 64 agents are 1 opinion word, 4 nibble words,
+//! and exactly `bits` interleaved sliced words.
+//! [`BitPopulation::step_fused_parallel_inplace`] relies on it.
 
 use crate::memory::MemoryFootprint;
 use crate::observation::Observation;
@@ -47,6 +85,9 @@ use std::fmt;
 
 /// Bits per plane word.
 pub const WORD_BITS: usize = 64;
+
+/// Nibbles (4-bit values) per [`NibblePlane`] word.
+pub const NIBBLES_PER_WORD: usize = 16;
 
 /// A dense bit vector packed 64 bits per `u64` word — the opinion plane.
 ///
@@ -154,21 +195,481 @@ impl BitPlane {
     }
 }
 
-/// Steps agents `0..len` of a packed slice pair through the protocol's
-/// per-agent update, drawing observations from `source`: the single
-/// kernel behind every `BitPopulation` round entry point.
+/// A dense vector of 4-bit values packed 16 per `u64` word — the
+/// `bits = 4` fast path of the packed aux plane (FET's clock for
+/// `ℓ ∈ [8, 15]`).
 ///
-/// Each word is read once, rebuilt in a register, and written once
-/// (word-at-a-time updates); observations and randomness are drawn in
-/// per-agent index order, so the stream is identical to every other
-/// representation's kernel. `outputs`, when present, receives the new
-/// opinions index-aligned (`None` on the in-place paths — the plane
-/// itself is the output store).
+/// Nibble `i` occupies bits `4·(i mod 16) .. 4·(i mod 16)+4` of word
+/// `i / 16`: one shift-and-mask per access, against the bit-sliced
+/// layout's one access per bit. Invariant: nibbles at positions
+/// `len()..` of the trailing word are zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NibblePlane {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NibblePlane {
+    /// An empty plane.
+    pub fn new() -> Self {
+        NibblePlane::default()
+    }
+
+    /// A plane of `len` zero nibbles.
+    pub fn zeroed(len: usize) -> Self {
+        NibblePlane {
+            words: vec![0; len.div_ceil(NIBBLES_PER_WORD)],
+            len,
+        }
+    }
+
+    /// Number of nibbles stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no nibbles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pre-allocates room for `additional` more nibbles.
+    pub fn reserve(&mut self, additional: usize) {
+        let want = (self.len + additional).div_ceil(NIBBLES_PER_WORD);
+        self.words.reserve(want.saturating_sub(self.words.len()));
+    }
+
+    /// Appends one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value ≥ 16` (debug builds assert; release builds
+    /// store the low nibble).
+    pub fn push(&mut self, value: u8) {
+        debug_assert!(value < 16, "nibble value {value} out of range");
+        if self.len.is_multiple_of(NIBBLES_PER_WORD) {
+            self.words.push(0);
+        }
+        let shift = (self.len % NIBBLES_PER_WORD) * 4;
+        let word = self.words.last_mut().expect("word pushed above");
+        *word |= u64::from(value & 0xF) << shift;
+        self.len += 1;
+    }
+
+    /// The value at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u8 {
+        assert!(idx < self.len, "nibble index {idx} out of {}", self.len);
+        ((self.words[idx / NIBBLES_PER_WORD] >> ((idx % NIBBLES_PER_WORD) * 4)) & 0xF) as u8
+    }
+
+    /// Sets the value at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ len()` (and, in debug builds, when
+    /// `value ≥ 16`).
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: u8) {
+        assert!(idx < self.len, "nibble index {idx} out of {}", self.len);
+        debug_assert!(value < 16, "nibble value {value} out of range");
+        let shift = (idx % NIBBLES_PER_WORD) * 4;
+        let word = &mut self.words[idx / NIBBLES_PER_WORD];
+        *word = (*word & !(0xFu64 << shift)) | (u64::from(value & 0xF) << shift);
+    }
+
+    /// The packed words, read-only.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Heap bytes the word storage holds (capacity, not length).
+    pub fn resident_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// A dense vector of `bits`-bit values (`1 ≤ bits ≤ 8`) in an
+/// **interleaved bit-sliced** layout — the exact-width packed aux plane
+/// (FET's clock at `⌈log₂(ℓ+1)⌉` bits).
+///
+/// Agents are grouped 64 per word-group; group `g` occupies words
+/// `g·bits .. (g+1)·bits`, and word `g·bits + j` holds **bit `j`** of
+/// the values of agents `g·64 .. g·64+64` (agent `a`'s slice lives at
+/// bit position `a mod 64` of each of its group's words). Interleaving
+/// keeps a group's words adjacent in memory — sequential kernel walks
+/// touch one cache line pair per group — and makes the plane carve at
+/// any 64-agent boundary with a single `split_at_mut`, exactly like the
+/// opinion plane.
+///
+/// Invariant: bit positions for agents `len()..` of the trailing group
+/// are zero in every slice word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSlicedPlane {
+    bits: u8,
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSlicedPlane {
+    /// An empty plane of `bits`-bit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 8` (wider aux values do not fit
+    /// [`Protocol::pack_state`]'s byte).
+    pub fn new(bits: u8) -> Self {
+        assert!(
+            (1..=8).contains(&bits),
+            "bit-sliced plane width {bits} out of 1..=8"
+        );
+        BitSlicedPlane {
+            bits,
+            words: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// A plane of `len` zero values at `bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 8`.
+    pub fn zeroed(bits: u8, len: usize) -> Self {
+        let mut plane = BitSlicedPlane::new(bits);
+        plane.words = vec![0; len.div_ceil(WORD_BITS) * bits as usize];
+        plane.len = len;
+        plane
+    }
+
+    /// Bits per stored value.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of values stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pre-allocates room for `additional` more values.
+    pub fn reserve(&mut self, additional: usize) {
+        let want = (self.len + additional).div_ceil(WORD_BITS) * self.bits as usize;
+        self.words.reserve(want.saturating_sub(self.words.len()));
+    }
+
+    /// Appends one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `value ≥ 2^bits`; release builds
+    /// store the low `bits` bits.
+    pub fn push(&mut self, value: u8) {
+        debug_assert!(
+            u32::from(value) < (1u32 << self.bits),
+            "value {value} out of {} bits",
+            self.bits
+        );
+        if self.len.is_multiple_of(WORD_BITS) {
+            self.words
+                .extend(std::iter::repeat_n(0, self.bits as usize));
+        }
+        let idx = self.len;
+        self.len += 1;
+        self.set(idx, value);
+    }
+
+    /// The value at `idx`, gathered one bit per slice word.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u8 {
+        assert!(idx < self.len, "sliced index {idx} out of {}", self.len);
+        let base = (idx / WORD_BITS) * self.bits as usize;
+        let bit = idx % WORD_BITS;
+        let mut value = 0u8;
+        for j in 0..self.bits as usize {
+            value |= (((self.words[base + j] >> bit) & 1) as u8) << j;
+        }
+        value
+    }
+
+    /// Sets the value at `idx`, one read-modify-write per slice word.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx ≥ len()` (and, in debug builds, when
+    /// `value ≥ 2^bits`).
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: u8) {
+        assert!(idx < self.len, "sliced index {idx} out of {}", self.len);
+        debug_assert!(
+            u32::from(value) < (1u32 << self.bits),
+            "value {value} out of {} bits",
+            self.bits
+        );
+        let base = (idx / WORD_BITS) * self.bits as usize;
+        let mask = 1u64 << (idx % WORD_BITS);
+        for j in 0..self.bits as usize {
+            let word = &mut self.words[base + j];
+            *word = (*word & !mask) | (u64::from((value >> j) & 1) * mask);
+        }
+    }
+
+    /// The interleaved slice words, read-only (see the type docs for the
+    /// layout).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Heap bytes the word storage holds (capacity, not length).
+    pub fn resident_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// The auxiliary plane of a [`BitPopulation`]: whichever packed layout
+/// the protocol's [`StatePlanes`] descriptor selects.
+#[derive(Debug, Clone)]
+pub enum AuxPlane {
+    /// No auxiliary state ([`StatePlanes::OpinionOnly`]).
+    None,
+    /// One byte per agent ([`StatePlanes::OpinionPlusByte`]).
+    Bytes(Vec<u8>),
+    /// Four bits per agent
+    /// ([`StatePlanes::OpinionPlusPacked`]` { bits: 4 }`).
+    Nibbles(NibblePlane),
+    /// Exactly `bits ≠ 4` bits per agent
+    /// ([`StatePlanes::OpinionPlusPacked`]).
+    Sliced(BitSlicedPlane),
+}
+
+impl AuxPlane {
+    /// The plane layout for a protocol's declared [`StatePlanes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`StatePlanes::Unpacked`] (no packed layout exists) and
+    /// for packed widths outside `1..=8`.
+    pub fn for_planes(planes: StatePlanes) -> AuxPlane {
+        match planes {
+            StatePlanes::Unpacked => panic!("Unpacked states have no aux plane"),
+            StatePlanes::OpinionOnly => AuxPlane::None,
+            StatePlanes::OpinionPlusByte => AuxPlane::Bytes(Vec::new()),
+            StatePlanes::OpinionPlusPacked { bits: 4 } => AuxPlane::Nibbles(NibblePlane::new()),
+            StatePlanes::OpinionPlusPacked { bits } => AuxPlane::Sliced(BitSlicedPlane::new(bits)),
+        }
+    }
+
+    /// The value at `idx` (0 when there is no aux plane).
+    #[inline]
+    pub fn get(&self, idx: usize) -> u8 {
+        match self {
+            AuxPlane::None => 0,
+            AuxPlane::Bytes(b) => b[idx],
+            AuxPlane::Nibbles(p) => p.get(idx),
+            AuxPlane::Sliced(p) => p.get(idx),
+        }
+    }
+
+    /// Sets the value at `idx` (no-op when there is no aux plane).
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: u8) {
+        match self {
+            AuxPlane::None => {}
+            AuxPlane::Bytes(b) => b[idx] = value,
+            AuxPlane::Nibbles(p) => p.set(idx, value),
+            AuxPlane::Sliced(p) => p.set(idx, value),
+        }
+    }
+
+    /// Appends one value (no-op when there is no aux plane).
+    pub fn push(&mut self, value: u8) {
+        match self {
+            AuxPlane::None => {}
+            AuxPlane::Bytes(b) => b.push(value),
+            AuxPlane::Nibbles(p) => p.push(value),
+            AuxPlane::Sliced(p) => p.push(value),
+        }
+    }
+
+    /// Pre-allocates room for `additional` more values.
+    pub fn reserve(&mut self, additional: usize) {
+        match self {
+            AuxPlane::None => {}
+            AuxPlane::Bytes(b) => b.reserve(additional),
+            AuxPlane::Nibbles(p) => p.reserve(additional),
+            AuxPlane::Sliced(p) => p.reserve(additional),
+        }
+    }
+
+    /// Heap bytes the plane holds (capacity, not length).
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            AuxPlane::None => 0,
+            AuxPlane::Bytes(b) => b.capacity(),
+            AuxPlane::Nibbles(p) => p.resident_bytes(),
+            AuxPlane::Sliced(p) => p.resident_bytes(),
+        }
+    }
+
+    /// A mutable whole-plane view for the round kernels.
+    fn slice_mut(&mut self) -> AuxSliceMut<'_> {
+        match self {
+            AuxPlane::None => AuxSliceMut::None,
+            AuxPlane::Bytes(b) => AuxSliceMut::Bytes(b),
+            AuxPlane::Nibbles(p) => AuxSliceMut::Nibbles(&mut p.words),
+            AuxPlane::Sliced(p) => AuxSliceMut::Sliced {
+                bits: p.bits,
+                words: &mut p.words,
+            },
+        }
+    }
+}
+
+/// A mutable view of (part of) an aux plane, indexed relative to the
+/// view's first agent — the per-shard unit the parallel round hands each
+/// worker.
+enum AuxSliceMut<'a> {
+    /// No aux plane.
+    None,
+    /// Byte plane slice.
+    Bytes(&'a mut [u8]),
+    /// Nibble plane words (16 agents per word).
+    Nibbles(&'a mut [u64]),
+    /// Interleaved bit-sliced plane words (64 agents per `bits` words).
+    Sliced { bits: u8, words: &'a mut [u64] },
+}
+
+impl<'a> AuxSliceMut<'a> {
+    /// Splits off the view of the first `agents` agents, returning
+    /// `(head, tail)`.
+    ///
+    /// When the tail is non-empty, `agents` must be a multiple of 64 —
+    /// the word-group alignment every plane width shares, which
+    /// [`ShardPlan::shard_range`] guarantees for shard boundaries.
+    fn split_for_agents(self, agents: usize) -> (AuxSliceMut<'a>, AuxSliceMut<'a>) {
+        match self {
+            AuxSliceMut::None => (AuxSliceMut::None, AuxSliceMut::None),
+            AuxSliceMut::Bytes(b) => {
+                let (head, tail) = b.split_at_mut(agents);
+                (AuxSliceMut::Bytes(head), AuxSliceMut::Bytes(tail))
+            }
+            AuxSliceMut::Nibbles(w) => {
+                let at = agents.div_ceil(NIBBLES_PER_WORD);
+                debug_assert!(at == w.len() || agents.is_multiple_of(WORD_BITS));
+                let (head, tail) = w.split_at_mut(at);
+                (AuxSliceMut::Nibbles(head), AuxSliceMut::Nibbles(tail))
+            }
+            AuxSliceMut::Sliced { bits, words } => {
+                let at = agents.div_ceil(WORD_BITS) * bits as usize;
+                debug_assert!(at == words.len() || agents.is_multiple_of(WORD_BITS));
+                let (head, tail) = words.split_at_mut(at);
+                (
+                    AuxSliceMut::Sliced { bits, words: head },
+                    AuxSliceMut::Sliced { bits, words: tail },
+                )
+            }
+        }
+    }
+}
+
+/// Monomorphized per-agent aux access for the packed round kernel: one
+/// instantiation per plane layout, so the hot loop carries no per-agent
+/// layout dispatch.
+trait AuxAccess {
+    fn get(&self, idx: usize) -> u8;
+    fn set(&mut self, idx: usize, value: u8);
+}
+
+/// No aux plane: reads 0, writes vanish.
+struct NoAux;
+
+impl AuxAccess for NoAux {
+    #[inline(always)]
+    fn get(&self, _idx: usize) -> u8 {
+        0
+    }
+    #[inline(always)]
+    fn set(&mut self, _idx: usize, _value: u8) {}
+}
+
+struct ByteAux<'a>(&'a mut [u8]);
+
+impl AuxAccess for ByteAux<'_> {
+    #[inline(always)]
+    fn get(&self, idx: usize) -> u8 {
+        self.0[idx]
+    }
+    #[inline(always)]
+    fn set(&mut self, idx: usize, value: u8) {
+        self.0[idx] = value;
+    }
+}
+
+struct NibbleAux<'a>(&'a mut [u64]);
+
+impl AuxAccess for NibbleAux<'_> {
+    #[inline(always)]
+    fn get(&self, idx: usize) -> u8 {
+        ((self.0[idx / NIBBLES_PER_WORD] >> ((idx % NIBBLES_PER_WORD) * 4)) & 0xF) as u8
+    }
+    #[inline(always)]
+    fn set(&mut self, idx: usize, value: u8) {
+        let shift = (idx % NIBBLES_PER_WORD) * 4;
+        let word = &mut self.0[idx / NIBBLES_PER_WORD];
+        *word = (*word & !(0xFu64 << shift)) | (u64::from(value & 0xF) << shift);
+    }
+}
+
+struct SlicedAux<'a> {
+    bits: u8,
+    words: &'a mut [u64],
+}
+
+impl AuxAccess for SlicedAux<'_> {
+    #[inline(always)]
+    fn get(&self, idx: usize) -> u8 {
+        let base = (idx / WORD_BITS) * self.bits as usize;
+        let bit = idx % WORD_BITS;
+        let mut value = 0u8;
+        for j in 0..self.bits as usize {
+            value |= (((self.words[base + j] >> bit) & 1) as u8) << j;
+        }
+        value
+    }
+    #[inline(always)]
+    fn set(&mut self, idx: usize, value: u8) {
+        let base = (idx / WORD_BITS) * self.bits as usize;
+        let mask = 1u64 << (idx % WORD_BITS);
+        for j in 0..self.bits as usize {
+            let word = &mut self.words[base + j];
+            *word = (*word & !mask) | (u64::from((value >> j) & 1) * mask);
+        }
+    }
+}
+
+/// The per-agent packed kernel, monomorphized per aux layout: unpack →
+/// [`Protocol::step`] → repack, each opinion word read once, rebuilt in
+/// a register, and written once. Observations and randomness are drawn
+/// in per-agent index order, so the stream is identical to every other
+/// representation's kernel.
 #[allow(clippy::too_many_arguments)]
-fn step_packed_slice<P: Protocol>(
+fn step_packed_words<P: Protocol, A: AuxAccess>(
     protocol: &P,
     words: &mut [u64],
-    aux: &mut [u8],
+    aux: &mut A,
     len: usize,
     source: &mut dyn ObservationSource,
     ctx: &RoundContext,
@@ -176,12 +677,6 @@ fn step_packed_slice<P: Protocol>(
     correct: Opinion,
     mut outputs: Option<&mut [Opinion]>,
 ) -> FusedCounters {
-    debug_assert!(words.len() >= len.div_ceil(WORD_BITS));
-    debug_assert!(aux.is_empty() || aux.len() == len);
-    if let Some(out) = outputs.as_deref() {
-        assert_eq!(out.len(), len, "one output slot per agent");
-    }
-    let has_aux = !aux.is_empty();
     let mut counters = FusedCounters::default();
     let mut idx = 0usize;
     for word_slot in words.iter_mut() {
@@ -192,8 +687,7 @@ fn step_packed_slice<P: Protocol>(
         let mut word = *word_slot;
         for bit in 0..in_word {
             let opinion = Opinion::from(((word >> bit) & 1) == 1);
-            let aux_byte = if has_aux { aux[idx] } else { 0 };
-            let mut state = protocol.unpack_state(opinion, aux_byte);
+            let mut state = protocol.unpack_state(opinion, aux.get(idx));
             let obs = source.next_observation(rng);
             let new_opinion = protocol.step(&mut state, &obs, ctx, rng);
             let (packed_opinion, packed_aux) = protocol.pack_state(&state);
@@ -203,9 +697,7 @@ fn step_packed_slice<P: Protocol>(
             );
             let mask = 1u64 << bit;
             word = (word & !mask) | (u64::from(new_opinion.is_one()) * mask);
-            if has_aux {
-                aux[idx] = packed_aux;
-            }
+            aux.set(idx, packed_aux);
             if let Some(out) = outputs.as_deref_mut() {
                 out[idx] = new_opinion;
             }
@@ -218,10 +710,134 @@ fn step_packed_slice<P: Protocol>(
     counters
 }
 
+/// The word-at-a-time fused kernel for opinion-only threshold protocols
+/// (voter, 3-majority): one
+/// [`ObservationSource::next_threshold_word`] draw and one plane-word
+/// write per 64 agents, counters by popcount. Stream-identical to
+/// [`step_packed_words`] by the source contract (the same observations
+/// are drawn in the same per-agent order; the protocols consume no step
+/// randomness).
+fn step_threshold_words(
+    words: &mut [u64],
+    len: usize,
+    source: &mut dyn ObservationSource,
+    rng: &mut dyn RngCore,
+    threshold: u32,
+    correct: Opinion,
+    mut outputs: Option<&mut [Opinion]>,
+) -> FusedCounters {
+    let mut counters = FusedCounters::default();
+    let mut idx = 0usize;
+    for word_slot in words.iter_mut() {
+        if idx >= len {
+            break;
+        }
+        let in_word = (len - idx).min(WORD_BITS);
+        let word = source.next_threshold_word(rng, in_word as u32, threshold);
+        debug_assert!(
+            in_word == WORD_BITS || word >> in_word == 0,
+            "threshold word has bits past the drawn count"
+        );
+        *word_slot = word;
+        let ones = u64::from(word.count_ones());
+        counters.ones += ones;
+        counters.correct += if correct.is_one() {
+            ones
+        } else {
+            in_word as u64 - ones
+        };
+        if let Some(out) = outputs.as_deref_mut() {
+            for bit in 0..in_word {
+                out[idx + bit] = Opinion::from(((word >> bit) & 1) == 1);
+            }
+        }
+        idx += in_word;
+    }
+    counters
+}
+
+/// Steps agents `0..len` of a packed plane slice pair through the
+/// protocol's update, drawing observations from `source`: the single
+/// dispatcher behind every `BitPopulation` round entry point. Opinion-
+/// only threshold protocols take the word-at-a-time kernel; everything
+/// else takes the per-agent kernel monomorphized for its aux layout.
+/// `outputs`, when present, receives the new opinions index-aligned
+/// (`None` on the in-place paths — the plane itself is the output
+/// store).
+#[allow(clippy::too_many_arguments)]
+fn step_packed_slice<P: Protocol>(
+    protocol: &P,
+    words: &mut [u64],
+    aux: AuxSliceMut<'_>,
+    len: usize,
+    source: &mut dyn ObservationSource,
+    ctx: &RoundContext,
+    rng: &mut dyn RngCore,
+    correct: Opinion,
+    outputs: Option<&mut [Opinion]>,
+) -> FusedCounters {
+    debug_assert!(words.len() >= len.div_ceil(WORD_BITS));
+    if let Some(out) = outputs.as_deref() {
+        assert_eq!(out.len(), len, "one output slot per agent");
+    }
+    match aux {
+        AuxSliceMut::None => {
+            if let Some(threshold) = protocol.opinion_threshold() {
+                return step_threshold_words(words, len, source, rng, threshold, correct, outputs);
+            }
+            step_packed_words(
+                protocol, words, &mut NoAux, len, source, ctx, rng, correct, outputs,
+            )
+        }
+        AuxSliceMut::Bytes(b) => {
+            debug_assert_eq!(b.len(), len);
+            step_packed_words(
+                protocol,
+                words,
+                &mut ByteAux(b),
+                len,
+                source,
+                ctx,
+                rng,
+                correct,
+                outputs,
+            )
+        }
+        AuxSliceMut::Nibbles(w) => {
+            debug_assert!(w.len() >= len.div_ceil(NIBBLES_PER_WORD));
+            step_packed_words(
+                protocol,
+                words,
+                &mut NibbleAux(w),
+                len,
+                source,
+                ctx,
+                rng,
+                correct,
+                outputs,
+            )
+        }
+        AuxSliceMut::Sliced { bits, words: w } => {
+            debug_assert!(w.len() >= len.div_ceil(WORD_BITS) * bits as usize);
+            step_packed_words(
+                protocol,
+                words,
+                &mut SlicedAux { bits, words: w },
+                len,
+                source,
+                ctx,
+                rng,
+                correct,
+                outputs,
+            )
+        }
+    }
+}
+
 /// A [`Population`] storing its agents as packed planes: one opinion bit
-/// per agent in a [`BitPlane`] plus (for
-/// [`StatePlanes::OpinionPlusByte`] protocols) one auxiliary byte per
-/// agent.
+/// per agent in a [`BitPlane`] plus the protocol's auxiliary plane
+/// ([`AuxPlane`] — none, byte, nibble, or bit-sliced, per the declared
+/// [`StatePlanes`] layout).
 ///
 /// Construction requires a packable protocol — see the
 /// [module docs](self) for the contract. Every [`Population`] entry
@@ -235,7 +851,7 @@ pub struct BitPopulation<P: Protocol> {
     protocol: P,
     planes: StatePlanes,
     opinions: BitPlane,
-    aux: Vec<u8>,
+    aux: AuxPlane,
 }
 
 impl<P: Protocol + fmt::Debug> fmt::Debug for BitPopulation<P> {
@@ -255,8 +871,9 @@ impl<P: Protocol> BitPopulation<P> {
     ///
     /// Panics when the protocol is not packable: its
     /// [`Protocol::state_planes`] is [`StatePlanes::Unpacked`], or it is
-    /// not passive ([`Protocol::is_passive`]). Callers selecting storage
-    /// at runtime should gate on those first (the erased layer's
+    /// not passive ([`Protocol::is_passive`]), or it declares a packed
+    /// aux width outside `1..=8`. Callers selecting storage at runtime
+    /// should gate on those first (the erased layer's
     /// [`bit_population`](crate::erased::ErasedProtocol::bit_population)
     /// does, returning `None`).
     pub fn new(protocol: P) -> Self {
@@ -272,11 +889,12 @@ impl<P: Protocol> BitPopulation<P> {
              opinion bit",
             protocol.name()
         );
+        let aux = AuxPlane::for_planes(planes);
         BitPopulation {
             protocol,
             planes,
             opinions: BitPlane::new(),
-            aux: Vec::new(),
+            aux,
         }
     }
 
@@ -292,15 +910,11 @@ impl<P: Protocol> BitPopulation<P> {
     pub fn from_states(protocol: P, states: &[P::State]) -> Self {
         let mut pop = BitPopulation::new(protocol);
         pop.opinions.reserve(states.len());
-        if pop.has_aux() {
-            pop.aux.reserve(states.len());
-        }
+        pop.aux.reserve(states.len());
         for state in states {
             let (opinion, aux) = pop.protocol.pack_state(state);
             pop.opinions.push(opinion);
-            if pop.has_aux() {
-                pop.aux.push(aux);
-            }
+            pop.aux.push(aux);
         }
         pop
     }
@@ -320,32 +934,32 @@ impl<P: Protocol> BitPopulation<P> {
         &self.opinions
     }
 
-    /// The auxiliary byte plane, read-only (empty for
+    /// The auxiliary plane, read-only ([`AuxPlane::None`] for
     /// [`StatePlanes::OpinionOnly`] protocols).
-    pub fn aux_plane(&self) -> &[u8] {
+    pub fn aux_plane(&self) -> &AuxPlane {
         &self.aux
     }
 
-    fn has_aux(&self) -> bool {
-        self.planes == StatePlanes::OpinionPlusByte
+    /// Agent `idx`'s packed auxiliary value (0 for opinion-only
+    /// layouts) — the byte [`Protocol::unpack_state`] receives.
+    pub fn aux_value(&self, idx: usize) -> u8 {
+        self.aux.get(idx)
     }
 
     fn unpack(&self, idx: usize) -> P::State {
-        let aux = if self.has_aux() { self.aux[idx] } else { 0 };
-        self.protocol.unpack_state(self.opinions.get(idx), aux)
+        self.protocol
+            .unpack_state(self.opinions.get(idx), self.aux.get(idx))
     }
 
     fn repack(&mut self, idx: usize, state: &P::State) {
         let (opinion, aux) = self.protocol.pack_state(state);
         self.opinions.set(idx, opinion);
-        if self.has_aux() {
-            self.aux[idx] = aux;
-        }
+        self.aux.set(idx, aux);
     }
 
     /// One shard's job for the parallel rounds: shard index, agent
-    /// range, word slice, aux slice, and (outputs path only) the output
-    /// slice.
+    /// range, opinion word slice, aux plane view, and (outputs path
+    /// only) the output slice.
     fn run_parallel<'a>(
         &'a mut self,
         factory: &dyn ShardSourceFactory,
@@ -361,7 +975,7 @@ impl<P: Protocol> BitPopulation<P> {
             u32,
             std::ops::Range<usize>,
             &'b mut [u64],
-            &'b mut [u8],
+            AuxSliceMut<'b>,
             Option<&'b mut [Opinion]>,
         );
         let n = self.opinions.len();
@@ -369,14 +983,15 @@ impl<P: Protocol> BitPopulation<P> {
             assert_eq!(out.len(), n, "one output slot per agent");
         }
         let shards = plan.shards();
-        let has_aux = self.has_aux();
         // Carve the planes into per-shard slices once. The plan's ranges
-        // start on word boundaries (see `ShardPlan::shard_range`), so the
-        // word splits below land exactly between shards and the slices
-        // are disjoint — which is what lets them run concurrently.
+        // start on 64-agent boundaries (see `ShardPlan::shard_range`),
+        // which is a whole-word boundary for every plane width — opinion
+        // words, nibble words, and interleaved slice groups alike — so
+        // the splits below land exactly between shards and the slices
+        // are disjoint, which is what lets them run concurrently.
         let mut jobs: Vec<ShardJob<'_>> = Vec::with_capacity(shards as usize);
         let mut words_rest = self.opinions.words_mut();
-        let mut aux_rest = &mut self.aux[..];
+        let mut aux_rest = self.aux.slice_mut();
         let mut outputs_rest = outputs.take();
         for s in 0..shards {
             let range = plan.shard_range(n, s);
@@ -390,13 +1005,8 @@ impl<P: Protocol> BitPopulation<P> {
             let word_count = range.end.div_ceil(WORD_BITS) - range.start / WORD_BITS;
             let (w, w_rest) = words_rest.split_at_mut(word_count);
             words_rest = w_rest;
-            let aux_slice = if has_aux {
-                let (a, a_rest) = aux_rest.split_at_mut(range.len());
-                aux_rest = a_rest;
-                a
-            } else {
-                &mut []
-            };
+            let (aux_slice, a_rest) = aux_rest.split_for_agents(range.len());
+            aux_rest = a_rest;
             let out_slice = outputs_rest.take().map(|o| {
                 let (head, tail) = o.split_at_mut(range.len());
                 outputs_rest = Some(tail);
@@ -496,9 +1106,7 @@ where
 
     fn reserve(&mut self, additional: usize) {
         self.opinions.reserve(additional);
-        if self.has_aux() {
-            self.aux.reserve(additional);
-        }
+        self.aux.reserve(additional);
     }
 
     fn push_agent(&mut self, opinion: Opinion, rng: &mut dyn RngCore) -> Opinion {
@@ -507,9 +1115,7 @@ where
         let (packed_opinion, packed_aux) = self.protocol.pack_state(&state);
         debug_assert_eq!(packed_opinion, output);
         self.opinions.push(packed_opinion);
-        if self.has_aux() {
-            self.aux.push(packed_aux);
-        }
+        self.aux.push(packed_aux);
         output
     }
 
@@ -556,7 +1162,7 @@ where
         step_packed_slice(
             protocol,
             opinions.words_mut(),
-            aux,
+            aux.slice_mut(),
             len,
             source,
             ctx,
@@ -621,7 +1227,7 @@ where
     }
 
     fn resident_bytes(&self) -> usize {
-        self.opinions.resident_bytes() + self.aux.capacity()
+        self.opinions.resident_bytes() + self.aux.resident_bytes()
     }
 
     fn supports_inplace_rounds(&self) -> bool {
@@ -645,7 +1251,7 @@ where
         step_packed_slice(
             protocol,
             opinions.words_mut(),
-            aux,
+            aux.slice_mut(),
             len,
             source,
             ctx,
@@ -691,8 +1297,11 @@ mod tests {
         rand::rngs::SmallRng::seed_from_u64(0xB17)
     }
 
-    fn filled_pair(n: usize) -> (TypedPopulation<FetProtocol>, BitPopulation<FetProtocol>) {
-        let proto = FetProtocol::new(8).unwrap();
+    fn filled_pair(
+        ell: u32,
+        n: usize,
+    ) -> (TypedPopulation<FetProtocol>, BitPopulation<FetProtocol>) {
+        let proto = FetProtocol::new(ell).unwrap();
         let mut typed = TypedPopulation::new(proto.clone());
         let mut bits = BitPopulation::new(proto);
         let mut rt = rng();
@@ -737,18 +1346,91 @@ mod tests {
     }
 
     #[test]
-    fn push_agent_matches_typed_stream() {
-        let (typed, bits) = filled_pair(97);
-        for i in 0..97 {
-            assert_eq!(typed.output_of(i), bits.output_of(i));
-            assert_eq!(
-                typed.states()[i],
-                bits.protocol()
-                    .unpack_state(bits.opinion_plane().get(i), bits.aux_plane()[i]),
-                "agent {i} state diverged through pack/unpack"
-            );
+    fn nibble_plane_push_get_set() {
+        let mut plane = NibblePlane::new();
+        for i in 0..45 {
+            plane.push((i % 16) as u8);
         }
-        assert_eq!(typed.count_output_ones(), bits.count_output_ones());
+        assert_eq!(plane.len(), 45);
+        assert_eq!(plane.words().len(), 3);
+        for i in 0..45 {
+            assert_eq!(plane.get(i), (i % 16) as u8, "nibble {i}");
+        }
+        plane.set(44, 9);
+        plane.set(0, 15);
+        assert_eq!(plane.get(44), 9);
+        assert_eq!(plane.get(0), 15);
+        // Neighbors survive a set.
+        assert_eq!(plane.get(1), 1);
+        assert_eq!(plane.get(43), 11);
+    }
+
+    #[test]
+    fn sliced_plane_push_get_set_all_widths() {
+        for bits in 1..=8u8 {
+            let max = (1u32 << bits) as usize;
+            let mut plane = BitSlicedPlane::new(bits);
+            for i in 0..131 {
+                plane.push((i % max) as u8);
+            }
+            assert_eq!(plane.len(), 131);
+            assert_eq!(plane.words().len(), 3 * bits as usize);
+            for i in 0..131 {
+                assert_eq!(plane.get(i), (i % max) as u8, "bits={bits} idx={i}");
+            }
+            plane.set(130, (max - 1) as u8);
+            plane.set(64, 0);
+            assert_eq!(plane.get(130), (max - 1) as u8);
+            assert_eq!(plane.get(64), 0);
+            assert_eq!(plane.get(65), (65 % max) as u8, "bits={bits} neighbor");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=8")]
+    fn sliced_plane_rejects_wide_values() {
+        let _ = BitSlicedPlane::new(9);
+    }
+
+    #[test]
+    fn aux_plane_layout_selection() {
+        assert!(matches!(
+            AuxPlane::for_planes(StatePlanes::OpinionOnly),
+            AuxPlane::None
+        ));
+        assert!(matches!(
+            AuxPlane::for_planes(StatePlanes::OpinionPlusByte),
+            AuxPlane::Bytes(_)
+        ));
+        assert!(matches!(
+            AuxPlane::for_planes(StatePlanes::OpinionPlusPacked { bits: 4 }),
+            AuxPlane::Nibbles(_)
+        ));
+        for bits in [1, 2, 3, 5, 6, 7, 8] {
+            assert!(matches!(
+                AuxPlane::for_planes(StatePlanes::OpinionPlusPacked { bits }),
+                AuxPlane::Sliced(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn push_agent_matches_typed_stream() {
+        // ℓ = 8 → 4-bit clock → nibble plane; ℓ = 5 → 3-bit sliced
+        // plane; ℓ = 200 → byte plane. All three walk the typed stream.
+        for ell in [5, 8, 200] {
+            let (typed, bits) = filled_pair(ell, 97);
+            for i in 0..97 {
+                assert_eq!(typed.output_of(i), bits.output_of(i));
+                assert_eq!(
+                    typed.states()[i],
+                    bits.protocol()
+                        .unpack_state(bits.opinion_plane().get(i), bits.aux_value(i)),
+                    "ell={ell} agent {i} state diverged through pack/unpack"
+                );
+            }
+            assert_eq!(typed.count_output_ones(), bits.count_output_ones());
+        }
     }
 
     #[test]
@@ -762,30 +1444,32 @@ mod tests {
                 Observation::new(rng.next_u32() % (self.m + 1), self.m).unwrap()
             }
         }
-        let (mut typed, mut bits) = filled_pair(77);
-        let m = typed.samples_per_round();
-        let ctx = RoundContext::new(3);
-        let mut rt = rand::rngs::SmallRng::seed_from_u64(42);
-        let mut rb = rand::rngs::SmallRng::seed_from_u64(42);
-        let mut out_t = vec![Opinion::Zero; 77];
-        let mut out_b = vec![Opinion::Zero; 77];
-        let ct = typed.step_fused(&mut Uniform { m }, &ctx, &mut rt, Opinion::One, &mut out_t);
-        let cb = bits.step_fused(&mut Uniform { m }, &ctx, &mut rb, Opinion::One, &mut out_b);
-        assert_eq!(out_t, out_b);
-        assert_eq!(ct, cb);
-        // And the in-place variant walks the very same stream.
-        let (_, mut bits2) = filled_pair(77);
-        let mut r2 = rand::rngs::SmallRng::seed_from_u64(42);
-        let c2 = bits2.step_fused_inplace(&mut Uniform { m }, &ctx, &mut r2, Opinion::One);
-        assert_eq!(c2, cb);
-        for (i, &out) in out_b.iter().enumerate() {
-            assert_eq!(bits2.output_of(i), out);
+        for ell in [5, 8, 200] {
+            let (mut typed, mut bits) = filled_pair(ell, 77);
+            let m = typed.samples_per_round();
+            let ctx = RoundContext::new(3);
+            let mut rt = rand::rngs::SmallRng::seed_from_u64(42);
+            let mut rb = rand::rngs::SmallRng::seed_from_u64(42);
+            let mut out_t = vec![Opinion::Zero; 77];
+            let mut out_b = vec![Opinion::Zero; 77];
+            let ct = typed.step_fused(&mut Uniform { m }, &ctx, &mut rt, Opinion::One, &mut out_t);
+            let cb = bits.step_fused(&mut Uniform { m }, &ctx, &mut rb, Opinion::One, &mut out_b);
+            assert_eq!(out_t, out_b, "ell={ell}");
+            assert_eq!(ct, cb, "ell={ell}");
+            // And the in-place variant walks the very same stream.
+            let (_, mut bits2) = filled_pair(ell, 77);
+            let mut r2 = rand::rngs::SmallRng::seed_from_u64(42);
+            let c2 = bits2.step_fused_inplace(&mut Uniform { m }, &ctx, &mut r2, Opinion::One);
+            assert_eq!(c2, cb, "ell={ell}");
+            for (i, &out) in out_b.iter().enumerate() {
+                assert_eq!(bits2.output_of(i), out, "ell={ell}");
+            }
         }
     }
 
     #[test]
     fn correct_decision_popcount_matches_scalar() {
-        let (typed, bits) = filled_pair(130);
+        let (typed, bits) = filled_pair(8, 130);
         for correct in [Opinion::Zero, Opinion::One] {
             assert_eq!(
                 typed.count_correct_decisions(correct),
@@ -797,16 +1481,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "declares no packed state layout")]
     fn unpackable_protocol_is_rejected() {
-        // ℓ = 300 overflows the byte plane, so FET falls back to Unpacked.
+        // ℓ = 300 overflows the byte-valued pack, so FET falls back to
+        // Unpacked.
         let _ = BitPopulation::new(FetProtocol::new(300).unwrap());
     }
 
     #[test]
-    fn resident_bytes_counts_both_planes() {
-        let (_, bits) = filled_pair(200);
-        let want = bits.opinion_plane().resident_bytes() + bits.aux_plane().len();
+    fn resident_bytes_counts_packed_planes() {
+        // ℓ = 5 → 1-bit opinion + 3-bit sliced clock: 4 bits/agent.
+        let (_, bits) = filled_pair(5, 200);
+        let want = bits.opinion_plane().resident_bytes();
         assert!(bits.resident_bytes() >= want);
-        // ~1 bit + 1 byte per agent, not 8 bytes per state.
+        // Strictly under a byte per agent, far under the typed state.
+        assert!(bits.resident_bytes() < 200);
         assert!(bits.resident_bytes() < 200 * std::mem::size_of::<crate::fet::FetState>());
     }
 }

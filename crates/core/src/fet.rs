@@ -325,9 +325,14 @@ impl Protocol for FetProtocol {
     }
 
     fn state_planes(&self) -> StatePlanes {
-        // The stored count″ ∈ [0, ℓ] fits the auxiliary byte plane iff
-        // ℓ ≤ 255; larger clocks fall back to typed storage.
-        if self.ell <= u32::from(u8::MAX) {
+        // The stored count″ ∈ [0, ℓ] packs to ⌈log₂(ℓ+1)⌉ bits per agent.
+        // At exactly 8 bits (ℓ ∈ [128, 255]) the direct byte plane is the
+        // same memory with cheaper addressing, so it stays the 8-bit fast
+        // path; clocks past a byte fall back to typed storage.
+        let bits = bits_for_count(self.ell);
+        if bits < 8 {
+            StatePlanes::OpinionPlusPacked { bits: bits as u8 }
+        } else if self.ell <= u32::from(u8::MAX) {
             StatePlanes::OpinionPlusByte
         } else {
             StatePlanes::Unpacked

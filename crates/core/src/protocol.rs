@@ -69,6 +69,34 @@ pub trait ObservationSource {
     /// which is what gives the fused path its own deterministic stream
     /// (distinct from the batched path's observations-first ordering).
     fn next_observation(&mut self, rng: &mut dyn RngCore) -> Observation;
+
+    /// Draws observations for `count ≤ 64` consecutive agents and returns
+    /// a word whose bit `j` is 1 iff draw `j`'s 1-count is `≥ threshold` —
+    /// the entry point of the word-at-a-time fused kernel for
+    /// [`StatePlanes::OpinionOnly`] protocols with an
+    /// [`opinion threshold`](Protocol::opinion_threshold).
+    ///
+    /// # Contract
+    ///
+    /// Must be **stream-identical** to `count` successive
+    /// [`next_observation`](ObservationSource::next_observation) calls:
+    /// the same `rng` draws in the same per-agent order, with positional
+    /// state advanced exactly `count` agents. Bits at positions
+    /// `count..64` of the returned word must be zero (the trailing plane
+    /// word's padding invariant rides on this). The default loops
+    /// `next_observation` and is identical by construction;
+    /// `MeanFieldSource` overrides it to hoist the per-draw virtual call,
+    /// sampler dispatch, and fault check out of the loop — one virtual
+    /// call per 64 agents instead of one per agent.
+    fn next_threshold_word(&mut self, rng: &mut dyn RngCore, count: u32, threshold: u32) -> u64 {
+        debug_assert!(count as usize <= 64, "a word holds at most 64 draws");
+        let mut word = 0u64;
+        for j in 0..count {
+            let obs = self.next_observation(rng);
+            word |= u64::from(obs.ones() >= threshold) << j;
+        }
+        word
+    }
 }
 
 /// Counters accumulated by one fused round pass ([`Protocol::step_fused`]).
@@ -118,9 +146,50 @@ pub enum StatePlanes {
     /// bit per agent, no auxiliary plane.
     OpinionOnly,
     /// The state is the public opinion plus one auxiliary value that fits
-    /// a byte (FET with `ℓ ≤ 255`: the stored `count″ ∈ [0, ℓ]`): one bit
-    /// plane plus one parallel byte plane.
+    /// a byte (FET with `ℓ ≥ 128`: the stored `count″ ∈ [0, ℓ]`): one bit
+    /// plane plus one parallel byte plane. This is the 8-bit fast path of
+    /// [`StatePlanes::OpinionPlusPacked`] — direct byte addressing, same
+    /// memory.
     OpinionPlusByte,
+    /// The state is the public opinion plus one auxiliary value occupying
+    /// exactly `bits ∈ [1, 8]` bits per agent (FET with `ℓ ≤ 127`: the
+    /// clock `count″ ∈ [0, ℓ]` at `⌈log₂(ℓ+1)⌉` bits): one bit plane plus
+    /// one *packed* aux plane — a nibble plane when `bits = 4`, an
+    /// interleaved bit-sliced plane otherwise (see
+    /// `fet-core::bitplane`). `pack_state`/`unpack_state` keep their
+    /// byte-valued signatures; the container stores only the low `bits`
+    /// bits, so packed aux values must satisfy `aux < 2^bits`.
+    OpinionPlusPacked {
+        /// Bits per agent in the packed aux plane (`1..=8`).
+        bits: u8,
+    },
+}
+
+impl StatePlanes {
+    /// Bits of auxiliary state stored per agent alongside the opinion
+    /// bit: `None` for [`StatePlanes::Unpacked`] (no packed layout at
+    /// all), `Some(0)` for opinion-only protocols.
+    pub fn aux_bits(&self) -> Option<u8> {
+        match self {
+            StatePlanes::Unpacked => None,
+            StatePlanes::OpinionOnly => Some(0),
+            StatePlanes::OpinionPlusByte => Some(8),
+            StatePlanes::OpinionPlusPacked { bits } => Some(*bits),
+        }
+    }
+}
+
+impl fmt::Display for StatePlanes {
+    /// Compact layout label (`fet protocols` prints it): `unpacked`,
+    /// `1b`, `1b+byte`, `1b+{bits}b`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatePlanes::Unpacked => write!(f, "unpacked"),
+            StatePlanes::OpinionOnly => write!(f, "1b"),
+            StatePlanes::OpinionPlusByte => write!(f, "1b+byte"),
+            StatePlanes::OpinionPlusPacked { bits } => write!(f, "1b+{bits}b"),
+        }
+    }
 }
 
 /// A per-agent protocol: a pure state machine driven by passive
@@ -338,6 +407,30 @@ pub trait Protocol {
     ///   state.
     fn state_planes(&self) -> StatePlanes {
         StatePlanes::Unpacked
+    }
+
+    /// For [`StatePlanes::OpinionOnly`] protocols whose whole update rule
+    /// is a pure threshold on the observation — new opinion `= 1` iff the
+    /// observed 1-count is `≥ threshold`, consuming **no** randomness in
+    /// [`Protocol::step`] — the threshold. `Some` unlocks the
+    /// word-at-a-time fused kernel in the bit-plane representation: 64
+    /// agents per plane-word write via
+    /// [`ObservationSource::next_threshold_word`], bypassing the
+    /// per-agent unpack → step → repack walk while remaining
+    /// stream-identical to it.
+    ///
+    /// Voter (`m = 1`) returns `Some(1)`; 3-majority (`m = 3`) returns
+    /// `Some(2)`. Defaults to `None` (per-agent kernel).
+    ///
+    /// # Contract
+    ///
+    /// A protocol returning `Some(t)` promises, for every reachable
+    /// state: `step` sets the state's output to
+    /// `Opinion::from(obs.ones() >= t)`, independent of the prior state,
+    /// and draws nothing from its RNG — the two properties that make the
+    /// word kernel's draw stream equal to the per-agent loop's.
+    fn opinion_threshold(&self) -> Option<u32> {
+        None
     }
 
     /// Packs a state into `(opinion bit, auxiliary byte)` — the planes of

@@ -139,6 +139,13 @@ impl Protocol for ThreeMajorityProtocol {
         StatePlanes::OpinionOnly
     }
 
+    fn opinion_threshold(&self) -> Option<u32> {
+        // Majority of 3 is the threshold "≥ 2 of the sampled bits are
+        // 1" — no state read, no step RNG. Unlocks the bit-plane
+        // word-at-a-time kernel.
+        Some(2)
+    }
+
     fn pack_state(&self, state: &Opinion) -> (Opinion, u8) {
         (*state, 0)
     }

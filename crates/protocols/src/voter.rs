@@ -126,6 +126,13 @@ impl Protocol for VoterProtocol {
         StatePlanes::OpinionOnly
     }
 
+    fn opinion_threshold(&self) -> Option<u32> {
+        // With m = 1 the copy rule IS a threshold: new opinion = 1 iff
+        // the single observed bit is 1 — no state read, no step RNG.
+        // Unlocks the bit-plane word-at-a-time kernel.
+        Some(1)
+    }
+
     fn pack_state(&self, state: &Opinion) -> (Opinion, u8) {
         (*state, 0)
     }

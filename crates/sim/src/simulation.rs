@@ -114,10 +114,15 @@ pub const BIT_PLANE_AUTO_MIN_N: u64 = 10_000_000;
 /// How the synchronous engine stores per-agent state (orthogonal to
 /// [`ExecutionMode`], which picks how a round *executes*).
 ///
-/// Bit-plane storage packs opinions 64 agents per `u64` word (plus one
-/// auxiliary byte per agent for protocols like FET that carry a small
-/// counter — see [`fet_core::bitplane`]) and runs rounds through the
-/// in-place fused kernels. It requires a *packable, passive* protocol
+/// Bit-plane storage packs opinions 64 agents per `u64` word, plus a
+/// packed auxiliary plane for protocols like FET that carry a small
+/// counter: exactly `⌈log₂(ℓ+1)⌉` bits per agent (a nibble or
+/// interleaved bit-sliced plane — 3 bits/agent at `ℓ = 5`), or one byte
+/// per agent when the counter needs all 8 bits — see
+/// [`fet_core::bitplane`]. Rounds run through the in-place fused
+/// kernels; opinion-only threshold protocols (voter, 3-majority)
+/// additionally take the word-at-a-time kernel, 64 agents per plane
+/// write. It requires a *packable, passive* protocol
 /// ([`fet_core::protocol::Protocol::state_planes`]), a synchronous
 /// fused-capable configuration (any mean-field fidelity, or any
 /// topology), and no sleepy-agent faults; [`SimulationBuilder::build`]
@@ -134,10 +139,12 @@ pub enum Storage {
     /// One typed state per agent in a contiguous buffer — the byte
     /// representation every PR before bit planes used.
     Typed,
-    /// Packed bit planes: 1 bit/agent opinion (+ 1 byte/agent auxiliary
-    /// for [`fet_core::protocol::StatePlanes::OpinionPlusByte`]
-    /// protocols). Rejected at build time when the protocol or
-    /// configuration cannot support it.
+    /// Packed bit planes: 1 bit/agent opinion plus the protocol's packed
+    /// auxiliary plane
+    /// ([`fet_core::protocol::StatePlanes::OpinionPlusPacked`] bits,
+    /// [`StatePlanes::OpinionPlusByte`](fet_core::protocol::StatePlanes::OpinionPlusByte)
+    /// bytes, or nothing for opinion-only protocols). Rejected at build
+    /// time when the protocol or configuration cannot support it.
     BitPlane,
 }
 
@@ -185,7 +192,9 @@ pub struct RunReport {
     pub storage: Storage,
     /// Heap bytes resident in the per-agent state container at report
     /// time (`0` for the aggregate chain, which keeps no per-agent
-    /// states) — the number the bit planes shrink ~8× for FET.
+    /// states) — the number the packed planes shrink to
+    /// `1 + ⌈log₂(ℓ+1)⌉` bits/agent for FET (16× under the typed buffer
+    /// at `ℓ = 5`) and to 1 bit/agent for opinion-only protocols.
     pub resident_bytes: u64,
     /// Convergence outcome. Under [`Scheduler::Asynchronous`] the rounds
     /// are parallel rounds (`n` activations each).

@@ -83,6 +83,56 @@ impl ObservationSource for MeanFieldSource<'_> {
         };
         Observation::new(seen, self.m).expect("corrupt_count preserves the bound")
     }
+
+    /// The word-at-a-time override behind the bit-plane threshold kernel:
+    /// hoists the sampler match and fault check out of the per-draw loop,
+    /// so the `count ≤ 64` draws cost one virtual call total instead of
+    /// one each. **Stream-identical** to `count` successive
+    /// [`MeanFieldSource::next_observation`] calls by construction — the
+    /// same sampler and corruption draws from the same `rng` in the same
+    /// order; only the [`Observation`] wrapper and dispatch overhead are
+    /// elided.
+    fn next_threshold_word(&mut self, rng: &mut dyn RngCore, count: u32, threshold: u32) -> u64 {
+        debug_assert!(count as usize <= 64, "a word holds at most 64 draws");
+        let mut word = 0u64;
+        match (self.sampler, self.fault) {
+            (MeanFieldSampler::Binomial(sampler), None) => {
+                // Fast path: one `fill_bytes` block for all `count` draws
+                // (exact-stream — see `AliasTable::try_sample_block`);
+                // falls back to per-draw sampling when the round's alias
+                // table isn't block-eligible.
+                let mut draws = [0usize; 64];
+                let draws = &mut draws[..count as usize];
+                if sampler.try_sample_block(rng, draws) {
+                    for (j, &seen) in draws.iter().enumerate() {
+                        word |= u64::from(seen as u32 >= threshold) << j;
+                    }
+                } else {
+                    for j in 0..count {
+                        word |= u64::from(sampler.sample(rng) as u32 >= threshold) << j;
+                    }
+                }
+            }
+            (MeanFieldSampler::Hypergeometric(h), None) => {
+                for j in 0..count {
+                    word |= u64::from(h.sample(rng) as u32 >= threshold) << j;
+                }
+            }
+            (MeanFieldSampler::Binomial(sampler), Some(fault)) => {
+                for j in 0..count {
+                    let seen = fault.corrupt_count(sampler.sample(rng) as u32, self.m, rng);
+                    word |= u64::from(seen >= threshold) << j;
+                }
+            }
+            (MeanFieldSampler::Hypergeometric(h), Some(fault)) => {
+                for j in 0..count {
+                    let seen = fault.corrupt_count(h.sample(rng) as u32, self.m, rng);
+                    word |= u64::from(seen >= threshold) << j;
+                }
+            }
+        }
+        word
+    }
 }
 
 /// The engine's [`ShardSourceFactory`] for parallel mean-field rounds:

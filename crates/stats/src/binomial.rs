@@ -381,6 +381,53 @@ impl AliasTable {
             self.alias[i] as usize
         }
     }
+
+    /// Exact-stream block sampling: fills `out` with the same categories —
+    /// and the same RNG word consumption — as `out.len()` successive
+    /// [`AliasTable::sample`] calls, drawing all randomness as one
+    /// `fill_bytes` block so a caller holding `&mut dyn RngCore` pays one
+    /// virtual dispatch per block instead of two per draw. This is the
+    /// sampler half of the bit-plane word-at-a-time kernel.
+    ///
+    /// Applies only when the table length is a power of two: the range
+    /// draw's single-round Lemire rejection threshold is then zero, so
+    /// every draw consumes exactly two `next_u64` words and the block's
+    /// word count is known up front. Returns `false` without drawing
+    /// anything otherwise (caller falls back to looping [`sample`]).
+    ///
+    /// Relies on two stream invariants of the workspace's `rand`:
+    /// `fill_bytes` produces the little-endian byte stream of successive
+    /// `next_u64` words (as `SmallRng` does), and `gen_range`/`gen::<f64>`
+    /// each consume exactly one word (widening-multiply uniform, 53-bit
+    /// float). `stream_identical_to_sample_loop` pins block-vs-loop
+    /// equality so any swap to a differently-drawing `rand` fails loudly.
+    ///
+    /// [`sample`]: AliasTable::sample
+    pub fn try_sample_block<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) -> bool {
+        const MAX_BLOCK: usize = 64;
+        let len = self.prob.len();
+        if !len.is_power_of_two() || out.len() > MAX_BLOCK {
+            return false;
+        }
+        let mut bytes = [0u8; MAX_BLOCK * 16];
+        let bytes = &mut bytes[..out.len() * 16];
+        rng.fill_bytes(bytes);
+        for (slot, pair) in out.iter_mut().zip(bytes.chunks_exact(16)) {
+            let x = u64::from_le_bytes(pair[..8].try_into().expect("8-byte word"));
+            let y = u64::from_le_bytes(pair[8..].try_into().expect("8-byte word"));
+            // `gen_range(0..len)`: one widening multiply; power-of-two
+            // span → zero rejection threshold.
+            let i = (((x as u128) * (len as u128)) >> 64) as usize;
+            // `gen::<f64>()`: 53 high bits → uniform [0, 1).
+            let f = (y >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            *slot = if f < self.prob[i] {
+                i
+            } else {
+                self.alias[i] as usize
+            };
+        }
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -575,12 +622,33 @@ impl BinomialSampler {
             SamplerKind::BetaSplit => sample_binomial(self.n, self.p, rng),
         }
     }
+
+    /// Exact-stream block sampling: fills `out` with the same variates —
+    /// and the same RNG word consumption — as `out.len()` successive
+    /// [`BinomialSampler::sample`] calls, or returns `false` without
+    /// drawing anything when this sampler can't batch (beta-splitting
+    /// tail, or a non-power-of-two alias table). Degenerate samplers
+    /// (`p ∈ {0, 1}`) batch trivially: they consume no randomness.
+    ///
+    /// See [`AliasTable::try_sample_block`] for the stream argument and
+    /// the invariants this relies on.
+    pub fn try_sample_block<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) -> bool {
+        match &self.kind {
+            SamplerKind::Degenerate(v) => {
+                out.fill(*v as usize);
+                true
+            }
+            SamplerKind::Alias(t) => t.try_sample_block(rng, out),
+            SamplerKind::BetaSplit => false,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rng::SeedTree;
+    use rand::RngCore;
 
     fn rng(label: &str) -> rand::rngs::SmallRng {
         SeedTree::new(0xB10B).child(label).rng()
@@ -680,6 +748,60 @@ mod tests {
                 weights[i]
             );
         }
+    }
+
+    /// The invariant `try_sample_block` is built on: for a power-of-two
+    /// table, a block draw is byte-for-byte the same stream as looping
+    /// `sample` — same categories out, RNG left in the same state. Any
+    /// swap to a `rand` with different `gen_range`/`gen::<f64>`/
+    /// `fill_bytes` draw patterns fails here first.
+    #[test]
+    fn stream_identical_to_sample_loop() {
+        for (label, weights) in [
+            ("len2", &[0.35, 0.65][..]),
+            ("len4", &[0.1, 0.2, 0.3, 0.4][..]),
+            ("len8", &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0][..]),
+        ] {
+            let t = AliasTable::new(weights).unwrap();
+            for block_len in [1usize, 7, 63, 64] {
+                let mut rng_block = rng(label);
+                let mut rng_loop = rng(label);
+                let mut block = vec![0usize; block_len];
+                assert!(t.try_sample_block(&mut rng_block, &mut block));
+                let looped: Vec<usize> = (0..block_len).map(|_| t.sample(&mut rng_loop)).collect();
+                assert_eq!(block, looped, "{label} block_len {block_len}");
+                // RNG state must agree too: follow-up draws line up.
+                assert_eq!(rng_block.next_u64(), rng_loop.next_u64());
+            }
+        }
+        // Non-power-of-two tables refuse (and must not consume the RNG).
+        let odd = AliasTable::new(&[0.5, 0.3, 0.2]).unwrap();
+        let mut rng_a = rng("odd");
+        let mut rng_b = rng("odd");
+        assert!(!odd.try_sample_block(&mut rng_a, &mut [0usize; 8]));
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+        // Oversized blocks refuse rather than splitting the fill call.
+        let t = AliasTable::new(&[0.5, 0.5]).unwrap();
+        assert!(!t.try_sample_block(&mut rng("big"), &mut vec![0usize; 65]));
+    }
+
+    /// `BinomialSampler::try_sample_block` covers the degenerate kinds
+    /// and inherits the alias-path stream identity.
+    #[test]
+    fn sampler_block_matches_sample_loop() {
+        for (n, p) in [(1u64, 0.5), (3, 0.3), (5, 0.0), (5, 1.0)] {
+            let s = BinomialSampler::new(n, p).unwrap();
+            let mut rng_block = rng("sampler-block");
+            let mut rng_loop = rng("sampler-block");
+            let mut block = [0usize; 64];
+            assert!(s.try_sample_block(&mut rng_block, &mut block));
+            let looped: Vec<usize> = (0..64).map(|_| s.sample(&mut rng_loop) as usize).collect();
+            assert_eq!(&block[..], &looped[..], "Binomial({n}, {p})");
+            assert_eq!(rng_block.next_u64(), rng_loop.next_u64());
+        }
+        // The beta-splitting tail can't batch.
+        let big = BinomialSampler::new(1 << 20, 0.5).unwrap();
+        assert!(!big.try_sample_block(&mut rng("beta"), &mut [0usize; 8]));
     }
 
     #[test]

@@ -15,15 +15,82 @@
 //!   `count_output_ones()` equals the scalar `output_of` recount;
 //! * **clock-plane round trip** — FET's `pack_state`/`unpack_state` are
 //!   mutually inverse over the whole `(opinion, count ∈ [0, ℓ])` domain
-//!   for every byte-sized `ℓ`.
+//!   for every byte-sized `ℓ`;
+//! * **packed-aux round trip** — the tier-2 aux layouts (bit-sliced,
+//!   nibble, byte) store and return every clock value for every
+//!   `ℓ ≤ 255` at word-boundary lengths, and a `BitPopulation` over any
+//!   such `ℓ` stays stream-identical to the typed container;
+//! * **word-kernel equivalence** — the word-at-a-time threshold kernel
+//!   (voter, 3-majority) produces the same trajectory, counters, and
+//!   popcounts as the per-agent packed loop it replaces, sequentially
+//!   and sharded.
 
 use fet::prelude::*;
-use fet_core::bitplane::{BitPlane, BitPopulation};
+use fet_core::bitplane::{AuxPlane, BitPlane, BitPopulation};
+use fet_core::memory::MemoryFootprint;
 use fet_core::observation::Observation;
-use fet_core::protocol::{ObservationSource, RoundContext};
+use fet_core::protocol::{ObservationSource, RoundContext, StatePlanes};
+use fet_protocols::three_majority::ThreeMajorityProtocol;
+use fet_protocols::voter::VoterProtocol;
 use proptest::prelude::*;
 use rand::RngCore;
 use rand::SeedableRng;
+
+/// Delegating wrapper that hides the inner protocol's
+/// `opinion_threshold()`, forcing `BitPopulation` down the per-agent
+/// packed loop. The step rule and RNG usage are untouched, so the
+/// wrapper is the stream-identical baseline the word kernel must match.
+#[derive(Debug, Clone, Copy)]
+struct PerAgent<P>(P);
+
+impl<P: Protocol> Protocol for PerAgent<P> {
+    type State = P::State;
+
+    fn name(&self) -> &str {
+        "per-agent-baseline"
+    }
+
+    fn samples_per_round(&self) -> u32 {
+        self.0.samples_per_round()
+    }
+
+    fn init_state(&self, opinion: Opinion, rng: &mut dyn RngCore) -> Self::State {
+        self.0.init_state(opinion, rng)
+    }
+
+    fn step(
+        &self,
+        state: &mut Self::State,
+        obs: &Observation,
+        ctx: &RoundContext,
+        rng: &mut dyn RngCore,
+    ) -> Opinion {
+        self.0.step(state, obs, ctx, rng)
+    }
+
+    fn output(&self, state: &Self::State) -> Opinion {
+        self.0.output(state)
+    }
+
+    fn memory_footprint(&self) -> MemoryFootprint {
+        self.0.memory_footprint()
+    }
+
+    fn state_planes(&self) -> StatePlanes {
+        self.0.state_planes()
+    }
+
+    // opinion_threshold() deliberately NOT forwarded: the default `None`
+    // is the whole point of the wrapper.
+
+    fn pack_state(&self, state: &Self::State) -> (Opinion, u8) {
+        self.0.pack_state(state)
+    }
+
+    fn unpack_state(&self, opinion: Opinion, aux: u8) -> Self::State {
+        self.0.unpack_state(opinion, aux)
+    }
+}
 
 /// A deterministic mean-field-like source: draws from the round RNG, so
 /// any stream divergence between representations is visible immediately.
@@ -214,6 +281,192 @@ proptest! {
             }
         }
     }
+
+    /// Container level, full `ℓ` range: a `BitPopulation` built from the
+    /// same init stream as a `TypedPopulation` holds bit-identical
+    /// opinions and packed clocks, whichever aux layout `ℓ` selects
+    /// (bit-sliced for `bits < 4` and `4 < bits < 8`, nibble at
+    /// `bits = 4`, byte at `bits = 8`).
+    #[test]
+    fn bit_population_matches_typed_for_any_ell(
+        ell in 1u32..=255,
+        extra_n in 1usize..200,
+        seed in 0u64..500,
+    ) {
+        for n in [63usize, 64, 65, extra_n.max(1)] {
+            let (typed, bits) = twin_populations(ell, n, seed);
+            let protocol = FetProtocol::new(ell).unwrap();
+            for i in 0..n {
+                let (opinion, aux) = protocol.pack_state(&typed.states()[i]);
+                prop_assert_eq!(bits.opinion_plane().get(i), opinion, "agent {}", i);
+                prop_assert_eq!(bits.aux_value(i), aux, "agent {} ell {}", i, ell);
+            }
+        }
+    }
+
+    /// Kernel level: the word-at-a-time threshold kernel (voter `m = 1`
+    /// threshold 1, 3-majority `m = 3` threshold 2) is bit-identical to
+    /// the per-agent packed loop it replaces — outputs, counters, and
+    /// popcounts — across word-boundary sizes, multiple rounds, and the
+    /// sharded parallel entry point.
+    #[test]
+    fn word_kernel_matches_per_agent_kernel(
+        extra_n in 1usize..400,
+        seed in 0u64..500,
+        rounds in 1u64..4,
+        shards in 2u32..8,
+    ) {
+        for n in [1usize, 63, 64, 65, 129, extra_n.max(1)] {
+            word_kernel_case(VoterProtocol::new(), n, seed, rounds, shards);
+            word_kernel_case(ThreeMajorityProtocol::new(), n, seed, rounds, shards);
+        }
+    }
+}
+
+/// One word-kernel equivalence case: steps a word-path population and a
+/// per-agent-path twin (the [`PerAgent`] wrapper) through `rounds` fused
+/// rounds plus one sharded round from identical streams and asserts
+/// bit-identity at every level.
+fn word_kernel_case<P>(protocol: P, n: usize, seed: u64, rounds: u64, shards: u32)
+where
+    P: Protocol + Copy + std::fmt::Debug + Send + Sync,
+{
+    let m = protocol.samples_per_round();
+    let mut word = BitPopulation::new(protocol);
+    let mut scalar = BitPopulation::new(PerAgent(protocol));
+    let mut rng_a = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut rng_b = rand::rngs::SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        let opinion = Opinion::from(i % 5 == 0);
+        word.push_agent(opinion, &mut rng_a);
+        scalar.push_agent(opinion, &mut rng_b);
+    }
+    let mut rng_a = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xFACE);
+    let mut rng_b = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xFACE);
+    for round in 0..rounds {
+        let ctx = RoundContext::new(round);
+        let mut out_a = vec![Opinion::Zero; n];
+        let mut out_b = vec![Opinion::Zero; n];
+        let ca = word.step_fused(
+            &mut UniformSource { m },
+            &ctx,
+            &mut rng_a,
+            Opinion::One,
+            &mut out_a,
+        );
+        let cb = scalar.step_fused(
+            &mut UniformSource { m },
+            &ctx,
+            &mut rng_b,
+            Opinion::One,
+            &mut out_b,
+        );
+        prop_assert_eq!(&out_a, &out_b, "n={} round={}", n, round);
+        prop_assert_eq!(ca, cb);
+        let recount = (0..n).filter(|&i| word.output_of(i).is_one()).count() as u64;
+        prop_assert_eq!(word.count_output_ones(), recount);
+        prop_assert_eq!(ca.ones, recount);
+    }
+    // One sharded round on top: the word kernel must respect shard
+    // boundaries exactly like the per-agent loop.
+    let plan = ShardPlan::new(shards, 2, seed, rounds);
+    let ctx = RoundContext::new(rounds);
+    let factory = UniformFactory { m };
+    let ca = word.step_fused_parallel_inplace(&factory, &ctx, &plan, Opinion::One);
+    let cb = scalar.step_fused_parallel_inplace(&factory, &ctx, &plan, Opinion::One);
+    prop_assert_eq!(ca, cb, "sharded n={}", n);
+    for i in 0..n {
+        prop_assert_eq!(word.output_of(i), scalar.output_of(i), "agent {}", i);
+    }
+}
+
+/// The packed aux layouts, exhaustively: every `ℓ ≤ 255` (covering every
+/// sliced width, the nibble plane, and the byte plane) stores and
+/// returns every clock value in `[0, ℓ]` at the word-boundary lengths
+/// `n ∈ {63, 64, 65}`, through both `push` and `set`. Pinned outside the
+/// fuzzer so no width can rotate out of coverage.
+#[test]
+fn packed_aux_planes_roundtrip_every_ell() {
+    for ell in 1u32..=255 {
+        let planes = FetProtocol::new(ell).unwrap().state_planes();
+        for n in [63usize, 64, 65] {
+            let mut plane = AuxPlane::for_planes(planes);
+            for i in 0..n {
+                plane.push((i as u32 % (ell + 1)) as u8);
+            }
+            for i in 0..n {
+                assert_eq!(
+                    u32::from(plane.get(i)),
+                    i as u32 % (ell + 1),
+                    "push ell={ell} n={n} i={i}"
+                );
+            }
+            // Overwrite in place with the reversed sequence; neighbours
+            // within the same word must be unaffected.
+            for i in 0..n {
+                plane.set(i, ((n - 1 - i) as u32 % (ell + 1)) as u8);
+            }
+            for i in 0..n {
+                assert_eq!(
+                    u32::from(plane.get(i)),
+                    (n - 1 - i) as u32 % (ell + 1),
+                    "set ell={ell} n={n} i={i}"
+                );
+            }
+        }
+    }
+}
+
+/// Engine level: voter and 3-majority through real mean-field rounds —
+/// the bit-plane engine (word kernel via `MeanFieldSource`'s
+/// `next_threshold_word` override) tracks the typed-population engine
+/// (per-observation draws) round for round, so the override provably
+/// never perturbs the stream.
+#[test]
+fn word_kernel_engines_track_typed_engines() {
+    use fet_core::config::ProblemSpec;
+    use fet_core::erased::ErasedProtocol;
+    use fet_sim::init::InitialCondition;
+
+    fn check<P>(protocol: P)
+    where
+        P: Protocol + Clone + std::fmt::Debug + Send + Sync + 'static,
+        P::State: 'static,
+    {
+        let spec = ProblemSpec::single_source(500, Opinion::One).unwrap();
+        let erased = ErasedProtocol::new(protocol);
+        let mut typed = PopulationEngine::new(
+            erased.population(),
+            spec,
+            Fidelity::Binomial,
+            InitialCondition::Random,
+            77,
+        )
+        .unwrap();
+        let mut bits = PopulationEngine::new(
+            erased.bit_population().expect("OpinionOnly packs"),
+            spec,
+            Fidelity::Binomial,
+            InitialCondition::Random,
+            77,
+        )
+        .unwrap();
+        typed.set_execution_mode(ExecutionMode::Fused).unwrap();
+        bits.set_execution_mode(ExecutionMode::Fused).unwrap();
+        assert!(bits.uses_bit_storage());
+        for round in 0..30 {
+            typed.step();
+            bits.step();
+            assert_eq!(
+                typed.collect_outputs(),
+                bits.collect_outputs(),
+                "round {round}"
+            );
+        }
+    }
+
+    check(VoterProtocol::new());
+    check(ThreeMajorityProtocol::new());
 }
 
 /// The explicit degenerate sizes from the issue, pinned outside the

@@ -302,3 +302,55 @@ fn bitplane_parallel_stream_identity_matrix() {
         std::fs::write(&path, dump).expect("write bit-plane determinism dump");
     }
 }
+
+// ---- the packed-clock leg ----
+
+fn packed_clock_trajectory(shards: u32, ell: u32, storage: Storage) -> Vec<f64> {
+    Simulation::builder()
+        .population(N)
+        .ell(ell)
+        .seed(SEED)
+        .max_rounds(MAX_ROUNDS)
+        .execution_mode(ExecutionMode::FusedParallel { threads: shards })
+        .storage(storage)
+        .record_trajectory(true)
+        .build()
+        .unwrap()
+        .run()
+        .trajectory
+        .expect("recording requested")
+}
+
+/// The packed-aux determinism matrix: each tier-2 clock-plane layout —
+/// bit-sliced (`ℓ = 5` → 3 bits), nibble (`ℓ = 12` → 4 bits), and the
+/// byte fast path (`ℓ = 200` → 8 bits) — must replay the typed-storage
+/// trajectory bit for bit per `(seed, shard count)`. The plane width is
+/// pure representation; it must never enter the stream. Serialized to
+/// `FET_DETERMINISM_DUMP_PACKED` for CI's cross-worker-count byte-diff.
+#[test]
+fn packed_clock_stream_identity_matrix() {
+    // (label, ell) → aux layout exercised; see `FetProtocol::state_planes`.
+    let ells = [("sliced-3b", 5u32), ("nibble-4b", 12), ("byte-8b", 200)];
+    let mut dump = String::new();
+    let workers = std::env::var("FET_PARALLEL_WORKERS").unwrap_or_else(|_| "unset".into());
+    for shards in SHARD_COUNTS {
+        for (label, ell) in ells {
+            let typed = packed_clock_trajectory(shards, ell, Storage::Typed);
+            let packed = packed_clock_trajectory(shards, ell, Storage::BitPlane);
+            assert_eq!(
+                typed, packed,
+                "shards={shards} case={label} (workers={workers}): \
+                 typed vs packed-clock trajectories diverged"
+            );
+            let again = packed_clock_trajectory(shards, ell, Storage::BitPlane);
+            assert_eq!(
+                packed, again,
+                "shards={shards} case={label} (workers={workers}): packed replay diverged"
+            );
+            dump.push_str(&render(label, shards, &packed));
+        }
+    }
+    if let Ok(path) = std::env::var("FET_DETERMINISM_DUMP_PACKED") {
+        std::fs::write(&path, dump).expect("write packed-clock determinism dump");
+    }
+}
