@@ -1,10 +1,14 @@
 //! Micro-benchmark: exact binomial sampling across size regimes
 //! (alias table vs beta-splitting), plus the hypergeometric split used by
-//! FET's sample partition.
+//! FET's sample partition and the per-ISA-path alias block kernels
+//! (`alias_block_{scalar,swar,avx2}` — scalar is the branchy f64 probe
+//! reference, the others the branchless integer tiers from
+//! `fet_stats::isa`). Paths the host can't execute are skipped.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fet_stats::binomial::{sample_binomial, BinomialSampler};
 use fet_stats::hypergeometric::split_sample;
+use fet_stats::isa::IsaPath;
 use fet_stats::rng::SeedTree;
 
 fn bench_samplers(c: &mut Criterion) {
@@ -21,6 +25,25 @@ fn bench_samplers(c: &mut Criterion) {
             let mut rng = SeedTree::new(2).child("beta").rng();
             b.iter(|| sample_binomial(n, 0.37, &mut rng))
         });
+    }
+    // Per-path 64-draw alias blocks on power-of-two tables: n = 3 is the
+    // 3-majority case (the word-at-a-time kernel's sampler, a 4-entry
+    // table with fractional probes), n = 1023 stresses the table gather
+    // (1024 entries). Same stream on every path; only the instruction
+    // mix differs.
+    for &n in &[3u64, 1_023] {
+        let sampler = BinomialSampler::new(n, 0.37).unwrap();
+        for path in IsaPath::available() {
+            let label = format!("alias_block_{}", path.name());
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                let mut rng = SeedTree::new(4).child("alias-block").rng();
+                let mut out = [0usize; 64];
+                b.iter(|| {
+                    assert!(sampler.try_sample_block_with(path, &mut rng, &mut out));
+                    out[0]
+                })
+            });
+        }
     }
     for &ell in &[16u64, 64] {
         group.bench_with_input(

@@ -21,14 +21,27 @@
 //! Default sizes 10⁴ and 10⁵ at degree 32 (≈ 4·ln n at 10⁵ — the regime
 //! where FET behaves like the complete graph); `FET_BENCH_LARGE=1` adds
 //! the opt-in 10⁷ episode. Numbers are recorded in `docs/BENCHMARKS.md`.
+//!
+//! Two self-describing extras:
+//!
+//! * `graph_fused_{scalar,swar,avx2}` — the fused round with the sampling
+//!   kernel tier pinned per `fet_stats::isa` path (the SIMD acceptance
+//!   rows; paths the host can't execute are skipped). The unpinned
+//!   `graph_fused` row measures whatever `FET_SIMD`/detection selects.
+//! * `graph_fused_parallel_pinned4` — the pinned 4-thread acceptance row,
+//!   emitted automatically exactly when the host exposes ≥ 4 CPUs (the
+//!   self-closing multicore guard: every run prints
+//!   `host_parallelism=N`, and the ≥2×-at-4-threads table fills itself in
+//!   the first time a multi-core host runs this bench).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fet_bench::announced_bench_threads;
+use fet_bench::{announced_bench_threads, report_host_parallelism};
 use fet_core::erased::ErasedProtocol;
 use fet_core::fet::FetProtocol;
 use fet_core::opinion::Opinion;
 use fet_sim::engine::{ExecutionMode, PopulationEngine};
 use fet_sim::init::InitialCondition;
+use fet_stats::isa::{self, IsaPath};
 use fet_stats::rng::SeedTree;
 use fet_topology::builders;
 use fet_topology::engine::TopologyEngine;
@@ -45,15 +58,39 @@ fn sizes() -> Vec<u32> {
 
 fn bench_graph_round(c: &mut Criterion) {
     let threads = announced_bench_threads();
+    let host_cpus = report_host_parallelism();
     let mut group = c.benchmark_group("graph_round");
     let parallel = ExecutionMode::FusedParallel { threads };
     for &n in &sizes() {
-        for (label, mode) in [
-            ("graph_batched", ExecutionMode::Batched),
-            ("graph_fused", ExecutionMode::Fused),
-            ("graph_fused_parallel", parallel),
-        ] {
-            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+        let mut rows: Vec<(String, ExecutionMode, Option<IsaPath>)> = vec![
+            ("graph_batched".into(), ExecutionMode::Batched, None),
+            ("graph_fused".into(), ExecutionMode::Fused, None),
+            ("graph_fused_parallel".into(), parallel, None),
+        ];
+        for path in IsaPath::available() {
+            rows.push((
+                format!("graph_fused_{}", path.name()),
+                ExecutionMode::Fused,
+                Some(path),
+            ));
+        }
+        // The self-closing multicore guard: the pinned 4-thread acceptance
+        // row runs itself whenever the host can actually parallelize it.
+        if host_cpus >= 4 {
+            rows.push((
+                "graph_fused_parallel_pinned4".into(),
+                ExecutionMode::FusedParallel { threads: 4 },
+                None,
+            ));
+        } else {
+            eprintln!(
+                "skipping graph_fused_parallel_pinned4: host_parallelism={host_cpus} < 4 \
+                 (the row would measure scheduling overhead, not speedup)"
+            );
+        }
+        for (label, mode, pin) in &rows {
+            group.bench_with_input(BenchmarkId::new(label.clone(), n), &n, |b, &n| {
+                isa::force_path(*pin);
                 let mut rng = SeedTree::new(17).child("graph-bench").rng();
                 let graph =
                     builders::random_regular(n, DEGREE, &mut rng).expect("valid regular graph");
@@ -66,8 +103,11 @@ fn bench_graph_round(c: &mut Criterion) {
                     42,
                 )
                 .expect("valid engine");
-                engine.set_execution_mode(mode).expect("graph-capable mode");
+                engine
+                    .set_execution_mode(*mode)
+                    .expect("graph-capable mode");
                 b.iter(|| engine.step());
+                isa::force_path(None);
             });
         }
         // The packed representation on the same expander: graph-fused and

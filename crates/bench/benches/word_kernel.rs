@@ -22,11 +22,17 @@
 //! * `voter_word` — `VoterProtocol` through the word kernel;
 //! * `voter_per_agent` — the wrapper through the per-agent packed loop;
 //! * `three_majority_word` / `three_majority_per_agent` — the same pair
-//!   at `m = 3`, where sampler draws dominate and the kernel win shrinks.
+//!   at `m = 3`, where sampler draws dominate and the kernel win shrinks;
+//! * `plane_popcount` — one `BitPlane::count_ones` sweep over the n-bit
+//!   plane, i.e. the *entire* per-word popcount reduction a word-kernel
+//!   round performs. This row is the measured justification for NOT
+//!   hand-vectorizing the popcount leg: it is orders of magnitude below
+//!   the sampler-dominated round times above it.
 //!
 //! Numbers land in `docs/BENCHMARKS.md` (tier 2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fet_core::bitplane::BitPlane;
 use fet_core::config::ProblemSpec;
 use fet_core::erased::ErasedProtocol;
 use fet_core::memory::MemoryFootprint;
@@ -139,6 +145,13 @@ fn bench_word_kernel(c: &mut Criterion) {
                 b.iter(|| engine.step());
             },
         );
+        group.bench_with_input(BenchmarkId::new("plane_popcount", n), &n, |b, &n| {
+            let mut plane = BitPlane::zeroed(n as usize);
+            for i in (0..n as usize).step_by(3) {
+                plane.set(i, Opinion::One);
+            }
+            b.iter(|| plane.count_ones());
+        });
     }
     group.finish();
 }

@@ -98,13 +98,36 @@ pub fn parallelism_note_text(available: usize, required: usize) -> Option<String
     })
 }
 
+/// The host's advertised parallelism (`1` when the OS won't say).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// The machine-greppable host-parallelism record: every bench/experiment
+/// output carries this line so a recorded table is self-describing about
+/// the host that produced it (CI greps it to decide whether the pinned
+/// multi-thread acceptance tables actually ran on real cores).
+pub fn host_parallelism_record(available: usize) -> String {
+    format!("host_parallelism={available}")
+}
+
+/// Prints (and returns) the host-parallelism record — the probe half of
+/// the self-closing multicore guard: benches call this once, so any saved
+/// output states how many CPUs the measuring host exposed, and callers use
+/// the returned count to auto-enable the pinned ≥4-thread tables exactly
+/// when they would measure real parallelism.
+pub fn report_host_parallelism() -> usize {
+    let available = host_parallelism();
+    eprintln!("{}", host_parallelism_record(available));
+    available
+}
+
 /// Prints a one-line note when the host offers fewer cores than a
 /// parallel benchmark variant assumes, so recorded numbers are
 /// self-documenting: on a starved host the parallel variants measure
 /// dispatch overhead, not speedup.
 pub fn host_parallelism_note(required: usize) {
-    let available = std::thread::available_parallelism().map_or(1, |p| p.get());
-    if let Some(note) = parallelism_note_text(available, required) {
+    if let Some(note) = parallelism_note_text(host_parallelism(), required) {
         eprintln!("{note}");
     }
 }
@@ -194,6 +217,12 @@ mod tests {
     fn vm_rss_reads_a_positive_size() {
         let rss = vm_rss_bytes().expect("Linux exposes /proc/self/status");
         assert!(rss > 0);
+    }
+
+    #[test]
+    fn host_parallelism_record_is_greppable() {
+        assert_eq!(host_parallelism_record(4), "host_parallelism=4");
+        assert!(host_parallelism() >= 1);
     }
 
     #[test]

@@ -717,6 +717,14 @@ fn step_packed_words<P: Protocol, A: AuxAccess>(
 /// [`step_packed_words`] by the source contract (the same observations
 /// are drawn in the same per-agent order; the protocols consume no step
 /// randomness).
+///
+/// The popcount/store reduction here is deliberately *not* routed
+/// through `fet_stats::isa`'s explicit-SIMD tiers: it is one
+/// `count_ones` + one store per 64 agents against ≥ 64 sampler draws
+/// for the same agents, and the `word_kernel` bench's `plane_popcount`
+/// row measures the whole reduction at well under 1% of a round — the
+/// vectorized-sampling PR measured it and dropped this leg (see
+/// docs/BENCHMARKS.md, "SIMD sampling kernels").
 fn step_threshold_words(
     words: &mut [u64],
     len: usize,

@@ -27,10 +27,17 @@
 //! is what keeps parallel graph rounds on the `(seed, shard count)`
 //! determinism contract.
 //!
-//! Funneling *all* on-demand draws through this one abstraction is also
-//! what keeps the remaining SIMD-batch-sampling lever tractable: a future
-//! vectorized sampler slots in behind [`ObservationSource`] without
-//! touching any kernel.
+//! Funneling *all* on-demand draws through this one abstraction is what
+//! made the vectorized sampling tier slot in without touching any kernel:
+//! [`GraphSource`] speculates eight Lemire index lanes per step through
+//! the [`fet_stats::isa`] path kernels (replaying the speculated words
+//! through the reference loop on the rare rejection), and
+//! [`MeanFieldSource`]'s block path inherits the per-path alias kernels
+//! from [`BinomialSampler::try_sample_block`]. Every path consumes the
+//! RNG streams identically — the chosen ISA never enters the stream (see
+//! docs/DETERMINISM.md).
+//!
+//! [`BinomialSampler::try_sample_block`]: fet_stats::binomial::BinomialSampler::try_sample_block
 //!
 //! [`Protocol::step_fused`]: fet_core::protocol::Protocol::step_fused
 //! [`Fidelity::Binomial`]: crate::engine::Fidelity::Binomial
@@ -42,6 +49,7 @@ use fet_core::observation::Observation;
 use fet_core::opinion::Opinion;
 use fet_core::protocol::ObservationSource;
 use fet_core::shard::ShardSourceFactory;
+use fet_stats::isa::{self, IsaPath};
 use fet_stats::rng::{counter_split, counter_stream_base};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
@@ -317,32 +325,14 @@ impl ObservationSource for GraphSource<'_> {
             // unanimous by construction, no randomness to draw.
             u32::from(self.snapshot.is_one(neighbors[0])) * self.m
         } else {
-            // Each 64-bit word of the owned index stream yields two
-            // 32-bit lanes; a lane maps into [0, d) by Lemire's
-            // multiply-with-rejection — exactly uniform: it is rejected
-            // iff the low half of `lane · d` falls below 2³² mod d
-            // (never, when d is a power of two; rare otherwise).
-            let threshold = d.wrapping_neg() % d; // 2³² mod d
-            let mut ones = 0u32;
-            let mut word = 0u64;
-            let mut lanes = 0u32;
-            for _ in 0..self.m {
-                let idx = loop {
-                    if lanes == 0 {
-                        word = self.index_rng.next_u64();
-                        lanes = 2;
-                    }
-                    let lane = word as u32;
-                    word >>= 32;
-                    lanes -= 1;
-                    let wide = u64::from(lane) * u64::from(d);
-                    if (wide as u32) >= threshold {
-                        break (wide >> 32) as u32;
-                    }
-                };
-                ones += u32::from(self.snapshot.is_one(neighbors[idx as usize]));
-            }
-            ones
+            sample_neighbor_ones(
+                isa::active_path(),
+                &mut self.index_rng,
+                self.snapshot,
+                neighbors,
+                d,
+                self.m,
+            )
         };
         let seen = match self.fault {
             Some(fault) => fault.corrupt_count(raw_ones, self.m, rng),
@@ -350,6 +340,205 @@ impl ObservationSource for GraphSource<'_> {
         };
         Observation::new(seen, self.m).expect("corrupt_count preserves the bound")
     }
+}
+
+/// The scalar loop's lane source: two 32-bit lanes per RNG word, low half
+/// first — optionally replaying words the vector path already pulled, so
+/// a rejected speculation resumes the *reference* stream mid-word without
+/// re-drawing anything.
+struct LaneFeed<'r> {
+    buffered: [u64; 4],
+    buffered_len: usize,
+    next_buffered: usize,
+    word: u64,
+    lanes: u32,
+    rng: &'r mut SmallRng,
+}
+
+impl<'r> LaneFeed<'r> {
+    fn fresh(rng: &'r mut SmallRng) -> Self {
+        LaneFeed {
+            buffered: [0; 4],
+            buffered_len: 0,
+            next_buffered: 0,
+            word: 0,
+            lanes: 0,
+            rng,
+        }
+    }
+
+    fn replaying(words: [u64; 4], rng: &'r mut SmallRng) -> Self {
+        LaneFeed {
+            buffered: words,
+            buffered_len: 4,
+            next_buffered: 0,
+            word: 0,
+            lanes: 0,
+            rng,
+        }
+    }
+
+    #[inline]
+    fn next_lane(&mut self) -> u32 {
+        if self.lanes == 0 {
+            self.word = if self.next_buffered < self.buffered_len {
+                let word = self.buffered[self.next_buffered];
+                self.next_buffered += 1;
+                word
+            } else {
+                self.rng.next_u64()
+            };
+            self.lanes = 2;
+        }
+        let lane = self.word as u32;
+        self.word >>= 32;
+        self.lanes -= 1;
+        lane
+    }
+}
+
+/// The reference index-draw loop: `count` with-replacement draws mapped
+/// into `[0, d)` by Lemire's multiply-with-rejection — a lane is rejected
+/// iff the low half of `lane · d` falls below `2³² mod d` (never, when
+/// `d` is a power of two; rare otherwise) — counting 1-opinions in the
+/// round-start snapshot.
+fn scalar_draws(
+    feed: &mut LaneFeed<'_>,
+    snapshot: SnapshotView<'_>,
+    neighbors: &[u32],
+    d: u32,
+    threshold: u32,
+    count: u32,
+) -> u32 {
+    let mut ones = 0u32;
+    for _ in 0..count {
+        let idx = loop {
+            let lane = feed.next_lane();
+            let wide = u64::from(lane) * u64::from(d);
+            if (wide as u32) >= threshold {
+                break (wide >> 32) as u32;
+            }
+        };
+        ones += u32::from(snapshot.is_one(neighbors[idx as usize]));
+    }
+    ones
+}
+
+/// One agent's `m` neighbor draws through the selected ISA path. Word and
+/// lane state is per-agent — fresh on entry, leftover lanes discarded on
+/// return — exactly as the scalar loop always behaved.
+///
+/// The vector tiers speculate: eight draws consume exactly four RNG words
+/// when no lane is rejected, so a group of eight is computed from four
+/// words pulled up front. Any rejection (impossible for power-of-two
+/// degree, probability `≈ 8·(2³² mod d)/2³²` per group otherwise) replays
+/// those same four words through the reference loop, which then finishes
+/// the agent scalar — the consumed stream is bit-identical to
+/// [`IsaPath::Scalar`] in every case.
+fn sample_neighbor_ones(
+    path: IsaPath,
+    rng: &mut SmallRng,
+    snapshot: SnapshotView<'_>,
+    neighbors: &[u32],
+    d: u32,
+    m: u32,
+) -> u32 {
+    let threshold = d.wrapping_neg() % d; // 2³² mod d
+    match path {
+        IsaPath::Scalar => scalar_draws(
+            &mut LaneFeed::fresh(rng),
+            snapshot,
+            neighbors,
+            d,
+            threshold,
+            m,
+        ),
+        IsaPath::Swar => vector_draws(isa::lemire8_swar, rng, snapshot, neighbors, d, threshold, m),
+        IsaPath::Avx2 => {
+            #[cfg(all(target_arch = "x86_64", not(fet_no_simd)))]
+            {
+                if isa::avx2_available() {
+                    // SAFETY: AVX2 availability checked at runtime just above.
+                    return unsafe { vector_draws_avx2(rng, snapshot, neighbors, d, threshold, m) };
+                }
+            }
+            vector_draws(isa::lemire8_swar, rng, snapshot, neighbors, d, threshold, m)
+        }
+    }
+}
+
+/// The speculative vector loop, generic over the 8-lane Lemire kernel so
+/// each ISA tier instantiates it with its kernel *inlined* — the AVX2
+/// feature boundary then sits once per agent ([`vector_draws_avx2`]), not
+/// once per 8 draws, which is the difference between winning and losing
+/// to the scalar loop on short degree draws.
+#[inline(always)]
+fn vector_draws(
+    lemire8: impl Fn(&[u64; 4], u32, u32, &mut [u32; 8]) -> u8,
+    rng: &mut SmallRng,
+    snapshot: SnapshotView<'_>,
+    neighbors: &[u32],
+    d: u32,
+    threshold: u32,
+    m: u32,
+) -> u32 {
+    let mut ones = 0u32;
+    let mut remaining = m;
+    let mut idx8 = [0u32; 8];
+    while remaining >= 8 {
+        let words = [
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ];
+        let rejections = lemire8(&words, d, threshold, &mut idx8);
+        if rejections == 0 {
+            for &idx in &idx8 {
+                ones += u32::from(snapshot.is_one(neighbors[idx as usize]));
+            }
+            remaining -= 8;
+        } else {
+            let mut feed = LaneFeed::replaying(words, rng);
+            return ones + scalar_draws(&mut feed, snapshot, neighbors, d, threshold, remaining);
+        }
+    }
+    ones + scalar_draws(
+        &mut LaneFeed::fresh(rng),
+        snapshot,
+        neighbors,
+        d,
+        threshold,
+        remaining,
+    )
+}
+
+/// [`vector_draws`] compiled as one AVX2 region per agent, with the raw
+/// AVX2 kernel inlined into it (closures inherit the enclosing function's
+/// target features).
+///
+/// # Safety
+///
+/// The CPU must support AVX2 (check [`isa::avx2_available`]).
+#[cfg(all(target_arch = "x86_64", not(fet_no_simd)))]
+#[target_feature(enable = "avx2")]
+unsafe fn vector_draws_avx2(
+    rng: &mut SmallRng,
+    snapshot: SnapshotView<'_>,
+    neighbors: &[u32],
+    d: u32,
+    threshold: u32,
+    m: u32,
+) -> u32 {
+    vector_draws(
+        |words, d, threshold, out| unsafe { isa::lemire8_avx2_unchecked(words, d, threshold, out) },
+        rng,
+        snapshot,
+        neighbors,
+        d,
+        threshold,
+        m,
+    )
 }
 
 /// The engine's [`ShardSourceFactory`] for graph rounds: hands every
@@ -501,6 +690,73 @@ mod tests {
             by_bytes.next_observation(&mut rng).ones(),
             by_bits.next_observation(&mut rng).ones(),
         );
+    }
+
+    /// A complete graph on `n` vertices: every vertex has degree `n − 1`.
+    #[derive(Debug, Clone)]
+    struct Complete(Vec<Vec<u32>>);
+
+    impl Complete {
+        fn new(n: u32) -> Self {
+            Complete(
+                (0..n)
+                    .map(|v| (0..n).filter(|&u| u != v).collect())
+                    .collect(),
+            )
+        }
+    }
+
+    impl Neighborhood for Complete {
+        fn population(&self) -> u32 {
+            self.0.len() as u32
+        }
+        fn neighbors_of(&self, vertex: u32) -> &[u32] {
+            &self.0[vertex as usize]
+        }
+        fn clone_box(&self) -> Box<dyn Neighborhood> {
+            Box::new(self.clone())
+        }
+    }
+
+    /// Every ISA path draws the same neighbor indices from the same
+    /// words, leaves the owned generator in the same state, and counts
+    /// the same ones — across rejection-prone (d = 3, 7) and
+    /// rejection-free (d = 4) degrees, and across draw counts that
+    /// exercise the vector groups, the rejection replay, and the scalar
+    /// tail.
+    #[test]
+    fn neighbor_sampling_paths_are_stream_identical() {
+        for d in [3u32, 4, 7] {
+            let graph = Complete::new(d + 1);
+            let neighbors = graph.neighbors_of(0);
+            let snapshot: Vec<Opinion> = (0..=d)
+                .map(|v| {
+                    if v % 2 == 0 {
+                        Opinion::One
+                    } else {
+                        Opinion::Zero
+                    }
+                })
+                .collect();
+            let view = SnapshotView::Bytes(&snapshot);
+            for m in [1u32, 7, 8, 9, 16, 21, 64] {
+                let seed = 0xFEED ^ (u64::from(d) << 8) ^ u64::from(m);
+                let mut rng_ref = SmallRng::seed_from_u64(seed);
+                let expect =
+                    sample_neighbor_ones(IsaPath::Scalar, &mut rng_ref, view, neighbors, d, m);
+                let end_state = rng_ref.next_u64();
+                for path in IsaPath::available() {
+                    let mut rng_path = SmallRng::seed_from_u64(seed);
+                    let got = sample_neighbor_ones(path, &mut rng_path, view, neighbors, d, m);
+                    assert_eq!(got, expect, "d={d} m={m} {path:?}: counts diverged");
+                    assert_eq!(
+                        rng_path.next_u64(),
+                        end_state,
+                        "d={d} m={m} {path:?}: RNG word consumption diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

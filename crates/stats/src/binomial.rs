@@ -300,6 +300,13 @@ fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
 pub struct AliasTable {
     prob: Vec<f64>,
     alias: Vec<u32>,
+    /// `ceil(prob[i] · 2⁵³)` — the probe `gen::<f64>() < prob[i]` as an
+    /// exact integer compare against the float word's 53 mantissa-source
+    /// bits (`y >> 11`). Powers of two scale exactly, so this loses
+    /// nothing; the SWAR/AVX2 block kernels select on it branch-free.
+    thresh53: Vec<u64>,
+    /// `alias` widened to `u64` so the AVX2 kernel can gather it.
+    alias64: Vec<u64>,
 }
 
 impl AliasTable {
@@ -357,7 +364,17 @@ impl AliasTable {
             prob[i] = 1.0;
             alias[i] = i as u32;
         }
-        Ok(AliasTable { prob, alias })
+        let thresh53 = prob
+            .iter()
+            .map(|p| (p * (1u64 << 53) as f64).ceil() as u64)
+            .collect();
+        let alias64 = alias.iter().map(|&a| u64::from(a)).collect();
+        Ok(AliasTable {
+            prob,
+            alias,
+            thresh53,
+            alias64,
+        })
     }
 
     /// Number of categories.
@@ -404,6 +421,21 @@ impl AliasTable {
     ///
     /// [`sample`]: AliasTable::sample
     pub fn try_sample_block<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) -> bool {
+        self.try_sample_block_with(crate::isa::active_path(), rng, out)
+    }
+
+    /// [`AliasTable::try_sample_block`] through an explicit ISA path —
+    /// the kernel-level entry point for the per-path identity tests and
+    /// benches. Every path consumes the same single `fill_bytes` block
+    /// and selects the same categories (see [`crate::isa`] for the exact
+    /// integer reformulation of the probe); only the instruction mix
+    /// differs.
+    pub fn try_sample_block_with<R: Rng + ?Sized>(
+        &self,
+        path: crate::isa::IsaPath,
+        rng: &mut R,
+        out: &mut [usize],
+    ) -> bool {
         const MAX_BLOCK: usize = 64;
         let len = self.prob.len();
         if !len.is_power_of_two() || out.len() > MAX_BLOCK {
@@ -412,19 +444,32 @@ impl AliasTable {
         let mut bytes = [0u8; MAX_BLOCK * 16];
         let bytes = &mut bytes[..out.len() * 16];
         rng.fill_bytes(bytes);
-        for (slot, pair) in out.iter_mut().zip(bytes.chunks_exact(16)) {
-            let x = u64::from_le_bytes(pair[..8].try_into().expect("8-byte word"));
-            let y = u64::from_le_bytes(pair[8..].try_into().expect("8-byte word"));
-            // `gen_range(0..len)`: one widening multiply; power-of-two
-            // span → zero rejection threshold.
-            let i = (((x as u128) * (len as u128)) >> 64) as usize;
-            // `gen::<f64>()`: 53 high bits → uniform [0, 1).
-            let f = (y >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-            *slot = if f < self.prob[i] {
-                i
-            } else {
-                self.alias[i] as usize
-            };
+        let shift = 64 - len.trailing_zeros();
+        match path {
+            crate::isa::IsaPath::Scalar => {
+                // The reference loop: the draws exactly as `sample` makes
+                // them, one 16-byte pair at a time.
+                for (slot, pair) in out.iter_mut().zip(bytes.chunks_exact(16)) {
+                    let x = u64::from_le_bytes(pair[..8].try_into().expect("8-byte word"));
+                    let y = u64::from_le_bytes(pair[8..].try_into().expect("8-byte word"));
+                    // `gen_range(0..len)`: one widening multiply; power-of-two
+                    // span → zero rejection threshold.
+                    let i = (((x as u128) * (len as u128)) >> 64) as usize;
+                    // `gen::<f64>()`: 53 high bits → uniform [0, 1).
+                    let f = (y >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    *slot = if f < self.prob[i] {
+                        i
+                    } else {
+                        self.alias[i] as usize
+                    };
+                }
+            }
+            crate::isa::IsaPath::Swar => {
+                crate::isa::alias_block_swar(bytes, shift, &self.thresh53, &self.alias64, out);
+            }
+            crate::isa::IsaPath::Avx2 => {
+                crate::isa::alias_block_avx2(bytes, shift, &self.thresh53, &self.alias64, out);
+            }
         }
         true
     }
@@ -633,12 +678,23 @@ impl BinomialSampler {
     /// See [`AliasTable::try_sample_block`] for the stream argument and
     /// the invariants this relies on.
     pub fn try_sample_block<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [usize]) -> bool {
+        self.try_sample_block_with(crate::isa::active_path(), rng, out)
+    }
+
+    /// [`BinomialSampler::try_sample_block`] through an explicit ISA path;
+    /// see [`AliasTable::try_sample_block_with`].
+    pub fn try_sample_block_with<R: Rng + ?Sized>(
+        &self,
+        path: crate::isa::IsaPath,
+        rng: &mut R,
+        out: &mut [usize],
+    ) -> bool {
         match &self.kind {
             SamplerKind::Degenerate(v) => {
                 out.fill(*v as usize);
                 true
             }
-            SamplerKind::Alias(t) => t.try_sample_block(rng, out),
+            SamplerKind::Alias(t) => t.try_sample_block_with(path, rng, out),
             SamplerKind::BetaSplit => false,
         }
     }
@@ -802,6 +858,67 @@ mod tests {
         // The beta-splitting tail can't batch.
         let big = BinomialSampler::new(1 << 20, 0.5).unwrap();
         assert!(!big.try_sample_block(&mut rng("beta"), &mut [0usize; 8]));
+    }
+
+    /// Every ISA path selects the same categories from the same block and
+    /// leaves the RNG in the same state — the per-kernel half of the
+    /// trajectory-level contract in `tests/simd_stream_identity.rs`. The
+    /// weight sets deliberately include fractional probes (so the integer
+    /// threshold reformulation is actually exercised, not just the
+    /// always-accept `prob = 1.0` rows) and the one-category table (shift
+    /// of 64).
+    #[test]
+    fn block_paths_are_bit_identical() {
+        use crate::isa::IsaPath;
+        for (label, weights) in [
+            ("len1", &[1.0][..]),
+            ("len2", &[0.35, 0.65][..]),
+            ("len4", &[0.1, 0.2, 0.3, 0.4][..]),
+            (
+                "len16",
+                &[
+                    1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 1.5, 2.5, 3.5, 4.5, 0.1, 0.2, 9.0, 0.7,
+                ][..],
+            ),
+        ] {
+            let t = AliasTable::new(weights).unwrap();
+            for block_len in [1usize, 3, 4, 5, 7, 8, 63, 64] {
+                let mut reference = vec![0usize; block_len];
+                let mut rng_ref = rng(label);
+                assert!(t.try_sample_block_with(IsaPath::Scalar, &mut rng_ref, &mut reference));
+                let state_ref = rng_ref.next_u64();
+                for path in IsaPath::available() {
+                    let mut got = vec![0usize; block_len];
+                    let mut rng_path = rng(label);
+                    assert!(t.try_sample_block_with(path, &mut rng_path, &mut got));
+                    assert_eq!(got, reference, "{label} block_len {block_len} {path:?}");
+                    assert_eq!(
+                        rng_path.next_u64(),
+                        state_ref,
+                        "{label} block_len {block_len} {path:?}: RNG state diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The integer probe threshold is the exact ceiling of `prob · 2⁵³`:
+    /// spot-check the boundary algebra the SWAR/AVX2 select relies on.
+    #[test]
+    fn integer_probe_matches_float_probe_at_boundaries() {
+        let t = AliasTable::new(&[0.25, 0.75]).unwrap();
+        for (i, (&p, &thr)) in t.prob.iter().zip(&t.thresh53).enumerate() {
+            // The probe accepts y iff (y >> 11) < thr; check equivalence
+            // at thr − 1, thr, thr + 1 (clamped into the 53-bit domain).
+            for y53 in [thr.saturating_sub(1), thr, (thr + 1).min((1 << 53) - 1)] {
+                let f = y53 as f64 * (1.0 / (1u64 << 53) as f64);
+                assert_eq!(
+                    f < p,
+                    y53 < thr,
+                    "slot {i}: float/integer probes disagree at y53 = {y53}"
+                );
+            }
+        }
     }
 
     #[test]

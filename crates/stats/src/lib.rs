@@ -25,6 +25,9 @@
 //! * [`histogram`] — fixed-width binning for dwell-time distributions.
 //! * [`rng`] — deterministic seed derivation (SplitMix64 trees) so that every
 //!   experiment in the repository is exactly replayable.
+//! * [`isa`] — ISA path selection (scalar / SWAR / AVX2) and the vectorized
+//!   sampling kernels behind the `FET_SIMD` override; every path is
+//!   bit-identical by contract.
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@ pub mod distance;
 pub mod error;
 pub mod histogram;
 pub mod hypergeometric;
+pub mod isa;
 pub mod normal;
 pub mod regression;
 pub mod rng;
